@@ -1,0 +1,42 @@
+// Ablation: lazy window traversal (§III-B) vs. eager full-window rescoring —
+// same windows, same scoring; measures the latency the candidate set saves
+// and the quality it costs.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/adwise_partitioner.h"
+
+int main() {
+  using namespace adwise;
+  using namespace adwise::bench;
+
+  const NamedGraph named = make_brain_like(env_scale(0.25));
+  print_title("Ablation: lazy vs. eager window traversal (k=32)");
+  print_graph_info(named);
+  std::printf("%-10s %-8s %10s %8s %14s\n", "window", "mode", "part_s", "rep",
+              "score_computs");
+
+  for (const std::uint64_t window : {32ull, 128ull, 512ull}) {
+    for (const bool lazy : {true, false}) {
+      AdwiseOptions opts;
+      opts.adaptive_window = false;
+      opts.initial_window = window;
+      opts.lazy_traversal = lazy;
+      AdwisePartitioner partitioner(opts);
+      PartitionState state(32, named.graph.num_vertices());
+      const auto edges =
+          ordered_edges(named.graph, StreamOrder::kShuffled, 1);
+      VectorEdgeStream stream(edges);
+      Stopwatch watch;
+      partitioner.partition(stream, state);
+      const double seconds = watch.elapsed_seconds();
+      std::printf("%-10llu %-8s %10.3f %8.3f %14llu\n",
+                  static_cast<unsigned long long>(window),
+                  lazy ? "lazy" : "eager", seconds,
+                  state.replication_degree(),
+                  static_cast<unsigned long long>(
+                      partitioner.last_report().score_computations));
+    }
+  }
+  return 0;
+}

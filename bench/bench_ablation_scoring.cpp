@@ -1,0 +1,47 @@
+// Ablation: the three terms of the ADWISE scoring function (Eq. 7) —
+// adaptive balancing, degree-aware replication weighting, clustering score —
+// switched off one at a time on all three graph stand-ins (fixed window).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace adwise;
+  using namespace adwise::bench;
+
+  print_title("Ablation: scoring-function terms (fixed window w=128, k=32)");
+  const double scale = env_scale(0.25);
+  const NamedGraph graphs[] = {make_orkut_like(scale), make_brain_like(scale),
+                               make_web_like(scale)};
+
+  auto variant = [](const std::string& label, bool balance, bool degree,
+                    bool clustering) {
+    AdwiseOptions opts;
+    opts.adaptive_window = false;
+    opts.initial_window = 128;
+    opts.adaptive_balance = balance;
+    opts.lambda_init = balance ? 1.0 : 1.1;  // HDRF-recommended fixed lambda
+    opts.degree_weighting = degree;
+    opts.clustering_score = clustering;
+    return adwise_strategy(label, opts);
+  };
+  const Strategy variants[] = {
+      variant("full", true, true, true),
+      variant("-adaptive_bal", false, true, true),
+      variant("-degree_aware", true, false, true),
+      variant("-clustering", true, true, false),
+      variant("bare", false, false, false),
+  };
+
+  for (const NamedGraph& named : graphs) {
+    print_graph_info(named);
+    std::printf("%-18s %10s %8s %8s\n", "variant", "part_s", "rep", "imbal");
+    for (const Strategy& strategy : variants) {
+      const PartitionRun run = run_partition_single(
+          named.graph, strategy, 32, StreamOrder::kShuffled);
+      std::printf("%-18s %10.3f %8.3f %8.3f\n", run.label.c_str(),
+                  run.seconds, run.replication, run.imbalance);
+    }
+  }
+  return 0;
+}

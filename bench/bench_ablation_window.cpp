@@ -1,0 +1,30 @@
+// Ablation: raw window-size → quality curve (adaptation disabled). This is
+// the trade-off the adaptive controller navigates at runtime: larger windows
+// buy replication degree with partitioning latency.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace adwise;
+  using namespace adwise::bench;
+
+  const NamedGraph named = make_web_like(env_scale(0.25));
+  print_title("Ablation: fixed window-size sweep (k=32)");
+  print_graph_info(named);
+  std::printf("%-10s %10s %8s %8s\n", "window", "part_s", "rep", "imbal");
+
+  for (const std::uint64_t window :
+       {1ull, 4ull, 16ull, 64ull, 256ull, 1024ull}) {
+    AdwiseOptions opts;
+    opts.adaptive_window = false;
+    opts.initial_window = window;
+    const PartitionRun run = run_partition_single(
+        named.graph, adwise_strategy("adwise", opts), 32,
+        StreamOrder::kShuffled);
+    std::printf("%-10llu %10.3f %8.3f %8.3f\n",
+                static_cast<unsigned long long>(window), run.seconds,
+                run.replication, run.imbalance);
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace adwise::bench {
+
+double env_scale(double base) {
+  double factor = 1.0;
+  if (const char* raw = std::getenv("ADWISE_BENCH_SCALE")) {
+    factor = std::atof(raw);
+    if (factor <= 0.0) factor = 1.0;
+  }
+  return std::clamp(base * factor, 0.01 * base, 100.0 * base);
+}
+
+Strategy baseline_strategy(const std::string& name, const std::string& label) {
+  Strategy s;
+  s.label = label.empty() ? name : label;
+  s.factory = [name](std::uint32_t instance, std::uint32_t local_k) {
+    auto p = make_baseline_partitioner(name, local_k, instance);
+    if (p == nullptr) {
+      std::fprintf(stderr, "unknown baseline '%s'\n", name.c_str());
+      std::abort();
+    }
+    return p;
+  };
+  return s;
+}
+
+Strategy adwise_strategy(const std::string& label,
+                         const AdwiseOptions& options) {
+  Strategy s;
+  s.label = label;
+  s.factory = [options](std::uint32_t, std::uint32_t) {
+    return std::make_unique<AdwisePartitioner>(options);
+  };
+  return s;
+}
+
+std::vector<Strategy> paper_strategies(double reference_seconds,
+                                       const std::vector<double>& multiples,
+                                       const AdwiseOptions& adwise_base) {
+  std::vector<Strategy> strategies;
+  strategies.push_back(baseline_strategy("dbh", "DBH"));
+  strategies.push_back(baseline_strategy("hdrf", "HDRF"));
+  for (const double multiple : multiples) {
+    AdwiseOptions opts = adwise_base;
+    // A preference of 0 would mean "single-edge"; clamp tiny references up.
+    opts.latency_preference_ms = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(reference_seconds * multiple * 1e3));
+    char label[64];
+    std::snprintf(label, sizeof(label), "ADWISE L=%lldms",
+                  static_cast<long long>(opts.latency_preference_ms));
+    strategies.push_back(adwise_strategy(label, opts));
+  }
+  return strategies;
+}
+
+PartitionRun run_partition(const Graph& graph, const Strategy& strategy,
+                           const LoadingConfig& config) {
+  const auto edges = ordered_edges(graph, config.order, config.seed);
+  SpotlightOptions opts;
+  opts.k = config.k;
+  opts.num_partitioners = config.z;
+  opts.spread = config.spread;
+  auto result =
+      run_spotlight(edges, graph.num_vertices(), strategy.factory, opts);
+  PartitionRun run;
+  run.label = strategy.label;
+  run.seconds = result.wall_seconds;
+  run.replication = result.merged.replication_degree();
+  run.imbalance = result.merged.imbalance();
+  run.assignments = std::move(result.assignments);
+  return run;
+}
+
+PartitionRun run_partition_single(const Graph& graph,
+                                  const Strategy& strategy, std::uint32_t k,
+                                  StreamOrder order, std::uint64_t seed) {
+  LoadingConfig config;
+  config.k = k;
+  config.z = 1;
+  config.spread = k;
+  config.order = order;
+  config.seed = seed;
+  return run_partition(graph, strategy, config);
+}
+
+ClusterModel paper_cluster() {
+  // Calibrated so the partitioning : processing latency ratio matches the
+  // paper's testbed regime (see cluster_model.h and EXPERIMENTS.md).
+  return calibrated_cluster_model();
+}
+
+void print_title(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void print_graph_info(const NamedGraph& graph) {
+  std::printf("graph: %s (%s), |V|=%u, |E|=%zu\n", graph.name.c_str(),
+              graph.kind.c_str(), graph.graph.num_vertices(),
+              graph.graph.num_edges());
+}
+
+void print_stacked_header(const std::vector<std::string>& block_names) {
+  std::printf("%-18s %10s %8s %8s", "strategy", "part_s", "rep", "imbal");
+  for (const auto& name : block_names) {
+    std::printf(" %12s", ("tot@" + name).c_str());
+  }
+  std::printf("\n");
+}
+
+void print_stacked_row(const PartitionRun& run,
+                       const std::vector<double>& block_seconds) {
+  std::printf("%-18s %10.3f %8.3f %8.3f", run.label.c_str(), run.seconds,
+              run.replication, run.imbalance);
+  double total = run.seconds;
+  for (const double block : block_seconds) {
+    total += block;
+    std::printf(" %12.3f", total);
+  }
+  std::printf("\n");
+}
+
+}  // namespace adwise::bench

@@ -1,0 +1,88 @@
+// Shared harness for the per-figure bench binaries (DESIGN.md §5).
+//
+// Every bench runs the paper's parallel-loading setup by default: z = 8
+// partitioner instances, k = 32 partitions, spotlight spread 4 (§IV,
+// "Experimental Setup"), prints the same rows/series as the corresponding
+// figure, and scales its workload with the ADWISE_BENCH_SCALE environment
+// variable (default 1.0).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/adwise_partitioner.h"
+#include "src/engine/cluster_model.h"
+#include "src/graph/edge_stream.h"
+#include "src/graph/generators.h"
+#include "src/partition/registry.h"
+#include "src/partition/spotlight.h"
+
+namespace adwise::bench {
+
+// ADWISE_BENCH_SCALE (e.g. "2.0") multiplied by base; clamped to [0.01, 100].
+[[nodiscard]] double env_scale(double base = 1.0);
+
+// A named way of constructing partitioner instances.
+struct Strategy {
+  std::string label;
+  PartitionerFactory factory;
+};
+
+[[nodiscard]] Strategy baseline_strategy(const std::string& name,
+                                         const std::string& label = "");
+[[nodiscard]] Strategy adwise_strategy(const std::string& label,
+                                       const AdwiseOptions& options);
+
+// Convenience: the two paper baselines plus an ADWISE latency sweep where
+// each preference is `multiple x reference_seconds` (the paper's guideline
+// of investing a small multiple of the single-edge latency).
+[[nodiscard]] std::vector<Strategy> paper_strategies(
+    double reference_seconds, const std::vector<double>& multiples,
+    const AdwiseOptions& adwise_base);
+
+struct LoadingConfig {
+  std::uint32_t k = 32;
+  std::uint32_t z = 8;       // parallel partitioner instances
+  std::uint32_t spread = 4;  // spotlight spread (k/z: disjoint groups)
+  StreamOrder order = StreamOrder::kNatural;
+  std::uint64_t seed = 1;
+};
+
+struct PartitionRun {
+  std::string label;
+  double seconds = 0.0;       // parallel wall latency (max over instances)
+  double replication = 0.0;   // Eq. 1 on the merged state
+  double imbalance = 0.0;     // (max-min)/max on the merged state
+  std::vector<Assignment> assignments;
+};
+
+// Orders the edges, runs the strategy under the parallel loading model and
+// returns the merged run.
+[[nodiscard]] PartitionRun run_partition(const Graph& graph,
+                                         const Strategy& strategy,
+                                         const LoadingConfig& config);
+
+// Single-instance variant (z = 1, spread = k): the algorithm-landscape view.
+[[nodiscard]] PartitionRun run_partition_single(const Graph& graph,
+                                                const Strategy& strategy,
+                                                std::uint32_t k,
+                                                StreamOrder order,
+                                                std::uint64_t seed = 1);
+
+// The paper's cluster (8 machines, 1 GbE) — used by all engine benches.
+[[nodiscard]] ClusterModel paper_cluster();
+
+// --- Output helpers -----------------------------------------------------------
+
+void print_title(const std::string& title);
+void print_graph_info(const NamedGraph& graph);
+
+// Stacked-latency row (Fig. 7a-f style): partitioning latency followed by
+// cumulative totals after each processing block.
+void print_stacked_header(const std::vector<std::string>& block_names);
+void print_stacked_row(const PartitionRun& run,
+                       const std::vector<double>& block_seconds);
+
+}  // namespace adwise::bench

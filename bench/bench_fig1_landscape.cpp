@@ -1,0 +1,51 @@
+// Figure 1: the landscape of vertex-cut partitioners — partitioning latency
+// versus quality, from hashing (fast, poor) through the streaming scoring
+// family to the all-edge NE heuristic (slow, strong), with ADWISE sweeping
+// the space in between via its latency preference.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/partition/refine.h"
+
+int main() {
+  using namespace adwise;
+  using namespace adwise::bench;
+
+  const NamedGraph named = make_brain_like(env_scale(0.4));
+  print_title("Figure 1: partitioning latency vs. quality landscape (k=32)");
+  print_graph_info(named);
+  std::printf("%-18s %10s %8s %8s\n", "algorithm", "part_s", "rep", "imbal");
+
+  auto report = [&](const Strategy& strategy) {
+    const PartitionRun run = run_partition_single(
+        named.graph, strategy, 32, StreamOrder::kShuffled);
+    std::printf("%-18s %10.3f %8.3f %8.3f\n", run.label.c_str(), run.seconds,
+                run.replication, run.imbalance);
+  };
+
+  for (const char* name : {"hash", "1d", "grid", "dbh", "greedy", "hdrf"}) {
+    report(baseline_strategy(name));
+  }
+  for (const std::uint64_t window : {16ull, 128ull, 1024ull}) {
+    AdwiseOptions opts;
+    opts.adaptive_window = false;
+    opts.initial_window = window;
+    report(adwise_strategy("adwise w=" + std::to_string(window), opts));
+  }
+  report(baseline_strategy("ne", "ne (all-edge)"));
+
+  // The iterative family (Ja-Be-Ja-VC / H-move stand-in): HDRF start plus
+  // hill-climbing rounds over the full edge set.
+  {
+    const PartitionRun start = run_partition_single(
+        named.graph, baseline_strategy("hdrf"), 32, StreamOrder::kShuffled);
+    Stopwatch watch;
+    const RefineResult refined = refine_partition(
+        start.assignments, 32, named.graph.num_vertices(), {.max_rounds = 5});
+    std::printf("%-18s %10.3f %8.3f %8.3f\n", "hdrf+refine",
+                start.seconds + watch.elapsed_seconds(),
+                refined.state.replication_degree(),
+                refined.state.imbalance());
+  }
+  return 0;
+}

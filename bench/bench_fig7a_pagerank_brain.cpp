@@ -1,0 +1,14 @@
+// Figure 7a: PageRank on the Brain stand-in — stacked partitioning +
+// processing latency for DBH, HDRF and an ADWISE latency-preference sweep.
+#include "bench/fig7_helpers.h"
+
+int main() {
+  using namespace adwise::bench;
+  PageRankFigure figure;
+  figure.title = "Figure 7a: PageRank on brain-like (k=32, z=8, spread=4)";
+  figure.graph = adwise::make_brain_like(env_scale(0.5));
+  figure.blocks = 3;
+  figure.iterations_per_block = 100;
+  run_pagerank_figure(figure);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 7b: PageRank on the Web stand-in (very high clustering — the regime
+// where windows and the clustering score pay off most).
+#include "bench/fig7_helpers.h"
+
+int main() {
+  using namespace adwise::bench;
+  PageRankFigure figure;
+  figure.title = "Figure 7b: PageRank on web-like (k=32, z=8, spread=4)";
+  figure.graph = adwise::make_web_like(env_scale(0.5));
+  figure.blocks = 3;
+  figure.iterations_per_block = 100;
+  run_pagerank_figure(figure);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 7c: PageRank on the Orkut stand-in. Per the paper (§IV-A3) the
+// clustering score is switched off: Orkut's clustering coefficient is too
+// low for window neighborhoods to carry signal.
+#include "bench/fig7_helpers.h"
+
+int main() {
+  using namespace adwise::bench;
+  PageRankFigure figure;
+  figure.title = "Figure 7c: PageRank on orkut-like (k=32, z=8, spread=4)";
+  figure.graph = adwise::make_orkut_like(env_scale(0.5));
+  figure.clustering_score = false;
+  figure.blocks = 3;
+  figure.iterations_per_block = 100;
+  run_pagerank_figure(figure);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 7d: subgraph isomorphism (circle search, path lengths 19/15/21) on
+// the Brain stand-in — the communication-heavy NP-complete workload.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/apps/subgraph_iso.h"
+
+int main() {
+  using namespace adwise;
+  using namespace adwise::bench;
+
+  const NamedGraph named = make_brain_like(env_scale(0.12));
+  print_title(
+      "Figure 7d: Subgraph isomorphism (circles 19/15/21) on brain-like");
+  print_graph_info(named);
+  LoadingConfig config;
+  const Strategy ref = baseline_strategy("hdrf", "HDRF(ref)");
+  const double ref_seconds =
+      run_partition(named.graph, ref, config).seconds;
+  std::printf("reference single-edge (HDRF) latency: %.3f s\n", ref_seconds);
+  print_stacked_header({"circ19", "circ15", "circ21"});
+
+  CircleSearchConfig search;
+  search.lengths = {19, 15, 21};
+  search.seeds_per_search = 4;
+  search.max_pending = 8;
+  search.forward_prob = 0.7;
+
+  AdwiseOptions adwise_base;
+  adwise_base.max_window = 1 << 14;
+  for (const Strategy& strategy :
+       paper_strategies(ref_seconds, {2.0, 4.0, 8.0}, adwise_base)) {
+    const PartitionRun run = run_partition(named.graph, strategy, config);
+    const WorkloadResult workload = run_circle_searches(
+        named.graph, run.assignments, paper_cluster(), search);
+    print_stacked_row(run, workload.block_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 7g: replication degree vs. invested partitioning latency on the
+// Brain stand-in.
+#include "bench/fig7_helpers.h"
+
+int main() {
+  using namespace adwise::bench;
+  ReplicationFigure figure;
+  figure.title = "Figure 7g: replication degree on brain-like (k=32)";
+  figure.graph = adwise::make_brain_like(env_scale(0.5));
+  figure.latency_multiples = {2.0, 4.0, 8.0, 16.0};
+  run_replication_figure(figure);
+  return 0;
+}

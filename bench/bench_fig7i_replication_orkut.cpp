@@ -1,0 +1,14 @@
+// Figure 7i: replication degree vs. invested partitioning latency on the
+// Orkut stand-in (clustering score off, per the paper).
+#include "bench/fig7_helpers.h"
+
+int main() {
+  using namespace adwise::bench;
+  ReplicationFigure figure;
+  figure.title = "Figure 7i: replication degree on orkut-like (k=32)";
+  figure.graph = adwise::make_orkut_like(env_scale(0.5));
+  figure.clustering_score = false;
+  figure.latency_multiples = {2.0, 4.0, 8.0, 16.0};
+  run_replication_figure(figure);
+  return 0;
+}

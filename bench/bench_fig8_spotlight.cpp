@@ -1,0 +1,37 @@
+// Figure 8: efficacy of the spotlight optimization — replication degree as
+// the spread of z=8 parallel partitioners shrinks from 32 (conventional
+// parallel loading) to 4 (disjoint partition groups), for DBH, HDRF and
+// ADWISE.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace adwise;
+  using namespace adwise::bench;
+
+  const NamedGraph named = make_brain_like(env_scale(0.5));
+  print_title("Figure 8: spotlight spread sweep on brain-like (k=32, z=8)");
+  print_graph_info(named);
+  std::printf("%-18s %8s %10s %8s %8s\n", "strategy", "spread", "part_s",
+              "rep", "imbal");
+
+  AdwiseOptions adwise_opts;
+  adwise_opts.adaptive_window = false;
+  adwise_opts.initial_window = 64;
+  const Strategy strategies[] = {
+      baseline_strategy("dbh", "DBH"),
+      baseline_strategy("hdrf", "HDRF"),
+      adwise_strategy("ADWISE w=64", adwise_opts),
+  };
+  for (const Strategy& strategy : strategies) {
+    for (const std::uint32_t spread : {32u, 16u, 8u, 4u}) {
+      LoadingConfig config;
+      config.spread = spread;
+      const PartitionRun run = run_partition(named.graph, strategy, config);
+      std::printf("%-18s %8u %10.3f %8.3f %8.3f\n", run.label.c_str(), spread,
+                  run.seconds, run.replication, run.imbalance);
+    }
+  }
+  return 0;
+}

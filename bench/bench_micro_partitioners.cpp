@@ -1,0 +1,57 @@
+// Microbenchmark (google-benchmark): single-instance partitioning throughput
+// of every strategy on a fixed R-MAT graph — the raw edges/second cost that
+// the adaptive controller trades against quality.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/adwise_partitioner.h"
+
+namespace {
+
+using namespace adwise;
+
+const Graph& test_graph() {
+  static const Graph graph =
+      make_rmat({.scale = 15, .num_edges = 200'000, .seed = 3});
+  return graph;
+}
+
+void run_once(benchmark::State& state, EdgePartitioner& partitioner) {
+  const Graph& graph = test_graph();
+  for (auto _ : state) {
+    PartitionState pstate(32, graph.num_vertices());
+    VectorEdgeStream stream(graph.edges());
+    partitioner.partition(stream, pstate);
+    benchmark::DoNotOptimize(pstate.replication_degree());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * graph.num_edges()));
+}
+
+void BM_Baseline(benchmark::State& state, const char* name) {
+  auto partitioner = make_baseline_partitioner(name, 32, 1);
+  run_once(state, *partitioner);
+}
+
+void BM_Adwise(benchmark::State& state, std::uint64_t window, bool lazy) {
+  AdwiseOptions opts;
+  opts.adaptive_window = false;
+  opts.initial_window = window;
+  opts.lazy_traversal = lazy;
+  AdwisePartitioner partitioner(opts);
+  run_once(state, partitioner);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Baseline, hash, "hash");
+BENCHMARK_CAPTURE(BM_Baseline, grid, "grid");
+BENCHMARK_CAPTURE(BM_Baseline, dbh, "dbh");
+BENCHMARK_CAPTURE(BM_Baseline, greedy, "greedy");
+BENCHMARK_CAPTURE(BM_Baseline, hdrf, "hdrf");
+BENCHMARK_CAPTURE(BM_Adwise, w1, 1, true);
+BENCHMARK_CAPTURE(BM_Adwise, w16_lazy, 16, true);
+BENCHMARK_CAPTURE(BM_Adwise, w64_lazy, 64, true);
+BENCHMARK_CAPTURE(BM_Adwise, w64_eager, 64, false);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+#include "bench/fig7_helpers.h"
+
+#include <cstdio>
+
+#include "src/apps/pagerank.h"
+
+namespace adwise::bench {
+
+namespace {
+
+// Measures the HDRF wall latency once; the ADWISE latency preferences are
+// expressed as multiples of it (the paper's practical guideline, §IV-A).
+double reference_latency(const Graph& graph, const LoadingConfig& config) {
+  const Strategy hdrf = baseline_strategy("hdrf", "HDRF(ref)");
+  return run_partition(graph, hdrf, config).seconds;
+}
+
+AdwiseOptions adwise_base(bool clustering_score) {
+  AdwiseOptions opts;
+  opts.clustering_score = clustering_score;
+  opts.max_window = 1 << 14;
+  return opts;
+}
+
+}  // namespace
+
+void run_pagerank_figure(const PageRankFigure& figure) {
+  print_title(figure.title);
+  print_graph_info(figure.graph);
+  LoadingConfig config;
+  const double ref = reference_latency(figure.graph.graph, config);
+  std::printf("reference single-edge (HDRF) latency: %.3f s\n", ref);
+
+  std::vector<std::string> block_names;
+  for (std::uint32_t b = 1; b <= figure.blocks; ++b) {
+    block_names.push_back(std::to_string(b * figure.iterations_per_block) +
+                          "it");
+  }
+  print_stacked_header(block_names);
+
+  const auto strategies = paper_strategies(
+      ref, figure.latency_multiples, adwise_base(figure.clustering_score));
+  for (const Strategy& strategy : strategies) {
+    const PartitionRun run =
+        run_partition(figure.graph.graph, strategy, config);
+    const WorkloadResult workload = run_pagerank_blocks(
+        figure.graph.graph, run.assignments, paper_cluster(), figure.blocks,
+        figure.iterations_per_block);
+    print_stacked_row(run, workload.block_seconds);
+  }
+}
+
+void run_replication_figure(const ReplicationFigure& figure) {
+  print_title(figure.title);
+  print_graph_info(figure.graph);
+  LoadingConfig config;
+  const double ref = reference_latency(figure.graph.graph, config);
+  std::printf("reference single-edge (HDRF) latency: %.3f s\n", ref);
+  std::printf("%-18s %10s %8s %8s\n", "strategy", "part_s", "rep", "imbal");
+
+  const auto strategies = paper_strategies(
+      ref, figure.latency_multiples, adwise_base(figure.clustering_score));
+  for (const Strategy& strategy : strategies) {
+    const PartitionRun run =
+        run_partition(figure.graph.graph, strategy, config);
+    std::printf("%-18s %10.3f %8.3f %8.3f\n", run.label.c_str(), run.seconds,
+                run.replication, run.imbalance);
+  }
+}
+
+}  // namespace adwise::bench

@@ -1,0 +1,35 @@
+// Shared drivers for the Figure 7 panels: each panel binary supplies the
+// graph and workload parameters; these helpers execute the full paper
+// pipeline (parallel partitioning with a latency sweep, then the workload on
+// the simulated cluster) and print the stacked-latency rows.
+#pragma once
+
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace adwise::bench {
+
+struct PageRankFigure {
+  std::string title;
+  NamedGraph graph;
+  bool clustering_score = true;  // the paper disables CS on Orkut
+  std::uint32_t blocks = 3;
+  std::uint32_t iterations_per_block = 100;
+  std::vector<double> latency_multiples = {2.0, 4.0, 8.0, 16.0};
+};
+
+// Fig. 7a/7b/7c: PageRank stacked latency.
+void run_pagerank_figure(const PageRankFigure& figure);
+
+struct ReplicationFigure {
+  std::string title;
+  NamedGraph graph;
+  bool clustering_score = true;
+  std::vector<double> latency_multiples = {2.0, 4.0, 8.0};
+};
+
+// Fig. 7g/7h/7i: replication degree vs. invested partitioning latency.
+void run_replication_figure(const ReplicationFigure& figure);
+
+}  // namespace adwise::bench

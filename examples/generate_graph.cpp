@@ -1,0 +1,62 @@
+// generate_graph: emit any of the library's synthetic graphs as an edge
+// list — the companion tool to partition_file for experiments on disk.
+//
+//   $ ./generate_graph <preset> [scale] [seed] > graph.txt
+//
+//   preset  orkut | brain | web | rmat | ws | ba | er
+//   scale   size multiplier (default 0.1; presets ~1M edges at 1.0)
+//   seed    RNG seed (default 1)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+
+int main(int argc, char** argv) {
+  using namespace adwise;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <orkut|brain|web|rmat|ws|ba|er> [scale] [seed]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string preset = argv[1];
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  if (scale <= 0.0) {
+    std::fprintf(stderr, "scale must be positive\n");
+    return 2;
+  }
+
+  Graph graph;
+  if (preset == "orkut") {
+    graph = make_orkut_like(scale, seed).graph;
+  } else if (preset == "brain") {
+    graph = make_brain_like(scale, seed).graph;
+  } else if (preset == "web") {
+    graph = make_web_like(scale, seed).graph;
+  } else if (preset == "rmat") {
+    RmatParams params;
+    params.num_edges = static_cast<std::size_t>(1e6 * scale);
+    params.seed = seed;
+    graph = make_rmat(params);
+  } else if (preset == "ws") {
+    graph = make_watts_strogatz(
+        static_cast<VertexId>(250'000 * scale), 4, 0.1, seed);
+  } else if (preset == "ba") {
+    graph = make_barabasi_albert(
+        static_cast<VertexId>(250'000 * scale), 4, seed);
+  } else if (preset == "er") {
+    graph = make_erdos_renyi(static_cast<VertexId>(250'000 * scale),
+                             static_cast<std::size_t>(1e6 * scale), seed);
+  } else {
+    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    return 2;
+  }
+
+  write_edge_list(std::cout, graph);
+  std::fprintf(stderr, "%s: %u vertices, %zu edges\n", preset.c_str(),
+               graph.num_vertices(), graph.num_edges());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// partition_file: command-line streaming partitioner for edge-list files.
+//
+//   $ ./partition_file <graph.txt> [algorithm] [k] [latency_ms]
+//
+//   graph.txt   SNAP-style edge list ("u v" per line, # comments)
+//   algorithm   hash | grid | dbh | greedy | hdrf | ne | adwise  (default adwise)
+//   k           number of partitions                             (default 32)
+//   latency_ms  ADWISE latency preference in ms, -1 = unbounded  (default -1)
+//
+// Prints one "u v partition" line per edge to stdout and a quality summary
+// to stderr — the shape a downstream graph system would actually consume.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/core/adwise_partitioner.h"
+#include "src/graph/io.h"
+#include "src/partition/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace adwise;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <graph.txt> [algorithm] [k] [latency_ms]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const std::string algorithm = argc > 2 ? argv[2] : "adwise";
+  const auto k = static_cast<std::uint32_t>(argc > 3 ? std::atoi(argv[3]) : 32);
+  const std::int64_t latency_ms = argc > 4 ? std::atoll(argv[4]) : -1;
+
+  LoadResult loaded;
+  try {
+    loaded = read_edge_list_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const Graph& graph = loaded.graph;
+  std::fprintf(stderr, "loaded %s: %u vertices, %zu edges\n", path.c_str(),
+               graph.num_vertices(), graph.num_edges());
+
+  std::unique_ptr<EdgePartitioner> partitioner;
+  if (algorithm == "adwise") {
+    AdwiseOptions options;
+    options.latency_preference_ms = latency_ms;
+    partitioner = std::make_unique<AdwisePartitioner>(options);
+  } else {
+    partitioner = make_baseline_partitioner(algorithm, k);
+    if (partitioner == nullptr) {
+      std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
+      return 2;
+    }
+  }
+
+  PartitionState state(k, graph.num_vertices());
+  VectorEdgeStream stream(graph.edges());
+  const auto& ids = loaded.original_id;
+  partitioner->partition(stream, state, [&](const Edge& e, PartitionId p) {
+    std::printf("%llu %llu %u\n",
+                static_cast<unsigned long long>(ids[e.u]),
+                static_cast<unsigned long long>(ids[e.v]), p);
+  });
+
+  std::fprintf(stderr,
+               "%s, k=%u: replication degree %.4f, imbalance %.4f\n",
+               algorithm.c_str(), k, state.replication_degree(),
+               state.imbalance());
+  return 0;
+}

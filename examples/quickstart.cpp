@@ -1,0 +1,56 @@
+// Quickstart: partition a graph with ADWISE in a dozen lines.
+//
+//   $ ./quickstart
+//
+// Generates a clustered graph, streams it through ADWISE with a latency
+// preference, and prints the resulting partitioning quality next to the
+// classic single-edge HDRF baseline.
+#include <cstdio>
+
+#include "src/core/adwise_partitioner.h"
+#include "src/graph/edge_stream.h"
+#include "src/graph/generators.h"
+#include "src/partition/hdrf_partitioner.h"
+
+int main() {
+  using namespace adwise;
+
+  // 1. A graph. Any edge source works; here: a synthetic community graph.
+  const Graph graph =
+      make_community_graph({.num_communities = 400, .seed = 7});
+  std::printf("graph: %u vertices, %zu edges\n", graph.num_vertices(),
+              graph.num_edges());
+
+  // 2. Configure ADWISE: 32 partitions, invest up to 2 seconds.
+  AdwiseOptions options;
+  options.latency_preference_ms = 2000;
+
+  // 3. Stream the edges through the partitioner.
+  AdwisePartitioner adwise(options);
+  PartitionState state(/*k=*/32, graph.num_vertices());
+  VectorEdgeStream stream(graph.edges());
+  adwise.partition(stream, state, [](const Edge& e, PartitionId p) {
+    // Each assignment is delivered here; a real system would ship edge e
+    // to worker p. The quickstart only counts them via PartitionState.
+    (void)e;
+    (void)p;
+  });
+
+  // 4. Inspect the result.
+  const auto& report = adwise.last_report();
+  std::printf("ADWISE: replication degree %.3f, imbalance %.3f\n",
+              state.replication_degree(), state.imbalance());
+  std::printf("        %.3f s, max window %llu, final lambda %.2f\n",
+              report.seconds,
+              static_cast<unsigned long long>(report.max_window),
+              report.final_lambda);
+
+  // 5. Compare with single-edge HDRF.
+  HdrfPartitioner hdrf;
+  PartitionState hdrf_state(32, graph.num_vertices());
+  VectorEdgeStream hdrf_stream(graph.edges());
+  hdrf.partition(hdrf_stream, hdrf_state);
+  std::printf("HDRF:   replication degree %.3f, imbalance %.3f\n",
+              hdrf_state.replication_degree(), hdrf_state.imbalance());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// spotlight_parallel: parallel graph loading with the spotlight optimization.
+//
+//   $ ./spotlight_parallel [z] [k]
+//
+// Partitions one graph with z parallel HDRF instances under decreasing
+// spotlight spread and prints how the merged replication degree improves —
+// the paper's Fig. 8 effect, usable as a library feature on any strategy.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/graph/generators.h"
+#include "src/partition/registry.h"
+#include "src/partition/spotlight.h"
+
+int main(int argc, char** argv) {
+  using namespace adwise;
+  const auto z = static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 8);
+  const auto k = static_cast<std::uint32_t>(argc > 2 ? std::atoi(argv[2]) : 32);
+  if (z == 0 || k == 0 || k % z != 0) {
+    std::fprintf(stderr, "need z > 0, k > 0, z dividing k (got z=%u k=%u)\n",
+                 z, k);
+    return 2;
+  }
+
+  const Graph graph = make_brain_like(0.25).graph;
+  std::printf("graph: %u vertices, %zu edges; z=%u instances, k=%u\n",
+              graph.num_vertices(), graph.num_edges(), z, k);
+  std::printf("%-8s %10s %10s %10s\n", "spread", "rep", "imbal", "wall_s");
+
+  for (std::uint32_t spread = k; spread >= k / z; spread /= 2) {
+    SpotlightOptions options;
+    options.k = k;
+    options.num_partitioners = z;
+    options.spread = spread;
+    const auto result = run_spotlight(
+        graph.edges(), graph.num_vertices(),
+        [](std::uint32_t instance, std::uint32_t local_k) {
+          return make_baseline_partitioner("hdrf", local_k, instance);
+        },
+        options);
+    std::printf("%-8u %10.3f %10.3f %10.3f\n", spread,
+                result.merged.replication_degree(),
+                result.merged.imbalance(), result.wall_seconds);
+  }
+  std::printf(
+      "\nspread = k reproduces conventional parallel loading; spread = k/z\n"
+      "gives each instance exclusive partitions (the spotlight setting).\n");
+  return 0;
+}

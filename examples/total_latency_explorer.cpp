@@ -1,0 +1,89 @@
+// total_latency_explorer: the paper's headline experiment as a tool.
+//
+//   $ ./total_latency_explorer [iterations]
+//
+// Uses the paper's parallel-loading setup (z = 8 partitioner instances,
+// k = 32 partitions, spotlight spread 4), sweeps the ADWISE latency
+// preference, runs PageRank on the simulated cluster after each
+// partitioning, and prints total latency (partitioning + processing) so the
+// sweet spot is visible — the Fig. 7a-c story on your own workload size.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/apps/pagerank.h"
+#include "src/core/adwise_partitioner.h"
+#include "src/graph/generators.h"
+#include "src/partition/registry.h"
+#include "src/partition/spotlight.h"
+
+namespace {
+
+using namespace adwise;
+
+struct Outcome {
+  double partition_seconds;   // parallel wall latency (max over instances)
+  double processing_seconds;  // simulated cluster seconds
+  double replication;
+};
+
+Outcome evaluate(const Graph& graph, const PartitionerFactory& factory,
+                 std::uint32_t iterations) {
+  SpotlightOptions options;  // k=32, z=8, spread=4 (the paper's setup)
+  const auto result =
+      run_spotlight(graph.edges(), graph.num_vertices(), factory, options);
+  const auto workload =
+      run_pagerank_blocks(graph, result.assignments,
+                          calibrated_cluster_model(), 1, iterations);
+  return {result.wall_seconds, workload.total.seconds,
+          result.merged.replication_degree()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto iterations =
+      static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 300);
+  const Graph graph = make_brain_like(0.25).graph;
+  std::printf(
+      "graph: %u vertices, %zu edges; PageRank x%u iterations; "
+      "k=32, z=8, spread=4\n",
+      graph.num_vertices(), graph.num_edges(), iterations);
+  std::printf("%-14s %8s %8s %8s %8s\n", "strategy", "part_s", "proc_s",
+              "total_s", "rep");
+
+  // Baseline: single-edge HDRF fixes the reference latency.
+  const Outcome base = evaluate(
+      graph,
+      [](std::uint32_t, std::uint32_t local_k) {
+        return make_baseline_partitioner("hdrf", local_k);
+      },
+      iterations);
+  std::printf("%-14s %8.3f %8.3f %8.3f %8.3f\n", "HDRF",
+              base.partition_seconds, base.processing_seconds,
+              base.partition_seconds + base.processing_seconds,
+              base.replication);
+
+  for (const double multiple : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    AdwiseOptions options;
+    options.latency_preference_ms = std::max<std::int64_t>(
+        1,
+        static_cast<std::int64_t>(base.partition_seconds * multiple * 1e3));
+    const Outcome outcome = evaluate(
+        graph,
+        [&options](std::uint32_t, std::uint32_t) {
+          return std::make_unique<AdwisePartitioner>(options);
+        },
+        iterations);
+    char label[32];
+    std::snprintf(label, sizeof(label), "ADWISE %.0fx", multiple);
+    std::printf("%-14s %8.3f %8.3f %8.3f %8.3f\n", label,
+                outcome.partition_seconds, outcome.processing_seconds,
+                outcome.partition_seconds + outcome.processing_seconds,
+                outcome.replication);
+  }
+  std::printf(
+      "\nReading the table: the paper's guideline is to invest ~2-3x the\n"
+      "single-edge latency; beyond the sweet spot the partitioning cost\n"
+      "outgrows the processing savings.\n");
+  return 0;
+}

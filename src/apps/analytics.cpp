@@ -1,0 +1,108 @@
+#include "src/apps/analytics.h"
+
+#include <deque>
+#include <numeric>
+
+namespace adwise {
+
+WorkloadResult run_connected_components(
+    const Graph& graph, std::span<const Assignment> assignments,
+    const ClusterModel& model, std::uint64_t max_supersteps,
+    std::vector<VertexId>* out_labels) {
+  Engine<ComponentsProgram> engine(graph, assignments, model,
+                                   ComponentsProgram{});
+  engine.activate_all();
+  WorkloadResult result;
+  result.total = engine.run(max_supersteps);
+  result.block_seconds.push_back(result.total.seconds);
+  if (out_labels != nullptr) *out_labels = engine.values();
+  return result;
+}
+
+std::vector<VertexId> reference_components(const Graph& graph) {
+  // Union-find with path halving; labels normalized to the smallest vertex
+  // id in each component (matching the propagation fixpoint).
+  std::vector<VertexId> parent(graph.num_vertices());
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Edge& e : graph.edges()) {
+    const VertexId ru = find(e.u);
+    const VertexId rv = find(e.v);
+    if (ru != rv) parent[std::max(ru, rv)] = std::min(ru, rv);
+  }
+  std::vector<VertexId> labels(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) labels[v] = find(v);
+  return labels;
+}
+
+WorkloadResult run_sssp(const Graph& graph,
+                        std::span<const Assignment> assignments,
+                        const ClusterModel& model, VertexId source,
+                        std::vector<std::uint32_t>* out_distances) {
+  Engine<SsspProgram> engine(graph, assignments, model, SsspProgram{});
+  engine.deliver_local(source, 0);  // distance 0 arrives at the source
+  WorkloadResult result;
+  result.total = engine.run(graph.num_vertices() + 2);
+  result.block_seconds.push_back(result.total.seconds);
+  if (out_distances != nullptr) *out_distances = engine.values();
+  return result;
+}
+
+std::vector<std::uint32_t> reference_sssp(const Graph& graph,
+                                          VertexId source) {
+  const Csr csr(graph);
+  std::vector<std::uint32_t> dist(graph.num_vertices(), kUnreachable);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const VertexId n : csr.neighbors(v)) {
+      if (dist[n] == kUnreachable) {
+        dist[n] = dist[v] + 1;
+        queue.push_back(n);
+      }
+    }
+  }
+  return dist;
+}
+
+TriangleResult run_triangle_count(const Graph& graph,
+                                  std::span<const Assignment> assignments,
+                                  const ClusterModel& model) {
+  const Csr csr(graph);
+  Engine<TriangleProgram> engine(graph, assignments, model,
+                                 TriangleProgram(&csr));
+  engine.activate_all();
+  TriangleResult result;
+  result.workload.total = engine.run(3);
+  result.workload.block_seconds.push_back(result.workload.total.seconds);
+  for (const auto& value : engine.values()) {
+    result.triangles += value.triangles;
+  }
+  return result;
+}
+
+std::uint64_t reference_triangle_count(const Graph& graph) {
+  const Csr csr(graph);
+  std::uint64_t count = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto nbrs = csr.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] <= v) continue;
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (csr.has_edge(nbrs[i], nbrs[j])) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace adwise

@@ -1,0 +1,201 @@
+// Additional engine workloads: connected components, single-source shortest
+// paths, and distributed triangle counting.
+//
+// These go beyond the paper's four evaluation algorithms but are the bread
+// and butter of the graph systems it targets (Pregel/PowerGraph/GraphX) and
+// exercise different traffic patterns on the engine: label propagation
+// (shrinking active set, combiner-friendly), frontier expansion (wavefront
+// traffic), and neighborhood exchange (large payloads, no combiner).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "src/apps/pagerank.h"  // WorkloadResult
+#include "src/engine/engine.h"
+#include "src/graph/csr.h"
+#include "src/graph/graph.h"
+
+namespace adwise {
+
+// --- Connected components (label propagation) ----------------------------------
+
+class ComponentsProgram {
+ public:
+  using Value = VertexId;   // component label: the smallest reachable id
+  using Message = VertexId;
+  static constexpr bool kHasCombiner = true;
+
+  [[nodiscard]] Value init(VertexId v, std::uint32_t /*degree*/) const {
+    return v;
+  }
+
+  [[nodiscard]] Value apply(VertexId /*v*/, const Value& current,
+                            std::span<const Message> inbox, ApplyInfo* info,
+                            EngineContext& ctx) const {
+    Value best = current;
+    for (const Message& m : inbox) best = std::min(best, m);
+    const bool changed = best != current;
+    // Superstep 0 seeds the propagation; afterwards only improvements talk.
+    info->activate = changed || ctx.superstep == 0;
+    info->value_changed = changed;
+    return best;
+  }
+
+  template <typename EmitFn>
+  void scatter(VertexId /*u*/, const Value& value, VertexId /*neighbor*/,
+               EngineContext& /*ctx*/, EmitFn&& emit) const {
+    emit(value);
+  }
+
+  [[nodiscard]] Message combine(Message a, const Message& b) const {
+    return std::min(a, b);
+  }
+
+  static std::size_t message_bytes(const Message&) { return sizeof(Message); }
+  static std::size_t value_bytes(const Value&) { return sizeof(Value); }
+};
+
+// Runs label propagation to convergence (bounded by max_supersteps); if
+// out_labels is non-null it receives per-vertex component labels (isolated
+// vertices keep their own id).
+[[nodiscard]] WorkloadResult run_connected_components(
+    const Graph& graph, std::span<const Assignment> assignments,
+    const ClusterModel& model, std::uint64_t max_supersteps = 10'000,
+    std::vector<VertexId>* out_labels = nullptr);
+
+// Single-machine reference (union-find).
+[[nodiscard]] std::vector<VertexId> reference_components(const Graph& graph);
+
+// --- Single-source shortest paths (unit weights) ---------------------------------
+
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+class SsspProgram {
+ public:
+  using Value = std::uint32_t;  // hop distance from the source
+  using Message = std::uint32_t;
+  static constexpr bool kHasCombiner = true;
+
+  [[nodiscard]] Value init(VertexId /*v*/, std::uint32_t /*degree*/) const {
+    return kUnreachable;
+  }
+
+  [[nodiscard]] Value apply(VertexId /*v*/, const Value& current,
+                            std::span<const Message> inbox, ApplyInfo* info,
+                            EngineContext& /*ctx*/) const {
+    Value best = current;
+    for (const Message& m : inbox) best = std::min(best, m);
+    const bool changed = best != current;
+    info->activate = changed;
+    info->value_changed = changed;
+    return best;
+  }
+
+  template <typename EmitFn>
+  void scatter(VertexId /*u*/, const Value& value, VertexId /*neighbor*/,
+               EngineContext& /*ctx*/, EmitFn&& emit) const {
+    if (value != kUnreachable) emit(value + 1);
+  }
+
+  [[nodiscard]] Message combine(Message a, const Message& b) const {
+    return std::min(a, b);
+  }
+
+  static std::size_t message_bytes(const Message&) { return sizeof(Message); }
+  static std::size_t value_bytes(const Value&) { return sizeof(Value); }
+};
+
+// BFS wavefront from source; out_distances receives hop counts
+// (kUnreachable for disconnected vertices).
+[[nodiscard]] WorkloadResult run_sssp(
+    const Graph& graph, std::span<const Assignment> assignments,
+    const ClusterModel& model, VertexId source,
+    std::vector<std::uint32_t>* out_distances = nullptr);
+
+// Single-machine reference (BFS).
+[[nodiscard]] std::vector<std::uint32_t> reference_sssp(const Graph& graph,
+                                                        VertexId source);
+
+// --- Triangle counting --------------------------------------------------------------
+
+// Distributed neighborhood exchange: every vertex sends its higher-id
+// neighbor list to its higher-id neighbors; the receiver counts
+// intersections with its own adjacency (oracle: Csr at the master, exactly
+// like the clique program). Each triangle {a < b < c} is counted once, at b,
+// when a's list arrives.
+class TriangleProgram {
+ public:
+  using Message = std::vector<VertexId>;  // sender's higher-id neighbors
+
+  struct Value {
+    std::uint64_t triangles = 0;
+  };
+  static constexpr bool kHasCombiner = false;
+
+  explicit TriangleProgram(const Csr* csr) : csr_(csr) {}
+
+  [[nodiscard]] Value init(VertexId /*v*/, std::uint32_t /*degree*/) const {
+    return {};
+  }
+
+  [[nodiscard]] Value apply(VertexId v, const Value& current,
+                            std::span<const Message> inbox, ApplyInfo* info,
+                            EngineContext& ctx) const {
+    Value next = current;
+    for (const Message& list : inbox) {
+      for (const VertexId w : list) {
+        if (w > v && csr_->has_edge(v, w)) ++next.triangles;
+      }
+    }
+    // Superstep 0: everyone sends its neighbor list once, then goes quiet.
+    info->activate = ctx.superstep == 0;
+    info->value_changed = next.triangles != current.triangles;
+    return next;
+  }
+
+  template <typename EmitFn>
+  void scatter(VertexId u, const Value& /*value*/, VertexId neighbor,
+               EngineContext& /*ctx*/, EmitFn&& emit) const {
+    if (neighbor <= u) return;  // send upward only: count each triangle once
+    // The upward list of u is reused across all of u's arcs (the engine
+    // walks them consecutively); the receiver skips its own id via w > v.
+    if (cached_source_ != u) {
+      cached_source_ = u;
+      cached_list_.clear();
+      for (const VertexId w : csr_->neighbors(u)) {
+        if (w > u) cached_list_.push_back(w);
+      }
+    }
+    if (!cached_list_.empty()) emit(cached_list_);
+  }
+
+  static std::size_t message_bytes(const Message& m) {
+    return sizeof(VertexId) * m.size() + 8;
+  }
+
+  static std::size_t value_bytes(const Value&) { return sizeof(Value); }
+
+ private:
+  const Csr* csr_;
+  mutable VertexId cached_source_ = std::numeric_limits<VertexId>::max();
+  mutable Message cached_list_;
+};
+
+// Counts triangles on the engine; also returns per-run stats.
+struct TriangleResult {
+  std::uint64_t triangles = 0;
+  WorkloadResult workload;
+};
+
+[[nodiscard]] TriangleResult run_triangle_count(
+    const Graph& graph, std::span<const Assignment> assignments,
+    const ClusterModel& model);
+
+// Single-machine reference (sorted adjacency intersection).
+[[nodiscard]] std::uint64_t reference_triangle_count(const Graph& graph);
+
+}  // namespace adwise

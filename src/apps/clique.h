@@ -1,0 +1,128 @@
+// Random-walk clique search via probabilistic flooding (Fig. 7f workload).
+//
+// The paper searches Orkut for cliques of sizes 3, 4 and 5: vertices
+// exchange messages carrying partially found cliques and probabilistically
+// (P = 0.5) forward them when connected to every vertex in the partial
+// clique. Membership checks use a global adjacency oracle (the engine's
+// job in the paper's implementation); message routing still pays full
+// network cost, so the traffic remains replication-sensitive.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/apps/pagerank.h"  // WorkloadResult
+#include "src/engine/engine.h"
+#include "src/graph/csr.h"
+#include "src/graph/graph.h"
+
+namespace adwise {
+
+class CliqueProgram {
+ public:
+  using Message = std::vector<VertexId>;  // partial clique, sorted
+
+  struct Value {
+    std::uint64_t found = 0;
+    std::vector<Message> pending;
+  };
+  static constexpr bool kHasCombiner = false;
+
+  struct Params {
+    std::uint32_t target_size = 4;
+    double forward_prob = 0.5;  // the paper's probabilistic flooding P
+    std::size_t max_pending = 64;
+  };
+
+  // csr must outlive the program (adjacency oracle).
+  CliqueProgram(Params params, const Csr* csr) : params_(params), csr_(csr) {}
+
+  [[nodiscard]] Value init(VertexId /*v*/, std::uint32_t /*degree*/) const {
+    return {};
+  }
+
+  [[nodiscard]] Value apply(VertexId v, const Value& current,
+                            std::span<const Message> inbox, ApplyInfo* info,
+                            EngineContext& /*ctx*/) const {
+    Value next;
+    next.found = current.found;
+    for (const Message& clique : inbox) {
+      if (contains(clique, v)) continue;
+      if (!connected_to_all(v, clique)) continue;
+      Message extended = clique;
+      insert_sorted(extended, v);
+      if (extended.size() == params_.target_size) {
+        ++next.found;
+        continue;
+      }
+      if (next.pending.size() < params_.max_pending) {
+        next.pending.push_back(std::move(extended));
+      }
+    }
+    info->activate = !next.pending.empty();
+    info->value_changed = true;
+    return next;
+  }
+
+  template <typename EmitFn>
+  void scatter(VertexId /*u*/, const Value& value, VertexId neighbor,
+               EngineContext& ctx, EmitFn&& emit) const {
+    for (const Message& clique : value.pending) {
+      if (contains(clique, neighbor)) continue;
+      if (ctx.rng->next_bool(params_.forward_prob)) emit(clique);
+    }
+  }
+
+  static std::size_t message_bytes(const Message& m) {
+    return sizeof(VertexId) * m.size() + 8;
+  }
+
+  static std::size_t value_bytes(const Value& value) {
+    std::size_t bytes = 16;
+    for (const Message& m : value.pending) bytes += message_bytes(m);
+    return bytes;
+  }
+
+ private:
+  static bool contains(const Message& clique, VertexId v) {
+    for (const VertexId x : clique) {
+      if (x == v) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool connected_to_all(VertexId v,
+                                      const Message& clique) const {
+    for (const VertexId x : clique) {
+      if (!csr_->has_edge(v, x)) return false;
+    }
+    return true;
+  }
+
+  static void insert_sorted(Message& clique, VertexId v) {
+    clique.insert(std::upper_bound(clique.begin(), clique.end(), v), v);
+  }
+
+  Params params_;
+  const Csr* csr_;
+};
+
+struct CliqueSearchConfig {
+  std::vector<std::uint32_t> sizes = {3, 4, 5};  // paper's clique sizes
+  std::uint32_t starts = 10;                     // random start vertices
+  double forward_prob = 0.5;
+  std::size_t max_pending = 64;
+  std::uint32_t max_supersteps = 12;
+  std::uint64_t seed = 4242;
+};
+
+// One engine run per clique size; block_seconds holds one entry per size.
+// out_found (optional) receives the cliques found per size.
+[[nodiscard]] WorkloadResult run_clique_searches(
+    const Graph& graph, std::span<const Assignment> assignments,
+    const ClusterModel& model, const CliqueSearchConfig& config,
+    std::vector<std::uint64_t>* out_found = nullptr);
+
+}  // namespace adwise

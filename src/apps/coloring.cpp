@@ -1,0 +1,33 @@
+#include "src/apps/coloring.h"
+
+namespace adwise {
+
+WorkloadResult run_coloring_blocks(const Graph& graph,
+                                   std::span<const Assignment> assignments,
+                                   const ClusterModel& model,
+                                   std::uint32_t blocks,
+                                   std::uint32_t iterations_per_block,
+                                   std::vector<std::uint32_t>* out_colors) {
+  Engine<ColoringProgram> engine(graph, assignments, model,
+                                 ColoringProgram(graph.num_vertices()));
+  engine.activate_all();
+
+  WorkloadResult result;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const RunStats stats = engine.run(iterations_per_block);
+    result.block_seconds.push_back(stats.seconds);
+    result.total += stats;
+  }
+  if (out_colors != nullptr) *out_colors = engine.values();
+  return result;
+}
+
+bool is_proper_coloring(const Graph& graph,
+                        std::span<const std::uint32_t> colors) {
+  for (const Edge& e : graph.edges()) {
+    if (e.u != e.v && colors[e.u] == colors[e.v]) return false;
+  }
+  return true;
+}
+
+}  // namespace adwise

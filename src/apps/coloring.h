@@ -1,0 +1,139 @@
+// Speculative greedy graph coloring (paper §IV-A2: Fig. 7e workload).
+//
+// PowerGraph-style distributed coloring: every vertex broadcasts its color
+// when it changes; each master caches the colors it has heard from its
+// neighbors. A vertex moves when a lower-id (higher-priority) neighbor holds
+// its color, choosing the smallest color absent from the cached neighborhood.
+// Simultaneous moves can collide speculatively; the next round's messages
+// resolve them (the lower id keeps the color). Converged vertices fall
+// silent, so message traffic — and the simulated latency per block — decays
+// as the coloring stabilizes, and the engine reaches the idle state.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/apps/pagerank.h"  // WorkloadResult
+#include "src/engine/engine.h"
+#include "src/graph/graph.h"
+
+namespace adwise {
+
+class ColoringProgram {
+ public:
+  using Value = std::uint32_t;  // color
+
+  struct Message {
+    VertexId source;
+    std::uint32_t color;
+  };
+  static constexpr bool kHasCombiner = false;
+
+  explicit ColoringProgram(VertexId num_vertices)
+      : neighbor_colors_(
+            std::make_shared<std::vector<NeighborColors>>(num_vertices)) {}
+
+  [[nodiscard]] Value init(VertexId /*v*/, std::uint32_t /*degree*/) const {
+    return 0;
+  }
+
+  [[nodiscard]] Value apply(VertexId v, const Value& current,
+                            std::span<const Message> inbox, ApplyInfo* info,
+                            EngineContext& ctx) const {
+    // The neighbor-color cache lives at the master — exactly where apply
+    // runs — so reading it costs no network traffic.
+    NeighborColors& cache = (*neighbor_colors_)[v];
+    for (const Message& m : inbox) cache.set(m.source, m.color);
+
+    if (ctx.superstep == 0) {
+      // Everyone announces the initial color once.
+      info->activate = true;
+      info->value_changed = false;
+      return current;
+    }
+    const bool must_move = cache.holds_lower_conflict(v, current);
+    if (!must_move) {
+      info->activate = false;
+      info->value_changed = false;
+      return current;
+    }
+    const std::uint32_t next = cache.smallest_free_color(scratch_);
+    info->activate = next != current;
+    info->value_changed = next != current;
+    return next;
+  }
+
+  template <typename EmitFn>
+  void scatter(VertexId u, const Value& value, VertexId /*neighbor*/,
+               EngineContext& /*ctx*/, EmitFn&& emit) const {
+    emit(Message{u, value});
+  }
+
+  static std::size_t message_bytes(const Message&) { return sizeof(Message); }
+  static std::size_t value_bytes(const Value&) { return sizeof(Value); }
+
+ private:
+  // Sorted (neighbor id -> last heard color) table; compact and
+  // binary-searchable, sized by the vertex's live degree.
+  class NeighborColors {
+   public:
+    void set(VertexId id, std::uint32_t color) {
+      auto it = std::lower_bound(
+          entries_.begin(), entries_.end(), id,
+          [](const auto& entry, VertexId key) { return entry.first < key; });
+      if (it != entries_.end() && it->first == id) {
+        it->second = color;
+      } else {
+        entries_.insert(it, {id, color});
+      }
+    }
+
+    [[nodiscard]] bool holds_lower_conflict(VertexId v,
+                                            std::uint32_t color) const {
+      for (const auto& [id, c] : entries_) {
+        if (id >= v) break;  // sorted: lower ids first
+        if (c == color) return true;
+      }
+      return false;
+    }
+
+    [[nodiscard]] std::uint32_t smallest_free_color(
+        std::vector<std::uint32_t>& scratch) const {
+      scratch.clear();
+      for (const auto& [id, c] : entries_) scratch.push_back(c);
+      std::sort(scratch.begin(), scratch.end());
+      std::uint32_t mex = 0;
+      for (const std::uint32_t c : scratch) {
+        if (c == mex) {
+          ++mex;
+        } else if (c > mex) {
+          break;
+        }
+      }
+      return mex;
+    }
+
+   private:
+    std::vector<std::pair<VertexId, std::uint32_t>> entries_;
+  };
+
+  std::shared_ptr<std::vector<NeighborColors>> neighbor_colors_;
+  mutable std::vector<std::uint32_t> scratch_;
+};
+
+// Runs `blocks` x `iterations_per_block` coloring supersteps (stopping early
+// once converged). If out_colors is non-null it receives the final coloring.
+[[nodiscard]] WorkloadResult run_coloring_blocks(
+    const Graph& graph, std::span<const Assignment> assignments,
+    const ClusterModel& model, std::uint32_t blocks,
+    std::uint32_t iterations_per_block,
+    std::vector<std::uint32_t>* out_colors = nullptr);
+
+// True if colors is a proper coloring of graph (no monochromatic edge).
+[[nodiscard]] bool is_proper_coloring(const Graph& graph,
+                                      std::span<const std::uint32_t> colors);
+
+}  // namespace adwise

@@ -1,0 +1,48 @@
+#include "src/apps/pagerank.h"
+
+#include "src/graph/csr.h"
+
+namespace adwise {
+
+WorkloadResult run_pagerank_blocks(const Graph& graph,
+                                   std::span<const Assignment> assignments,
+                                   const ClusterModel& model,
+                                   std::uint32_t blocks,
+                                   std::uint32_t iterations_per_block,
+                                   std::vector<double>* out_ranks) {
+  PageRankProgram program(graph.degrees());
+  Engine<PageRankProgram> engine(graph, assignments, model,
+                                 std::move(program));
+  engine.activate_all();
+
+  WorkloadResult result;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const RunStats stats = engine.run(iterations_per_block);
+    result.block_seconds.push_back(stats.seconds);
+    result.total += stats;
+  }
+  if (out_ranks != nullptr) *out_ranks = engine.values();
+  return result;
+}
+
+std::vector<double> reference_pagerank(const Graph& graph,
+                                       std::uint32_t iterations,
+                                       double damping) {
+  const Csr csr(graph);
+  const VertexId n = graph.num_vertices();
+  std::vector<double> rank(n, 1.0);
+  std::vector<double> next(n, 0.0);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    for (VertexId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (const VertexId u : csr.neighbors(v)) {
+        sum += rank[u] / static_cast<double>(csr.degree(u));
+      }
+      next[v] = (1.0 - damping) + damping * sum;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+}  // namespace adwise

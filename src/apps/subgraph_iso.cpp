@@ -1,0 +1,41 @@
+#include "src/apps/subgraph_iso.h"
+
+#include "src/common/rng.h"
+
+namespace adwise {
+
+WorkloadResult run_circle_searches(const Graph& graph,
+                                   std::span<const Assignment> assignments,
+                                   const ClusterModel& model,
+                                   const CircleSearchConfig& config,
+                                   std::vector<std::uint64_t>* out_found) {
+  WorkloadResult result;
+  Rng rng(config.seed);
+  for (const std::uint32_t length : config.lengths) {
+    SubgraphIsoProgram::Params params;
+    params.target_length = length;
+    params.max_pending = config.max_pending;
+    params.forward_prob = config.forward_prob;
+    Engine<SubgraphIsoProgram> engine(graph, assignments, model,
+                                      SubgraphIsoProgram(params),
+                                      config.seed ^ length);
+    for (std::uint32_t s = 0; s < config.seeds_per_search; ++s) {
+      const auto v =
+          static_cast<VertexId>(rng.next_below(graph.num_vertices()));
+      engine.deliver_local(v, {});  // empty path: the search roots at v
+    }
+    // Paths grow by one vertex per superstep; length+2 covers the full
+    // exploration plus the returning hop.
+    const RunStats stats = engine.run(length + 2);
+    result.block_seconds.push_back(stats.seconds);
+    result.total += stats;
+    if (out_found != nullptr) {
+      std::uint64_t found = 0;
+      for (const auto& value : engine.values()) found += value.found;
+      out_found->push_back(found);
+    }
+  }
+  return result;
+}
+
+}  // namespace adwise

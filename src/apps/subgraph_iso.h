@@ -1,0 +1,128 @@
+// Subgraph isomorphism — circle (simple cycle) search (Fig. 7d workload).
+//
+// The paper searches the Brain graph consecutively for circles of path
+// lengths 19, 15 and 21 with a message-passing algorithm: messages carry
+// partial paths that grow along edges; a circle is found when a full-length
+// path returns to its start vertex. This is communication-heavy by design
+// (payloads are whole paths, no combiner) — the NP-complete workload the
+// paper uses to show that better partitioning pays off most for expensive
+// algorithms.
+//
+// Scale guards (documented simulation choices, see DESIGN.md): searches
+// start from a configurable number of seed vertices; each vertex retains at
+// most max_pending partial paths per superstep and forwards each with
+// probability forward_prob. The guards bound the exponential growth without
+// changing how the traffic scales with replication degree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/apps/pagerank.h"  // WorkloadResult
+#include "src/engine/engine.h"
+#include "src/graph/graph.h"
+
+namespace adwise {
+
+class SubgraphIsoProgram {
+ public:
+  using Message = std::vector<VertexId>;  // partial path, in visit order
+
+  struct Value {
+    std::uint64_t found = 0;            // circles detected at this vertex
+    std::vector<Message> pending;       // paths to extend this superstep
+  };
+  static constexpr bool kHasCombiner = false;
+
+  struct Params {
+    std::uint32_t target_length = 19;   // vertices on the circle
+    std::size_t max_pending = 32;       // per-vertex growth cap
+    double forward_prob = 1.0;          // per-arc forwarding probability
+  };
+
+  explicit SubgraphIsoProgram(Params params) : params_(params) {}
+
+  [[nodiscard]] Value init(VertexId /*v*/, std::uint32_t /*degree*/) const {
+    return {};
+  }
+
+  [[nodiscard]] Value apply(VertexId v, const Value& current,
+                            std::span<const Message> inbox, ApplyInfo* info,
+                            EngineContext& /*ctx*/) const {
+    Value next;
+    next.found = current.found;
+    for (const Message& path : inbox) {
+      if (path.size() == params_.target_length) {
+        // A full path arrives back at its start: circle found.
+        if (!path.empty() && path.front() == v) ++next.found;
+        continue;
+      }
+      if (contains(path, v)) continue;
+      Message extended = path;
+      extended.push_back(v);
+      if (next.pending.size() < params_.max_pending) {
+        next.pending.push_back(std::move(extended));
+      }
+    }
+    info->activate = !next.pending.empty();
+    info->value_changed = true;  // pending travels to the mirrors
+    return next;
+  }
+
+  template <typename EmitFn>
+  void scatter(VertexId /*u*/, const Value& value, VertexId neighbor,
+               EngineContext& ctx, EmitFn&& emit) const {
+    for (const Message& path : value.pending) {
+      if (path.size() == params_.target_length) {
+        // Complete paths only travel back to their start vertex.
+        if (neighbor == path.front()) emit(path);
+        continue;
+      }
+      if (contains(path, neighbor)) continue;
+      if (params_.forward_prob >= 1.0 ||
+          ctx.rng->next_bool(params_.forward_prob)) {
+        emit(path);
+      }
+    }
+  }
+
+  static std::size_t message_bytes(const Message& m) {
+    return sizeof(VertexId) * m.size() + 8;
+  }
+
+  static std::size_t value_bytes(const Value& value) {
+    std::size_t bytes = 16;
+    for (const Message& m : value.pending) bytes += message_bytes(m);
+    return bytes;
+  }
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  static bool contains(const Message& path, VertexId v) {
+    for (const VertexId x : path) {
+      if (x == v) return true;
+    }
+    return false;
+  }
+
+  Params params_;
+};
+
+struct CircleSearchConfig {
+  std::vector<std::uint32_t> lengths = {19, 15, 21};  // paper's three runs
+  std::uint32_t seeds_per_search = 8;
+  std::size_t max_pending = 32;
+  double forward_prob = 1.0;
+  std::uint64_t seed = 99;
+};
+
+// Runs the consecutive circle searches; block_seconds holds one entry per
+// searched length. out_found (optional) receives the circles found per run.
+[[nodiscard]] WorkloadResult run_circle_searches(
+    const Graph& graph, std::span<const Assignment> assignments,
+    const ClusterModel& model, const CircleSearchConfig& config,
+    std::vector<std::uint64_t>* out_found = nullptr);
+
+}  // namespace adwise

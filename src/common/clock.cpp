@@ -1,0 +1,15 @@
+#include "src/common/clock.h"
+
+namespace adwise {
+
+std::chrono::nanoseconds SteadyClock::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now().time_since_epoch());
+}
+
+SteadyClock& SteadyClock::instance() {
+  static SteadyClock clock;
+  return clock;
+}
+
+}  // namespace adwise

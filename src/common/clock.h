@@ -1,0 +1,64 @@
+// Monotonic clock abstraction.
+//
+// The ADWISE adaptive window controller trades partitioning latency against
+// quality by measuring wall-clock time. Routing all time reads through this
+// interface lets production code use the steady clock while tests drive the
+// controller deterministically with FakeClock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace adwise {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Nanoseconds on a monotonic timeline. Only differences are meaningful.
+  [[nodiscard]] virtual std::chrono::nanoseconds now() const = 0;
+};
+
+// Wraps std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] std::chrono::nanoseconds now() const override;
+
+  // Shared process-wide instance; the class is stateless.
+  static SteadyClock& instance();
+};
+
+// Manually advanced clock for deterministic tests.
+class FakeClock final : public Clock {
+ public:
+  [[nodiscard]] std::chrono::nanoseconds now() const override { return now_; }
+
+  void advance(std::chrono::nanoseconds delta) { now_ += delta; }
+  void set(std::chrono::nanoseconds t) { now_ = t; }
+
+ private:
+  std::chrono::nanoseconds now_{0};
+};
+
+// Measures elapsed wall time against a Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock = SteadyClock::instance())
+      : clock_(&clock), start_(clock.now()) {}
+
+  void restart() { start_ = clock_->now(); }
+
+  [[nodiscard]] std::chrono::nanoseconds elapsed() const {
+    return clock_->now() - start_;
+  }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(elapsed()).count();
+  }
+
+ private:
+  const Clock* clock_;
+  std::chrono::nanoseconds start_;
+};
+
+}  // namespace adwise

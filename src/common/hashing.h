@@ -1,0 +1,29 @@
+// Stateless hash functions used by the hashing-family partitioners.
+//
+// Hash, Grid and DBH partition by hashing vertex ids; keeping the mixers here
+// (rather than std::hash, whose quality is unspecified) makes partitioning
+// deterministic across platforms and standard-library versions.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace adwise {
+
+// Mix a single 64-bit key with a seed.
+[[nodiscard]] constexpr std::uint64_t hash_u64(std::uint64_t key,
+                                               std::uint64_t seed = 0) {
+  return splitmix64(key ^ (seed * 0x9e3779b97f4a7c15ULL));
+}
+
+// Order-independent hash of an edge (u,v) == (v,u).
+[[nodiscard]] constexpr std::uint64_t hash_edge(std::uint64_t u,
+                                                std::uint64_t v,
+                                                std::uint64_t seed = 0) {
+  const std::uint64_t lo = u < v ? u : v;
+  const std::uint64_t hi = u < v ? v : u;
+  return hash_u64(hash_u64(lo, seed) ^ (hi + 0x517cc1b727220a95ULL), seed);
+}
+
+}  // namespace adwise

@@ -1,0 +1,133 @@
+// Compact set of partition (or machine) ids.
+//
+// The vertex cache of every streaming partitioner stores one replica set per
+// vertex (paper §II, Table I: R_u ⊆ P). Partition counts in the paper's
+// experiments are small (k = 32), so the common case is a single inline
+// 64-bit word; larger k spills to heap words. The set is append-only in
+// practice (replicas are never removed during streaming), but erase is
+// provided for completeness.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace adwise {
+
+class ReplicaSet {
+ public:
+  ReplicaSet() = default;
+
+  // Inserts id; returns true if it was newly inserted.
+  bool insert(std::uint32_t id) {
+    std::uint64_t& word = word_for(id);
+    const std::uint64_t mask = bit_mask(id);
+    if ((word & mask) != 0) return false;
+    word |= mask;
+    ++count_;
+    return true;
+  }
+
+  // Removes id; returns true if it was present.
+  bool erase(std::uint32_t id) {
+    if (!contains(id)) return false;
+    word_for(id) &= ~bit_mask(id);
+    --count_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t id) const {
+    if (id < 64) return (inline_word_ & bit_mask(id)) != 0;
+    const std::size_t w = id / 64 - 1;
+    return w < spill_.size() && (spill_[w] & bit_mask(id)) != 0;
+  }
+
+  [[nodiscard]] std::uint32_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  void clear() {
+    inline_word_ = 0;
+    spill_.clear();
+    count_ = 0;
+  }
+
+  // Number of ids present in both sets.
+  [[nodiscard]] std::uint32_t intersection_size(const ReplicaSet& other) const {
+    std::uint32_t total = std::popcount(inline_word_ & other.inline_word_);
+    const std::size_t n = std::min(spill_.size(), other.spill_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      total += std::popcount(spill_[i] & other.spill_[i]);
+    }
+    return total;
+  }
+
+  [[nodiscard]] bool intersects(const ReplicaSet& other) const {
+    if ((inline_word_ & other.inline_word_) != 0) return true;
+    const std::size_t n = std::min(spill_.size(), other.spill_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((spill_[i] & other.spill_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  // Calls fn(id) for every id in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    visit_word(inline_word_, 0, fn);
+    for (std::size_t w = 0; w < spill_.size(); ++w) {
+      visit_word(spill_[w], (w + 1) * 64, fn);
+    }
+  }
+
+  // Smallest id in the set. Precondition: !empty().
+  [[nodiscard]] std::uint32_t first() const {
+    if (inline_word_ != 0) {
+      return static_cast<std::uint32_t>(std::countr_zero(inline_word_));
+    }
+    for (std::size_t w = 0; w < spill_.size(); ++w) {
+      if (spill_[w] != 0) {
+        return static_cast<std::uint32_t>((w + 1) * 64 +
+                                          std::countr_zero(spill_[w]));
+      }
+    }
+    return 0;  // unreachable for non-empty sets
+  }
+
+  friend bool operator==(const ReplicaSet& a, const ReplicaSet& b) {
+    if (a.count_ != b.count_ || a.inline_word_ != b.inline_word_) return false;
+    const std::size_t n = std::max(a.spill_.size(), b.spill_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t wa = i < a.spill_.size() ? a.spill_[i] : 0;
+      const std::uint64_t wb = i < b.spill_.size() ? b.spill_[i] : 0;
+      if (wa != wb) return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr std::uint64_t bit_mask(std::uint32_t id) {
+    return std::uint64_t{1} << (id % 64);
+  }
+
+  std::uint64_t& word_for(std::uint32_t id) {
+    if (id < 64) return inline_word_;
+    const std::size_t w = id / 64 - 1;
+    if (w >= spill_.size()) spill_.resize(w + 1, 0);
+    return spill_[w];
+  }
+
+  template <typename Fn>
+  static void visit_word(std::uint64_t word, std::uint32_t base, Fn&& fn) {
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      fn(base + static_cast<std::uint32_t>(bit));
+      word &= word - 1;
+    }
+  }
+
+  std::uint64_t inline_word_ = 0;
+  std::vector<std::uint64_t> spill_;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace adwise

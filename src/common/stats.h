@@ -1,0 +1,85 @@
+// Small statistics helpers shared by the controller, metrics and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace adwise {
+
+// Streaming mean without storing samples.
+class RunningMean {
+ public:
+  void add(double x) {
+    ++n_;
+    mean_ += (x - mean_) / static_cast<double>(n_);
+  }
+
+  void reset() {
+    n_ = 0;
+    mean_ = 0.0;
+  }
+
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+};
+
+// Exponentially weighted moving average; alpha is the weight of new samples.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+
+  void add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+// Summary statistics of a sample vector (sorts a copy).
+[[nodiscard]] inline Summary summarize(std::vector<double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  double total = 0.0;
+  for (double x : xs) total += x;
+  s.mean = total / static_cast<double>(xs.size());
+  auto quantile = [&xs](double q) {
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  };
+  s.p50 = quantile(0.5);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+}  // namespace adwise

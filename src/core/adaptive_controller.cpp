@@ -1,0 +1,80 @@
+#include "src/core/adaptive_controller.h"
+
+#include <algorithm>
+
+namespace adwise {
+
+AdaptiveController::AdaptiveController(const AdwiseOptions& opts,
+                                       const Clock& clock,
+                                       std::size_t total_edges)
+    : opts_(opts),
+      clock_(&clock),
+      total_edges_(total_edges),
+      start_(clock.now()),
+      batch_start_(start_),
+      window_(std::max<std::uint64_t>(1, opts.initial_window)),
+      max_seen_(window_) {}
+
+void AdaptiveController::on_assignment(double score, std::uint64_t assigned) {
+  batch_score_.add(score);
+  ++batch_count_;
+  if (!opts_.adaptive_window) return;
+  if (batch_count_ < window_) return;
+  adapt(assigned);
+}
+
+void AdaptiveController::adapt(std::uint64_t assigned) {
+  const auto now = clock_->now();
+  const double batch_seconds =
+      std::chrono::duration<double>(now - batch_start_).count();
+  const double lat_w =
+      batch_seconds / static_cast<double>(std::max<std::uint64_t>(
+                          batch_count_, 1));
+
+  const std::uint64_t remaining =
+      total_edges_ > assigned ? total_edges_ - assigned : 0;
+  if (remaining == 0) {
+    // The stream is exhausted; the window only drains from here, so growing
+    // or shrinking it would be meaningless (and would distort the report).
+    prev_batch_score_ = batch_score_.mean();
+    has_prev_batch_ = true;
+    batch_score_.reset();
+    batch_count_ = 0;
+    batch_start_ = now;
+    return;
+  }
+
+  bool c2;
+  if (opts_.latency_preference_ms < 0) {
+    c2 = true;  // no preference: latency never vetoes growth
+  } else {
+    const double budget_seconds =
+        static_cast<double>(opts_.latency_preference_ms) / 1e3;
+    const double elapsed =
+        std::chrono::duration<double>(now - start_).count();
+    const double l_prime = budget_seconds - elapsed;
+    c2 = l_prime > 0.0 &&
+         lat_w < l_prime / static_cast<double>(remaining);
+  }
+
+  // C1: the current batch's decisions were at least as good as the previous
+  // batch's (mean best-score did not degrade).
+  const bool c1 = !has_prev_batch_ || batch_score_.mean() >= prev_batch_score_;
+
+  if (c1 && c2) {
+    window_ = std::min(window_ * 2, opts_.max_window);
+  } else if (!c2) {
+    window_ = std::max<std::uint64_t>(window_ / 2, 1);
+  }
+  max_seen_ = std::max(max_seen_, window_);
+  ++adaptations_;
+  trace_.push_back({assigned, window_});
+
+  prev_batch_score_ = batch_score_.mean();
+  has_prev_batch_ = true;
+  batch_score_.reset();
+  batch_count_ = 0;
+  batch_start_ = now;
+}
+
+}  // namespace adwise

@@ -1,0 +1,67 @@
+// Adaptive window controller (paper §III-A, Algorithm 1 lines 11–17).
+//
+// After every w assignments the controller revisits the window size:
+//   w <- 2w     if (C1) the mean best-score of the batch did not degrade
+//               relative to the previous batch AND (C2) the measured mean
+//               per-edge latency lat_w stays below the per-edge budget
+//               L' / |E'| (remaining budget over remaining edges);
+//   w <- w/2    if C2 is violated;
+//   w unchanged otherwise.
+// A latency preference of 0 never satisfies C2, so w collapses to 1 —
+// single-edge streaming, exactly as the paper notes.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/stats.h"
+#include "src/core/options.h"
+
+namespace adwise {
+
+class AdaptiveController {
+ public:
+  AdaptiveController(const AdwiseOptions& opts, const Clock& clock,
+                     std::size_t total_edges);
+
+  // Reports one completed assignment with its chosen score; assigned is the
+  // total number of assignments so far. Performs the adaptive step when a
+  // full batch of window_size() assignments has been observed.
+  void on_assignment(double score, std::uint64_t assigned);
+
+  [[nodiscard]] std::uint64_t window_size() const { return window_; }
+
+  // Introspection (used by tests and by the partitioner's report).
+  [[nodiscard]] std::uint64_t adaptations() const { return adaptations_; }
+  [[nodiscard]] std::uint64_t max_window_reached() const { return max_seen_; }
+
+  // One sample per adaptation step: the window size chosen after seeing
+  // `assigned` assignments. Lets users plot the controller's trajectory
+  // (ramp-up, equilibrium, end-of-budget shrink).
+  struct TracePoint {
+    std::uint64_t assigned;
+    std::uint64_t window;
+  };
+  [[nodiscard]] const std::vector<TracePoint>& trace() const { return trace_; }
+
+ private:
+  void adapt(std::uint64_t assigned);
+
+  const AdwiseOptions opts_;
+  const Clock* clock_;
+  std::size_t total_edges_;
+  std::chrono::nanoseconds start_;
+  std::chrono::nanoseconds batch_start_;
+  RunningMean batch_score_;
+  double prev_batch_score_ = 0.0;
+  bool has_prev_batch_ = false;
+  std::uint64_t window_;
+  std::uint64_t batch_count_ = 0;
+  std::uint64_t adaptations_ = 0;
+  std::uint64_t max_seen_;
+  std::vector<TracePoint> trace_;
+};
+
+}  // namespace adwise

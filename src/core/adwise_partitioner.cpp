@@ -1,0 +1,200 @@
+#include "src/core/adwise_partitioner.h"
+
+#include <cassert>
+#include <limits>
+
+namespace adwise {
+
+namespace {
+
+// Running estimate of the average window-edge score g_avg defining the
+// candidate threshold Theta = g_avg + epsilon (§III-B). An EWMA tracks the
+// drift of score magnitudes through the stream.
+class ThresholdTracker {
+ public:
+  explicit ThresholdTracker(double epsilon) : epsilon_(epsilon), avg_(0.05) {}
+
+  void observe(double score) { avg_.add(score); }
+
+  // Theta; -inf until the first observation so initial edges all qualify.
+  [[nodiscard]] double theta() const {
+    if (!avg_.initialized()) return -std::numeric_limits<double>::infinity();
+    return avg_.value() + epsilon_;
+  }
+
+ private:
+  double epsilon_;
+  Ewma avg_;
+};
+
+}  // namespace
+
+void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
+                                  const AssignmentSink& sink) {
+  report_ = Report{};
+  const Clock& clock = opts_.clock ? *opts_.clock : SteadyClock::instance();
+  const std::size_t total_edges = stream.size_hint();
+
+  AdwiseScorer scorer(state, opts_, total_edges);
+  AdaptiveController controller(opts_, clock, total_edges);
+  EdgeWindow window(state.num_vertices());
+  ThresholdTracker threshold(opts_.candidate_epsilon);
+  Stopwatch watch(clock);
+
+  std::uint64_t round = 0;
+
+  // Recomputes the cached best placement of a slot and refreshes the
+  // candidate threshold statistics.
+  auto rescore = [&](std::uint32_t id) {
+    auto& s = window.slot(id);
+    const ScoredPlacement placed =
+        scorer.best_placement(s.edge, &window, id);
+    s.best_score = placed.score;
+    s.best_partition = placed.partition;
+    s.dirty = false;
+    s.scored_at = round;
+    threshold.observe(placed.score);
+    ++report_.score_computations;
+  };
+
+  // Scores a freshly inserted edge and routes it to the candidate or
+  // secondary set.
+  auto classify = [&](std::uint32_t id) {
+    rescore(id);
+    const bool high =
+        !opts_.lazy_traversal ||
+        window.slot(id).best_score > threshold.theta();
+    window.set_candidate(id, high);
+  };
+
+  // Selects the slot to assign next. Returns EdgeWindow::npos iff the
+  // window is empty.
+  auto select = [&]() -> std::uint32_t {
+    if (window.empty()) return EdgeWindow::npos;
+
+    std::uint32_t best_slot = EdgeWindow::npos;
+    double best_score = -std::numeric_limits<double>::infinity();
+    std::uint64_t best_sequence = 0;
+    auto consider = [&](std::uint32_t id) {
+      const auto& s = window.slot(id);
+      // Ties resolve FIFO so lazy and eager traversal agree exactly.
+      if (best_slot == EdgeWindow::npos || s.best_score > best_score ||
+          (s.best_score == best_score && s.sequence < best_sequence)) {
+        best_slot = id;
+        best_score = s.best_score;
+        best_sequence = s.sequence;
+      }
+    };
+
+    if (!opts_.lazy_traversal) {
+      // Eager traversal: recompute every window edge, take the argmax.
+      window.for_each_slot([&](std::uint32_t id) {
+        rescore(id);
+        consider(id);
+      });
+      return best_slot;
+    }
+
+    // Lazy traversal: only candidates are (re-)scored. Cached scores are
+    // reused unless the slot is dirty (incident replica change) or stale
+    // (balance term drift).
+    const auto cands = window.candidates();
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      const std::uint32_t id = cands[i];
+      auto& s = window.slot(id);
+      if (s.dirty || round - s.scored_at >= opts_.candidate_refresh_interval) {
+        rescore(id);
+      }
+      consider(id);
+    }
+    if (best_slot != EdgeWindow::npos) {
+      // Demote candidates that fell strictly below the threshold — except
+      // the winner, which is about to be assigned anyway.
+      const double theta = threshold.theta();
+      for (std::size_t i = window.candidates().size(); i-- > 0;) {
+        const std::uint32_t id = window.candidates()[i];
+        if (id != best_slot && window.slot(id).best_score < theta) {
+          window.set_candidate(id, false);
+        }
+      }
+      return best_slot;
+    }
+
+    // Candidate set drained: rescan the secondary set, promoting everything
+    // above Theta (§III-B step two).
+    ++report_.secondary_rescans;
+    window.for_each_slot([&](std::uint32_t id) {
+      if (window.is_candidate(id)) return;
+      rescore(id);
+      if (window.slot(id).best_score > threshold.theta()) {
+        window.set_candidate(id, true);
+      }
+      consider(id);
+    });
+    if (!window.candidates().empty()) {
+      // Re-select among the promoted candidates.
+      best_slot = EdgeWindow::npos;
+      best_score = -std::numeric_limits<double>::infinity();
+      for (const std::uint32_t id : window.candidates()) consider(id);
+    } else {
+      // Everything scored below average: make progress with the best
+      // secondary edge regardless.
+      ++report_.forced_secondary;
+    }
+    return best_slot;
+  };
+
+  // Replica-set growth re-opens the question whether incident secondary
+  // edges now belong in the candidate set (§III-B step three).
+  auto reassess_incident = [&](VertexId x) {
+    window.for_each_incident(x, [&](std::uint32_t id) {
+      ++report_.event_reassessments;
+      if (window.is_candidate(id)) {
+        window.slot(id).dirty = true;
+        return;
+      }
+      rescore(id);
+      if (window.slot(id).best_score > threshold.theta()) {
+        window.set_candidate(id, true);
+      }
+    });
+  };
+
+  Edge incoming;
+  while (true) {
+    // Refill the window up to the current size w (Algorithm 1 lines 5, 14).
+    while (window.size() < controller.window_size() &&
+           stream.next(incoming)) {
+      classify(window.insert(incoming));
+    }
+
+    const std::uint32_t chosen = select();
+    if (chosen == EdgeWindow::npos) break;
+
+    const Edge edge = window.slot(chosen).edge;
+    const PartitionId target = window.slot(chosen).best_partition;
+    const double chosen_score = window.slot(chosen).best_score;
+    window.remove(chosen);
+
+    const auto effect = state.assign(edge, target);
+    if (sink) sink(edge, target);
+    scorer.on_assignment();
+    ++round;
+
+    if (opts_.lazy_traversal) {
+      if (effect.new_replica_u) reassess_incident(edge.u);
+      if (effect.new_replica_v) reassess_incident(edge.v);
+    }
+
+    controller.on_assignment(chosen_score, state.assigned_edges());
+  }
+
+  report_.assignments = round;
+  report_.max_window = controller.max_window_reached();
+  report_.adaptations = controller.adaptations();
+  report_.final_lambda = scorer.lambda();
+  report_.seconds = watch.elapsed_seconds();
+  report_.window_trace = controller.trace();
+}
+
+}  // namespace adwise

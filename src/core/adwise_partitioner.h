@@ -1,0 +1,50 @@
+// ADWISE — ADaptive WIndow-based Streaming Edge partitioner (paper §III).
+//
+// Implements Algorithm 1: maintain a window W of up to w edges, repeatedly
+// assign the window edge with the highest score g(e, p) to its best
+// partition, refill from the stream, and adapt w every w assignments via
+// conditions C1/C2 (AdaptiveController). The lazy window traversal of §III-B
+// keeps score (re-)computations focused on the candidate set.
+#pragma once
+
+#include "src/core/adaptive_controller.h"
+#include "src/core/options.h"
+#include "src/core/scoring.h"
+#include "src/core/window.h"
+#include "src/partition/partitioner.h"
+
+namespace adwise {
+
+class AdwisePartitioner final : public EdgePartitioner {
+ public:
+  explicit AdwisePartitioner(AdwiseOptions opts = {}) : opts_(opts) {}
+
+  [[nodiscard]] std::string_view name() const override { return "adwise"; }
+
+  void partition(EdgeStream& stream, PartitionState& state,
+                 const AssignmentSink& sink = {}) override;
+
+  // Introspection into the last partition() run.
+  struct Report {
+    std::uint64_t assignments = 0;
+    std::uint64_t score_computations = 0;
+    std::uint64_t secondary_rescans = 0;     // full Q scans (C drained)
+    std::uint64_t forced_secondary = 0;      // assignments taken from Q
+    std::uint64_t event_reassessments = 0;   // replica-change triggered
+    std::uint64_t max_window = 0;
+    std::uint64_t adaptations = 0;
+    double final_lambda = 0.0;
+    double seconds = 0.0;
+    // Window size after each adaptation step (controller trajectory).
+    std::vector<AdaptiveController::TracePoint> window_trace;
+  };
+  [[nodiscard]] const Report& last_report() const { return report_; }
+
+  [[nodiscard]] const AdwiseOptions& options() const { return opts_; }
+
+ private:
+  AdwiseOptions opts_;
+  Report report_;
+};
+
+}  // namespace adwise

@@ -1,0 +1,59 @@
+// Configuration of the ADWISE partitioner.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/clock.h"
+
+namespace adwise {
+
+struct AdwiseOptions {
+  // --- Latency preference (paper: L, §III-A) -------------------------------
+  // Wall-clock budget for the whole partitioning pass, in milliseconds.
+  // Negative values mean "no preference": the window grows whenever C1 holds
+  // (bounded by max_window). 0 forces single-edge behaviour (C2 never holds).
+  std::int64_t latency_preference_ms = -1;
+
+  // --- Window (§III-A) ------------------------------------------------------
+  std::uint64_t initial_window = 1;
+  std::uint64_t max_window = std::uint64_t{1} << 16;
+  // false pins the window at initial_window (ablation: raw window-size
+  // versus quality curve without the controller).
+  bool adaptive_window = true;
+
+  // --- Lazy traversal (§III-B) ----------------------------------------------
+  bool lazy_traversal = true;
+  // epsilon in Theta = g_avg + epsilon: only edges scoring above the running
+  // average (plus this slack) enter the candidate set.
+  double candidate_epsilon = 0.1;
+  // Cached candidate scores are refreshed at least every this many
+  // assignment rounds (bounds staleness of the balance term; replica-set
+  // changes trigger immediate re-scoring regardless).
+  std::uint64_t candidate_refresh_interval = 32;
+
+  // --- Scoring (§III-C) ------------------------------------------------------
+  // Adaptive balancing: lambda evolves per Eq. 4 within [lambda_min,
+  // lambda_max]; disabled => lambda stays at lambda_init (HDRF-style fixed
+  // parameter, the ablation baseline).
+  bool adaptive_balance = true;
+  double lambda_init = 1.0;
+  double lambda_min = 0.4;
+  double lambda_max = 5.0;
+  double balance_epsilon = 1e-9;  // epsilon in B(p), Eq. 3
+
+  // Degree-aware replication score R (Eq. 5); disabled => indicator-only
+  // replication score (Greedy-style).
+  bool degree_weighting = true;
+
+  // Clustering score CS (Eq. 6); the paper switches it off for graphs with
+  // negligible clustering (Orkut, §IV-A3).
+  bool clustering_score = true;
+  // Cap on enumerated window neighbors per edge (bounds hub cost).
+  std::uint32_t clustering_neighbor_cap = 64;
+
+  // --- Infrastructure --------------------------------------------------------
+  // Time source; null => process steady clock. Tests inject FakeClock.
+  const Clock* clock = nullptr;
+};
+
+}  // namespace adwise

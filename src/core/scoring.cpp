@@ -1,0 +1,103 @@
+#include "src/core/scoring.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adwise {
+
+AdwiseScorer::AdwiseScorer(const PartitionState& state,
+                           const AdwiseOptions& opts, std::size_t total_edges)
+    : state_(&state),
+      opts_(opts),
+      total_edges_(total_edges),
+      lambda_(std::clamp(opts.lambda_init, opts.lambda_min, opts.lambda_max)),
+      cs_counts_(state.k(), 0.0) {}
+
+double AdwiseScorer::replica_weight(VertexId x) const {
+  if (!opts_.degree_weighting) return 1.0;
+  // Observed partial degree including the edge being scored; maxDegree is
+  // the running maximum, so Ψ ∈ (0, 0.5] and the weight lies in [1.5, 2).
+  const double deg = static_cast<double>(state_->degree(x)) + 1.0;
+  const double max_deg =
+      std::max(deg, static_cast<double>(state_->max_degree()));
+  const double psi = deg / (2.0 * max_deg);
+  return 2.0 - psi;
+}
+
+std::size_t AdwiseScorer::prepare_clustering(const Edge& e,
+                                             const EdgeWindow* window,
+                                             std::uint32_t exclude_slot) {
+  std::fill(cs_counts_.begin(), cs_counts_.end(), 0.0);
+  if (!opts_.clustering_score || window == nullptr) return 0;
+  window->collect_neighbors(e, exclude_slot, opts_.clustering_neighbor_cap,
+                            neighbor_scratch_);
+  for (const VertexId n : neighbor_scratch_) {
+    state_->replicas(n).for_each([&](std::uint32_t p) { cs_counts_[p] += 1.0; });
+  }
+  return neighbor_scratch_.size();
+}
+
+ScoredPlacement AdwiseScorer::best_placement(const Edge& e,
+                                             const EdgeWindow* window,
+                                             std::uint32_t exclude_slot) {
+  const auto maxsize = static_cast<double>(state_->max_partition_size());
+  const auto minsize = static_cast<double>(state_->min_partition_size());
+  const double bal_denom = maxsize - minsize + opts_.balance_epsilon;
+  const double wu = replica_weight(e.u);
+  const double wv = replica_weight(e.v);
+  const ReplicaSet& ru = state_->replicas(e.u);
+  const ReplicaSet& rv = state_->replicas(e.v);
+  const std::size_t num_neighbors = prepare_clustering(e, window, exclude_slot);
+  const double cs_norm =
+      num_neighbors > 0 ? 1.0 / static_cast<double>(num_neighbors) : 0.0;
+
+  ScoredPlacement best;
+  std::uint64_t best_load = 0;
+  for (PartitionId p = 0; p < state_->k(); ++p) {
+    const double balance =
+        (maxsize - static_cast<double>(state_->edges_on(p))) / bal_denom;
+    double g = lambda_ * balance;
+    if (ru.contains(p)) g += wu;
+    if (e.v != e.u && rv.contains(p)) g += wv;
+    g += cs_counts_[p] * cs_norm;
+    const std::uint64_t load = state_->edges_on(p);
+    if (best.partition == kInvalidPartition || g > best.score ||
+        (g == best.score && load < best_load)) {
+      best = {p, g};
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+double AdwiseScorer::score(const Edge& e, PartitionId p,
+                           const EdgeWindow* window,
+                           std::uint32_t exclude_slot) {
+  assert(p < state_->k());
+  const auto maxsize = static_cast<double>(state_->max_partition_size());
+  const auto minsize = static_cast<double>(state_->min_partition_size());
+  const double balance =
+      (maxsize - static_cast<double>(state_->edges_on(p))) /
+      (maxsize - minsize + opts_.balance_epsilon);
+  double g = lambda_ * balance;
+  if (state_->replicas(e.u).contains(p)) g += replica_weight(e.u);
+  if (e.v != e.u && state_->replicas(e.v).contains(p)) g += replica_weight(e.v);
+  const std::size_t num_neighbors = prepare_clustering(e, window, exclude_slot);
+  if (num_neighbors > 0) {
+    g += cs_counts_[p] / static_cast<double>(num_neighbors);
+  }
+  return g;
+}
+
+void AdwiseScorer::on_assignment() {
+  if (!opts_.adaptive_balance) return;
+  const double assigned = static_cast<double>(state_->assigned_edges());
+  const double m = static_cast<double>(std::max<std::size_t>(total_edges_, 1));
+  const double alpha = std::min(1.0, assigned / m);
+  const double tolerance = std::max(0.0, 1.0 - alpha);
+  const double iota = state_->imbalance();
+  lambda_ = std::clamp(lambda_ + (iota - tolerance), opts_.lambda_min,
+                       opts_.lambda_max);
+}
+
+}  // namespace adwise

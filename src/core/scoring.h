@@ -1,0 +1,71 @@
+// ADWISE scoring function (paper §III-C, Eq. 3–7).
+//
+//   g(e, p) = lambda(iota, alpha) * B(p) + R(e, p) + CS(e, p)
+//
+//   B(p)  — balancing score, Eq. 3: (maxsize − |p|) / (maxsize − minsize + ε)
+//   λ     — adaptive balancing parameter, Eq. 4: after every assignment
+//           λ += (ι − tolerance(α)), clamped to [0.4, 5], where
+//           ι = (maxsize−minsize)/maxsize and tolerance(α) = max(0, 1−α)
+//   R     — degree-aware replication score, Eq. 5:
+//           1{p∈R_u}(2−Ψ_u) + 1{p∈R_v}(2−Ψ_v), Ψ_u = deg(u)/(2·maxDegree)
+//   CS    — clustering score, Eq. 6: fraction of the window-local
+//           neighborhood N(u)∪N(v) already replicated on p
+//
+// Every term is individually switchable for the ablation benches.
+#pragma once
+
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/core/window.h"
+#include "src/partition/partition_state.h"
+
+namespace adwise {
+
+struct ScoredPlacement {
+  PartitionId partition = kInvalidPartition;
+  double score = 0.0;
+};
+
+class AdwiseScorer {
+ public:
+  // state must outlive the scorer. total_edges is m in Eq. 4's
+  // α = |E'|/m (the paper obtains it from the graph file's line count).
+  AdwiseScorer(const PartitionState& state, const AdwiseOptions& opts,
+               std::size_t total_edges);
+
+  // Scores e against all partitions in one pass and returns the argmax
+  // (ties: least-loaded partition, then smallest id). window supplies the
+  // clustering neighborhoods; exclude_slot is e's own slot (or
+  // EdgeWindow::npos). Passing window == nullptr disables CS for this call.
+  [[nodiscard]] ScoredPlacement best_placement(const Edge& e,
+                                               const EdgeWindow* window,
+                                               std::uint32_t exclude_slot);
+
+  // Single-pair score g(e, p) — exercised directly by tests.
+  [[nodiscard]] double score(const Edge& e, PartitionId p,
+                             const EdgeWindow* window,
+                             std::uint32_t exclude_slot);
+
+  // Adapts lambda (Eq. 4); call after every edge assignment.
+  void on_assignment();
+
+  [[nodiscard]] double lambda() const { return lambda_; }
+
+ private:
+  // Fills cs_counts_[p] with |{u' ∈ N : p ∈ R_u'}| and returns |N|.
+  std::size_t prepare_clustering(const Edge& e, const EdgeWindow* window,
+                                 std::uint32_t exclude_slot);
+
+  // (2 − Ψ_x) weight of endpoint x, honoring the degree_weighting switch.
+  [[nodiscard]] double replica_weight(VertexId x) const;
+
+  const PartitionState* state_;
+  AdwiseOptions opts_;
+  std::size_t total_edges_;
+  double lambda_;
+  std::vector<double> cs_counts_;
+  std::vector<VertexId> neighbor_scratch_;
+};
+
+}  // namespace adwise

@@ -1,0 +1,110 @@
+#include "src/core/window.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adwise {
+
+std::uint32_t EdgeWindow::insert(const Edge& e) {
+  assert(e.u < heads_.size() && e.v < heads_.size());
+  std::uint32_t id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    id = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[id];
+  s = Slot{};
+  s.edge = e;
+  s.occupied = true;
+  s.sequence = next_sequence_++;
+  link(id, 0, e.u);
+  if (e.v != e.u) link(id, 1, e.v);
+  ++size_;
+  return id;
+}
+
+void EdgeWindow::remove(std::uint32_t id) {
+  Slot& s = slots_[id];
+  assert(s.occupied);
+  set_candidate(id, false);
+  unlink(id, 0, s.edge.u);
+  if (s.edge.v != s.edge.u) unlink(id, 1, s.edge.v);
+  s.occupied = false;
+  free_.push_back(id);
+  --size_;
+}
+
+void EdgeWindow::set_candidate(std::uint32_t id, bool candidate) {
+  Slot& s = slots_[id];
+  const bool is_cand = s.candidate_pos != npos;
+  if (candidate == is_cand) return;
+  if (candidate) {
+    s.candidate_pos = static_cast<std::uint32_t>(candidates_.size());
+    candidates_.push_back(id);
+  } else {
+    const std::uint32_t pos = s.candidate_pos;
+    const std::uint32_t moved = candidates_.back();
+    candidates_[pos] = moved;
+    slots_[moved].candidate_pos = pos;
+    candidates_.pop_back();
+    s.candidate_pos = npos;
+  }
+}
+
+void EdgeWindow::collect_neighbors(const Edge& e, std::uint32_t exclude_slot,
+                                   std::uint32_t cap,
+                                   std::vector<VertexId>& out) const {
+  out.clear();
+  auto gather = [&](VertexId v) {
+    std::uint32_t id = heads_[v];
+    while (id != npos && out.size() < cap) {
+      const Slot& s = slots_[id];
+      const int side = s.edge.u == v ? 0 : 1;
+      if (id != exclude_slot) {
+        out.push_back(side == 0 ? s.edge.v : s.edge.u);
+      }
+      id = s.next[side];
+    }
+  };
+  gather(e.u);
+  if (e.v != e.u) gather(e.v);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+void EdgeWindow::link(std::uint32_t id, int side, VertexId v) {
+  Slot& s = slots_[id];
+  s.prev[side] = npos;
+  s.next[side] = heads_[v];
+  if (heads_[v] != npos) {
+    Slot& head = slots_[heads_[v]];
+    const int head_side = head.edge.u == v ? 0 : 1;
+    head.prev[head_side] = id;
+  }
+  heads_[v] = id;
+}
+
+void EdgeWindow::unlink(std::uint32_t id, int side, VertexId v) {
+  Slot& s = slots_[id];
+  const std::uint32_t prev = s.prev[side];
+  const std::uint32_t next = s.next[side];
+  if (prev != npos) {
+    Slot& ps = slots_[prev];
+    const int pside = ps.edge.u == v ? 0 : 1;
+    ps.next[pside] = next;
+  } else {
+    heads_[v] = next;
+  }
+  if (next != npos) {
+    Slot& ns = slots_[next];
+    const int nside = ns.edge.u == v ? 0 : 1;
+    ns.prev[nside] = prev;
+  }
+  s.prev[side] = npos;
+  s.next[side] = npos;
+}
+
+}  // namespace adwise

@@ -1,0 +1,114 @@
+// Edge window — the widened "edge universe" of ADWISE (§II-C, §III).
+//
+// Holds up to w in-flight edges with:
+//   - per-vertex incidence lists (intrusive doubly-linked through the slots)
+//     so replica-set changes can touch exactly the affected window edges and
+//     the clustering score can enumerate window-local neighborhoods N(u);
+//   - an explicit candidate set (high-score edges, §III-B) with O(1)
+//     add/remove; every non-candidate slot is implicitly in the secondary
+//     set Q.
+//
+// Slot ids are stable for the lifetime of an edge in the window and are
+// recycled through a free list afterwards.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/partition/types.h"
+
+namespace adwise {
+
+class EdgeWindow {
+ public:
+  static constexpr std::uint32_t npos = std::numeric_limits<std::uint32_t>::max();
+
+  struct Slot {
+    Edge edge;
+    double best_score = 0.0;
+    PartitionId best_partition = kInvalidPartition;
+    bool occupied = false;
+    // Incident replica sets changed since best_score was computed.
+    bool dirty = false;
+    // Assignment round at which best_score was last computed (staleness
+    // bound for the cached balance term).
+    std::uint64_t scored_at = 0;
+    // Monotone insertion number: score ties resolve FIFO (stream order), so
+    // lazy and eager traversal make identical decisions.
+    std::uint64_t sequence = 0;
+    // Links of the two per-endpoint incidence lists; index 0 chains slots
+    // through edge.u's list, index 1 through edge.v's list.
+    std::uint32_t next[2] = {npos, npos};
+    std::uint32_t prev[2] = {npos, npos};
+    // Position in the candidate vector, npos when in the secondary set.
+    std::uint32_t candidate_pos = npos;
+  };
+
+  explicit EdgeWindow(VertexId num_vertices)
+      : heads_(num_vertices, npos) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  // Inserts e; returns its slot id. e's endpoints must be < num_vertices.
+  std::uint32_t insert(const Edge& e);
+
+  // Removes the edge in the given slot (also from the candidate set).
+  void remove(std::uint32_t slot_id);
+
+  [[nodiscard]] Slot& slot(std::uint32_t id) { return slots_[id]; }
+  [[nodiscard]] const Slot& slot(std::uint32_t id) const { return slots_[id]; }
+
+  [[nodiscard]] bool is_candidate(std::uint32_t id) const {
+    return slots_[id].candidate_pos != npos;
+  }
+  void set_candidate(std::uint32_t id, bool candidate);
+
+  [[nodiscard]] std::span<const std::uint32_t> candidates() const {
+    return candidates_;
+  }
+
+  // Calls fn(slot_id) for every occupied slot.
+  template <typename Fn>
+  void for_each_slot(Fn&& fn) const {
+    for (std::uint32_t id = 0; id < slots_.size(); ++id) {
+      if (slots_[id].occupied) fn(id);
+    }
+  }
+
+  // Calls fn(slot_id) for every window edge incident to v.
+  template <typename Fn>
+  void for_each_incident(VertexId v, Fn&& fn) const {
+    std::uint32_t id = heads_[v];
+    while (id != npos) {
+      const Slot& s = slots_[id];
+      const int side = s.edge.u == v ? 0 : 1;
+      const std::uint32_t next = s.next[side];
+      fn(id);
+      id = next;
+    }
+  }
+
+  // Window-local neighborhood N(u) ∪ N(v) of edge e (Eq. 6): the other
+  // endpoints of window edges incident to e's endpoints, excluding
+  // exclude_slot (the slot of e itself), deduplicated, capped at cap
+  // entries. Results are appended to out (cleared first).
+  void collect_neighbors(const Edge& e, std::uint32_t exclude_slot,
+                         std::uint32_t cap, std::vector<VertexId>& out) const;
+
+ private:
+  void link(std::uint32_t id, int side, VertexId v);
+  void unlink(std::uint32_t id, int side, VertexId v);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::vector<std::uint32_t> heads_;
+  std::vector<std::uint32_t> candidates_;
+  std::size_t size_ = 0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace adwise

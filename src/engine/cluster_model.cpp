@@ -1,0 +1,36 @@
+#include "src/engine/cluster_model.h"
+
+#include <algorithm>
+
+namespace adwise {
+
+ClusterModel calibrated_cluster_model() {
+  ClusterModel model;
+  model.num_machines = 8;
+  model.bandwidth_bytes_per_sec = 1.5e9;
+  model.per_message_overhead_bytes = 24.0;
+  model.per_edge_op_seconds = 5.0e-10;
+  model.per_vertex_op_seconds = 2.0e-9;
+  model.barrier_seconds = 5.0e-5;
+  return model;
+}
+
+double superstep_seconds(const ClusterModel& model,
+                         const std::vector<MachineLoad>& loads) {
+  double max_compute = 0.0;
+  double max_network = 0.0;
+  for (const MachineLoad& load : loads) {
+    const double compute =
+        static_cast<double>(load.compute_ops) * model.per_edge_op_seconds +
+        static_cast<double>(load.applied_vertices) *
+            model.per_vertex_op_seconds;
+    const double network =
+        static_cast<double>(std::max(load.bytes_in, load.bytes_out)) /
+        model.bandwidth_bytes_per_sec;
+    max_compute = std::max(max_compute, compute);
+    max_network = std::max(max_network, network);
+  }
+  return max_compute + max_network + model.barrier_seconds;
+}
+
+}  // namespace adwise

@@ -1,0 +1,75 @@
+// Cluster cost model for the graph-processing engine simulator.
+//
+// The paper runs GrapH on 8 machines (8 cores each) connected by 1-Gigabit
+// Ethernet. This repository executes the same vertex programs in-process
+// with exact message/compute accounting and converts the counts to seconds
+// via this model (DESIGN.md §4 explains why that preserves the
+// partitioning-quality → processing-latency coupling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace adwise {
+
+struct ClusterModel {
+  std::uint32_t num_machines = 8;
+  // Per-machine full-duplex link bandwidth (1 GbE ≈ 125 MB/s).
+  double bandwidth_bytes_per_sec = 125.0e6;
+  // Serialization/framing overhead charged per network message.
+  double per_message_overhead_bytes = 48.0;
+  // Seconds per elementary edge/message operation (gather, scatter, apply
+  // per inbox entry). ~4 ns models a few-GHz core doing cache-resident work.
+  double per_edge_op_seconds = 4.0e-9;
+  // Seconds per applied vertex (apply dispatch, activation bookkeeping).
+  double per_vertex_op_seconds = 20.0e-9;
+  // Synchronization barrier between supersteps (BSP).
+  double barrier_seconds = 2.0e-3;
+};
+
+// Accounting for one superstep, aggregated per machine by the engine.
+struct MachineLoad {
+  std::uint64_t compute_ops = 0;
+  std::uint64_t applied_vertices = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+// Simulated duration of a superstep: stragglers dominate, so both the
+// compute and the network phase are max-over-machines; they do not overlap
+// (BSP phases), and every superstep pays one barrier.
+[[nodiscard]] double superstep_seconds(const ClusterModel& model,
+                                       const std::vector<MachineLoad>& loads);
+
+// Cluster model calibrated for in-process benchmarking. The default
+// ClusterModel mirrors the paper's 8-node 1-GbE testbed; however, this
+// repository's partitioners run in memory without the disk/network ingest of
+// the paper's loader and are therefore orders of magnitude faster relative
+// to graph size. To preserve the paper's *trade-off shape* — single-edge
+// partitioning latency : 300-iteration PageRank processing latency of
+// roughly 1:10-50 — the calibrated model scales the simulated cluster's
+// rates up by a constant. Absolute seconds are not comparable to the paper;
+// ratios and crossovers are (see EXPERIMENTS.md, "Calibration").
+[[nodiscard]] ClusterModel calibrated_cluster_model();
+
+// Cumulative statistics of an engine run.
+struct RunStats {
+  std::uint64_t supersteps = 0;
+  double seconds = 0.0;
+  std::uint64_t network_messages = 0;
+  std::uint64_t network_bytes = 0;
+  std::uint64_t local_messages = 0;
+  std::uint64_t total_applies = 0;
+
+  RunStats& operator+=(const RunStats& other) {
+    supersteps += other.supersteps;
+    seconds += other.seconds;
+    network_messages += other.network_messages;
+    network_bytes += other.network_bytes;
+    local_messages += other.local_messages;
+    total_applies += other.total_applies;
+    return *this;
+  }
+};
+
+}  // namespace adwise

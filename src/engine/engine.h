@@ -1,0 +1,328 @@
+// Vertex-cut BSP graph-processing engine (simulator).
+//
+// Executes a vertex program over a partitioned graph exactly as a
+// PowerGraph/GrapH-style distributed engine would, while charging every
+// network byte to a ClusterModel instead of real sockets:
+//
+//   superstep =  apply   — masters aggregate their inbox and update values
+//              + sync    — changed values broadcast master -> mirrors
+//                          ((|machines(v)|-1) messages: THE channel through
+//                           which replication degree becomes latency)
+//              + scatter — every machine walks the arcs of active vertices
+//                          it hosts and emits messages toward the targets'
+//                          masters (sender-side combining when the program
+//                          provides a combiner).
+//
+// Program contract (duck-typed; see src/apps/ for four implementations):
+//   using Value;  using Message;
+//   static constexpr bool kHasCombiner;
+//   Value init(VertexId v, std::uint32_t degree) const;
+//   Value apply(VertexId v, const Value& current,
+//               std::span<const Message> inbox, ApplyInfo* info,
+//               EngineContext& ctx) const/non-const;
+//   void scatter(VertexId u, const Value& value, VertexId neighbor,
+//                EngineContext& ctx, EmitFn emit) — emit(Message) 0+ times;
+//   Message combine(Message a, const Message& b) const;       (if combiner)
+//   static std::size_t message_bytes(const Message&);
+//   static std::size_t value_bytes(const Value&);
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/engine/cluster_model.h"
+#include "src/engine/replica_directory.h"
+#include "src/graph/graph.h"
+#include "src/partition/types.h"
+
+namespace adwise {
+
+struct ApplyInfo {
+  bool activate = false;       // vertex scatters this superstep
+  bool value_changed = true;   // mirrors need the new value (sync traffic)
+};
+
+struct EngineContext {
+  std::uint64_t superstep = 0;
+  Rng* rng = nullptr;
+};
+
+template <typename Program>
+class Engine {
+ public:
+  using Value = typename Program::Value;
+  using Message = typename Program::Message;
+
+  Engine(const Graph& graph, std::span<const Assignment> assignments,
+         ClusterModel model, Program program, std::uint64_t seed = 42)
+      : model_(model),
+        program_(std::move(program)),
+        directory_(assignments, graph.num_vertices(), model.num_machines),
+        num_vertices_(graph.num_vertices()),
+        rng_(seed) {
+    build_machine_graphs(assignments);
+    values_.reserve(num_vertices_);
+    const auto degrees = graph.degrees();
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      values_.push_back(program_.init(v, degrees[v]));
+    }
+    active_flag_.assign(num_vertices_, 0);
+    inbox_.assign(num_vertices_, {});
+    inbox_flag_.assign(num_vertices_, 0);
+    if constexpr (Program::kHasCombiner) {
+      staged_values_.assign(model_.num_machines, {});
+      staged_epoch_.assign(model_.num_machines, {});
+      staged_targets_.assign(model_.num_machines, {});
+      for (std::uint32_t m = 0; m < model_.num_machines; ++m) {
+        staged_values_[m].resize(num_vertices_);
+        staged_epoch_[m].assign(num_vertices_, 0);
+      }
+    }
+  }
+
+  // --- Pre-run control -------------------------------------------------------
+
+  void activate(VertexId v) {
+    if (!active_flag_[v]) {
+      active_flag_[v] = 1;
+      active_list_.push_back(v);
+    }
+  }
+
+  void activate_all() {
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      if (!directory_.machines(v).empty()) activate(v);
+    }
+  }
+
+  // Seeds a message into v's inbox without network cost (query injection).
+  void deliver_local(VertexId v, Message msg) {
+    inbox_[v].push_back(std::move(msg));
+    if (!inbox_flag_[v]) {
+      inbox_flag_[v] = 1;
+      inbox_targets_.push_back(v);
+    }
+  }
+
+  [[nodiscard]] bool idle() const {
+    return active_list_.empty() && inbox_targets_.empty();
+  }
+
+  // --- Execution --------------------------------------------------------------
+
+  // Runs up to max_supersteps (or until idle); resumable across calls.
+  RunStats run(std::uint64_t max_supersteps) {
+    RunStats stats;
+    for (std::uint64_t step = 0; step < max_supersteps && !idle(); ++step) {
+      run_superstep(stats);
+    }
+    return stats;
+  }
+
+  // --- Inspection ---------------------------------------------------------------
+
+  [[nodiscard]] const std::vector<Value>& values() const { return values_; }
+  [[nodiscard]] Value& value_mut(VertexId v) { return values_[v]; }
+  [[nodiscard]] const ReplicaDirectory& directory() const { return directory_; }
+  [[nodiscard]] Program& program() { return program_; }
+  [[nodiscard]] std::uint64_t superstep() const { return superstep_; }
+  [[nodiscard]] std::size_t active_count() const { return active_list_.size(); }
+
+  // Per-machine loads accumulated over every superstep so far — straggler
+  // analysis (max/mean compute and traffic across machines).
+  [[nodiscard]] const std::vector<MachineLoad>& cumulative_loads() const {
+    return cumulative_loads_;
+  }
+
+ private:
+  struct MachineGraph {
+    std::vector<std::size_t> offsets;  // per vertex
+    std::vector<VertexId> targets;
+
+    [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+      return {&targets[offsets[v]], offsets[v + 1] - offsets[v]};
+    }
+  };
+
+  void build_machine_graphs(std::span<const Assignment> assignments) {
+    const std::uint32_t num_m = model_.num_machines;
+    machine_graphs_.resize(num_m);
+    std::vector<std::vector<std::size_t>> counts(
+        num_m, std::vector<std::size_t>(num_vertices_ + 1, 0));
+    for (const Assignment& a : assignments) {
+      const std::uint32_t m = directory_.machine_of_partition(a.partition);
+      ++counts[m][a.edge.u + 1];
+      if (a.edge.v != a.edge.u) ++counts[m][a.edge.v + 1];
+    }
+    for (std::uint32_t m = 0; m < num_m; ++m) {
+      auto& mg = machine_graphs_[m];
+      mg.offsets = std::move(counts[m]);
+      for (std::size_t i = 1; i < mg.offsets.size(); ++i) {
+        mg.offsets[i] += mg.offsets[i - 1];
+      }
+      mg.targets.resize(mg.offsets.back());
+    }
+    std::vector<std::vector<std::size_t>> cursor(num_m);
+    for (std::uint32_t m = 0; m < num_m; ++m) {
+      cursor[m].assign(machine_graphs_[m].offsets.begin(),
+                       machine_graphs_[m].offsets.end() - 1);
+    }
+    for (const Assignment& a : assignments) {
+      const std::uint32_t m = directory_.machine_of_partition(a.partition);
+      auto& mg = machine_graphs_[m];
+      mg.targets[cursor[m][a.edge.u]++] = a.edge.v;
+      if (a.edge.v != a.edge.u) mg.targets[cursor[m][a.edge.v]++] = a.edge.u;
+    }
+  }
+
+  void run_superstep(RunStats& stats) {
+    loads_.assign(model_.num_machines, MachineLoad{});
+    EngineContext ctx{superstep_, &rng_};
+
+    // ---- Apply phase: masters process inboxes and active vertices. ----
+    // The two seed lists may overlap; active_flag_/inbox_flag_ dedupe.
+    apply_targets_.clear();
+    for (const VertexId v : inbox_targets_) apply_targets_.push_back(v);
+    for (const VertexId v : active_list_) {
+      if (!inbox_flag_[v]) apply_targets_.push_back(v);
+    }
+    for (const VertexId v : active_list_) active_flag_[v] = 0;
+    active_list_.clear();
+
+    for (const VertexId v : apply_targets_) {
+      const std::uint32_t master = directory_.master_of(v);
+      auto& load = loads_[master];
+      load.compute_ops += 1 + inbox_[v].size();
+      load.applied_vertices += 1;
+      ++stats.total_applies;
+
+      ApplyInfo info;
+      Value next = program_.apply(v, values_[v], std::span(inbox_[v]), &info, ctx);
+      values_[v] = std::move(next);
+      inbox_[v].clear();
+      inbox_flag_[v] = 0;
+
+      if (info.value_changed) charge_value_sync(v, master, stats);
+      if (info.activate) activate(v);
+    }
+    inbox_targets_.clear();
+
+    // ---- Scatter phase: every machine walks its arcs of active vertices. ----
+    for (const VertexId v : active_list_) {
+      const Value& value = values_[v];
+      directory_.machines(v).for_each([&](std::uint32_t m) {
+        const auto nbrs = machine_graphs_[m].neighbors(v);
+        loads_[m].compute_ops += nbrs.size();
+        for (const VertexId t : nbrs) {
+          program_.scatter(v, value, t, ctx, [&](Message msg) {
+            route_message(m, t, std::move(msg), stats);
+          });
+        }
+      });
+    }
+    if constexpr (Program::kHasCombiner) flush_staging(stats);
+
+    if (cumulative_loads_.size() != loads_.size()) {
+      cumulative_loads_.assign(loads_.size(), MachineLoad{});
+    }
+    for (std::size_t m = 0; m < loads_.size(); ++m) {
+      cumulative_loads_[m].compute_ops += loads_[m].compute_ops;
+      cumulative_loads_[m].applied_vertices += loads_[m].applied_vertices;
+      cumulative_loads_[m].bytes_in += loads_[m].bytes_in;
+      cumulative_loads_[m].bytes_out += loads_[m].bytes_out;
+    }
+    stats.seconds += superstep_seconds(model_, loads_);
+    ++stats.supersteps;
+    ++superstep_;
+  }
+
+  void charge_value_sync(VertexId v, std::uint32_t master, RunStats& stats) {
+    const ReplicaSet& machines = directory_.machines(v);
+    if (machines.size() <= 1) return;
+    const std::uint64_t copies = machines.size() - 1;
+    const auto bytes = static_cast<std::uint64_t>(
+        Program::value_bytes(values_[v]) + model_.per_message_overhead_bytes);
+    loads_[master].bytes_out += copies * bytes;
+    machines.for_each([&](std::uint32_t m) {
+      if (m != master) loads_[m].bytes_in += bytes;
+    });
+    stats.network_messages += copies;
+    stats.network_bytes += copies * bytes;
+  }
+
+  void route_message(std::uint32_t source_machine, VertexId target,
+                     Message msg, RunStats& stats) {
+    if constexpr (Program::kHasCombiner) {
+      // Sender-side combining: one message per (machine, target) pair.
+      auto& epoch = staged_epoch_[source_machine];
+      auto& vals = staged_values_[source_machine];
+      if (epoch[target] != staging_epoch_current_) {
+        epoch[target] = staging_epoch_current_;
+        vals[target] = std::move(msg);
+        staged_targets_[source_machine].push_back(target);
+      } else {
+        vals[target] = program_.combine(std::move(vals[target]), msg);
+      }
+      loads_[source_machine].compute_ops += 1;
+    } else {
+      deliver(source_machine, target, std::move(msg), stats);
+    }
+  }
+
+  void deliver(std::uint32_t source_machine, VertexId target, Message msg,
+               RunStats& stats) {
+    const std::uint32_t dest = directory_.master_of(target);
+    if (dest != source_machine) {
+      const auto bytes = static_cast<std::uint64_t>(
+          Program::message_bytes(msg) + model_.per_message_overhead_bytes);
+      loads_[source_machine].bytes_out += bytes;
+      loads_[dest].bytes_in += bytes;
+      stats.network_bytes += bytes;
+      ++stats.network_messages;
+    } else {
+      ++stats.local_messages;
+    }
+    deliver_local(target, std::move(msg));
+  }
+
+  void flush_staging(RunStats& stats) {
+    for (std::uint32_t m = 0; m < model_.num_machines; ++m) {
+      for (const VertexId t : staged_targets_[m]) {
+        deliver(m, t, std::move(staged_values_[m][t]), stats);
+      }
+      staged_targets_[m].clear();
+    }
+    ++staging_epoch_current_;
+  }
+
+  ClusterModel model_;
+  Program program_;
+  ReplicaDirectory directory_;
+  VertexId num_vertices_;
+  Rng rng_;
+
+  std::vector<MachineGraph> machine_graphs_;
+  std::vector<Value> values_;
+
+  std::vector<std::uint8_t> active_flag_;
+  std::vector<VertexId> active_list_;
+  std::vector<std::vector<Message>> inbox_;
+  std::vector<std::uint8_t> inbox_flag_;
+  std::vector<VertexId> inbox_targets_;
+  std::vector<VertexId> apply_targets_;
+
+  // Combiner staging (dense per machine, epoch-tagged).
+  std::vector<std::vector<Message>> staged_values_;
+  std::vector<std::vector<std::uint32_t>> staged_epoch_;
+  std::vector<std::vector<VertexId>> staged_targets_;
+  std::uint32_t staging_epoch_current_ = 1;
+
+  std::vector<MachineLoad> loads_;
+  std::vector<MachineLoad> cumulative_loads_;
+  std::uint64_t superstep_ = 0;
+};
+
+}  // namespace adwise

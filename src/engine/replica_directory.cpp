@@ -1,0 +1,45 @@
+#include "src/engine/replica_directory.h"
+
+#include "src/common/hashing.h"
+
+namespace adwise {
+
+ReplicaDirectory::ReplicaDirectory(std::span<const Assignment> assignments,
+                                   VertexId num_vertices,
+                                   std::uint32_t num_machines)
+    : num_machines_(num_machines),
+      machines_(num_vertices),
+      master_(num_vertices, 0) {
+  for (const Assignment& a : assignments) {
+    const std::uint32_t m = machine_of_partition(a.partition);
+    machines_[a.edge.u].insert(m);
+    machines_[a.edge.v].insert(m);
+  }
+  // Master selection: a deterministic hash spreads masters across replicas
+  // so no machine concentrates the apply work.
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const ReplicaSet& set = machines_[v];
+    if (set.empty()) continue;
+    const std::uint32_t pick =
+        static_cast<std::uint32_t>(hash_u64(v, 0xadce) % set.size());
+    std::uint32_t index = 0;
+    set.for_each([&](std::uint32_t m) {
+      if (index++ == pick) master_[v] = m;
+    });
+  }
+}
+
+double ReplicaDirectory::machine_replication_degree() const {
+  std::uint64_t total = 0;
+  std::uint64_t counted = 0;
+  for (const ReplicaSet& set : machines_) {
+    if (set.empty()) continue;
+    total += set.size();
+    ++counted;
+  }
+  return counted == 0
+             ? 0.0
+             : static_cast<double>(total) / static_cast<double>(counted);
+}
+
+}  // namespace adwise

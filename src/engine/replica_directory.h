@@ -1,0 +1,51 @@
+// Vertex replica placement derived from an edge partitioning.
+//
+// Partitions map onto machines round-robin (p mod M, matching the paper's 32
+// partitions on 8 machines). A vertex is replicated on every machine that
+// holds at least one of its incident edges; one replica is designated master
+// (it aggregates messages and applies the vertex program). The machine-level
+// replica sets determine all replica-synchronization traffic — the channel
+// through which partitioning quality becomes processing latency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/replica_set.h"
+#include "src/graph/graph.h"
+#include "src/partition/types.h"
+
+namespace adwise {
+
+class ReplicaDirectory {
+ public:
+  ReplicaDirectory(std::span<const Assignment> assignments,
+                   VertexId num_vertices, std::uint32_t num_machines);
+
+  [[nodiscard]] std::uint32_t num_machines() const { return num_machines_; }
+
+  [[nodiscard]] std::uint32_t machine_of_partition(PartitionId p) const {
+    return p % num_machines_;
+  }
+
+  // Machines holding a replica of v (empty for isolated vertices).
+  [[nodiscard]] const ReplicaSet& machines(VertexId v) const {
+    return machines_[v];
+  }
+
+  // Master machine of v; undefined (0) for isolated vertices.
+  [[nodiscard]] std::uint32_t master_of(VertexId v) const {
+    return master_[v];
+  }
+
+  // Mean machine-level replica count over vertices with >= 1 replica.
+  [[nodiscard]] double machine_replication_degree() const;
+
+ private:
+  std::uint32_t num_machines_;
+  std::vector<ReplicaSet> machines_;
+  std::vector<std::uint32_t> master_;
+};
+
+}  // namespace adwise

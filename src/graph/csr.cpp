@@ -1,0 +1,50 @@
+#include "src/graph/csr.h"
+
+#include <algorithm>
+
+namespace adwise {
+
+Csr::Csr(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : graph.edges()) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  targets_.resize(offsets_.back());
+  edge_ids_.resize(offsets_.back());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  const auto edges = graph.edges();
+  for (std::uint32_t id = 0; id < edges.size(); ++id) {
+    const Edge& e = edges[id];
+    targets_[cursor[e.u]] = e.v;
+    edge_ids_[cursor[e.u]++] = id;
+    targets_[cursor[e.v]] = e.u;
+    edge_ids_[cursor[e.v]++] = id;
+  }
+  // Sort each adjacency list (targets and edge ids in lockstep).
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t lo = offsets_[v];
+    const std::size_t hi = offsets_[v + 1];
+    std::vector<std::pair<VertexId, std::uint32_t>> entries;
+    entries.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      entries.emplace_back(targets_[i], edge_ids_[i]);
+    }
+    std::sort(entries.begin(), entries.end());
+    for (std::size_t i = lo; i < hi; ++i) {
+      targets_[i] = entries[i - lo].first;
+      edge_ids_[i] = entries[i - lo].second;
+    }
+  }
+}
+
+bool Csr::has_edge(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace adwise

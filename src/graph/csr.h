@@ -1,0 +1,51 @@
+// Compressed sparse row adjacency view of a Graph.
+//
+// Used by graph metrics (clustering coefficient), the NE all-edge baseline,
+// the BFS stream ordering, and the processing engine. Neighbor lists are
+// sorted, enabling O(log d) membership tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace adwise {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  // Builds the symmetric adjacency (each undirected edge appears in both
+  // endpoint lists). edge_ids()[i] gives the index into graph.edges() of the
+  // edge that produced the i-th adjacency entry.
+  explicit Csr(const Graph& graph);
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {&targets_[offsets_[v]], offsets_[v + 1] - offsets_[v]};
+  }
+
+  // Edge ids parallel to neighbors(v).
+  [[nodiscard]] std::span<const std::uint32_t> incident_edges(VertexId v) const {
+    return {&edge_ids_[offsets_[v]], offsets_[v + 1] - offsets_[v]};
+  }
+
+  [[nodiscard]] std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  // True if u and v are adjacent (binary search on sorted neighbor list).
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<VertexId> targets_;
+  std::vector<std::uint32_t> edge_ids_;
+};
+
+}  // namespace adwise

@@ -1,0 +1,102 @@
+#include "src/graph/edge_stream.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/common/rng.h"
+#include "src/graph/csr.h"
+
+namespace adwise {
+
+const char* to_string(StreamOrder order) {
+  switch (order) {
+    case StreamOrder::kNatural:
+      return "natural";
+    case StreamOrder::kShuffled:
+      return "shuffled";
+    case StreamOrder::kBfs:
+      return "bfs";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<Edge> bfs_order(const Graph& graph, std::uint64_t seed) {
+  const Csr csr(graph);
+  const VertexId n = graph.num_vertices();
+  std::vector<Edge> out;
+  out.reserve(graph.num_edges());
+  std::vector<bool> edge_seen(graph.num_edges(), false);
+  std::vector<bool> vertex_seen(n, false);
+  Rng rng(seed);
+  std::deque<VertexId> queue;
+
+  auto visit = [&](VertexId v) {
+    vertex_seen[v] = true;
+    queue.push_back(v);
+  };
+
+  // Cover all components: start from a random root, then sweep.
+  if (n > 0) visit(static_cast<VertexId>(rng.next_below(n)));
+  VertexId sweep = 0;
+  while (true) {
+    if (queue.empty()) {
+      while (sweep < n && vertex_seen[sweep]) ++sweep;
+      if (sweep == n) break;
+      visit(sweep);
+    }
+    const VertexId v = queue.front();
+    queue.pop_front();
+    const auto nbrs = csr.neighbors(v);
+    const auto ids = csr.incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (!edge_seen[ids[i]]) {
+        edge_seen[ids[i]] = true;
+        out.push_back(graph.edge(ids[i]));
+      }
+      if (!vertex_seen[nbrs[i]]) visit(nbrs[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Edge> ordered_edges(const Graph& graph, StreamOrder order,
+                                std::uint64_t seed) {
+  switch (order) {
+    case StreamOrder::kNatural: {
+      return {graph.edges().begin(), graph.edges().end()};
+    }
+    case StreamOrder::kShuffled: {
+      std::vector<Edge> edges(graph.edges().begin(), graph.edges().end());
+      Rng rng(seed);
+      for (std::size_t i = edges.size(); i > 1; --i) {
+        std::swap(edges[i - 1], edges[rng.next_below(i)]);
+      }
+      return edges;
+    }
+    case StreamOrder::kBfs:
+      return bfs_order(graph, seed);
+  }
+  return {};
+}
+
+std::vector<std::span<const Edge>> chunk_edges(std::span<const Edge> edges,
+                                               std::uint32_t z) {
+  std::vector<std::span<const Edge>> chunks;
+  if (z == 0) return chunks;
+  chunks.reserve(z);
+  const std::size_t base = edges.size() / z;
+  const std::size_t extra = edges.size() % z;
+  std::size_t offset = 0;
+  for (std::uint32_t i = 0; i < z; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    chunks.push_back(edges.subspan(offset, len));
+    offset += len;
+  }
+  return chunks;
+}
+
+}  // namespace adwise

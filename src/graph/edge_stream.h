@@ -1,0 +1,76 @@
+// Edge streams — the only view of the graph a streaming partitioner gets.
+//
+// Models the paper's edge stream S = <e_1, ..., e_|E|> (§II-B). The adaptive
+// window controller additionally needs the number of edges remaining
+// (condition C2 uses |E'|), which the paper obtains from the graph file's
+// line count; size_hint() plays that role here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace adwise {
+
+class EdgeStream {
+ public:
+  virtual ~EdgeStream() = default;
+
+  // Pops the next edge into out; returns false at end of stream.
+  virtual bool next(Edge& out) = 0;
+
+  // Edges remaining in the stream (exact for in-memory streams).
+  [[nodiscard]] virtual std::size_t size_hint() const = 0;
+
+  [[nodiscard]] bool exhausted() const { return size_hint() == 0; }
+};
+
+// Stream over a borrowed, in-memory edge sequence. The caller owns the
+// storage and must keep it alive while the stream is in use.
+class VectorEdgeStream final : public EdgeStream {
+ public:
+  explicit VectorEdgeStream(std::span<const Edge> edges) : edges_(edges) {}
+
+  bool next(Edge& out) override {
+    if (pos_ >= edges_.size()) return false;
+    out = edges_[pos_++];
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size_hint() const override {
+    return edges_.size() - pos_;
+  }
+
+  void reset() { pos_ = 0; }
+
+ private:
+  std::span<const Edge> edges_;
+  std::size_t pos_ = 0;
+};
+
+// How the edge sequence of a Graph is ordered before streaming. Real dataset
+// files are roughly sorted by source vertex (kNatural); kShuffled models an
+// adversarially scrambled stream; kBfs follows a breadth-first traversal,
+// the most locality-friendly ordering.
+enum class StreamOrder {
+  kNatural,
+  kShuffled,
+  kBfs,
+};
+
+[[nodiscard]] const char* to_string(StreamOrder order);
+
+// Materializes the graph's edges in the requested order. seed only affects
+// kShuffled (and the BFS root choice).
+[[nodiscard]] std::vector<Edge> ordered_edges(const Graph& graph,
+                                              StreamOrder order,
+                                              std::uint64_t seed = 1);
+
+// Splits edges into z nearly equal contiguous chunks (parallel loading model,
+// §III-D: each of the z partitioner instances streams one chunk).
+[[nodiscard]] std::vector<std::span<const Edge>> chunk_edges(
+    std::span<const Edge> edges, std::uint32_t z);
+
+}  // namespace adwise

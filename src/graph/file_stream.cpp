@@ -1,0 +1,69 @@
+#include "src/graph/file_stream.h"
+
+#include <algorithm>
+#include <charconv>
+#include <limits>
+#include <stdexcept>
+
+namespace adwise {
+
+namespace {
+
+// Parses "u v" from a line; returns false for comments/blank/malformed.
+bool parse_edge_line(const std::string& line, std::uint64_t* u,
+                     std::uint64_t* v) {
+  if (line.empty() || line[0] == '#' || line[0] == '%') return false;
+  const char* ptr = line.data();
+  const char* end = line.data() + line.size();
+  while (ptr < end && (*ptr == ' ' || *ptr == '\t')) ++ptr;
+  auto r1 = std::from_chars(ptr, end, *u);
+  if (r1.ec != std::errc{}) return false;
+  ptr = r1.ptr;
+  while (ptr < end && (*ptr == ' ' || *ptr == '\t')) ++ptr;
+  auto r2 = std::from_chars(ptr, end, *v);
+  return r2.ec == std::errc{};
+}
+
+}  // namespace
+
+FileEdgeStream::Stats FileEdgeStream::scan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  Stats stats;
+  std::string line;
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+  while (std::getline(in, line)) {
+    if (!parse_edge_line(line, &u, &v)) continue;
+    if (u == v) continue;
+    ++stats.num_edges;
+    stats.max_vertex_id = std::max({stats.max_vertex_id, u, v});
+  }
+  return stats;
+}
+
+FileEdgeStream::FileEdgeStream(const std::string& path, std::size_t num_edges)
+    : in_(path), remaining_(num_edges) {
+  if (!in_) throw std::runtime_error("cannot open graph file: " + path);
+}
+
+bool FileEdgeStream::next(Edge& out) {
+  if (remaining_ == 0) return false;
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+  while (std::getline(in_, line_)) {
+    if (!parse_edge_line(line_, &u, &v)) continue;
+    if (u == v) continue;
+    if (u > std::numeric_limits<VertexId>::max() ||
+        v > std::numeric_limits<VertexId>::max()) {
+      throw std::runtime_error("vertex id exceeds 32-bit range: " + line_);
+    }
+    out = {static_cast<VertexId>(u), static_cast<VertexId>(v)};
+    --remaining_;
+    return true;
+  }
+  remaining_ = 0;
+  return false;
+}
+
+}  // namespace adwise

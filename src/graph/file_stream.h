@@ -1,0 +1,48 @@
+// Streaming edge-list file reader.
+//
+// A streaming partitioner should never need the whole graph in memory; this
+// EdgeStream parses a SNAP-style edge list on the fly with a small buffer.
+// The paper's adaptive controller needs the total edge count up front ("the
+// graph size is usually known or can be determined efficiently using line
+// count on the graph file", §III-A) — scan() is exactly that counting
+// pre-pass and also reports the maximum vertex id so callers can size the
+// vertex cache.
+//
+// Vertex ids are used as-is (no densification): the dense arrays inside
+// PartitionState assume ids are not wildly sparse. For sparse-id files load
+// through read_edge_list_file() instead, which densifies.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "src/graph/edge_stream.h"
+
+namespace adwise {
+
+class FileEdgeStream final : public EdgeStream {
+ public:
+  struct Stats {
+    std::size_t num_edges = 0;        // parseable, non-self-loop edges
+    std::uint64_t max_vertex_id = 0;  // 0 if the file has no edges
+  };
+
+  // Counting pre-pass; throws std::runtime_error if the file cannot be read.
+  [[nodiscard]] static Stats scan(const std::string& path);
+
+  // Opens the file for streaming. num_edges must come from scan() (it is
+  // returned by size_hint() and decremented as edges are consumed). Throws
+  // std::runtime_error if the file cannot be opened.
+  FileEdgeStream(const std::string& path, std::size_t num_edges);
+
+  bool next(Edge& out) override;
+  [[nodiscard]] std::size_t size_hint() const override { return remaining_; }
+
+ private:
+  std::ifstream in_;
+  std::string line_;
+  std::size_t remaining_;
+};
+
+}  // namespace adwise

@@ -1,0 +1,98 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on Orkut (social, low clustering), Brain (biological,
+// moderate clustering) and Web (very high clustering) — see Table II. Those
+// datasets are not redistributable here, so presets at the bottom of this
+// header generate scaled-down graphs that reproduce the properties the
+// ADWISE evaluation depends on: degree skew, clustering coefficient, and
+// community-local edge order in the stream (DESIGN.md §4 documents the
+// substitution argument).
+//
+// All generators are deterministic in (parameters, seed) and return simple
+// undirected graphs (no self-loops, no duplicate edges).
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace adwise {
+
+// --- Structured graphs (used heavily by tests) ------------------------------
+
+// 0-1-2-...-(n-1).
+[[nodiscard]] Graph make_path(VertexId n);
+
+// Path plus the closing edge (n-1, 0).
+[[nodiscard]] Graph make_cycle(VertexId n);
+
+// Vertex 0 connected to 1..n-1.
+[[nodiscard]] Graph make_star(VertexId n);
+
+// All pairs among n vertices.
+[[nodiscard]] Graph make_complete(VertexId n);
+
+// rows x cols lattice with 4-neighborhoods.
+[[nodiscard]] Graph make_grid(VertexId rows, VertexId cols);
+
+// num_cliques disjoint cliques of clique_size vertices, consecutive cliques
+// joined by a single bridge edge.
+[[nodiscard]] Graph make_clique_chain(VertexId num_cliques,
+                                      VertexId clique_size);
+
+// --- Random graph families ---------------------------------------------------
+
+// G(n, m): m distinct uniform random edges.
+[[nodiscard]] Graph make_erdos_renyi(VertexId n, std::size_t m,
+                                     std::uint64_t seed);
+
+struct RmatParams {
+  std::uint32_t scale = 17;      // n = 2^scale vertices
+  std::size_t num_edges = 1'000'000;
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1-a-b-c
+  std::uint64_t seed = 1;
+};
+
+// Recursive-matrix power-law graph (Chakrabarti et al.); low clustering,
+// heavily skewed degrees — the social-network regime.
+[[nodiscard]] Graph make_rmat(const RmatParams& params);
+
+// Watts–Strogatz small world: ring lattice with k neighbors per side,
+// rewired with probability beta. High clustering for small beta.
+[[nodiscard]] Graph make_watts_strogatz(VertexId n, std::uint32_t k,
+                                        double beta, std::uint64_t seed);
+
+// Barabási–Albert preferential attachment: each new vertex attaches m edges
+// to existing vertices with probability proportional to degree. Power-law
+// degree tail, low clustering.
+[[nodiscard]] Graph make_barabasi_albert(VertexId n, std::uint32_t m,
+                                         std::uint64_t seed);
+
+struct CommunityParams {
+  std::uint32_t num_communities = 1000;
+  VertexId min_size = 8;
+  VertexId max_size = 64;
+  double size_exponent = 2.0;   // community sizes ~ power law
+  double intra_density = 0.5;   // fraction of possible intra-community pairs
+  double inter_fraction = 0.15; // inter-community edges / intra edges
+  double hub_fraction = 0.002;  // fraction of vertices acting as global hubs
+  std::uint64_t seed = 1;
+};
+
+// Planted overlapping-community graph: dense communities with contiguous
+// vertex ids (so the natural stream order is community-local, like real
+// dataset files), plus inter-community edges that preferentially attach to a
+// small hub set (degree skew).
+[[nodiscard]] Graph make_community_graph(const CommunityParams& params);
+
+// --- Table II stand-ins -------------------------------------------------------
+
+// scale = 1.0 gives roughly 1M edges per graph; edge counts grow linearly.
+[[nodiscard]] NamedGraph make_orkut_like(double scale = 1.0,
+                                         std::uint64_t seed = 1);
+[[nodiscard]] NamedGraph make_brain_like(double scale = 1.0,
+                                         std::uint64_t seed = 1);
+[[nodiscard]] NamedGraph make_web_like(double scale = 1.0,
+                                       std::uint64_t seed = 1);
+
+}  // namespace adwise

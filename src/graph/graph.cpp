@@ -1,0 +1,26 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+namespace adwise {
+
+std::vector<std::uint32_t> Graph::degrees() const {
+  std::vector<std::uint32_t> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  return deg;
+}
+
+void Graph::make_simple() {
+  for (Edge& e : edges_) e = canonical(e);
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  auto last = std::unique(edges_.begin(), edges_.end());
+  edges_.erase(last, edges_.end());
+  std::erase_if(edges_, [](const Edge& e) { return e.u == e.v; });
+}
+
+}  // namespace adwise

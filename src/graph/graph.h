@@ -1,0 +1,73 @@
+// In-memory graph representation.
+//
+// Graphs are undirected multigraph-free edge lists over dense vertex ids
+// [0, num_vertices). The partitioners in this repository are *streaming*
+// algorithms: they never see this structure, only an EdgeStream. The Graph
+// type exists for generators, quality metrics, the processing engine, and
+// tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adwise {
+
+using VertexId = std::uint32_t;
+
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+// Canonical form with the smaller endpoint first; (u,v) and (v,u) denote the
+// same undirected edge.
+[[nodiscard]] constexpr Edge canonical(Edge e) {
+  return e.u <= e.v ? e : Edge{e.v, e.u};
+}
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(VertexId num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  [[nodiscard]] VertexId num_vertices() const { return num_vertices_; }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+  [[nodiscard]] const Edge& edge(std::size_t i) const { return edges_[i]; }
+
+  // Appends an edge; grows the vertex range if needed.
+  void add_edge(VertexId u, VertexId v) {
+    edges_.push_back({u, v});
+    const VertexId hi = std::max(u, v);
+    if (hi >= num_vertices_) num_vertices_ = hi + 1;
+  }
+
+  void reserve_edges(std::size_t n) { edges_.reserve(n); }
+
+  // Degree of every vertex (each undirected edge counts once per endpoint;
+  // self-loops count twice).
+  [[nodiscard]] std::vector<std::uint32_t> degrees() const;
+
+  // Drops self-loops and duplicate undirected edges; sorts edges by
+  // canonical (u,v). Generators call this to deliver simple graphs.
+  void make_simple();
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+// A graph together with the provenance metadata Table II reports.
+struct NamedGraph {
+  std::string name;
+  std::string kind;  // e.g. "Social", "Biological", "Web"
+  Graph graph;
+};
+
+}  // namespace adwise

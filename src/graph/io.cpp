@@ -1,0 +1,89 @@
+#include "src/graph/io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+
+namespace adwise {
+
+namespace {
+
+// Parses one unsigned integer starting at *pos, advancing *pos past it.
+// Returns false if no digits are found.
+bool parse_u64(std::string_view line, std::size_t* pos, std::uint64_t* out) {
+  while (*pos < line.size() && (line[*pos] == ' ' || line[*pos] == '\t')) {
+    ++*pos;
+  }
+  const char* begin = line.data() + *pos;
+  const char* end = line.data() + line.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  if (ec != std::errc{} || ptr == begin) return false;
+  *pos += static_cast<std::size_t>(ptr - begin);
+  return true;
+}
+
+}  // namespace
+
+LoadResult read_edge_list(std::istream& in) {
+  LoadResult result;
+  std::unordered_map<std::uint64_t, VertexId> dense;
+  auto densify = [&](std::uint64_t raw) -> VertexId {
+    auto [it, inserted] =
+        dense.try_emplace(raw, static_cast<VertexId>(result.original_id.size()));
+    if (inserted) result.original_id.push_back(raw);
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::size_t pos = 0;
+    std::uint64_t raw_u = 0;
+    std::uint64_t raw_v = 0;
+    if (!parse_u64(line, &pos, &raw_u) || !parse_u64(line, &pos, &raw_v)) {
+      throw std::runtime_error("malformed edge list at line " +
+                               std::to_string(line_no) + ": '" + line + "'");
+    }
+    if (raw_u == raw_v) continue;  // drop self-loops
+    // Two statements: argument evaluation order must not decide which
+    // endpoint gets the smaller dense id.
+    const VertexId du = densify(raw_u);
+    const VertexId dv = densify(raw_v);
+    result.graph.add_edge(du, dv);
+  }
+  // Vertices may exist without edges only via densify; ensure the count
+  // covers all mapped ids.
+  if (result.original_id.size() > result.graph.num_vertices()) {
+    result.graph = Graph(static_cast<VertexId>(result.original_id.size()),
+                         {result.graph.edges().begin(),
+                          result.graph.edges().end()});
+  }
+  return result;
+}
+
+LoadResult read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Graph& graph) {
+  out << "# adwise edge list: " << graph.num_vertices() << " vertices, "
+      << graph.num_edges() << " edges\n";
+  for (const Edge& e : graph.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+void write_edge_list_file(const std::string& path, const Graph& graph) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open output file: " + path);
+  write_edge_list(out, graph);
+}
+
+}  // namespace adwise

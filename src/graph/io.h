@@ -1,0 +1,36 @@
+// SNAP-style edge-list I/O.
+//
+// Format: one "u v" pair per line, '#'-prefixed comment lines ignored.
+// Vertex ids in files may be sparse; the loader densifies them and can
+// return the mapping for callers that need to translate results back.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace adwise {
+
+struct LoadResult {
+  Graph graph;
+  // original_id[i] is the file-level id of dense vertex i.
+  std::vector<std::uint64_t> original_id;
+};
+
+// Parses an edge list from a stream. Throws std::runtime_error on malformed
+// input. Self-loops are dropped; duplicate edges are kept (callers can
+// Graph::make_simple() if they need a simple graph).
+[[nodiscard]] LoadResult read_edge_list(std::istream& in);
+
+// Convenience file wrapper; throws std::runtime_error if the file cannot be
+// opened.
+[[nodiscard]] LoadResult read_edge_list_file(const std::string& path);
+
+// Writes "u v" lines with a provenance comment header.
+void write_edge_list(std::ostream& out, const Graph& graph);
+void write_edge_list_file(const std::string& path, const Graph& graph);
+
+}  // namespace adwise

@@ -1,0 +1,75 @@
+#include "src/graph/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace adwise {
+
+DegreeStats degree_stats(const Graph& graph) {
+  DegreeStats stats;
+  auto deg = graph.degrees();
+  if (deg.empty()) return stats;
+  std::uint64_t total = 0;
+  for (std::uint32_t d : deg) {
+    stats.max = std::max(stats.max, d);
+    total += d;
+  }
+  stats.mean = static_cast<double>(total) / static_cast<double>(deg.size());
+  std::sort(deg.begin(), deg.end(), std::greater<>());
+  const std::size_t top = std::max<std::size_t>(1, deg.size() / 100);
+  const std::uint64_t top_mass =
+      std::accumulate(deg.begin(), deg.begin() + static_cast<std::ptrdiff_t>(top),
+                      std::uint64_t{0});
+  stats.top1pct_degree_share =
+      total == 0 ? 0.0
+                 : static_cast<double>(top_mass) / static_cast<double>(total);
+  return stats;
+}
+
+double clustering_coefficient(const Csr& csr, const ClusteringOptions& opts) {
+  const VertexId n = csr.num_vertices();
+  if (n == 0) return 0.0;
+  Rng rng(opts.seed);
+
+  // Choose the sample: all vertices if the budget covers them, otherwise
+  // uniform with replacement (fine for an estimator).
+  const bool exhaustive = opts.vertex_sample >= n;
+  const std::size_t samples = exhaustive ? n : opts.vertex_sample;
+
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const VertexId v = exhaustive ? static_cast<VertexId>(s)
+                                  : static_cast<VertexId>(rng.next_below(n));
+    const auto nbrs = csr.neighbors(v);
+    const std::size_t d = nbrs.size();
+    ++counted;
+    if (d < 2) continue;  // contributes 0
+    const std::size_t all_pairs = d * (d - 1) / 2;
+    if (all_pairs <= opts.pair_sample) {
+      std::size_t closed = 0;
+      for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = i + 1; j < d; ++j) {
+          if (csr.has_edge(nbrs[i], nbrs[j])) ++closed;
+        }
+      }
+      sum += static_cast<double>(closed) / static_cast<double>(all_pairs);
+    } else {
+      std::size_t closed = 0;
+      for (std::size_t t = 0; t < opts.pair_sample; ++t) {
+        const auto i = static_cast<std::size_t>(rng.next_below(d));
+        auto j = static_cast<std::size_t>(rng.next_below(d - 1));
+        if (j >= i) ++j;
+        if (csr.has_edge(nbrs[i], nbrs[j])) ++closed;
+      }
+      sum += static_cast<double>(closed) /
+             static_cast<double>(opts.pair_sample);
+    }
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+}  // namespace adwise

@@ -1,0 +1,41 @@
+// Structural graph metrics.
+//
+// Table II characterizes each evaluation graph by |V|, |E| and the average
+// local clustering coefficient c^ (computed on a sample, per the paper's
+// footnote for the Web graph). These helpers reproduce those columns for the
+// synthetic stand-ins and power the generator tests.
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/csr.h"
+#include "src/graph/graph.h"
+
+namespace adwise {
+
+struct DegreeStats {
+  std::uint32_t max = 0;
+  double mean = 0.0;
+  // Fraction of total degree held by the top 1% of vertices — a simple skew
+  // indicator (power-law graphs concentrate degree mass in few hubs).
+  double top1pct_degree_share = 0.0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const Graph& graph);
+
+struct ClusteringOptions {
+  // Number of vertices to sample (vertices with degree < 2 contribute 0).
+  std::size_t vertex_sample = 20'000;
+  // Per-vertex cap on sampled neighbor pairs; bounds work on hubs.
+  std::size_t pair_sample = 200;
+  std::uint64_t seed = 7;
+};
+
+// Estimated average local clustering coefficient (Watts–Strogatz
+// definition): mean over sampled vertices of
+//   #connected neighbor pairs / #neighbor pairs.
+// Exact when vertex_sample >= |V| and pair_sample >= max_degree^2 pairs.
+[[nodiscard]] double clustering_coefficient(const Csr& csr,
+                                            const ClusteringOptions& opts = {});
+
+}  // namespace adwise

@@ -1,0 +1,37 @@
+// Degree-Based Hashing (Xie et al., NIPS 2014).
+//
+// Hashes the endpoint with the smaller (partial, observed-so-far) degree:
+// high-degree vertices get replicated across partitions while low-degree
+// vertices stay together, which suits power-law graphs. One of the two
+// baselines in the paper's evaluation (§IV).
+#pragma once
+
+#include "src/common/hashing.h"
+#include "src/partition/partitioner.h"
+
+namespace adwise {
+
+class DbhPartitioner final : public SingleEdgePartitioner {
+ public:
+  explicit DbhPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "dbh"; }
+
+  [[nodiscard]] PartitionId place(const Edge& e,
+                                  const PartitionState& state) override {
+    const std::uint32_t du = state.degree(e.u);
+    const std::uint32_t dv = state.degree(e.v);
+    VertexId hashed = e.u;
+    if (dv < du) {
+      hashed = e.v;
+    } else if (dv == du) {
+      hashed = e.u < e.v ? e.u : e.v;  // deterministic tie-break
+    }
+    return static_cast<PartitionId>(hash_u64(hashed, seed_) % state.k());
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace adwise

@@ -1,0 +1,53 @@
+#include "src/partition/greedy_partitioner.h"
+
+namespace adwise {
+
+namespace {
+
+// Least loaded partition within a replica set (smallest id on ties).
+PartitionId least_loaded_in(const ReplicaSet& set, const PartitionState& state) {
+  PartitionId best = kInvalidPartition;
+  std::uint64_t best_load = 0;
+  set.for_each([&](std::uint32_t p) {
+    const std::uint64_t load = state.edges_on(p);
+    if (best == kInvalidPartition || load < best_load) {
+      best = p;
+      best_load = load;
+    }
+  });
+  return best;
+}
+
+}  // namespace
+
+PartitionId GreedyPartitioner::place(const Edge& e,
+                                     const PartitionState& state) {
+  const ReplicaSet& ru = state.replicas(e.u);
+  const ReplicaSet& rv = state.replicas(e.v);
+
+  if (!ru.empty() && !rv.empty()) {
+    if (ru.intersects(rv)) {
+      // Case 1: least loaded partition holding both endpoints.
+      PartitionId best = kInvalidPartition;
+      std::uint64_t best_load = 0;
+      ru.for_each([&](std::uint32_t p) {
+        if (!rv.contains(p)) return;
+        const std::uint64_t load = state.edges_on(p);
+        if (best == kInvalidPartition || load < best_load) {
+          best = p;
+          best_load = load;
+        }
+      });
+      return best;
+    }
+    // Case 2: disjoint replica sets — follow the endpoint with the higher
+    // observed degree (it is the more expensive vertex to replicate again).
+    const bool follow_u = state.degree(e.u) >= state.degree(e.v);
+    return least_loaded_in(follow_u ? ru : rv, state);
+  }
+  if (!ru.empty()) return least_loaded_in(ru, state);  // Case 3
+  if (!rv.empty()) return least_loaded_in(rv, state);  // Case 3
+  return state.least_loaded();                          // Case 4
+}
+
+}  // namespace adwise

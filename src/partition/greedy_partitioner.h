@@ -1,0 +1,24 @@
+// Greedy vertex-cut placement (PowerGraph, Gonzalez et al., OSDI 2012).
+//
+// Case analysis on the replica sets of the two endpoints:
+//   1. both endpoints share partitions       -> least loaded shared partition
+//   2. both placed, but disjoint replica sets -> least loaded replica of the
+//      endpoint with the higher observed degree (streaming stand-in for
+//      PowerGraph's "most unassigned edges" rule, which needs full degrees)
+//   3. exactly one endpoint placed            -> least loaded of its replicas
+//   4. neither placed                          -> globally least loaded
+#pragma once
+
+#include "src/partition/partitioner.h"
+
+namespace adwise {
+
+class GreedyPartitioner final : public SingleEdgePartitioner {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "greedy"; }
+
+  [[nodiscard]] PartitionId place(const Edge& e,
+                                  const PartitionState& state) override;
+};
+
+}  // namespace adwise

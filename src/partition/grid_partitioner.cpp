@@ -1,0 +1,49 @@
+#include "src/partition/grid_partitioner.h"
+
+#include <array>
+
+namespace adwise {
+
+GridPartitioner::GridPartitioner(std::uint32_t k, std::uint64_t seed)
+    : rows_(1), cols_(k), seed_(seed) {
+  // Most square factorization r <= c with r * c == k.
+  for (std::uint32_t r = 1; r * r <= k; ++r) {
+    if (k % r == 0) {
+      rows_ = r;
+      cols_ = k / r;
+    }
+  }
+}
+
+PartitionId GridPartitioner::place(const Edge& e, const PartitionState& state) {
+  const PartitionId cu = cell_of(e.u);
+  const PartitionId cv = cell_of(e.v);
+  const std::uint32_t ru = cu / cols_, ku = cu % cols_;
+  const std::uint32_t rv = cv / cols_, kv = cv % cols_;
+
+  // S(u) ∩ S(v) always contains the two "crossing" cells (row_u, col_v) and
+  // (row_v, col_u); when u and v share a row or column the whole shared line
+  // is legal. Enumerate the legal cells and pick the least loaded.
+  PartitionId best = kInvalidPartition;
+  std::uint64_t best_load = 0;
+  auto consider = [&](PartitionId p) {
+    const std::uint64_t load = state.edges_on(p);
+    if (best == kInvalidPartition || load < best_load ||
+        (load == best_load && p < best)) {
+      best = p;
+      best_load = load;
+    }
+  };
+
+  if (ru == rv) {
+    for (std::uint32_t c = 0; c < cols_; ++c) consider(ru * cols_ + c);
+  }
+  if (ku == kv) {
+    for (std::uint32_t r = 0; r < rows_; ++r) consider(r * cols_ + ku);
+  }
+  consider(ru * cols_ + kv);
+  consider(rv * cols_ + ku);
+  return best;
+}
+
+}  // namespace adwise

@@ -1,0 +1,41 @@
+// Grid-constrained hashing (GraphBuilder, Jain et al. 2013).
+//
+// Partitions are arranged in an r x c grid. Each vertex hashes to a cell;
+// its constraint set S(u) is the union of that cell's row and column. An
+// edge may only be placed in S(u) ∩ S(v), which is never empty because u's
+// row always meets v's column. Among the legal cells the least-loaded
+// partition is chosen. This bounds every vertex's replicas to r + c - 1.
+#pragma once
+
+#include <vector>
+
+#include "src/common/hashing.h"
+#include "src/partition/partitioner.h"
+
+namespace adwise {
+
+class GridPartitioner final : public SingleEdgePartitioner {
+ public:
+  // k: total number of partitions; factorized into the most square r x c
+  // grid with r*c == k (r == 1 degenerates to unconstrained least-loaded).
+  explicit GridPartitioner(std::uint32_t k, std::uint64_t seed = 0);
+
+  [[nodiscard]] std::string_view name() const override { return "grid"; }
+
+  [[nodiscard]] PartitionId place(const Edge& e,
+                                  const PartitionState& state) override;
+
+  [[nodiscard]] std::uint32_t rows() const { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const { return cols_; }
+
+ private:
+  [[nodiscard]] PartitionId cell_of(VertexId v) const {
+    return static_cast<PartitionId>(hash_u64(v, seed_) % (rows_ * cols_));
+  }
+
+  std::uint32_t rows_;
+  std::uint32_t cols_;
+  std::uint64_t seed_;
+};
+
+}  // namespace adwise

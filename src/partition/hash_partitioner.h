@@ -1,0 +1,28 @@
+// Hash partitioner (PowerGraph/GraphX "random" baseline).
+//
+// Assigns each edge by hashing its endpoint pair: fast, perfectly balanced
+// in expectation, oblivious to locality — the high-replication end of the
+// Fig. 1 landscape.
+#pragma once
+
+#include "src/common/hashing.h"
+#include "src/partition/partitioner.h"
+
+namespace adwise {
+
+class HashPartitioner final : public SingleEdgePartitioner {
+ public:
+  explicit HashPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "hash"; }
+
+  [[nodiscard]] PartitionId place(const Edge& e,
+                                  const PartitionState& state) override {
+    return static_cast<PartitionId>(hash_edge(e.u, e.v, seed_) % state.k());
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace adwise

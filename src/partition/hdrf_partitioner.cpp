@@ -1,0 +1,41 @@
+#include "src/partition/hdrf_partitioner.h"
+
+namespace adwise {
+
+PartitionId HdrfPartitioner::place(const Edge& e, const PartitionState& state) {
+  // Partial degrees including the edge under placement, as in the reference
+  // implementation (degree counters are bumped before scoring).
+  const double du = static_cast<double>(state.degree(e.u)) + 1.0;
+  const double dv = static_cast<double>(state.degree(e.v)) + 1.0;
+  const double theta_u = du / (du + dv);
+  const double theta_v = 1.0 - theta_u;
+
+  const ReplicaSet& ru = state.replicas(e.u);
+  const ReplicaSet& rv = state.replicas(e.v);
+
+  const auto maxsize = static_cast<double>(state.max_partition_size());
+  const auto minsize = static_cast<double>(state.min_partition_size());
+  const double bal_denom = epsilon_ + maxsize - minsize;
+
+  PartitionId best = 0;
+  double best_score = -1.0;
+  std::uint64_t best_load = 0;
+  for (PartitionId p = 0; p < state.k(); ++p) {
+    double rep = 0.0;
+    if (ru.contains(p)) rep += 1.0 + (1.0 - theta_u);
+    if (rv.contains(p)) rep += 1.0 + (1.0 - theta_v);
+    const double bal =
+        (maxsize - static_cast<double>(state.edges_on(p))) / bal_denom;
+    const double score = rep + lambda_ * bal;
+    const std::uint64_t load = state.edges_on(p);
+    if (score > best_score ||
+        (score == best_score && load < best_load)) {
+      best = p;
+      best_score = score;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+}  // namespace adwise

@@ -1,0 +1,34 @@
+// HDRF — High-Degree (are) Replicated First (Petroni et al., CIKM 2015).
+//
+// The strongest single-edge streaming baseline in the paper's evaluation.
+// Scores every partition as
+//   C(u,v,p) = C_rep(u,v,p) + lambda * C_bal(p)
+//   C_rep    = g(u,p) + g(v,p),  g(u,p) = 1{p in R_u} * (1 + (1 - theta_u))
+//   theta_u  = deg(u) / (deg(u) + deg(v))       (partial degrees incl. e)
+//   C_bal    = (maxsize - |p|) / (eps + maxsize - minsize)
+// and assigns e to the argmax. lambda defaults to 1.1 (the authors'
+// recommendation, used by the paper's experiments).
+#pragma once
+
+#include "src/partition/partitioner.h"
+
+namespace adwise {
+
+class HdrfPartitioner final : public SingleEdgePartitioner {
+ public:
+  explicit HdrfPartitioner(double lambda = 1.1, double epsilon = 1e-9)
+      : lambda_(lambda), epsilon_(epsilon) {}
+
+  [[nodiscard]] std::string_view name() const override { return "hdrf"; }
+
+  [[nodiscard]] PartitionId place(const Edge& e,
+                                  const PartitionState& state) override;
+
+  [[nodiscard]] double lambda() const { return lambda_; }
+
+ private:
+  double lambda_;
+  double epsilon_;
+};
+
+}  // namespace adwise

@@ -1,0 +1,102 @@
+#include "src/partition/ne_partitioner.h"
+
+#include <queue>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/csr.h"
+
+namespace adwise {
+
+void NePartitioner::partition(EdgeStream& stream, PartitionState& state,
+                              const AssignmentSink& sink) {
+  // All-edge algorithm: buffer the entire stream.
+  std::vector<Edge> edges;
+  edges.reserve(stream.size_hint());
+  Edge e;
+  VertexId max_vertex = 0;
+  while (stream.next(e)) {
+    edges.push_back(e);
+    max_vertex = std::max({max_vertex, e.u, e.v});
+  }
+  if (edges.empty()) return;
+
+  const Graph graph(std::max<VertexId>(max_vertex + 1, state.num_vertices()),
+                    edges);
+  const Csr csr(graph);
+  const std::size_t m = edges.size();
+  const std::uint32_t k = state.k();
+  const std::size_t target = (m + k - 1) / k;
+
+  std::vector<bool> edge_assigned(m, false);
+  std::vector<std::uint32_t> unassigned_degree(graph.num_vertices(), 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    unassigned_degree[v] = csr.degree(v);
+  }
+  Rng rng(seed_);
+
+  auto assign_edge = [&](std::uint32_t id, PartitionId p) {
+    edge_assigned[id] = true;
+    const Edge& ae = graph.edge(id);
+    --unassigned_degree[ae.u];
+    if (ae.v != ae.u) --unassigned_degree[ae.v];
+    state.assign(ae, p);
+    if (sink) sink(ae, p);
+  };
+
+  VertexId seed_cursor = 0;
+  std::size_t remaining = m;
+  for (PartitionId p = 0; p < k && remaining > 0; ++p) {
+    const std::size_t budget = (p + 1 == k) ? remaining : target;
+    std::size_t placed = 0;
+
+    // Min-heap on (unassigned external degree at push time, vertex). The
+    // priority is lazy: entries are re-checked against the live count on pop.
+    using Entry = std::pair<std::uint32_t, VertexId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> boundary;
+    std::vector<bool> in_core(graph.num_vertices(), false);
+
+    auto expand = [&](VertexId x) {
+      in_core[x] = true;
+      const auto ids = csr.incident_edges(x);
+      const auto nbrs = csr.neighbors(x);
+      for (std::size_t i = 0; i < ids.size() && placed < budget; ++i) {
+        if (edge_assigned[ids[i]]) continue;
+        assign_edge(ids[i], p);
+        ++placed;
+        --remaining;
+        if (!in_core[nbrs[i]]) {
+          boundary.emplace(unassigned_degree[nbrs[i]], nbrs[i]);
+        }
+      }
+    };
+
+    while (placed < budget && remaining > 0) {
+      if (boundary.empty()) {
+        // Fresh seed: first vertex (from a random starting point) that still
+        // has unassigned incident edges.
+        if (seed_cursor == 0) {
+          seed_cursor = static_cast<VertexId>(
+              rng.next_below(graph.num_vertices()));
+        }
+        VertexId probe = seed_cursor;
+        for (VertexId step = 0; step < graph.num_vertices(); ++step) {
+          if (unassigned_degree[probe] > 0 && !in_core[probe]) break;
+          probe = probe + 1 == graph.num_vertices() ? 0 : probe + 1;
+        }
+        seed_cursor = probe;
+        expand(probe);
+        continue;
+      }
+      const auto [stale_priority, x] = boundary.top();
+      boundary.pop();
+      if (in_core[x]) continue;
+      // Lazy priority: if the vertex got cheaper since push, its stale entry
+      // still dominates correctness (we only ever absorb boundary vertices).
+      if (unassigned_degree[x] == 0) continue;
+      expand(x);
+    }
+  }
+}
+
+}  // namespace adwise

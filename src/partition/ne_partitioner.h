@@ -1,0 +1,32 @@
+// Neighborhood Expansion (NE) — all-edge baseline.
+//
+// Simplified reimplementation of Zhang et al., "Graph Edge Partitioning via
+// Neighborhood Heuristic" (KDD 2017): the whole edge set is buffered, then
+// each partition is grown from a seed vertex by repeatedly absorbing the
+// boundary vertex with the fewest unassigned external edges. This is the
+// "all-edge, super-linear" end of the Fig. 1 landscape: much slower than
+// streaming but with substantially lower replication.
+//
+// Documented simplifications versus the paper: one pass (no sampling /
+// restreaming) and a lazy priority on boundary vertices (re-evaluated on
+// pop) instead of exact decremental bookkeeping.
+#pragma once
+
+#include "src/partition/partitioner.h"
+
+namespace adwise {
+
+class NePartitioner final : public EdgePartitioner {
+ public:
+  explicit NePartitioner(std::uint64_t seed = 1) : seed_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "ne"; }
+
+  void partition(EdgeStream& stream, PartitionState& state,
+                 const AssignmentSink& sink = {}) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace adwise

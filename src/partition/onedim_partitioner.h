@@ -1,0 +1,29 @@
+// 1D partitioning (GraphX's EdgePartition1D).
+//
+// Assigns every edge by hashing its source vertex only: all out-edges of a
+// vertex land together, so the source side never replicates while the
+// destination side replicates freely. Completes the hashing-family baselines
+// (hash / 1D / grid a.k.a. 2D) from the paper's related work (§V).
+#pragma once
+
+#include "src/common/hashing.h"
+#include "src/partition/partitioner.h"
+
+namespace adwise {
+
+class OneDimPartitioner final : public SingleEdgePartitioner {
+ public:
+  explicit OneDimPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "1d"; }
+
+  [[nodiscard]] PartitionId place(const Edge& e,
+                                  const PartitionState& state) override {
+    return static_cast<PartitionId>(hash_u64(e.u, seed_) % state.k());
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace adwise

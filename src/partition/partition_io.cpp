@@ -1,0 +1,87 @@
+#include "src/partition/partition_io.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace adwise {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'A', 'D', 'W', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("truncated assignment file");
+  return value;
+}
+
+}  // namespace
+
+void write_assignments(std::ostream& out,
+                       std::span<const Assignment> assignments,
+                       std::uint32_t k) {
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, kVersion);
+  write_pod(out, k);
+  write_pod(out, static_cast<std::uint64_t>(assignments.size()));
+  for (const Assignment& a : assignments) {
+    write_pod(out, a.edge.u);
+    write_pod(out, a.edge.v);
+    write_pod(out, a.partition);
+  }
+  if (!out) throw std::runtime_error("failed writing assignment stream");
+}
+
+void write_assignments_file(const std::string& path,
+                            std::span<const Assignment> assignments,
+                            std::uint32_t k) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_assignments(out, assignments, k);
+}
+
+AssignmentFile read_assignments(std::istream& in) {
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("not an adwise assignment file (bad magic)");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported assignment file version " +
+                             std::to_string(version));
+  }
+  AssignmentFile file;
+  file.k = read_pod<std::uint32_t>(in);
+  const auto count = read_pod<std::uint64_t>(in);
+  file.assignments.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Assignment a;
+    a.edge.u = read_pod<VertexId>(in);
+    a.edge.v = read_pod<VertexId>(in);
+    a.partition = read_pod<PartitionId>(in);
+    if (a.partition >= file.k) {
+      throw std::runtime_error("assignment file: partition id out of range");
+    }
+    file.assignments.push_back(a);
+  }
+  return file;
+}
+
+AssignmentFile read_assignments_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open assignment file: " + path);
+  return read_assignments(in);
+}
+
+}  // namespace adwise

@@ -1,0 +1,39 @@
+// Binary persistence for edge-partition assignments.
+//
+// A partitioning of a billion-edge graph is itself gigabytes of data; the
+// text format of examples/partition_file is for interop, this compact
+// binary format is for round-tripping between a partitioning run and the
+// processing engine (or a later analysis session).
+//
+// Layout (little-endian): magic "ADWP", u32 version, u32 k,
+// u64 count, then count * (u32 u, u32 v, u32 partition).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/partition/types.h"
+
+namespace adwise {
+
+struct AssignmentFile {
+  std::uint32_t k = 0;
+  std::vector<Assignment> assignments;
+};
+
+// Throws std::runtime_error on I/O failure.
+void write_assignments(std::ostream& out,
+                       std::span<const Assignment> assignments,
+                       std::uint32_t k);
+void write_assignments_file(const std::string& path,
+                            std::span<const Assignment> assignments,
+                            std::uint32_t k);
+
+// Throws std::runtime_error on bad magic, version, or truncation.
+[[nodiscard]] AssignmentFile read_assignments(std::istream& in);
+[[nodiscard]] AssignmentFile read_assignments_file(const std::string& path);
+
+}  // namespace adwise

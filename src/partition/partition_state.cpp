@@ -1,0 +1,87 @@
+#include "src/partition/partition_state.h"
+
+#include <algorithm>
+
+namespace adwise {
+
+PartitionState::PartitionState(std::uint32_t k, VertexId num_vertices)
+    : k_(k),
+      replicas_(num_vertices),
+      degree_(num_vertices, 0),
+      part_edges_(k, 0),
+      num_at_min_(k) {
+  assert(k > 0);
+}
+
+void PartitionState::set_degree_oracle(std::vector<std::uint32_t> degrees) {
+  assert(degrees.size() == replicas_.size());
+  degree_oracle_ = std::move(degrees);
+  for (const std::uint32_t d : degree_oracle_) {
+    max_degree_ = std::max(max_degree_, d);
+  }
+}
+
+PartitionState::AssignEffect PartitionState::assign(const Edge& e,
+                                                    PartitionId p) {
+  assert(p < k_);
+  assert(e.u < replicas_.size() && e.v < replicas_.size());
+
+  AssignEffect effect;
+  effect.new_replica_u = replicas_[e.u].insert(p);
+  if (effect.new_replica_u) {
+    ++total_replicas_;
+    if (replicas_[e.u].size() == 1) ++replicated_vertices_;
+  }
+  // Self-loops touch a single vertex; guard the double insert.
+  if (e.v != e.u) {
+    effect.new_replica_v = replicas_[e.v].insert(p);
+    if (effect.new_replica_v) {
+      ++total_replicas_;
+      if (replicas_[e.v].size() == 1) ++replicated_vertices_;
+    }
+  }
+
+  ++degree_[e.u];
+  if (e.v != e.u) ++degree_[e.v];
+  max_degree_ = std::max({max_degree_, degree_[e.u], degree_[e.v]});
+
+  const std::uint64_t old = part_edges_[p]++;
+  max_size_ = std::max(max_size_, part_edges_[p]);
+  if (old == min_size_) {
+    if (--num_at_min_ == 0) {
+      // The last partition at the old minimum moved up; rescan (k is small).
+      min_size_ = *std::min_element(part_edges_.begin(), part_edges_.end());
+      num_at_min_ = static_cast<std::uint32_t>(
+          std::count(part_edges_.begin(), part_edges_.end(), min_size_));
+    }
+  }
+  ++assigned_;
+  return effect;
+}
+
+PartitionId PartitionState::least_loaded() const {
+  PartitionId best = 0;
+  for (PartitionId p = 1; p < k_; ++p) {
+    if (part_edges_[p] < part_edges_[best]) best = p;
+  }
+  return best;
+}
+
+double PartitionState::replication_degree() const {
+  if (replicated_vertices_ == 0) return 0.0;
+  return static_cast<double>(total_replicas_) /
+         static_cast<double>(replicated_vertices_);
+}
+
+double PartitionState::imbalance() const {
+  if (max_size_ == 0) return 0.0;
+  return static_cast<double>(max_size_ - min_size_) /
+         static_cast<double>(max_size_);
+}
+
+bool PartitionState::balanced(double tau) const {
+  if (max_size_ == 0) return true;
+  return static_cast<double>(min_size_) / static_cast<double>(max_size_) > tau;
+}
+
+}  // namespace adwise

@@ -1,0 +1,100 @@
+// Mutable state of a (streaming) vertex-cut partitioning run.
+//
+// This is the paper's "vertex cache" (Fig. 3, building block iii) plus the
+// per-partition balance bookkeeping every scoring function reads:
+//   - replica set R_v per vertex (Table I),
+//   - observed partial degree per vertex (HDRF-style degree table),
+//   - edge count |P_i| per partition with O(1) max/min tracking,
+//   - running replication-degree numerator (Eq. 1).
+//
+// Partition sizes only ever grow during streaming, which makes exact
+// max/min maintenance cheap: max is monotone, and min only advances when the
+// last partition at the current minimum leaves it (amortized O(k) per bump).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/replica_set.h"
+#include "src/partition/types.h"
+
+namespace adwise {
+
+class PartitionState {
+ public:
+  PartitionState(std::uint32_t k, VertexId num_vertices);
+
+  struct AssignEffect {
+    bool new_replica_u = false;
+    bool new_replica_v = false;
+  };
+
+  // Records the assignment of e to partition p, updating replica sets,
+  // degrees and balance. Returns which endpoints gained a replica.
+  AssignEffect assign(const Edge& e, PartitionId p);
+
+  [[nodiscard]] std::uint32_t k() const { return k_; }
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(replicas_.size());
+  }
+
+  [[nodiscard]] const ReplicaSet& replicas(VertexId v) const {
+    return replicas_[v];
+  }
+
+  // Degree as seen by scoring functions: the observed-so-far partial degree
+  // (single-pass streaming, the paper's setting) or the exact degree when a
+  // degree oracle was installed (two-pass mode).
+  [[nodiscard]] std::uint32_t degree(VertexId v) const {
+    return degree_oracle_.empty() ? degree_[v] : degree_oracle_[v];
+  }
+  [[nodiscard]] std::uint32_t observed_degree(VertexId v) const {
+    return degree_[v];
+  }
+  [[nodiscard]] std::uint32_t max_degree() const { return max_degree_; }
+
+  // Installs exact degrees known ahead of streaming (e.g. from a counting
+  // pre-pass). DBH and HDRF were originally formulated with full degree
+  // knowledge; the oracle lets the degree-aware scores use it.
+  void set_degree_oracle(std::vector<std::uint32_t> degrees);
+  [[nodiscard]] bool has_degree_oracle() const {
+    return !degree_oracle_.empty();
+  }
+
+  [[nodiscard]] std::uint64_t edges_on(PartitionId p) const {
+    return part_edges_[p];
+  }
+  [[nodiscard]] std::uint64_t max_partition_size() const { return max_size_; }
+  [[nodiscard]] std::uint64_t min_partition_size() const { return min_size_; }
+  [[nodiscard]] std::uint64_t assigned_edges() const { return assigned_; }
+
+  // Least-loaded partition among all k, smallest id on ties.
+  [[nodiscard]] PartitionId least_loaded() const;
+
+  // Mean replica count over vertices with at least one replica (Eq. 1; for
+  // graphs without isolated vertices this equals the paper's 1/|V| Σ|R_v|).
+  [[nodiscard]] double replication_degree() const;
+
+  // ι = (maxsize - minsize) / maxsize; 0 when nothing is assigned.
+  [[nodiscard]] double imbalance() const;
+
+  // Eq. 2 check: min/max > tau for every partition pair, i.e. overall.
+  [[nodiscard]] bool balanced(double tau) const;
+
+ private:
+  std::uint32_t k_;
+  std::vector<ReplicaSet> replicas_;
+  std::vector<std::uint32_t> degree_;
+  std::vector<std::uint32_t> degree_oracle_;
+  std::vector<std::uint64_t> part_edges_;
+  std::uint64_t max_size_ = 0;
+  std::uint64_t min_size_ = 0;
+  std::uint32_t num_at_min_;
+  std::uint32_t max_degree_ = 1;
+  std::uint64_t assigned_ = 0;
+  std::uint64_t total_replicas_ = 0;
+  std::uint64_t replicated_vertices_ = 0;
+};
+
+}  // namespace adwise

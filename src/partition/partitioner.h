@@ -1,0 +1,52 @@
+// Partitioner interfaces.
+//
+// EdgePartitioner consumes an EdgeStream and records assignments into a
+// PartitionState. Window-based algorithms (ADWISE) may emit assignments in a
+// different order than the stream; single-edge algorithms assign in stream
+// order and only need to implement place().
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "src/graph/edge_stream.h"
+#include "src/partition/partition_state.h"
+#include "src/partition/types.h"
+
+namespace adwise {
+
+// Optional per-assignment callback (used by spotlight to collect global
+// assignments and by the engine builders).
+using AssignmentSink = std::function<void(const Edge&, PartitionId)>;
+
+class EdgePartitioner {
+ public:
+  virtual ~EdgePartitioner() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  // Drains the stream, assigning every edge exactly once.
+  virtual void partition(EdgeStream& stream, PartitionState& state,
+                         const AssignmentSink& sink = {}) = 0;
+};
+
+// Base for the classic one-edge-at-a-time streaming algorithms (§II-B).
+class SingleEdgePartitioner : public EdgePartitioner {
+ public:
+  // Chooses the partition for e given the current state. Must not mutate
+  // anything; the framework applies the assignment.
+  [[nodiscard]] virtual PartitionId place(const Edge& e,
+                                          const PartitionState& state) = 0;
+
+  void partition(EdgeStream& stream, PartitionState& state,
+                 const AssignmentSink& sink = {}) final {
+    Edge e;
+    while (stream.next(e)) {
+      const PartitionId p = place(e, state);
+      state.assign(e, p);
+      if (sink) sink(e, p);
+    }
+  }
+};
+
+}  // namespace adwise

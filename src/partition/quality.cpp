@@ -1,0 +1,40 @@
+#include "src/partition/quality.h"
+
+#include <algorithm>
+
+namespace adwise {
+
+QualityReport analyze_quality(const PartitionState& state) {
+  QualityReport report;
+  report.replication_degree = state.replication_degree();
+  report.imbalance = state.imbalance();
+  report.partition_sizes.reserve(state.k());
+  for (PartitionId p = 0; p < state.k(); ++p) {
+    report.partition_sizes.push_back(state.edges_on(p));
+  }
+  for (VertexId v = 0; v < state.num_vertices(); ++v) {
+    const std::uint32_t replicas = state.replicas(v).size();
+    if (replicas >= report.replica_histogram.size()) {
+      report.replica_histogram.resize(replicas + 1, 0);
+    }
+    ++report.replica_histogram[replicas];
+    report.max_replicas = std::max(report.max_replicas, replicas);
+    if (replicas >= 1) {
+      ++report.vertices_with_replicas;
+      report.communication_volume += replicas - 1;
+    }
+    if (replicas > 1) ++report.cut_vertices;
+  }
+  return report;
+}
+
+QualityReport analyze_quality(std::span<const Assignment> assignments,
+                              std::uint32_t k, VertexId num_vertices) {
+  PartitionState state(k, num_vertices);
+  for (const Assignment& a : assignments) {
+    state.assign(a.edge, a.partition);
+  }
+  return analyze_quality(state);
+}
+
+}  // namespace adwise

@@ -1,0 +1,42 @@
+// Partitioning quality analysis beyond the two headline numbers.
+//
+// The paper reports replication degree (Eq. 1) and balance (Eq. 2); real
+// deployments additionally care about where the replication mass sits
+// (histogram), how much synchronization traffic it implies (communication
+// volume, the quantity the engine charges per superstep), and which
+// partitions are hot.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/partition/partition_state.h"
+#include "src/partition/types.h"
+
+namespace adwise {
+
+struct QualityReport {
+  double replication_degree = 0.0;  // Eq. 1
+  double imbalance = 0.0;           // (max-min)/max
+  std::uint64_t vertices_with_replicas = 0;
+  std::uint64_t cut_vertices = 0;   // |R_v| > 1
+  std::uint32_t max_replicas = 0;   // worst vertex
+  // replica_histogram[i] = #vertices with exactly i replicas (index 0 holds
+  // vertices never touched by an edge).
+  std::vector<std::uint64_t> replica_histogram;
+  // Σ_v (|R_v| - 1): mirror count — one synchronization message per mirror
+  // per superstep, the engine's dominant traffic term.
+  std::uint64_t communication_volume = 0;
+  std::vector<std::uint64_t> partition_sizes;
+};
+
+[[nodiscard]] QualityReport analyze_quality(const PartitionState& state);
+
+// Builds the report directly from an assignment list (k partitions over
+// num_vertices vertices) — for consumers that only kept the assignments.
+[[nodiscard]] QualityReport analyze_quality(
+    std::span<const Assignment> assignments, std::uint32_t k,
+    VertexId num_vertices);
+
+}  // namespace adwise

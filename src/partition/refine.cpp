@@ -1,0 +1,122 @@
+#include "src/partition/refine.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "src/common/rng.h"
+
+namespace adwise {
+
+namespace {
+
+// Dense (vertex x partition) incident-edge counters: count(v, p) is the
+// number of v's edges currently assigned to p. A vertex holds a replica on
+// p iff count(v, p) > 0, so moving an edge changes the global replica count
+// by the number of freed minus newly created (vertex, partition) pairs.
+class IncidenceCounts {
+ public:
+  IncidenceCounts(VertexId n, std::uint32_t k)
+      : k_(k), counts_(static_cast<std::size_t>(n) * k, 0) {}
+
+  [[nodiscard]] std::uint32_t count(VertexId v, PartitionId p) const {
+    return counts_[static_cast<std::size_t>(v) * k_ + p];
+  }
+
+  void add(VertexId v, PartitionId p) {
+    ++counts_[static_cast<std::size_t>(v) * k_ + p];
+  }
+
+  void remove(VertexId v, PartitionId p) {
+    assert(count(v, p) > 0);
+    --counts_[static_cast<std::size_t>(v) * k_ + p];
+  }
+
+ private:
+  std::uint32_t k_;
+  std::vector<std::uint32_t> counts_;
+};
+
+}  // namespace
+
+RefineResult refine_partition(std::span<const Assignment> assignments,
+                              std::uint32_t k, VertexId num_vertices,
+                              const RefineOptions& options) {
+  RefineResult result(k, num_vertices);
+  result.assignments.assign(assignments.begin(), assignments.end());
+  if (assignments.empty()) return result;
+
+  IncidenceCounts counts(num_vertices, k);
+  std::vector<std::uint64_t> partition_sizes(k, 0);
+  for (const Assignment& a : result.assignments) {
+    counts.add(a.edge.u, a.partition);
+    if (a.edge.v != a.edge.u) counts.add(a.edge.v, a.partition);
+    ++partition_sizes[a.partition];
+  }
+  const std::uint64_t cap = static_cast<std::uint64_t>(
+      static_cast<double>((assignments.size() + k - 1) / k) *
+      (1.0 + options.balance_slack));
+
+  // Replica delta of moving edge (u,v) from p to q: freed replicas minus
+  // created replicas across both endpoints.
+  auto move_gain = [&](const Edge& e, PartitionId p, PartitionId q) {
+    int gain = 0;
+    if (counts.count(e.u, p) == 1) ++gain;   // p loses u's last edge
+    if (counts.count(e.u, q) == 0) --gain;   // q gains a new replica of u
+    if (e.v != e.u) {
+      if (counts.count(e.v, p) == 1) ++gain;
+      if (counts.count(e.v, q) == 0) --gain;
+    }
+    return gain;
+  };
+
+  Rng rng(options.seed);
+  std::vector<std::size_t> order(result.assignments.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
+    // Fresh random visit order each round (hill climbing is order-biased).
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    std::uint64_t moved = 0;
+    for (const std::size_t idx : order) {
+      Assignment& a = result.assignments[idx];
+      const PartitionId p = a.partition;
+      PartitionId best_q = p;
+      int best_gain = 0;
+      for (PartitionId q = 0; q < k; ++q) {
+        if (q == p || partition_sizes[q] + 1 > cap) continue;
+        const int gain = move_gain(a.edge, p, q);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_q = q;
+        }
+      }
+      if (best_q == p) continue;
+      counts.remove(a.edge.u, p);
+      counts.add(a.edge.u, best_q);
+      if (a.edge.v != a.edge.u) {
+        counts.remove(a.edge.v, p);
+        counts.add(a.edge.v, best_q);
+      }
+      --partition_sizes[p];
+      ++partition_sizes[best_q];
+      a.partition = best_q;
+      ++moved;
+    }
+    result.moves += moved;
+    ++result.rounds;
+    if (static_cast<double>(moved) <
+        options.min_move_fraction *
+            static_cast<double>(result.assignments.size())) {
+      break;
+    }
+  }
+
+  for (const Assignment& a : result.assignments) {
+    result.state.assign(a.edge, a.partition);
+  }
+  return result;
+}
+
+}  // namespace adwise

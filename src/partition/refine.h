@@ -1,0 +1,43 @@
+// Iterative vertex-cut refinement (the super-linear family of Fig. 1).
+//
+// Stand-in for the iterative algorithms the paper's landscape cites —
+// Ja-Be-Ja-VC (Rahmanian et al.) and H-move (Mayer et al.): starting from
+// any edge partitioning, repeatedly move single edges to the partition that
+// reduces the total replica count, subject to the Eq. 2 balance constraint.
+// Hill climbing over the full edge set is super-linear and needs the whole
+// assignment in memory — exactly the regime streaming partitioning avoids —
+// which makes it the natural upper-quality/high-latency reference point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/partition/partition_state.h"
+#include "src/partition/types.h"
+
+namespace adwise {
+
+struct RefineOptions {
+  std::uint32_t max_rounds = 5;
+  // Stop early when a round moves fewer than this fraction of edges.
+  double min_move_fraction = 0.001;
+  // Balance constraint: no partition may exceed ceil(m/k) * (1 + slack).
+  double balance_slack = 0.05;
+  std::uint64_t seed = 1;
+};
+
+struct RefineResult {
+  std::vector<Assignment> assignments;
+  PartitionState state;  // clean replay of the refined assignments
+  std::uint64_t moves = 0;
+  std::uint32_t rounds = 0;
+
+  RefineResult(std::uint32_t k, VertexId n) : state(k, n) {}
+};
+
+[[nodiscard]] RefineResult refine_partition(
+    std::span<const Assignment> assignments, std::uint32_t k,
+    VertexId num_vertices, const RefineOptions& options = {});
+
+}  // namespace adwise

@@ -1,0 +1,29 @@
+#include "src/partition/registry.h"
+
+#include "src/partition/dbh_partitioner.h"
+#include "src/partition/greedy_partitioner.h"
+#include "src/partition/grid_partitioner.h"
+#include "src/partition/hash_partitioner.h"
+#include "src/partition/hdrf_partitioner.h"
+#include "src/partition/ne_partitioner.h"
+#include "src/partition/onedim_partitioner.h"
+
+namespace adwise {
+
+std::unique_ptr<EdgePartitioner> make_baseline_partitioner(
+    std::string_view name, std::uint32_t k, std::uint64_t seed) {
+  if (name == "hash") return std::make_unique<HashPartitioner>(seed);
+  if (name == "1d") return std::make_unique<OneDimPartitioner>(seed);
+  if (name == "grid") return std::make_unique<GridPartitioner>(k, seed);
+  if (name == "dbh") return std::make_unique<DbhPartitioner>(seed);
+  if (name == "greedy") return std::make_unique<GreedyPartitioner>();
+  if (name == "hdrf") return std::make_unique<HdrfPartitioner>();
+  if (name == "ne") return std::make_unique<NePartitioner>(seed);
+  return nullptr;
+}
+
+std::vector<std::string_view> baseline_partitioner_names() {
+  return {"hash", "1d", "grid", "dbh", "greedy", "hdrf", "ne"};
+}
+
+}  // namespace adwise

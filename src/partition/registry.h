@@ -1,0 +1,22 @@
+// Name-based construction of the baseline partitioners.
+//
+// The ADWISE partitioner lives in src/core (it depends on this library);
+// bench/bench_common.h exposes a combined registry that includes it.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/partition/partitioner.h"
+
+namespace adwise {
+
+// Supported names: "hash", "1d", "grid", "dbh", "greedy", "hdrf", "ne".
+// Returns nullptr for unknown names.
+[[nodiscard]] std::unique_ptr<EdgePartitioner> make_baseline_partitioner(
+    std::string_view name, std::uint32_t k, std::uint64_t seed = 0);
+
+[[nodiscard]] std::vector<std::string_view> baseline_partitioner_names();
+
+}  // namespace adwise

@@ -1,0 +1,40 @@
+#include "src/partition/restream.h"
+
+#include <cassert>
+
+namespace adwise {
+
+RestreamResult restream_partition(std::span<const Edge> edges,
+                                  VertexId num_vertices, std::uint32_t k,
+                                  const RestreamFactory& factory,
+                                  std::uint32_t passes) {
+  assert(passes >= 1);
+  RestreamResult result(k, num_vertices);
+
+  // The carry state accumulates replica sets and degrees across passes —
+  // this is the restreaming hint. Its balance counters keep growing, which
+  // is harmless: balance scores are relative (max - |p| over max - min).
+  PartitionState carry(k, num_vertices);
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    result.assignments.clear();
+    VectorEdgeStream stream(edges);
+    auto partitioner = factory();
+    partitioner->partition(stream, carry,
+                           [&](const Edge& e, PartitionId p) {
+                             result.assignments.push_back({e, p});
+                           });
+    // Clean replay: metrics for this pass reflect only this pass's
+    // assignments, not the accumulated hint state.
+    PartitionState replay(k, num_vertices);
+    for (const Assignment& a : result.assignments) {
+      replay.assign(a.edge, a.partition);
+    }
+    result.pass_replication.push_back(replay.replication_degree());
+    if (pass + 1 == passes) {
+      result.final_state = std::move(replay);
+    }
+  }
+  return result;
+}
+
+}  // namespace adwise

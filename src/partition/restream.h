@@ -1,0 +1,44 @@
+// Multi-pass (restreaming) partitioning.
+//
+// Nishimura & Ugander (KDD'13) showed that re-running a streaming
+// partitioner with the previous pass's state as a hint improves quality at
+// the cost of extra passes — the paper cites restreaming as related work on
+// the latency/quality spectrum (§V). This module generalizes the idea to
+// vertex-cut partitioners: the vertex cache (replica sets, degree table)
+// carries over between passes, so pass i scores every edge with the
+// information pass i-1 accumulated; the final pass's assignments are the
+// result, and quality is measured on a clean replay of exactly those
+// assignments.
+//
+// Works with any EdgePartitioner, including ADWISE.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/partition/partitioner.h"
+
+namespace adwise {
+
+// Fresh partitioner per pass (partitioners may carry per-run state).
+using RestreamFactory = std::function<std::unique_ptr<EdgePartitioner>()>;
+
+struct RestreamResult {
+  // Clean state replaying only the final pass's assignments.
+  PartitionState final_state;
+  std::vector<Assignment> assignments;
+  // Replication degree measured after each pass (clean replay per pass).
+  std::vector<double> pass_replication;
+
+  RestreamResult(std::uint32_t k, VertexId n) : final_state(k, n) {}
+};
+
+[[nodiscard]] RestreamResult restream_partition(std::span<const Edge> edges,
+                                                VertexId num_vertices,
+                                                std::uint32_t k,
+                                                const RestreamFactory& factory,
+                                                std::uint32_t passes);
+
+}  // namespace adwise

@@ -1,0 +1,23 @@
+// Shared partitioning vocabulary types.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "src/graph/graph.h"
+
+namespace adwise {
+
+using PartitionId = std::uint32_t;
+
+inline constexpr PartitionId kInvalidPartition =
+    std::numeric_limits<PartitionId>::max();
+
+struct Assignment {
+  Edge edge;
+  PartitionId partition = kInvalidPartition;
+
+  friend bool operator==(const Assignment&, const Assignment&) = default;
+};
+
+}  // namespace adwise

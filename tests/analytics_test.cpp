@@ -1,0 +1,157 @@
+// Tests for the additional engine workloads: connected components, SSSP,
+// triangle counting — each validated against a single-machine reference.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/apps/analytics.h"
+#include "src/graph/generators.h"
+#include "src/partition/registry.h"
+
+namespace adwise {
+namespace {
+
+std::vector<Assignment> assign_with(const Graph& g, const char* algo,
+                                    std::uint32_t k) {
+  auto partitioner = make_baseline_partitioner(algo, k, 1);
+  PartitionState st(k, g.num_vertices());
+  VectorEdgeStream stream(g.edges());
+  std::vector<Assignment> out;
+  partitioner->partition(stream, st, [&](const Edge& e, PartitionId p) {
+    out.push_back({e, p});
+  });
+  return out;
+}
+
+// --- Connected components ---------------------------------------------------------
+
+TEST(ComponentsTest, SingleComponentGetsOneLabel) {
+  const Graph g = make_cycle(40);
+  std::vector<VertexId> labels;
+  (void)run_connected_components(g, assign_with(g, "hash", 4), ClusterModel{},
+                                 1000, &labels);
+  for (const VertexId label : labels) EXPECT_EQ(label, 0u);
+}
+
+TEST(ComponentsTest, DisjointCliquesKeepDistinctLabels) {
+  // Clique chain without bridges: build 4 disjoint cliques of 5.
+  Graph g(20, {});
+  for (VertexId c = 0; c < 4; ++c) {
+    for (VertexId i = 0; i < 5; ++i) {
+      for (VertexId j = i + 1; j < 5; ++j) {
+        g.add_edge(c * 5 + i, c * 5 + j);
+      }
+    }
+  }
+  std::vector<VertexId> labels;
+  (void)run_connected_components(g, assign_with(g, "hdrf", 4), ClusterModel{},
+                                 1000, &labels);
+  const auto expected = reference_components(g);
+  EXPECT_EQ(labels, expected);
+  const std::set<VertexId> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(ComponentsTest, MatchesReferenceOnRandomGraph) {
+  const Graph g = make_erdos_renyi(400, 700, 12);  // sparse: many components
+  std::vector<VertexId> labels;
+  (void)run_connected_components(g, assign_with(g, "dbh", 8), ClusterModel{},
+                                 1000, &labels);
+  const auto expected = reference_components(g);
+  const auto degrees = g.degrees();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (degrees[v] == 0) continue;  // isolated vertices are never activated
+    EXPECT_EQ(labels[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(ComponentsTest, LabelsInvariantToPartitioning) {
+  const Graph g = make_community_graph({.num_communities = 15, .seed = 3});
+  std::vector<VertexId> a, b;
+  (void)run_connected_components(g, assign_with(g, "hash", 4), ClusterModel{},
+                                 1000, &a);
+  (void)run_connected_components(g, assign_with(g, "hdrf", 16),
+                                 ClusterModel{}, 1000, &b);
+  EXPECT_EQ(a, b);
+}
+
+// --- SSSP ------------------------------------------------------------------------
+
+TEST(SsspTest, DistancesOnPath) {
+  const Graph g = make_path(30);
+  std::vector<std::uint32_t> dist;
+  (void)run_sssp(g, assign_with(g, "hash", 4), ClusterModel{}, 0, &dist);
+  for (VertexId v = 0; v < 30; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(SsspTest, MatchesBfsReference) {
+  const Graph g = make_community_graph({.num_communities = 25, .seed = 9});
+  std::vector<std::uint32_t> dist;
+  (void)run_sssp(g, assign_with(g, "hdrf", 8), ClusterModel{}, 5, &dist);
+  const auto expected = reference_sssp(g, 5);
+  EXPECT_EQ(dist, expected);
+}
+
+TEST(SsspTest, UnreachableVerticesStayAtInfinity) {
+  Graph g(6, {{0, 1}, {1, 2}, {4, 5}});
+  std::vector<std::uint32_t> dist;
+  (void)run_sssp(g, assign_with(g, "hash", 2), ClusterModel{}, 0, &dist);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[4], kUnreachable);
+  EXPECT_EQ(dist[5], kUnreachable);
+}
+
+TEST(SsspTest, FrontierTrafficIsBounded) {
+  const Graph g = make_grid(20, 20);
+  const auto result =
+      run_sssp(g, assign_with(g, "hash", 8), ClusterModel{}, 0);
+  // BFS on a 20x20 grid needs ~38 wavefront supersteps, not the worst case.
+  EXPECT_LE(result.total.supersteps, 45u);
+  EXPECT_GT(result.total.seconds, 0.0);
+}
+
+// --- Triangle counting -------------------------------------------------------------
+
+TEST(TriangleTest, CompleteGraph) {
+  const Graph g = make_complete(10);  // C(10,3) = 120
+  const auto result =
+      run_triangle_count(g, assign_with(g, "hash", 4), ClusterModel{});
+  EXPECT_EQ(result.triangles, 120u);
+  EXPECT_EQ(reference_triangle_count(g), 120u);
+}
+
+TEST(TriangleTest, TriangleFreeGraphs) {
+  for (const Graph& g : {make_grid(8, 8), make_star(40), make_path(40)}) {
+    const auto result =
+        run_triangle_count(g, assign_with(g, "hash", 4), ClusterModel{});
+    EXPECT_EQ(result.triangles, 0u);
+    EXPECT_EQ(reference_triangle_count(g), 0u);
+  }
+}
+
+TEST(TriangleTest, CliqueChainHandCount) {
+  // 5 cliques of 6 vertices: 5 * C(6,3) = 100 triangles; bridges add none.
+  const Graph g = make_clique_chain(5, 6);
+  const auto result =
+      run_triangle_count(g, assign_with(g, "hdrf", 8), ClusterModel{});
+  EXPECT_EQ(result.triangles, 100u);
+}
+
+TEST(TriangleTest, MatchesReferenceOnRandomGraph) {
+  const Graph g = make_community_graph({.num_communities = 20, .seed = 17});
+  const auto engine_count =
+      run_triangle_count(g, assign_with(g, "dbh", 8), ClusterModel{});
+  EXPECT_EQ(engine_count.triangles, reference_triangle_count(g));
+}
+
+TEST(TriangleTest, CountInvariantToPartitioning) {
+  const Graph g = make_community_graph({.num_communities = 12, .seed = 8});
+  const auto a =
+      run_triangle_count(g, assign_with(g, "hash", 2), ClusterModel{});
+  const auto b =
+      run_triangle_count(g, assign_with(g, "hdrf", 32), ClusterModel{});
+  EXPECT_EQ(a.triangles, b.triangles);
+}
+
+}  // namespace
+}  // namespace adwise

@@ -1,0 +1,212 @@
+// Tests for the evaluation workloads: coloring validity and convergence,
+// circle (subgraph isomorphism) search, clique search.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/apps/clique.h"
+#include "src/apps/coloring.h"
+#include "src/apps/pagerank.h"
+#include "src/apps/subgraph_iso.h"
+#include "src/graph/generators.h"
+#include "src/graph/metrics.h"
+#include "src/partition/registry.h"
+
+namespace adwise {
+namespace {
+
+std::vector<Assignment> assign_with(const Graph& g, const char* algo,
+                                    std::uint32_t k) {
+  auto partitioner = make_baseline_partitioner(algo, k, 1);
+  PartitionState st(k, g.num_vertices());
+  VectorEdgeStream stream(g.edges());
+  std::vector<Assignment> out;
+  partitioner->partition(stream, st, [&](const Edge& e, PartitionId p) {
+    out.push_back({e, p});
+  });
+  return out;
+}
+
+// --- PageRank sanity (engine-level tests live in engine_test) -----------------
+
+TEST(PageRankTest, MassIsConservedOnGraphsWithoutIsolatedVertices) {
+  const Graph g = make_community_graph({.num_communities = 20, .seed = 3});
+  const auto ranks = reference_pagerank(g, 30);
+  const double total = std::accumulate(ranks.begin(), ranks.end(), 0.0);
+  EXPECT_NEAR(total, static_cast<double>(g.num_vertices()),
+              g.num_vertices() * 1e-6);
+}
+
+// --- Coloring -------------------------------------------------------------------
+
+TEST(ColoringTest, ProperOnCompleteGraph) {
+  const Graph g = make_complete(8);
+  std::vector<std::uint32_t> colors;
+  (void)run_coloring_blocks(g, assign_with(g, "hash", 4), ClusterModel{}, 4, 50,
+                      &colors);
+  EXPECT_TRUE(is_proper_coloring(g, colors));
+  // K8 needs exactly 8 colors.
+  std::set<std::uint32_t> used(colors.begin(), colors.end());
+  EXPECT_EQ(used.size(), 8u);
+}
+
+TEST(ColoringTest, PathNeedsTwoColors) {
+  const Graph g = make_path(60);
+  std::vector<std::uint32_t> colors;
+  (void)run_coloring_blocks(g, assign_with(g, "hash", 4), ClusterModel{}, 4, 50,
+                      &colors);
+  EXPECT_TRUE(is_proper_coloring(g, colors));
+  for (const std::uint32_t c : colors) EXPECT_LE(c, 1u);
+}
+
+TEST(ColoringTest, ConvergesOnRandomGraph) {
+  const Graph g = make_erdos_renyi(300, 1200, 8);
+  std::vector<std::uint32_t> colors;
+  const auto result = run_coloring_blocks(
+      g, assign_with(g, "hdrf", 8), ClusterModel{}, 6, 50, &colors);
+  EXPECT_TRUE(is_proper_coloring(g, colors));
+  // Speculative coloring stays within maxdeg + 1 colors.
+  const DegreeStats stats = degree_stats(g);
+  for (const std::uint32_t c : colors) EXPECT_LE(c, stats.max + 1);
+  EXPECT_GT(result.total.seconds, 0.0);
+}
+
+TEST(ColoringTest, ConvergedRunGoesQuiet) {
+  const Graph g = make_erdos_renyi(200, 600, 5);
+  Engine<ColoringProgram> engine(g, assign_with(g, "hash", 4), ClusterModel{},
+                                 ColoringProgram(g.num_vertices()));
+  engine.activate_all();
+  engine.run(500);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(ColoringTest, IsProperColoringDetectsViolation) {
+  const Graph g = make_path(3);
+  EXPECT_FALSE(is_proper_coloring(g, std::vector<std::uint32_t>{0, 0, 1}));
+  EXPECT_TRUE(is_proper_coloring(g, std::vector<std::uint32_t>{0, 1, 0}));
+}
+
+// --- Subgraph isomorphism (circles) ------------------------------------------------
+
+TEST(CircleSearchTest, FindsPlantedCycle) {
+  // The cycle graph C12 contains exactly one 12-circle (traversed from any
+  // seed in two directions).
+  const Graph g = make_cycle(12);
+  CircleSearchConfig config;
+  config.lengths = {12};
+  config.seeds_per_search = 4;
+  config.max_pending = 64;
+  std::vector<std::uint64_t> found;
+  (void)run_circle_searches(g, assign_with(g, "hash", 4), ClusterModel{}, config,
+                      &found);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_GT(found[0], 0u);
+}
+
+TEST(CircleSearchTest, NoShorterCyclesInCycleGraph) {
+  const Graph g = make_cycle(12);
+  CircleSearchConfig config;
+  config.lengths = {5};
+  config.seeds_per_search = 6;
+  std::vector<std::uint64_t> found;
+  (void)run_circle_searches(g, assign_with(g, "hash", 4), ClusterModel{}, config,
+                      &found);
+  EXPECT_EQ(found[0], 0u);
+}
+
+TEST(CircleSearchTest, TriangleSearchOnCliqueFindsMany) {
+  const Graph g = make_complete(8);
+  CircleSearchConfig config;
+  config.lengths = {3};
+  config.seeds_per_search = 8;
+  config.max_pending = 256;
+  std::vector<std::uint64_t> found;
+  (void)run_circle_searches(g, assign_with(g, "hash", 4), ClusterModel{}, config,
+                      &found);
+  EXPECT_GT(found[0], 0u);
+}
+
+TEST(CircleSearchTest, OneBlockPerSearchedLength) {
+  const Graph g = make_cycle(20);
+  CircleSearchConfig config;
+  config.lengths = {5, 7, 9};
+  const auto result = run_circle_searches(g, assign_with(g, "hash", 4),
+                                          ClusterModel{}, config);
+  EXPECT_EQ(result.block_seconds.size(), 3u);
+}
+
+TEST(CircleSearchTest, TrafficScalesWithReplication) {
+  const Graph g = make_community_graph({.num_communities = 20, .seed = 12});
+  CircleSearchConfig config;
+  config.lengths = {6};
+  config.seeds_per_search = 6;
+  config.max_pending = 16;
+  // Everything on one partition vs. spread round-robin over 32.
+  std::vector<Assignment> single, spread;
+  PartitionId rr = 0;
+  for (const Edge& e : g.edges()) {
+    single.push_back({e, 0});
+    spread.push_back({e, rr});
+    rr = (rr + 1) % 32;
+  }
+  const auto t_single =
+      run_circle_searches(g, single, ClusterModel{}, config);
+  const auto t_spread =
+      run_circle_searches(g, spread, ClusterModel{}, config);
+  EXPECT_EQ(t_single.total.network_bytes, 0u);
+  EXPECT_GT(t_spread.total.network_bytes, 0u);
+}
+
+// --- Clique search -------------------------------------------------------------------
+
+TEST(CliqueSearchTest, FindsCliquesInCompleteGraph) {
+  const Graph g = make_complete(10);
+  CliqueSearchConfig config;
+  config.sizes = {3, 4};
+  config.starts = 10;
+  config.forward_prob = 1.0;  // deterministic flooding for the test
+  config.max_pending = 512;
+  std::vector<std::uint64_t> found;
+  (void)run_clique_searches(g, assign_with(g, "hash", 4), ClusterModel{}, config,
+                      &found);
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_GT(found[0], 0u);  // triangles
+  EXPECT_GT(found[1], 0u);  // 4-cliques
+}
+
+TEST(CliqueSearchTest, NoTrianglesInBipartiteGraph) {
+  // A grid is bipartite: triangle-free.
+  const Graph g = make_grid(6, 6);
+  CliqueSearchConfig config;
+  config.sizes = {3};
+  config.starts = 12;
+  config.forward_prob = 1.0;
+  std::vector<std::uint64_t> found;
+  (void)run_clique_searches(g, assign_with(g, "hash", 4), ClusterModel{}, config,
+                      &found);
+  EXPECT_EQ(found[0], 0u);
+}
+
+TEST(CliqueSearchTest, ProbabilisticFloodingIsDeterministicPerSeed) {
+  const Graph g = make_community_graph({.num_communities = 10, .seed = 2});
+  CliqueSearchConfig config;
+  config.sizes = {4};
+  config.starts = 5;
+  config.seed = 77;
+  std::vector<std::uint64_t> found_a, found_b;
+  const auto assignments = assign_with(g, "hdrf", 8);
+  (void)run_clique_searches(g, assignments, ClusterModel{}, config, &found_a);
+  (void)run_clique_searches(g, assignments, ClusterModel{}, config, &found_b);
+  EXPECT_EQ(found_a, found_b);
+}
+
+TEST(CliqueSearchTest, OneBlockPerSize) {
+  const Graph g = make_complete(6);
+  CliqueSearchConfig config;  // default sizes {3,4,5}
+  const auto result = run_clique_searches(g, assign_with(g, "hash", 4),
+                                          ClusterModel{}, config);
+  EXPECT_EQ(result.block_seconds.size(), 3u);
+}
+
+}  // namespace
+}  // namespace adwise

@@ -1,0 +1,297 @@
+// Tests for the single-edge baselines (hash, grid, dbh, greedy, hdrf), the
+// NE all-edge baseline, and the shared partitioner-invariant property suite.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/graph/edge_stream.h"
+#include "src/graph/generators.h"
+#include "src/partition/dbh_partitioner.h"
+#include "src/partition/greedy_partitioner.h"
+#include "src/partition/grid_partitioner.h"
+#include "src/partition/hash_partitioner.h"
+#include "src/partition/hdrf_partitioner.h"
+#include "src/partition/ne_partitioner.h"
+#include "src/partition/registry.h"
+
+namespace adwise {
+namespace {
+
+struct RunOutput {
+  PartitionState state;
+  std::vector<Assignment> assignments;
+};
+
+RunOutput run(EdgePartitioner& partitioner, const Graph& graph,
+              std::uint32_t k, StreamOrder order = StreamOrder::kNatural) {
+  RunOutput out{PartitionState(k, graph.num_vertices()), {}};
+  const auto edges = ordered_edges(graph, order, 7);
+  VectorEdgeStream stream(edges);
+  partitioner.partition(stream, out.state, [&](const Edge& e, PartitionId p) {
+    out.assignments.push_back({e, p});
+  });
+  return out;
+}
+
+// --- Shared invariants, parameterized over (algorithm, graph, k) -------------
+
+struct PropertyCase {
+  std::string algorithm;
+  std::string graph_name;
+  std::uint32_t k;
+};
+
+class PartitionerPropertyTest
+    : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  static Graph graph_for(const std::string& name) {
+    if (name == "er") return make_erdos_renyi(600, 3000, 11);
+    if (name == "community") {
+      return make_community_graph({.num_communities = 60, .seed = 3});
+    }
+    if (name == "rmat") {
+      return make_rmat({.scale = 10, .num_edges = 4000, .seed = 5});
+    }
+    if (name == "grid") return make_grid(20, 30);
+    return make_path(100);
+  }
+};
+
+TEST_P(PartitionerPropertyTest, Invariants) {
+  const auto& param = GetParam();
+  const Graph graph = graph_for(param.graph_name);
+  auto partitioner =
+      make_baseline_partitioner(param.algorithm, param.k, /*seed=*/1);
+  ASSERT_NE(partitioner, nullptr);
+
+  const RunOutput out = run(*partitioner, graph, param.k);
+
+  // Every edge assigned exactly once.
+  EXPECT_EQ(out.assignments.size(), graph.num_edges());
+  EXPECT_EQ(out.state.assigned_edges(), graph.num_edges());
+
+  // Partition ids in range; per-partition counts match the sink.
+  std::vector<std::uint64_t> counts(param.k, 0);
+  for (const Assignment& a : out.assignments) {
+    ASSERT_LT(a.partition, param.k);
+    ++counts[a.partition];
+    // Replica-set consistency: both endpoints replicated where assigned.
+    EXPECT_TRUE(out.state.replicas(a.edge.u).contains(a.partition));
+    EXPECT_TRUE(out.state.replicas(a.edge.v).contains(a.partition));
+  }
+  for (PartitionId p = 0; p < param.k; ++p) {
+    EXPECT_EQ(counts[p], out.state.edges_on(p));
+  }
+
+  // Replication degree is at least 1 and at most k.
+  const double rep = out.state.replication_degree();
+  EXPECT_GE(rep, 1.0);
+  EXPECT_LE(rep, static_cast<double>(param.k));
+}
+
+std::vector<PropertyCase> property_cases() {
+  std::vector<PropertyCase> cases;
+  for (const char* algo :
+       {"hash", "1d", "grid", "dbh", "greedy", "hdrf", "ne"}) {
+    for (const char* graph : {"er", "community", "rmat", "grid", "path"}) {
+      for (const std::uint32_t k : {2u, 4u, 8u, 32u}) {
+        cases.push_back({algo, graph, k});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, PartitionerPropertyTest,
+    ::testing::ValuesIn(property_cases()),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return info.param.algorithm + "_" + info.param.graph_name + "_k" +
+             std::to_string(info.param.k);
+    });
+
+// --- Hash -----------------------------------------------------------------------
+
+TEST(HashPartitionerTest, DeterministicPerEdge) {
+  HashPartitioner a(3);
+  HashPartitioner b(3);
+  PartitionState st(8, 100);
+  for (VertexId u = 0; u < 20; ++u) {
+    EXPECT_EQ(a.place({u, u + 1}, st), b.place({u, u + 1}, st));
+  }
+}
+
+TEST(HashPartitionerTest, OrientationIndependent) {
+  HashPartitioner h;
+  PartitionState st(8, 100);
+  EXPECT_EQ(h.place({3, 9}, st), h.place({9, 3}, st));
+}
+
+TEST(HashPartitionerTest, RoughlyBalancedOnRandomGraph) {
+  const Graph g = make_erdos_renyi(2000, 20000, 1);
+  HashPartitioner h;
+  const RunOutput out = run(h, g, 8);
+  EXPECT_LT(out.state.imbalance(), 0.2);
+}
+
+// --- Grid -----------------------------------------------------------------------
+
+TEST(GridPartitionerTest, FactorizesMostSquare) {
+  EXPECT_EQ(GridPartitioner(16).rows(), 4u);
+  EXPECT_EQ(GridPartitioner(16).cols(), 4u);
+  EXPECT_EQ(GridPartitioner(32).rows(), 4u);
+  EXPECT_EQ(GridPartitioner(32).cols(), 8u);
+  EXPECT_EQ(GridPartitioner(7).rows(), 1u);  // prime: degenerate row
+}
+
+TEST(GridPartitionerTest, ReplicasBoundedByConstraintSet) {
+  const Graph g = make_erdos_renyi(500, 8000, 2);
+  GridPartitioner grid(16, 1);
+  const RunOutput out = run(grid, g, 16);
+  // Constraint set has rows + cols - 1 = 7 cells for k=16.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(out.state.replicas(v).size(), 7u);
+  }
+}
+
+// --- DBH ------------------------------------------------------------------------
+
+TEST(DbhPartitionerTest, SpokesOfStarStayUnreplicated) {
+  // Stream the star twice so the hub's high degree is already observed the
+  // second time: every spoke has degree 1 < hub degree, so DBH hashes the
+  // spoke and each spoke keeps exactly one replica.
+  const Graph g = make_star(200);
+  DbhPartitioner dbh;
+  PartitionState st(8, g.num_vertices());
+  VectorEdgeStream warmup(g.edges());
+  dbh.partition(warmup, st);
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(st.replicas(v).size(), 1u);
+  }
+  // The hub collects replicas on many partitions instead.
+  EXPECT_GT(st.replicas(0).size(), 4u);
+}
+
+TEST(DbhPartitionerTest, BetterThanHashOnSkewedGraph) {
+  const Graph g = make_rmat({.scale = 11, .num_edges = 20000, .seed = 4});
+  HashPartitioner hash;
+  DbhPartitioner dbh;
+  const double rep_hash = run(hash, g, 16).state.replication_degree();
+  const double rep_dbh = run(dbh, g, 16).state.replication_degree();
+  EXPECT_LT(rep_dbh, rep_hash);
+}
+
+// --- Greedy ----------------------------------------------------------------------
+
+TEST(GreedyPartitionerTest, PathCollapsesToOnePartition) {
+  // With case-3 chaining, a path streamed in order never leaves the first
+  // partition: replication degree is exactly 1.
+  const Graph g = make_path(500);
+  GreedyPartitioner greedy;
+  const RunOutput out = run(greedy, g, 8);
+  EXPECT_DOUBLE_EQ(out.state.replication_degree(), 1.0);
+}
+
+TEST(GreedyPartitionerTest, PrefersSharedPartition) {
+  GreedyPartitioner greedy;
+  PartitionState st(4, 10);
+  st.assign({0, 1}, 2);
+  st.assign({1, 2}, 2);
+  // Both endpoints of (0,2) are replicated on partition 2.
+  EXPECT_EQ(greedy.place({0, 2}, st), 2u);
+}
+
+TEST(GreedyPartitionerTest, FreshEdgeGoesToLeastLoaded) {
+  GreedyPartitioner greedy;
+  PartitionState st(3, 10);
+  st.assign({0, 1}, 0);
+  st.assign({1, 2}, 0);
+  EXPECT_EQ(greedy.place({5, 6}, st), 1u);  // least loaded, smallest id
+}
+
+// --- HDRF ------------------------------------------------------------------------
+
+TEST(HdrfPartitionerTest, PrefersPartitionWithBothReplicas) {
+  HdrfPartitioner hdrf;
+  PartitionState st(4, 10);
+  st.assign({0, 1}, 1);
+  st.assign({2, 3}, 2);
+  st.assign({9, 8}, 0);
+  st.assign({9, 7}, 3);
+  // Vertex 0 and 2 meet: partition 1 holds 0, partition 2 holds 2; both are
+  // single-replica scores, so balance breaks the tie toward the less loaded
+  // of {1, 2}; both hold 1 edge, so either is acceptable — but a partition
+  // holding BOTH endpoints must win if it exists.
+  st.assign({0, 2}, 1);
+  EXPECT_EQ(hdrf.place({0, 2}, st), 1u);
+}
+
+TEST(HdrfPartitionerTest, StaysBalancedOnAdversarialOrder) {
+  const Graph g = make_community_graph({.num_communities = 50, .seed = 9});
+  HdrfPartitioner hdrf;
+  const RunOutput out = run(hdrf, g, 8);
+  EXPECT_LT(out.state.imbalance(), 0.3);
+}
+
+TEST(HdrfPartitionerTest, BeatsHashOnCommunityGraph) {
+  const Graph g = make_community_graph({.num_communities = 80, .seed = 12});
+  HashPartitioner hash;
+  HdrfPartitioner hdrf;
+  const double rep_hash = run(hash, g, 16).state.replication_degree();
+  const double rep_hdrf = run(hdrf, g, 16).state.replication_degree();
+  EXPECT_LT(rep_hdrf, rep_hash);
+}
+
+TEST(HdrfPartitionerTest, HighDegreeVerticesReplicatedFirst) {
+  // Star + ring: the hub (high degree) should accumulate more replicas than
+  // the low-degree ring vertices on average.
+  Graph g = make_star(300);
+  for (VertexId i = 1; i + 1 < 300; ++i) g.add_edge(i, i + 1);
+  HdrfPartitioner hdrf;
+  const RunOutput out = run(hdrf, g, 8);
+  double spoke_replicas = 0;
+  for (VertexId v = 1; v < 300; ++v) {
+    spoke_replicas += out.state.replicas(v).size();
+  }
+  spoke_replicas /= 299.0;
+  EXPECT_GT(out.state.replicas(0).size(), spoke_replicas);
+}
+
+// --- NE --------------------------------------------------------------------------
+
+TEST(NePartitionerTest, AssignsEverythingWithBalancedTargets) {
+  const Graph g = make_community_graph({.num_communities = 40, .seed = 8});
+  NePartitioner ne(3);
+  const RunOutput out = run(ne, g, 8);
+  EXPECT_EQ(out.state.assigned_edges(), g.num_edges());
+  // Expansion caps each partition at ceil(m/k); min can lag slightly.
+  EXPECT_LE(out.state.max_partition_size(),
+            (g.num_edges() + 7) / 8 + 1);
+}
+
+TEST(NePartitionerTest, BeatsHashOnCliqueChain) {
+  const Graph g = make_clique_chain(40, 8);
+  HashPartitioner hash;
+  NePartitioner ne(3);
+  const double rep_hash = run(hash, g, 8).state.replication_degree();
+  const double rep_ne = run(ne, g, 8).state.replication_degree();
+  EXPECT_LT(rep_ne, rep_hash * 0.7);
+}
+
+// --- Registry ----------------------------------------------------------------------
+
+TEST(RegistryTest, KnowsAllBaselines) {
+  for (const auto name : baseline_partitioner_names()) {
+    const auto partitioner = make_baseline_partitioner(name, 8);
+    ASSERT_NE(partitioner, nullptr) << name;
+    EXPECT_EQ(partitioner->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(make_baseline_partitioner("metis", 8), nullptr);
+}
+
+}  // namespace
+}  // namespace adwise

@@ -1,0 +1,274 @@
+// Tests for src/common: rng, hashing, clock, replica sets, statistics.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/hashing.h"
+#include "src/common/replica_set.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace adwise {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.next_bool(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, ExtremeProbabilities) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+// --- Hashing -----------------------------------------------------------------
+
+TEST(HashingTest, SplitMixIsDeterministic) {
+  EXPECT_EQ(splitmix64(123), splitmix64(123));
+  EXPECT_NE(splitmix64(123), splitmix64(124));
+}
+
+TEST(HashingTest, EdgeHashIsSymmetric) {
+  EXPECT_EQ(hash_edge(3, 9, 1), hash_edge(9, 3, 1));
+  EXPECT_EQ(hash_edge(0, 0, 5), hash_edge(0, 0, 5));
+}
+
+TEST(HashingTest, SeedChangesEdgeHash) {
+  EXPECT_NE(hash_edge(3, 9, 1), hash_edge(3, 9, 2));
+}
+
+TEST(HashingTest, HashSpreadsAcrossBuckets) {
+  std::vector<int> buckets(16, 0);
+  for (std::uint64_t v = 0; v < 16000; ++v) {
+    ++buckets[hash_u64(v) % 16];
+  }
+  for (const int count : buckets) {
+    EXPECT_GT(count, 700);
+    EXPECT_LT(count, 1300);
+  }
+}
+
+// --- Clock -------------------------------------------------------------------
+
+TEST(ClockTest, SteadyClockAdvances) {
+  SteadyClock clock;
+  const auto t0 = clock.now();
+  const auto t1 = clock.now();
+  EXPECT_GE(t1, t0);
+}
+
+TEST(ClockTest, FakeClockIsManual) {
+  FakeClock clock;
+  EXPECT_EQ(clock.now(), 0ns);
+  clock.advance(10ms);
+  EXPECT_EQ(clock.now(), 10ms);
+  clock.set(1s);
+  EXPECT_EQ(clock.now(), 1s);
+}
+
+TEST(ClockTest, StopwatchMeasuresFakeTime) {
+  FakeClock clock;
+  Stopwatch watch(clock);
+  clock.advance(250ms);
+  EXPECT_DOUBLE_EQ(watch.elapsed_seconds(), 0.25);
+  watch.restart();
+  EXPECT_DOUBLE_EQ(watch.elapsed_seconds(), 0.0);
+}
+
+// --- ReplicaSet --------------------------------------------------------------
+
+TEST(ReplicaSetTest, StartsEmpty) {
+  ReplicaSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(0));
+}
+
+TEST(ReplicaSetTest, InsertAndContains) {
+  ReplicaSet set;
+  EXPECT_TRUE(set.insert(5));
+  EXPECT_FALSE(set.insert(5));  // duplicate
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_FALSE(set.contains(6));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(ReplicaSetTest, EraseRemoves) {
+  ReplicaSet set;
+  set.insert(3);
+  EXPECT_TRUE(set.erase(3));
+  EXPECT_FALSE(set.erase(3));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(ReplicaSetTest, SpillsBeyond64) {
+  ReplicaSet set;
+  for (std::uint32_t id : {0u, 63u, 64u, 127u, 128u, 500u}) {
+    EXPECT_TRUE(set.insert(id));
+  }
+  EXPECT_EQ(set.size(), 6u);
+  for (std::uint32_t id : {0u, 63u, 64u, 127u, 128u, 500u}) {
+    EXPECT_TRUE(set.contains(id));
+  }
+  EXPECT_FALSE(set.contains(65));
+  EXPECT_FALSE(set.contains(501));
+}
+
+TEST(ReplicaSetTest, ForEachVisitsAscending) {
+  ReplicaSet set;
+  for (std::uint32_t id : {70u, 3u, 0u, 65u, 31u}) set.insert(id);
+  std::vector<std::uint32_t> visited;
+  set.for_each([&](std::uint32_t id) { visited.push_back(id); });
+  EXPECT_EQ(visited, (std::vector<std::uint32_t>{0, 3, 31, 65, 70}));
+}
+
+TEST(ReplicaSetTest, FirstReturnsSmallest) {
+  ReplicaSet set;
+  set.insert(40);
+  EXPECT_EQ(set.first(), 40u);
+  set.insert(7);
+  EXPECT_EQ(set.first(), 7u);
+  ReplicaSet high;
+  high.insert(100);
+  EXPECT_EQ(high.first(), 100u);
+}
+
+TEST(ReplicaSetTest, IntersectionSize) {
+  ReplicaSet a;
+  ReplicaSet b;
+  for (std::uint32_t id : {1u, 2u, 3u, 70u}) a.insert(id);
+  for (std::uint32_t id : {2u, 3u, 4u, 70u, 90u}) b.insert(id);
+  EXPECT_EQ(a.intersection_size(b), 3u);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(ReplicaSetTest, DisjointSetsDoNotIntersect) {
+  ReplicaSet a;
+  ReplicaSet b;
+  a.insert(1);
+  b.insert(2);
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_EQ(a.intersection_size(b), 0u);
+}
+
+TEST(ReplicaSetTest, EqualityIgnoresSpillCapacity) {
+  ReplicaSet a;
+  ReplicaSet b;
+  a.insert(100);
+  a.erase(100);
+  a.insert(5);
+  b.insert(5);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ReplicaSetTest, ClearResets) {
+  ReplicaSet set;
+  set.insert(1);
+  set.insert(99);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_FALSE(set.contains(99));
+}
+
+// --- Stats -------------------------------------------------------------------
+
+TEST(StatsTest, RunningMean) {
+  RunningMean mean;
+  mean.add(2.0);
+  mean.add(4.0);
+  mean.add(6.0);
+  EXPECT_DOUBLE_EQ(mean.mean(), 4.0);
+  EXPECT_EQ(mean.count(), 3u);
+  mean.reset();
+  EXPECT_EQ(mean.count(), 0u);
+}
+
+TEST(StatsTest, EwmaTracksFirstSample) {
+  Ewma ewma(0.5);
+  EXPECT_FALSE(ewma.initialized());
+  ewma.add(10.0);
+  EXPECT_TRUE(ewma.initialized());
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+  ewma.add(20.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 15.0);
+}
+
+TEST(StatsTest, SummaryQuantiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_NEAR(s.p99, 99.01, 0.1);
+}
+
+TEST(StatsTest, SummaryOfEmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+}  // namespace
+}  // namespace adwise

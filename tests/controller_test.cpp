@@ -1,0 +1,186 @@
+// Tests for the adaptive window controller: C1/C2 growth and shrink rules,
+// latency budgets via FakeClock (§III-A, Algorithm 1 lines 11-17).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "src/core/adaptive_controller.h"
+
+namespace adwise {
+namespace {
+
+using namespace std::chrono_literals;
+
+AdwiseOptions options_with(std::int64_t latency_ms,
+                           std::uint64_t initial = 1,
+                           std::uint64_t max_window = 1 << 16) {
+  AdwiseOptions opts;
+  opts.latency_preference_ms = latency_ms;
+  opts.initial_window = initial;
+  opts.max_window = max_window;
+  return opts;
+}
+
+TEST(ControllerTest, StartsAtInitialWindow) {
+  FakeClock clock;
+  AdaptiveController ctrl(options_with(-1, 4), clock, 1000);
+  EXPECT_EQ(ctrl.window_size(), 4u);
+}
+
+TEST(ControllerTest, ZeroInitialWindowClampsToOne) {
+  FakeClock clock;
+  AdaptiveController ctrl(options_with(-1, 0), clock, 1000);
+  EXPECT_EQ(ctrl.window_size(), 1u);
+}
+
+TEST(ControllerTest, GrowsWhenUnconstrainedAndScoresHold) {
+  FakeClock clock;
+  AdaptiveController ctrl(options_with(-1), clock, 1000);
+  // Constant scores: C1 holds (non-degrading); no latency preference: C2
+  // holds. Window doubles after each full batch.
+  std::uint64_t assigned = 0;
+  for (int batch = 0; batch < 4; ++batch) {
+    const std::uint64_t w = ctrl.window_size();
+    for (std::uint64_t i = 0; i < w; ++i) {
+      ctrl.on_assignment(1.0, ++assigned);
+    }
+  }
+  EXPECT_EQ(ctrl.window_size(), 16u);
+  EXPECT_EQ(ctrl.adaptations(), 4u);
+}
+
+TEST(ControllerTest, GrowthCappedAtMaxWindow) {
+  FakeClock clock;
+  AdaptiveController ctrl(options_with(-1, 1, 8), clock, 100000);
+  std::uint64_t assigned = 0;
+  for (int batch = 0; batch < 10; ++batch) {
+    const std::uint64_t w = ctrl.window_size();
+    for (std::uint64_t i = 0; i < w; ++i) {
+      ctrl.on_assignment(1.0, ++assigned);
+    }
+  }
+  EXPECT_EQ(ctrl.window_size(), 8u);
+}
+
+TEST(ControllerTest, DegradedScoresBlockGrowth) {
+  FakeClock clock;
+  AdaptiveController ctrl(options_with(-1, 4), clock, 1000);
+  std::uint64_t assigned = 0;
+  // First batch: high scores.
+  for (int i = 0; i < 4; ++i) ctrl.on_assignment(10.0, ++assigned);
+  EXPECT_EQ(ctrl.window_size(), 8u);  // C1 vacuous on the first batch
+  // Second batch: much worse scores -> C1 fails -> hold (C2 true).
+  for (int i = 0; i < 8; ++i) ctrl.on_assignment(1.0, ++assigned);
+  EXPECT_EQ(ctrl.window_size(), 8u);
+}
+
+TEST(ControllerTest, ZeroLatencyPreferenceCollapsesToSingleEdge) {
+  // Paper: "if the latency preference L is too tight (e.g. 0 seconds), the
+  // algorithm decreases w until w = 1".
+  FakeClock clock;
+  AdaptiveController ctrl(options_with(0, 32), clock, 1000);
+  std::uint64_t assigned = 0;
+  for (int batch = 0; batch < 8; ++batch) {
+    const std::uint64_t w = ctrl.window_size();
+    for (std::uint64_t i = 0; i < w; ++i) {
+      clock.advance(1ms);  // any nonzero latency violates a zero budget
+      ctrl.on_assignment(1.0, ++assigned);
+    }
+  }
+  EXPECT_EQ(ctrl.window_size(), 1u);
+}
+
+TEST(ControllerTest, ShrinksWhenPerEdgeLatencyExceedsBudget) {
+  // Budget: 100 ms for 1000 edges => 0.1 ms/edge. Simulate 1 ms/edge.
+  FakeClock clock;
+  AdaptiveController ctrl(options_with(100, 8), clock, 1000);
+  std::uint64_t assigned = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    clock.advance(1ms);
+    ctrl.on_assignment(1.0, ++assigned);
+  }
+  EXPECT_EQ(ctrl.window_size(), 4u);
+}
+
+TEST(ControllerTest, GrowsWhenWellUnderBudget) {
+  // Budget: 10 s for 1000 edges => 10 ms/edge. Simulate 0.01 ms/edge.
+  FakeClock clock;
+  AdaptiveController ctrl(options_with(10000, 4), clock, 1000);
+  std::uint64_t assigned = 0;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    clock.advance(10us);
+    ctrl.on_assignment(1.0, ++assigned);
+  }
+  EXPECT_EQ(ctrl.window_size(), 8u);
+}
+
+TEST(ControllerTest, HoldsWindowWhenBudgetOkButScoresDegrade) {
+  FakeClock clock;
+  AdaptiveController ctrl(options_with(10000, 4), clock, 1000);
+  std::uint64_t assigned = 0;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    clock.advance(10us);
+    ctrl.on_assignment(5.0, ++assigned);
+  }
+  ASSERT_EQ(ctrl.window_size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    clock.advance(10us);
+    ctrl.on_assignment(1.0, ++assigned);  // worse scores, good latency
+  }
+  EXPECT_EQ(ctrl.window_size(), 8u);  // hold: ¬C1 but C2
+}
+
+TEST(ControllerTest, WindowNeverBelowOne) {
+  FakeClock clock;
+  AdaptiveController ctrl(options_with(1, 1), clock, 10);
+  std::uint64_t assigned = 0;
+  for (int i = 0; i < 6; ++i) {
+    clock.advance(100ms);
+    ctrl.on_assignment(1.0, ++assigned);
+  }
+  EXPECT_EQ(ctrl.window_size(), 1u);
+}
+
+TEST(ControllerTest, ExhaustedBudgetForcesShrink) {
+  FakeClock clock;
+  AdaptiveController ctrl(options_with(50, 4), clock, 1000);
+  clock.advance(60ms);  // already over the 50 ms preference
+  std::uint64_t assigned = 0;
+  for (std::uint64_t i = 0; i < 4; ++i) ctrl.on_assignment(1.0, ++assigned);
+  EXPECT_EQ(ctrl.window_size(), 2u);
+}
+
+TEST(ControllerTest, ExhaustedStreamFreezesWindow) {
+  FakeClock clock;
+  AdaptiveController ctrl(options_with(10, 2), clock, 4);
+  clock.advance(1s);  // far over budget, but the stream is finished
+  ctrl.on_assignment(1.0, 4);
+  ctrl.on_assignment(1.0, 4);
+  // The window neither grows nor shrinks while it only drains.
+  EXPECT_EQ(ctrl.window_size(), 2u);
+}
+
+TEST(ControllerTest, AdaptiveWindowDisabledKeepsSize) {
+  FakeClock clock;
+  AdwiseOptions opts = options_with(-1, 16);
+  opts.adaptive_window = false;
+  AdaptiveController ctrl(opts, clock, 1000);
+  std::uint64_t assigned = 0;
+  for (int i = 0; i < 100; ++i) ctrl.on_assignment(1.0, ++assigned);
+  EXPECT_EQ(ctrl.window_size(), 16u);
+  EXPECT_EQ(ctrl.adaptations(), 0u);
+}
+
+TEST(ControllerTest, MaxWindowReachedIsTracked) {
+  FakeClock clock;
+  AdaptiveController ctrl(options_with(-1, 1), clock, 1000);
+  std::uint64_t assigned = 0;
+  for (int batch = 0; batch < 3; ++batch) {
+    const std::uint64_t w = ctrl.window_size();
+    for (std::uint64_t i = 0; i < w; ++i) ctrl.on_assignment(1.0, ++assigned);
+  }
+  EXPECT_EQ(ctrl.max_window_reached(), 8u);
+}
+
+}  // namespace
+}  // namespace adwise

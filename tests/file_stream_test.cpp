@@ -1,0 +1,116 @@
+// Tests for the streaming edge-list file reader.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/graph/file_stream.h"
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+#include "src/partition/hdrf_partitioner.h"
+
+namespace adwise {
+namespace {
+
+class FileStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "file_stream_test_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".txt";
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void write(const std::string& contents) {
+    std::ofstream out(path_);
+    out << contents;
+  }
+
+  std::string path_;
+};
+
+TEST_F(FileStreamTest, ScanCountsEdgesAndMaxId) {
+  write("# comment\n0 1\n1 2\n\n7 3\n5 5\n");
+  const auto stats = FileEdgeStream::scan(path_);
+  EXPECT_EQ(stats.num_edges, 3u);  // self-loop 5-5 dropped
+  EXPECT_EQ(stats.max_vertex_id, 7u);
+}
+
+TEST_F(FileStreamTest, StreamsEdgesInFileOrder) {
+  write("0 1\n1 2\n7 3\n");
+  FileEdgeStream stream(path_, 3);
+  EXPECT_EQ(stream.size_hint(), 3u);
+  Edge e;
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{0, 1}));
+  EXPECT_EQ(stream.size_hint(), 2u);
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{1, 2}));
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{7, 3}));
+  EXPECT_FALSE(stream.next(e));
+  EXPECT_TRUE(stream.exhausted());
+}
+
+TEST_F(FileStreamTest, SkipsCommentsAndSelfLoops) {
+  write("% header\n1 1\n# mid comment\n2 3\n");
+  FileEdgeStream stream(path_, FileEdgeStream::scan(path_).num_edges);
+  Edge e;
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{2, 3}));
+  EXPECT_FALSE(stream.next(e));
+}
+
+TEST_F(FileStreamTest, EmptyFile) {
+  write("");
+  const auto stats = FileEdgeStream::scan(path_);
+  EXPECT_EQ(stats.num_edges, 0u);
+  FileEdgeStream stream(path_, 0);
+  Edge e;
+  EXPECT_FALSE(stream.next(e));
+}
+
+TEST_F(FileStreamTest, ThrowsOnMissingFile) {
+  EXPECT_THROW((void)FileEdgeStream::scan("/nonexistent/graph.txt"),
+               std::runtime_error);
+  EXPECT_THROW(FileEdgeStream("/nonexistent/graph.txt", 5),
+               std::runtime_error);
+}
+
+TEST_F(FileStreamTest, ThrowsOnOversizedVertexId) {
+  write("0 99999999999\n");
+  // scan() tolerates the id (it only counts); streaming rejects it.
+  FileEdgeStream stream(path_, 1);
+  Edge e;
+  EXPECT_THROW(stream.next(e), std::runtime_error);
+}
+
+TEST_F(FileStreamTest, PartitioningFromFileMatchesInMemory) {
+  // End-to-end: write a generated graph, stream-partition it from disk, and
+  // compare against partitioning the in-memory edge list.
+  const Graph g = make_community_graph({.num_communities = 20, .seed = 4});
+  {
+    std::ofstream out(path_);
+    write_edge_list(out, g);
+  }
+  const auto stats = FileEdgeStream::scan(path_);
+  ASSERT_EQ(stats.num_edges, g.num_edges());
+
+  HdrfPartitioner from_file;
+  PartitionState file_state(8, static_cast<VertexId>(stats.max_vertex_id + 1));
+  FileEdgeStream file_stream(path_, stats.num_edges);
+  from_file.partition(file_stream, file_state);
+
+  HdrfPartitioner in_memory;
+  PartitionState mem_state(8, g.num_vertices());
+  VectorEdgeStream mem_stream(g.edges());
+  in_memory.partition(mem_stream, mem_state);
+
+  EXPECT_DOUBLE_EQ(file_state.replication_degree(),
+                   mem_state.replication_degree());
+  EXPECT_EQ(file_state.max_partition_size(), mem_state.max_partition_size());
+}
+
+}  // namespace
+}  // namespace adwise

@@ -1,0 +1,379 @@
+// Tests for src/graph: graph type, CSR, streams, generators, io, metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/graph/csr.h"
+#include "src/graph/edge_stream.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "src/graph/io.h"
+#include "src/graph/metrics.h"
+
+namespace adwise {
+namespace {
+
+// --- Graph -------------------------------------------------------------------
+
+TEST(GraphTest, AddEdgeGrowsVertexRange) {
+  Graph g;
+  g.add_edge(0, 5);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphTest, DegreesCountBothEndpoints) {
+  Graph g = make_path(4);  // 0-1-2-3
+  const auto deg = g.degrees();
+  EXPECT_EQ(deg[0], 1u);
+  EXPECT_EQ(deg[1], 2u);
+  EXPECT_EQ(deg[2], 2u);
+  EXPECT_EQ(deg[3], 1u);
+}
+
+TEST(GraphTest, MakeSimpleRemovesDuplicatesAndLoops) {
+  Graph g(4, {{0, 1}, {1, 0}, {2, 2}, {1, 2}, {0, 1}});
+  g.make_simple();
+  EXPECT_EQ(g.num_edges(), 2u);  // (0,1) and (1,2)
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_LE(e.u, e.v);
+  }
+}
+
+TEST(GraphTest, CanonicalOrdersEndpoints) {
+  EXPECT_EQ(canonical({5, 2}), (Edge{2, 5}));
+  EXPECT_EQ(canonical({2, 5}), (Edge{2, 5}));
+}
+
+// --- Csr ---------------------------------------------------------------------
+
+TEST(CsrTest, NeighborsOfPath) {
+  const Csr csr(make_path(4));
+  EXPECT_EQ(csr.degree(0), 1u);
+  EXPECT_EQ(csr.degree(1), 2u);
+  const auto nbrs = csr.neighbors(1);
+  EXPECT_EQ(std::vector<VertexId>(nbrs.begin(), nbrs.end()),
+            (std::vector<VertexId>{0, 2}));
+}
+
+TEST(CsrTest, HasEdge) {
+  const Csr csr(make_cycle(5));
+  EXPECT_TRUE(csr.has_edge(0, 1));
+  EXPECT_TRUE(csr.has_edge(4, 0));
+  EXPECT_FALSE(csr.has_edge(0, 2));
+}
+
+TEST(CsrTest, IncidentEdgeIdsMatchGraph) {
+  const Graph g = make_star(5);
+  const Csr csr(g);
+  for (const std::uint32_t id : csr.incident_edges(0)) {
+    const Edge& e = g.edge(id);
+    EXPECT_TRUE(e.u == 0 || e.v == 0);
+  }
+  EXPECT_EQ(csr.incident_edges(0).size(), 4u);
+}
+
+TEST(CsrTest, TotalAdjacencyIsTwiceEdges) {
+  const Graph g = make_grid(4, 5);
+  const Csr csr(g);
+  std::size_t total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) total += csr.degree(v);
+  EXPECT_EQ(total, 2 * g.num_edges());
+}
+
+// --- Structured generators ----------------------------------------------------
+
+TEST(GeneratorsTest, PathCycleStarCompleteSizes) {
+  EXPECT_EQ(make_path(10).num_edges(), 9u);
+  EXPECT_EQ(make_cycle(10).num_edges(), 10u);
+  EXPECT_EQ(make_star(10).num_edges(), 9u);
+  EXPECT_EQ(make_complete(6).num_edges(), 15u);
+}
+
+TEST(GeneratorsTest, GridSize) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8
+  EXPECT_EQ(g.num_edges(), 17u);
+}
+
+TEST(GeneratorsTest, CliqueChain) {
+  const Graph g = make_clique_chain(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // 3 cliques of C(4,2)=6 edges plus 2 bridges.
+  EXPECT_EQ(g.num_edges(), 3 * 6 + 2u);
+}
+
+// --- Random generators ---------------------------------------------------------
+
+TEST(GeneratorsTest, ErdosRenyiIsSimpleAndDeterministic) {
+  const Graph a = make_erdos_renyi(1000, 5000, 42);
+  const Graph b = make_erdos_renyi(1000, 5000, 42);
+  EXPECT_EQ(a.num_edges(), 5000u);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.edge(i), b.edge(i));
+  }
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : a.edges()) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_TRUE(seen.insert({e.u, e.v}).second) << "duplicate edge";
+  }
+}
+
+TEST(GeneratorsTest, RmatHasSkewedDegrees) {
+  RmatParams params;
+  params.scale = 12;
+  params.num_edges = 30000;
+  const Graph g = make_rmat(params);
+  EXPECT_GT(g.num_edges(), 25000u);
+  const DegreeStats stats = degree_stats(g);
+  // Power-law-ish: the top 1% of vertices hold a large share of degree.
+  EXPECT_GT(stats.top1pct_degree_share, 0.15);
+  EXPECT_GT(stats.max, 100u);
+}
+
+TEST(GeneratorsTest, WattsStrogatzRingLatticeClustering) {
+  // beta = 0: pure ring lattice with k=4 per side; analytic local
+  // clustering coefficient is 3(k-1)/(2(2k-1)) = 9/14 ~ 0.643.
+  const Graph g = make_watts_strogatz(2000, 4, 0.0, 1);
+  const Csr csr(g);
+  ClusteringOptions opts;
+  opts.vertex_sample = 3000;  // exhaustive
+  const double cc = clustering_coefficient(csr, opts);
+  EXPECT_NEAR(cc, 9.0 / 14.0, 0.02);
+}
+
+TEST(GeneratorsTest, WattsStrogatzRewiringLowersClustering) {
+  const Csr lattice(make_watts_strogatz(2000, 4, 0.0, 1));
+  const Csr rewired(make_watts_strogatz(2000, 4, 0.8, 1));
+  ClusteringOptions opts;
+  opts.vertex_sample = 3000;
+  EXPECT_LT(clustering_coefficient(rewired, opts),
+            clustering_coefficient(lattice, opts) / 2);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertDegreeTail) {
+  const Graph g = make_barabasi_albert(3000, 4, 11);
+  // Simple graph with roughly n*m edges (duplicates removed).
+  EXPECT_GT(g.num_edges(), 3000u * 3);
+  EXPECT_LE(g.num_edges(), 3000u * 4 + 20);
+  const DegreeStats stats = degree_stats(g);
+  // Preferential attachment: heavy tail, hubs well above the mean.
+  EXPECT_GT(stats.max, 50u);
+  EXPECT_GT(stats.top1pct_degree_share, 0.08);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertDeterministicAndSimple) {
+  const Graph a = make_barabasi_albert(500, 3, 7);
+  const Graph b = make_barabasi_albert(500, 3, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (std::size_t i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.edge(i), b.edge(i));
+    EXPECT_NE(a.edge(i).u, a.edge(i).v);
+    EXPECT_TRUE(seen.insert({a.edge(i).u, a.edge(i).v}).second);
+  }
+}
+
+TEST(GeneratorsTest, BarabasiAlbertTinyInputs) {
+  EXPECT_EQ(make_barabasi_albert(0, 3, 1).num_edges(), 0u);
+  const Graph g = make_barabasi_albert(2, 3, 1);
+  EXPECT_EQ(g.num_edges(), 1u);  // just the seed pair
+}
+
+TEST(GeneratorsTest, CommunityGraphIsClustered) {
+  CommunityParams params;
+  params.num_communities = 100;
+  params.intra_density = 0.8;
+  params.seed = 5;
+  const Graph g = make_community_graph(params);
+  const Csr csr(g);
+  EXPECT_GT(clustering_coefficient(csr), 0.5);
+}
+
+// --- Table II stand-ins ---------------------------------------------------------
+
+TEST(GeneratorsTest, OrkutLikeHasLowClustering) {
+  // "Low" relative to the other stand-ins (the ordering across all three is
+  // asserted in integration_test); small scales read a little higher than
+  // the full-size preset.
+  const NamedGraph named = make_orkut_like(0.05);
+  const Csr csr(named.graph);
+  ClusteringOptions opts;
+  opts.vertex_sample = 4000;
+  EXPECT_LT(clustering_coefficient(csr, opts), 0.25);
+  EXPECT_EQ(named.kind, "Social");
+}
+
+TEST(GeneratorsTest, BrainLikeHasModerateClustering) {
+  const NamedGraph named = make_brain_like(0.05);
+  const Csr csr(named.graph);
+  const double cc = clustering_coefficient(csr);
+  EXPECT_GT(cc, 0.25);
+  EXPECT_LT(cc, 0.7);
+}
+
+TEST(GeneratorsTest, WebLikeHasHighClustering) {
+  const NamedGraph named = make_web_like(0.05);
+  const Csr csr(named.graph);
+  EXPECT_GT(clustering_coefficient(csr), 0.6);
+}
+
+TEST(GeneratorsTest, StandInsScaleWithParameter) {
+  const auto small = make_brain_like(0.02);
+  const auto large = make_brain_like(0.08);
+  EXPECT_GT(large.graph.num_edges(), 2 * small.graph.num_edges());
+}
+
+// --- Metrics ---------------------------------------------------------------------
+
+TEST(MetricsTest, CompleteGraphClusteringIsOne) {
+  const Csr csr(make_complete(12));
+  EXPECT_DOUBLE_EQ(clustering_coefficient(csr), 1.0);
+}
+
+TEST(MetricsTest, StarClusteringIsZero) {
+  const Csr csr(make_star(20));
+  EXPECT_DOUBLE_EQ(clustering_coefficient(csr), 0.0);
+}
+
+TEST(MetricsTest, TriangleClusteringIsOne) {
+  const Csr csr(make_cycle(3));
+  EXPECT_DOUBLE_EQ(clustering_coefficient(csr), 1.0);
+}
+
+TEST(MetricsTest, DegreeStatsOnStar) {
+  const DegreeStats stats = degree_stats(make_star(101));
+  EXPECT_EQ(stats.max, 100u);
+  EXPECT_NEAR(stats.mean, 200.0 / 101.0, 1e-9);
+  // Vertex 0 is the single top-1% vertex and holds half the degree mass.
+  EXPECT_NEAR(stats.top1pct_degree_share, 0.5, 0.01);
+}
+
+// --- Edge streams -----------------------------------------------------------------
+
+TEST(EdgeStreamTest, VectorStreamDrains) {
+  const Graph g = make_path(5);
+  VectorEdgeStream stream(g.edges());
+  EXPECT_EQ(stream.size_hint(), 4u);
+  Edge e;
+  std::size_t count = 0;
+  while (stream.next(e)) ++count;
+  EXPECT_EQ(count, 4u);
+  EXPECT_TRUE(stream.exhausted());
+  stream.reset();
+  EXPECT_EQ(stream.size_hint(), 4u);
+}
+
+TEST(EdgeStreamTest, ShuffledIsPermutation) {
+  const Graph g = make_grid(10, 10);
+  auto natural = ordered_edges(g, StreamOrder::kNatural);
+  auto shuffled = ordered_edges(g, StreamOrder::kShuffled, 3);
+  ASSERT_EQ(natural.size(), shuffled.size());
+  auto key = [](const Edge& e) { return std::pair(e.u, e.v); };
+  std::multiset<std::pair<VertexId, VertexId>> a, b;
+  for (const Edge& e : natural) a.insert(key(e));
+  for (const Edge& e : shuffled) b.insert(key(e));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(std::equal(natural.begin(), natural.end(), shuffled.begin(),
+                          [](const Edge& x, const Edge& y) {
+                            return x.u == y.u && x.v == y.v;
+                          }));
+}
+
+TEST(EdgeStreamTest, ShuffleDeterministicPerSeed) {
+  const Graph g = make_grid(8, 8);
+  const auto a = ordered_edges(g, StreamOrder::kShuffled, 9);
+  const auto b = ordered_edges(g, StreamOrder::kShuffled, 9);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(),
+                         [](const Edge& x, const Edge& y) {
+                           return x.u == y.u && x.v == y.v;
+                         }));
+}
+
+TEST(EdgeStreamTest, BfsCoversAllEdgesOnce) {
+  const Graph g = make_community_graph({.num_communities = 20, .seed = 2});
+  const auto bfs = ordered_edges(g, StreamOrder::kBfs, 1);
+  EXPECT_EQ(bfs.size(), g.num_edges());
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : bfs) {
+    const Edge c = canonical(e);
+    EXPECT_TRUE(seen.insert({c.u, c.v}).second);
+  }
+}
+
+TEST(EdgeStreamTest, BfsCoversDisconnectedComponents) {
+  Graph g(6, {{0, 1}, {2, 3}, {4, 5}});
+  const auto bfs = ordered_edges(g, StreamOrder::kBfs, 7);
+  EXPECT_EQ(bfs.size(), 3u);
+}
+
+TEST(EdgeStreamTest, ChunksPartitionTheStream) {
+  const Graph g = make_path(101);  // 100 edges
+  const auto chunks = chunk_edges(g.edges(), 8);
+  ASSERT_EQ(chunks.size(), 8u);
+  std::size_t total = 0;
+  for (const auto& chunk : chunks) {
+    EXPECT_GE(chunk.size(), 12u);
+    EXPECT_LE(chunk.size(), 13u);
+    total += chunk.size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(EdgeStreamTest, ChunkCountLargerThanEdges) {
+  const Graph g = make_path(3);  // 2 edges
+  const auto chunks = chunk_edges(g.edges(), 5);
+  ASSERT_EQ(chunks.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& chunk : chunks) total += chunk.size();
+  EXPECT_EQ(total, 2u);
+}
+
+// --- IO ------------------------------------------------------------------------
+
+TEST(IoTest, RoundTrip) {
+  const Graph g = make_grid(5, 5);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const LoadResult loaded = read_edge_list(buffer);
+  EXPECT_EQ(loaded.graph.num_edges(), g.num_edges());
+  EXPECT_EQ(loaded.graph.num_vertices(), g.num_vertices());
+}
+
+TEST(IoTest, SkipsCommentsAndBlankLines) {
+  std::stringstream in("# comment\n\n% other comment\n1 2\n3 4\n");
+  const LoadResult loaded = read_edge_list(in);
+  EXPECT_EQ(loaded.graph.num_edges(), 2u);
+}
+
+TEST(IoTest, DensifiesSparseIds) {
+  std::stringstream in("1000000 2000000\n2000000 3000000\n");
+  const LoadResult loaded = read_edge_list(in);
+  EXPECT_EQ(loaded.graph.num_vertices(), 3u);
+  EXPECT_EQ(loaded.original_id.size(), 3u);
+  EXPECT_EQ(loaded.original_id[0], 1000000u);
+}
+
+TEST(IoTest, DropsSelfLoops) {
+  std::stringstream in("1 1\n1 2\n");
+  const LoadResult loaded = read_edge_list(in);
+  EXPECT_EQ(loaded.graph.num_edges(), 1u);
+}
+
+TEST(IoTest, ThrowsOnMalformedLine) {
+  std::stringstream in("1 2\nnot an edge\n");
+  EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(IoTest, ThrowsOnMissingFile) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adwise

@@ -1,0 +1,168 @@
+// Cross-module integration: the full paper pipeline — generate graph,
+// stream-partition (baselines, ADWISE, spotlight), run workloads on the
+// engine — and the qualitative relationships the paper's evaluation rests on.
+#include <gtest/gtest.h>
+
+#include "src/apps/pagerank.h"
+#include "src/core/adwise_partitioner.h"
+#include "src/graph/generators.h"
+#include "src/graph/metrics.h"
+#include "src/partition/registry.h"
+#include "src/partition/spotlight.h"
+
+namespace adwise {
+namespace {
+
+struct PipelineOutput {
+  PartitionState state;
+  std::vector<Assignment> assignments;
+};
+
+PipelineOutput partition_with(EdgePartitioner& partitioner, const Graph& g,
+                              std::uint32_t k,
+                              StreamOrder order = StreamOrder::kShuffled) {
+  PipelineOutput out{PartitionState(k, g.num_vertices()), {}};
+  const auto edges = ordered_edges(g, order, 23);
+  VectorEdgeStream stream(edges);
+  partitioner.partition(stream, out.state, [&](const Edge& e, PartitionId p) {
+    out.assignments.push_back({e, p});
+  });
+  return out;
+}
+
+AdwiseOptions adwise_fixed(std::uint64_t w) {
+  AdwiseOptions opts;
+  opts.adaptive_window = false;
+  opts.initial_window = w;
+  return opts;
+}
+
+TEST(IntegrationTest, StandInsReproduceTableTwoClusteringOrdering) {
+  const auto orkut = make_orkut_like(0.05);
+  const auto brain = make_brain_like(0.05);
+  const auto web = make_web_like(0.05);
+  const double cc_orkut = clustering_coefficient(Csr(orkut.graph));
+  const double cc_brain = clustering_coefficient(Csr(brain.graph));
+  const double cc_web = clustering_coefficient(Csr(web.graph));
+  EXPECT_LT(cc_orkut, cc_brain);
+  EXPECT_LT(cc_brain, cc_web);
+}
+
+TEST(IntegrationTest, QualityOrderingOnClusteredGraph) {
+  // The Fig. 7g-i relationship: ADWISE (windowed) <= HDRF < Hash, with DBH
+  // between HDRF and Hash.
+  const Graph g = make_brain_like(0.05).graph;
+  const std::uint32_t k = 16;
+
+  auto hash = make_baseline_partitioner("hash", k);
+  auto dbh = make_baseline_partitioner("dbh", k);
+  auto hdrf = make_baseline_partitioner("hdrf", k);
+  AdwisePartitioner adw(adwise_fixed(128));
+
+  const double rep_hash = partition_with(*hash, g, k).state.replication_degree();
+  const double rep_dbh = partition_with(*dbh, g, k).state.replication_degree();
+  const double rep_hdrf = partition_with(*hdrf, g, k).state.replication_degree();
+  const double rep_adw = partition_with(adw, g, k).state.replication_degree();
+
+  EXPECT_LT(rep_dbh, rep_hash);
+  EXPECT_LT(rep_hdrf, rep_hash);
+  EXPECT_LT(rep_adw, rep_hdrf);
+}
+
+TEST(IntegrationTest, BetterPartitioningMeansFasterProcessing) {
+  // The central coupling of the paper: lower replication degree => less
+  // replica synchronization => lower simulated processing latency.
+  const Graph g = make_brain_like(0.04).graph;
+  const std::uint32_t k = 32;
+
+  auto hash = make_baseline_partitioner("hash", k);
+  AdwisePartitioner adw(adwise_fixed(128));
+  const auto out_hash = partition_with(*hash, g, k);
+  const auto out_adw = partition_with(adw, g, k);
+  ASSERT_LT(out_adw.state.replication_degree(),
+            out_hash.state.replication_degree());
+
+  const auto lat_hash =
+      run_pagerank_blocks(g, out_hash.assignments, ClusterModel{}, 1, 20);
+  const auto lat_adw =
+      run_pagerank_blocks(g, out_adw.assignments, ClusterModel{}, 1, 20);
+  EXPECT_LT(lat_adw.total.seconds, lat_hash.total.seconds);
+  EXPECT_LT(lat_adw.total.network_bytes, lat_hash.total.network_bytes);
+}
+
+TEST(IntegrationTest, SpotlightWithAdwiseInstances) {
+  const Graph g = make_brain_like(0.03).graph;
+  SpotlightOptions opts{.k = 16, .num_partitioners = 4, .spread = 4};
+  const auto result = run_spotlight(
+      g.edges(), g.num_vertices(),
+      [](std::uint32_t, std::uint32_t local_k) {
+        AdwiseOptions o;
+        o.adaptive_window = false;
+        o.initial_window = 32;
+        (void)local_k;
+        return std::make_unique<AdwisePartitioner>(o);
+      },
+      opts);
+  EXPECT_EQ(result.merged.assigned_edges(), g.num_edges());
+  EXPECT_GE(result.merged.replication_degree(), 1.0);
+
+  // The merged assignment must drive the engine without issues.
+  const auto lat =
+      run_pagerank_blocks(g, result.assignments, ClusterModel{}, 1, 5);
+  EXPECT_GT(lat.total.seconds, 0.0);
+}
+
+TEST(IntegrationTest, SpotlightReducesReplicationForAdwiseToo) {
+  const Graph g = make_brain_like(0.03).graph;
+  auto factory = [](std::uint32_t, std::uint32_t) {
+    AdwiseOptions o;
+    o.adaptive_window = false;
+    o.initial_window = 16;
+    return std::make_unique<AdwisePartitioner>(o);
+  };
+  SpotlightOptions wide{.k = 16, .num_partitioners = 4, .spread = 16};
+  SpotlightOptions narrow{.k = 16, .num_partitioners = 4, .spread = 4};
+  const double rep_wide =
+      run_spotlight(g.edges(), g.num_vertices(), factory, wide)
+          .merged.replication_degree();
+  const double rep_narrow =
+      run_spotlight(g.edges(), g.num_vertices(), factory, narrow)
+          .merged.replication_degree();
+  EXPECT_LT(rep_narrow, rep_wide);
+}
+
+TEST(IntegrationTest, LatencyPreferenceControlsWindowGrowth) {
+  const Graph g = make_brain_like(0.02).graph;
+  AdwiseOptions tight;
+  tight.latency_preference_ms = 0;
+  AdwiseOptions loose;
+  loose.latency_preference_ms = -1;
+  loose.max_window = 512;
+
+  AdwisePartitioner p_tight(tight);
+  AdwisePartitioner p_loose(loose);
+  partition_with(p_tight, g, 8);
+  partition_with(p_loose, g, 8);
+  EXPECT_EQ(p_tight.last_report().max_window, 1u);
+  EXPECT_GT(p_loose.last_report().max_window, 8u);
+}
+
+TEST(IntegrationTest, LargerWindowsImproveQualityMonotonically) {
+  // The window-size → quality relation that motivates the whole paper.
+  // Monotonicity can wobble on tiny graphs, so compare the endpoints.
+  const Graph g = make_web_like(0.03).graph;
+  const double rep_small =
+      [&] {
+        AdwisePartitioner p(adwise_fixed(1));
+        return partition_with(p, g, 16).state.replication_degree();
+      }();
+  const double rep_large =
+      [&] {
+        AdwisePartitioner p(adwise_fixed(256));
+        return partition_with(p, g, 16).state.replication_degree();
+      }();
+  EXPECT_LT(rep_large, rep_small * 0.95);
+}
+
+}  // namespace
+}  // namespace adwise

@@ -1,0 +1,122 @@
+// Tests for binary assignment persistence and the window-trace report.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/adwise_partitioner.h"
+#include "src/graph/generators.h"
+#include "src/partition/partition_io.h"
+#include "src/partition/registry.h"
+
+namespace adwise {
+namespace {
+
+std::vector<Assignment> sample_assignments(const Graph& g, std::uint32_t k) {
+  auto partitioner = make_baseline_partitioner("hdrf", k, 1);
+  PartitionState st(k, g.num_vertices());
+  VectorEdgeStream stream(g.edges());
+  std::vector<Assignment> out;
+  partitioner->partition(stream, st, [&](const Edge& e, PartitionId p) {
+    out.push_back({e, p});
+  });
+  return out;
+}
+
+TEST(PartitionIoTest, RoundTrip) {
+  const Graph g = make_community_graph({.num_communities = 20, .seed = 3});
+  const auto assignments = sample_assignments(g, 8);
+  std::stringstream buffer;
+  write_assignments(buffer, assignments, 8);
+  const AssignmentFile loaded = read_assignments(buffer);
+  EXPECT_EQ(loaded.k, 8u);
+  ASSERT_EQ(loaded.assignments.size(), assignments.size());
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    EXPECT_EQ(loaded.assignments[i], assignments[i]);
+  }
+}
+
+TEST(PartitionIoTest, EmptyAssignmentsRoundTrip) {
+  std::stringstream buffer;
+  write_assignments(buffer, {}, 4);
+  const AssignmentFile loaded = read_assignments(buffer);
+  EXPECT_EQ(loaded.k, 4u);
+  EXPECT_TRUE(loaded.assignments.empty());
+}
+
+TEST(PartitionIoTest, RejectsBadMagic) {
+  std::stringstream buffer("NOPE rest of garbage");
+  EXPECT_THROW((void)read_assignments(buffer), std::runtime_error);
+}
+
+TEST(PartitionIoTest, RejectsTruncation) {
+  const Graph g = make_cycle(10);
+  const auto assignments = sample_assignments(g, 4);
+  std::stringstream buffer;
+  write_assignments(buffer, assignments, 4);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() - 5));
+  EXPECT_THROW((void)read_assignments(truncated), std::runtime_error);
+}
+
+TEST(PartitionIoTest, RejectsOutOfRangePartition) {
+  std::stringstream buffer;
+  const std::vector<Assignment> bad = {{{0, 1}, 9}};
+  write_assignments(buffer, bad, 4);  // claims k=4 but stores partition 9
+  EXPECT_THROW((void)read_assignments(buffer), std::runtime_error);
+}
+
+TEST(PartitionIoTest, FileWrapperRoundTrip) {
+  const Graph g = make_grid(6, 6);
+  const auto assignments = sample_assignments(g, 4);
+  const std::string path = ::testing::TempDir() + "assignments.adwp";
+  write_assignments_file(path, assignments, 4);
+  const AssignmentFile loaded = read_assignments_file(path);
+  EXPECT_EQ(loaded.assignments.size(), assignments.size());
+  std::remove(path.c_str());
+}
+
+TEST(PartitionIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_assignments_file("/nonexistent/a.adwp"),
+               std::runtime_error);
+}
+
+// --- Window trace -----------------------------------------------------------------
+
+TEST(WindowTraceTest, UnboundedRunRecordsDoublingRamp) {
+  const Graph g = make_community_graph({.num_communities = 60, .seed = 8});
+  AdwiseOptions opts;
+  opts.latency_preference_ms = -1;
+  opts.max_window = 64;
+  AdwisePartitioner partitioner(opts);
+  PartitionState st(8, g.num_vertices());
+  VectorEdgeStream stream(g.edges());
+  partitioner.partition(stream, st);
+  const auto& trace = partitioner.last_report().window_trace;
+  ASSERT_FALSE(trace.empty());
+  // Monotone assignment counter; window never exceeds the cap.
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].assigned, trace[i - 1].assigned);
+    EXPECT_LE(trace[i].window, 64u);
+  }
+  // Initial ramp: the first adaptations double 1 -> 2 -> 4 ...
+  EXPECT_EQ(trace[0].window, 2u);
+  if (trace.size() > 1) {
+    EXPECT_EQ(trace[1].window, 4u);
+  }
+}
+
+TEST(WindowTraceTest, TightBudgetStaysFlat) {
+  const Graph g = make_community_graph({.num_communities = 30, .seed = 8});
+  AdwiseOptions opts;
+  opts.latency_preference_ms = 0;
+  AdwisePartitioner partitioner(opts);
+  PartitionState st(8, g.num_vertices());
+  VectorEdgeStream stream(g.edges());
+  partitioner.partition(stream, st);
+  for (const auto& point : partitioner.last_report().window_trace) {
+    EXPECT_EQ(point.window, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace adwise

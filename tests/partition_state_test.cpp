@@ -1,0 +1,126 @@
+// Tests for PartitionState: replica sets, balance tracking, Eq. 1/2 metrics.
+#include <gtest/gtest.h>
+
+#include "src/partition/partition_state.h"
+
+namespace adwise {
+namespace {
+
+TEST(PartitionStateTest, FreshStateIsEmpty) {
+  PartitionState st(4, 10);
+  EXPECT_EQ(st.k(), 4u);
+  EXPECT_EQ(st.num_vertices(), 10u);
+  EXPECT_EQ(st.assigned_edges(), 0u);
+  EXPECT_EQ(st.max_partition_size(), 0u);
+  EXPECT_EQ(st.min_partition_size(), 0u);
+  EXPECT_DOUBLE_EQ(st.replication_degree(), 0.0);
+  EXPECT_DOUBLE_EQ(st.imbalance(), 0.0);
+}
+
+TEST(PartitionStateTest, AssignUpdatesReplicasAndDegrees) {
+  PartitionState st(4, 10);
+  const auto effect = st.assign({0, 1}, 2);
+  EXPECT_TRUE(effect.new_replica_u);
+  EXPECT_TRUE(effect.new_replica_v);
+  EXPECT_TRUE(st.replicas(0).contains(2));
+  EXPECT_TRUE(st.replicas(1).contains(2));
+  EXPECT_EQ(st.degree(0), 1u);
+  EXPECT_EQ(st.degree(1), 1u);
+  EXPECT_EQ(st.edges_on(2), 1u);
+  EXPECT_EQ(st.assigned_edges(), 1u);
+}
+
+TEST(PartitionStateTest, RepeatAssignmentCreatesNoNewReplica) {
+  PartitionState st(4, 10);
+  st.assign({0, 1}, 2);
+  const auto effect = st.assign({0, 2}, 2);
+  EXPECT_FALSE(effect.new_replica_u);  // 0 already on partition 2
+  EXPECT_TRUE(effect.new_replica_v);
+}
+
+TEST(PartitionStateTest, ReplicationDegreeAveragesReplicas) {
+  PartitionState st(4, 10);
+  st.assign({0, 1}, 0);
+  st.assign({0, 2}, 1);
+  st.assign({0, 3}, 2);
+  // Vertex 0 has 3 replicas; vertices 1,2,3 have 1 each -> (3+1+1+1)/4.
+  EXPECT_DOUBLE_EQ(st.replication_degree(), 6.0 / 4.0);
+}
+
+TEST(PartitionStateTest, MaxDegreeTracksRunningMaximum) {
+  PartitionState st(2, 10);
+  EXPECT_EQ(st.max_degree(), 1u);  // floor of 1 avoids division by zero
+  st.assign({0, 1}, 0);
+  st.assign({0, 2}, 0);
+  st.assign({0, 3}, 0);
+  EXPECT_EQ(st.max_degree(), 3u);
+}
+
+TEST(PartitionStateTest, MinMaxSizeTracking) {
+  PartitionState st(3, 10);
+  st.assign({0, 1}, 0);
+  EXPECT_EQ(st.max_partition_size(), 1u);
+  EXPECT_EQ(st.min_partition_size(), 0u);
+  st.assign({1, 2}, 1);
+  st.assign({2, 3}, 2);
+  EXPECT_EQ(st.min_partition_size(), 1u);  // all partitions now at 1
+  st.assign({3, 4}, 0);
+  st.assign({4, 5}, 0);
+  EXPECT_EQ(st.max_partition_size(), 3u);
+  EXPECT_EQ(st.min_partition_size(), 1u);
+}
+
+TEST(PartitionStateTest, MinAdvancesThroughPlateaus) {
+  PartitionState st(2, 10);
+  // Fill partitions alternately; min should follow the smaller one exactly.
+  for (int i = 0; i < 6; ++i) {
+    st.assign({static_cast<VertexId>(i), static_cast<VertexId>(i + 1)},
+              static_cast<PartitionId>(i % 2));
+  }
+  EXPECT_EQ(st.max_partition_size(), 3u);
+  EXPECT_EQ(st.min_partition_size(), 3u);
+  EXPECT_DOUBLE_EQ(st.imbalance(), 0.0);
+}
+
+TEST(PartitionStateTest, ImbalanceFormula) {
+  PartitionState st(2, 10);
+  st.assign({0, 1}, 0);
+  st.assign({1, 2}, 0);
+  st.assign({2, 3}, 0);
+  st.assign({3, 4}, 1);
+  // max=3, min=1 -> iota = 2/3.
+  EXPECT_DOUBLE_EQ(st.imbalance(), 2.0 / 3.0);
+}
+
+TEST(PartitionStateTest, BalancedCheck) {
+  PartitionState st(2, 10);
+  st.assign({0, 1}, 0);
+  st.assign({1, 2}, 1);
+  st.assign({2, 3}, 1);
+  // min/max = 1/2.
+  EXPECT_TRUE(st.balanced(0.4));
+  EXPECT_FALSE(st.balanced(0.6));
+}
+
+TEST(PartitionStateTest, LeastLoadedBreaksTiesBySmallestId) {
+  PartitionState st(3, 10);
+  EXPECT_EQ(st.least_loaded(), 0u);
+  st.assign({0, 1}, 0);
+  EXPECT_EQ(st.least_loaded(), 1u);
+  st.assign({1, 2}, 1);
+  st.assign({2, 3}, 2);
+  EXPECT_EQ(st.least_loaded(), 0u);
+}
+
+TEST(PartitionStateTest, SelfLoopCountsOneVertexOnce) {
+  PartitionState st(2, 4);
+  const auto effect = st.assign({1, 1}, 0);
+  EXPECT_TRUE(effect.new_replica_u);
+  EXPECT_FALSE(effect.new_replica_v);
+  EXPECT_EQ(st.replicas(1).size(), 1u);
+  EXPECT_EQ(st.degree(1), 1u);
+  EXPECT_DOUBLE_EQ(st.replication_degree(), 1.0);
+}
+
+}  // namespace
+}  // namespace adwise

@@ -1,0 +1,152 @@
+// Model-based randomized tests: core data structures are driven with long
+// random operation sequences and checked against trivially correct
+// reference models after every step.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/replica_set.h"
+#include "src/common/rng.h"
+#include "src/core/window.h"
+#include "src/engine/cluster_model.h"
+#include "src/graph/generators.h"
+#include "src/partition/partition_state.h"
+
+namespace adwise {
+namespace {
+
+// --- ReplicaSet vs. std::set ---------------------------------------------------
+
+class ReplicaSetModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplicaSetModelTest, MatchesStdSetUnderRandomOps) {
+  Rng rng(GetParam());
+  ReplicaSet actual;
+  std::set<std::uint32_t> model;
+  for (int step = 0; step < 4000; ++step) {
+    // Mix of small and spill-range ids.
+    const auto id = static_cast<std::uint32_t>(
+        rng.next_bool(0.7) ? rng.next_below(64) : rng.next_below(300));
+    switch (rng.next_below(3)) {
+      case 0: {
+        EXPECT_EQ(actual.insert(id), model.insert(id).second);
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(actual.erase(id), model.erase(id) > 0);
+        break;
+      }
+      default: {
+        EXPECT_EQ(actual.contains(id), model.count(id) > 0);
+        break;
+      }
+    }
+    ASSERT_EQ(actual.size(), model.size());
+    if (!model.empty()) {
+      EXPECT_EQ(actual.first(), *model.begin());
+    }
+  }
+  // Final full sweep.
+  std::vector<std::uint32_t> contents;
+  actual.for_each([&](std::uint32_t id) { contents.push_back(id); });
+  EXPECT_EQ(contents, std::vector<std::uint32_t>(model.begin(), model.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicaSetModelTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- EdgeWindow vs. a map-based model ---------------------------------------------
+
+class WindowModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WindowModelTest, IncidenceAndCandidatesMatchModel) {
+  constexpr VertexId kVertices = 40;
+  Rng rng(GetParam());
+  EdgeWindow window(kVertices);
+
+  struct ModelSlot {
+    Edge edge;
+    bool candidate = false;
+  };
+  std::map<std::uint32_t, ModelSlot> model;  // live slot id -> state
+
+  auto check_incidence = [&](VertexId v) {
+    std::multiset<std::uint32_t> actual;
+    window.for_each_incident(v, [&](std::uint32_t id) { actual.insert(id); });
+    std::multiset<std::uint32_t> expected;
+    for (const auto& [id, slot] : model) {
+      if (slot.edge.u == v || slot.edge.v == v) expected.insert(id);
+    }
+    ASSERT_EQ(actual, expected) << "vertex " << v;
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const auto op = rng.next_below(4);
+    if (op == 0 || model.size() < 3) {
+      const Edge e{static_cast<VertexId>(rng.next_below(kVertices)),
+                   static_cast<VertexId>(rng.next_below(kVertices))};
+      if (e.u == e.v) continue;
+      const auto id = window.insert(e);
+      ASSERT_TRUE(model.emplace(id, ModelSlot{e, false}).second)
+          << "slot id reused while occupied";
+    } else if (op == 1) {
+      // Remove a random live slot.
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.next_below(model.size())));
+      window.remove(it->first);
+      model.erase(it);
+    } else if (op == 2) {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.next_below(model.size())));
+      const bool make_candidate = rng.next_bool(0.5);
+      window.set_candidate(it->first, make_candidate);
+      it->second.candidate = make_candidate;
+    } else {
+      check_incidence(static_cast<VertexId>(rng.next_below(kVertices)));
+    }
+    ASSERT_EQ(window.size(), model.size());
+    // Candidate set equality.
+    std::set<std::uint32_t> actual_candidates(window.candidates().begin(),
+                                              window.candidates().end());
+    std::set<std::uint32_t> expected_candidates;
+    for (const auto& [id, slot] : model) {
+      if (slot.candidate) expected_candidates.insert(id);
+      EXPECT_EQ(window.is_candidate(id), slot.candidate);
+    }
+    ASSERT_EQ(actual_candidates, expected_candidates);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowModelTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// --- PartitionState min/max vs. recomputation --------------------------------------
+
+class PartitionStateModelTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PartitionStateModelTest, BalanceTrackingMatchesBruteForce) {
+  Rng rng(GetParam());
+  constexpr std::uint32_t k = 7;
+  PartitionState state(k, 50);
+  std::vector<std::uint64_t> sizes(k, 0);
+  for (int step = 0; step < 5000; ++step) {
+    const Edge e{static_cast<VertexId>(rng.next_below(50)),
+                 static_cast<VertexId>(rng.next_below(50))};
+    const auto p = static_cast<PartitionId>(rng.next_below(k));
+    state.assign(e, p);
+    ++sizes[p];
+    const auto max_it = *std::max_element(sizes.begin(), sizes.end());
+    const auto min_it = *std::min_element(sizes.begin(), sizes.end());
+    ASSERT_EQ(state.max_partition_size(), max_it);
+    ASSERT_EQ(state.min_partition_size(), min_it);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionStateModelTest,
+                         ::testing::Values(7, 8, 9));
+
+}  // namespace
+}  // namespace adwise

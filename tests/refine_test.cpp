@@ -1,0 +1,141 @@
+// Tests for iterative vertex-cut refinement and the 1D baseline.
+#include <gtest/gtest.h>
+
+#include "src/graph/edge_stream.h"
+#include "src/graph/generators.h"
+#include "src/partition/onedim_partitioner.h"
+#include "src/partition/refine.h"
+#include "src/partition/registry.h"
+
+namespace adwise {
+namespace {
+
+std::vector<Assignment> assign_with(const Graph& g, const char* algo,
+                                    std::uint32_t k,
+                                    StreamOrder order = StreamOrder::kNatural) {
+  auto partitioner = make_baseline_partitioner(algo, k, 1);
+  PartitionState st(k, g.num_vertices());
+  const auto edges = ordered_edges(g, order, 5);
+  VectorEdgeStream stream(edges);
+  std::vector<Assignment> out;
+  partitioner->partition(stream, st, [&](const Edge& e, PartitionId p) {
+    out.push_back({e, p});
+  });
+  return out;
+}
+
+double replication_of(std::span<const Assignment> assignments, std::uint32_t k,
+                      VertexId n) {
+  PartitionState st(k, n);
+  for (const Assignment& a : assignments) st.assign(a.edge, a.partition);
+  return st.replication_degree();
+}
+
+// --- refine_partition ---------------------------------------------------------
+
+TEST(RefineTest, PreservesEdgeMultiset) {
+  const Graph g = make_community_graph({.num_communities = 30, .seed = 3});
+  const auto initial = assign_with(g, "hash", 8);
+  const auto refined =
+      refine_partition(initial, 8, g.num_vertices(), {.max_rounds = 2});
+  ASSERT_EQ(refined.assignments.size(), initial.size());
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    EXPECT_EQ(refined.assignments[i].edge, initial[i].edge);
+    EXPECT_LT(refined.assignments[i].partition, 8u);
+  }
+}
+
+TEST(RefineTest, NeverIncreasesReplication) {
+  const Graph g = make_community_graph({.num_communities = 50, .seed = 9});
+  for (const char* algo : {"hash", "dbh", "hdrf"}) {
+    const auto initial = assign_with(g, algo, 16);
+    const double before = replication_of(initial, 16, g.num_vertices());
+    const auto refined = refine_partition(initial, 16, g.num_vertices());
+    EXPECT_LE(refined.state.replication_degree(), before) << algo;
+  }
+}
+
+TEST(RefineTest, SubstantialGainOnHashPartitioning) {
+  // Hash partitioning of a clustered graph leaves huge slack; hill climbing
+  // must recover a large chunk of it.
+  const Graph g = make_community_graph({.num_communities = 60, .seed = 4});
+  const auto initial = assign_with(g, "hash", 8);
+  const double before = replication_of(initial, 8, g.num_vertices());
+  const auto refined = refine_partition(initial, 8, g.num_vertices(),
+                                        {.max_rounds = 5});
+  EXPECT_LT(refined.state.replication_degree(), before * 0.8);
+  EXPECT_GT(refined.moves, 0u);
+}
+
+TEST(RefineTest, RespectsBalanceCap) {
+  const Graph g = make_community_graph({.num_communities = 40, .seed = 7});
+  const auto initial = assign_with(g, "hash", 8);
+  RefineOptions options;
+  options.balance_slack = 0.05;
+  const auto refined = refine_partition(initial, 8, g.num_vertices(), options);
+  const std::uint64_t cap = static_cast<std::uint64_t>(
+      static_cast<double>((g.num_edges() + 7) / 8) * 1.05);
+  for (PartitionId p = 0; p < 8; ++p) {
+    EXPECT_LE(refined.state.edges_on(p), cap);
+  }
+}
+
+TEST(RefineTest, AlreadyOptimalStaysPut) {
+  // A path assigned entirely to one partition has replication 1.0 (optimal);
+  // refinement must not move anything (every move would add replicas).
+  const Graph g = make_path(100);
+  std::vector<Assignment> initial;
+  for (const Edge& e : g.edges()) initial.push_back({e, 0});
+  RefineOptions options;
+  options.balance_slack = 100.0;  // remove the balance pressure
+  const auto refined = refine_partition(initial, 4, g.num_vertices(), options);
+  EXPECT_EQ(refined.moves, 0u);
+  EXPECT_DOUBLE_EQ(refined.state.replication_degree(), 1.0);
+}
+
+TEST(RefineTest, EmptyInput) {
+  const auto refined = refine_partition({}, 4, 10);
+  EXPECT_TRUE(refined.assignments.empty());
+  EXPECT_EQ(refined.moves, 0u);
+}
+
+TEST(RefineTest, StopsEarlyWhenConverged) {
+  const Graph g = make_community_graph({.num_communities = 20, .seed = 2});
+  const auto initial = assign_with(g, "hdrf", 8);
+  RefineOptions options;
+  options.max_rounds = 50;
+  const auto refined = refine_partition(initial, 8, g.num_vertices(), options);
+  EXPECT_LT(refined.rounds, 50u);  // min_move_fraction kicks in
+}
+
+// --- 1D partitioner -------------------------------------------------------------
+
+TEST(OneDimTest, SourceSideNeverReplicates) {
+  // Directed star edges all share source 0: every edge lands on the same
+  // partition, so even the hub keeps one replica.
+  const Graph g = make_star(100);  // edges (0, i)
+  OneDimPartitioner onedim;
+  PartitionState st(8, g.num_vertices());
+  VectorEdgeStream stream(g.edges());
+  onedim.partition(stream, st);
+  EXPECT_EQ(st.replicas(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(st.replication_degree(), 1.0);
+}
+
+TEST(OneDimTest, RegisteredInRegistry) {
+  const auto partitioner = make_baseline_partitioner("1d", 8);
+  ASSERT_NE(partitioner, nullptr);
+  EXPECT_EQ(partitioner->name(), "1d");
+}
+
+TEST(OneDimTest, DeterministicPlacement) {
+  OneDimPartitioner a(5);
+  OneDimPartitioner b(5);
+  PartitionState st(8, 50);
+  for (VertexId u = 0; u < 20; ++u) {
+    EXPECT_EQ(a.place({u, u + 1}, st), b.place({u, u + 1}, st));
+  }
+}
+
+}  // namespace
+}  // namespace adwise

@@ -1,0 +1,78 @@
+// Tests for multi-pass (restreaming) partitioning.
+#include <gtest/gtest.h>
+
+#include "src/core/adwise_partitioner.h"
+#include "src/graph/edge_stream.h"
+#include "src/graph/generators.h"
+#include "src/partition/registry.h"
+#include "src/partition/restream.h"
+
+namespace adwise {
+namespace {
+
+RestreamFactory hdrf_factory() {
+  return [] { return make_baseline_partitioner("hdrf", 8); };
+}
+
+TEST(RestreamTest, SinglePassMatchesDirectRun) {
+  const Graph g = make_community_graph({.num_communities = 40, .seed = 7});
+  const auto edges = ordered_edges(g, StreamOrder::kShuffled, 3);
+  const auto result =
+      restream_partition(edges, g.num_vertices(), 8, hdrf_factory(), 1);
+
+  auto direct = make_baseline_partitioner("hdrf", 8);
+  PartitionState st(8, g.num_vertices());
+  VectorEdgeStream stream(edges);
+  direct->partition(stream, st);
+
+  EXPECT_DOUBLE_EQ(result.final_state.replication_degree(),
+                   st.replication_degree());
+  EXPECT_EQ(result.assignments.size(), g.num_edges());
+}
+
+TEST(RestreamTest, EveryPassAssignsAllEdges) {
+  const Graph g = make_erdos_renyi(300, 2000, 9);
+  const auto result = restream_partition(g.edges(), g.num_vertices(), 8,
+                                         hdrf_factory(), 3);
+  EXPECT_EQ(result.assignments.size(), g.num_edges());
+  EXPECT_EQ(result.final_state.assigned_edges(), g.num_edges());
+  EXPECT_EQ(result.pass_replication.size(), 3u);
+}
+
+TEST(RestreamTest, QualityDoesNotDegradeAcrossPasses) {
+  // On a shuffled clustered stream the second pass knows every vertex's
+  // whereabouts: replication must improve (or at worst stay put).
+  const Graph g = make_community_graph({.num_communities = 80, .seed = 11});
+  const auto edges = ordered_edges(g, StreamOrder::kShuffled, 5);
+  const auto result =
+      restream_partition(edges, g.num_vertices(), 8, hdrf_factory(), 3);
+  EXPECT_LE(result.pass_replication[1], result.pass_replication[0]);
+  EXPECT_LE(result.pass_replication[2], result.pass_replication[0]);
+}
+
+TEST(RestreamTest, FinalStateMatchesLastPassMetric) {
+  const Graph g = make_community_graph({.num_communities = 30, .seed = 2});
+  const auto result = restream_partition(g.edges(), g.num_vertices(), 4,
+                                         hdrf_factory(), 2);
+  EXPECT_DOUBLE_EQ(result.final_state.replication_degree(),
+                   result.pass_replication.back());
+}
+
+TEST(RestreamTest, WorksWithAdwise) {
+  const Graph g = make_community_graph({.num_communities = 40, .seed = 13});
+  const auto edges = ordered_edges(g, StreamOrder::kShuffled, 7);
+  const auto result = restream_partition(
+      edges, g.num_vertices(), 8,
+      [] {
+        AdwiseOptions opts;
+        opts.adaptive_window = false;
+        opts.initial_window = 32;
+        return std::make_unique<AdwisePartitioner>(opts);
+      },
+      2);
+  EXPECT_EQ(result.assignments.size(), g.num_edges());
+  EXPECT_LE(result.pass_replication[1], result.pass_replication[0] * 1.02);
+}
+
+}  // namespace
+}  // namespace adwise

@@ -1,0 +1,253 @@
+// Tests for the ADWISE scoring function: Eq. 3 (balance), Eq. 4 (adaptive
+// lambda), Eq. 5 (degree-aware replication), Eq. 6 (clustering), Eq. 7 (sum).
+#include <gtest/gtest.h>
+
+#include "src/core/scoring.h"
+
+namespace adwise {
+namespace {
+
+AdwiseOptions base_options() {
+  AdwiseOptions opts;
+  opts.adaptive_balance = false;  // isolate terms unless a test enables it
+  opts.lambda_init = 1.0;
+  return opts;
+}
+
+TEST(ScoringTest, EmptyStatePrefersAnyPartitionViaBalance) {
+  PartitionState st(4, 10);
+  AdwiseScorer scorer(st, base_options(), 100);
+  const auto placed = scorer.best_placement({0, 1}, nullptr, EdgeWindow::npos);
+  EXPECT_LT(placed.partition, 4u);
+  // All partitions empty: balance score is 0/eps-denominator = 0 everywhere.
+  EXPECT_DOUBLE_EQ(placed.score, 0.0);
+}
+
+TEST(ScoringTest, ReplicationScoreDominatesForKnownVertices) {
+  PartitionState st(4, 10);
+  st.assign({0, 5}, 3);
+  AdwiseScorer scorer(st, base_options(), 100);
+  const auto placed = scorer.best_placement({0, 1}, nullptr, EdgeWindow::npos);
+  EXPECT_EQ(placed.partition, 3u);
+  EXPECT_GT(placed.score, 1.0);  // replica weight in [1.5, 2]
+}
+
+TEST(ScoringTest, BothEndpointsKnownBeatsOne) {
+  PartitionState st(4, 10);
+  st.assign({0, 5}, 1);  // u on p1
+  st.assign({1, 6}, 1);  // v on p1
+  st.assign({2, 7}, 2);  // other vertex on p2
+  AdwiseScorer scorer(st, base_options(), 100);
+  const double g_p1 = scorer.score({0, 1}, 1, nullptr, EdgeWindow::npos);
+  const double g_p2 = scorer.score({0, 2}, 2, nullptr, EdgeWindow::npos);
+  EXPECT_GT(g_p1, g_p2);
+}
+
+TEST(ScoringTest, DegreeWeightingPrefersReplicatingHighDegree) {
+  // Eq. 5: the replica weight (2 - Ψ) is LOWER for high-degree vertices, so
+  // an edge whose low-degree endpoint is already placed scores higher than
+  // an edge whose equally-placed endpoint has high degree — keeping
+  // low-degree vertices local and cutting through hubs.
+  PartitionState st(4, 20);
+  st.assign({0, 10}, 1);  // vertex 0: will become high degree
+  st.assign({0, 11}, 1);
+  st.assign({0, 12}, 1);
+  st.assign({0, 13}, 1);
+  st.assign({5, 14}, 2);  // vertex 5: degree 1, replicated on p2
+  AdwiseScorer scorer(st, base_options(), 100);
+  const double g_high = scorer.score({0, 9}, 1, nullptr, EdgeWindow::npos);
+  const double g_low = scorer.score({5, 9}, 2, nullptr, EdgeWindow::npos);
+  EXPECT_GT(g_low, g_high);
+}
+
+TEST(ScoringTest, DegreeWeightingOffGivesIndicatorScore) {
+  AdwiseOptions opts = base_options();
+  opts.degree_weighting = false;
+  PartitionState st(4, 20);
+  st.assign({0, 10}, 1);
+  st.assign({0, 11}, 1);
+  st.assign({5, 14}, 2);
+  AdwiseScorer scorer(st, opts, 100);
+  // Without Ψ both replicated endpoints contribute exactly 1.0; only the
+  // balance term differs between the two placements.
+  const double g_high = scorer.score({0, 9}, 1, nullptr, EdgeWindow::npos);
+  const double g_low = scorer.score({5, 9}, 2, nullptr, EdgeWindow::npos);
+  // p1 holds 2 edges, p2 holds 1 -> p2 has the better balance score.
+  EXPECT_GT(g_low, g_high);
+  EXPECT_NEAR(g_high + (g_low - g_high), g_low, 1e-12);
+}
+
+TEST(ScoringTest, BalanceScorePenalizesLoadedPartitions) {
+  PartitionState st(2, 10);
+  st.assign({0, 1}, 0);
+  st.assign({1, 2}, 0);
+  st.assign({2, 3}, 0);
+  AdwiseScorer scorer(st, base_options(), 100);
+  // Unknown vertices: pure balance decision -> partition 1.
+  const auto placed = scorer.best_placement({7, 8}, nullptr, EdgeWindow::npos);
+  EXPECT_EQ(placed.partition, 1u);
+}
+
+TEST(ScoringTest, ClusteringScoreFigureSixExample) {
+  // Fig. 6: u replicated on p1 and p2; three window-neighbors on p1, one on
+  // p2 -> the clustering score must tip the decision to p1.
+  PartitionState st(2, 20);
+  const VertexId u = 10;
+  st.assign({u, 15}, 0);  // u on p1 (partition 0)
+  st.assign({u, 16}, 1);  // u on p2 (partition 1)
+  // Neighbors u1,u2,u3 on p1; u4 on p2.
+  st.assign({1, 17}, 0);
+  st.assign({2, 17}, 0);
+  st.assign({3, 18}, 0);
+  st.assign({4, 18}, 1);
+  // Keep both partitions balanced (4 edges each) so only CS differs.
+  st.assign({19, 18}, 1);
+  st.assign({19, 17}, 1);
+
+  EdgeWindow window(20);
+  const auto slot_e = window.insert({u, 11});  // the edge (u, v) to place
+  window.insert({u, 1});
+  window.insert({u, 2});
+  window.insert({u, 3});
+  window.insert({u, 4});
+
+  AdwiseScorer scorer(st, base_options(), 100);
+  const double g_p1 = scorer.score({u, 11}, 0, &window, slot_e);
+  const double g_p2 = scorer.score({u, 11}, 1, &window, slot_e);
+  EXPECT_GT(g_p1, g_p2);
+  // CS(p1) = 3/4, CS(p2) = 1/4; replication identical; balance identical.
+  EXPECT_NEAR(g_p1 - g_p2, 0.5, 1e-9);
+}
+
+TEST(ScoringTest, ClusteringScoreDisabledIsZero) {
+  AdwiseOptions opts = base_options();
+  opts.clustering_score = false;
+  PartitionState st(2, 20);
+  st.assign({1, 5}, 0);
+  EdgeWindow window(20);
+  const auto slot_e = window.insert({0, 2});
+  window.insert({0, 1});  // neighbor 1 is replicated on p0
+  AdwiseScorer with_cs(st, base_options(), 100);
+  AdwiseScorer without_cs(st, opts, 100);
+  const double g_with = with_cs.score({0, 2}, 0, &window, slot_e);
+  const double g_without = without_cs.score({0, 2}, 0, &window, slot_e);
+  EXPECT_GT(g_with, g_without);
+  EXPECT_NEAR(g_with - g_without, 1.0, 1e-9);  // CS = 1/1
+}
+
+TEST(ScoringTest, NullWindowDisablesClustering) {
+  PartitionState st(2, 20);
+  st.assign({1, 5}, 0);
+  AdwiseScorer scorer(st, base_options(), 100);
+  const double g = scorer.score({0, 2}, 0, nullptr, EdgeWindow::npos);
+  EXPECT_DOUBLE_EQ(g, 0.0);  // no replicas of 0 or 2 on p0, no CS
+}
+
+// --- Adaptive lambda (Eq. 4) ---------------------------------------------------
+
+TEST(ScoringTest, LambdaStartsAtInit) {
+  PartitionState st(2, 10);
+  AdwiseOptions opts = base_options();
+  opts.adaptive_balance = true;
+  opts.lambda_init = 1.3;
+  AdwiseScorer scorer(st, opts, 100);
+  EXPECT_DOUBLE_EQ(scorer.lambda(), 1.3);
+}
+
+TEST(ScoringTest, LambdaDecreasesWhileToleranceIsHigh) {
+  // Early in the stream tolerance(α) ≈ 1 while ι is small: λ must sink.
+  PartitionState st(2, 100);
+  AdwiseOptions opts = base_options();
+  opts.adaptive_balance = true;
+  AdwiseScorer scorer(st, opts, 1000);
+  st.assign({0, 1}, 0);
+  st.assign({1, 2}, 1);
+  scorer.on_assignment();
+  EXPECT_LT(scorer.lambda(), 1.0);
+}
+
+TEST(ScoringTest, LambdaClampedToConfiguredInterval) {
+  PartitionState st(2, 100);
+  AdwiseOptions opts = base_options();
+  opts.adaptive_balance = true;
+  AdwiseScorer scorer(st, opts, 10);
+  // Perfectly balanced, stream nearly done -> tolerance ~ 0, iota ~ 0:
+  // lambda stays put; drive to extremes with many repetitions instead.
+  for (int i = 0; i < 50; ++i) scorer.on_assignment();
+  EXPECT_GE(scorer.lambda(), opts.lambda_min);
+  EXPECT_LE(scorer.lambda(), opts.lambda_max);
+}
+
+TEST(ScoringTest, LambdaGrowsUnderLateImbalance) {
+  PartitionState st(2, 100);
+  AdwiseOptions opts = base_options();
+  opts.adaptive_balance = true;
+  AdwiseScorer scorer(st, opts, 10);
+  // Assign everything to one partition: ι -> 1 while α -> 1.
+  for (VertexId i = 0; i < 9; ++i) {
+    st.assign({i, i + 1}, 0);
+    scorer.on_assignment();
+  }
+  EXPECT_GT(scorer.lambda(), 1.0);
+}
+
+TEST(ScoringTest, AdaptiveBalanceOffKeepsLambdaFixed) {
+  PartitionState st(2, 10);
+  AdwiseOptions opts = base_options();
+  ASSERT_FALSE(opts.adaptive_balance);
+  AdwiseScorer scorer(st, opts, 10);
+  for (VertexId i = 0; i < 8; ++i) {
+    st.assign({i, i + 1}, 0);
+    scorer.on_assignment();
+  }
+  EXPECT_DOUBLE_EQ(scorer.lambda(), 1.0);
+}
+
+TEST(ScoringTest, ReplicaWeightStaysInPaperRange) {
+  // Eq. 5: with Ψ = deg/(2·maxDegree) ∈ (0, 0.5], the replica weight
+  // (2 − Ψ) must stay within [1.5, 2) for every degree mix.
+  PartitionState st(2, 50);
+  AdwiseOptions opts = base_options();
+  AdwiseScorer scorer(st, opts, 1000);
+  st.assign({0, 1}, 0);
+  for (VertexId i = 2; i < 40; ++i) st.assign({0, i}, 0);  // 0 is a hub
+  const double g_hub = scorer.score({0, 45}, 0, nullptr, EdgeWindow::npos);
+  const double g_leaf = scorer.score({1, 45}, 0, nullptr, EdgeWindow::npos);
+  // Only the replica term differs (same partition, same balance, no CS).
+  const double bal = scorer.score({46, 47}, 0, nullptr, EdgeWindow::npos);
+  EXPECT_GE(g_hub - bal, 1.5);
+  EXPECT_LT(g_hub - bal, 2.0);
+  EXPECT_GE(g_leaf - bal, 1.5);
+  EXPECT_LT(g_leaf - bal, 2.0);
+  EXPECT_GT(g_leaf, g_hub);  // low-degree endpoint scores higher
+}
+
+TEST(ScoringTest, ClusteringNeighborCapBoundsWork) {
+  AdwiseOptions opts = base_options();
+  opts.clustering_neighbor_cap = 4;
+  PartitionState st(2, 200);
+  for (VertexId i = 2; i < 100; ++i) st.assign({i, 101}, 0);
+  EdgeWindow window(200);
+  const auto slot_e = window.insert({0, 1});
+  for (VertexId i = 2; i < 100; ++i) window.insert({0, i});
+  AdwiseScorer scorer(st, opts, 1000);
+  // CS is normalized by |N|, so the cap keeps the term within [0, 1]
+  // regardless of how many window edges touch the hub.
+  const double g = scorer.score({0, 1}, 0, &window, slot_e);
+  EXPECT_LE(g, 1.0 + 1e-9);  // no replicas of 0/1 on p0: pure CS + balance 0
+  EXPECT_GE(g, 0.0);
+}
+
+TEST(ScoringTest, BestPlacementTieBreaksToLeastLoaded) {
+  PartitionState st(3, 10);
+  st.assign({8, 9}, 0);
+  st.assign({8, 9}, 0);  // load p0 twice
+  st.assign({7, 9}, 1);  // p1 has one edge
+  AdwiseScorer scorer(st, base_options(), 100);
+  // Unknown endpoints: pure balance; p2 (empty) must win.
+  const auto placed = scorer.best_placement({3, 4}, nullptr, EdgeWindow::npos);
+  EXPECT_EQ(placed.partition, 2u);
+}
+
+}  // namespace
+}  // namespace adwise

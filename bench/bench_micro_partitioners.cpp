@@ -1,6 +1,12 @@
 // Microbenchmark (google-benchmark): single-instance partitioning throughput
 // of every strategy on a fixed R-MAT graph — the raw edges/second cost that
 // the adaptive controller trades against quality.
+//
+// The ADWISE captures sweep the hot-path implementation axes introduced by
+// the sparse rebuild: sparse vs. dense placement scoring and heap vs. linear
+// candidate selection. Each run reports the partitioner's own counters —
+// score computations and candidate partitions actually scanned — so the
+// sparsity win is tracked alongside raw edges/second.
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
@@ -33,13 +39,34 @@ void BM_Baseline(benchmark::State& state, const char* name) {
   run_once(state, *partitioner);
 }
 
-void BM_Adwise(benchmark::State& state, std::uint64_t window, bool lazy) {
+void BM_Adwise(benchmark::State& state, const AdwiseOptions& opts) {
+  AdwisePartitioner partitioner(opts);
+  run_once(state, partitioner);
+
+  // Hot-path counters from the last run: how many g(e, p) evaluations the
+  // traversal needed, and how many partitions each evaluation touched
+  // (k = 32 on the dense path, the candidate-set size on the sparse path).
+  const auto& report = partitioner.last_report();
+  state.counters["score_comps"] =
+      benchmark::Counter(static_cast<double>(report.score_computations));
+  state.counters["cand_parts"] =
+      benchmark::Counter(static_cast<double>(report.candidate_partitions));
+  state.counters["parts_per_score"] =
+      report.score_computations > 0
+          ? static_cast<double>(report.candidate_partitions) /
+                static_cast<double>(report.score_computations)
+          : 0.0;
+}
+
+AdwiseOptions adwise_opts(std::uint64_t window, bool lazy, bool sparse = true,
+                          bool heap = true) {
   AdwiseOptions opts;
   opts.adaptive_window = false;
   opts.initial_window = window;
   opts.lazy_traversal = lazy;
-  AdwisePartitioner partitioner(opts);
-  run_once(state, partitioner);
+  opts.sparse_scoring = sparse;
+  opts.heap_selection = heap;
+  return opts;
 }
 
 }  // namespace
@@ -49,9 +76,20 @@ BENCHMARK_CAPTURE(BM_Baseline, grid, "grid");
 BENCHMARK_CAPTURE(BM_Baseline, dbh, "dbh");
 BENCHMARK_CAPTURE(BM_Baseline, greedy, "greedy");
 BENCHMARK_CAPTURE(BM_Baseline, hdrf, "hdrf");
-BENCHMARK_CAPTURE(BM_Adwise, w1, 1, true);
-BENCHMARK_CAPTURE(BM_Adwise, w16_lazy, 16, true);
-BENCHMARK_CAPTURE(BM_Adwise, w64_lazy, 64, true);
-BENCHMARK_CAPTURE(BM_Adwise, w64_eager, 64, false);
+BENCHMARK_CAPTURE(BM_Adwise, w1, adwise_opts(1, true));
+BENCHMARK_CAPTURE(BM_Adwise, w16_lazy, adwise_opts(16, true));
+// The headline capture (sparse scoring + heap selection, the defaults)
+// against the dense/linear reference paths on the same window.
+BENCHMARK_CAPTURE(BM_Adwise, w64_lazy, adwise_opts(64, true));
+BENCHMARK_CAPTURE(BM_Adwise, w64_lazy_dense,
+                  adwise_opts(64, true, /*sparse=*/false, /*heap=*/false));
+BENCHMARK_CAPTURE(BM_Adwise, w64_lazy_linear,
+                  adwise_opts(64, true, /*sparse=*/true, /*heap=*/false));
+BENCHMARK_CAPTURE(BM_Adwise, w64_eager, adwise_opts(64, false));
+BENCHMARK_CAPTURE(BM_Adwise, w64_eager_dense,
+                  adwise_opts(64, false, /*sparse=*/false));
+BENCHMARK_CAPTURE(BM_Adwise, w256_lazy, adwise_opts(256, true));
+BENCHMARK_CAPTURE(BM_Adwise, w256_lazy_dense,
+                  adwise_opts(256, true, /*sparse=*/false, /*heap=*/false));
 
 BENCHMARK_MAIN();

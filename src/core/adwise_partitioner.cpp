@@ -1,7 +1,10 @@
 #include "src/core/adwise_partitioner.h"
 
+#include <algorithm>
 #include <cassert>
+#include <deque>
 #include <limits>
+#include <vector>
 
 namespace adwise {
 
@@ -27,6 +30,79 @@ class ThresholdTracker {
   Ewma avg_;
 };
 
+// Lazy max-heap over window slots, ordered by (score desc, sequence asc) —
+// the same total order the linear scan's FIFO tie-break implements. Entries
+// are never erased in place: a slot's latest score_version invalidates all
+// earlier entries, and pop_valid() discards stale entries (removed slots,
+// slots that switched sets, superseded scores) on the way out. One instance
+// tracks the candidate set, a second the secondary set Q (want_candidate
+// distinguishes them at validation time).
+class LazySlotHeap {
+ public:
+  struct Entry {
+    double score = 0.0;
+    std::uint64_t sequence = 0;
+    std::uint32_t slot = 0;
+    std::uint64_t version = 0;
+  };
+
+  // The candidate heap orders by the cached full score g (the paper's
+  // argmax); the secondary heap orders by the structural component R + CS,
+  // which stays meaningful while partition loads drift between rescores.
+  explicit LazySlotHeap(bool want_candidate)
+      : want_candidate_(want_candidate) {}
+
+  void push(const EdgeWindow& window, std::uint32_t id) {
+    const auto& s = window.slot(id);
+    entries_.push_back({want_candidate_ ? s.best_score : s.structural_score,
+                        s.sequence, id, s.score_version});
+    std::push_heap(entries_.begin(), entries_.end(), less_);
+  }
+
+  // Pops until the top entry reflects a live slot's current score (in the
+  // tracked set); returns EdgeWindow::npos when the heap runs dry. pops
+  // counts every entry discarded or returned (stale-entry overhead metric).
+  std::uint32_t pop_valid(const EdgeWindow& window, std::uint64_t& pops) {
+    while (!entries_.empty()) {
+      const Entry top = entries_.front();
+      std::pop_heap(entries_.begin(), entries_.end(), less_);
+      entries_.pop_back();
+      ++pops;
+      const auto& s = window.slot(top.slot);
+      if (s.occupied && window.is_candidate(top.slot) == want_candidate_ &&
+          s.score_version == top.version) {
+        return top.slot;
+      }
+    }
+    return EdgeWindow::npos;
+  }
+
+  // Drops every entry and re-seeds from the live slots of the tracked set
+  // (used by the demotion sweep / compaction to shed stale entries).
+  void rebuild(const EdgeWindow& window) {
+    entries_.clear();
+    window.for_each_slot([&](std::uint32_t id) {
+      if (window.is_candidate(id) != want_candidate_) return;
+      const auto& s = window.slot(id);
+      entries_.push_back({want_candidate_ ? s.best_score : s.structural_score,
+                         s.sequence, id, s.score_version});
+    });
+    std::make_heap(entries_.begin(), entries_.end(), less_);
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  static bool less(const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.sequence > b.sequence;  // FIFO: earlier insertion wins ties
+  }
+
+  static constexpr auto less_ = &LazySlotHeap::less;
+  bool want_candidate_;
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 
 void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
@@ -42,6 +118,30 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   Stopwatch watch(clock);
 
   std::uint64_t round = 0;
+  std::uint64_t score_version = 0;
+  // Scores computed after this version saw the current partition state: a
+  // slot with score_version above it is exactly fresh (modulo window-local
+  // CS drift, which the linear path tolerates identically).
+  std::uint64_t version_at_last_assign = 0;
+
+  const bool heap_mode = opts_.lazy_traversal && opts_.heap_selection;
+  LazySlotHeap heap(/*want_candidate=*/true);
+  // Secondary set Q ordered by last-known score: at drain time slots are
+  // rescored in stale-score order instead of rescanning all of Q.
+  LazySlotHeap secondary(/*want_candidate=*/false);
+  // (slot, version, scored_at) in push order; scored_at is monotone, so the
+  // front is always the entry closest to its refresh deadline.
+  struct AgingEntry {
+    std::uint32_t slot;
+    std::uint64_t version;
+    std::uint64_t scored_at;
+  };
+  std::deque<AgingEntry> aging;
+  // Candidates whose incident replica sets changed since their last score.
+  std::vector<std::uint32_t> dirty_slots;
+  // Slots popped during a drain walk that must be re-pushed afterwards.
+  std::vector<std::uint32_t> drain_scratch;
+  std::uint64_t last_sweep = 0;
 
   // Recomputes the cached best placement of a slot and refreshes the
   // candidate threshold statistics.
@@ -50,11 +150,22 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
     const ScoredPlacement placed =
         scorer.best_placement(s.edge, &window, id);
     s.best_score = placed.score;
+    s.structural_score = placed.structural;
     s.best_partition = placed.partition;
     s.dirty = false;
     s.scored_at = round;
+    s.score_version = ++score_version;
     threshold.observe(placed.score);
     ++report_.score_computations;
+  };
+
+  // Publishes a candidate's current score to the heap (and schedules its
+  // staleness refresh). Invariant in heap mode: every live candidate has a
+  // heap entry carrying its latest score_version.
+  auto publish = [&](std::uint32_t id) {
+    if (!heap_mode) return;
+    heap.push(window, id);
+    aging.push_back({id, window.slot(id).score_version, round});
   };
 
   // Scores a freshly inserted edge and routes it to the candidate or
@@ -65,39 +176,52 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
         !opts_.lazy_traversal ||
         window.slot(id).best_score > threshold.theta();
     window.set_candidate(id, high);
+    if (high) {
+      publish(id);
+    } else if (heap_mode) {
+      secondary.push(window, id);
+    }
   };
 
-  // Selects the slot to assign next. Returns EdgeWindow::npos iff the
-  // window is empty.
-  auto select = [&]() -> std::uint32_t {
-    if (window.empty()) return EdgeWindow::npos;
+  auto consider = [&](std::uint32_t id, std::uint32_t& best_slot,
+                      double& best_score, std::uint64_t& best_sequence) {
+    const auto& s = window.slot(id);
+    // Ties resolve FIFO so lazy and eager traversal agree exactly.
+    if (best_slot == EdgeWindow::npos || s.best_score > best_score ||
+        (s.best_score == best_score && s.sequence < best_sequence)) {
+      best_slot = id;
+      best_score = s.best_score;
+      best_sequence = s.sequence;
+    }
+  };
 
+  // Candidate set drained: rescan the secondary set, promoting everything
+  // above Theta (§III-B step two). Returns the best secondary slot for the
+  // forced-progress case; promoted counts the slots that re-entered C.
+  auto secondary_rescan = [&](std::size_t& promoted) -> std::uint32_t {
+    ++report_.secondary_rescans;
     std::uint32_t best_slot = EdgeWindow::npos;
     double best_score = -std::numeric_limits<double>::infinity();
     std::uint64_t best_sequence = 0;
-    auto consider = [&](std::uint32_t id) {
-      const auto& s = window.slot(id);
-      // Ties resolve FIFO so lazy and eager traversal agree exactly.
-      if (best_slot == EdgeWindow::npos || s.best_score > best_score ||
-          (s.best_score == best_score && s.sequence < best_sequence)) {
-        best_slot = id;
-        best_score = s.best_score;
-        best_sequence = s.sequence;
+    window.for_each_slot([&](std::uint32_t id) {
+      if (window.is_candidate(id)) return;
+      rescore(id);
+      if (window.slot(id).best_score > threshold.theta()) {
+        window.set_candidate(id, true);
+        ++promoted;
       }
-    };
+      consider(id, best_slot, best_score, best_sequence);
+    });
+    return best_slot;
+  };
 
-    if (!opts_.lazy_traversal) {
-      // Eager traversal: recompute every window edge, take the argmax.
-      window.for_each_slot([&](std::uint32_t id) {
-        rescore(id);
-        consider(id);
-      });
-      return best_slot;
-    }
+  // Linear reference selection: scan the whole candidate set, rescore dirty
+  // and stale entries, demote below-threshold candidates every round.
+  auto select_linear = [&]() -> std::uint32_t {
+    std::uint32_t best_slot = EdgeWindow::npos;
+    double best_score = -std::numeric_limits<double>::infinity();
+    std::uint64_t best_sequence = 0;
 
-    // Lazy traversal: only candidates are (re-)scored. Cached scores are
-    // reused unless the slot is dirty (incident replica change) or stale
-    // (balance term drift).
     const auto cands = window.candidates();
     for (std::size_t i = 0; i < cands.size(); ++i) {
       const std::uint32_t id = cands[i];
@@ -105,7 +229,7 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
       if (s.dirty || round - s.scored_at >= opts_.candidate_refresh_interval) {
         rescore(id);
       }
-      consider(id);
+      consider(id, best_slot, best_score, best_sequence);
     }
     if (best_slot != EdgeWindow::npos) {
       // Demote candidates that fell strictly below the threshold — except
@@ -120,28 +244,166 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
       return best_slot;
     }
 
-    // Candidate set drained: rescan the secondary set, promoting everything
-    // above Theta (§III-B step two).
-    ++report_.secondary_rescans;
-    window.for_each_slot([&](std::uint32_t id) {
-      if (window.is_candidate(id)) return;
-      rescore(id);
-      if (window.slot(id).best_score > threshold.theta()) {
-        window.set_candidate(id, true);
-      }
-      consider(id);
-    });
-    if (!window.candidates().empty()) {
+    std::size_t promoted = 0;
+    const std::uint32_t best_secondary = secondary_rescan(promoted);
+    if (promoted > 0) {
       // Re-select among the promoted candidates.
       best_slot = EdgeWindow::npos;
       best_score = -std::numeric_limits<double>::infinity();
-      for (const std::uint32_t id : window.candidates()) consider(id);
-    } else {
-      // Everything scored below average: make progress with the best
-      // secondary edge regardless.
-      ++report_.forced_secondary;
+      for (const std::uint32_t id : window.candidates()) {
+        consider(id, best_slot, best_score, best_sequence);
+      }
+      return best_slot;
     }
-    return best_slot;
+    // Everything scored below average: make progress with the best
+    // secondary edge regardless.
+    ++report_.forced_secondary;
+    return best_secondary;
+  };
+
+  // Heap selection: O(dirty + stale + log |C|) per assignment instead of
+  // O(|C|). Dirty and overdue candidates are rescored (publishing fresh
+  // heap entries), below-threshold candidates are demoted in periodic
+  // sweeps, and the winner is popped off the heap.
+  auto select_heap = [&]() -> std::uint32_t {
+    // Replica-change events since the last selection, batched and deduped:
+    // affected candidates re-enter the heap with fresh scores, affected
+    // secondary slots get their (only) promotion check.
+    for (const std::uint32_t id : dirty_slots) {
+      auto& s = window.slot(id);
+      if (!s.occupied || !s.dirty) continue;
+      rescore(id);
+      if (window.is_candidate(id)) {
+        publish(id);
+      } else if (s.best_score > threshold.theta()) {
+        window.set_candidate(id, true);
+        publish(id);
+      } else {
+        secondary.push(window, id);
+      }
+    }
+    dirty_slots.clear();
+
+    // Staleness refresh: the aging queue is in scored_at order, so only the
+    // overdue prefix is touched. Interval floor 1: entries republished this
+    // round must not come due within the same select call.
+    const std::uint64_t refresh =
+        std::max<std::uint64_t>(opts_.candidate_refresh_interval, 1);
+    while (!aging.empty() && round - aging.front().scored_at >= refresh) {
+      const AgingEntry age = aging.front();
+      aging.pop_front();
+      const auto& s = window.slot(age.slot);
+      if (s.occupied && window.is_candidate(age.slot) &&
+          s.score_version == age.version) {
+        rescore(age.slot);
+        publish(age.slot);
+      }
+    }
+
+    // Periodic demotion sweep: shed candidates that sank below Theta and
+    // compact both heaps' stale entries in one pass.
+    if (round - last_sweep >= opts_.demotion_sweep_interval ||
+        heap.size() > 4 * window.candidates().size() + 64) {
+      last_sweep = round;
+      ++report_.demotion_sweeps;
+      const double theta = threshold.theta();
+      bool demoted = false;
+      for (std::size_t i = window.candidates().size(); i-- > 0;) {
+        const std::uint32_t id = window.candidates()[i];
+        if (window.slot(id).best_score < theta) {
+          window.set_candidate(id, false);
+          demoted = true;
+        }
+      }
+      if (demoted || heap.size() > 4 * window.candidates().size() + 64) {
+        heap.rebuild(window);
+      }
+      if (demoted || secondary.size() > 4 * window.size() + 64) {
+        secondary.rebuild(window);
+      }
+    }
+
+    // Pop with rescore-on-pop: cached scores only order the heap; a winner
+    // whose score predates the last assignment is rescored, re-pushed and
+    // re-popped, so the assignment decision itself is always fresh. Each
+    // slot is rescored at most once per select (rescoring makes it fresh),
+    // bounding the loop; typically the top survives in one or two pops.
+    while (true) {
+      const std::uint32_t popped = heap.pop_valid(window, report_.heap_pops);
+      if (popped == EdgeWindow::npos) break;
+      const auto& s = window.slot(popped);
+      if (s.score_version > version_at_last_assign && !s.dirty) return popped;
+      rescore(popped);
+      publish(popped);
+    }
+
+    // Candidate set drained (§III-B step two). Instead of rescanning all of
+    // Q like the linear path, walk the secondary heap in structural-score
+    // order, rescoring stale slots up to a small budget, then assign the
+    // fresh argmax — promoted if it clears Theta, forced otherwise.
+    ++report_.secondary_rescans;
+    std::uint32_t best_fresh = EdgeWindow::npos;
+    double best_fresh_score = -std::numeric_limits<double>::infinity();
+    std::uint64_t best_fresh_sequence = 0;
+    std::uint64_t rescored = 0;
+    // Budget floor 1: with no rescore allowed the walk could end with
+    // neither a fresh slot nor a promotion and stall the stream.
+    const std::uint64_t drain_budget =
+        std::max<std::uint64_t>(opts_.drain_rescore_budget, 1);
+    bool promoted = false;
+    drain_scratch.clear();  // popped slots to re-push when not returned
+    while (true) {
+      const std::uint32_t id = secondary.pop_valid(window, report_.heap_pops);
+      if (id == EdgeWindow::npos) break;
+      auto& s = window.slot(id);
+      const bool fresh =
+          s.score_version > version_at_last_assign && !s.dirty;
+      if (!fresh) {
+        if (rescored >= drain_budget) {
+          drain_scratch.push_back(id);
+          break;
+        }
+        rescore(id);
+        ++rescored;
+      }
+      if (s.best_score > threshold.theta()) {
+        // Promote and keep walking: refilling C with everything the budget
+        // surfaces spaces out future drains (the linear rescan promotes
+        // every qualifying slot too).
+        window.set_candidate(id, true);
+        publish(id);
+        promoted = true;
+        continue;
+      }
+      consider(id, best_fresh, best_fresh_score, best_fresh_sequence);
+      drain_scratch.push_back(id);
+    }
+    for (const std::uint32_t id : drain_scratch) {
+      if (id != best_fresh || promoted) secondary.push(window, id);
+    }
+    if (promoted) return heap.pop_valid(window, report_.heap_pops);
+    if (best_fresh == EdgeWindow::npos) return EdgeWindow::npos;  // empty
+    ++report_.forced_secondary;
+    return best_fresh;
+  };
+
+  // Selects the slot to assign next. Returns EdgeWindow::npos iff the
+  // window is empty.
+  auto select = [&]() -> std::uint32_t {
+    if (window.empty()) return EdgeWindow::npos;
+
+    if (!opts_.lazy_traversal) {
+      // Eager traversal: recompute every window edge, take the argmax.
+      std::uint32_t best_slot = EdgeWindow::npos;
+      double best_score = -std::numeric_limits<double>::infinity();
+      std::uint64_t best_sequence = 0;
+      window.for_each_slot([&](std::uint32_t id) {
+        rescore(id);
+        consider(id, best_slot, best_score, best_sequence);
+      });
+      return best_slot;
+    }
+    return opts_.heap_selection ? select_heap() : select_linear();
   };
 
   // Replica-set growth re-opens the question whether incident secondary
@@ -150,6 +412,14 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
     window.for_each_incident(x, [&](std::uint32_t id) {
       ++report_.event_reassessments;
       if (window.is_candidate(id)) {
+        if (heap_mode && !window.slot(id).dirty) dirty_slots.push_back(id);
+        window.slot(id).dirty = true;
+        return;
+      }
+      if (heap_mode) {
+        // Defer to the next select's batched dirty pass (deduped per
+        // round) instead of rescoring inline on every replica event.
+        if (!window.slot(id).dirty) dirty_slots.push_back(id);
         window.slot(id).dirty = true;
         return;
       }
@@ -180,6 +450,7 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
     if (sink) sink(edge, target);
     scorer.on_assignment();
     ++round;
+    version_at_last_assign = score_version;
 
     if (opts_.lazy_traversal) {
       if (effect.new_replica_u) reassess_incident(edge.u);
@@ -190,6 +461,7 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   }
 
   report_.assignments = round;
+  report_.candidate_partitions = scorer.partitions_considered();
   report_.max_window = controller.max_window_reached();
   report_.adaptations = controller.adaptations();
   report_.final_lambda = scorer.lambda();

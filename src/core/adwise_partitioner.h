@@ -28,9 +28,15 @@ class AdwisePartitioner final : public EdgePartitioner {
   struct Report {
     std::uint64_t assignments = 0;
     std::uint64_t score_computations = 0;
+    // Partitions actually scored across all placements: k per score
+    // computation on the dense path, |candidate partitions| on the sparse
+    // path — the sparsity measure the micro benches track.
+    std::uint64_t candidate_partitions = 0;
     std::uint64_t secondary_rescans = 0;     // full Q scans (C drained)
     std::uint64_t forced_secondary = 0;      // assignments taken from Q
     std::uint64_t event_reassessments = 0;   // replica-change triggered
+    std::uint64_t heap_pops = 0;             // entries popped (incl. stale)
+    std::uint64_t demotion_sweeps = 0;       // periodic threshold sweeps
     std::uint64_t max_window = 0;
     std::uint64_t adaptations = 0;
     double final_lambda = 0.0;

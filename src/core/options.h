@@ -31,6 +31,31 @@ struct AdwiseOptions {
   // changes trigger immediate re-scoring regardless).
   std::uint64_t candidate_refresh_interval = 32;
 
+  // --- Hot-path implementation selection ------------------------------------
+  // Sparse placement search: best_placement enumerates only the candidate
+  // partitions R_u ∪ R_v ∪ {window-neighbor replicas} ∪ {least-loaded}
+  // instead of all k (decision-identical to the dense scan — see the
+  // invariant note in scoring.h). false selects the O(k) dense reference
+  // path the property tests compare against.
+  bool sparse_scoring = true;
+
+  // Heap-based candidate selection: select() pops the argmax from a lazy,
+  // stale-entry-tolerant max-heap (O(log |C|) per assignment) instead of
+  // linearly scanning the candidate set. false selects the linear reference
+  // scan. Only affects lazy traversal; the eager path always rescans.
+  bool heap_selection = true;
+
+  // With heap selection, candidates scoring below the threshold Theta are
+  // demoted in periodic sweeps every this many assignments (the linear path
+  // demotes every round). The sweep also compacts the heap.
+  std::uint64_t demotion_sweep_interval = 16;
+
+  // With heap selection, a candidate-set drain walks the secondary set in
+  // structural-score order and rescores at most this many stale slots
+  // before settling for the fresh argmax (the linear path rescans all of
+  // Q on every drain).
+  std::uint64_t drain_rescore_budget = 8;
+
   // --- Scoring (§III-C) ------------------------------------------------------
   // Adaptive balancing: lambda evolves per Eq. 4 within [lambda_min,
   // lambda_max]; disabled => lambda stays at lambda_init (HDRF-style fixed

@@ -5,13 +5,43 @@
 
 namespace adwise {
 
+namespace {
+
+// Shared argmax predicate: the dense loop iterates ids in ascending order
+// and the sparse loop visits candidates in arbitrary order, so the explicit
+// id tie-break makes both implement the same total order
+// (score desc, load asc, id asc).
+struct RunningBest {
+  ScoredPlacement placement;
+  std::uint64_t load = 0;
+
+  void consider(PartitionId p, double g, std::uint64_t l) {
+    if (placement.partition == kInvalidPartition || g > placement.score ||
+        (g == placement.score &&
+         (l < load || (l == load && p < placement.partition)))) {
+      placement = {p, g};
+      load = l;
+    }
+  }
+};
+
+}  // namespace
+
 AdwiseScorer::AdwiseScorer(const PartitionState& state,
                            const AdwiseOptions& opts, std::size_t total_edges)
     : state_(&state),
       opts_(opts),
       total_edges_(total_edges),
       lambda_(std::clamp(opts.lambda_init, opts.lambda_min, opts.lambda_max)),
-      cs_counts_(state.k(), 0.0) {}
+      cs_counts_(state.k(), 0.0),
+      mark_(state.k(), 0),
+      assigned_baseline_(state.assigned_edges()) {
+  // The sparse argmax confinement (header comment) needs λ·B(p) monotone
+  // decreasing in partition load, i.e. λ ≥ 0 over the whole run. A negative
+  // lambda_min (or a fixed negative lambda) could violate that silently in
+  // release builds, so such configurations fall back to the dense scan.
+  if (opts_.lambda_min < 0.0 || lambda_ < 0.0) opts_.sparse_scoring = false;
+}
 
 double AdwiseScorer::replica_weight(VertexId x) const {
   if (!opts_.degree_weighting) return 1.0;
@@ -27,71 +57,108 @@ double AdwiseScorer::replica_weight(VertexId x) const {
 std::size_t AdwiseScorer::prepare_clustering(const Edge& e,
                                              const EdgeWindow* window,
                                              std::uint32_t exclude_slot) {
-  std::fill(cs_counts_.begin(), cs_counts_.end(), 0.0);
+  // Reset the previous edge's counts by walking the touched list — O(|C|)
+  // of the last call, not O(k), and free when CS was off or had no window.
+  for (const PartitionId p : cs_touched_) cs_counts_[p] = 0.0;
+  cs_touched_.clear();
   if (!opts_.clustering_score || window == nullptr) return 0;
   window->collect_neighbors(e, exclude_slot, opts_.clustering_neighbor_cap,
                             neighbor_scratch_);
   for (const VertexId n : neighbor_scratch_) {
-    state_->replicas(n).for_each([&](std::uint32_t p) { cs_counts_[p] += 1.0; });
+    state_->replicas(n).for_each([&](std::uint32_t p) {
+      if (cs_counts_[p] == 0.0) cs_touched_.push_back(p);
+      cs_counts_[p] += 1.0;
+    });
   }
   return neighbor_scratch_.size();
+}
+
+AdwiseScorer::EdgeContext AdwiseScorer::make_context(
+    const Edge& e, const EdgeWindow* window, std::uint32_t exclude_slot) {
+  EdgeContext ctx;
+  ctx.maxsize = static_cast<double>(state_->max_partition_size());
+  const auto minsize = static_cast<double>(state_->min_partition_size());
+  ctx.bal_denom = ctx.maxsize - minsize + opts_.balance_epsilon;
+  ctx.wu = replica_weight(e.u);
+  ctx.wv = replica_weight(e.v);
+  ctx.ru = &state_->replicas(e.u);
+  ctx.rv = &state_->replicas(e.v);
+  ctx.self_loop = e.v == e.u;
+  const std::size_t num_neighbors = prepare_clustering(e, window, exclude_slot);
+  ctx.cs_norm =
+      num_neighbors > 0 ? 1.0 / static_cast<double>(num_neighbors) : 0.0;
+  return ctx;
+}
+
+double AdwiseScorer::score_partition(const EdgeContext& ctx,
+                                     PartitionId p) const {
+  const double balance =
+      (ctx.maxsize - static_cast<double>(state_->edges_on(p))) / ctx.bal_denom;
+  double g = lambda_ * balance;
+  if (ctx.ru->contains(p)) g += ctx.wu;
+  if (!ctx.self_loop && ctx.rv->contains(p)) g += ctx.wv;
+  g += cs_counts_[p] * ctx.cs_norm;
+  return g;
 }
 
 ScoredPlacement AdwiseScorer::best_placement(const Edge& e,
                                              const EdgeWindow* window,
                                              std::uint32_t exclude_slot) {
-  const auto maxsize = static_cast<double>(state_->max_partition_size());
-  const auto minsize = static_cast<double>(state_->min_partition_size());
-  const double bal_denom = maxsize - minsize + opts_.balance_epsilon;
-  const double wu = replica_weight(e.u);
-  const double wv = replica_weight(e.v);
-  const ReplicaSet& ru = state_->replicas(e.u);
-  const ReplicaSet& rv = state_->replicas(e.v);
-  const std::size_t num_neighbors = prepare_clustering(e, window, exclude_slot);
-  const double cs_norm =
-      num_neighbors > 0 ? 1.0 / static_cast<double>(num_neighbors) : 0.0;
-
-  ScoredPlacement best;
-  std::uint64_t best_load = 0;
-  for (PartitionId p = 0; p < state_->k(); ++p) {
+  const EdgeContext ctx = make_context(e, window, exclude_slot);
+  ScoredPlacement best = opts_.sparse_scoring ? best_placement_sparse(ctx)
+                                              : best_placement_dense(ctx);
+  if (best.partition != kInvalidPartition) {
     const double balance =
-        (maxsize - static_cast<double>(state_->edges_on(p))) / bal_denom;
-    double g = lambda_ * balance;
-    if (ru.contains(p)) g += wu;
-    if (e.v != e.u && rv.contains(p)) g += wv;
-    g += cs_counts_[p] * cs_norm;
-    const std::uint64_t load = state_->edges_on(p);
-    if (best.partition == kInvalidPartition || g > best.score ||
-        (g == best.score && load < best_load)) {
-      best = {p, g};
-      best_load = load;
-    }
+        (ctx.maxsize - static_cast<double>(state_->edges_on(best.partition))) /
+        ctx.bal_denom;
+    best.structural = best.score - lambda_ * balance;
   }
   return best;
+}
+
+ScoredPlacement AdwiseScorer::best_placement_dense(const EdgeContext& ctx) {
+  RunningBest best;
+  for (PartitionId p = 0; p < state_->k(); ++p) {
+    best.consider(p, score_partition(ctx, p), state_->edges_on(p));
+  }
+  partitions_considered_ += state_->k();
+  return best.placement;
+}
+
+ScoredPlacement AdwiseScorer::best_placement_sparse(const EdgeContext& ctx) {
+  // Candidate partitions: R_u ∪ R_v ∪ {replicas of window neighbors} ∪
+  // {least-loaded}. Everything else scores exactly λ·B(p) and is dominated
+  // by the least-loaded partition (see the invariant in scoring.h).
+  ++mark_epoch_;
+  RunningBest best;
+  auto consider = [&](PartitionId p) {
+    if (mark_[p] == mark_epoch_) return;
+    mark_[p] = mark_epoch_;
+    ++partitions_considered_;
+    best.consider(p, score_partition(ctx, p), state_->edges_on(p));
+  };
+  ctx.ru->for_each(consider);
+  if (!ctx.self_loop) ctx.rv->for_each(consider);
+  for (const PartitionId p : cs_touched_) consider(p);
+  consider(state_->least_loaded());
+  return best.placement;
 }
 
 double AdwiseScorer::score(const Edge& e, PartitionId p,
                            const EdgeWindow* window,
                            std::uint32_t exclude_slot) {
   assert(p < state_->k());
-  const auto maxsize = static_cast<double>(state_->max_partition_size());
-  const auto minsize = static_cast<double>(state_->min_partition_size());
-  const double balance =
-      (maxsize - static_cast<double>(state_->edges_on(p))) /
-      (maxsize - minsize + opts_.balance_epsilon);
-  double g = lambda_ * balance;
-  if (state_->replicas(e.u).contains(p)) g += replica_weight(e.u);
-  if (e.v != e.u && state_->replicas(e.v).contains(p)) g += replica_weight(e.v);
-  const std::size_t num_neighbors = prepare_clustering(e, window, exclude_slot);
-  if (num_neighbors > 0) {
-    g += cs_counts_[p] / static_cast<double>(num_neighbors);
-  }
-  return g;
+  const EdgeContext ctx = make_context(e, window, exclude_slot);
+  return score_partition(ctx, p);
 }
 
 void AdwiseScorer::on_assignment() {
   if (!opts_.adaptive_balance) return;
-  const double assigned = static_cast<double>(state_->assigned_edges());
+  // Stream progress α = |E'|/m (Eq. 4) counts edges assigned by THIS run:
+  // under restreaming the state carries prior passes' assignments, which
+  // must not start α at 1 (λ would ratchet to λ_max immediately).
+  const double assigned =
+      static_cast<double>(state_->assigned_edges() - assigned_baseline_);
   const double m = static_cast<double>(std::max<std::size_t>(total_edges_, 1));
   const double alpha = std::min(1.0, assigned / m);
   const double tolerance = std::max(0.0, 1.0 - alpha);

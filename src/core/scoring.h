@@ -12,8 +12,29 @@
 //           neighborhood N(u)∪N(v) already replicated on p
 //
 // Every term is individually switchable for the ablation benches.
+//
+// Sparse placement search (the default, AdwiseOptions::sparse_scoring).
+// The argmax over all k partitions is confined to the candidate-partition set
+//
+//   C(e) = R_u ∪ R_v ∪ { p : p holds a replica of a window neighbor of e }
+//          ∪ { least-loaded partition },
+//
+// so best_placement() only scores |C(e)| partitions instead of k. Why this
+// is exact: for any partition outside C(e) both R and CS are zero, so its
+// score is exactly λ·B(p). B is strictly decreasing in |p|, hence among
+// partitions outside C(e) the score is maximized by the least-loaded one —
+// and equal scores imply equal loads, so the tie-break (lower load, then
+// lower id) is also won by least_loaded(), which PartitionState tracks as
+// the smallest id at the minimum size. Since R and CS are nonnegative and
+// λ ≥ 0 (lambda_min must be ≥ 0), every partition outside C(e) is dominated
+// by least_loaded() ∈ C(e) under the total order (score desc, load asc,
+// id asc), and max over C(e) equals the max over all k. The same argument
+// underlies HDRF's sparse placement (replication term zero outside R_u∪R_v)
+// — see HdrfPartitioner. The dense O(k) reference path is kept
+// option-selectable so tests can assert decision identity bit-for-bit.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "src/core/options.h"
@@ -25,6 +46,11 @@ namespace adwise {
 struct ScoredPlacement {
   PartitionId partition = kInvalidPartition;
   double score = 0.0;
+  // Balance-independent part of score (R + CS at the chosen partition).
+  // The heap-based selector orders the secondary set by this key: unlike
+  // the full g it does not rot as partition loads drift, so stale entries
+  // keep a meaningful priority between rescores.
+  double structural = 0.0;
 };
 
 class AdwiseScorer {
@@ -34,10 +60,11 @@ class AdwiseScorer {
   AdwiseScorer(const PartitionState& state, const AdwiseOptions& opts,
                std::size_t total_edges);
 
-  // Scores e against all partitions in one pass and returns the argmax
-  // (ties: least-loaded partition, then smallest id). window supplies the
-  // clustering neighborhoods; exclude_slot is e's own slot (or
-  // EdgeWindow::npos). Passing window == nullptr disables CS for this call.
+  // Scores e against the candidate-partition set (or all partitions on the
+  // dense reference path) and returns the argmax (ties: least-loaded
+  // partition, then smallest id). window supplies the clustering
+  // neighborhoods; exclude_slot is e's own slot (or EdgeWindow::npos).
+  // Passing window == nullptr disables CS for this call.
   [[nodiscard]] ScoredPlacement best_placement(const Edge& e,
                                                const EdgeWindow* window,
                                                std::uint32_t exclude_slot);
@@ -52,8 +79,41 @@ class AdwiseScorer {
 
   [[nodiscard]] double lambda() const { return lambda_; }
 
+  // Total partitions scored across all best_placement() calls — the
+  // sparsity measure the micro benches report (dense path adds k per call).
+  [[nodiscard]] std::uint64_t partitions_considered() const {
+    return partitions_considered_;
+  }
+
  private:
-  // Fills cs_counts_[p] with |{u' ∈ N : p ∈ R_u'}| and returns |N|.
+  // Per-edge terms shared by every partition score: balance denominator,
+  // replica weights, clustering normalizer and the endpoint replica sets.
+  // Building it runs prepare_clustering, so cs_counts_ / cs_touched_ hold
+  // e's window-neighborhood replica counts while the context is live.
+  struct EdgeContext {
+    double maxsize = 0.0;
+    double bal_denom = 1.0;
+    double wu = 0.0, wv = 0.0;
+    double cs_norm = 0.0;
+    const ReplicaSet* ru = nullptr;
+    const ReplicaSet* rv = nullptr;
+    bool self_loop = false;
+  };
+  [[nodiscard]] EdgeContext make_context(const Edge& e,
+                                         const EdgeWindow* window,
+                                         std::uint32_t exclude_slot);
+
+  // g(e, p) given the precomputed context — the single definition of the
+  // score arithmetic used by score(), the dense loop and the sparse loop.
+  [[nodiscard]] double score_partition(const EdgeContext& ctx,
+                                       PartitionId p) const;
+
+  [[nodiscard]] ScoredPlacement best_placement_dense(const EdgeContext& ctx);
+  [[nodiscard]] ScoredPlacement best_placement_sparse(const EdgeContext& ctx);
+
+  // Fills cs_counts_[p] with |{u' ∈ N : p ∈ R_u'}| (recording touched
+  // partitions in cs_touched_) and returns |N|. Resets the previous call's
+  // counts by walking cs_touched_, never an O(k) fill.
   std::size_t prepare_clustering(const Edge& e, const EdgeWindow* window,
                                  std::uint32_t exclude_slot);
 
@@ -65,7 +125,15 @@ class AdwiseScorer {
   std::size_t total_edges_;
   double lambda_;
   std::vector<double> cs_counts_;
+  std::vector<PartitionId> cs_touched_;
   std::vector<VertexId> neighbor_scratch_;
+  // Per-placement dedup of candidate partitions (epoch-stamped, no clears).
+  std::vector<std::uint64_t> mark_;
+  std::uint64_t mark_epoch_ = 0;
+  std::uint64_t partitions_considered_ = 0;
+  // assigned_edges() of the state when this scorer was created: Eq. 4's α
+  // measures progress of THIS stream, not of a carried restream state.
+  std::uint64_t assigned_baseline_ = 0;
 };
 
 }  // namespace adwise

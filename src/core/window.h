@@ -29,6 +29,9 @@ class EdgeWindow {
   struct Slot {
     Edge edge;
     double best_score = 0.0;
+    // Balance-independent component of best_score (R + CS): the drift-
+    // immune priority the heap selector uses for the secondary set.
+    double structural_score = 0.0;
     PartitionId best_partition = kInvalidPartition;
     bool occupied = false;
     // Incident replica sets changed since best_score was computed.
@@ -36,6 +39,9 @@ class EdgeWindow {
     // Assignment round at which best_score was last computed (staleness
     // bound for the cached balance term).
     std::uint64_t scored_at = 0;
+    // Bumped on every (re-)score; heap entries carry the version they were
+    // pushed with, so stale entries are recognized and skipped on pop.
+    std::uint64_t score_version = 0;
     // Monotone insertion number: score ties resolve FIFO (stream order), so
     // lazy and eager traversal make identical decisions.
     std::uint64_t sequence = 0;

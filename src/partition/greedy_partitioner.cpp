@@ -27,11 +27,15 @@ PartitionId GreedyPartitioner::place(const Edge& e,
 
   if (!ru.empty() && !rv.empty()) {
     if (ru.intersects(rv)) {
-      // Case 1: least loaded partition holding both endpoints.
+      // Case 1: least loaded partition holding both endpoints. Enumerate
+      // the smaller replica set and membership-test against the other.
+      const bool u_smaller = ru.size() <= rv.size();
+      const ReplicaSet& outer = u_smaller ? ru : rv;
+      const ReplicaSet& inner = u_smaller ? rv : ru;
       PartitionId best = kInvalidPartition;
       std::uint64_t best_load = 0;
-      ru.for_each([&](std::uint32_t p) {
-        if (!rv.contains(p)) return;
+      outer.for_each([&](std::uint32_t p) {
+        if (!inner.contains(p)) return;
         const std::uint64_t load = state.edges_on(p);
         if (best == kInvalidPartition || load < best_load) {
           best = p;
@@ -47,7 +51,7 @@ PartitionId GreedyPartitioner::place(const Edge& e,
   }
   if (!ru.empty()) return least_loaded_in(ru, state);  // Case 3
   if (!rv.empty()) return least_loaded_in(rv, state);  // Case 3
-  return state.least_loaded();                          // Case 4
+  return state.least_loaded();                          // Case 4 (O(1))
 }
 
 }  // namespace adwise

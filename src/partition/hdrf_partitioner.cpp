@@ -17,24 +17,51 @@ PartitionId HdrfPartitioner::place(const Edge& e, const PartitionState& state) {
   const auto minsize = static_cast<double>(state.min_partition_size());
   const double bal_denom = epsilon_ + maxsize - minsize;
 
-  PartitionId best = 0;
-  double best_score = -1.0;
-  std::uint64_t best_load = 0;
-  for (PartitionId p = 0; p < state.k(); ++p) {
+  // Single definition of the per-partition score and of the argmax total
+  // order (score desc, load asc, id asc) shared by both paths.
+  auto score_on = [&](PartitionId p) {
     double rep = 0.0;
     if (ru.contains(p)) rep += 1.0 + (1.0 - theta_u);
     if (rv.contains(p)) rep += 1.0 + (1.0 - theta_v);
     const double bal =
         (maxsize - static_cast<double>(state.edges_on(p))) / bal_denom;
-    const double score = rep + lambda_ * bal;
+    return rep + lambda_ * bal;
+  };
+
+  PartitionId best = kInvalidPartition;
+  double best_score = 0.0;
+  std::uint64_t best_load = 0;
+  auto consider = [&](PartitionId p) {
+    const double score = score_on(p);
     const std::uint64_t load = state.edges_on(p);
-    if (score > best_score ||
-        (score == best_score && load < best_load)) {
+    if (best == kInvalidPartition || score > best_score ||
+        (score == best_score &&
+         (load < best_load || (load == best_load && p < best)))) {
       best = p;
       best_score = score;
       best_load = load;
     }
+  };
+
+  // The sparse confinement argument below needs lambda * C_bal monotone
+  // decreasing in partition load, i.e. lambda >= 0; exotic negative lambdas
+  // get the dense scan so every configuration stays decision-correct.
+  if (!sparse_ || lambda_ < 0.0) {
+    // Dense reference scan over all k partitions.
+    for (PartitionId p = 0; p < state.k(); ++p) consider(p);
+    return best;
   }
+
+  // Sparse placement: C_rep vanishes outside R_u ∪ R_v, so every other
+  // partition scores exactly lambda * C_bal(p) and is dominated by the
+  // least-loaded partition under the argmax total order (equal scores imply
+  // equal loads, and least_loaded() is the smallest id at minimum load).
+  ru.for_each([&](std::uint32_t p) { consider(p); });
+  rv.for_each([&](std::uint32_t p) {
+    if (!ru.contains(p)) consider(p);
+  });
+  const PartitionId fallback = state.least_loaded();
+  if (!ru.contains(fallback) && !rv.contains(fallback)) consider(fallback);
   return best;
 }
 

@@ -8,6 +8,13 @@
 //   C_bal    = (maxsize - |p|) / (eps + maxsize - minsize)
 // and assigns e to the argmax. lambda defaults to 1.1 (the authors'
 // recommendation, used by the paper's experiments).
+//
+// Sparse placement (default): C_rep is zero outside R_u ∪ R_v, so for every
+// other partition the score is exactly lambda * C_bal(p) — maximized (with
+// the lower-load, lower-id tie-break) by PartitionState's O(1)
+// least_loaded(). The argmax is therefore confined to
+// R_u ∪ R_v ∪ {least_loaded}, turning the O(k) scan into O(|R_u| + |R_v|).
+// The dense reference scan stays selectable for decision-identity tests.
 #pragma once
 
 #include "src/partition/partitioner.h"
@@ -16,8 +23,9 @@ namespace adwise {
 
 class HdrfPartitioner final : public SingleEdgePartitioner {
  public:
-  explicit HdrfPartitioner(double lambda = 1.1, double epsilon = 1e-9)
-      : lambda_(lambda), epsilon_(epsilon) {}
+  explicit HdrfPartitioner(double lambda = 1.1, double epsilon = 1e-9,
+                           bool sparse = true)
+      : lambda_(lambda), epsilon_(epsilon), sparse_(sparse) {}
 
   [[nodiscard]] std::string_view name() const override { return "hdrf"; }
 
@@ -25,10 +33,12 @@ class HdrfPartitioner final : public SingleEdgePartitioner {
                                   const PartitionState& state) override;
 
   [[nodiscard]] double lambda() const { return lambda_; }
+  [[nodiscard]] bool sparse() const { return sparse_; }
 
  private:
   double lambda_;
   double epsilon_;
+  bool sparse_;
 };
 
 }  // namespace adwise

@@ -49,22 +49,31 @@ PartitionState::AssignEffect PartitionState::assign(const Edge& e,
   max_size_ = std::max(max_size_, part_edges_[p]);
   if (old == min_size_) {
     if (--num_at_min_ == 0) {
-      // The last partition at the old minimum moved up; rescan (k is small).
-      min_size_ = *std::min_element(part_edges_.begin(), part_edges_.end());
+      // The last partition at the old minimum moved up; rescan (k is small,
+      // and this happens at most once per minimum-size epoch).
+      min_size_ = part_edges_[0];
+      min_id_ = 0;
+      for (PartitionId q = 1; q < k_; ++q) {
+        if (part_edges_[q] < min_size_) {
+          min_size_ = part_edges_[q];
+          min_id_ = q;
+        }
+      }
       num_at_min_ = static_cast<std::uint32_t>(
           std::count(part_edges_.begin(), part_edges_.end(), min_size_));
+    } else if (p == min_id_) {
+      // Other partitions still sit at the minimum. Sizes only grow, so ids
+      // below the old holder cannot have rejoined the minimum: scan forward.
+      for (PartitionId q = p + 1; q < k_; ++q) {
+        if (part_edges_[q] == min_size_) {
+          min_id_ = q;
+          break;
+        }
+      }
     }
   }
   ++assigned_;
   return effect;
-}
-
-PartitionId PartitionState::least_loaded() const {
-  PartitionId best = 0;
-  for (PartitionId p = 1; p < k_; ++p) {
-    if (part_edges_[p] < part_edges_[best]) best = p;
-  }
-  return best;
 }
 
 double PartitionState::replication_degree() const {

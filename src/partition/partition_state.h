@@ -10,6 +10,14 @@
 // Partition sizes only ever grow during streaming, which makes exact
 // max/min maintenance cheap: max is monotone, and min only advances when the
 // last partition at the current minimum leaves it (amortized O(k) per bump).
+//
+// least_loaded() is O(1): the smallest partition id at the current minimum
+// size is maintained incrementally. Because sizes are monotone, when the
+// current holder leaves the minimum the next holder can only have a larger
+// id, so a forward scan from the old holder suffices — each id is visited at
+// most once per minimum-size epoch, amortizing to O(1) per assign(). Every
+// scoring fallback (ADWISE sparse placement, HDRF, Greedy case 4) reads it
+// on the per-edge hot path.
 #pragma once
 
 #include <cassert>
@@ -69,8 +77,9 @@ class PartitionState {
   [[nodiscard]] std::uint64_t min_partition_size() const { return min_size_; }
   [[nodiscard]] std::uint64_t assigned_edges() const { return assigned_; }
 
-  // Least-loaded partition among all k, smallest id on ties.
-  [[nodiscard]] PartitionId least_loaded() const;
+  // Least-loaded partition among all k, smallest id on ties. O(1): tracked
+  // incrementally by assign().
+  [[nodiscard]] PartitionId least_loaded() const { return min_id_; }
 
   // Mean replica count over vertices with at least one replica (Eq. 1; for
   // graphs without isolated vertices this equals the paper's 1/|V| Σ|R_v|).
@@ -91,6 +100,7 @@ class PartitionState {
   std::uint64_t max_size_ = 0;
   std::uint64_t min_size_ = 0;
   std::uint32_t num_at_min_;
+  PartitionId min_id_ = 0;  // smallest id with part_edges_ == min_size_
   std::uint32_t max_degree_ = 1;
   std::uint64_t assigned_ = 0;
   std::uint64_t total_replicas_ = 0;

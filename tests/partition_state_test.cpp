@@ -1,6 +1,9 @@
 // Tests for PartitionState: replica sets, balance tracking, Eq. 1/2 metrics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/partition/partition_state.h"
 
 namespace adwise {
@@ -110,6 +113,27 @@ TEST(PartitionStateTest, LeastLoadedBreaksTiesBySmallestId) {
   st.assign({1, 2}, 1);
   st.assign({2, 3}, 2);
   EXPECT_EQ(st.least_loaded(), 0u);
+}
+
+TEST(PartitionStateTest, LeastLoadedMatchesFullScanAfterEveryAssignment) {
+  // least_loaded() is maintained incrementally (O(1) reads); it must agree
+  // with a brute-force scan after every single assignment, including the
+  // forward-advance case (current holder leaves the minimum while others
+  // remain) and the epoch-rescan case (last holder leaves the minimum).
+  constexpr std::uint32_t k = 5;
+  PartitionState st(k, 64);
+  std::vector<std::uint64_t> sizes(k, 0);
+  const PartitionId targets[] = {0, 0, 2, 1, 1, 3, 4, 0, 2, 3,
+                                 4, 1, 2, 3, 4, 0, 0, 4, 3, 2};
+  VertexId v = 0;
+  for (const PartitionId p : targets) {
+    st.assign({v, v + 1}, p);
+    ++v;
+    ++sizes[p];
+    const auto expect = static_cast<PartitionId>(
+        std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+    ASSERT_EQ(st.least_loaded(), expect) << "after assigning to " << p;
+  }
 }
 
 TEST(PartitionStateTest, SelfLoopCountsOneVertexOnce) {

@@ -5,13 +5,17 @@
 
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/common/replica_set.h"
 #include "src/common/rng.h"
+#include "src/core/adwise_partitioner.h"
 #include "src/core/window.h"
 #include "src/engine/cluster_model.h"
+#include "src/graph/edge_stream.h"
 #include "src/graph/generators.h"
+#include "src/partition/hdrf_partitioner.h"
 #include "src/partition/partition_state.h"
 
 namespace adwise {
@@ -142,11 +146,173 @@ TEST_P(PartitionStateModelTest, BalanceTrackingMatchesBruteForce) {
     const auto min_it = *std::min_element(sizes.begin(), sizes.end());
     ASSERT_EQ(state.max_partition_size(), max_it);
     ASSERT_EQ(state.min_partition_size(), min_it);
+    // Incremental least_loaded(): smallest id at the minimum size, checked
+    // against a full scan after every single assignment.
+    const auto least = static_cast<PartitionId>(
+        std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+    ASSERT_EQ(state.least_loaded(), least);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PartitionStateModelTest,
                          ::testing::Values(7, 8, 9));
+
+// --- Sparse vs. dense placement: decision identity ---------------------------------
+//
+// The sparse candidate-partition search (scoring.h invariant) must make
+// bit-identical decisions to the dense O(k) reference scan: same per-edge
+// targets, hence same replication degree and balance, across window modes,
+// clustering on/off, and k both below and above the ReplicaSet inline range.
+
+struct SparseDenseCase {
+  std::string graph;  // "rmat" (skewed) or "ba" (power-law tail)
+  bool lazy = true;
+  bool clustering = true;
+  std::uint32_t k = 32;
+};
+
+class SparseVsDenseTest : public ::testing::TestWithParam<SparseDenseCase> {
+ protected:
+  static Graph graph_for(const std::string& name) {
+    if (name == "rmat") {
+      return make_rmat({.scale = 10, .num_edges = 4000, .seed = 21});
+    }
+    return make_barabasi_albert(900, 4, 23);
+  }
+
+  struct Run {
+    std::vector<Assignment> assignments;
+    double replication = 0.0;
+    double imbalance = 0.0;
+    AdwisePartitioner::Report report;
+  };
+
+  static Run run(const Graph& graph, const SparseDenseCase& c, bool sparse) {
+    AdwiseOptions opts;
+    opts.adaptive_window = false;
+    opts.initial_window = 32;
+    opts.lazy_traversal = c.lazy;
+    opts.clustering_score = c.clustering;
+    opts.sparse_scoring = sparse;
+    AdwisePartitioner partitioner(opts);
+    PartitionState state(c.k, graph.num_vertices());
+    const auto edges = ordered_edges(graph, StreamOrder::kShuffled, 13);
+    VectorEdgeStream stream(edges);
+    Run out;
+    partitioner.partition(stream, state,
+                          [&](const Edge& e, PartitionId p) {
+                            out.assignments.push_back({e, p});
+                          });
+    out.replication = state.replication_degree();
+    out.imbalance = state.imbalance();
+    out.report = partitioner.last_report();
+    return out;
+  }
+};
+
+TEST_P(SparseVsDenseTest, IdenticalDecisionsAndCheaperScans) {
+  const auto& c = GetParam();
+  const Graph graph = graph_for(c.graph);
+  const Run sparse = run(graph, c, /*sparse=*/true);
+  const Run dense = run(graph, c, /*sparse=*/false);
+
+  ASSERT_EQ(sparse.assignments.size(), graph.num_edges());
+  ASSERT_EQ(sparse.assignments.size(), dense.assignments.size());
+  for (std::size_t i = 0; i < sparse.assignments.size(); ++i) {
+    ASSERT_EQ(sparse.assignments[i], dense.assignments[i])
+        << "diverged at assignment " << i;
+  }
+  EXPECT_DOUBLE_EQ(sparse.replication, dense.replication);
+  EXPECT_DOUBLE_EQ(sparse.imbalance, dense.imbalance);
+
+  // Same score computations, strictly fewer partitions scanned (that is the
+  // point of the sparse path); the dense path scans exactly k per score.
+  EXPECT_EQ(sparse.report.score_computations, dense.report.score_computations);
+  EXPECT_EQ(dense.report.candidate_partitions,
+            dense.report.score_computations * c.k);
+  EXPECT_LT(sparse.report.candidate_partitions,
+            dense.report.candidate_partitions);
+}
+
+std::vector<SparseDenseCase> sparse_dense_cases() {
+  std::vector<SparseDenseCase> cases;
+  for (const char* graph : {"rmat", "ba"}) {
+    for (const bool lazy : {true, false}) {
+      for (const bool clustering : {true, false}) {
+        for (const std::uint32_t k : {4u, 32u, 100u}) {
+          cases.push_back({graph, lazy, clustering, k});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SparseVsDenseTest, ::testing::ValuesIn(sparse_dense_cases()),
+    [](const ::testing::TestParamInfo<SparseDenseCase>& info) {
+      return info.param.graph + (info.param.lazy ? "_lazy" : "_eager") +
+             (info.param.clustering ? "_cs" : "_nocs") + "_k" +
+             std::to_string(info.param.k);
+    });
+
+// --- HDRF sparse vs. dense ----------------------------------------------------------
+
+class HdrfSparseVsDenseTest : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(HdrfSparseVsDenseTest, PlacementsIdentical) {
+  const std::uint32_t k = GetParam();
+  const Graph graph = make_rmat({.scale = 10, .num_edges = 4000, .seed = 29});
+  HdrfPartitioner sparse(1.1, 1e-9, /*sparse=*/true);
+  HdrfPartitioner dense(1.1, 1e-9, /*sparse=*/false);
+  PartitionState state(k, graph.num_vertices());
+  for (const Edge& e : graph.edges()) {
+    const PartitionId ps = sparse.place(e, state);
+    const PartitionId pd = dense.place(e, state);
+    ASSERT_EQ(ps, pd) << "edge (" << e.u << ", " << e.v << ")";
+    state.assign(e, ps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, HdrfSparseVsDenseTest,
+                         ::testing::Values(4u, 32u, 100u));
+
+// --- Heap vs. linear candidate selection -------------------------------------------
+//
+// With the threshold forced to -inf and refresh interval 1, both selection
+// strategies rescore every candidate each round and the argmax total order
+// (score desc, insertion sequence asc) fully determines the decision: the
+// heap must reproduce the linear scan exactly.
+
+TEST(HeapSelectionTest, MatchesLinearWhenEverythingIsCandidate) {
+  const Graph graph = make_community_graph({.num_communities = 25, .seed = 41});
+  auto run = [&](bool heap) {
+    AdwiseOptions opts;
+    opts.adaptive_window = false;
+    opts.initial_window = 16;
+    opts.lazy_traversal = true;
+    opts.candidate_epsilon = -1e18;
+    opts.candidate_refresh_interval = 1;
+    opts.heap_selection = heap;
+    AdwisePartitioner partitioner(opts);
+    PartitionState state(8, graph.num_vertices());
+    const auto edges = ordered_edges(graph, StreamOrder::kShuffled, 19);
+    VectorEdgeStream stream(edges);
+    std::vector<Assignment> assignments;
+    partitioner.partition(stream, state,
+                          [&](const Edge& e, PartitionId p) {
+                            assignments.push_back({e, p});
+                          });
+    return assignments;
+  };
+  const auto with_heap = run(true);
+  const auto with_linear = run(false);
+  ASSERT_EQ(with_heap.size(), with_linear.size());
+  for (std::size_t i = 0; i < with_heap.size(); ++i) {
+    ASSERT_EQ(with_heap[i], with_linear[i]) << "diverged at assignment " << i;
+  }
+}
 
 }  // namespace
 }  // namespace adwise

@@ -22,8 +22,17 @@ const Graph& test_graph() {
   return graph;
 }
 
-void run_once(benchmark::State& state, EdgePartitioner& partitioner) {
-  const Graph& graph = test_graph();
+// Smaller stream for the eager captures: eager traversal rescans the whole
+// window per assignment (w * m placements), so the 200k-edge graph would
+// cost minutes per iteration at w = 256.
+const Graph& eager_graph() {
+  static const Graph graph =
+      make_rmat({.scale = 13, .num_edges = 40'000, .seed = 3});
+  return graph;
+}
+
+void run_once(benchmark::State& state, EdgePartitioner& partitioner,
+              const Graph& graph) {
   for (auto _ : state) {
     PartitionState pstate(32, graph.num_vertices());
     VectorEdgeStream stream(graph.edges());
@@ -36,13 +45,26 @@ void run_once(benchmark::State& state, EdgePartitioner& partitioner) {
 
 void BM_Baseline(benchmark::State& state, const char* name) {
   auto partitioner = make_baseline_partitioner(name, 32, 1);
-  run_once(state, *partitioner);
+  run_once(state, *partitioner, test_graph());
 }
+
+void report_adwise_counters(benchmark::State& state,
+                            const AdwisePartitioner& partitioner);
 
 void BM_Adwise(benchmark::State& state, const AdwiseOptions& opts) {
   AdwisePartitioner partitioner(opts);
-  run_once(state, partitioner);
+  run_once(state, partitioner, test_graph());
+  report_adwise_counters(state, partitioner);
+}
 
+void BM_AdwiseEager(benchmark::State& state, const AdwiseOptions& opts) {
+  AdwisePartitioner partitioner(opts);
+  run_once(state, partitioner, eager_graph());
+  report_adwise_counters(state, partitioner);
+}
+
+void report_adwise_counters(benchmark::State& state,
+                            const AdwisePartitioner& partitioner) {
   // Hot-path counters from the last run: how many g(e, p) evaluations the
   // traversal needed, and how many partitions each evaluation touched
   // (k = 32 on the dense path, the candidate-set size on the sparse path).
@@ -56,6 +78,11 @@ void BM_Adwise(benchmark::State& state, const AdwiseOptions& opts) {
           ? static_cast<double>(report.candidate_partitions) /
                 static_cast<double>(report.score_computations)
           : 0.0;
+  // kAuto's per-call crossover split (pinned paths report one side only).
+  state.counters["dense_places"] =
+      benchmark::Counter(static_cast<double>(report.dense_placements));
+  state.counters["sparse_places"] =
+      benchmark::Counter(static_cast<double>(report.sparse_placements));
 }
 
 AdwiseOptions adwise_opts(std::uint64_t window, bool lazy, bool sparse = true,
@@ -64,8 +91,18 @@ AdwiseOptions adwise_opts(std::uint64_t window, bool lazy, bool sparse = true,
   opts.adaptive_window = false;
   opts.initial_window = window;
   opts.lazy_traversal = lazy;
-  opts.sparse_scoring = sparse;
+  opts.scoring_path = sparse ? ScoringPath::kAuto : ScoringPath::kDense;
   opts.heap_selection = heap;
+  return opts;
+}
+
+// Parallel batch scoring: threads includes the calling thread, so 4 means
+// 3 pool workers + main (the CI guardrail compares these against the
+// single-threaded captures on 4+ core runners).
+AdwiseOptions adwise_opts_mt(std::uint64_t window, bool lazy,
+                             std::uint32_t threads) {
+  AdwiseOptions opts = adwise_opts(window, lazy);
+  opts.num_score_threads = threads;
   return opts;
 }
 
@@ -91,5 +128,21 @@ BENCHMARK_CAPTURE(BM_Adwise, w64_eager_dense,
 BENCHMARK_CAPTURE(BM_Adwise, w256_lazy, adwise_opts(256, true));
 BENCHMARK_CAPTURE(BM_Adwise, w256_lazy_dense,
                   adwise_opts(256, true, /*sparse=*/false, /*heap=*/false));
+// Thread-pooled batch rescoring against the single-threaded captures
+// (bit-identical placements for any thread count). The lazy captures record
+// the Amdahl reality of the heap path — after PR 1 only a few percent of
+// its scoring work arrives in batches large enough to fan out, so the
+// speedup there is modest. The eager captures are where batches are whole
+// windows (256 slots per selection) and the pool multiplies throughput;
+// tools/check_bench_guardrail.py enforces the >= 1.8x eager speedup in CI
+// on 4+ core runners and records the lazy ratios.
+BENCHMARK_CAPTURE(BM_Adwise, w64_lazy_mt4, adwise_opts_mt(64, true, 4))
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_Adwise, w256_lazy_mt4, adwise_opts_mt(256, true, 4))
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_AdwiseEager, w256_eager, adwise_opts(256, false))
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_AdwiseEager, w256_eager_mt4, adwise_opts_mt(256, false, 4))
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -1,0 +1,277 @@
+// Work-stealing thread pool for batch-local score evaluation.
+//
+// N workers each own a deque: a worker pushes and pops its own tasks LIFO
+// (cache-warm, newest first) and steals FIFO from the other workers' deques
+// when its own runs dry — submissions from inside a pool callback therefore
+// land on the submitting worker and spread to idle workers automatically.
+// External submissions are sprayed round-robin across the deques.
+//
+// The pool is long-lived and reusable: submit()/wait_idle() cycles (the
+// partitioner runs one cycle per rescore batch) reuse the same threads with
+// no teardown in between. wait_idle() blocks until every submitted task —
+// including tasks submitted by other tasks — has finished, and rethrows the
+// first exception any task raised since the previous wait_idle().
+//
+// parallel_for(n, fn) is the batch primitive the parallel scorer uses: it
+// splits [0, n) into small chunks claimed from a shared atomic cursor by
+// num_workers() driver tasks plus the calling thread. fn(begin, end, slot)
+// receives a slot id in [0, num_workers()] that is never used by two
+// threads concurrently, so callers can index per-slot scratch buffers.
+// Chunk→result mapping is by index, so results are deterministic regardless
+// of which thread claims which chunk. Must be called from a thread outside
+// the pool (a worker calling it could deadlock waiting on its own queue).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace adwise {
+
+class ThreadPool {
+ public:
+  // A pool with zero workers degenerates gracefully: submit() runs the task
+  // inline and parallel_for() runs everything on the calling thread.
+  explicit ThreadPool(unsigned num_workers) {
+    queues_.reserve(num_workers);
+    for (unsigned i = 0; i < num_workers; ++i) {
+      queues_.push_back(std::make_unique<WorkQueue>());
+    }
+    workers_.reserve(num_workers);
+    for (unsigned i = 0; i < num_workers; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~ThreadPool() {
+    // Drain everything already submitted (including nested submissions) so
+    // no task outlives the object it captured, then stop the workers.
+    wait_for_pending();
+    stop_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lk(sleep_mutex_);
+    }
+    sleep_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned num_workers() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+  // Concurrency slots available to parallel_for: the workers plus the
+  // calling thread.
+  [[nodiscard]] unsigned num_slots() const { return num_workers() + 1; }
+
+  // Enqueues task. Safe to call from any thread, including from inside a
+  // running task (the submission goes to the submitting worker's own deque).
+  void submit(std::function<void()> task) {
+    if (queues_.empty()) {
+      pending_.fetch_add(1, std::memory_order_relaxed);
+      run_task(std::move(task));
+      return;
+    }
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    const Tls& t = tls();
+    const std::size_t target =
+        t.pool == this
+            ? t.index
+            : next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                  queues_.size();
+    {
+      std::lock_guard<std::mutex> lk(queues_[target]->mutex);
+      queues_[target]->tasks.push_back(std::move(task));
+    }
+    queued_.fetch_add(1, std::memory_order_release);
+    {
+      // Empty critical section: pairs with the sleeping worker's predicate
+      // check so the queued_ increment cannot slip past a worker that just
+      // decided to sleep (no lost wakeup).
+      std::lock_guard<std::mutex> lk(sleep_mutex_);
+    }
+    sleep_cv_.notify_one();
+  }
+
+  // Blocks until every submitted task (including nested submissions) has
+  // completed, then rethrows the first exception any of them raised.
+  void wait_idle() {
+    wait_for_pending();
+    std::exception_ptr err;
+    {
+      std::lock_guard<std::mutex> lk(error_mutex_);
+      err = std::exchange(first_error_, nullptr);
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+  // Runs fn(begin, end, slot) over [0, n), the calling thread working
+  // alongside the pool. Blocks until the whole range is done; rethrows the
+  // first exception (remaining chunks are skipped once one chunk throws).
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    assert(tls().pool != this && "parallel_for must not be called from a pool worker");
+    if (n == 0) return;
+    const unsigned caller_slot = num_workers();
+    if (queues_.empty() || n == 1) {
+      fn(std::size_t{0}, n, caller_slot);
+      return;
+    }
+
+    struct Loop {
+      std::atomic<std::size_t> cursor{0};
+      std::atomic<bool> failed{false};
+      std::size_t n = 0;
+      std::size_t chunk = 1;
+      std::mutex mutex;
+      std::condition_variable done_cv;
+      unsigned active_drivers = 0;
+      std::exception_ptr error;
+    } loop;
+    loop.n = n;
+    // A few chunks per slot balances uneven per-item cost (hub edges score
+    // slower) without shredding cache locality.
+    loop.chunk = std::max<std::size_t>(1, n / (4 * num_slots()));
+
+    auto drive = [&loop, &fn](unsigned slot) {
+      while (!loop.failed.load(std::memory_order_relaxed)) {
+        const std::size_t begin =
+            loop.cursor.fetch_add(loop.chunk, std::memory_order_relaxed);
+        if (begin >= loop.n) break;
+        const std::size_t end = std::min(loop.n, begin + loop.chunk);
+        try {
+          fn(begin, end, slot);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(loop.mutex);
+          if (!loop.error) loop.error = std::current_exception();
+          loop.failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    };
+
+    loop.active_drivers = num_workers();
+    for (unsigned w = 0; w < num_workers(); ++w) {
+      // One driver task per slot: a driver may be stolen by any worker, but
+      // each runs exactly once, so its slot id has a single user at a time.
+      submit([&loop, &drive, w] {
+        drive(w);
+        std::lock_guard<std::mutex> lk(loop.mutex);
+        if (--loop.active_drivers == 0) loop.done_cv.notify_all();
+      });
+    }
+    drive(caller_slot);
+    {
+      std::unique_lock<std::mutex> lk(loop.mutex);
+      loop.done_cv.wait(lk, [&] { return loop.active_drivers == 0; });
+    }
+    if (loop.error) std::rethrow_exception(loop.error);
+  }
+
+ private:
+  struct WorkQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  struct Tls {
+    const ThreadPool* pool = nullptr;
+    unsigned index = 0;
+  };
+  static Tls& tls() {
+    static thread_local Tls t;
+    return t;
+  }
+
+  void worker_loop(unsigned self) {
+    tls() = {this, self};
+    while (true) {
+      std::function<void()> task;
+      if (try_take(self, task)) {
+        run_task(std::move(task));
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(sleep_mutex_);
+      sleep_cv_.wait(lk, [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               queued_.load(std::memory_order_acquire) > 0;
+      });
+      if (stop_.load(std::memory_order_acquire) &&
+          queued_.load(std::memory_order_acquire) == 0) {
+        return;
+      }
+    }
+  }
+
+  bool try_take(unsigned self, std::function<void()>& out) {
+    {
+      WorkQueue& own = *queues_[self];
+      std::lock_guard<std::mutex> lk(own.mutex);
+      if (!own.tasks.empty()) {
+        out = std::move(own.tasks.back());  // LIFO: newest, cache-warm
+        own.tasks.pop_back();
+        queued_.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+      }
+    }
+    for (std::size_t i = 1; i < queues_.size(); ++i) {
+      WorkQueue& victim = *queues_[(self + i) % queues_.size()];
+      std::lock_guard<std::mutex> lk(victim.mutex);
+      if (!victim.tasks.empty()) {
+        out = std::move(victim.tasks.front());  // FIFO: steal oldest
+        victim.tasks.pop_front();
+        queued_.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void run_task(std::function<void()> task) {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      {
+        std::lock_guard<std::mutex> lk(sleep_mutex_);
+      }
+      idle_cv_.notify_all();
+    }
+  }
+
+  // Tasks submitted by running tasks increment pending_ before the parent's
+  // own decrement, so pending_ only reaches zero once the whole submission
+  // tree has completed.
+  void wait_for_pending() {
+    std::unique_lock<std::mutex> lk(sleep_mutex_);
+    idle_cv_.wait(
+        lk, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+  }
+
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::size_t> queued_{0};   // tasks sitting in deques
+  std::atomic<std::size_t> pending_{0};  // submitted, not yet finished
+  std::atomic<bool> stop_{false};
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;  // workers: "there may be work"
+  std::condition_variable idle_cv_;   // waiters: "pending_ hit zero"
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace adwise

@@ -4,7 +4,10 @@
 #include <cassert>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <vector>
+
+#include "src/common/thread_pool.h"
 
 namespace adwise {
 
@@ -124,6 +127,53 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   // CS drift, which the linear path tolerates identically).
   std::uint64_t version_at_last_assign = 0;
 
+  // Parallel batch scoring: n - 1 pool workers plus this thread score
+  // rescore batches against a frozen PartitionSnapshot; every decision is
+  // still applied serially below, so placements are bit-identical to the
+  // serial path (snapshot-consistency invariant, scoring.h).
+  const std::uint32_t score_threads = std::max<std::uint32_t>(
+      opts_.num_score_threads, 1);
+  std::unique_ptr<ThreadPool> pool;
+  std::vector<ScoreScratch> shard_scratch;
+  if (score_threads > 1) {
+    pool = std::make_unique<ThreadPool>(score_threads - 1);
+    shard_scratch.resize(score_threads);
+    for (ScoreScratch& s : shard_scratch) s.reset(state.k());
+  }
+  std::vector<std::uint32_t> batch_ids;
+  std::vector<ScoredPlacement> batch_results;
+  const std::uint64_t parallel_batch_min =
+      std::max<std::uint64_t>(opts_.parallel_batch_min, 2);
+
+  // Scores every slot in batch_ids into batch_results (same index) against
+  // the current partition state. The parallel and the serial loop compute
+  // identical results: scoring never reads the slot fields or threshold
+  // statistics that applying a score mutates, and the state is frozen until
+  // the next assignment.
+  auto score_batch = [&]() {
+    batch_results.resize(batch_ids.size());
+    const PartitionSnapshot snap = state.snapshot();
+    if (pool && batch_ids.size() >= parallel_batch_min) {
+      pool->parallel_for(
+          batch_ids.size(),
+          [&](std::size_t begin, std::size_t end, unsigned slot) {
+            ScoreScratch& scratch = shard_scratch[slot];
+            for (std::size_t i = begin; i < end; ++i) {
+              const std::uint32_t id = batch_ids[i];
+              batch_results[i] = scorer.best_placement(
+                  window.slot(id).edge, &window, id, snap, scratch);
+            }
+          });
+      for (ScoreScratch& s : shard_scratch) scorer.absorb(s);
+    } else {
+      for (std::size_t i = 0; i < batch_ids.size(); ++i) {
+        const std::uint32_t id = batch_ids[i];
+        batch_results[i] =
+            scorer.best_placement(window.slot(id).edge, &window, id);
+      }
+    }
+  };
+
   const bool heap_mode = opts_.lazy_traversal && opts_.heap_selection;
   LazySlotHeap heap(/*want_candidate=*/true);
   // Secondary set Q ordered by last-known score: at drain time slots are
@@ -141,14 +191,21 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   std::vector<std::uint32_t> dirty_slots;
   // Slots popped during a drain walk that must be re-pushed afterwards.
   std::vector<std::uint32_t> drain_scratch;
+  // The drain walk's pop sequence: slot and whether it needs a rescore
+  // (recorded in phase 1, scored in phase 2, replayed in phase 3).
+  struct DrainPop {
+    std::uint32_t slot;
+    bool stale;
+  };
+  std::vector<DrainPop> drain_walk;
   std::uint64_t last_sweep = 0;
 
-  // Recomputes the cached best placement of a slot and refreshes the
-  // candidate threshold statistics.
-  auto rescore = [&](std::uint32_t id) {
+  // Applies a computed placement to a slot and refreshes the candidate
+  // threshold statistics — the single serial merge point of both the inline
+  // and the batched (possibly parallel) rescore paths, so version numbers
+  // and EWMA updates always happen in deterministic batch order.
+  auto apply_scored = [&](std::uint32_t id, const ScoredPlacement& placed) {
     auto& s = window.slot(id);
-    const ScoredPlacement placed =
-        scorer.best_placement(s.edge, &window, id);
     s.best_score = placed.score;
     s.structural_score = placed.structural;
     s.best_partition = placed.partition;
@@ -157,6 +214,11 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
     s.score_version = ++score_version;
     threshold.observe(placed.score);
     ++report_.score_computations;
+  };
+
+  // Recomputes the cached best placement of a single slot inline.
+  auto rescore = [&](std::uint32_t id) {
+    apply_scored(id, scorer.best_placement(window.slot(id).edge, &window, id));
   };
 
   // Publishes a candidate's current score to the heap (and schedules its
@@ -268,21 +330,29 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   auto select_heap = [&]() -> std::uint32_t {
     // Replica-change events since the last selection, batched and deduped:
     // affected candidates re-enter the heap with fresh scores, affected
-    // secondary slots get their (only) promotion check.
+    // secondary slots get their (only) promotion check. The batch is scored
+    // in one (possibly parallel) sweep against the frozen state, then the
+    // scores are applied and the promotion decisions taken in push order —
+    // the order the serial loop used.
+    batch_ids.clear();
     for (const std::uint32_t id : dirty_slots) {
-      auto& s = window.slot(id);
-      if (!s.occupied || !s.dirty) continue;
-      rescore(id);
+      const auto& s = window.slot(id);
+      if (s.occupied && s.dirty) batch_ids.push_back(id);
+    }
+    dirty_slots.clear();
+    score_batch();
+    for (std::size_t i = 0; i < batch_ids.size(); ++i) {
+      const std::uint32_t id = batch_ids[i];
+      apply_scored(id, batch_results[i]);
       if (window.is_candidate(id)) {
         publish(id);
-      } else if (s.best_score > threshold.theta()) {
+      } else if (window.slot(id).best_score > threshold.theta()) {
         window.set_candidate(id, true);
         publish(id);
       } else {
         secondary.push(window, id);
       }
     }
-    dirty_slots.clear();
 
     // Staleness refresh: the aging queue is in scored_at order, so only the
     // overdue prefix is touched. Interval floor 1: entries republished this
@@ -341,6 +411,14 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
     // Q like the linear path, walk the secondary heap in structural-score
     // order, rescoring stale slots up to a small budget, then assign the
     // fresh argmax — promoted if it clears Theta, forced otherwise.
+    //
+    // The walk runs in three phases so the budgeted rescores can go through
+    // the parallel batch scorer: (1) pop the walk — which slots come off
+    // the heap depends only on the budget and entry validity, never on
+    // rescore outcomes, so the pop sequence matches the serial walk
+    // exactly; (2) batch-score the stale slots against the frozen state;
+    // (3) replay the walk in pop order, applying scores, threshold updates
+    // and promotion decisions in the serial order.
     ++report_.secondary_rescans;
     std::uint32_t best_fresh = EdgeWindow::npos;
     double best_fresh_score = -std::numeric_limits<double>::infinity();
@@ -352,31 +430,46 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
         std::max<std::uint64_t>(opts_.drain_rescore_budget, 1);
     bool promoted = false;
     drain_scratch.clear();  // popped slots to re-push when not returned
+    drain_walk.clear();
+    // Stale slot that exhausted the budget: popped and re-pushed, never
+    // rescored (exactly the serial walk's break case).
+    std::uint32_t over_budget_slot = EdgeWindow::npos;
     while (true) {
       const std::uint32_t id = secondary.pop_valid(window, report_.heap_pops);
       if (id == EdgeWindow::npos) break;
-      auto& s = window.slot(id);
+      const auto& s = window.slot(id);
       const bool fresh =
           s.score_version > version_at_last_assign && !s.dirty;
-      if (!fresh) {
-        if (rescored >= drain_budget) {
-          drain_scratch.push_back(id);
-          break;
-        }
-        rescore(id);
-        ++rescored;
+      if (!fresh && rescored >= drain_budget) {
+        over_budget_slot = id;
+        break;
       }
+      if (!fresh) ++rescored;
+      drain_walk.push_back({id, /*stale=*/!fresh});
+    }
+    batch_ids.clear();
+    for (const DrainPop& p : drain_walk) {
+      if (p.stale) batch_ids.push_back(p.slot);
+    }
+    score_batch();
+    std::size_t stale_index = 0;
+    for (const DrainPop& p : drain_walk) {
+      if (p.stale) apply_scored(p.slot, batch_results[stale_index++]);
+      const auto& s = window.slot(p.slot);
       if (s.best_score > threshold.theta()) {
         // Promote and keep walking: refilling C with everything the budget
         // surfaces spaces out future drains (the linear rescan promotes
         // every qualifying slot too).
-        window.set_candidate(id, true);
-        publish(id);
+        window.set_candidate(p.slot, true);
+        publish(p.slot);
         promoted = true;
         continue;
       }
-      consider(id, best_fresh, best_fresh_score, best_fresh_sequence);
-      drain_scratch.push_back(id);
+      consider(p.slot, best_fresh, best_fresh_score, best_fresh_sequence);
+      drain_scratch.push_back(p.slot);
+    }
+    if (over_budget_slot != EdgeWindow::npos) {
+      drain_scratch.push_back(over_budget_slot);
     }
     for (const std::uint32_t id : drain_scratch) {
       if (id != best_fresh || promoted) secondary.push(window, id);
@@ -393,14 +486,21 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
     if (window.empty()) return EdgeWindow::npos;
 
     if (!opts_.lazy_traversal) {
-      // Eager traversal: recompute every window edge, take the argmax.
+      // Eager traversal: recompute every window edge, take the argmax. The
+      // full-window rescan is the largest batch there is — score it in one
+      // (possibly parallel) sweep, then apply in ascending slot order like
+      // the serial loop.
+      batch_ids.clear();
+      window.for_each_slot(
+          [&](std::uint32_t id) { batch_ids.push_back(id); });
+      score_batch();
       std::uint32_t best_slot = EdgeWindow::npos;
       double best_score = -std::numeric_limits<double>::infinity();
       std::uint64_t best_sequence = 0;
-      window.for_each_slot([&](std::uint32_t id) {
-        rescore(id);
-        consider(id, best_slot, best_score, best_sequence);
-      });
+      for (std::size_t i = 0; i < batch_ids.size(); ++i) {
+        apply_scored(batch_ids[i], batch_results[i]);
+        consider(batch_ids[i], best_slot, best_score, best_sequence);
+      }
       return best_slot;
     }
     return opts_.heap_selection ? select_heap() : select_linear();
@@ -462,6 +562,8 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
 
   report_.assignments = round;
   report_.candidate_partitions = scorer.partitions_considered();
+  report_.dense_placements = scorer.dense_placements();
+  report_.sparse_placements = scorer.sparse_placements();
   report_.max_window = controller.max_window_reached();
   report_.adaptations = controller.adaptations();
   report_.final_lambda = scorer.lambda();

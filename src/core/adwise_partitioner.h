@@ -32,6 +32,10 @@ class AdwisePartitioner final : public EdgePartitioner {
     // computation on the dense path, |candidate partitions| on the sparse
     // path — the sparsity measure the micro benches track.
     std::uint64_t candidate_partitions = 0;
+    // best_placement calls resolved by each implementation (ScoringPath;
+    // kAuto's per-call crossover splits between the two).
+    std::uint64_t dense_placements = 0;
+    std::uint64_t sparse_placements = 0;
     std::uint64_t secondary_rescans = 0;     // full Q scans (C drained)
     std::uint64_t forced_secondary = 0;      // assignments taken from Q
     std::uint64_t event_reassessments = 0;   // replica-change triggered

@@ -7,6 +7,20 @@
 
 namespace adwise {
 
+// Placement-search implementation of AdwiseScorer::best_placement. All
+// three produce bit-identical decisions (the sparse confinement is exact —
+// see the invariant note in scoring.h); they differ only in cost.
+enum class ScoringPath : std::uint8_t {
+  // Per call: the dense O(k) scan when |R_u| + |R_v| + |touched window
+  // neighbors| >= k (a sequential loop over k loads beats a scattered
+  // candidate walk of the same size), the sparse enumeration otherwise.
+  kAuto,
+  // Always the candidate-partition enumeration.
+  kSparse,
+  // Always the dense O(k) reference scan (decision-identity tests).
+  kDense,
+};
+
 struct AdwiseOptions {
   // --- Latency preference (paper: L, §III-A) -------------------------------
   // Wall-clock budget for the whole partitioning pass, in milliseconds.
@@ -32,12 +46,11 @@ struct AdwiseOptions {
   std::uint64_t candidate_refresh_interval = 32;
 
   // --- Hot-path implementation selection ------------------------------------
-  // Sparse placement search: best_placement enumerates only the candidate
-  // partitions R_u ∪ R_v ∪ {window-neighbor replicas} ∪ {least-loaded}
-  // instead of all k (decision-identical to the dense scan — see the
-  // invariant note in scoring.h). false selects the O(k) dense reference
-  // path the property tests compare against.
-  bool sparse_scoring = true;
+  // Placement-search path: kAuto picks dense vs. sparse per best_placement
+  // call from the candidate-set size bound; kSparse/kDense pin one
+  // implementation (decision-identical either way — see the invariant note
+  // in scoring.h; the property tests compare all of them bit-for-bit).
+  ScoringPath scoring_path = ScoringPath::kAuto;
 
   // Heap-based candidate selection: select() pops the argmax from a lazy,
   // stale-entry-tolerant max-heap (O(log |C|) per assignment) instead of
@@ -55,6 +68,19 @@ struct AdwiseOptions {
   // before settling for the fresh argmax (the linear path rescans all of
   // Q on every drain).
   std::uint64_t drain_rescore_budget = 8;
+
+  // --- Parallel batch scoring ------------------------------------------------
+  // Threads that score a rescore batch (dirty batches, drain walks, eager
+  // full-window rescans), including the calling thread: 0 and 1 both mean
+  // fully serial; n >= 2 spawns a work-stealing pool of n - 1 workers that
+  // the calling thread joins. Placement decisions are bit-identical for
+  // every value — workers only compute scores against a frozen
+  // PartitionSnapshot and the main thread applies all effects in serial
+  // batch order (see "Parallel scoring" in scoring.h).
+  std::uint32_t num_score_threads = 0;
+  // Batches smaller than this are scored on the calling thread even when a
+  // pool exists (fan-out overhead beats the win on tiny batches).
+  std::uint64_t parallel_batch_min = 16;
 
   // --- Scoring (§III-C) ------------------------------------------------------
   // Adaptive balancing: lambda evolves per Eq. 4 within [lambda_min,

@@ -33,114 +33,147 @@ AdwiseScorer::AdwiseScorer(const PartitionState& state,
       opts_(opts),
       total_edges_(total_edges),
       lambda_(std::clamp(opts.lambda_init, opts.lambda_min, opts.lambda_max)),
-      cs_counts_(state.k(), 0.0),
-      mark_(state.k(), 0),
+      scratch_(state.k()),
       assigned_baseline_(state.assigned_edges()) {
   // The sparse argmax confinement (header comment) needs λ·B(p) monotone
   // decreasing in partition load, i.e. λ ≥ 0 over the whole run. A negative
   // lambda_min (or a fixed negative lambda) could violate that silently in
   // release builds, so such configurations fall back to the dense scan.
-  if (opts_.lambda_min < 0.0 || lambda_ < 0.0) opts_.sparse_scoring = false;
+  if (opts_.lambda_min < 0.0 || lambda_ < 0.0) {
+    opts_.scoring_path = ScoringPath::kDense;
+  }
 }
 
-double AdwiseScorer::replica_weight(VertexId x) const {
+double AdwiseScorer::replica_weight(VertexId x,
+                                    const PartitionSnapshot& snap) const {
   if (!opts_.degree_weighting) return 1.0;
   // Observed partial degree including the edge being scored; maxDegree is
   // the running maximum, so Ψ ∈ (0, 0.5] and the weight lies in [1.5, 2).
-  const double deg = static_cast<double>(state_->degree(x)) + 1.0;
+  const double deg = static_cast<double>(snap.degree(x)) + 1.0;
   const double max_deg =
-      std::max(deg, static_cast<double>(state_->max_degree()));
+      std::max(deg, static_cast<double>(snap.max_degree()));
   const double psi = deg / (2.0 * max_deg);
   return 2.0 - psi;
 }
 
 std::size_t AdwiseScorer::prepare_clustering(const Edge& e,
                                              const EdgeWindow* window,
-                                             std::uint32_t exclude_slot) {
+                                             std::uint32_t exclude_slot,
+                                             const PartitionSnapshot& snap,
+                                             ScoreScratch& scratch) const {
   // Reset the previous edge's counts by walking the touched list — O(|C|)
   // of the last call, not O(k), and free when CS was off or had no window.
-  for (const PartitionId p : cs_touched_) cs_counts_[p] = 0.0;
-  cs_touched_.clear();
+  for (const PartitionId p : scratch.cs_touched) scratch.cs_counts[p] = 0.0;
+  scratch.cs_touched.clear();
   if (!opts_.clustering_score || window == nullptr) return 0;
   window->collect_neighbors(e, exclude_slot, opts_.clustering_neighbor_cap,
-                            neighbor_scratch_);
-  for (const VertexId n : neighbor_scratch_) {
-    state_->replicas(n).for_each([&](std::uint32_t p) {
-      if (cs_counts_[p] == 0.0) cs_touched_.push_back(p);
-      cs_counts_[p] += 1.0;
+                            scratch.neighbors);
+  for (const VertexId n : scratch.neighbors) {
+    snap.replicas(n).for_each([&](std::uint32_t p) {
+      if (scratch.cs_counts[p] == 0.0) scratch.cs_touched.push_back(p);
+      scratch.cs_counts[p] += 1.0;
     });
   }
-  return neighbor_scratch_.size();
+  return scratch.neighbors.size();
 }
 
 AdwiseScorer::EdgeContext AdwiseScorer::make_context(
-    const Edge& e, const EdgeWindow* window, std::uint32_t exclude_slot) {
+    const Edge& e, const EdgeWindow* window, std::uint32_t exclude_slot,
+    const PartitionSnapshot& snap, ScoreScratch& scratch) const {
   EdgeContext ctx;
-  ctx.maxsize = static_cast<double>(state_->max_partition_size());
-  const auto minsize = static_cast<double>(state_->min_partition_size());
+  ctx.maxsize = static_cast<double>(snap.max_partition_size());
+  const auto minsize = static_cast<double>(snap.min_partition_size());
   ctx.bal_denom = ctx.maxsize - minsize + opts_.balance_epsilon;
-  ctx.wu = replica_weight(e.u);
-  ctx.wv = replica_weight(e.v);
-  ctx.ru = &state_->replicas(e.u);
-  ctx.rv = &state_->replicas(e.v);
+  ctx.wu = replica_weight(e.u, snap);
+  ctx.wv = replica_weight(e.v, snap);
+  ctx.lambda = lambda_;
+  ctx.ru = &snap.replicas(e.u);
+  ctx.rv = &snap.replicas(e.v);
+  ctx.cs_counts = scratch.cs_counts.data();
   ctx.self_loop = e.v == e.u;
-  const std::size_t num_neighbors = prepare_clustering(e, window, exclude_slot);
+  const std::size_t num_neighbors =
+      prepare_clustering(e, window, exclude_slot, snap, scratch);
   ctx.cs_norm =
       num_neighbors > 0 ? 1.0 / static_cast<double>(num_neighbors) : 0.0;
   return ctx;
 }
 
-double AdwiseScorer::score_partition(const EdgeContext& ctx,
-                                     PartitionId p) const {
+double AdwiseScorer::score_partition(const EdgeContext& ctx, PartitionId p,
+                                     const PartitionSnapshot& snap) {
   const double balance =
-      (ctx.maxsize - static_cast<double>(state_->edges_on(p))) / ctx.bal_denom;
-  double g = lambda_ * balance;
+      (ctx.maxsize - static_cast<double>(snap.edges_on(p))) / ctx.bal_denom;
+  double g = ctx.lambda * balance;
   if (ctx.ru->contains(p)) g += ctx.wu;
   if (!ctx.self_loop && ctx.rv->contains(p)) g += ctx.wv;
-  g += cs_counts_[p] * ctx.cs_norm;
+  g += ctx.cs_counts[p] * ctx.cs_norm;
   return g;
 }
 
 ScoredPlacement AdwiseScorer::best_placement(const Edge& e,
                                              const EdgeWindow* window,
                                              std::uint32_t exclude_slot) {
-  const EdgeContext ctx = make_context(e, window, exclude_slot);
-  ScoredPlacement best = opts_.sparse_scoring ? best_placement_sparse(ctx)
-                                              : best_placement_dense(ctx);
+  return best_placement(e, window, exclude_slot, state_->snapshot(), scratch_);
+}
+
+ScoredPlacement AdwiseScorer::best_placement(const Edge& e,
+                                             const EdgeWindow* window,
+                                             std::uint32_t exclude_slot,
+                                             const PartitionSnapshot& snap,
+                                             ScoreScratch& scratch) const {
+  const EdgeContext ctx = make_context(e, window, exclude_slot, snap, scratch);
+  ScoringPath path = opts_.scoring_path;
+  if (path == ScoringPath::kAuto) {
+    // Crossover: the sparse walk visits at most |R_u| + |R_v| + |touched|
+    // (+1 for least-loaded) scattered partitions with dedup overhead; once
+    // that bound reaches k, the sequential dense loop is cheaper.
+    const std::size_t bound = ctx.ru->size() +
+                              (ctx.self_loop ? 0 : ctx.rv->size()) +
+                              scratch.cs_touched.size();
+    path = bound >= snap.k() ? ScoringPath::kDense : ScoringPath::kSparse;
+  }
+  ScoredPlacement best = path == ScoringPath::kSparse
+                             ? best_placement_sparse(ctx, snap, scratch)
+                             : best_placement_dense(ctx, snap, scratch);
   if (best.partition != kInvalidPartition) {
     const double balance =
-        (ctx.maxsize - static_cast<double>(state_->edges_on(best.partition))) /
+        (ctx.maxsize - static_cast<double>(snap.edges_on(best.partition))) /
         ctx.bal_denom;
-    best.structural = best.score - lambda_ * balance;
+    best.structural = best.score - ctx.lambda * balance;
   }
   return best;
 }
 
-ScoredPlacement AdwiseScorer::best_placement_dense(const EdgeContext& ctx) {
+ScoredPlacement AdwiseScorer::best_placement_dense(
+    const EdgeContext& ctx, const PartitionSnapshot& snap,
+    ScoreScratch& scratch) const {
   RunningBest best;
-  for (PartitionId p = 0; p < state_->k(); ++p) {
-    best.consider(p, score_partition(ctx, p), state_->edges_on(p));
+  for (PartitionId p = 0; p < snap.k(); ++p) {
+    best.consider(p, score_partition(ctx, p, snap), snap.edges_on(p));
   }
-  partitions_considered_ += state_->k();
+  scratch.partitions_considered += snap.k();
+  ++scratch.dense_placements;
   return best.placement;
 }
 
-ScoredPlacement AdwiseScorer::best_placement_sparse(const EdgeContext& ctx) {
+ScoredPlacement AdwiseScorer::best_placement_sparse(
+    const EdgeContext& ctx, const PartitionSnapshot& snap,
+    ScoreScratch& scratch) const {
   // Candidate partitions: R_u ∪ R_v ∪ {replicas of window neighbors} ∪
   // {least-loaded}. Everything else scores exactly λ·B(p) and is dominated
   // by the least-loaded partition (see the invariant in scoring.h).
-  ++mark_epoch_;
+  ++scratch.mark_epoch;
   RunningBest best;
   auto consider = [&](PartitionId p) {
-    if (mark_[p] == mark_epoch_) return;
-    mark_[p] = mark_epoch_;
-    ++partitions_considered_;
-    best.consider(p, score_partition(ctx, p), state_->edges_on(p));
+    if (scratch.mark[p] == scratch.mark_epoch) return;
+    scratch.mark[p] = scratch.mark_epoch;
+    ++scratch.partitions_considered;
+    best.consider(p, score_partition(ctx, p, snap), snap.edges_on(p));
   };
   ctx.ru->for_each(consider);
   if (!ctx.self_loop) ctx.rv->for_each(consider);
-  for (const PartitionId p : cs_touched_) consider(p);
-  consider(state_->least_loaded());
+  for (const PartitionId p : scratch.cs_touched) consider(p);
+  consider(snap.least_loaded());
+  ++scratch.sparse_placements;
   return best.placement;
 }
 
@@ -148,8 +181,18 @@ double AdwiseScorer::score(const Edge& e, PartitionId p,
                            const EdgeWindow* window,
                            std::uint32_t exclude_slot) {
   assert(p < state_->k());
-  const EdgeContext ctx = make_context(e, window, exclude_slot);
-  return score_partition(ctx, p);
+  const PartitionSnapshot snap = state_->snapshot();
+  const EdgeContext ctx = make_context(e, window, exclude_slot, snap, scratch_);
+  return score_partition(ctx, p, snap);
+}
+
+void AdwiseScorer::absorb(ScoreScratch& worker) {
+  scratch_.partitions_considered += worker.partitions_considered;
+  scratch_.dense_placements += worker.dense_placements;
+  scratch_.sparse_placements += worker.sparse_placements;
+  worker.partitions_considered = 0;
+  worker.dense_placements = 0;
+  worker.sparse_placements = 0;
 }
 
 void AdwiseScorer::on_assignment() {

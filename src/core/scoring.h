@@ -13,8 +13,8 @@
 //
 // Every term is individually switchable for the ablation benches.
 //
-// Sparse placement search (the default, AdwiseOptions::sparse_scoring).
-// The argmax over all k partitions is confined to the candidate-partition set
+// Sparse placement search (AdwiseOptions::scoring_path). The argmax over all
+// k partitions is confined to the candidate-partition set
 //
 //   C(e) = R_u ∪ R_v ∪ { p : p holds a replica of a window neighbor of e }
 //          ∪ { least-loaded partition },
@@ -31,7 +31,29 @@
 // id asc), and max over C(e) equals the max over all k. The same argument
 // underlies HDRF's sparse placement (replication term zero outside R_u∪R_v)
 // — see HdrfPartitioner. The dense O(k) reference path is kept
-// option-selectable so tests can assert decision identity bit-for-bit.
+// option-selectable so tests can assert decision identity bit-for-bit, and
+// ScoringPath::kAuto picks the cheaper implementation per call: once the
+// candidate-set size bound |R_u| + |R_v| + |touched| reaches k, the
+// sequential dense loop wins over the scattered candidate walk.
+//
+// Parallel scoring — the snapshot-consistency invariant.
+//
+// best_placement() has a const, thread-safe overload taking a
+// PartitionSnapshot and a caller-owned ScoreScratch. Scoring reads ONLY
+//   (a) the snapshot (partition loads, replica sets, degrees — frozen:
+//       PartitionState mutates solely inside assign(), and no assignment
+//       happens while a rescore batch is in flight), and
+//   (b) the window's edge/incidence structure (frozen during a batch:
+//       insert/remove only happen between selections)
+// and writes ONLY the scratch. It never reads the per-slot cached fields
+// (best_score, score_version, dirty, candidate membership) or the
+// threshold/λ accumulators that applying a score mutates. Scores in a batch
+// are therefore independent of the order they are computed in: workers can
+// evaluate any shard of the batch concurrently, and the main thread merges
+// results back in the serial batch order — bumping score_version, feeding
+// the threshold EWMA, and taking promotion decisions exactly as the
+// single-threaded code would. That merge discipline, not luck, is what the
+// parallel ≡ serial property matrix in tests/property_test.cpp pins.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +75,40 @@ struct ScoredPlacement {
   double structural = 0.0;
 };
 
+// Per-thread scoring workspace: clustering counters, candidate-partition
+// dedup marks, and the hot-path statistics counters. The scorer owns one
+// for serial use; the parallel batch driver owns one per worker slot and
+// folds the counters back with AdwiseScorer::absorb() after every batch.
+struct ScoreScratch {
+  ScoreScratch() = default;
+  explicit ScoreScratch(std::uint32_t k) { reset(k); }
+
+  void reset(std::uint32_t k) {
+    cs_counts.assign(k, 0.0);
+    cs_touched.clear();
+    neighbors.clear();
+    mark.assign(k, 0);
+    mark_epoch = 0;
+    partitions_considered = 0;
+    dense_placements = 0;
+    sparse_placements = 0;
+  }
+
+  std::vector<double> cs_counts;
+  std::vector<PartitionId> cs_touched;
+  std::vector<VertexId> neighbors;
+  // Per-placement dedup of candidate partitions (epoch-stamped, no clears).
+  std::vector<std::uint64_t> mark;
+  std::uint64_t mark_epoch = 0;
+  // Total partitions scored across best_placement() calls — the sparsity
+  // measure the micro benches report (dense path adds k per call).
+  std::uint64_t partitions_considered = 0;
+  // best_placement() calls resolved by each implementation (kAuto's
+  // per-call crossover decision is observable through these).
+  std::uint64_t dense_placements = 0;
+  std::uint64_t sparse_placements = 0;
+};
+
 class AdwiseScorer {
  public:
   // state must outlive the scorer. total_edges is m in Eq. 4's
@@ -69,6 +125,16 @@ class AdwiseScorer {
                                                const EdgeWindow* window,
                                                std::uint32_t exclude_slot);
 
+  // Thread-safe overload for batch scoring: reads only snap and the window
+  // structure, writes only scratch (snapshot-consistency invariant above).
+  // Multiple threads may call it concurrently with distinct scratches as
+  // long as the snapshot's PartitionState and the window are not mutated.
+  [[nodiscard]] ScoredPlacement best_placement(const Edge& e,
+                                               const EdgeWindow* window,
+                                               std::uint32_t exclude_slot,
+                                               const PartitionSnapshot& snap,
+                                               ScoreScratch& scratch) const;
+
   // Single-pair score g(e, p) — exercised directly by tests.
   [[nodiscard]] double score(const Edge& e, PartitionId p,
                              const EdgeWindow* window,
@@ -79,58 +145,74 @@ class AdwiseScorer {
 
   [[nodiscard]] double lambda() const { return lambda_; }
 
-  // Total partitions scored across all best_placement() calls — the
-  // sparsity measure the micro benches report (dense path adds k per call).
+  // Folds a worker scratch's statistics counters into the scorer's own
+  // scratch (and zeroes them), so the accessors below stay the single
+  // source of truth after parallel batches.
+  void absorb(ScoreScratch& worker);
+
   [[nodiscard]] std::uint64_t partitions_considered() const {
-    return partitions_considered_;
+    return scratch_.partitions_considered;
+  }
+  [[nodiscard]] std::uint64_t dense_placements() const {
+    return scratch_.dense_placements;
+  }
+  [[nodiscard]] std::uint64_t sparse_placements() const {
+    return scratch_.sparse_placements;
   }
 
  private:
   // Per-edge terms shared by every partition score: balance denominator,
-  // replica weights, clustering normalizer and the endpoint replica sets.
-  // Building it runs prepare_clustering, so cs_counts_ / cs_touched_ hold
-  // e's window-neighborhood replica counts while the context is live.
+  // replica weights, clustering normalizer, λ, the endpoint replica sets
+  // and a pointer to the scratch's clustering counters. Building it runs
+  // prepare_clustering, so scratch.cs_counts / cs_touched hold e's
+  // window-neighborhood replica counts while the context is live.
   struct EdgeContext {
     double maxsize = 0.0;
     double bal_denom = 1.0;
     double wu = 0.0, wv = 0.0;
     double cs_norm = 0.0;
+    double lambda = 0.0;
     const ReplicaSet* ru = nullptr;
     const ReplicaSet* rv = nullptr;
+    const double* cs_counts = nullptr;
     bool self_loop = false;
   };
   [[nodiscard]] EdgeContext make_context(const Edge& e,
                                          const EdgeWindow* window,
-                                         std::uint32_t exclude_slot);
+                                         std::uint32_t exclude_slot,
+                                         const PartitionSnapshot& snap,
+                                         ScoreScratch& scratch) const;
 
   // g(e, p) given the precomputed context — the single definition of the
   // score arithmetic used by score(), the dense loop and the sparse loop.
-  [[nodiscard]] double score_partition(const EdgeContext& ctx,
-                                       PartitionId p) const;
+  [[nodiscard]] static double score_partition(const EdgeContext& ctx,
+                                              PartitionId p,
+                                              const PartitionSnapshot& snap);
 
-  [[nodiscard]] ScoredPlacement best_placement_dense(const EdgeContext& ctx);
-  [[nodiscard]] ScoredPlacement best_placement_sparse(const EdgeContext& ctx);
+  [[nodiscard]] ScoredPlacement best_placement_dense(
+      const EdgeContext& ctx, const PartitionSnapshot& snap,
+      ScoreScratch& scratch) const;
+  [[nodiscard]] ScoredPlacement best_placement_sparse(
+      const EdgeContext& ctx, const PartitionSnapshot& snap,
+      ScoreScratch& scratch) const;
 
-  // Fills cs_counts_[p] with |{u' ∈ N : p ∈ R_u'}| (recording touched
-  // partitions in cs_touched_) and returns |N|. Resets the previous call's
-  // counts by walking cs_touched_, never an O(k) fill.
+  // Fills scratch.cs_counts[p] with |{u' ∈ N : p ∈ R_u'}| (recording
+  // touched partitions in scratch.cs_touched) and returns |N|. Resets the
+  // previous call's counts by walking cs_touched, never an O(k) fill.
   std::size_t prepare_clustering(const Edge& e, const EdgeWindow* window,
-                                 std::uint32_t exclude_slot);
+                                 std::uint32_t exclude_slot,
+                                 const PartitionSnapshot& snap,
+                                 ScoreScratch& scratch) const;
 
   // (2 − Ψ_x) weight of endpoint x, honoring the degree_weighting switch.
-  [[nodiscard]] double replica_weight(VertexId x) const;
+  [[nodiscard]] double replica_weight(VertexId x,
+                                      const PartitionSnapshot& snap) const;
 
   const PartitionState* state_;
   AdwiseOptions opts_;
   std::size_t total_edges_;
   double lambda_;
-  std::vector<double> cs_counts_;
-  std::vector<PartitionId> cs_touched_;
-  std::vector<VertexId> neighbor_scratch_;
-  // Per-placement dedup of candidate partitions (epoch-stamped, no clears).
-  std::vector<std::uint64_t> mark_;
-  std::uint64_t mark_epoch_ = 0;
-  std::uint64_t partitions_considered_ = 0;
+  ScoreScratch scratch_;
   // assigned_edges() of the state when this scorer was created: Eq. 4's α
   // measures progress of THIS stream, not of a carried restream state.
   std::uint64_t assigned_baseline_ = 0;

@@ -29,6 +29,8 @@
 
 namespace adwise {
 
+class PartitionSnapshot;
+
 class PartitionState {
  public:
   PartitionState(std::uint32_t k, VertexId num_vertices);
@@ -91,6 +93,11 @@ class PartitionState {
   // Eq. 2 check: min/max > tau for every partition pair, i.e. overall.
   [[nodiscard]] bool balanced(double tau) const;
 
+  // Read-snapshot for batch scoring (see PartitionSnapshot below). O(1):
+  // captures the scalar aggregates and aliases the per-vertex/per-partition
+  // arrays, which are immutable between assign() calls.
+  [[nodiscard]] PartitionSnapshot snapshot() const;
+
  private:
   std::uint32_t k_;
   std::vector<ReplicaSet> replicas_;
@@ -106,5 +113,52 @@ class PartitionState {
   std::uint64_t total_replicas_ = 0;
   std::uint64_t replicated_vertices_ = 0;
 };
+
+// Immutable read-view of a PartitionState, frozen at construction time.
+//
+// PartitionState only mutates inside assign(); between two assignments every
+// array and aggregate is constant. A snapshot captures the scalar aggregates
+// (max/min size, least-loaded, max degree) by value and reads the replica
+// sets, degrees and partition loads through the state pointer — cheap to
+// take per scoring batch (four scalar copies) and safe to read from many
+// threads concurrently as long as no assign() runs while the snapshot is
+// live. The parallel batch scorer hands one snapshot to all workers so every
+// score in a batch sees the exact same partition state, which is what keeps
+// parallel placement decisions bit-identical to the serial path.
+class PartitionSnapshot {
+ public:
+  explicit PartitionSnapshot(const PartitionState& state)
+      : state_(&state),
+        max_size_(state.max_partition_size()),
+        min_size_(state.min_partition_size()),
+        least_loaded_(state.least_loaded()),
+        max_degree_(state.max_degree()) {}
+
+  [[nodiscard]] std::uint32_t k() const { return state_->k(); }
+  [[nodiscard]] const ReplicaSet& replicas(VertexId v) const {
+    return state_->replicas(v);
+  }
+  [[nodiscard]] std::uint32_t degree(VertexId v) const {
+    return state_->degree(v);
+  }
+  [[nodiscard]] std::uint32_t max_degree() const { return max_degree_; }
+  [[nodiscard]] std::uint64_t edges_on(PartitionId p) const {
+    return state_->edges_on(p);
+  }
+  [[nodiscard]] std::uint64_t max_partition_size() const { return max_size_; }
+  [[nodiscard]] std::uint64_t min_partition_size() const { return min_size_; }
+  [[nodiscard]] PartitionId least_loaded() const { return least_loaded_; }
+
+ private:
+  const PartitionState* state_;
+  std::uint64_t max_size_;
+  std::uint64_t min_size_;
+  PartitionId least_loaded_;
+  std::uint32_t max_degree_;
+};
+
+inline PartitionSnapshot PartitionState::snapshot() const {
+  return PartitionSnapshot(*this);
+}
 
 }  // namespace adwise

@@ -71,6 +71,112 @@ TEST_F(FileStreamTest, EmptyFile) {
   EXPECT_FALSE(stream.next(e));
 }
 
+TEST_F(FileStreamTest, NoTrailingNewlineParsesLastEdge) {
+  // The final line ends at EOF without '\n': it must still stream (and
+  // scan must count it), or out-of-core readers would silently drop the
+  // last edge of every file written without a trailing newline.
+  write("0 1\n2 3");
+  const auto stats = FileEdgeStream::scan(path_);
+  EXPECT_EQ(stats.num_edges, 2u);
+  EXPECT_EQ(stats.max_vertex_id, 3u);
+  FileEdgeStream stream(path_, stats.num_edges);
+  Edge e;
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{0, 1}));
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{2, 3}));
+  EXPECT_FALSE(stream.next(e));
+}
+
+TEST_F(FileStreamTest, BlankAndTrailingNewlinesAreSkipped) {
+  write("\n0 1\n\n\n2 3\n\n\n");
+  const auto stats = FileEdgeStream::scan(path_);
+  EXPECT_EQ(stats.num_edges, 2u);
+  FileEdgeStream stream(path_, stats.num_edges);
+  Edge e;
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{0, 1}));
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{2, 3}));
+  EXPECT_FALSE(stream.next(e));
+  EXPECT_TRUE(stream.exhausted());
+}
+
+TEST_F(FileStreamTest, CommentOnlyFileStreamsNothing) {
+  write("# SNAP header\n% matrix-market header\n#\n%\n");
+  const auto stats = FileEdgeStream::scan(path_);
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_EQ(stats.max_vertex_id, 0u);
+  FileEdgeStream stream(path_, stats.num_edges);
+  Edge e;
+  EXPECT_FALSE(stream.next(e));
+}
+
+TEST_F(FileStreamTest, CommentAtEofWithoutNewline) {
+  write("0 1\n# trailing comment");
+  const auto stats = FileEdgeStream::scan(path_);
+  EXPECT_EQ(stats.num_edges, 1u);
+  FileEdgeStream stream(path_, stats.num_edges);
+  Edge e;
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{0, 1}));
+  EXPECT_FALSE(stream.next(e));
+}
+
+TEST_F(FileStreamTest, LeadingWhitespaceAndTabSeparatorsParse) {
+  write("  0\t1\n\t2  3\n");
+  const auto stats = FileEdgeStream::scan(path_);
+  EXPECT_EQ(stats.num_edges, 2u);
+  FileEdgeStream stream(path_, stats.num_edges);
+  Edge e;
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{0, 1}));
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{2, 3}));
+}
+
+TEST_F(FileStreamTest, MalformedLinesAreSkipped) {
+  // Non-numeric tokens and a line with a single endpoint are not edges;
+  // the parser must skip them, not desynchronize the stream.
+  write("a b\n4\n0 1\nx 2\n2 3\n");
+  const auto stats = FileEdgeStream::scan(path_);
+  EXPECT_EQ(stats.num_edges, 2u);
+  FileEdgeStream stream(path_, stats.num_edges);
+  Edge e;
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{0, 1}));
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{2, 3}));
+  EXPECT_FALSE(stream.next(e));
+}
+
+TEST_F(FileStreamTest, CarriageReturnLineEndingsParse) {
+  // CRLF files leave a trailing '\r' on every getline; from_chars stops at
+  // it, so the edges must still parse.
+  write("0 1\r\n2 3\r\n");
+  const auto stats = FileEdgeStream::scan(path_);
+  EXPECT_EQ(stats.num_edges, 2u);
+  FileEdgeStream stream(path_, stats.num_edges);
+  Edge e;
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{0, 1}));
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{2, 3}));
+}
+
+TEST_F(FileStreamTest, SizeHintStopsAtRequestedEdgeCount) {
+  // num_edges below the file's actual count bounds the stream — the
+  // contract restreaming passes rely on (partial passes must terminate).
+  write("0 1\n2 3\n4 5\n");
+  FileEdgeStream stream(path_, 2);
+  Edge e;
+  ASSERT_TRUE(stream.next(e));
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{2, 3}));
+  EXPECT_FALSE(stream.next(e));
+  EXPECT_EQ(stream.size_hint(), 0u);
+}
+
 TEST_F(FileStreamTest, ThrowsOnMissingFile) {
   EXPECT_THROW((void)FileEdgeStream::scan("/nonexistent/graph.txt"),
                std::runtime_error);

@@ -187,13 +187,14 @@ class SparseVsDenseTest : public ::testing::TestWithParam<SparseDenseCase> {
     AdwisePartitioner::Report report;
   };
 
-  static Run run(const Graph& graph, const SparseDenseCase& c, bool sparse) {
+  static Run run(const Graph& graph, const SparseDenseCase& c,
+                 ScoringPath path) {
     AdwiseOptions opts;
     opts.adaptive_window = false;
     opts.initial_window = 32;
     opts.lazy_traversal = c.lazy;
     opts.clustering_score = c.clustering;
-    opts.sparse_scoring = sparse;
+    opts.scoring_path = path;
     AdwisePartitioner partitioner(opts);
     PartitionState state(c.k, graph.num_vertices());
     const auto edges = ordered_edges(graph, StreamOrder::kShuffled, 13);
@@ -213,17 +214,22 @@ class SparseVsDenseTest : public ::testing::TestWithParam<SparseDenseCase> {
 TEST_P(SparseVsDenseTest, IdenticalDecisionsAndCheaperScans) {
   const auto& c = GetParam();
   const Graph graph = graph_for(c.graph);
-  const Run sparse = run(graph, c, /*sparse=*/true);
-  const Run dense = run(graph, c, /*sparse=*/false);
+  const Run sparse = run(graph, c, ScoringPath::kSparse);
+  const Run dense = run(graph, c, ScoringPath::kDense);
+  const Run autod = run(graph, c, ScoringPath::kAuto);
 
   ASSERT_EQ(sparse.assignments.size(), graph.num_edges());
   ASSERT_EQ(sparse.assignments.size(), dense.assignments.size());
+  ASSERT_EQ(autod.assignments.size(), dense.assignments.size());
   for (std::size_t i = 0; i < sparse.assignments.size(); ++i) {
     ASSERT_EQ(sparse.assignments[i], dense.assignments[i])
         << "diverged at assignment " << i;
+    ASSERT_EQ(autod.assignments[i], dense.assignments[i])
+        << "auto path diverged at assignment " << i;
   }
   EXPECT_DOUBLE_EQ(sparse.replication, dense.replication);
   EXPECT_DOUBLE_EQ(sparse.imbalance, dense.imbalance);
+  EXPECT_DOUBLE_EQ(autod.replication, dense.replication);
 
   // Same score computations, strictly fewer partitions scanned (that is the
   // point of the sparse path); the dense path scans exactly k per score.
@@ -231,6 +237,14 @@ TEST_P(SparseVsDenseTest, IdenticalDecisionsAndCheaperScans) {
   EXPECT_EQ(dense.report.candidate_partitions,
             dense.report.score_computations * c.k);
   EXPECT_LT(sparse.report.candidate_partitions,
+            dense.report.candidate_partitions);
+  // Pinned paths resolve every placement with their own implementation;
+  // kAuto splits between the two and never scans more than the dense run.
+  EXPECT_EQ(sparse.report.dense_placements, 0u);
+  EXPECT_EQ(dense.report.sparse_placements, 0u);
+  EXPECT_EQ(autod.report.dense_placements + autod.report.sparse_placements,
+            dense.report.dense_placements);
+  EXPECT_LE(autod.report.candidate_partitions,
             dense.report.candidate_partitions);
 }
 
@@ -253,6 +267,109 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<SparseDenseCase>& info) {
       return info.param.graph + (info.param.lazy ? "_lazy" : "_eager") +
              (info.param.clustering ? "_cs" : "_nocs") + "_k" +
+             std::to_string(info.param.k);
+    });
+
+// --- Parallel vs. serial scoring: decision identity --------------------------------
+//
+// The parallel batch scorer computes scores on a work-stealing pool against
+// a frozen PartitionSnapshot and merges every effect (score application,
+// threshold EWMA, promotion decisions) serially in batch order — so any
+// thread count must produce bit-identical placements to the fully serial
+// run (snapshot-consistency invariant, scoring.h). parallel_batch_min is
+// dropped to 2 so even small windows exercise the pool.
+
+struct ParallelSerialCase {
+  std::string graph;  // "rmat" (skewed) or "ba" (power-law tail)
+  std::uint32_t threads = 2;
+  bool lazy = true;
+  std::uint32_t k = 32;
+};
+
+class ParallelVsSerialTest
+    : public ::testing::TestWithParam<ParallelSerialCase> {
+ protected:
+  static Graph graph_for(const std::string& name) {
+    if (name == "rmat") {
+      return make_rmat({.scale = 10, .num_edges = 4000, .seed = 21});
+    }
+    return make_barabasi_albert(900, 4, 23);
+  }
+
+  struct Run {
+    std::vector<Assignment> assignments;
+    double replication = 0.0;
+    double imbalance = 0.0;
+    AdwisePartitioner::Report report;
+  };
+
+  static Run run(const Graph& graph, const ParallelSerialCase& c,
+                 std::uint32_t threads) {
+    AdwiseOptions opts;
+    opts.adaptive_window = false;
+    opts.initial_window = 32;
+    opts.lazy_traversal = c.lazy;
+    opts.num_score_threads = threads;
+    opts.parallel_batch_min = 2;
+    AdwisePartitioner partitioner(opts);
+    PartitionState state(c.k, graph.num_vertices());
+    const auto edges = ordered_edges(graph, StreamOrder::kShuffled, 13);
+    VectorEdgeStream stream(edges);
+    Run out;
+    partitioner.partition(stream, state,
+                          [&](const Edge& e, PartitionId p) {
+                            out.assignments.push_back({e, p});
+                          });
+    out.replication = state.replication_degree();
+    out.imbalance = state.imbalance();
+    out.report = partitioner.last_report();
+    return out;
+  }
+};
+
+TEST_P(ParallelVsSerialTest, BitIdenticalPlacements) {
+  const auto& c = GetParam();
+  const Graph graph = graph_for(c.graph);
+  const Run serial = run(graph, c, /*threads=*/0);
+  const Run parallel = run(graph, c, c.threads);
+
+  ASSERT_EQ(serial.assignments.size(), graph.num_edges());
+  ASSERT_EQ(parallel.assignments.size(), serial.assignments.size());
+  for (std::size_t i = 0; i < serial.assignments.size(); ++i) {
+    ASSERT_EQ(parallel.assignments[i], serial.assignments[i])
+        << "diverged at assignment " << i << " with " << c.threads
+        << " threads";
+  }
+  EXPECT_DOUBLE_EQ(parallel.replication, serial.replication);
+  EXPECT_DOUBLE_EQ(parallel.imbalance, serial.imbalance);
+  // The whole decision trace matches, not just the placements.
+  EXPECT_EQ(parallel.report.score_computations,
+            serial.report.score_computations);
+  EXPECT_EQ(parallel.report.candidate_partitions,
+            serial.report.candidate_partitions);
+  EXPECT_EQ(parallel.report.heap_pops, serial.report.heap_pops);
+  EXPECT_EQ(parallel.report.forced_secondary, serial.report.forced_secondary);
+}
+
+std::vector<ParallelSerialCase> parallel_serial_cases() {
+  std::vector<ParallelSerialCase> cases;
+  for (const char* graph : {"rmat", "ba"}) {
+    for (const std::uint32_t threads : {1u, 2u, 8u}) {
+      for (const bool lazy : {true, false}) {
+        for (const std::uint32_t k : {4u, 32u, 100u}) {
+          cases.push_back({graph, threads, lazy, k});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ParallelVsSerialTest, ::testing::ValuesIn(parallel_serial_cases()),
+    [](const ::testing::TestParamInfo<ParallelSerialCase>& info) {
+      return info.param.graph + "_t" + std::to_string(info.param.threads) +
+             (info.param.lazy ? "_lazy" : "_eager") + "_k" +
              std::to_string(info.param.k);
     });
 

@@ -238,6 +238,83 @@ TEST(ScoringTest, ClusteringNeighborCapBoundsWork) {
   EXPECT_GE(g, 0.0);
 }
 
+// --- Per-call dense/sparse crossover (ScoringPath::kAuto) ----------------------
+
+// kAuto switches to the dense O(k) scan exactly when the candidate-set size
+// bound |R_u| + |R_v| + |touched| reaches k: this pins the crossover at
+// k = 32 by growing the endpoint replica sets one partition at a time
+// across the boundary. The decision is observable through the per-path
+// placement counters (both paths return identical placements).
+TEST(ScoringPathTest, AutoCrossoverPinnedAtK32) {
+  constexpr std::uint32_t k = 32;
+  PartitionState st(k, 300);
+  // |R_u| = 16 for vertex 0, |R_v| = 15 for vertex 1: bound 31 < 32.
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    st.assign({0, 100 + p}, p);
+  }
+  for (std::uint32_t p = 0; p < 15; ++p) {
+    st.assign({1, 150 + p}, p);
+  }
+  AdwiseOptions opts = base_options();
+  ASSERT_EQ(opts.scoring_path, ScoringPath::kAuto);
+  AdwiseScorer scorer(st, opts, 100);
+
+  (void)scorer.best_placement({0, 1}, nullptr, EdgeWindow::npos);
+  EXPECT_EQ(scorer.sparse_placements(), 1u);  // bound 31: sparse walk
+  EXPECT_EQ(scorer.dense_placements(), 0u);
+
+  st.assign({1, 180}, 15);  // |R_v| -> 16: bound 32 >= k
+  const auto via_auto =
+      scorer.best_placement({0, 1}, nullptr, EdgeWindow::npos);
+  EXPECT_EQ(scorer.sparse_placements(), 1u);
+  EXPECT_EQ(scorer.dense_placements(), 1u);  // crossover: dense scan
+
+  // Both pinned paths agree with the auto decision bit-for-bit.
+  AdwiseOptions sparse_opts = base_options();
+  sparse_opts.scoring_path = ScoringPath::kSparse;
+  AdwiseScorer sparse_scorer(st, sparse_opts, 100);
+  AdwiseOptions dense_opts = base_options();
+  dense_opts.scoring_path = ScoringPath::kDense;
+  AdwiseScorer dense_scorer(st, dense_opts, 100);
+  const auto via_sparse =
+      sparse_scorer.best_placement({0, 1}, nullptr, EdgeWindow::npos);
+  const auto via_dense =
+      dense_scorer.best_placement({0, 1}, nullptr, EdgeWindow::npos);
+  EXPECT_EQ(via_auto.partition, via_dense.partition);
+  EXPECT_EQ(via_sparse.partition, via_dense.partition);
+  EXPECT_DOUBLE_EQ(via_auto.score, via_dense.score);
+  EXPECT_DOUBLE_EQ(via_sparse.score, via_dense.score);
+}
+
+TEST(ScoringPathTest, SelfLoopCountsOneEndpointInCrossoverBound) {
+  constexpr std::uint32_t k = 8;
+  PartitionState st(k, 300);
+  for (std::uint32_t p = 0; p < k; ++p) {
+    st.assign({0, 100 + p}, p);  // |R_0| = 8 = k
+  }
+  AdwiseScorer scorer(st, base_options(), 100);
+  (void)scorer.best_placement({0, 0}, nullptr, EdgeWindow::npos);
+  // Self-loop: bound counts R_u once, 8 >= k -> dense.
+  EXPECT_EQ(scorer.dense_placements(), 1u);
+}
+
+// --- Snapshot overload ----------------------------------------------------------
+
+TEST(ScoringTest, SnapshotOverloadMatchesLiveScoring) {
+  PartitionState st(4, 20);
+  st.assign({0, 5}, 3);
+  st.assign({1, 6}, 2);
+  AdwiseScorer scorer(st, base_options(), 100);
+  const PartitionSnapshot snap = st.snapshot();
+  ScoreScratch scratch(st.k());
+  const auto live = scorer.best_placement({0, 1}, nullptr, EdgeWindow::npos);
+  const auto frozen = scorer.best_placement({0, 1}, nullptr, EdgeWindow::npos,
+                                            snap, scratch);
+  EXPECT_EQ(frozen.partition, live.partition);
+  EXPECT_DOUBLE_EQ(frozen.score, live.score);
+  EXPECT_DOUBLE_EQ(frozen.structural, live.structural);
+}
+
 TEST(ScoringTest, BestPlacementTieBreaksToLeastLoaded) {
   PartitionState st(3, 10);
   st.assign({8, 9}, 0);

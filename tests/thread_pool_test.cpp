@@ -1,0 +1,174 @@
+// Tests for the work-stealing thread pool behind the parallel batch scorer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace adwise {
+namespace {
+
+TEST(ThreadPoolTest, CompletesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  EXPECT_EQ(pool.num_slots(), 5u);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // nothing submitted: must not hang
+  pool.wait_idle();
+}
+
+TEST(ThreadPoolTest, PropagatesFirstTaskException) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&done, i] {
+      if (i == 25) throw std::runtime_error("task 25 failed");
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed: the pool stays usable and a clean batch does
+  // not re-throw the stale exception.
+  pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 100; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&total] { total.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    ASSERT_EQ(total.load(), (batch + 1) * 20) << "batch " << batch;
+  }
+}
+
+TEST(ThreadPoolTest, StressSubmitFromPoolCallbacks) {
+  // Tasks fan out recursively from inside worker callbacks; wait_idle must
+  // not return before the whole submission tree has completed. 3 levels of
+  // fan-out 4 from 64 roots = 64 * (4 + 16 + 64) leaves-and-branches.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    done.fetch_add(1, std::memory_order_relaxed);
+    if (depth == 0) return;
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([&spawn, depth] { spawn(depth - 1); });
+    }
+  };
+  for (int root = 0; root < 64; ++root) {
+    pool.submit([&spawn] { spawn(3); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 64 * (1 + 4 + 16 + 64));
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<unsigned> max_slot{0};
+  pool.parallel_for(kN, [&](std::size_t begin, std::size_t end,
+                            unsigned slot) {
+    unsigned seen = max_slot.load(std::memory_order_relaxed);
+    while (slot > seen &&
+           !max_slot.compare_exchange_weak(seen, slot,
+                                           std::memory_order_relaxed)) {
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_LT(max_slot.load(), pool.num_slots());
+}
+
+TEST(ThreadPoolTest, ParallelForSlotsNeverRunConcurrently) {
+  // Each slot id may migrate between threads but must have at most one
+  // user at a time — that is what makes per-slot scratch buffers safe.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> in_use(pool.num_slots());
+  std::atomic<bool> overlapped{false};
+  std::atomic<long> sink{0};
+  pool.parallel_for(5'000, [&](std::size_t begin, std::size_t end,
+                               unsigned slot) {
+    if (in_use[slot].fetch_add(1, std::memory_order_acq_rel) != 0) {
+      overlapped.store(true, std::memory_order_relaxed);
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      sink.fetch_add(static_cast<long>(i % 7), std::memory_order_relaxed);
+    }
+    in_use[slot].fetch_sub(1, std::memory_order_acq_rel);
+  });
+  EXPECT_FALSE(overlapped.load());
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(1'000,
+                        [&](std::size_t begin, std::size_t, unsigned) {
+                          if (begin >= 500) {
+                            throw std::runtime_error("shard failed");
+                          }
+                        }),
+      std::runtime_error);
+  // Still usable afterwards.
+  std::atomic<int> covered{0};
+  pool.parallel_for(100, [&](std::size_t begin, std::size_t end, unsigned) {
+    covered.fetch_add(static_cast<int>(end - begin),
+                      std::memory_order_relaxed);
+  });
+  EXPECT_EQ(covered.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersDegradesToInlineExecution) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  int done = 0;
+  pool.submit([&done] { ++done; });
+  EXPECT_EQ(done, 1);  // ran inline
+  pool.wait_idle();
+  std::vector<int> hits(64, 0);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(hits.size(), [&](std::size_t begin, std::size_t end,
+                                     unsigned slot) {
+    EXPECT_EQ(slot, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, unsigned) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace adwise

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Bench guardrails over bench_micro_partitioners JSON output.
+
+Enforced (build fails):
+  * sparse-vs-dense: BM_Adwise/w64_lazy must hold >= 1.5x the edges/second
+    of BM_Adwise/w64_lazy_dense (the ROADMAP guardrail; currently ~3.5x).
+  * parallel scoring, only when ADWISE_ENFORCE_MT_SPEEDUP=1 is set AND the
+    machine has >= 4 CPUs: BM_AdwiseEager/w256_eager_mt4 must hold >= 1.8x
+    the edges/second of BM_AdwiseEager/w256_eager — the eager full-window
+    rescan is the regime whose batches (one whole window per selection) the
+    thread pool fans out. Recorded-only by default: the threshold has not
+    yet been validated on the shared 4-vCPU CI runners, and a noisy gate
+    would block unrelated pushes. Flip the env once CI history shows
+    headroom.
+
+Recorded (printed, never fails): the lazy-path parallel ratios. After PR 1
+the lazy heap leaves only a few percent of its scoring work in batches
+large enough to parallelize (~3.5 rescores per assignment), so the lazy
+mt captures document the Amdahl reality rather than gate on it.
+
+Usage: check_bench_guardrail.py <bench.json>
+"""
+
+import json
+import os
+import sys
+
+SPARSE_MIN_SPEEDUP = 1.5
+MT_MIN_SPEEDUP = 1.8
+MT_MIN_CPUS = 4
+
+
+def items_per_second(benchmarks, name):
+    """Best items_per_second for a benchmark name, honoring aggregates.
+
+    Multithreaded captures carry a "/real_time" suffix (UseRealTime), and
+    with --benchmark_report_aggregates_only the entries are name_mean /
+    name_median / ...; prefer the median, fall back to a plain run.
+    """
+    for variant in (name, name + "/real_time"):
+        for suffix in ("_median", "_mean", ""):
+            for b in benchmarks:
+                if b.get("name") == variant + suffix and \
+                        "items_per_second" in b:
+                    return b["items_per_second"]
+    return None
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        benchmarks = json.load(f)["benchmarks"]
+
+    def speedup(fast, slow):
+        a = items_per_second(benchmarks, fast)
+        b = items_per_second(benchmarks, slow)
+        if a is None or b is None or b == 0:
+            return None
+        return a / b
+
+    failures = []
+
+    sparse = speedup("BM_Adwise/w64_lazy", "BM_Adwise/w64_lazy_dense")
+    if sparse is None:
+        failures.append("missing w64_lazy / w64_lazy_dense results")
+    else:
+        print(f"sparse speedup (w64_lazy vs w64_lazy_dense): {sparse:.2f}x "
+              f"(required >= {SPARSE_MIN_SPEEDUP}x)")
+        if sparse < SPARSE_MIN_SPEEDUP:
+            failures.append(
+                f"sparse speedup regressed: {sparse:.2f}x < {SPARSE_MIN_SPEEDUP}x")
+
+    cpus = os.cpu_count() or 1
+    mt = speedup("BM_AdwiseEager/w256_eager_mt4", "BM_AdwiseEager/w256_eager")
+    if mt is None:
+        print("parallel speedup (w256_eager_mt4 vs w256_eager): not measured")
+    else:
+        enforced = (os.environ.get("ADWISE_ENFORCE_MT_SPEEDUP") == "1"
+                    and cpus >= MT_MIN_CPUS)
+        if enforced:
+            note = f"(required >= {MT_MIN_SPEEDUP}x)"
+        elif cpus < MT_MIN_CPUS:
+            note = "(recorded only: < 4 cpus)"
+        else:
+            note = "(recorded only: set ADWISE_ENFORCE_MT_SPEEDUP=1 to gate)"
+        print(f"parallel speedup (w256_eager_mt4 vs w256_eager): {mt:.2f}x on "
+              f"{cpus} cpus {note}")
+        if enforced and mt < MT_MIN_SPEEDUP:
+            failures.append(
+                f"parallel speedup too low: {mt:.2f}x < {MT_MIN_SPEEDUP}x on "
+                f"{cpus} cpus")
+
+    for fast, slow, label in [
+        ("BM_Adwise/w64_lazy", "BM_Adwise/w64_lazy_linear", "heap-vs-linear w64"),
+        ("BM_Adwise/w64_lazy_mt4", "BM_Adwise/w64_lazy", "parallel lazy w64"),
+        ("BM_Adwise/w256_lazy_mt4", "BM_Adwise/w256_lazy", "parallel lazy w256"),
+        ("BM_Adwise/w256_lazy", "BM_Adwise/w256_lazy_dense", "sparse w256"),
+    ]:
+        s = speedup(fast, slow)
+        if s is not None:
+            print(f"{label}: {s:.2f}x")
+
+    if failures:
+        for f in failures:
+            print(f"GUARDRAIL FAILURE: {f}", file=sys.stderr)
+        return 1
+    print("bench guardrails OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+// Ablation (google-benchmark): out-of-core stream throughput — text vs
+// binary (.adw, with and without the prefetch worker) vs in-memory, on an
+// R-MAT capture, plus end-to-end partitioning and disk-backed restreaming
+// through each stream.
+//
+// The CI guardrail (tools/check_bench_guardrail.py) consumes this binary's
+// JSON output and fails when BM_StreamDrain/binary_prefetch falls below
+// 0.8x BM_StreamDrain/in_memory — the acceptance bar for the out-of-core
+// subsystem: reading from disk must cost at most ~20% of the in-memory
+// edge rate, with parse/decode overlapped by the prefetch worker.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/graph/file_stream.h"
+#include "src/io/adw_format.h"
+#include "src/io/binary_stream.h"
+#include "src/partition/restream.h"
+
+namespace {
+
+using namespace adwise;
+
+// One on-disk capture shared by every benchmark: an R-MAT graph written as
+// both a text edge list and an .adw file in the temp directory. Scaled by
+// ADWISE_BENCH_SCALE like the figure benches.
+struct IoFixture {
+  Graph graph;
+  std::string text_path;
+  std::string adw_path;
+
+  IoFixture() {
+    const auto num_edges =
+        static_cast<std::size_t>(400'000 * bench::env_scale());
+    graph = make_rmat({.scale = 16, .num_edges = num_edges, .seed = 3});
+    const std::string base = "bench_ablation_io_rmat";
+    text_path = base + ".txt";
+    adw_path = base + ".adw";
+    {
+      std::ofstream out(text_path);
+      for (const Edge& e : graph.edges()) out << e.u << ' ' << e.v << '\n';
+    }
+    write_adw_file(adw_path, graph.edges());
+  }
+
+  ~IoFixture() {
+    std::remove(text_path.c_str());
+    std::remove(adw_path.c_str());
+  }
+};
+
+const IoFixture& fixture() {
+  static const IoFixture f;
+  return f;
+}
+
+enum class StreamKind { kInMemory, kText, kBinary, kBinaryPrefetch };
+
+std::unique_ptr<RewindableEdgeStream> make_stream(StreamKind kind) {
+  const IoFixture& f = fixture();
+  switch (kind) {
+    case StreamKind::kInMemory:
+      return std::make_unique<VectorEdgeStream>(f.graph.edges());
+    case StreamKind::kText:
+      return std::make_unique<FileEdgeStream>(f.text_path,
+                                              f.graph.num_edges());
+    case StreamKind::kBinary:
+      return std::make_unique<BinaryEdgeStream>(
+          f.adw_path, BinaryEdgeStream::Options{.prefetch = false});
+    case StreamKind::kBinaryPrefetch:
+      return std::make_unique<BinaryEdgeStream>(
+          f.adw_path, BinaryEdgeStream::Options{.prefetch = true});
+  }
+  return nullptr;
+}
+
+// Raw stream drain: the pure decode/IO cost with no partitioner attached.
+void BM_StreamDrain(benchmark::State& state, StreamKind kind) {
+  const std::size_t n = fixture().graph.num_edges();
+  for (auto _ : state) {
+    auto stream = make_stream(kind);
+    Edge e;
+    std::size_t seen = 0;
+    while (stream->next(e)) {
+      benchmark::DoNotOptimize(e);
+      ++seen;
+    }
+    if (seen != n) state.SkipWithError("stream delivered wrong edge count");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+
+// End-to-end single-pass partitioning (HDRF: cheap enough that stream cost
+// is visible, unlike ADWISE where scoring dominates).
+void BM_HdrfPartition(benchmark::State& state, StreamKind kind) {
+  const IoFixture& f = fixture();
+  for (auto _ : state) {
+    auto partitioner = make_baseline_partitioner("hdrf", 32);
+    PartitionState pstate(32, f.graph.num_vertices());
+    auto stream = make_stream(kind);
+    partitioner->partition(*stream, pstate);
+    benchmark::DoNotOptimize(pstate.replication_degree());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * f.graph.num_edges()));
+}
+
+// Disk-backed restreaming: 2 passes, rewinding the same stream. Items are
+// edges *streamed* (2x the edge count) so rates compare with the above.
+void BM_Restream2(benchmark::State& state, StreamKind kind) {
+  const IoFixture& f = fixture();
+  for (auto _ : state) {
+    auto stream = make_stream(kind);
+    const auto result = restream_partition(
+        *stream, f.graph.num_vertices(), 32,
+        [] { return make_baseline_partitioner("hdrf", 32); }, 2,
+        [](const Edge&, PartitionId) {});
+    benchmark::DoNotOptimize(result.pass_replication.back());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 2 *
+                                                    f.graph.num_edges()));
+}
+
+BENCHMARK_CAPTURE(BM_StreamDrain, in_memory, StreamKind::kInMemory);
+BENCHMARK_CAPTURE(BM_StreamDrain, text, StreamKind::kText);
+BENCHMARK_CAPTURE(BM_StreamDrain, binary, StreamKind::kBinary);
+BENCHMARK_CAPTURE(BM_StreamDrain, binary_prefetch, StreamKind::kBinaryPrefetch);
+
+BENCHMARK_CAPTURE(BM_HdrfPartition, in_memory, StreamKind::kInMemory);
+BENCHMARK_CAPTURE(BM_HdrfPartition, text, StreamKind::kText);
+BENCHMARK_CAPTURE(BM_HdrfPartition, binary_prefetch,
+                  StreamKind::kBinaryPrefetch);
+
+BENCHMARK_CAPTURE(BM_Restream2, in_memory, StreamKind::kInMemory);
+BENCHMARK_CAPTURE(BM_Restream2, binary_prefetch, StreamKind::kBinaryPrefetch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

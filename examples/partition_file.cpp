@@ -1,73 +1,188 @@
 // partition_file: command-line streaming partitioner for edge-list files.
 //
-//   $ ./partition_file <graph.txt> [algorithm] [k] [latency_ms]
+//   $ ./partition_file <graph.txt|graph.adw> [algorithm] [k] [latency_ms]
+//                      [--passes N] [--densify] [--out-of-core]
 //
-//   graph.txt   SNAP-style edge list ("u v" per line, # comments)
-//   algorithm   hash | grid | dbh | greedy | hdrf | ne | adwise  (default adwise)
-//   k           number of partitions                             (default 32)
-//   latency_ms  ADWISE latency preference in ms, -1 = unbounded  (default -1)
+//   graph        SNAP-style text edge list ("u v" per line, # comments) or
+//                a binary .adw file (auto-detected by magic; see
+//                src/io/adw_format.h and tools/edgelist2adw)
+//   algorithm    hash | grid | dbh | greedy | hdrf | ne | adwise (default adwise)
+//   k            number of partitions                            (default 32)
+//   latency_ms   ADWISE latency preference in ms, -1 = unbounded (default -1)
+//   --passes N   restreaming passes (default 1); passes > 1 rewind the
+//                on-disk stream, so multi-pass runs stay out-of-core
+//   --densify    load the whole file and densify sparse vertex ids in
+//                memory first (the pre-out-of-core behavior; needed when
+//                file ids are wildly sparse)
+//   --out-of-core  explicit alias for the default streaming mode
+//
+// The default path never materializes the edge list: edges stream straight
+// from disk (prefetched chunks for .adw, line parsing for text) and peak
+// resident edge data is bounded by the stream's chunk buffers.
 //
 // Prints one "u v partition" line per edge to stdout and a quality summary
 // to stderr — the shape a downstream graph system would actually consume.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "src/core/adwise_partitioner.h"
+#include "src/graph/file_stream.h"
 #include "src/graph/io.h"
+#include "src/io/binary_stream.h"
 #include "src/partition/registry.h"
+#include "src/partition/restream.h"
+
+namespace {
+
+void print_usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s <graph.txt|graph.adw> [algorithm] [k] [latency_ms]"
+               " [--passes N] [--densify] [--out-of-core]\n",
+               prog);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace adwise;
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <graph.txt> [algorithm] [k] [latency_ms]\n",
-                 argv[0]);
+
+  std::vector<std::string> positional;
+  std::uint32_t passes = 1;
+  bool densify = false;
+  bool out_of_core = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--densify") {
+      densify = true;
+    } else if (arg == "--out-of-core") {
+      out_of_core = true;  // the default; accepted for explicitness
+    } else if (arg == "--passes") {
+      if (i + 1 >= argc) {
+        print_usage(argv[0]);
+        return 2;
+      }
+      const char* value = argv[++i];
+      char* end = nullptr;
+      const long long parsed = std::strtoll(value, &end, 10);
+      if (end == value || *end != '\0' || parsed < 1 || parsed > 1000) {
+        std::fprintf(stderr, "--passes expects an integer in [1, 1000], got '%s'\n",
+                     value);
+        return 2;
+      }
+      passes = static_cast<std::uint32_t>(parsed);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      print_usage(argv[0]);
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty()) {
+    print_usage(argv[0]);
     return 2;
   }
-  const std::string path = argv[1];
-  const std::string algorithm = argc > 2 ? argv[2] : "adwise";
-  const auto k = static_cast<std::uint32_t>(argc > 3 ? std::atoi(argv[3]) : 32);
-  const std::int64_t latency_ms = argc > 4 ? std::atoll(argv[4]) : -1;
+  if (densify && out_of_core) {
+    std::fprintf(stderr, "--densify and --out-of-core are mutually exclusive\n");
+    return 2;
+  }
+  const std::string path = positional[0];
+  const std::string algorithm = positional.size() > 1 ? positional[1] : "adwise";
+  const auto k = static_cast<std::uint32_t>(
+      positional.size() > 2 ? std::atoi(positional[2].c_str()) : 32);
+  const std::int64_t latency_ms =
+      positional.size() > 3 ? std::atoll(positional[3].c_str()) : -1;
 
-  LoadResult loaded;
+  RestreamFactory factory;
+  if (algorithm == "adwise") {
+    AdwiseOptions options;
+    options.latency_preference_ms = latency_ms;
+    factory = [options] { return std::make_unique<AdwisePartitioner>(options); };
+  } else {
+    const auto names = baseline_partitioner_names();
+    if (std::find(names.begin(), names.end(), algorithm) == names.end()) {
+      std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
+      return 2;
+    }
+    factory = [algorithm, k] { return make_baseline_partitioner(algorithm, k); };
+  }
+
   try {
-    loaded = read_edge_list_file(path);
+    std::unique_ptr<RewindableEdgeStream> stream;
+    LoadResult loaded;  // only populated with --densify
+    std::vector<std::uint64_t> densify_ids;
+    VertexId num_vertices = 0;
+    std::size_t num_edges = 0;
+
+    // The streaming paths index dense per-vertex state by raw file id:
+    // num_vertices = max_id + 1 must not wrap the 32-bit VertexId.
+    const auto checked_num_vertices = [](std::uint64_t max_vertex_id) {
+      if (max_vertex_id >=
+          std::numeric_limits<VertexId>::max()) {
+        throw std::runtime_error(
+            "max vertex id " + std::to_string(max_vertex_id) +
+            " leaves no room for num_vertices = max + 1; "
+            "use --densify to remap sparse ids");
+      }
+      return static_cast<VertexId>(max_vertex_id + 1);
+    };
+
+    if (densify) {
+      loaded = read_edge_list_file(path);
+      densify_ids = loaded.original_id;
+      num_vertices = loaded.graph.num_vertices();
+      num_edges = loaded.graph.num_edges();
+      stream = std::make_unique<VectorEdgeStream>(loaded.graph.edges());
+      std::fprintf(stderr, "loaded %s (densified): %u vertices, %zu edges\n",
+                   path.c_str(), num_vertices, num_edges);
+    } else if (is_adw_file(path)) {
+      auto binary = std::make_unique<BinaryEdgeStream>(path);
+      num_vertices = checked_num_vertices(binary->header().max_vertex_id);
+      num_edges = static_cast<std::size_t>(binary->header().num_edges);
+      stream = std::move(binary);
+      std::fprintf(stderr, "streaming %s (.adw): %zu edges, max id %u\n",
+                   path.c_str(), num_edges, num_vertices - 1);
+    } else {
+      const auto stats = FileEdgeStream::scan(path);
+      num_vertices = checked_num_vertices(stats.max_vertex_id);
+      num_edges = stats.num_edges;
+      stream = std::make_unique<FileEdgeStream>(path, stats.num_edges);
+      std::fprintf(stderr, "streaming %s (text): %zu edges, max id %u\n",
+                   path.c_str(), num_edges, num_vertices - 1);
+    }
+
+    // Assignments print straight from the final pass's sink — nothing
+    // |E|-sized is ever buffered, so graphs larger than RAM work.
+    const auto result = restream_partition(
+        *stream, num_vertices, k, factory, passes,
+        [&](const Edge& e, PartitionId p) {
+          const std::uint64_t u = densify ? densify_ids[e.u] : e.u;
+          const std::uint64_t v = densify ? densify_ids[e.v] : e.v;
+          std::printf("%llu %llu %u\n", static_cast<unsigned long long>(u),
+                      static_cast<unsigned long long>(v), p);
+        });
+
+    for (std::size_t pass = 0; pass + 1 < result.pass_replication.size();
+         ++pass) {
+      std::fprintf(stderr, "pass %zu: replication degree %.4f\n", pass + 1,
+                   result.pass_replication[pass]);
+    }
+    std::fprintf(stderr,
+                 "%s, k=%u, passes=%u: replication degree %.4f, "
+                 "imbalance %.4f\n",
+                 algorithm.c_str(), k, passes,
+                 result.final_state.replication_degree(),
+                 result.final_state.imbalance());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  const Graph& graph = loaded.graph;
-  std::fprintf(stderr, "loaded %s: %u vertices, %zu edges\n", path.c_str(),
-               graph.num_vertices(), graph.num_edges());
-
-  std::unique_ptr<EdgePartitioner> partitioner;
-  if (algorithm == "adwise") {
-    AdwiseOptions options;
-    options.latency_preference_ms = latency_ms;
-    partitioner = std::make_unique<AdwisePartitioner>(options);
-  } else {
-    partitioner = make_baseline_partitioner(algorithm, k);
-    if (partitioner == nullptr) {
-      std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
-      return 2;
-    }
-  }
-
-  PartitionState state(k, graph.num_vertices());
-  VectorEdgeStream stream(graph.edges());
-  const auto& ids = loaded.original_id;
-  partitioner->partition(stream, state, [&](const Edge& e, PartitionId p) {
-    std::printf("%llu %llu %u\n",
-                static_cast<unsigned long long>(ids[e.u]),
-                static_cast<unsigned long long>(ids[e.v]), p);
-  });
-
-  std::fprintf(stderr,
-               "%s, k=%u: replication degree %.4f, imbalance %.4f\n",
-               algorithm.c_str(), k, state.replication_degree(),
-               state.imbalance());
   return 0;
 }

@@ -27,9 +27,18 @@ class EdgeStream {
   [[nodiscard]] bool exhausted() const { return size_hint() == 0; }
 };
 
+// A stream that can be replayed from the first edge — the contract multi-pass
+// (restreaming) partitioning needs. After rewind() the stream yields exactly
+// the same edge sequence again and size_hint() is exact (the full count),
+// so every pass sees the same |E'| the controller's condition C2 uses.
+class RewindableEdgeStream : public EdgeStream {
+ public:
+  virtual void rewind() = 0;
+};
+
 // Stream over a borrowed, in-memory edge sequence. The caller owns the
 // storage and must keep it alive while the stream is in use.
-class VectorEdgeStream final : public EdgeStream {
+class VectorEdgeStream final : public RewindableEdgeStream {
  public:
   explicit VectorEdgeStream(std::span<const Edge> edges) : edges_(edges) {}
 
@@ -43,7 +52,8 @@ class VectorEdgeStream final : public EdgeStream {
     return edges_.size() - pos_;
   }
 
-  void reset() { pos_ = 0; }
+  void rewind() override { pos_ = 0; }
+  void reset() { rewind(); }
 
  private:
   std::span<const Edge> edges_;

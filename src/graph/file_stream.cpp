@@ -24,6 +24,16 @@ bool parse_edge_line(const std::string& line, std::uint64_t* u,
   return r2.ec == std::errc{};
 }
 
+// Shared by scan() and next(): ids above the 32-bit VertexId range are an
+// error in both, so the pre-pass count and the streamed count always agree.
+void check_vertex_range(std::uint64_t u, std::uint64_t v,
+                        const std::string& line) {
+  if (u > std::numeric_limits<VertexId>::max() ||
+      v > std::numeric_limits<VertexId>::max()) {
+    throw std::runtime_error("vertex id exceeds 32-bit range: " + line);
+  }
+}
+
 }  // namespace
 
 FileEdgeStream::Stats FileEdgeStream::scan(const std::string& path) {
@@ -36,6 +46,7 @@ FileEdgeStream::Stats FileEdgeStream::scan(const std::string& path) {
   while (std::getline(in, line)) {
     if (!parse_edge_line(line, &u, &v)) continue;
     if (u == v) continue;
+    check_vertex_range(u, v, line);
     ++stats.num_edges;
     stats.max_vertex_id = std::max({stats.max_vertex_id, u, v});
   }
@@ -43,7 +54,7 @@ FileEdgeStream::Stats FileEdgeStream::scan(const std::string& path) {
 }
 
 FileEdgeStream::FileEdgeStream(const std::string& path, std::size_t num_edges)
-    : in_(path), remaining_(num_edges) {
+    : in_(path), num_edges_(num_edges), remaining_(num_edges) {
   if (!in_) throw std::runtime_error("cannot open graph file: " + path);
 }
 
@@ -54,16 +65,20 @@ bool FileEdgeStream::next(Edge& out) {
   while (std::getline(in_, line_)) {
     if (!parse_edge_line(line_, &u, &v)) continue;
     if (u == v) continue;
-    if (u > std::numeric_limits<VertexId>::max() ||
-        v > std::numeric_limits<VertexId>::max()) {
-      throw std::runtime_error("vertex id exceeds 32-bit range: " + line_);
-    }
+    check_vertex_range(u, v, line_);
     out = {static_cast<VertexId>(u), static_cast<VertexId>(v)};
     --remaining_;
     return true;
   }
   remaining_ = 0;
   return false;
+}
+
+void FileEdgeStream::rewind() {
+  in_.clear();
+  in_.seekg(0, std::ios::beg);
+  if (!in_) throw std::runtime_error("cannot rewind graph file");
+  remaining_ = num_edges_;
 }
 
 }  // namespace adwise

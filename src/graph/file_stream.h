@@ -21,14 +21,17 @@
 
 namespace adwise {
 
-class FileEdgeStream final : public EdgeStream {
+class FileEdgeStream final : public RewindableEdgeStream {
  public:
   struct Stats {
     std::size_t num_edges = 0;        // parseable, non-self-loop edges
     std::uint64_t max_vertex_id = 0;  // 0 if the file has no edges
   };
 
-  // Counting pre-pass; throws std::runtime_error if the file cannot be read.
+  // Counting pre-pass; throws std::runtime_error if the file cannot be read
+  // or if a vertex id exceeds the 32-bit VertexId range — the same
+  // validation next() applies, so the counted |E| always matches what the
+  // stream will actually deliver.
   [[nodiscard]] static Stats scan(const std::string& path);
 
   // Opens the file for streaming. num_edges must come from scan() (it is
@@ -39,9 +42,13 @@ class FileEdgeStream final : public EdgeStream {
   bool next(Edge& out) override;
   [[nodiscard]] std::size_t size_hint() const override { return remaining_; }
 
+  // Reopens at the top of the file; the stream replays the same num_edges.
+  void rewind() override;
+
  private:
   std::ifstream in_;
   std::string line_;
+  std::size_t num_edges_;
   std::size_t remaining_;
 };
 

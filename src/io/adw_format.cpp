@@ -1,0 +1,164 @@
+#include "src/io/adw_format.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "src/graph/file_stream.h"
+
+namespace adwise {
+
+namespace {
+
+// Flush granularity for the streaming writer: 64K records (512 KiB).
+constexpr std::size_t kWriterBufferRecords = std::size_t{1} << 16;
+
+}  // namespace
+
+void adw_encode_header(const AdwHeader& header, std::byte* out) {
+  for (std::size_t i = 0; i < kAdwMagic.size(); ++i) {
+    out[i] = static_cast<std::byte>(kAdwMagic[i]);
+  }
+  adw_store_le32(kAdwVersion, out + 4);
+  adw_store_le64(header.num_edges, out + 8);
+  adw_store_le64(header.max_vertex_id, out + 16);
+}
+
+AdwHeader adw_decode_header(const std::byte* in) {
+  for (std::size_t i = 0; i < kAdwMagic.size(); ++i) {
+    if (std::to_integer<char>(in[i]) != kAdwMagic[i]) {
+      throw std::runtime_error("not an .adw file (bad magic)");
+    }
+  }
+  const std::uint32_t version = adw_load_le32(in + 4);
+  if (version != kAdwVersion) {
+    throw std::runtime_error("unsupported .adw version " +
+                             std::to_string(version));
+  }
+  AdwHeader header;
+  header.num_edges = adw_load_le64(in + 8);
+  header.max_vertex_id = adw_load_le64(in + 16);
+  return header;
+}
+
+AdwHeader read_adw_header(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open .adw file: " + path);
+  std::byte raw[kAdwHeaderBytes];
+  in.read(reinterpret_cast<char*>(raw), kAdwHeaderBytes);
+  if (in.gcount() != static_cast<std::streamsize>(kAdwHeaderBytes)) {
+    throw std::runtime_error("truncated .adw header: " + path);
+  }
+  const AdwHeader header = adw_decode_header(raw);
+  in.seekg(0, std::ios::end);
+  const auto file_bytes = static_cast<std::uint64_t>(in.tellg());
+  constexpr std::uint64_t kMaxEdges =
+      (std::numeric_limits<std::uint64_t>::max() - kAdwHeaderBytes) /
+      kAdwRecordBytes;
+  if (header.num_edges > kMaxEdges) {
+    // A crafted count this large would overflow the expected-size product
+    // below and slip past the exact-size check.
+    throw std::runtime_error("corrupt .adw file (absurd edge count " +
+                             std::to_string(header.num_edges) + "): " + path);
+  }
+  const std::uint64_t expected =
+      kAdwHeaderBytes + header.num_edges * kAdwRecordBytes;
+  if (file_bytes != expected) {
+    throw std::runtime_error(
+        "corrupt .adw file (size " + std::to_string(file_bytes) +
+        ", header implies " + std::to_string(expected) + "): " + path);
+  }
+  return header;
+}
+
+bool is_adw_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4];
+  in.read(magic, 4);
+  return in.gcount() == 4 &&
+         std::equal(kAdwMagic.begin(), kAdwMagic.end(), magic);
+}
+
+AdwWriter::AdwWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!out_) throw std::runtime_error("cannot create .adw file: " + path);
+  buffer_.reserve(kWriterBufferRecords * kAdwRecordBytes);
+  // Deliberately INVALID placeholder (zeroed, so the magic check fails):
+  // only close() writes the real header, so a file abandoned mid-write can
+  // never pass for a valid graph — not even as an empty one.
+  const std::byte raw[kAdwHeaderBytes] = {};
+  out_.write(reinterpret_cast<const char*>(raw), kAdwHeaderBytes);
+}
+
+AdwWriter::~AdwWriter() {
+  // Deliberately no close(): an abandoned writer (scope exited without
+  // close(), e.g. because conversion threw) leaves the zeroed placeholder
+  // header, which every reader rejects. Callers that abandon mid-write
+  // (edge_list_to_adw) additionally remove the file.
+}
+
+void AdwWriter::add(Edge e) {
+  if (e.u == e.v) return;
+  const std::size_t at = buffer_.size();
+  buffer_.resize(at + kAdwRecordBytes);
+  adw_encode_edge(e, buffer_.data() + at);
+  ++header_.num_edges;
+  header_.max_vertex_id =
+      std::max<std::uint64_t>(header_.max_vertex_id, std::max(e.u, e.v));
+  if (buffer_.size() >= kWriterBufferRecords * kAdwRecordBytes) {
+    flush_records();
+  }
+}
+
+void AdwWriter::flush_records() {
+  if (buffer_.empty()) return;
+  out_.write(reinterpret_cast<const char*>(buffer_.data()),
+             static_cast<std::streamsize>(buffer_.size()));
+  buffer_.clear();
+}
+
+void AdwWriter::close() {
+  if (closed_) return;
+  flush_records();
+  out_.seekp(0, std::ios::beg);
+  std::byte raw[kAdwHeaderBytes];
+  adw_encode_header(header_, raw);
+  out_.write(reinterpret_cast<const char*>(raw), kAdwHeaderBytes);
+  out_.flush();
+  if (!out_) throw std::runtime_error("failed writing .adw file: " + path_);
+  out_.close();
+  closed_ = true;
+}
+
+void write_adw_file(const std::string& path, std::span<const Edge> edges) {
+  AdwWriter writer(path);
+  for (const Edge& e : edges) writer.add(e);
+  writer.close();
+}
+
+AdwHeader edge_list_to_adw(const std::string& text_path,
+                           const std::string& adw_path) {
+  // Single text pass: the writer tracks count and max id itself, so no
+  // counting pre-pass is needed. The cap only bounds size_hint(), which is
+  // irrelevant here — next() stops at EOF regardless.
+  // Open the input before touching the output: a bad input path must not
+  // clobber a pre-existing converted file.
+  FileEdgeStream in(text_path, std::numeric_limits<std::size_t>::max());
+  try {
+    AdwWriter out(adw_path);
+    Edge e;
+    while (in.next(e)) out.add(e);
+    out.close();
+    return out.header();
+  } catch (...) {
+    // Never leave a partial output behind: a scripted pipeline must not be
+    // able to pick up a half-converted graph.
+    std::remove(adw_path.c_str());
+    throw;
+  }
+}
+
+}  // namespace adwise

@@ -1,0 +1,144 @@
+// Compact binary edge-list format (.adw) — the on-disk interchange format
+// for out-of-core streaming.
+//
+// Text edge lists cost a getline + from_chars per edge on the hot path; the
+// .adw format stores fixed-width records so a reader can pread whole chunks
+// and decode with two shifts per endpoint. Layout (all integers
+// little-endian regardless of host, so files are portable and the test
+// suite can pin golden bytes):
+//
+//   offset  size  field
+//        0     4  magic 'A' 'D' 'W' 'F'
+//        4     4  format version (uint32, currently 1)
+//        8     8  num_edges      (uint64)
+//       16     8  max_vertex_id  (uint64; 0 when num_edges == 0)
+//       24     -  edge records: uint32 u, uint32 v — 8 bytes each
+//
+// A valid file is exactly 24 + 8 * num_edges bytes; readers treat any other
+// size as truncation. Records never contain self-loops — the writer drops
+// them, mirroring the text parser in src/graph/file_stream.cpp, so the
+// header's num_edges is always the streamable edge count (the |E| the
+// adaptive controller needs up front).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace adwise {
+
+inline constexpr std::array<char, 4> kAdwMagic = {'A', 'D', 'W', 'F'};
+inline constexpr std::uint32_t kAdwVersion = 1;
+inline constexpr std::size_t kAdwHeaderBytes = 24;
+inline constexpr std::size_t kAdwRecordBytes = 8;
+
+struct AdwHeader {
+  std::uint64_t num_edges = 0;
+  std::uint64_t max_vertex_id = 0;  // 0 if the file has no edges
+
+  friend bool operator==(const AdwHeader&, const AdwHeader&) = default;
+};
+
+// --- Little-endian primitives (inline: the record decode is a hot path) -----
+
+inline void adw_store_le32(std::uint32_t x, std::byte* out) {
+  out[0] = static_cast<std::byte>(x & 0xff);
+  out[1] = static_cast<std::byte>((x >> 8) & 0xff);
+  out[2] = static_cast<std::byte>((x >> 16) & 0xff);
+  out[3] = static_cast<std::byte>((x >> 24) & 0xff);
+}
+
+inline void adw_store_le64(std::uint64_t x, std::byte* out) {
+  adw_store_le32(static_cast<std::uint32_t>(x & 0xffffffffull), out);
+  adw_store_le32(static_cast<std::uint32_t>(x >> 32), out + 4);
+}
+
+[[nodiscard]] inline std::uint32_t adw_load_le32(const std::byte* in) {
+  return std::to_integer<std::uint32_t>(in[0]) |
+         (std::to_integer<std::uint32_t>(in[1]) << 8) |
+         (std::to_integer<std::uint32_t>(in[2]) << 16) |
+         (std::to_integer<std::uint32_t>(in[3]) << 24);
+}
+
+[[nodiscard]] inline std::uint64_t adw_load_le64(const std::byte* in) {
+  return static_cast<std::uint64_t>(adw_load_le32(in)) |
+         (static_cast<std::uint64_t>(adw_load_le32(in + 4)) << 32);
+}
+
+inline void adw_encode_edge(Edge e, std::byte* out) {
+  adw_store_le32(e.u, out);
+  adw_store_le32(e.v, out + 4);
+}
+
+[[nodiscard]] inline Edge adw_decode_edge(const std::byte* in) {
+  return {adw_load_le32(in), adw_load_le32(in + 4)};
+}
+
+void adw_encode_header(const AdwHeader& header, std::byte* out);
+
+// Throws std::runtime_error on bad magic or unsupported version.
+[[nodiscard]] AdwHeader adw_decode_header(const std::byte* in);
+
+// --- File-level helpers ------------------------------------------------------
+
+// Reads and validates the header of an .adw file: magic, version, and that
+// the file size is exactly kAdwHeaderBytes + num_edges * kAdwRecordBytes.
+// Throws std::runtime_error on open failure, truncation, or trailing bytes.
+[[nodiscard]] AdwHeader read_adw_header(const std::string& path);
+
+// True iff the file exists and begins with the .adw magic — content sniff,
+// not an extension check, so callers can auto-detect the format.
+[[nodiscard]] bool is_adw_file(const std::string& path);
+
+// Streaming .adw writer with O(1) memory: records are buffered in small
+// batches and the header is patched on close() once the edge count and max
+// vertex id are known. Self-loops are dropped (see the format note above).
+class AdwWriter {
+ public:
+  // Creates/truncates path with a deliberately invalid (zeroed) header;
+  // throws std::runtime_error on failure.
+  explicit AdwWriter(const std::string& path);
+  // Destroying a writer without close() abandons the output with its
+  // invalid placeholder header still in place, so a half-written file can
+  // never pass for a valid graph — not even an empty one.
+  ~AdwWriter();
+
+  AdwWriter(const AdwWriter&) = delete;
+  AdwWriter& operator=(const AdwWriter&) = delete;
+
+  void add(Edge e);
+
+  // Flushes buffered records and writes the final header; throws
+  // std::runtime_error on I/O failure. Idempotent.
+  void close();
+
+  // Running (after close(): final) header.
+  [[nodiscard]] const AdwHeader& header() const { return header_; }
+
+ private:
+  void flush_records();
+
+  std::ofstream out_;
+  std::string path_;
+  AdwHeader header_;
+  std::vector<std::byte> buffer_;
+  bool closed_ = false;
+};
+
+// Writes edges (minus self-loops) to path in one call.
+void write_adw_file(const std::string& path, std::span<const Edge> edges);
+
+// Converts a SNAP-style text edge list to .adw in a single streaming pass
+// (O(1) memory): comments/blank/malformed lines and self-loops are skipped
+// and oversized vertex ids rejected, exactly like FileEdgeStream. Returns
+// the final header. Throws std::runtime_error on parse or I/O failure.
+AdwHeader edge_list_to_adw(const std::string& text_path,
+                           const std::string& adw_path);
+
+}  // namespace adwise

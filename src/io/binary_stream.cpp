@@ -1,0 +1,217 @@
+#include "src/io/binary_stream.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "src/common/thread_pool.h"
+
+namespace adwise {
+
+BinaryEdgeStream::BinaryEdgeStream(const std::string& path)
+    : BinaryEdgeStream(path, Options{}) {}
+
+BinaryEdgeStream::BinaryEdgeStream(const std::string& path, Options options)
+    : header_(read_adw_header(path)), options_(options) {
+  options_.chunk_edges = std::max<std::size_t>(1, options_.chunk_edges);
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    throw std::runtime_error("cannot open .adw file: " + path);
+  }
+  try {
+    file_bytes_ = kAdwHeaderBytes + header_.num_edges * kAdwRecordBytes;
+    const std::size_t chunk_bytes = options_.chunk_edges * kAdwRecordBytes;
+    for (Buffer& b : buffers_) b.bytes.resize(chunk_bytes);
+    if (options_.prefetch) pool_ = std::make_unique<ThreadPool>(1);
+    prime();
+  } catch (...) {
+    pool_.reset();
+    ::close(fd_);
+    throw;
+  }
+}
+
+BinaryEdgeStream::~BinaryEdgeStream() {
+  if (pool_ != nullptr && fetch_pending_) {
+    try {
+      pool_->wait_idle();
+    } catch (...) {
+      // Worker I/O errors are reported by next()/rewind(); in teardown the
+      // buffer is being discarded anyway.
+    }
+  }
+  pool_.reset();  // join before the buffers the worker writes go away
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void BinaryEdgeStream::fill(Buffer& buf, std::uint64_t offset) const {
+  const auto want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(buf.bytes.size(), file_bytes_ - offset));
+  std::size_t got = 0;
+  while (got < want) {
+    const ssize_t r = ::pread(fd_, buf.bytes.data() + got, want - got,
+                              static_cast<off_t>(offset + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("pread failed on .adw file: ") +
+                               std::strerror(errno));
+    }
+    if (r == 0) {
+      // The header promised more records than the file now holds.
+      throw std::runtime_error(".adw file truncated while streaming");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  // Bound-check every id in the chunk (each 4-byte word of a record is a
+  // vertex id). This runs on the prefetch worker, overlapped with the
+  // consumer, and the simple word loop vectorizes — the hot next() path
+  // stays check-free because no out-of-bound id can reach it.
+  if (header_.max_vertex_id <
+      std::numeric_limits<std::uint32_t>::max()) {
+    // One whole-record load per iteration with independent per-endpoint
+    // accumulators: ~2.5 ops per id, and no loop-carried dependency between
+    // the two max chains.
+    std::uint64_t max_u = 0;
+    std::uint64_t max_v = 0;
+    for (std::size_t i = 0; i + kAdwRecordBytes <= want;
+         i += kAdwRecordBytes) {
+      std::uint64_t w;
+      if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(&w, buf.bytes.data() + i, kAdwRecordBytes);
+      } else {
+        w = adw_load_le64(buf.bytes.data() + i);
+      }
+      max_u = std::max<std::uint64_t>(max_u, w & 0xffffffffull);
+      max_v = std::max<std::uint64_t>(max_v, w >> 32);
+    }
+    const std::uint64_t worst = std::max(max_u, max_v);
+    if (worst > header_.max_vertex_id) {
+      throw std::runtime_error(
+          ".adw record vertex id " + std::to_string(worst) +
+          " exceeds header max_vertex_id " +
+          std::to_string(header_.max_vertex_id));
+    }
+  }
+  buf.size = want;
+}
+
+void BinaryEdgeStream::schedule_fetch() {
+  Buffer& target = buffers_[1 - active_];
+  if (next_offset_ >= file_bytes_) {
+    target.size = 0;
+    return;
+  }
+  const std::uint64_t offset = next_offset_;
+  // fill() reads a deterministic min(chunk, rest-of-file) bytes, so the
+  // offset can advance before the worker runs.
+  next_offset_ +=
+      std::min<std::uint64_t>(target.bytes.size(), file_bytes_ - offset);
+  fetch_pending_ = true;
+  pool_->submit([this, &target, offset] { fill(target, offset); });
+}
+
+bool BinaryEdgeStream::advance() {
+  // The active buffer is consumed: zero it before it becomes the next
+  // fetch target, so polling next() after end-of-stream keeps returning
+  // false instead of re-delivering a stale chunk (window partitioners poll
+  // the stream again after it first reports exhaustion).
+  buffers_[active_].size = 0;
+  Buffer& other = buffers_[1 - active_];
+  if (fetch_pending_) {
+    pool_->wait_idle();  // rethrows any worker I/O error
+    fetch_pending_ = false;
+  } else if (!options_.prefetch) {
+    if (next_offset_ < file_bytes_) {
+      fill(other, next_offset_);
+      next_offset_ += other.size;
+    } else {
+      other.size = 0;
+    }
+  }
+  consumed_before_active_ += static_cast<std::size_t>(cur_ - base_) /
+                             kAdwRecordBytes;
+  active_ = 1 - active_;
+  base_ = cur_ = buffers_[active_].bytes.data();
+  end_ = cur_ + buffers_[active_].size;
+  if (buffers_[active_].size == 0) return false;
+  if (options_.prefetch) schedule_fetch();
+  return true;
+}
+
+namespace {
+
+inline Edge decode_record(const std::byte* rec) {
+  if constexpr (std::endian::native == std::endian::little) {
+    // On little-endian hosts an edge record is exactly the in-memory Edge
+    // layout: decode is a single 8-byte load.
+    static_assert(sizeof(Edge) == kAdwRecordBytes);
+    Edge e;
+    std::memcpy(&e, rec, kAdwRecordBytes);
+    return e;
+  } else {
+    return adw_decode_edge(rec);
+  }
+}
+
+}  // namespace
+
+bool BinaryEdgeStream::next(Edge& out) {
+  if (cur_ == end_) [[unlikely]] return next_refill(out);
+  out = decode_record(cur_);
+  cur_ += kAdwRecordBytes;
+  return true;
+}
+
+bool BinaryEdgeStream::next_refill(Edge& out) {
+  while (cur_ == end_) {
+    if (!advance()) {
+      // Pin the bookkeeping so size_hint() reads exactly zero from here on.
+      consumed_before_active_ = static_cast<std::size_t>(header_.num_edges);
+      base_ = cur_ = end_;
+      return false;
+    }
+  }
+  out = decode_record(cur_);
+  cur_ += kAdwRecordBytes;
+  return true;
+}
+
+void BinaryEdgeStream::prime() {
+  next_offset_ = kAdwHeaderBytes;
+  consumed_before_active_ = 0;
+  if (options_.prefetch) {
+    // Start on an empty active buffer and hand the first chunk straight to
+    // the worker: the consuming thread never preads or validates at all,
+    // it only swaps buffers in as they complete.
+    active_ = 1;
+    buffers_[1].size = 0;
+    base_ = cur_ = end_ = buffers_[1].bytes.data();
+    schedule_fetch();  // targets buffers_[0]
+    return;
+  }
+  active_ = 0;
+  if (next_offset_ < file_bytes_) {
+    fill(buffers_[0], next_offset_);
+    next_offset_ += buffers_[0].size;
+  } else {
+    buffers_[0].size = 0;
+  }
+  base_ = cur_ = buffers_[0].bytes.data();
+  end_ = cur_ + buffers_[0].size;
+}
+
+void BinaryEdgeStream::rewind() {
+  if (fetch_pending_) {
+    pool_->wait_idle();
+    fetch_pending_ = false;
+  }
+  prime();
+}
+
+}  // namespace adwise

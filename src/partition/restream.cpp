@@ -1,13 +1,15 @@
 #include "src/partition/restream.h"
 
 #include <cassert>
+#include <utility>
 
 namespace adwise {
 
-RestreamResult restream_partition(std::span<const Edge> edges,
+RestreamResult restream_partition(RewindableEdgeStream& stream,
                                   VertexId num_vertices, std::uint32_t k,
                                   const RestreamFactory& factory,
-                                  std::uint32_t passes) {
+                                  std::uint32_t passes,
+                                  const AssignmentSink& final_sink) {
   assert(passes >= 1);
   RestreamResult result(k, num_vertices);
 
@@ -16,25 +18,35 @@ RestreamResult restream_partition(std::span<const Edge> edges,
   // is harmless: balance scores are relative (max - |p| over max - min).
   PartitionState carry(k, num_vertices);
   for (std::uint32_t pass = 0; pass < passes; ++pass) {
-    result.assignments.clear();
-    VectorEdgeStream stream(edges);
+    if (pass > 0) stream.rewind();
+    const bool last = pass + 1 == passes;
+    // Clean replay built inline in the sink: this pass's metrics reflect
+    // only this pass's assignments, not the accumulated hint state, and no
+    // per-pass assignment list is ever materialized.
+    PartitionState replay(k, num_vertices);
     auto partitioner = factory();
     partitioner->partition(stream, carry,
                            [&](const Edge& e, PartitionId p) {
-                             result.assignments.push_back({e, p});
+                             replay.assign(e, p);
+                             if (!last) return;
+                             if (final_sink) {
+                               final_sink(e, p);
+                             } else {
+                               result.assignments.push_back({e, p});
+                             }
                            });
-    // Clean replay: metrics for this pass reflect only this pass's
-    // assignments, not the accumulated hint state.
-    PartitionState replay(k, num_vertices);
-    for (const Assignment& a : result.assignments) {
-      replay.assign(a.edge, a.partition);
-    }
     result.pass_replication.push_back(replay.replication_degree());
-    if (pass + 1 == passes) {
-      result.final_state = std::move(replay);
-    }
+    if (last) result.final_state = std::move(replay);
   }
   return result;
+}
+
+RestreamResult restream_partition(std::span<const Edge> edges,
+                                  VertexId num_vertices, std::uint32_t k,
+                                  const RestreamFactory& factory,
+                                  std::uint32_t passes) {
+  VectorEdgeStream stream(edges);
+  return restream_partition(stream, num_vertices, k, factory, passes);
 }
 
 }  // namespace adwise

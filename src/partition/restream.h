@@ -10,6 +10,13 @@
 // result, and quality is measured on a clean replay of exactly those
 // assignments.
 //
+// Passes run over a RewindableEdgeStream — rewound between passes — so
+// restreaming is out-of-core when the stream is (FileEdgeStream,
+// BinaryEdgeStream): per-pass metrics are accumulated edge-by-edge in the
+// assignment callback and no pass ever materializes the edge list. Peak
+// resident edge data is whatever the stream itself buffers (two chunks for
+// BinaryEdgeStream).
+//
 // Works with any EdgePartitioner, including ADWISE.
 #pragma once
 
@@ -28,6 +35,8 @@ using RestreamFactory = std::function<std::unique_ptr<EdgePartitioner>()>;
 struct RestreamResult {
   // Clean state replaying only the final pass's assignments.
   PartitionState final_state;
+  // Final pass's assignments; left empty when a final_sink consumes them
+  // instead (the out-of-core mode — nothing |E|-sized is retained).
   std::vector<Assignment> assignments;
   // Replication degree measured after each pass (clean replay per pass).
   std::vector<double> pass_replication;
@@ -35,6 +44,16 @@ struct RestreamResult {
   RestreamResult(std::uint32_t k, VertexId n) : final_state(k, n) {}
 };
 
+// Runs `passes` passes over the stream (rewinding between passes). The
+// final pass's assignments go to final_sink when provided — letting callers
+// write them straight to disk/stdout — and are collected into
+// RestreamResult::assignments otherwise.
+[[nodiscard]] RestreamResult restream_partition(
+    RewindableEdgeStream& stream, VertexId num_vertices, std::uint32_t k,
+    const RestreamFactory& factory, std::uint32_t passes,
+    const AssignmentSink& final_sink = {});
+
+// In-memory convenience wrapper over a borrowed edge span.
 [[nodiscard]] RestreamResult restream_partition(std::span<const Edge> edges,
                                                 VertexId num_vertices,
                                                 std::uint32_t k,

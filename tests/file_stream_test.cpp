@@ -184,11 +184,15 @@ TEST_F(FileStreamTest, ThrowsOnMissingFile) {
                std::runtime_error);
 }
 
-TEST_F(FileStreamTest, ThrowsOnOversizedVertexId) {
-  write("0 99999999999\n");
-  // scan() tolerates the id (it only counts); streaming rejects it.
-  FileEdgeStream stream(path_, 1);
+TEST_F(FileStreamTest, OversizedVertexIdThrowsInScanAndNext) {
+  // scan() and next() must validate identically: if scan() merely counted
+  // the oversized edge, size_hint() and the controller's |E'| would promise
+  // an edge the stream then refuses to deliver.
+  write("0 1\n0 99999999999\n");
+  EXPECT_THROW((void)FileEdgeStream::scan(path_), std::runtime_error);
+  FileEdgeStream stream(path_, 2);
   Edge e;
+  ASSERT_TRUE(stream.next(e));
   EXPECT_THROW(stream.next(e), std::runtime_error);
 }
 

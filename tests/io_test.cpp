@@ -1,0 +1,332 @@
+// Tests for the out-of-core I/O subsystem: the .adw binary format
+// (writer/reader round trips, golden bytes, corruption handling) and the
+// prefetching BinaryEdgeStream.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/graph/file_stream.h"
+#include "src/graph/generators.h"
+#include "src/io/adw_format.h"
+#include "src/io/binary_stream.h"
+#include "src/partition/hdrf_partitioner.h"
+
+namespace adwise {
+namespace {
+
+std::vector<Edge> drain(EdgeStream& stream) {
+  std::vector<Edge> out;
+  Edge e;
+  while (stream.next(e)) out.push_back(e);
+  return out;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+class AdwFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "adw_test_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    adw_path_ = base_ + ".adw";
+    text_path_ = base_ + ".txt";
+  }
+
+  void TearDown() override {
+    std::remove(adw_path_.c_str());
+    std::remove(text_path_.c_str());
+  }
+
+  void write_text(const std::string& contents) {
+    std::ofstream out(text_path_);
+    out << contents;
+  }
+
+  std::string base_, adw_path_, text_path_;
+};
+
+TEST_F(AdwFormatTest, GoldenBytes) {
+  // Endianness pin: the exact on-disk bytes for two known edges. If this
+  // breaks, .adw files written on one machine no longer read on another.
+  write_adw_file(adw_path_, std::vector<Edge>{{1, 2}, {0x01020304, 5}});
+  const std::string bytes = read_bytes(adw_path_);
+  const unsigned char expected[] = {
+      'A', 'D', 'W', 'F',              // magic
+      1,   0,   0,   0,                // version 1, LE
+      2,   0,   0,   0,   0, 0, 0, 0,  // num_edges = 2
+      4,   3,   2,   1,   0, 0, 0, 0,  // max_vertex_id = 0x01020304
+      1,   0,   0,   0,   2, 0, 0, 0,  // edge (1, 2)
+      4,   3,   2,   1,   5, 0, 0, 0,  // edge (0x01020304, 5)
+  };
+  ASSERT_EQ(bytes.size(), sizeof(expected));
+  for (std::size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(bytes[i]), expected[i]) << "byte " << i;
+  }
+}
+
+TEST_F(AdwFormatTest, RoundTripEmpty) {
+  write_adw_file(adw_path_, {});
+  const AdwHeader header = read_adw_header(adw_path_);
+  EXPECT_EQ(header.num_edges, 0u);
+  EXPECT_EQ(header.max_vertex_id, 0u);
+  BinaryEdgeStream stream(adw_path_);
+  EXPECT_EQ(stream.size_hint(), 0u);
+  Edge e;
+  EXPECT_FALSE(stream.next(e));
+  EXPECT_TRUE(stream.exhausted());
+}
+
+TEST_F(AdwFormatTest, RoundTripMatchesWrittenEdges) {
+  const Graph g = make_rmat({.scale = 10, .num_edges = 20'000, .seed = 3});
+  write_adw_file(adw_path_, g.edges());
+  const AdwHeader header = read_adw_header(adw_path_);
+  EXPECT_EQ(header.num_edges, g.num_edges());
+  BinaryEdgeStream stream(adw_path_);
+  const auto edges = drain(stream);
+  ASSERT_EQ(edges.size(), g.num_edges());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    ASSERT_EQ(edges[i], g.edge(i)) << "edge " << i;
+  }
+}
+
+TEST_F(AdwFormatTest, WriterDropsSelfLoops) {
+  write_adw_file(adw_path_, std::vector<Edge>{{0, 1}, {7, 7}, {2, 3}});
+  const AdwHeader header = read_adw_header(adw_path_);
+  EXPECT_EQ(header.num_edges, 2u);
+  BinaryEdgeStream stream(adw_path_);
+  EXPECT_EQ(drain(stream), (std::vector<Edge>{{0, 1}, {2, 3}}));
+}
+
+TEST_F(AdwFormatTest, TruncatedHeaderThrows) {
+  std::ofstream(adw_path_, std::ios::binary) << "ADWF\x01";
+  EXPECT_THROW((void)read_adw_header(adw_path_), std::runtime_error);
+  EXPECT_THROW(BinaryEdgeStream{adw_path_}, std::runtime_error);
+}
+
+TEST_F(AdwFormatTest, TruncatedRecordThrows) {
+  write_adw_file(adw_path_, std::vector<Edge>{{0, 1}, {2, 3}});
+  // Chop the last 3 bytes of the final record.
+  std::string bytes = read_bytes(adw_path_);
+  bytes.resize(bytes.size() - 3);
+  std::ofstream(adw_path_, std::ios::binary | std::ios::trunc) << bytes;
+  EXPECT_THROW((void)read_adw_header(adw_path_), std::runtime_error);
+  EXPECT_THROW(BinaryEdgeStream{adw_path_}, std::runtime_error);
+}
+
+TEST_F(AdwFormatTest, BadMagicThrows) {
+  write_adw_file(adw_path_, std::vector<Edge>{{0, 1}});
+  std::string bytes = read_bytes(adw_path_);
+  bytes[0] = 'X';
+  std::ofstream(adw_path_, std::ios::binary | std::ios::trunc) << bytes;
+  EXPECT_THROW((void)read_adw_header(adw_path_), std::runtime_error);
+}
+
+TEST_F(AdwFormatTest, UnsupportedVersionThrows) {
+  write_adw_file(adw_path_, std::vector<Edge>{{0, 1}});
+  std::string bytes = read_bytes(adw_path_);
+  bytes[4] = 2;  // version field
+  std::ofstream(adw_path_, std::ios::binary | std::ios::trunc) << bytes;
+  EXPECT_THROW((void)read_adw_header(adw_path_), std::runtime_error);
+}
+
+TEST_F(AdwFormatTest, SniffDetectsAdwVsText) {
+  write_adw_file(adw_path_, std::vector<Edge>{{0, 1}});
+  write_text("0 1\n");
+  EXPECT_TRUE(is_adw_file(adw_path_));
+  EXPECT_FALSE(is_adw_file(text_path_));
+  EXPECT_FALSE(is_adw_file(base_ + ".does_not_exist"));
+}
+
+TEST_F(AdwFormatTest, ConvertTextMatchesFileStream) {
+  // Comments, CRLF, malformed lines, self-loops, no trailing newline — the
+  // converter must replay exactly what the text parser streams.
+  write_text("# header\n0 1\r\n5 5\nnot an edge\n\n2 3\n7 4");
+  const AdwHeader header = edge_list_to_adw(text_path_, adw_path_);
+  EXPECT_EQ(header.num_edges, 3u);
+  EXPECT_EQ(header.max_vertex_id, 7u);
+
+  const auto stats = FileEdgeStream::scan(text_path_);
+  FileEdgeStream text_stream(text_path_, stats.num_edges);
+  BinaryEdgeStream binary_stream(adw_path_);
+  EXPECT_EQ(drain(text_stream), drain(binary_stream));
+}
+
+TEST_F(AdwFormatTest, ConvertThrowsOnOversizedVertexId) {
+  write_text("0 99999999999\n");
+  EXPECT_THROW((void)edge_list_to_adw(text_path_, adw_path_),
+               std::runtime_error);
+}
+
+TEST_F(AdwFormatTest, OverflowingEdgeCountRejected) {
+  // A header whose num_edges * 8 wraps uint64 would otherwise satisfy the
+  // exact-size check (24 + 0 == 24) while promising 2^61 edges.
+  std::byte raw[kAdwHeaderBytes];
+  adw_encode_header({.num_edges = 0, .max_vertex_id = 0}, raw);
+  adw_store_le64(std::uint64_t{1} << 61, raw + 8);  // patch num_edges
+  std::ofstream(adw_path_, std::ios::binary)
+      .write(reinterpret_cast<const char*>(raw), kAdwHeaderBytes);
+  EXPECT_THROW((void)read_adw_header(adw_path_), std::runtime_error);
+}
+
+TEST_F(AdwFormatTest, AbandonedWriterLeavesInvalidFile) {
+  // An AdwWriter destroyed without close() must not leave anything a
+  // reader accepts — not even a valid-looking empty graph (the buffered
+  // records were never flushed, so "empty" would be a lie).
+  {
+    AdwWriter writer(adw_path_);
+    writer.add({0, 1});
+  }
+  EXPECT_FALSE(is_adw_file(adw_path_));
+  EXPECT_THROW((void)read_adw_header(adw_path_), std::runtime_error);
+}
+
+TEST_F(AdwFormatTest, MissingInputDoesNotClobberExistingOutput) {
+  write_adw_file(adw_path_, std::vector<Edge>{{0, 1}});
+  EXPECT_THROW(
+      (void)edge_list_to_adw(base_ + ".does_not_exist.txt", adw_path_),
+      std::runtime_error);
+  // The pre-existing converted file survives an input-open failure.
+  EXPECT_EQ(read_adw_header(adw_path_).num_edges, 1u);
+}
+
+TEST_F(AdwFormatTest, FailedConversionLeavesNoOutputFile) {
+  // A pipeline must not be able to pick up a half-converted graph: on a
+  // mid-stream parse failure the partial .adw output is removed.
+  write_text("0 1\n2 3\n0 99999999999\n4 5\n");
+  EXPECT_THROW((void)edge_list_to_adw(text_path_, adw_path_),
+               std::runtime_error);
+  EXPECT_FALSE(std::ifstream(adw_path_).good());
+}
+
+TEST_F(AdwFormatTest, RecordExceedingHeaderMaxThrows) {
+  // A corrupt (or hand-crafted) file whose records exceed the header's
+  // max_vertex_id must fail instead of feeding out-of-range ids into
+  // consumers' dense per-vertex arrays, which are sized from the header.
+  write_adw_file(adw_path_, std::vector<Edge>{{0, 1}, {2, 9}});
+  std::string bytes = read_bytes(adw_path_);
+  bytes[16] = 5;  // patch max_vertex_id 9 -> 5; record (2, 9) now exceeds it
+  std::ofstream(adw_path_, std::ios::binary | std::ios::trunc) << bytes;
+  EXPECT_THROW(
+      {
+        BinaryEdgeStream stream(adw_path_);
+        Edge e;
+        while (stream.next(e)) {
+        }
+      },
+      std::runtime_error);
+}
+
+class BinaryStreamTest : public AdwFormatTest {};
+
+TEST_F(BinaryStreamTest, ChunkBoundariesAndPrefetchMatrix) {
+  // The edge sequence must be identical for every chunk size (including
+  // chunks that don't divide the edge count and chunk_edges = 1) with and
+  // without the background prefetch worker.
+  const Graph g = make_erdos_renyi(200, 1000, 5);
+  write_adw_file(adw_path_, g.edges());
+  const std::vector<Edge> expected(g.edges().begin(), g.edges().end());
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{64}, std::size_t{100'000}}) {
+    for (const bool prefetch : {false, true}) {
+      BinaryEdgeStream stream(adw_path_,
+                              {.chunk_edges = chunk, .prefetch = prefetch});
+      EXPECT_EQ(stream.size_hint(), expected.size());
+      EXPECT_EQ(drain(stream), expected)
+          << "chunk=" << chunk << " prefetch=" << prefetch;
+    }
+  }
+}
+
+TEST_F(BinaryStreamTest, SizeHintDecrements) {
+  write_adw_file(adw_path_, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  BinaryEdgeStream stream(adw_path_, {.chunk_edges = 2});
+  Edge e;
+  EXPECT_EQ(stream.size_hint(), 3u);
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(stream.size_hint(), 2u);
+  ASSERT_TRUE(stream.next(e));
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(stream.size_hint(), 0u);
+  EXPECT_FALSE(stream.next(e));
+  EXPECT_TRUE(stream.exhausted());
+}
+
+TEST_F(BinaryStreamTest, PollingAfterEndStaysExhausted) {
+  // Window partitioners poll next() again after the stream first reports
+  // end-of-stream (their refill loop runs once per selection): the stream
+  // must stay exhausted, not cycle back to a stale buffer.
+  const Graph g = make_erdos_renyi(50, 300, 2);
+  write_adw_file(adw_path_, g.edges());
+  for (const bool prefetch : {false, true}) {
+    BinaryEdgeStream stream(adw_path_, {.chunk_edges = 16, .prefetch = prefetch});
+    Edge e;
+    std::size_t seen = 0;
+    while (stream.next(e)) ++seen;
+    EXPECT_EQ(seen, g.num_edges());
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_FALSE(stream.next(e));
+      EXPECT_EQ(stream.size_hint(), 0u);
+    }
+    stream.rewind();  // still rewindable after the extra polls
+    EXPECT_EQ(drain(stream).size(), g.num_edges());
+  }
+}
+
+TEST_F(BinaryStreamTest, RewindReplaysIdentically) {
+  const Graph g = make_erdos_renyi(100, 500, 8);
+  write_adw_file(adw_path_, g.edges());
+  for (const bool prefetch : {false, true}) {
+    BinaryEdgeStream stream(adw_path_, {.chunk_edges = 7, .prefetch = prefetch});
+    const auto first = drain(stream);
+    EXPECT_EQ(first.size(), g.num_edges());
+    stream.rewind();
+    EXPECT_EQ(stream.size_hint(), g.num_edges());
+    EXPECT_EQ(drain(stream), first);
+
+    // Rewind mid-stream (with a prefetch potentially in flight).
+    stream.rewind();
+    Edge e;
+    for (int i = 0; i < 20; ++i) ASSERT_TRUE(stream.next(e));
+    stream.rewind();
+    EXPECT_EQ(drain(stream), first);
+  }
+}
+
+TEST_F(BinaryStreamTest, FileEdgeStreamRewindReplaysIdentically) {
+  write_text("0 1\n# comment\n2 3\n4 5\n");
+  const auto stats = FileEdgeStream::scan(text_path_);
+  FileEdgeStream stream(text_path_, stats.num_edges);
+  const auto first = drain(stream);
+  EXPECT_EQ(first.size(), 3u);
+  stream.rewind();
+  EXPECT_EQ(stream.size_hint(), 3u);
+  EXPECT_EQ(drain(stream), first);
+}
+
+TEST_F(BinaryStreamTest, PartitioningMatchesInMemory) {
+  const Graph g = make_community_graph({.num_communities = 20, .seed = 4});
+  write_adw_file(adw_path_, g.edges());
+
+  HdrfPartitioner from_binary;
+  PartitionState binary_state(8, g.num_vertices());
+  BinaryEdgeStream binary_stream(adw_path_, {.chunk_edges = 512});
+  from_binary.partition(binary_stream, binary_state);
+
+  HdrfPartitioner in_memory;
+  PartitionState mem_state(8, g.num_vertices());
+  VectorEdgeStream mem_stream(g.edges());
+  in_memory.partition(mem_stream, mem_state);
+
+  EXPECT_DOUBLE_EQ(binary_state.replication_degree(),
+                   mem_state.replication_degree());
+  EXPECT_EQ(binary_state.max_partition_size(), mem_state.max_partition_size());
+}
+
+}  // namespace
+}  // namespace adwise

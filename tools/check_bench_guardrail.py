@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Bench guardrails over bench_micro_partitioners JSON output.
+"""Bench guardrails over bench_micro_partitioners (and optionally
+bench_ablation_io) JSON output.
 
 Enforced (build fails):
   * sparse-vs-dense: BM_Adwise/w64_lazy must hold >= 1.5x the edges/second
@@ -12,13 +13,21 @@ Enforced (build fails):
     yet been validated on the shared 4-vCPU CI runners, and a noisy gate
     would block unrelated pushes. Flip the env once CI history shows
     headroom.
+  * out-of-core stream (only when the io JSON is given):
+    BM_StreamDrain/binary_prefetch must hold >= 0.8x the edges/second of
+    BM_StreamDrain/in_memory — the .adw prefetching reader must cost at
+    most ~20% of the in-memory edge rate (measures ~0.82-0.91x even on a
+    single core, where the prefetch worker cannot overlap; the pread copy
+    overlaps decode fully on multi-core runners).
 
-Recorded (printed, never fails): the lazy-path parallel ratios. After PR 1
-the lazy heap leaves only a few percent of its scoring work in batches
-large enough to parallelize (~3.5 rescores per assignment), so the lazy
-mt captures document the Amdahl reality rather than gate on it.
+Recorded (printed, never fails): the lazy-path parallel ratios, the text
+and non-prefetching binary stream ratios, and the end-to-end HDRF /
+2-pass-restream out-of-core ratios. After PR 1 the lazy heap leaves only a
+few percent of its scoring work in batches large enough to parallelize
+(~3.5 rescores per assignment), so the lazy mt captures document the
+Amdahl reality rather than gate on it.
 
-Usage: check_bench_guardrail.py <bench.json>
+Usage: check_bench_guardrail.py <bench.json> [<io_bench.json>]
 """
 
 import json
@@ -28,6 +37,7 @@ import sys
 SPARSE_MIN_SPEEDUP = 1.5
 MT_MIN_SPEEDUP = 1.8
 MT_MIN_CPUS = 4
+IO_MIN_RATIO = 0.8
 
 
 def items_per_second(benchmarks, name):
@@ -46,8 +56,47 @@ def items_per_second(benchmarks, name):
     return None
 
 
+def check_io(path, failures):
+    """Out-of-core stream guardrails over bench_ablation_io JSON output."""
+    with open(path) as f:
+        benchmarks = json.load(f)["benchmarks"]
+
+    def speedup(fast, slow):
+        a = items_per_second(benchmarks, fast)
+        b = items_per_second(benchmarks, slow)
+        if a is None or b is None or b == 0:
+            return None
+        return a / b
+
+    ooc = speedup("BM_StreamDrain/binary_prefetch", "BM_StreamDrain/in_memory")
+    if ooc is None:
+        failures.append("missing BM_StreamDrain binary_prefetch / in_memory")
+    else:
+        print(f"out-of-core drain (binary_prefetch vs in_memory): {ooc:.2f}x "
+              f"(required >= {IO_MIN_RATIO}x)")
+        if ooc < IO_MIN_RATIO:
+            failures.append(
+                f"binary stream throughput regressed: {ooc:.2f}x < "
+                f"{IO_MIN_RATIO}x of in-memory")
+
+    for fast, slow, label in [
+        ("BM_StreamDrain/binary", "BM_StreamDrain/in_memory",
+         "binary drain, no prefetch"),
+        ("BM_StreamDrain/text", "BM_StreamDrain/in_memory", "text drain"),
+        ("BM_StreamDrain/binary_prefetch", "BM_StreamDrain/text",
+         "binary-vs-text drain"),
+        ("BM_HdrfPartition/binary_prefetch", "BM_HdrfPartition/in_memory",
+         "hdrf out-of-core"),
+        ("BM_Restream2/binary_prefetch", "BM_Restream2/in_memory",
+         "2-pass restream out-of-core"),
+    ]:
+        s = speedup(fast, slow)
+        if s is not None:
+            print(f"{label}: {s:.2f}x")
+
+
 def main():
-    if len(sys.argv) != 2:
+    if len(sys.argv) not in (2, 3):
         print(__doc__, file=sys.stderr)
         return 2
     with open(sys.argv[1]) as f:
@@ -101,6 +150,9 @@ def main():
         s = speedup(fast, slow)
         if s is not None:
             print(f"{label}: {s:.2f}x")
+
+    if len(sys.argv) == 3:
+        check_io(sys.argv[2], failures)
 
     if failures:
         for f in failures:

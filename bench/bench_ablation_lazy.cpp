@@ -1,42 +1,153 @@
-// Ablation: lazy window traversal (§III-B) vs. eager full-window rescoring —
-// same windows, same scoring; measures the latency the candidate set saves
-// and the quality it costs.
-#include <cstdio>
+// Ablation (google-benchmark): the lazy hot path's parallel fraction —
+// batched refill classification (BatchedRefill off/exact/full) crossed with
+// serial vs. thread-pooled scoring, at a fixed window and across adaptive
+// window growth. (The lazy-vs-eager traversal ablation lives in
+// bench_micro_partitioners' w64/w256 eager captures.)
+//
+// Each capture reports the partitioner's batch telemetry: the batch-size
+// histogram of every score_batch() pass, the share of score computations
+// executed in pool batches (parallel_fraction), the self-adapted
+// batch-cutoff / drain thresholds, and replication degree as the quality
+// pin. The CI guardrail (tools/check_bench_guardrail.py --lazy) consumes
+// this binary's JSON: it records the parallel fractions every run and —
+// under ADWISE_ENFORCE_MT_SPEEDUP=1 on 4+ core runners — gates the lazy
+// mt4 end-to-end speedup (best batched mt4 capture vs. w256_off) at 1.3x.
+#include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
 #include "src/core/adwise_partitioner.h"
 
-int main() {
-  using namespace adwise;
-  using namespace adwise::bench;
+namespace {
 
-  const NamedGraph named = make_brain_like(env_scale(0.25));
-  print_title("Ablation: lazy vs. eager window traversal (k=32)");
-  print_graph_info(named);
-  std::printf("%-10s %-8s %10s %8s %14s\n", "window", "mode", "part_s", "rep",
-              "score_computs");
+using namespace adwise;
 
-  for (const std::uint64_t window : {32ull, 128ull, 512ull}) {
-    for (const bool lazy : {true, false}) {
-      AdwiseOptions opts;
-      opts.adaptive_window = false;
-      opts.initial_window = window;
-      opts.lazy_traversal = lazy;
-      AdwisePartitioner partitioner(opts);
-      PartitionState state(32, named.graph.num_vertices());
-      const auto edges =
-          ordered_edges(named.graph, StreamOrder::kShuffled, 1);
-      VectorEdgeStream stream(edges);
-      Stopwatch watch;
-      partitioner.partition(stream, state);
-      const double seconds = watch.elapsed_seconds();
-      std::printf("%-10llu %-8s %10.3f %8.3f %14llu\n",
-                  static_cast<unsigned long long>(window),
-                  lazy ? "lazy" : "eager", seconds,
-                  state.replication_degree(),
-                  static_cast<unsigned long long>(
-                      partitioner.last_report().score_computations));
-    }
-  }
-  return 0;
+const Graph& test_graph() {
+  static const Graph graph = make_rmat(
+      {.scale = 14,
+       .num_edges = static_cast<std::size_t>(100'000 * bench::env_scale()),
+       .seed = 3});
+  return graph;
 }
+
+// Sums histogram buckets [lo, hi) — bucket i holds batches of size in
+// [2^i, 2^(i+1)).
+double hist_range(const AdwisePartitioner::Report& report, std::size_t lo,
+                  std::size_t hi) {
+  double total = 0.0;
+  for (std::size_t i = lo;
+       i < std::min<std::size_t>(hi, report.batch_size_hist.size()); ++i) {
+    total += static_cast<double>(report.batch_size_hist[i]);
+  }
+  return total;
+}
+
+void report_batch_counters(benchmark::State& state,
+                           const AdwisePartitioner& partitioner,
+                           double replication) {
+  const auto& r = partitioner.last_report();
+  state.counters["parallel_fraction"] = r.parallel_fraction();
+  state.counters["score_comps"] = static_cast<double>(r.score_computations);
+  state.counters["batch_items"] = static_cast<double>(r.batch_items);
+  state.counters["pool_items"] = static_cast<double>(r.pool_batch_items);
+  state.counters["refill_items"] = static_cast<double>(r.refill_batch_items);
+  state.counters["rescores_per_edge"] =
+      r.assignments > 0 ? static_cast<double>(r.score_computations) /
+                              static_cast<double>(r.assignments)
+                        : 0.0;
+  // Batch-size histogram, coarsened to the columns the guardrail prints.
+  state.counters["batches_1"] = hist_range(r, 0, 1);
+  state.counters["batches_2_3"] = hist_range(r, 1, 2);
+  state.counters["batches_4_15"] = hist_range(r, 2, 4);
+  state.counters["batches_16_63"] = hist_range(r, 4, 6);
+  state.counters["batches_64_255"] = hist_range(r, 6, 8);
+  state.counters["batches_256p"] = hist_range(r, 8, r.batch_size_hist.size());
+  // Where the self-adapting thresholds settled.
+  state.counters["final_cutoff"] = static_cast<double>(r.final_batch_cutoff);
+  state.counters["cutoff_adapts"] =
+      static_cast<double>(r.batch_cutoff_adaptations);
+  state.counters["drain_budget"] = static_cast<double>(r.final_drain_budget);
+  state.counters["sweep_interval"] =
+      static_cast<double>(r.final_sweep_interval);
+  state.counters["drain_adapts"] = static_cast<double>(r.drain_adaptations);
+  state.counters["replication"] = replication;
+}
+
+void BM_LazyBatch(benchmark::State& state, const AdwiseOptions& opts) {
+  const Graph& graph = test_graph();
+  AdwisePartitioner partitioner(opts);
+  double replication = 0.0;
+  for (auto _ : state) {
+    PartitionState pstate(32, graph.num_vertices());
+    VectorEdgeStream stream(graph.edges());
+    partitioner.partition(stream, pstate);
+    replication = pstate.replication_degree();
+    benchmark::DoNotOptimize(replication);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * graph.num_edges()));
+  report_batch_counters(state, partitioner, replication);
+}
+
+AdwiseOptions lazy_opts(BatchedRefill refill, std::uint32_t threads,
+                        bool adaptive_window = false) {
+  AdwiseOptions opts;
+  opts.adaptive_window = adaptive_window;
+  opts.initial_window = adaptive_window ? 1 : 256;
+  opts.max_window = 256;
+  opts.lazy_traversal = true;
+  opts.batched_refill = refill;
+  opts.num_score_threads = threads;
+  return opts;
+}
+
+// Pinned cutoff: the adaptive controller tunes the pool cutoff to the host
+// (on few-core machines it keeps small batches serial), so the pinned
+// captures measure the machine-independent structural fraction — the share
+// of rescore work arriving in batches >= the pinned cutoff — that a
+// multicore host's adapted cutoff converges toward (fan-out overhead of a
+// few microseconds against ~0.5 us/item lands the break-even near 8-16).
+AdwiseOptions lazy_opts_pin(BatchedRefill refill, std::uint32_t threads,
+                            std::uint64_t cutoff) {
+  AdwiseOptions opts = lazy_opts(refill, threads);
+  opts.adaptive_batch_cutoff = false;
+  opts.parallel_batch_min = cutoff;
+  return opts;
+}
+
+}  // namespace
+
+// Fixed w = 256 (the regime the ROADMAP's ~3% lazy parallel fraction was
+// measured in): off/exact are decision-identical, full trades the refill
+// hysteresis for real steady-state batches.
+BENCHMARK_CAPTURE(BM_LazyBatch, w256_off, lazy_opts(BatchedRefill::kOff, 0));
+BENCHMARK_CAPTURE(BM_LazyBatch, w256_off_mt4,
+                  lazy_opts(BatchedRefill::kOff, 4))
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_LazyBatch, w256_exact,
+                  lazy_opts(BatchedRefill::kExact, 0));
+BENCHMARK_CAPTURE(BM_LazyBatch, w256_exact_mt4,
+                  lazy_opts(BatchedRefill::kExact, 4))
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_LazyBatch, w256_full, lazy_opts(BatchedRefill::kFull, 0));
+BENCHMARK_CAPTURE(BM_LazyBatch, w256_full_mt4,
+                  lazy_opts(BatchedRefill::kFull, 4))
+    ->UseRealTime();
+// Adaptive window 1 -> 256: the §III-A controller's growth bursts are the
+// refill batches kExact can pool without changing any decision.
+BENCHMARK_CAPTURE(BM_LazyBatch, grow_exact,
+                  lazy_opts(BatchedRefill::kExact, 0, true));
+BENCHMARK_CAPTURE(BM_LazyBatch, grow_exact_mt4,
+                  lazy_opts(BatchedRefill::kExact, 4, true))
+    ->UseRealTime();
+// Structural parallel fraction at pinned cutoffs (see lazy_opts_pin).
+BENCHMARK_CAPTURE(BM_LazyBatch, w256_exact_mt4_pin16,
+                  lazy_opts_pin(BatchedRefill::kExact, 4, 16))
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_LazyBatch, w256_exact_mt4_pin8,
+                  lazy_opts_pin(BatchedRefill::kExact, 4, 8))
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_LazyBatch, w256_full_mt4_pin8,
+                  lazy_opts_pin(BatchedRefill::kFull, 4, 8))
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,8 +1,106 @@
 #include "src/core/adaptive_controller.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace adwise {
+
+BatchCutoffController::BatchCutoffController(const AdwiseOptions& opts,
+                                             unsigned slots)
+    : adaptive_(opts.adaptive_batch_cutoff),
+      slots_(static_cast<double>(std::max(slots, 2u))),
+      cutoff_(std::max<std::uint64_t>(opts.parallel_batch_min, kMinCutoff)) {}
+
+bool BatchCutoffController::probe(std::size_t n) {
+  if (!adaptive_ || n < kMinCutoff || n >= cutoff_) return false;
+  return ++serial_batches_ % kProbeInterval == 0;
+}
+
+void BatchCutoffController::observe(std::size_t n, bool pooled,
+                                    std::chrono::nanoseconds elapsed) {
+  if (!adaptive_ || n == 0) return;
+  const double ns = static_cast<double>(elapsed.count());
+  // Sub-resolution samples (FakeClock, or a batch under the clock's tick)
+  // carry no cost signal; folding zeros in would drive the model to a
+  // degenerate cutoff.
+  if (ns <= 0.0) return;
+  if (!pooled) {
+    per_item_ns_.add(ns / static_cast<double>(n));
+    return;
+  }
+  if (!per_item_ns_.initialized()) return;
+  // o = t_pool - n*c/s: what the batch paid beyond perfectly parallel
+  // scoring. Clamped at zero — super-linear luck (cache effects) is not
+  // negative overhead.
+  const double ideal = static_cast<double>(n) * per_item_ns_.value() / slots_;
+  overhead_ns_.add(std::max(0.0, ns - ideal));
+  const double c = per_item_ns_.value();
+  if (c < 1.0) return;
+  const double breakeven = overhead_ns_.value() / (c * (1.0 - 1.0 / slots_));
+  const auto next = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(std::ceil(breakeven)), kMinCutoff,
+      kMaxCutoff);
+  if (next != cutoff_) {
+    cutoff_ = next;
+    ++adaptations_;
+  }
+}
+
+DrainController::DrainController(const AdwiseOptions& opts)
+    : adaptive_(opts.adaptive_drain),
+      budget_floor_(std::max<std::uint64_t>(opts.drain_rescore_budget, 1)),
+      interval_floor_(
+          std::max<std::uint64_t>(opts.demotion_sweep_interval, 1)),
+      budget_cap_(budget_floor_ * kGrowthCap),
+      interval_cap_(interval_floor_ * kGrowthCap),
+      budget_(budget_floor_),
+      interval_(interval_floor_) {}
+
+void DrainController::observe_drain(bool forced, bool budget_limited) {
+  if (!adaptive_) return;
+  ++drains_;
+  if (forced) ++forced_;
+  if (budget_limited) ++limited_;
+  if (drains_ >= kPeriod) end_period();
+}
+
+void DrainController::end_period() {
+  const double rate =
+      static_cast<double>(forced_) / static_cast<double>(drains_);
+  if (trial_) {
+    // C1-style check: the grown budget/interval survive only if the forced
+    // rate actually dropped; otherwise restore and back off before the
+    // next attempt.
+    trial_ = false;
+    if (rate < trial_baseline_ * (1.0 - kImprovementFraction)) {
+      ++adaptations_;
+    } else {
+      budget_ = trial_budget_;
+      interval_ = trial_interval_;
+      cooldown_ = kCooldown;
+    }
+  } else if (cooldown_ > 0) {
+    --cooldown_;
+  } else if (forced_ * 2 >= drains_ && limited_ * 2 >= drains_ &&
+             budget_ < budget_cap_) {
+    // Starved and budget-limited: a deeper walk could surface promotable
+    // slots. Try one period at double depth / half the demotion pressure.
+    trial_budget_ = budget_;
+    trial_interval_ = interval_;
+    trial_baseline_ = rate;
+    budget_ = std::min(budget_ * 2, budget_cap_);
+    interval_ = std::min(interval_ * 2, interval_cap_);
+    trial_ = true;
+  } else if (forced_ * 8 <= drains_ &&
+             (budget_ > budget_floor_ || interval_ > interval_floor_)) {
+    budget_ = std::max(budget_ / 2, budget_floor_);
+    interval_ = std::max(interval_ / 2, interval_floor_);
+    ++adaptations_;
+  }
+  drains_ = 0;
+  forced_ = 0;
+  limited_ = 0;
+}
 
 AdaptiveController::AdaptiveController(const AdwiseOptions& opts,
                                        const Clock& clock,

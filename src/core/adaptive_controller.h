@@ -21,6 +21,123 @@
 
 namespace adwise {
 
+// Adapts the parallel scorer's batch-size cutoff (the smallest batch worth
+// handing to the thread pool) from measured batch timings, the same
+// measure-and-steer style as the window controller above.
+//
+// Model: scoring a batch of n items costs n*c serially and o + n*c/s on the
+// pool (c = per-item cost, o = fan-out overhead, s = concurrency slots), so
+// the pool wins once n exceeds n* = o / (c * (1 - 1/s)). Both c and o are
+// EWMAs of observed batch timings; because small-batch regimes would never
+// sample o, every probe_interval-th sub-cutoff batch is routed to the pool
+// as a probe. Zero-length timing samples (FakeClock) are ignored, so runs
+// under an injected test clock keep the configured cutoff — and the cutoff
+// never affects placement decisions anyway (pool == serial, scoring.h).
+class BatchCutoffController {
+ public:
+  BatchCutoffController(const AdwiseOptions& opts, unsigned slots);
+
+  // Current cutoff: batches of at least this many items go to the pool.
+  [[nodiscard]] std::uint64_t cutoff() const { return cutoff_; }
+
+  // True when a batch of n items below the cutoff should be routed to the
+  // pool anyway to sample the fan-out overhead.
+  [[nodiscard]] bool probe(std::size_t n);
+
+  // Records a completed batch scoring pass and re-derives the cutoff.
+  void observe(std::size_t n, bool pooled, std::chrono::nanoseconds elapsed);
+
+  [[nodiscard]] std::uint64_t adaptations() const { return adaptations_; }
+  [[nodiscard]] double per_item_ns() const { return per_item_ns_.value(); }
+  [[nodiscard]] double overhead_ns() const { return overhead_ns_.value(); }
+
+ private:
+  static constexpr std::uint64_t kMinCutoff = 2;
+  static constexpr std::uint64_t kMaxCutoff = 4096;
+  static constexpr std::uint64_t kProbeInterval = 64;
+
+  bool adaptive_;
+  double slots_;
+  std::uint64_t cutoff_;
+  Ewma per_item_ns_{0.2};   // serial per-item scoring cost
+  Ewma overhead_ns_{0.2};   // pool fan-out overhead per batch
+  std::uint64_t serial_batches_ = 0;
+  std::uint64_t adaptations_ = 0;
+};
+
+// Adapts the heap selector's drain heuristics — drain_rescore_budget and
+// demotion_sweep_interval — from the observed forced-secondary rate, with
+// the window controller's trial-and-check discipline (§III-A, C1): a
+// speculative change sticks only if the feedback signal actually improves.
+//
+// A drain walk that ends without promoting anything (the forced-secondary
+// case) can mean two very different things. If the walk exhausted its
+// rescore budget, a deeper walk might have surfaced a promotable slot — a
+// budget-limited drain. If the walk ran the secondary heap dry, no budget
+// helps: every score is simply below Theta. Growing on the forced rate
+// alone therefore runs away on theta-limited workloads (measured: budget
+// pinned at the cap, 8x the rescore work, no quality gain), so growth is
+// gated on the drains being budget-limited AND run as a one-period trial:
+// if the forced rate does not drop, the previous budget/interval are
+// restored and retries back off. A persistently low forced rate decays
+// both values back toward the configured floors. Purely counter-driven —
+// no clock — so runs with identical options adapt identically and the
+// serial/parallel decision identity is preserved.
+class DrainController {
+ public:
+  explicit DrainController(const AdwiseOptions& opts);
+
+  [[nodiscard]] std::uint64_t rescore_budget() const { return budget_; }
+  [[nodiscard]] std::uint64_t sweep_interval() const { return interval_; }
+
+  // Reports one completed drain walk. forced = it ended without promoting
+  // anything; budget_limited = it stopped because the rescore budget ran
+  // out (rather than the secondary heap running dry).
+  void observe_drain(bool forced, bool budget_limited);
+
+  [[nodiscard]] std::uint64_t adaptations() const { return adaptations_; }
+
+ private:
+  // Drains per decision: large enough that a 25% forced-rate drop clears
+  // the period's sampling noise (sigma ~ sqrt(p(1-p)/64) ~ 0.06) — with
+  // short periods, lucky trials pass the check and a useless doubled
+  // budget sticks forever.
+  static constexpr std::uint64_t kPeriod = 64;
+  static constexpr std::uint64_t kCooldown = 4;    // periods after a revert
+  // Growth is bounded to 4x the configured floors: each kept doubling
+  // buys a >= 25% forced-rate drop but doubles the per-drain rescore bill,
+  // and past 4x the compounding cost dominates any remaining quality gain
+  // on every workload measured (this is a latency-first default; raise
+  // drain_rescore_budget itself to spend more).
+  static constexpr std::uint64_t kGrowthCap = 4;
+  // A growth trial doubles the drain cost, so it must buy a proportionate
+  // drop in the forced rate to stick — a marginal drop (measured: ~13% per
+  // doubling on theta-limited workloads) would compound into an 8x-cost
+  // budget for sub-percent quality.
+  static constexpr double kImprovementFraction = 0.25;
+
+  void end_period();
+
+  bool adaptive_;
+  std::uint64_t budget_floor_;
+  std::uint64_t interval_floor_;
+  std::uint64_t budget_cap_;
+  std::uint64_t interval_cap_;
+  std::uint64_t budget_;
+  std::uint64_t interval_;
+  std::uint64_t drains_ = 0;
+  std::uint64_t forced_ = 0;
+  std::uint64_t limited_ = 0;
+  // In-flight growth trial: the values to restore and the forced rate the
+  // trial must beat.
+  bool trial_ = false;
+  std::uint64_t trial_budget_ = 0;
+  std::uint64_t trial_interval_ = 0;
+  double trial_baseline_ = 0.0;
+  std::uint64_t cooldown_ = 0;
+  std::uint64_t adaptations_ = 0;
+};
+
 class AdaptiveController {
  public:
   AdaptiveController(const AdwiseOptions& opts, const Clock& clock,

@@ -1,6 +1,7 @@
 #include "src/core/adwise_partitioner.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <deque>
 #include <limits>
@@ -142,35 +143,54 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   }
   std::vector<std::uint32_t> batch_ids;
   std::vector<ScoredPlacement> batch_results;
-  const std::uint64_t parallel_batch_min =
-      std::max<std::uint64_t>(opts_.parallel_batch_min, 2);
+  // Self-adapting pool cutoff: replaces the fixed parallel_batch_min with a
+  // measured break-even batch size. Timing a batch costs two clock reads,
+  // only paid when a pool exists and adaptation is on.
+  BatchCutoffController cutoff_ctl(opts_,
+                                   pool ? pool->num_slots() : score_threads);
+  const bool time_batches = pool && opts_.adaptive_batch_cutoff;
 
-  // Scores every slot in batch_ids into batch_results (same index) against
-  // the current partition state. The parallel and the serial loop compute
+  // Scores every slot in ids into batch_results (same index) against the
+  // current partition state. The parallel and the serial loop compute
   // identical results: scoring never reads the slot fields or threshold
   // statistics that applying a score mutates, and the state is frozen until
-  // the next assignment.
-  auto score_batch = [&]() {
-    batch_results.resize(batch_ids.size());
-    const PartitionSnapshot snap = state.snapshot();
-    if (pool && batch_ids.size() >= parallel_batch_min) {
+  // the next assignment — so the pool-vs-serial routing (and hence the
+  // adaptive cutoff) only moves throughput, never decisions.
+  auto score_batch = [&](const std::vector<std::uint32_t>& ids) {
+    batch_results.resize(ids.size());
+    if (ids.empty()) return;
+    ++report_.score_batches;
+    report_.batch_items += ids.size();
+    ++report_.batch_size_hist[std::min<std::size_t>(
+        std::bit_width(ids.size()) - 1, Report::kBatchHistBuckets - 1)];
+    const bool pooled =
+        pool && (ids.size() >= cutoff_ctl.cutoff() ||
+                 cutoff_ctl.probe(ids.size()));
+    std::chrono::nanoseconds batch_start{};
+    if (time_batches) batch_start = clock.now();
+    if (pooled) {
+      ++report_.pool_batches;
+      report_.pool_batch_items += ids.size();
+      const PartitionSnapshot snap = state.snapshot();
       pool->parallel_for(
-          batch_ids.size(),
-          [&](std::size_t begin, std::size_t end, unsigned slot) {
+          ids.size(), [&](std::size_t begin, std::size_t end, unsigned slot) {
             ScoreScratch& scratch = shard_scratch[slot];
             for (std::size_t i = begin; i < end; ++i) {
-              const std::uint32_t id = batch_ids[i];
+              const std::uint32_t id = ids[i];
               batch_results[i] = scorer.best_placement(
                   window.slot(id).edge, &window, id, snap, scratch);
             }
           });
       for (ScoreScratch& s : shard_scratch) scorer.absorb(s);
     } else {
-      for (std::size_t i = 0; i < batch_ids.size(); ++i) {
-        const std::uint32_t id = batch_ids[i];
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        const std::uint32_t id = ids[i];
         batch_results[i] =
             scorer.best_placement(window.slot(id).edge, &window, id);
       }
+    }
+    if (time_batches) {
+      cutoff_ctl.observe(ids.size(), pooled, clock.now() - batch_start);
     }
   };
 
@@ -199,6 +219,9 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   };
   std::vector<DrainPop> drain_walk;
   std::uint64_t last_sweep = 0;
+  // Self-adapting drain heuristics (budget + sweep interval) driven by the
+  // forced-secondary rate. Counter-based and deterministic.
+  DrainController drain_ctl(opts_);
 
   // Applies a computed placement to a slot and refreshes the candidate
   // threshold statistics — the single serial merge point of both the inline
@@ -230,10 +253,11 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
     aging.push_back({id, window.slot(id).score_version, round});
   };
 
-  // Scores a freshly inserted edge and routes it to the candidate or
-  // secondary set.
-  auto classify = [&](std::uint32_t id) {
-    rescore(id);
+  // Routes a freshly scored edge to the candidate or secondary set — the
+  // shared tail of the serial and the batched classify paths. Must run
+  // after the slot's score was applied (the threshold already observed it,
+  // exactly like the serial interleaving).
+  auto route_classified = [&](std::uint32_t id) {
     const bool high =
         !opts_.lazy_traversal ||
         window.slot(id).best_score > threshold.theta();
@@ -242,6 +266,91 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
       publish(id);
     } else if (heap_mode) {
       secondary.push(window, id);
+    }
+  };
+
+  // Scores a freshly inserted edge inline and routes it (BatchedRefill::kOff).
+  auto classify = [&](std::uint32_t id) {
+    rescore(id);
+    route_classified(id);
+  };
+
+  // Batched refill classification: the pending refill burst is scored as
+  // one (possibly parallel) batch, then scores, threshold observations and
+  // routing decisions are applied serially in insertion order — the exact
+  // order the serial classify interleaves them in.
+  std::vector<std::uint32_t> refill_ids;
+  auto classify_batch = [&]() {
+    if (refill_ids.empty()) return;
+    ++report_.refill_batches;
+    report_.refill_batch_items += refill_ids.size();
+    score_batch(refill_ids);
+    for (std::size_t i = 0; i < refill_ids.size(); ++i) {
+      apply_scored(refill_ids[i], batch_results[i]);
+      route_classified(refill_ids[i]);
+    }
+    refill_ids.clear();
+  };
+
+  // kExact conflict detection: epoch-stamped endpoint marks of the pending
+  // batch. An edge in the batch can only have its score changed by a
+  // batch-mate sharing an endpoint (CS reads the window neighborhood of its
+  // endpoints; the partition state is frozen during refill), so flushing
+  // the pending batch before inserting a conflicting edge keeps every
+  // score — and hence every decision — identical to serial classification.
+  std::vector<std::uint64_t> touch_epoch;
+  std::uint64_t touch_round = 1;  // 0 marks "never touched"
+  if (opts_.batched_refill == BatchedRefill::kExact) {
+    touch_epoch.assign(state.num_vertices(), 0);
+  }
+
+  // Refills the window up to the current size w (Algorithm 1 lines 5, 14).
+  auto refill = [&](Edge& incoming) {
+    const std::uint64_t w = controller.window_size();
+    switch (opts_.batched_refill) {
+      case BatchedRefill::kOff:
+        while (window.size() < w && stream.next(incoming)) {
+          classify(window.insert(incoming));
+        }
+        return;
+      case BatchedRefill::kExact:
+        while (window.size() < w && stream.next(incoming)) {
+          if (!refill_ids.empty() &&
+              (touch_epoch[incoming.u] == touch_round ||
+               touch_epoch[incoming.v] == touch_round)) {
+            classify_batch();
+            ++touch_round;
+          }
+          refill_ids.push_back(window.insert(incoming));
+          touch_epoch[incoming.u] = touch_round;
+          touch_epoch[incoming.v] = touch_round;
+        }
+        classify_batch();
+        ++touch_round;
+        return;
+      case BatchedRefill::kFull: {
+        // Hysteresis: only pull the next refill once a whole block has
+        // drained, so steady-state refills arrive as real batches instead
+        // of single edges. The effective window breathes in [w - block, w].
+        // A starved candidate set overrides the hysteresis: with no fresh
+        // high scorers arriving, every select until the next block would
+        // pay a full drain walk (measured as a ~2x rescore storm).
+        const double fraction =
+            std::clamp(opts_.refill_block_fraction, 0.0, 1.0);
+        const std::uint64_t block = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   static_cast<double>(w) * fraction));
+        const bool starved =
+            opts_.lazy_traversal && window.candidates().empty();
+        if (window.size() + block > w && !(starved && window.size() < w)) {
+          return;
+        }
+        while (window.size() < w && stream.next(incoming)) {
+          refill_ids.push_back(window.insert(incoming));
+        }
+        classify_batch();
+        return;
+      }
     }
   };
 
@@ -330,21 +439,44 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   auto select_heap = [&]() -> std::uint32_t {
     // Replica-change events since the last selection, batched and deduped:
     // affected candidates re-enter the heap with fresh scores, affected
-    // secondary slots get their (only) promotion check. The batch is scored
-    // in one (possibly parallel) sweep against the frozen state, then the
-    // scores are applied and the promotion decisions taken in push order —
-    // the order the serial loop used.
+    // secondary slots get their (only) promotion check. Overdue staleness
+    // refreshes from the aging queue join the same batch: the whole batch
+    // is scored in one (possibly parallel) sweep against the frozen state,
+    // then the scores are applied and the promotion decisions taken in push
+    // order — dirty slots first, aging entries second, the order the
+    // serial loop used.
     batch_ids.clear();
     for (const std::uint32_t id : dirty_slots) {
       const auto& s = window.slot(id);
       if (s.occupied && s.dirty) batch_ids.push_back(id);
     }
     dirty_slots.clear();
-    score_batch();
+    const std::size_t dirty_count = batch_ids.size();
+
+    // Staleness refresh: the aging queue is in scored_at order, so only the
+    // overdue prefix is touched. Interval floor 1: entries republished this
+    // round must not come due within the same select call. The validity
+    // check runs at collect time; excluding dirty slots keeps it exact —
+    // a slot in the dirty section gets its version bumped when the batch
+    // is applied, which is precisely the slots whose aging entries the
+    // serial interleaving would find superseded.
+    const std::uint64_t refresh =
+        std::max<std::uint64_t>(opts_.candidate_refresh_interval, 1);
+    while (!aging.empty() && round - aging.front().scored_at >= refresh) {
+      const AgingEntry age = aging.front();
+      aging.pop_front();
+      const auto& s = window.slot(age.slot);
+      if (s.occupied && window.is_candidate(age.slot) &&
+          s.score_version == age.version && !s.dirty) {
+        batch_ids.push_back(age.slot);
+      }
+    }
+
+    score_batch(batch_ids);
     for (std::size_t i = 0; i < batch_ids.size(); ++i) {
       const std::uint32_t id = batch_ids[i];
       apply_scored(id, batch_results[i]);
-      if (window.is_candidate(id)) {
+      if (i >= dirty_count || window.is_candidate(id)) {
         publish(id);
       } else if (window.slot(id).best_score > threshold.theta()) {
         window.set_candidate(id, true);
@@ -354,25 +486,10 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
       }
     }
 
-    // Staleness refresh: the aging queue is in scored_at order, so only the
-    // overdue prefix is touched. Interval floor 1: entries republished this
-    // round must not come due within the same select call.
-    const std::uint64_t refresh =
-        std::max<std::uint64_t>(opts_.candidate_refresh_interval, 1);
-    while (!aging.empty() && round - aging.front().scored_at >= refresh) {
-      const AgingEntry age = aging.front();
-      aging.pop_front();
-      const auto& s = window.slot(age.slot);
-      if (s.occupied && window.is_candidate(age.slot) &&
-          s.score_version == age.version) {
-        rescore(age.slot);
-        publish(age.slot);
-      }
-    }
-
     // Periodic demotion sweep: shed candidates that sank below Theta and
-    // compact both heaps' stale entries in one pass.
-    if (round - last_sweep >= opts_.demotion_sweep_interval ||
+    // compact both heaps' stale entries in one pass. The interval adapts
+    // with the forced-secondary rate (DrainController).
+    if (round - last_sweep >= drain_ctl.sweep_interval() ||
         heap.size() > 4 * window.candidates().size() + 64) {
       last_sweep = round;
       ++report_.demotion_sweeps;
@@ -424,10 +541,10 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
     double best_fresh_score = -std::numeric_limits<double>::infinity();
     std::uint64_t best_fresh_sequence = 0;
     std::uint64_t rescored = 0;
-    // Budget floor 1: with no rescore allowed the walk could end with
-    // neither a fresh slot nor a promotion and stall the stream.
-    const std::uint64_t drain_budget =
-        std::max<std::uint64_t>(opts_.drain_rescore_budget, 1);
+    // The budget adapts with the forced-secondary rate (DrainController,
+    // floor 1): with no rescore allowed the walk could end with neither a
+    // fresh slot nor a promotion and stall the stream.
+    const std::uint64_t drain_budget = drain_ctl.rescore_budget();
     bool promoted = false;
     drain_scratch.clear();  // popped slots to re-push when not returned
     drain_walk.clear();
@@ -451,7 +568,7 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
     for (const DrainPop& p : drain_walk) {
       if (p.stale) batch_ids.push_back(p.slot);
     }
-    score_batch();
+    score_batch(batch_ids);
     std::size_t stale_index = 0;
     for (const DrainPop& p : drain_walk) {
       if (p.stale) apply_scored(p.slot, batch_results[stale_index++]);
@@ -474,8 +591,13 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
     for (const std::uint32_t id : drain_scratch) {
       if (id != best_fresh || promoted) secondary.push(window, id);
     }
-    if (promoted) return heap.pop_valid(window, report_.heap_pops);
+    const bool budget_limited = over_budget_slot != EdgeWindow::npos;
+    if (promoted) {
+      drain_ctl.observe_drain(/*forced=*/false, budget_limited);
+      return heap.pop_valid(window, report_.heap_pops);
+    }
     if (best_fresh == EdgeWindow::npos) return EdgeWindow::npos;  // empty
+    drain_ctl.observe_drain(/*forced=*/true, budget_limited);
     ++report_.forced_secondary;
     return best_fresh;
   };
@@ -493,7 +615,7 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
       batch_ids.clear();
       window.for_each_slot(
           [&](std::uint32_t id) { batch_ids.push_back(id); });
-      score_batch();
+      score_batch(batch_ids);
       std::uint32_t best_slot = EdgeWindow::npos;
       double best_score = -std::numeric_limits<double>::infinity();
       std::uint64_t best_sequence = 0;
@@ -532,18 +654,17 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
 
   Edge incoming;
   while (true) {
-    // Refill the window up to the current size w (Algorithm 1 lines 5, 14).
-    while (window.size() < controller.window_size() &&
-           stream.next(incoming)) {
-      classify(window.insert(incoming));
-    }
+    refill(incoming);
 
     const std::uint32_t chosen = select();
     if (chosen == EdgeWindow::npos) break;
 
-    const Edge edge = window.slot(chosen).edge;
-    const PartitionId target = window.slot(chosen).best_partition;
-    const double chosen_score = window.slot(chosen).best_score;
+    // One slot lookup for all three reads; the values are copied out before
+    // remove() recycles the slot.
+    const EdgeWindow::Slot& chosen_slot = window.slot(chosen);
+    const Edge edge = chosen_slot.edge;
+    const PartitionId target = chosen_slot.best_partition;
+    const double chosen_score = chosen_slot.best_score;
     window.remove(chosen);
 
     const auto effect = state.assign(edge, target);
@@ -567,6 +688,11 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   report_.max_window = controller.max_window_reached();
   report_.adaptations = controller.adaptations();
   report_.final_lambda = scorer.lambda();
+  report_.final_batch_cutoff = cutoff_ctl.cutoff();
+  report_.batch_cutoff_adaptations = cutoff_ctl.adaptations();
+  report_.final_drain_budget = drain_ctl.rescore_budget();
+  report_.final_sweep_interval = drain_ctl.sweep_interval();
+  report_.drain_adaptations = drain_ctl.adaptations();
   report_.seconds = watch.elapsed_seconds();
   report_.window_trace = controller.trace();
 }

@@ -7,6 +7,8 @@
 // keeps score (re-)computations focused on the candidate set.
 #pragma once
 
+#include <array>
+
 #include "src/core/adaptive_controller.h"
 #include "src/core/options.h"
 #include "src/core/scoring.h"
@@ -45,6 +47,36 @@ class AdwisePartitioner final : public EdgePartitioner {
     std::uint64_t adaptations = 0;
     double final_lambda = 0.0;
     double seconds = 0.0;
+
+    // --- Batch scoring telemetry --------------------------------------------
+    // Every rescore that goes through a score_batch() pass (dirty batches,
+    // drain walks, eager rescans, batched refills) lands in one histogram
+    // bucket per batch: bucket i counts batches of size in [2^i, 2^(i+1)),
+    // the last bucket is open-ended.
+    static constexpr std::size_t kBatchHistBuckets = 16;
+    std::array<std::uint64_t, kBatchHistBuckets> batch_size_hist{};
+    std::uint64_t score_batches = 0;      // score_batch() passes (any size)
+    std::uint64_t batch_items = 0;        // items scored through batches
+    std::uint64_t pool_batches = 0;       // batches executed on the pool
+    std::uint64_t pool_batch_items = 0;   // items in pool-executed batches
+    std::uint64_t refill_batches = 0;     // batched refill classify passes
+    std::uint64_t refill_batch_items = 0; // edges classified via batches
+    // Self-adapting thresholds: the values the controllers settled on.
+    std::uint64_t final_batch_cutoff = 0;
+    std::uint64_t batch_cutoff_adaptations = 0;
+    std::uint64_t final_drain_budget = 0;
+    std::uint64_t final_sweep_interval = 0;
+    std::uint64_t drain_adaptations = 0;
+
+    // Share of all score computations that ran in pool-executed batches —
+    // the parallel fraction of the rescore hot path (inline single
+    // rescores and serially scored batches are the residue).
+    [[nodiscard]] double parallel_fraction() const {
+      if (score_computations == 0) return 0.0;
+      return static_cast<double>(pool_batch_items) /
+             static_cast<double>(score_computations);
+    }
+
     // Window size after each adaptation step (controller trajectory).
     std::vector<AdaptiveController::TracePoint> window_trace;
   };

@@ -21,6 +21,32 @@ enum class ScoringPath : std::uint8_t {
   kDense,
 };
 
+// How refill-time classification of freshly streamed edges is scored.
+// Serial classification (kOff) scores each inserted edge inline; the batched
+// modes collect a refill burst into one rescore batch so the parallel batch
+// scorer can fan it out — the lazy path's largest unclaimed batch source
+// (window-growth bursts insert w edges at once).
+enum class BatchedRefill : std::uint8_t {
+  // Classify every inserted edge inline before the next one is read.
+  kOff,
+  // Batch the burst, splitting at endpoint conflicts: an edge's score can
+  // only be changed by a batch-mate sharing an endpoint (the CS term reads
+  // the window neighborhood; the partition state is frozen during refill),
+  // so scoring endpoint-disjoint groups after inserting them and applying
+  // thresholds/routing in insertion order is provably decision-identical to
+  // kOff. The property matrix enforces the identity bit-for-bit.
+  kExact,
+  // Let the window drain by a block of refill_block_fraction * w edges,
+  // then insert and score the whole block against one snapshot. Steady-state
+  // refills become real batches (the lazy path's parallel fraction rises
+  // from a few percent to the refill share of rescore work), at the cost of
+  // decisions that may differ from kOff: the effective window breathes
+  // between (1 - refill_block_fraction) * w and w, and an edge's clustering
+  // score sees the whole block. Quality deltas are pinned within a
+  // tolerance band by tests.
+  kFull,
+};
+
 struct AdwiseOptions {
   // --- Latency preference (paper: L, §III-A) -------------------------------
   // Wall-clock budget for the whole partitioning pass, in milliseconds.
@@ -60,14 +86,28 @@ struct AdwiseOptions {
 
   // With heap selection, candidates scoring below the threshold Theta are
   // demoted in periodic sweeps every this many assignments (the linear path
-  // demotes every round). The sweep also compacts the heap.
+  // demotes every round). The sweep also compacts the heap. With
+  // adaptive_drain this is the starting point and floor of the adapted
+  // interval.
   std::uint64_t demotion_sweep_interval = 16;
 
   // With heap selection, a candidate-set drain walks the secondary set in
   // structural-score order and rescores at most this many stale slots
   // before settling for the fresh argmax (the linear path rescans all of
-  // Q on every drain).
+  // Q on every drain). With adaptive_drain this is the starting point and
+  // floor of the adapted budget.
   std::uint64_t drain_rescore_budget = 8;
+
+  // Adapt drain_rescore_budget and demotion_sweep_interval from the
+  // observed forced-secondary rate (DrainController): drains that keep
+  // ending without a promotion double the budget (rescore deeper into Q)
+  // and the sweep interval (stop churning the thin candidate set); a low
+  // forced rate decays both back toward the configured floors. The
+  // adaptation reads only decision counters — never the clock — so runs
+  // with identical options remain deterministic and serial/parallel
+  // identity is preserved. Disable to pin the configured constants
+  // (bit-identical to the pre-adaptive behavior).
+  bool adaptive_drain = true;
 
   // --- Parallel batch scoring ------------------------------------------------
   // Threads that score a rescore batch (dirty batches, drain walks, eager
@@ -78,9 +118,29 @@ struct AdwiseOptions {
   // PartitionSnapshot and the main thread applies all effects in serial
   // batch order (see "Parallel scoring" in scoring.h).
   std::uint32_t num_score_threads = 0;
-  // Batches smaller than this are scored on the calling thread even when a
-  // pool exists (fan-out overhead beats the win on tiny batches).
+  // Batches smaller than the current cutoff are scored on the calling
+  // thread even when a pool exists (fan-out overhead beats the win on tiny
+  // batches). This is the initial cutoff; with adaptive_batch_cutoff the
+  // BatchCutoffController moves it from measured batch timings.
   std::uint64_t parallel_batch_min = 16;
+  // Adapt the pool cutoff from the observed per-item scoring cost and
+  // per-batch fan-out overhead (EWMAs of measured batch timings, same
+  // feedback style as the §III-A window controller): the cutoff settles at
+  // the break-even batch size n* = overhead / (per_item * (1 - 1/slots)).
+  // Occasional sub-cutoff batches are routed to the pool as probes so the
+  // overhead estimate stays live. Decisions are unaffected either way —
+  // pool and serial scoring are bit-identical (snapshot-consistency
+  // invariant) — so this only moves throughput. Disable to pin
+  // parallel_batch_min for reproducible batch routing.
+  bool adaptive_batch_cutoff = true;
+  // kFull batched refill: the window drains by max(1, fraction * w) edges
+  // before the next refill block is pulled and batch-classified. Clamped to
+  // (0, 1]; larger blocks parallelize better but shrink the effective
+  // window floor. Ignored by kOff/kExact (they refill every assignment).
+  double refill_block_fraction = 0.25;
+  // Refill-time classification batching (see BatchedRefill). kExact is
+  // decision-identical to kOff and is the default.
+  BatchedRefill batched_refill = BatchedRefill::kExact;
 
   // --- Scoring (§III-C) ------------------------------------------------------
   // Adaptive balancing: lambda evolves per Eq. 4 within [lambda_min,

@@ -83,16 +83,25 @@ std::vector<Edge> ordered_edges(const Graph& graph, StreamOrder order,
   return {};
 }
 
+std::vector<std::size_t> chunk_sizes(std::size_t total, std::uint32_t z) {
+  std::vector<std::size_t> sizes;
+  if (z == 0) return sizes;
+  sizes.reserve(z);
+  const std::size_t base = total / z;
+  const std::size_t extra = total % z;
+  for (std::uint32_t i = 0; i < z; ++i) {
+    sizes.push_back(base + (i < extra ? 1 : 0));
+  }
+  return sizes;
+}
+
 std::vector<std::span<const Edge>> chunk_edges(std::span<const Edge> edges,
                                                std::uint32_t z) {
   std::vector<std::span<const Edge>> chunks;
   if (z == 0) return chunks;
   chunks.reserve(z);
-  const std::size_t base = edges.size() / z;
-  const std::size_t extra = edges.size() % z;
   std::size_t offset = 0;
-  for (std::uint32_t i = 0; i < z; ++i) {
-    const std::size_t len = base + (i < extra ? 1 : 0);
+  for (const std::size_t len : chunk_sizes(edges.size(), z)) {
     chunks.push_back(edges.subspan(offset, len));
     offset += len;
   }

@@ -78,6 +78,13 @@ enum class StreamOrder {
                                               StreamOrder order,
                                               std::uint64_t seed = 1);
 
+// Sizes of the z nearly equal contiguous chunks the parallel loading model
+// (§III-D) hands to its partitioner instances: total/z each, the first
+// total % z chunks one longer. chunk_edges() and the streaming spotlight
+// path derive their chunk boundaries from the same partition.
+[[nodiscard]] std::vector<std::size_t> chunk_sizes(std::size_t total,
+                                                   std::uint32_t z);
+
 // Splits edges into z nearly equal contiguous chunks (parallel loading model,
 // §III-D: each of the z partitioner instances streams one chunk).
 [[nodiscard]] std::vector<std::span<const Edge>> chunk_edges(

@@ -18,12 +18,80 @@ std::vector<PartitionId> spotlight_group(const SpotlightOptions& opts,
   return group;
 }
 
+namespace {
+
+// EdgeStream view over the next `limit` edges of a shared underlying
+// stream: each spotlight instance consumes exactly its chunk and leaves the
+// read head at the next chunk's first edge.
+class ChunkView final : public EdgeStream {
+ public:
+  ChunkView(EdgeStream& inner, std::size_t limit)
+      : inner_(&inner), remaining_(limit) {}
+
+  bool next(Edge& out) override {
+    if (remaining_ == 0 || !inner_->next(out)) return false;
+    --remaining_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size_hint() const override {
+    return std::min(remaining_, inner_->size_hint());
+  }
+
+ private:
+  EdgeStream* inner_;
+  std::size_t remaining_;
+};
+
+}  // namespace
+
+SpotlightResult run_spotlight(RewindableEdgeStream& stream,
+                              VertexId num_vertices,
+                              const PartitionerFactory& factory,
+                              const SpotlightOptions& opts) {
+  assert(opts.spread >= 1 && opts.spread <= opts.k);
+  assert(opts.num_partitioners >= 1);
+
+  SpotlightResult result(opts.k, num_vertices);
+  stream.rewind();
+  const auto sizes = chunk_sizes(stream.size_hint(), opts.num_partitioners);
+
+  for (std::uint32_t i = 0; i < opts.num_partitioners; ++i) {
+    const auto group = spotlight_group(opts, i);
+    auto partitioner = factory(i, opts.spread);
+    PartitionState local(opts.spread, num_vertices);
+    ChunkView view(stream, sizes[i]);
+    const std::size_t begin = result.assignments.size();
+    Stopwatch watch;
+    partitioner->partition(view, local,
+                           [&](const Edge& e, PartitionId local_p) {
+                             result.assignments.push_back({e, group[local_p]});
+                           });
+    const double seconds = watch.elapsed_seconds();
+    result.instance_seconds.push_back(seconds);
+    result.wall_seconds = std::max(result.wall_seconds, seconds);
+    // Deterministic merge in instance order, outside the timed region like
+    // the span overload; the merged state is the global view used for
+    // quality metrics and by the processing engine.
+    for (std::size_t j = begin; j < result.assignments.size(); ++j) {
+      result.merged.assign(result.assignments[j].edge,
+                           result.assignments[j].partition);
+    }
+  }
+  return result;
+}
+
 SpotlightResult run_spotlight(std::span<const Edge> edges,
                               VertexId num_vertices,
                               const PartitionerFactory& factory,
                               const SpotlightOptions& opts) {
   assert(opts.spread >= 1 && opts.spread <= opts.k);
   assert(opts.num_partitioners >= 1);
+
+  if (!opts.run_threads) {
+    VectorEdgeStream stream(edges);
+    return run_spotlight(stream, num_vertices, factory, opts);
+  }
 
   SpotlightResult result(opts.k, num_vertices);
   const auto chunks = chunk_edges(edges, opts.num_partitioners);
@@ -49,18 +117,12 @@ SpotlightResult run_spotlight(std::span<const Edge> edges,
     out.seconds = watch.elapsed_seconds();
   };
 
-  if (opts.run_threads) {
-    std::vector<std::thread> threads;
-    threads.reserve(opts.num_partitioners);
-    for (std::uint32_t i = 0; i < opts.num_partitioners; ++i) {
-      threads.emplace_back(run_instance, i);
-    }
-    for (auto& t : threads) t.join();
-  } else {
-    for (std::uint32_t i = 0; i < opts.num_partitioners; ++i) {
-      run_instance(i);
-    }
+  std::vector<std::thread> threads;
+  threads.reserve(opts.num_partitioners);
+  for (std::uint32_t i = 0; i < opts.num_partitioners; ++i) {
+    threads.emplace_back(run_instance, i);
   }
+  for (auto& t : threads) t.join();
 
   // Deterministic merge in instance order; the merged state is the global
   // view used for quality metrics and by the processing engine.

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "src/graph/edge_stream.h"
 #include "src/partition/partitioner.h"
 
 namespace adwise {
@@ -52,6 +53,22 @@ struct SpotlightResult {
 [[nodiscard]] std::vector<PartitionId> spotlight_group(
     const SpotlightOptions& opts, std::uint32_t instance);
 
+// Streaming parallel loading: rewinds the stream once and feeds each
+// instance its contiguous chunk (chunk_sizes of size_hint) through a
+// bounded view of the shared read head, so .adw / text streams are
+// consumed without densifying the edge list. Instances necessarily run
+// sequentially here — one stream has one read position — but the reported
+// wall latency keeps the paper's cluster-model meaning (max over
+// per-instance latencies) either way; run_threads only affects the span
+// overload, which can share its storage across threads.
+[[nodiscard]] SpotlightResult run_spotlight(RewindableEdgeStream& stream,
+                                            VertexId num_vertices,
+                                            const PartitionerFactory& factory,
+                                            const SpotlightOptions& opts);
+
+// In-memory overload. Without run_threads it delegates to the stream
+// overload through a VectorEdgeStream view; with run_threads it executes
+// the instances on real threads over per-chunk spans.
 [[nodiscard]] SpotlightResult run_spotlight(std::span<const Edge> edges,
                                             VertexId num_vertices,
                                             const PartitionerFactory& factory,

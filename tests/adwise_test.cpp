@@ -279,6 +279,31 @@ TEST(AdwiseTest, ReportCountsAreCoherent) {
   EXPECT_LE(out.report.final_lambda, 5.0);
 }
 
+TEST(AdwiseTest, BatchTelemetryIsCoherent) {
+  const Graph g = make_community_graph({.num_communities = 30, .seed = 4});
+  const RunOutput out = run_adwise(g, 8, fixed_window(32));
+  const auto& r = out.report;
+  // Every batch lands in exactly one histogram bucket.
+  std::uint64_t hist_total = 0;
+  for (const std::uint64_t b : r.batch_size_hist) hist_total += b;
+  EXPECT_EQ(hist_total, r.score_batches);
+  // Batch-scored items are a subset of all score computations; pool items
+  // a subset of batch items; refill items (kExact default batches every
+  // refill) cover exactly the streamed edges.
+  EXPECT_LE(r.batch_items, r.score_computations);
+  EXPECT_LE(r.pool_batch_items, r.batch_items);
+  EXPECT_EQ(r.refill_batch_items, g.num_edges());
+  EXPECT_LE(r.refill_batch_items, r.batch_items);
+  EXPECT_GE(r.parallel_fraction(), 0.0);
+  EXPECT_LE(r.parallel_fraction(), 1.0);
+  // Serial run: nothing may have been routed to a pool.
+  EXPECT_EQ(r.pool_batches, 0u);
+  // Adapted thresholds are reported and respect their floors.
+  EXPECT_GE(r.final_drain_budget, 1u);
+  EXPECT_GE(r.final_sweep_interval, 1u);
+  EXPECT_GE(r.final_batch_cutoff, 2u);
+}
+
 TEST(AdwiseTest, HandlesGraphWithIsolatedVertices) {
   // Vertices 50..99 have no edges; the window index must simply never see
   // them and metrics must ignore them.

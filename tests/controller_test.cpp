@@ -182,5 +182,165 @@ TEST(ControllerTest, MaxWindowReachedIsTracked) {
   EXPECT_EQ(ctrl.max_window_reached(), 8u);
 }
 
+// --- BatchCutoffController -----------------------------------------------------------
+
+using std::chrono::nanoseconds;
+
+TEST(BatchCutoffTest, DisabledPinsConfiguredCutoff) {
+  AdwiseOptions opts;
+  opts.adaptive_batch_cutoff = false;
+  opts.parallel_batch_min = 24;
+  BatchCutoffController ctl(opts, /*slots=*/4);
+  EXPECT_EQ(ctl.cutoff(), 24u);
+  EXPECT_FALSE(ctl.probe(8));
+  for (int i = 0; i < 100; ++i) {
+    ctl.observe(8, /*pooled=*/false, nanoseconds(8'000));
+    ctl.observe(64, /*pooled=*/true, nanoseconds(40'000));
+  }
+  EXPECT_EQ(ctl.cutoff(), 24u);
+  EXPECT_EQ(ctl.adaptations(), 0u);
+}
+
+TEST(BatchCutoffTest, SettlesAtBreakEvenBatchSize) {
+  AdwiseOptions opts;  // adaptive by default, parallel_batch_min = 16
+  BatchCutoffController ctl(opts, /*slots=*/4);
+  // Synthetic cost model: 1000 ns per item serially; the pool pays a
+  // 6000 ns fan-out on top of perfectly parallel scoring. Break-even:
+  // n* = 6000 / (1000 * (1 - 1/4)) = 8.
+  for (int i = 0; i < 200; ++i) {
+    ctl.observe(10, /*pooled=*/false, nanoseconds(10'000));
+    ctl.observe(64, /*pooled=*/true, nanoseconds(6'000 + 64'000 / 4));
+  }
+  EXPECT_EQ(ctl.cutoff(), 8u);
+  EXPECT_GT(ctl.adaptations(), 0u);
+}
+
+TEST(BatchCutoffTest, ExpensiveFanOutRaisesCutoff) {
+  AdwiseOptions opts;
+  BatchCutoffController ctl(opts, /*slots=*/4);
+  // 100 ns per item, 60 us fan-out: n* = 60000 / 75 = 800 — pooling tiny
+  // batches on this host would be a loss and the cutoff says so.
+  for (int i = 0; i < 200; ++i) {
+    ctl.observe(10, /*pooled=*/false, nanoseconds(1'000));
+    ctl.observe(64, /*pooled=*/true, nanoseconds(60'000 + 6'400 / 4));
+  }
+  EXPECT_EQ(ctl.cutoff(), 800u);
+}
+
+TEST(BatchCutoffTest, ZeroElapsedSamplesAreIgnored) {
+  AdwiseOptions opts;
+  BatchCutoffController ctl(opts, /*slots=*/4);
+  // FakeClock regime: every timing reads zero; the cutoff must not move.
+  for (int i = 0; i < 300; ++i) {
+    ctl.observe(8, /*pooled=*/false, nanoseconds(0));
+    ctl.observe(64, /*pooled=*/true, nanoseconds(0));
+  }
+  EXPECT_EQ(ctl.cutoff(), 16u);
+  EXPECT_EQ(ctl.adaptations(), 0u);
+}
+
+TEST(BatchCutoffTest, ProbesSubCutoffBatchesPeriodically) {
+  AdwiseOptions opts;
+  BatchCutoffController ctl(opts, /*slots=*/4);
+  int probes = 0;
+  for (int i = 0; i < 640; ++i) {
+    if (ctl.probe(8)) ++probes;
+  }
+  EXPECT_EQ(probes, 10);  // every 64th sub-cutoff batch
+  // Batches at or above the cutoff never need a probe, nor do singletons.
+  EXPECT_FALSE(ctl.probe(16));
+  EXPECT_FALSE(ctl.probe(1));
+}
+
+// --- DrainController -----------------------------------------------------------------
+
+namespace {
+
+AdwiseOptions drain_opts(bool adaptive) {
+  AdwiseOptions opts;
+  opts.adaptive_drain = adaptive;
+  opts.drain_rescore_budget = 8;
+  opts.demotion_sweep_interval = 16;
+  return opts;
+}
+
+// Feeds one full decision period (64 drains) with the given forced /
+// budget-limited pattern.
+void feed_period(DrainController& ctl, int forced, int limited) {
+  for (int i = 0; i < 64; ++i) {
+    ctl.observe_drain(i < forced, i < limited);
+  }
+}
+
+}  // namespace
+
+TEST(DrainControllerTest, DisabledPinsConfiguredValues) {
+  DrainController ctl(drain_opts(false));
+  feed_period(ctl, 64, 64);
+  feed_period(ctl, 64, 64);
+  EXPECT_EQ(ctl.rescore_budget(), 8u);
+  EXPECT_EQ(ctl.sweep_interval(), 16u);
+  EXPECT_EQ(ctl.adaptations(), 0u);
+}
+
+TEST(DrainControllerTest, KeepsGrowthThatReducesForcedRate) {
+  DrainController ctl(drain_opts(true));
+  // Starved and budget-limited: the controller trials a doubled budget.
+  feed_period(ctl, 60, 60);
+  EXPECT_EQ(ctl.rescore_budget(), 16u);
+  EXPECT_EQ(ctl.sweep_interval(), 32u);
+  // The trial pays off (forced rate halves): the growth sticks.
+  feed_period(ctl, 30, 30);
+  EXPECT_EQ(ctl.rescore_budget(), 16u);
+  EXPECT_EQ(ctl.adaptations(), 1u);
+}
+
+TEST(DrainControllerTest, RevertsGrowthThatDoesNotPayOff) {
+  DrainController ctl(drain_opts(true));
+  feed_period(ctl, 60, 60);
+  EXPECT_EQ(ctl.rescore_budget(), 16u);
+  // Forced rate barely moves: restore the floor and back off.
+  feed_period(ctl, 56, 56);
+  EXPECT_EQ(ctl.rescore_budget(), 8u);
+  EXPECT_EQ(ctl.sweep_interval(), 16u);
+  // Cooldown: the next starved periods do not immediately re-trial.
+  feed_period(ctl, 60, 60);
+  EXPECT_EQ(ctl.rescore_budget(), 8u);
+}
+
+TEST(DrainControllerTest, ThetaLimitedDrainsNeverGrow) {
+  DrainController ctl(drain_opts(true));
+  // All forced but none budget-limited (the walk ran the heap dry): a
+  // bigger budget cannot help, so no trial fires.
+  for (int i = 0; i < 10; ++i) feed_period(ctl, 64, 0);
+  EXPECT_EQ(ctl.rescore_budget(), 8u);
+  EXPECT_EQ(ctl.adaptations(), 0u);
+}
+
+TEST(DrainControllerTest, GrowthIsCappedAtFourTimesFloor) {
+  DrainController ctl(drain_opts(true));
+  // Every trial halves the forced rate, so every doubling sticks — but
+  // growth stops at 4x the configured floor.
+  feed_period(ctl, 64, 64);
+  feed_period(ctl, 32, 32);  // keep 16
+  feed_period(ctl, 32, 32);  // trial 32
+  feed_period(ctl, 16, 16);  // keep 32
+  feed_period(ctl, 16, 16);  // at cap: no further trial
+  feed_period(ctl, 16, 16);
+  EXPECT_EQ(ctl.rescore_budget(), 32u);
+  EXPECT_EQ(ctl.sweep_interval(), 64u);
+}
+
+TEST(DrainControllerTest, LowForcedRateDecaysTowardFloors) {
+  DrainController ctl(drain_opts(true));
+  feed_period(ctl, 64, 64);
+  feed_period(ctl, 30, 30);  // keep 16 / 32
+  EXPECT_EQ(ctl.rescore_budget(), 16u);
+  // Healthy stretch (<= 12.5% forced): decay back to the floors.
+  feed_period(ctl, 4, 0);
+  EXPECT_EQ(ctl.rescore_budget(), 8u);
+  EXPECT_EQ(ctl.sweep_interval(), 16u);
+}
+
 }  // namespace
 }  // namespace adwise

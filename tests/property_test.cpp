@@ -373,6 +373,141 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.k);
     });
 
+// --- Batched refill classification: decision identity and quality band -------------
+//
+// BatchedRefill::kExact batches each refill burst, splitting at endpoint
+// conflicts, so every edge's clustering neighborhood — the only score input
+// a batch-mate could perturb — matches what serial classification saw; the
+// scores are applied and routed in insertion order. It must therefore be
+// bit-identical to kOff for any thread count, including across adaptive
+// window growth (whose bursts are the batches worth pooling).
+// BatchedRefill::kFull trades the identity for refill hysteresis; its
+// replication degree must stay within 2% of kOff.
+
+struct BatchedRefillCase {
+  std::string graph;  // "rmat" (skewed) or "ba" (power-law tail)
+  std::uint32_t threads = 0;
+  std::uint32_t k = 32;
+  bool adaptive_window = true;
+};
+
+class BatchedRefillTest : public ::testing::TestWithParam<BatchedRefillCase> {
+ protected:
+  static Graph graph_for(const std::string& name) {
+    if (name == "rmat") {
+      return make_rmat({.scale = 10, .num_edges = 4000, .seed = 21});
+    }
+    return make_barabasi_albert(900, 4, 23);
+  }
+
+  struct Run {
+    std::vector<Assignment> assignments;
+    double replication = 0.0;
+    AdwisePartitioner::Report report;
+  };
+
+  static Run run(const Graph& graph, const BatchedRefillCase& c,
+                 BatchedRefill refill, std::uint32_t threads) {
+    AdwiseOptions opts;
+    opts.adaptive_window = c.adaptive_window;
+    opts.initial_window = c.adaptive_window ? 1 : 32;
+    opts.max_window = 256;
+    opts.lazy_traversal = true;
+    opts.batched_refill = refill;
+    opts.num_score_threads = threads;
+    // Pin the pool routing so every thread count exercises the pool; the
+    // adaptive cutoff is timing-driven and must not (and does not) change
+    // decisions, but pinning keeps the pool engaged deterministically.
+    opts.parallel_batch_min = 2;
+    opts.adaptive_batch_cutoff = false;
+    AdwisePartitioner partitioner(opts);
+    PartitionState state(c.k, graph.num_vertices());
+    const auto edges = ordered_edges(graph, StreamOrder::kShuffled, 13);
+    VectorEdgeStream stream(edges);
+    Run out;
+    partitioner.partition(stream, state,
+                          [&](const Edge& e, PartitionId p) {
+                            out.assignments.push_back({e, p});
+                          });
+    out.replication = state.replication_degree();
+    out.report = partitioner.last_report();
+    return out;
+  }
+};
+
+TEST_P(BatchedRefillTest, ExactIsBitIdenticalToOff) {
+  const auto& c = GetParam();
+  const Graph graph = graph_for(c.graph);
+  const Run off = run(graph, c, BatchedRefill::kOff, /*threads=*/0);
+  const Run exact = run(graph, c, BatchedRefill::kExact, c.threads);
+
+  ASSERT_EQ(off.assignments.size(), graph.num_edges());
+  ASSERT_EQ(exact.assignments.size(), off.assignments.size());
+  for (std::size_t i = 0; i < off.assignments.size(); ++i) {
+    ASSERT_EQ(exact.assignments[i], off.assignments[i])
+        << "diverged at assignment " << i << " with " << c.threads
+        << " threads";
+  }
+  EXPECT_DOUBLE_EQ(exact.replication, off.replication);
+  // The full decision trace matches: same scores computed, same heap
+  // traffic, same drains — batching only changed when scores were
+  // computed, never which.
+  EXPECT_EQ(exact.report.score_computations, off.report.score_computations);
+  EXPECT_EQ(exact.report.heap_pops, off.report.heap_pops);
+  EXPECT_EQ(exact.report.forced_secondary, off.report.forced_secondary);
+  EXPECT_EQ(exact.report.final_drain_budget, off.report.final_drain_budget);
+  // The exact mode actually routed the refills through batches.
+  EXPECT_EQ(exact.report.refill_batch_items, graph.num_edges());
+  EXPECT_EQ(off.report.refill_batch_items, 0u);
+}
+
+TEST_P(BatchedRefillTest, FullStaysInsideQualityBand) {
+  const auto& c = GetParam();
+  const Graph graph = graph_for(c.graph);
+  const Run off = run(graph, c, BatchedRefill::kOff, /*threads=*/0);
+  const Run full = run(graph, c, BatchedRefill::kFull, c.threads);
+
+  ASSERT_EQ(full.assignments.size(), off.assignments.size());
+  EXPECT_EQ(full.report.refill_batch_items, graph.num_edges());
+  // Hysteresis may change decisions; replication must stay within 2%.
+  EXPECT_LE(full.replication, off.replication * 1.02);
+  EXPECT_GE(full.replication, off.replication * 0.98);
+}
+
+TEST_P(BatchedRefillTest, FullIsThreadCountInvariant) {
+  const auto& c = GetParam();
+  const Graph graph = graph_for(c.graph);
+  const Run serial = run(graph, c, BatchedRefill::kFull, /*threads=*/0);
+  const Run parallel = run(graph, c, BatchedRefill::kFull, c.threads);
+  ASSERT_EQ(serial.assignments.size(), parallel.assignments.size());
+  for (std::size_t i = 0; i < serial.assignments.size(); ++i) {
+    ASSERT_EQ(parallel.assignments[i], serial.assignments[i])
+        << "kFull diverged across thread counts at assignment " << i;
+  }
+}
+
+std::vector<BatchedRefillCase> batched_refill_cases() {
+  std::vector<BatchedRefillCase> cases;
+  for (const char* graph : {"rmat", "ba"}) {
+    for (const std::uint32_t threads : {1u, 2u, 8u}) {
+      for (const std::uint32_t k : {4u, 32u, 100u}) {
+        cases.push_back({graph, threads, k, /*adaptive_window=*/true});
+      }
+    }
+    // One fixed-window case per graph: steady-state single-edge refills.
+    cases.push_back({graph, 2u, 32u, /*adaptive_window=*/false});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, BatchedRefillTest, ::testing::ValuesIn(batched_refill_cases()),
+    [](const ::testing::TestParamInfo<BatchedRefillCase>& info) {
+      return info.param.graph + "_t" + std::to_string(info.param.threads) +
+             "_k" + std::to_string(info.param.k) +
+             (info.param.adaptive_window ? "_grow" : "_fixed");
+    });
+
 // --- HDRF sparse vs. dense ----------------------------------------------------------
 
 class HdrfSparseVsDenseTest : public ::testing::TestWithParam<std::uint32_t> {

@@ -2,7 +2,12 @@
 // correctness, and the replication-vs-spread property of Fig. 8.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "src/graph/generators.h"
+#include "src/io/adw_format.h"
+#include "src/io/binary_stream.h"
 #include "src/partition/registry.h"
 #include "src/partition/spotlight.h"
 
@@ -128,6 +133,61 @@ TEST(SpotlightRunTest, MoreInstancesThanEdges) {
                                     factory_for("hash"), opts);
   EXPECT_EQ(result.assignments.size(), 3u);
   EXPECT_EQ(result.instance_seconds.size(), 8u);
+}
+
+// --- Streaming overload (§III-D parallel loading without densifying) ---------------
+
+TEST(SpotlightStreamTest, StreamOverloadMatchesSpan) {
+  const Graph g = make_community_graph({.num_communities = 40, .seed = 9});
+  SpotlightOptions opts{.k = 16, .num_partitioners = 4, .spread = 4};
+  const auto from_span = run_spotlight(g.edges(), g.num_vertices(),
+                                       factory_for("hdrf"), opts);
+  VectorEdgeStream stream(g.edges());
+  const auto from_stream = run_spotlight(stream, g.num_vertices(),
+                                         factory_for("hdrf"), opts);
+  ASSERT_EQ(from_stream.assignments.size(), from_span.assignments.size());
+  for (std::size_t i = 0; i < from_span.assignments.size(); ++i) {
+    EXPECT_EQ(from_stream.assignments[i], from_span.assignments[i])
+        << "diverged at assignment " << i;
+  }
+  EXPECT_DOUBLE_EQ(from_stream.merged.replication_degree(),
+                   from_span.merged.replication_degree());
+  EXPECT_EQ(from_stream.instance_seconds.size(), 4u);
+}
+
+TEST(SpotlightStreamTest, RewindsBeforeChunking) {
+  const Graph g = make_erdos_renyi(200, 1500, 5);
+  SpotlightOptions opts{.k = 8, .num_partitioners = 4, .spread = 2};
+  VectorEdgeStream stream(g.edges());
+  // Partially consume the stream first; run_spotlight must rewind and see
+  // every edge exactly once.
+  Edge e;
+  for (int i = 0; i < 100; ++i) stream.next(e);
+  const auto result = run_spotlight(stream, g.num_vertices(),
+                                    factory_for("hash"), opts);
+  EXPECT_EQ(result.assignments.size(), g.num_edges());
+  EXPECT_EQ(result.merged.assigned_edges(), g.num_edges());
+}
+
+TEST(SpotlightStreamTest, AdwBinaryStreamMatchesInMemory) {
+  const Graph g = make_community_graph({.num_communities = 30, .seed = 17});
+  const std::string path = "spotlight_stream_test.adw";
+  write_adw_file(path, g.edges());
+  SpotlightOptions opts{.k = 16, .num_partitioners = 4, .spread = 4};
+  const auto in_memory = run_spotlight(g.edges(), g.num_vertices(),
+                                       factory_for("hdrf"), opts);
+  BinaryEdgeStream stream(path, BinaryEdgeStream::Options{
+                                    .chunk_edges = 512, .prefetch = true});
+  const auto out_of_core = run_spotlight(stream, g.num_vertices(),
+                                         factory_for("hdrf"), opts);
+  std::remove(path.c_str());
+  ASSERT_EQ(out_of_core.assignments.size(), in_memory.assignments.size());
+  for (std::size_t i = 0; i < in_memory.assignments.size(); ++i) {
+    ASSERT_EQ(out_of_core.assignments[i], in_memory.assignments[i])
+        << "out-of-core spotlight diverged at assignment " << i;
+  }
+  EXPECT_DOUBLE_EQ(out_of_core.merged.replication_degree(),
+                   in_memory.merged.replication_degree());
 }
 
 // The Fig. 8 property: for a clustered graph, smaller spread means lower

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Bench guardrails over bench_micro_partitioners (and optionally
-bench_ablation_io) JSON output.
+bench_ablation_io / bench_ablation_lazy) JSON output.
 
 Enforced (build fails):
   * sparse-vs-dense: BM_Adwise/w64_lazy must hold >= 1.5x the edges/second
@@ -19,15 +19,25 @@ Enforced (build fails):
     most ~20% of the in-memory edge rate (measures ~0.82-0.91x even on a
     single core, where the prefetch worker cannot overlap; the pread copy
     overlaps decode fully on multi-core runners).
+  * lazy batching (only when the lazy JSON is given):
+      - the structural parallel fraction of the pinned-cutoff capture
+        (BM_LazyBatch/w256_exact_mt4_pin8) must be >= 0.30: the share of
+        rescore work arriving in pool batches is a counter, deterministic
+        per workload, so this gates the batch structure itself, not the
+        host (measures ~0.69; the PR-2 state was ~0.03).
+      - batched refill must stay nearly free when serial:
+        BM_LazyBatch/w256_exact >= 0.85x BM_LazyBatch/w256_off.
+      - lazy end-to-end mt4, only under ADWISE_ENFORCE_MT_SPEEDUP=1 on
+        >= 4 CPUs: the best batched mt4 capture must hold >= 1.3x
+        BM_LazyBatch/w256_off.
 
-Recorded (printed, never fails): the lazy-path parallel ratios, the text
+Recorded (printed, never fails): the lazy parallel fractions and adapted
+thresholds of every capture, the lazy mt ratios on small hosts, the text
 and non-prefetching binary stream ratios, and the end-to-end HDRF /
-2-pass-restream out-of-core ratios. After PR 1 the lazy heap leaves only a
-few percent of its scoring work in batches large enough to parallelize
-(~3.5 rescores per assignment), so the lazy mt captures document the
-Amdahl reality rather than gate on it.
+2-pass-restream out-of-core ratios.
 
 Usage: check_bench_guardrail.py <bench.json> [<io_bench.json>]
+                                [--lazy <lazy_bench.json>]
 """
 
 import json
@@ -38,10 +48,13 @@ SPARSE_MIN_SPEEDUP = 1.5
 MT_MIN_SPEEDUP = 1.8
 MT_MIN_CPUS = 4
 IO_MIN_RATIO = 0.8
+LAZY_MT_MIN_SPEEDUP = 1.3
+LAZY_MIN_PARALLEL_FRACTION = 0.30
+LAZY_SERIAL_MIN_RATIO = 0.85
 
 
-def items_per_second(benchmarks, name):
-    """Best items_per_second for a benchmark name, honoring aggregates.
+def field(benchmarks, name, key):
+    """Best value of a per-benchmark field, honoring aggregates.
 
     Multithreaded captures carry a "/real_time" suffix (UseRealTime), and
     with --benchmark_report_aggregates_only the entries are name_mean /
@@ -50,10 +63,90 @@ def items_per_second(benchmarks, name):
     for variant in (name, name + "/real_time"):
         for suffix in ("_median", "_mean", ""):
             for b in benchmarks:
-                if b.get("name") == variant + suffix and \
-                        "items_per_second" in b:
-                    return b["items_per_second"]
+                if b.get("name") == variant + suffix and key in b:
+                    return b[key]
     return None
+
+
+def items_per_second(benchmarks, name):
+    return field(benchmarks, name, "items_per_second")
+
+
+def check_lazy(path, failures):
+    """Lazy-path batching guardrails over bench_ablation_lazy JSON output."""
+    with open(path) as f:
+        benchmarks = json.load(f)["benchmarks"]
+
+    def speedup(fast, slow):
+        a = items_per_second(benchmarks, fast)
+        b = items_per_second(benchmarks, slow)
+        if a is None or b is None or b == 0:
+            return None
+        return a / b
+
+    captures = [
+        "BM_LazyBatch/w256_off", "BM_LazyBatch/w256_off_mt4",
+        "BM_LazyBatch/w256_exact", "BM_LazyBatch/w256_exact_mt4",
+        "BM_LazyBatch/w256_full", "BM_LazyBatch/w256_full_mt4",
+        "BM_LazyBatch/grow_exact", "BM_LazyBatch/grow_exact_mt4",
+        "BM_LazyBatch/w256_exact_mt4_pin16",
+        "BM_LazyBatch/w256_exact_mt4_pin8",
+        "BM_LazyBatch/w256_full_mt4_pin8",
+    ]
+    for name in captures:
+        frac = field(benchmarks, name, "parallel_fraction")
+        if frac is None:
+            continue
+        cutoff = field(benchmarks, name, "final_cutoff")
+        budget = field(benchmarks, name, "drain_budget")
+        print(f"lazy {name.split('/')[-1]}: parallel_fraction={frac:.3f} "
+              f"cutoff={cutoff:.0f} drain_budget={budget:.0f}")
+
+    frac = field(benchmarks, "BM_LazyBatch/w256_exact_mt4_pin8",
+                 "parallel_fraction")
+    if frac is None:
+        failures.append("missing BM_LazyBatch/w256_exact_mt4_pin8 results")
+    else:
+        print(f"lazy structural parallel fraction (exact, pinned cutoff 8): "
+              f"{frac:.3f} (required >= {LAZY_MIN_PARALLEL_FRACTION})")
+        if frac < LAZY_MIN_PARALLEL_FRACTION:
+            failures.append(
+                f"lazy parallel fraction regressed: {frac:.3f} < "
+                f"{LAZY_MIN_PARALLEL_FRACTION}")
+
+    serial = speedup("BM_LazyBatch/w256_exact", "BM_LazyBatch/w256_off")
+    if serial is None:
+        failures.append("missing BM_LazyBatch w256_exact / w256_off results")
+    else:
+        print(f"lazy batched-refill serial cost (exact vs off): "
+              f"{serial:.2f}x (required >= {LAZY_SERIAL_MIN_RATIO}x)")
+        if serial < LAZY_SERIAL_MIN_RATIO:
+            failures.append(
+                f"batched refill too expensive serially: {serial:.2f}x < "
+                f"{LAZY_SERIAL_MIN_RATIO}x of w256_off")
+
+    cpus = os.cpu_count() or 1
+    best_mt = None
+    for name in ("BM_LazyBatch/w256_exact_mt4", "BM_LazyBatch/w256_full_mt4"):
+        s = speedup(name, "BM_LazyBatch/w256_off")
+        if s is not None:
+            print(f"lazy mt4 speedup ({name.split('/')[-1]} vs w256_off): "
+                  f"{s:.2f}x")
+            best_mt = s if best_mt is None else max(best_mt, s)
+    if best_mt is not None:
+        enforced = (os.environ.get("ADWISE_ENFORCE_MT_SPEEDUP") == "1"
+                    and cpus >= MT_MIN_CPUS)
+        if enforced:
+            note = f"(required >= {LAZY_MT_MIN_SPEEDUP}x)"
+        elif cpus < MT_MIN_CPUS:
+            note = "(recorded only: < 4 cpus)"
+        else:
+            note = "(recorded only: set ADWISE_ENFORCE_MT_SPEEDUP=1 to gate)"
+        print(f"lazy mt4 best speedup: {best_mt:.2f}x on {cpus} cpus {note}")
+        if enforced and best_mt < LAZY_MT_MIN_SPEEDUP:
+            failures.append(
+                f"lazy mt4 speedup too low: {best_mt:.2f}x < "
+                f"{LAZY_MT_MIN_SPEEDUP}x on {cpus} cpus")
 
 
 def check_io(path, failures):
@@ -96,10 +189,19 @@ def check_io(path, failures):
 
 
 def main():
-    if len(sys.argv) not in (2, 3):
+    args = sys.argv[1:]
+    lazy_path = None
+    if "--lazy" in args:
+        i = args.index("--lazy")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        lazy_path = args[i + 1]
+        del args[i:i + 2]
+    if len(args) not in (1, 2):
         print(__doc__, file=sys.stderr)
         return 2
-    with open(sys.argv[1]) as f:
+    with open(args[0]) as f:
         benchmarks = json.load(f)["benchmarks"]
 
     def speedup(fast, slow):
@@ -151,8 +253,10 @@ def main():
         if s is not None:
             print(f"{label}: {s:.2f}x")
 
-    if len(sys.argv) == 3:
-        check_io(sys.argv[2], failures)
+    if len(args) == 2:
+        check_io(args[1], failures)
+    if lazy_path is not None:
+        check_lazy(lazy_path, failures)
 
     if failures:
         for f in failures:

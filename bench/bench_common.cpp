@@ -65,6 +65,8 @@ PartitionRun run_partition(const Graph& graph, const Strategy& strategy,
   opts.k = config.k;
   opts.num_partitioners = config.z;
   opts.spread = config.spread;
+  opts.run_threads = config.run_threads;
+  opts.on_instance_done = config.on_instance_done;
   auto result =
       run_spotlight(edges, graph.num_vertices(), strategy.factory, opts);
   PartitionRun run;
@@ -72,6 +74,7 @@ PartitionRun run_partition(const Graph& graph, const Strategy& strategy,
   run.seconds = result.wall_seconds;
   run.replication = result.merged.replication_degree();
   run.imbalance = result.merged.imbalance();
+  run.instance_seconds = std::move(result.instance_seconds);
   run.assignments = std::move(result.assignments);
   return run;
 }

@@ -48,6 +48,11 @@ struct LoadingConfig {
   std::uint32_t spread = 4;  // spotlight spread (k/z: disjoint groups)
   StreamOrder order = StreamOrder::kNatural;
   std::uint64_t seed = 1;
+  // Execute instances on real threads (bit-identical results; per-instance
+  // wall-clock becomes genuinely concurrent).
+  bool run_threads = false;
+  // Forwarded to SpotlightOptions::on_instance_done (merge telemetry).
+  std::function<void(std::uint32_t, EdgePartitioner&)> on_instance_done;
 };
 
 struct PartitionRun {
@@ -55,6 +60,7 @@ struct PartitionRun {
   double seconds = 0.0;       // parallel wall latency (max over instances)
   double replication = 0.0;   // Eq. 1 on the merged state
   double imbalance = 0.0;     // (max-min)/max on the merged state
+  std::vector<double> instance_seconds;  // per-instance wall-clock
   std::vector<Assignment> assignments;
 };
 

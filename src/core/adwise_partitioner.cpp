@@ -109,6 +109,33 @@ class LazySlotHeap {
 
 }  // namespace
 
+void AdwisePartitioner::Report::merge_from(const Report& other) {
+  assignments += other.assignments;
+  score_computations += other.score_computations;
+  candidate_partitions += other.candidate_partitions;
+  dense_placements += other.dense_placements;
+  sparse_placements += other.sparse_placements;
+  secondary_rescans += other.secondary_rescans;
+  forced_secondary += other.forced_secondary;
+  event_reassessments += other.event_reassessments;
+  heap_pops += other.heap_pops;
+  demotion_sweeps += other.demotion_sweeps;
+  max_window = std::max(max_window, other.max_window);
+  adaptations += other.adaptations;
+  seconds += other.seconds;
+  for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
+    batch_size_hist[i] += other.batch_size_hist[i];
+  }
+  score_batches += other.score_batches;
+  batch_items += other.batch_items;
+  pool_batches += other.pool_batches;
+  pool_batch_items += other.pool_batch_items;
+  refill_batches += other.refill_batches;
+  refill_batch_items += other.refill_batch_items;
+  batch_cutoff_adaptations += other.batch_cutoff_adaptations;
+  drain_adaptations += other.drain_adaptations;
+}
+
 void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
                                   const AssignmentSink& sink) {
   report_ = Report{};

@@ -79,6 +79,16 @@ class AdwisePartitioner final : public EdgePartitioner {
 
     // Window size after each adaptation step (controller trajectory).
     std::vector<AdaptiveController::TracePoint> window_trace;
+
+    // Aggregates another instance's report into this one — per-instance
+    // spotlight telemetry folded into fleet totals. Counters and histogram
+    // buckets add, max_window takes the max, seconds accumulates total CPU
+    // time across instances (the spotlight wall latency is the max over
+    // instances and lives in SpotlightResult, not here). Terminal
+    // per-instance values (final_lambda, final_* thresholds, window_trace)
+    // are left untouched: they describe one controller's end state and
+    // have no meaningful sum.
+    void merge_from(const Report& other);
   };
   [[nodiscard]] const Report& last_report() const { return report_; }
 

@@ -141,6 +141,13 @@ void write_adw_file(const std::string& path, std::span<const Edge> edges) {
 
 AdwHeader edge_list_to_adw(const std::string& text_path,
                            const std::string& adw_path) {
+  // A binary .adw fed to the text parser would have every line skipped as
+  // malformed and be "converted" into a valid empty graph — refuse instead
+  // of silently discarding the input's edges.
+  if (is_adw_file(text_path)) {
+    throw std::runtime_error("input is already an .adw file, not text: " +
+                             text_path);
+  }
   // Single text pass: the writer tracks count and max id itself, so no
   // counting pre-pass is needed. The cap only bounds size_hint(), which is
   // irrelevant here — next() stops at EOF regardless.

@@ -1,0 +1,273 @@
+#include "src/io/adw_shards.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "src/graph/edge_stream.h"
+#include "src/graph/file_stream.h"
+#include "src/io/binary_stream.h"
+
+namespace adwise {
+
+namespace {
+
+// Keeps a crafted shard count from turning into a multi-GiB entry
+// allocation before the exact-size check can reject the file.
+constexpr std::uint64_t kMaxShards = std::uint64_t{1} << 20;
+
+void encode_manifest_header(const AdwManifest& manifest, std::byte* out) {
+  for (std::size_t i = 0; i < kAdwManifestMagic.size(); ++i) {
+    out[i] = static_cast<std::byte>(kAdwManifestMagic[i]);
+  }
+  adw_store_le32(kAdwManifestVersion, out + 4);
+  adw_store_le64(manifest.num_shards(), out + 8);
+  adw_store_le64(manifest.num_edges(), out + 16);
+  adw_store_le64(manifest.max_vertex_id(), out + 24);
+}
+
+// Removes the manifest and every shard file — failure cleanup, so a
+// pipeline can never pick up a half-converted sharded graph.
+void remove_sharded_outputs(const std::string& manifest_path,
+                            std::uint32_t shards) {
+  std::remove(manifest_path.c_str());
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    std::remove(adw_shard_path(manifest_path, i).c_str());
+  }
+}
+
+// Core splitter: writes the next chunk_sizes(total, shards) edges of `in`
+// into one AdwWriter per shard, then the manifest. The caller guarantees
+// `in` delivers no self-loops (text and binary streams both filter them),
+// so every delivered edge becomes exactly one shard record and the chunk
+// boundaries land where the spotlight runner expects them. Throws if the
+// stream delivers fewer or more edges than `total` — a silently short
+// shard would skew every instance load after it.
+AdwManifest split_stream_to_shards(EdgeStream& in,
+                                   const std::string& manifest_path,
+                                   std::uint32_t shards, std::uint64_t total) {
+  const auto sizes = chunk_sizes(static_cast<std::size_t>(total), shards);
+  AdwManifest manifest;
+  manifest.shards.reserve(shards);
+  Edge e;
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    AdwWriter writer(adw_shard_path(manifest_path, i));
+    for (std::size_t j = 0; j < sizes[i]; ++j) {
+      if (!in.next(e)) {
+        throw std::runtime_error(
+            "sharding " + manifest_path + ": stream ended after " +
+            std::to_string(manifest.num_edges() + writer.header().num_edges) +
+            " edges but the counting pass promised " + std::to_string(total));
+      }
+      writer.add(e);
+    }
+    writer.close();
+    manifest.shards.push_back({writer.header().num_edges,
+                               writer.header().max_vertex_id});
+  }
+  if (in.next(e)) {
+    throw std::runtime_error("sharding " + manifest_path +
+                             ": stream delivered more edges than the " +
+                             std::to_string(total) +
+                             " the counting pass promised");
+  }
+  write_adw_manifest(manifest_path, manifest);
+  return manifest;
+}
+
+template <typename Fn>
+AdwManifest shard_with_cleanup(const std::string& manifest_path,
+                               std::uint32_t shards, Fn&& fn) {
+  if (shards == 0) throw std::runtime_error("shard count must be >= 1");
+  try {
+    return fn();
+  } catch (...) {
+    remove_sharded_outputs(manifest_path, shards);
+    throw;
+  }
+}
+
+}  // namespace
+
+std::uint64_t AdwManifest::num_edges() const {
+  std::uint64_t total = 0;
+  for (const AdwShardInfo& s : shards) total += s.num_edges;
+  return total;
+}
+
+std::uint64_t AdwManifest::max_vertex_id() const {
+  std::uint64_t max_id = 0;
+  for (const AdwShardInfo& s : shards) {
+    max_id = std::max(max_id, s.max_vertex_id);
+  }
+  return max_id;
+}
+
+std::string adw_shard_path(const std::string& manifest_path,
+                           std::uint32_t shard) {
+  constexpr std::string_view kExt = ".adws";
+  std::string base = manifest_path;
+  if (base.size() >= kExt.size() &&
+      base.compare(base.size() - kExt.size(), kExt.size(), kExt) == 0) {
+    base.resize(base.size() - kExt.size());
+  }
+  return base + ".shard" + std::to_string(shard) + ".adw";
+}
+
+void write_adw_manifest(const std::string& path, const AdwManifest& manifest) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot create manifest: " + path);
+  std::vector<std::byte> raw(kAdwManifestHeaderBytes +
+                             manifest.shards.size() * kAdwManifestEntryBytes);
+  encode_manifest_header(manifest, raw.data());
+  std::byte* cursor = raw.data() + kAdwManifestHeaderBytes;
+  for (const AdwShardInfo& s : manifest.shards) {
+    adw_store_le64(s.num_edges, cursor);
+    adw_store_le64(s.max_vertex_id, cursor + 8);
+    cursor += kAdwManifestEntryBytes;
+  }
+  out.write(reinterpret_cast<const char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+  out.flush();
+  if (!out) throw std::runtime_error("failed writing manifest: " + path);
+}
+
+AdwManifest read_adw_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open manifest: " + path);
+  std::byte raw[kAdwManifestHeaderBytes];
+  in.read(reinterpret_cast<char*>(raw), kAdwManifestHeaderBytes);
+  if (in.gcount() != static_cast<std::streamsize>(kAdwManifestHeaderBytes)) {
+    throw std::runtime_error("truncated .adws manifest header: " + path);
+  }
+  for (std::size_t i = 0; i < kAdwManifestMagic.size(); ++i) {
+    if (std::to_integer<char>(raw[i]) != kAdwManifestMagic[i]) {
+      throw std::runtime_error("not an .adws manifest (bad magic): " + path);
+    }
+  }
+  const std::uint32_t version = adw_load_le32(raw + 4);
+  if (version != kAdwManifestVersion) {
+    throw std::runtime_error("unsupported .adws manifest version " +
+                             std::to_string(version) + ": " + path);
+  }
+  const std::uint64_t num_shards = adw_load_le64(raw + 8);
+  const std::uint64_t stored_edges = adw_load_le64(raw + 16);
+  const std::uint64_t stored_max_id = adw_load_le64(raw + 24);
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    throw std::runtime_error("corrupt .adws manifest (shard count " +
+                             std::to_string(num_shards) + "): " + path);
+  }
+  in.seekg(0, std::ios::end);
+  const auto file_bytes = static_cast<std::uint64_t>(in.tellg());
+  const std::uint64_t expected =
+      kAdwManifestHeaderBytes + num_shards * kAdwManifestEntryBytes;
+  if (file_bytes != expected) {
+    throw std::runtime_error(
+        "corrupt .adws manifest (size " + std::to_string(file_bytes) +
+        ", header implies " + std::to_string(expected) + "): " + path);
+  }
+  in.seekg(kAdwManifestHeaderBytes, std::ios::beg);
+  AdwManifest manifest;
+  manifest.shards.resize(static_cast<std::size_t>(num_shards));
+  for (AdwShardInfo& s : manifest.shards) {
+    std::byte entry[kAdwManifestEntryBytes];
+    in.read(reinterpret_cast<char*>(entry), kAdwManifestEntryBytes);
+    if (in.gcount() != static_cast<std::streamsize>(kAdwManifestEntryBytes)) {
+      throw std::runtime_error("truncated .adws manifest entries: " + path);
+    }
+    s.num_edges = adw_load_le64(entry);
+    s.max_vertex_id = adw_load_le64(entry + 8);
+  }
+  if (manifest.num_edges() != stored_edges ||
+      manifest.max_vertex_id() != stored_max_id) {
+    throw std::runtime_error(
+        "corrupt .adws manifest (totals disagree with entries): " + path);
+  }
+  return manifest;
+}
+
+AdwManifest read_and_validate_adw_manifest(const std::string& path) {
+  const AdwManifest manifest = read_adw_manifest(path);
+  for (std::uint32_t i = 0; i < manifest.num_shards(); ++i) {
+    const std::string shard = adw_shard_path(path, i);
+    const AdwHeader header = read_adw_header(shard);
+    if (header.num_edges != manifest.shards[i].num_edges ||
+        header.max_vertex_id != manifest.shards[i].max_vertex_id) {
+      throw std::runtime_error(
+          "shard disagrees with manifest " + path + ": " + shard +
+          " holds " + std::to_string(header.num_edges) + " edges (max id " +
+          std::to_string(header.max_vertex_id) + "), manifest entry says " +
+          std::to_string(manifest.shards[i].num_edges) + " (max id " +
+          std::to_string(manifest.shards[i].max_vertex_id) + ")");
+    }
+  }
+  return manifest;
+}
+
+bool is_adw_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4];
+  in.read(magic, 4);
+  return in.gcount() == 4 &&
+         std::equal(kAdwManifestMagic.begin(), kAdwManifestMagic.end(), magic);
+}
+
+AdwManifest edge_list_to_sharded_adw(const std::string& text_path,
+                                     const std::string& manifest_path,
+                                     std::uint32_t shards) {
+  // Binary inputs fed to the text parser would have every line skipped as
+  // malformed and shard into a valid empty graph — refuse instead of
+  // silently discarding the input's edges.
+  if (is_adw_file(text_path)) {
+    throw std::runtime_error(
+        "input is an .adw binary, not text (use adw_to_sharded_adw): " +
+        text_path);
+  }
+  if (is_adw_manifest(text_path)) {
+    throw std::runtime_error(
+        "input is an .adws manifest, not text — reshard from the original "
+        ".adw or text file: " +
+        text_path);
+  }
+  // Pass 1 (scan) fixes the chunk boundaries; it counts exactly the edges
+  // next() will deliver (malformed lines and self-loops excluded), so the
+  // split matches chunk_sizes of the streamable count. Open the input
+  // before touching any output: a bad input path must not clobber a
+  // pre-existing sharded graph.
+  const FileEdgeStream::Stats stats = FileEdgeStream::scan(text_path);
+  FileEdgeStream in(text_path, stats.num_edges);
+  return shard_with_cleanup(manifest_path, shards, [&] {
+    return split_stream_to_shards(in, manifest_path, shards, stats.num_edges);
+  });
+}
+
+AdwManifest adw_to_sharded_adw(const std::string& adw_path,
+                               const std::string& manifest_path,
+                               std::uint32_t shards) {
+  BinaryEdgeStream in(adw_path);
+  return shard_with_cleanup(manifest_path, shards, [&] {
+    return split_stream_to_shards(in, manifest_path, shards,
+                                  in.header().num_edges);
+  });
+}
+
+AdwManifest write_sharded_adw(const std::string& manifest_path,
+                              std::span<const Edge> edges,
+                              std::uint32_t shards) {
+  // Chunk boundaries are over the streamable (self-loop-free) sequence —
+  // the same sequence write_adw_file would store.
+  std::vector<Edge> filtered;
+  filtered.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.u != e.v) filtered.push_back(e);
+  }
+  VectorEdgeStream in(filtered);
+  return shard_with_cleanup(manifest_path, shards, [&] {
+    return split_stream_to_shards(in, manifest_path, shards, filtered.size());
+  });
+}
+
+}  // namespace adwise

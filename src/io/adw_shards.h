@@ -1,0 +1,117 @@
+// Sharded .adw layout — one manifest plus z per-instance chunk files (the
+// paper's §III-D parallel loading model on disk).
+//
+// A sharded graph is a small manifest file (conventionally *.adws) next to
+// z ordinary .adw shard files. Shard i holds the i-th contiguous chunk of
+// the edge sequence, with chunk boundaries from chunk_sizes(|E|, z) — the
+// exact split the spotlight runner uses — so concatenating the shards in
+// order replays the single-file edge sequence bit-for-bit, and each
+// spotlight instance can open its own shard with its own BinaryEdgeStream
+// and read genuinely concurrently.
+//
+// Manifest layout (all integers little-endian, like .adw):
+//
+//   offset  size  field
+//        0     4  magic 'A' 'D' 'W' 'S'
+//        4     4  format version (uint32, currently 1)
+//        8     8  num_shards     (uint64)
+//       16     8  num_edges      (uint64; sum over shards)
+//       24     8  max_vertex_id  (uint64; max over shards, 0 when empty)
+//       32     -  per-shard entries, 16 bytes each:
+//                   num_edges (uint64), max_vertex_id (uint64)
+//
+// A valid manifest is exactly 32 + 16 * num_shards bytes. Shard files are
+// named from the manifest path (adw_shard_path): "graph.adws" owns
+// "graph.shard0.adw" ... "graph.shard<z-1>.adw" — each a fully valid
+// standalone .adw file, so every single-file tool and reader works on a
+// shard unchanged. The manifest's per-shard entries duplicate the shard
+// headers; read_and_validate_adw_manifest cross-checks them (and each
+// shard's exact file size) so a truncated or swapped-out shard fails loudly
+// before any instance starts streaming.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/io/adw_format.h"
+
+namespace adwise {
+
+inline constexpr std::array<char, 4> kAdwManifestMagic = {'A', 'D', 'W', 'S'};
+inline constexpr std::uint32_t kAdwManifestVersion = 1;
+inline constexpr std::size_t kAdwManifestHeaderBytes = 32;
+inline constexpr std::size_t kAdwManifestEntryBytes = 16;
+
+struct AdwShardInfo {
+  std::uint64_t num_edges = 0;
+  std::uint64_t max_vertex_id = 0;  // 0 when the shard has no edges
+
+  friend bool operator==(const AdwShardInfo&, const AdwShardInfo&) = default;
+};
+
+struct AdwManifest {
+  std::vector<AdwShardInfo> shards;
+
+  [[nodiscard]] std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(shards.size());
+  }
+  // Sum over shards — the |E| the adaptive controller needs up front.
+  [[nodiscard]] std::uint64_t num_edges() const;
+  // Max over shards — sizes consumers' dense per-vertex arrays.
+  [[nodiscard]] std::uint64_t max_vertex_id() const;
+
+  friend bool operator==(const AdwManifest&, const AdwManifest&) = default;
+};
+
+// Path of shard i relative to its manifest: a trailing ".adws" extension is
+// replaced, so "graph.adws" owns "graph.shard3.adw" (sibling files — the
+// manifest never stores paths, keeping it relocatable as a directory).
+[[nodiscard]] std::string adw_shard_path(const std::string& manifest_path,
+                                         std::uint32_t shard);
+
+// Writes the manifest file. Throws std::runtime_error on I/O failure.
+void write_adw_manifest(const std::string& path, const AdwManifest& manifest);
+
+// Reads and validates the manifest file alone: magic, version, exact size,
+// and that the stored totals equal the per-shard sums. Does not touch the
+// shard files. Throws std::runtime_error on any failure.
+[[nodiscard]] AdwManifest read_adw_manifest(const std::string& path);
+
+// read_adw_manifest plus a cross-check of every shard file: the shard's
+// .adw header (which read_adw_header verifies against the shard's exact
+// file size) must match the manifest entry. A truncated, corrupt, missing
+// or swapped shard therefore fails here, before any instance streams it.
+[[nodiscard]] AdwManifest read_and_validate_adw_manifest(
+    const std::string& path);
+
+// True iff the file exists and begins with the manifest magic.
+[[nodiscard]] bool is_adw_manifest(const std::string& path);
+
+// Converts a SNAP-style text edge list into `shards` chunk files plus a
+// manifest at manifest_path. Two streaming passes, O(1) memory: a counting
+// scan fixes the chunk boundaries (chunk_sizes of the streamable edge
+// count), then the stream is replayed into one AdwWriter per shard. The
+// manifest is written last and every partial output is removed on failure,
+// so a pipeline can never pick up a half-converted sharded graph. Returns
+// the manifest. Throws std::runtime_error on parse or I/O failure.
+AdwManifest edge_list_to_sharded_adw(const std::string& text_path,
+                                     const std::string& manifest_path,
+                                     std::uint32_t shards);
+
+// Reshards an existing single-file .adw (single pass; the header already
+// knows |E|). Same failure guarantees as edge_list_to_sharded_adw.
+AdwManifest adw_to_sharded_adw(const std::string& adw_path,
+                               const std::string& manifest_path,
+                               std::uint32_t shards);
+
+// In-memory convenience (tests, benches): writes edges minus self-loops
+// into `shards` chunk files plus the manifest.
+AdwManifest write_sharded_adw(const std::string& manifest_path,
+                              std::span<const Edge> edges,
+                              std::uint32_t shards);
+
+}  // namespace adwise

@@ -1,10 +1,14 @@
 #include "src/partition/spotlight.h"
 
+#include <algorithm>
 #include <cassert>
-#include <thread>
+#include <stdexcept>
 
 #include "src/common/clock.h"
+#include "src/common/thread_pool.h"
 #include "src/graph/edge_stream.h"
+#include "src/io/adw_shards.h"
+#include "src/io/binary_stream.h"
 
 namespace adwise {
 
@@ -43,7 +47,109 @@ class ChunkView final : public EdgeStream {
   std::size_t remaining_;
 };
 
+// What one instance produces before the deterministic merge. The
+// partitioner outlives the timed region so on_instance_done can harvest
+// telemetry from it.
+struct InstanceOutput {
+  std::vector<Assignment> assignments;
+  double seconds = 0.0;
+  std::unique_ptr<EdgePartitioner> partitioner;
+};
+
+// Deterministic merge in instance order, outside the timed region: the
+// merged state is the global view used for quality metrics and by the
+// processing engine, and the telemetry hook fires in the same order
+// regardless of how the instances were scheduled.
+void merge_instance_outputs(SpotlightResult& result,
+                            std::vector<InstanceOutput>& outputs,
+                            const SpotlightOptions& opts) {
+  for (std::uint32_t i = 0; i < outputs.size(); ++i) {
+    InstanceOutput& out = outputs[i];
+    result.instance_seconds.push_back(out.seconds);
+    result.wall_seconds = std::max(result.wall_seconds, out.seconds);
+    for (const Assignment& a : out.assignments) {
+      result.merged.assign(a.edge, a.partition);
+      result.assignments.push_back(a);
+    }
+    if (opts.on_instance_done) opts.on_instance_done(i, *out.partitioner);
+  }
+}
+
 }  // namespace
+
+SpotlightResult run_spotlight(const InstanceStreamFactory& streams,
+                              VertexId num_vertices,
+                              const PartitionerFactory& factory,
+                              const SpotlightOptions& opts) {
+  assert(opts.spread >= 1 && opts.spread <= opts.k);
+  assert(opts.num_partitioners >= 1);
+
+  SpotlightResult result(opts.k, num_vertices);
+  const std::uint32_t z = opts.num_partitioners;
+  std::vector<InstanceOutput> outputs(z);
+
+  auto run_instance = [&](std::uint32_t i) {
+    const auto group = spotlight_group(opts, i);
+    auto partitioner = factory(i, opts.spread);
+    PartitionState local(opts.spread, num_vertices);
+    std::unique_ptr<EdgeStream> stream = streams(i);
+    InstanceOutput& out = outputs[i];
+    out.assignments.reserve(stream->size_hint());
+    Stopwatch watch;
+    partitioner->partition(*stream, local,
+                           [&](const Edge& e, PartitionId local_p) {
+                             out.assignments.push_back({e, group[local_p]});
+                           });
+    out.seconds = watch.elapsed_seconds();
+    out.partitioner = std::move(partitioner);
+  };
+
+  if (opts.run_threads && z > 1) {
+    const std::uint32_t workers =
+        opts.num_threads == 0 ? z : std::min(opts.num_threads, z);
+    ThreadPool pool(workers);
+    for (std::uint32_t i = 0; i < z; ++i) {
+      pool.submit([&run_instance, i] { run_instance(i); });
+    }
+    // Rethrows the first instance failure (stream open error, corrupt
+    // shard, ...) after every instance has stopped.
+    pool.wait_idle();
+  } else {
+    for (std::uint32_t i = 0; i < z; ++i) run_instance(i);
+  }
+
+  merge_instance_outputs(result, outputs, opts);
+  return result;
+}
+
+SpotlightResult run_spotlight_sharded(const std::string& manifest_path,
+                                      VertexId num_vertices,
+                                      const PartitionerFactory& factory,
+                                      const SpotlightOptions& opts) {
+  const AdwManifest manifest = read_and_validate_adw_manifest(manifest_path);
+  if (manifest.num_shards() != opts.num_partitioners) {
+    throw std::runtime_error(
+        "sharded spotlight: " + manifest_path + " has " +
+        std::to_string(manifest.num_shards()) + " shards but options ask for " +
+        std::to_string(opts.num_partitioners) +
+        " instances — the sharding fixed the chunk boundaries, re-shard to "
+        "change z");
+  }
+  if (manifest.num_edges() > 0 && manifest.max_vertex_id() >= num_vertices) {
+    throw std::runtime_error(
+        "sharded spotlight: " + manifest_path + " holds vertex id " +
+        std::to_string(manifest.max_vertex_id()) + " but num_vertices is " +
+        std::to_string(num_vertices));
+  }
+  return run_spotlight(
+      [&manifest_path](std::uint32_t instance) -> std::unique_ptr<EdgeStream> {
+        // Each instance opens (and validates) its own shard on its own
+        // thread: pread, bound-checking and decode run per instance.
+        return std::make_unique<BinaryEdgeStream>(
+            adw_shard_path(manifest_path, instance));
+      },
+      num_vertices, factory, opts);
+}
 
 SpotlightResult run_spotlight(RewindableEdgeStream& stream,
                               VertexId num_vertices,
@@ -54,7 +160,8 @@ SpotlightResult run_spotlight(RewindableEdgeStream& stream,
 
   SpotlightResult result(opts.k, num_vertices);
   stream.rewind();
-  const auto sizes = chunk_sizes(stream.size_hint(), opts.num_partitioners);
+  const std::size_t expected = stream.size_hint();
+  const auto sizes = chunk_sizes(expected, opts.num_partitioners);
 
   for (std::uint32_t i = 0; i < opts.num_partitioners; ++i) {
     const auto group = spotlight_group(opts, i);
@@ -71,12 +178,31 @@ SpotlightResult run_spotlight(RewindableEdgeStream& stream,
     result.instance_seconds.push_back(seconds);
     result.wall_seconds = std::max(result.wall_seconds, seconds);
     // Deterministic merge in instance order, outside the timed region like
-    // the span overload; the merged state is the global view used for
-    // quality metrics and by the processing engine.
+    // the per-instance-stream overload.
     for (std::size_t j = begin; j < result.assignments.size(); ++j) {
       result.merged.assign(result.assignments[j].edge,
                            result.assignments[j].partition);
     }
+    if (opts.on_instance_done) opts.on_instance_done(i, *partitioner);
+  }
+
+  // Chunk bounds were derived from size_hint() once, up front. A stream
+  // that under-delivers starves the trailing instances and one that
+  // over-delivers drops edges — either way the merged result would be
+  // silently skewed, so refuse to return it.
+  if (result.assignments.size() != expected) {
+    throw std::runtime_error(
+        "spotlight stream delivered " +
+        std::to_string(result.assignments.size()) +
+        " edges but size_hint() promised " + std::to_string(expected) +
+        " — instance loads would be silently skewed (short shard?)");
+  }
+  Edge probe;
+  if (stream.next(probe)) {
+    throw std::runtime_error(
+        "spotlight stream still has edges after the " +
+        std::to_string(expected) +
+        " its size_hint() promised — chunk bounds dropped the surplus");
   }
   return result;
 }
@@ -93,48 +219,12 @@ SpotlightResult run_spotlight(std::span<const Edge> edges,
     return run_spotlight(stream, num_vertices, factory, opts);
   }
 
-  SpotlightResult result(opts.k, num_vertices);
   const auto chunks = chunk_edges(edges, opts.num_partitioners);
-
-  struct InstanceOutput {
-    std::vector<Assignment> assignments;
-    double seconds = 0.0;
-  };
-  std::vector<InstanceOutput> outputs(opts.num_partitioners);
-
-  auto run_instance = [&](std::uint32_t i) {
-    const auto group = spotlight_group(opts, i);
-    auto partitioner = factory(i, opts.spread);
-    PartitionState local(opts.spread, num_vertices);
-    VectorEdgeStream stream(chunks[i]);
-    auto& out = outputs[i];
-    out.assignments.reserve(chunks[i].size());
-    Stopwatch watch;
-    partitioner->partition(stream, local,
-                           [&](const Edge& e, PartitionId local_p) {
-                             out.assignments.push_back({e, group[local_p]});
-                           });
-    out.seconds = watch.elapsed_seconds();
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(opts.num_partitioners);
-  for (std::uint32_t i = 0; i < opts.num_partitioners; ++i) {
-    threads.emplace_back(run_instance, i);
-  }
-  for (auto& t : threads) t.join();
-
-  // Deterministic merge in instance order; the merged state is the global
-  // view used for quality metrics and by the processing engine.
-  for (auto& out : outputs) {
-    result.instance_seconds.push_back(out.seconds);
-    result.wall_seconds = std::max(result.wall_seconds, out.seconds);
-    for (const Assignment& a : out.assignments) {
-      result.merged.assign(a.edge, a.partition);
-      result.assignments.push_back(a);
-    }
-  }
-  return result;
+  return run_spotlight(
+      [&chunks](std::uint32_t instance) -> std::unique_ptr<EdgeStream> {
+        return std::make_unique<VectorEdgeStream>(chunks[instance]);
+      },
+      num_vertices, factory, opts);
 }
 
 }  // namespace adwise

@@ -9,6 +9,22 @@
 // preserves stream locality inside each instance and drastically lowers the
 // merged replication degree — for any underlying strategy.
 //
+// Execution models, from most to least concurrent:
+//   - run_spotlight_sharded(manifest, ...): each instance opens its own
+//     BinaryEdgeStream over its own .adw shard file (src/io/adw_shards.h),
+//     so I/O, decode and scoring are genuinely concurrent end to end when
+//     run_threads is set.
+//   - run_spotlight(InstanceStreamFactory, ...): the general form — any
+//     per-instance stream source, threaded or serial.
+//   - run_spotlight(RewindableEdgeStream&, ...): one shared read head,
+//     consumed sequentially through bounded chunk views (a single stream
+//     has a single read position; use shards for concurrent reading).
+//   - run_spotlight(span, ...): in-memory chunks; threads share storage.
+// All four produce bit-identical merged results for the same edge sequence
+// and z: chunk boundaries always come from chunk_sizes(|E|, z), instances
+// are fed the same chunks, and the merge is deterministic in instance
+// order. Threaded instances run on the shared work-stealing ThreadPool.
+//
 // Cluster model: instances run on separate machines in the paper, so the
 // reported wall latency is the maximum over per-instance latencies whether
 // or not the instances actually execute concurrently here.
@@ -17,6 +33,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/graph/edge_stream.h"
@@ -29,13 +46,31 @@ struct SpotlightOptions {
   std::uint32_t num_partitioners = 8;  // z
   std::uint32_t spread = 4;            // partitions each instance may fill
   bool run_threads = false;            // execute instances on threads
+  // Instance threads when run_threads (0 = one per instance). Instances
+  // queue on the pool when fewer threads than instances are available.
+  std::uint32_t num_threads = 0;
+  // Called serially in instance order during the merge — outside the timed
+  // region — with each instance's partitioner after it drained its chunk.
+  // Telemetry collection hook: a caller that builds AdwisePartitioners can
+  // downcast and aggregate the per-instance Reports (Report::merge_from).
+  std::function<void(std::uint32_t instance, EdgePartitioner& partitioner)>
+      on_instance_done;
 };
 
 // Builds the partitioner for one instance. local_k == spread: instances see
 // a private, zero-based partition space that spotlight maps onto the global
-// group, so any EdgePartitioner works unmodified.
+// group, so any EdgePartitioner works unmodified. With run_threads the
+// factory is invoked concurrently from instance threads and must be
+// thread-safe (stateless factories trivially are).
 using PartitionerFactory = std::function<std::unique_ptr<EdgePartitioner>(
     std::uint32_t instance, std::uint32_t local_k)>;
+
+// Opens instance i's private edge stream — its contiguous chunk of the
+// global edge sequence. With run_threads it is invoked concurrently from
+// instance threads and must be thread-safe; the returned stream is used by
+// that instance's thread only.
+using InstanceStreamFactory =
+    std::function<std::unique_ptr<EdgeStream>(std::uint32_t instance)>;
 
 struct SpotlightResult {
   // Global state over all k partitions, merged from every instance.
@@ -53,22 +88,48 @@ struct SpotlightResult {
 [[nodiscard]] std::vector<PartitionId> spotlight_group(
     const SpotlightOptions& opts, std::uint32_t instance);
 
-// Streaming parallel loading: rewinds the stream once and feeds each
-// instance its contiguous chunk (chunk_sizes of size_hint) through a
-// bounded view of the shared read head, so .adw / text streams are
-// consumed without densifying the edge list. Instances necessarily run
-// sequentially here — one stream has one read position — but the reported
-// wall latency keeps the paper's cluster-model meaning (max over
-// per-instance latencies) either way; run_threads only affects the span
-// overload, which can share its storage across threads.
+// Per-instance streams: instance i drains streams(i) completely. With
+// run_threads the instances execute concurrently on a ThreadPool (the real
+// §III-D model: per-instance I/O and scoring overlap) and per-instance
+// wall-clock is measured on the instance's own thread; without it they run
+// sequentially — results are bit-identical either way, because assignments
+// and state merge deterministically in instance order outside the timed
+// region. An exception thrown by any instance (stream open failure, corrupt
+// shard, ...) propagates to the caller.
+[[nodiscard]] SpotlightResult run_spotlight(const InstanceStreamFactory& streams,
+                                            VertexId num_vertices,
+                                            const PartitionerFactory& factory,
+                                            const SpotlightOptions& opts);
+
+// Sharded .adw graph (src/io/adw_shards.h): validates every shard against
+// the manifest (a truncated or swapped shard fails loudly before any
+// instance streams), then runs one BinaryEdgeStream per instance over its
+// own shard file. opts.num_partitioners must equal the manifest's shard
+// count — the sharding fixed the chunk boundaries — and the manifest's max
+// vertex id must fit num_vertices. Throws std::runtime_error otherwise.
+[[nodiscard]] SpotlightResult run_spotlight_sharded(
+    const std::string& manifest_path, VertexId num_vertices,
+    const PartitionerFactory& factory, const SpotlightOptions& opts);
+
+// Streaming parallel loading over ONE shared read head: rewinds the stream
+// once and feeds each instance its contiguous chunk (chunk_sizes of
+// size_hint) through a bounded view, so .adw / text streams are consumed
+// without densifying the edge list. Instances necessarily run sequentially
+// here — one stream has one read position (shard the file to get real
+// concurrency) — but the reported wall latency keeps the paper's
+// cluster-model meaning (max over per-instance latencies) either way.
+// Throws std::runtime_error if the stream delivers a different number of
+// edges than size_hint() promised after rewind: chunk bounds derive from
+// the hint, so a short stream would silently starve the trailing instances
+// instead of loading them — fail loudly instead.
 [[nodiscard]] SpotlightResult run_spotlight(RewindableEdgeStream& stream,
                                             VertexId num_vertices,
                                             const PartitionerFactory& factory,
                                             const SpotlightOptions& opts);
 
-// In-memory overload. Without run_threads it delegates to the stream
-// overload through a VectorEdgeStream view; with run_threads it executes
-// the instances on real threads over per-chunk spans.
+// In-memory overload. Without run_threads it delegates to the shared-stream
+// overload through a VectorEdgeStream view; with run_threads the instances
+// execute on threads over per-chunk spans of the shared storage.
 [[nodiscard]] SpotlightResult run_spotlight(std::span<const Edge> edges,
                                             VertexId num_vertices,
                                             const PartitionerFactory& factory,

@@ -1,5 +1,6 @@
 // Tests for the streaming edge-list file reader.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -17,6 +18,7 @@ class FileStreamTest : public ::testing::Test {
  protected:
   void SetUp() override {
     path_ = ::testing::TempDir() + "file_stream_test_" +
+            std::to_string(static_cast<long>(::getpid())) + "_" +
             std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".txt";
   }
 

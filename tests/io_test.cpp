@@ -2,6 +2,7 @@
 // (writer/reader round trips, golden bytes, corruption handling) and the
 // prefetching BinaryEdgeStream.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -33,6 +34,7 @@ class AdwFormatTest : public ::testing::Test {
  protected:
   void SetUp() override {
     base_ = ::testing::TempDir() + "adw_test_" +
+            std::to_string(static_cast<long>(::getpid())) + "_" +
             std::to_string(reinterpret_cast<std::uintptr_t>(this));
     adw_path_ = base_ + ".adw";
     text_path_ = base_ + ".txt";

@@ -2,6 +2,7 @@
 // out-of-core paths: restreaming from a text file or a binary .adw file
 // must be bit-identical to the in-memory edge-span path.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -90,6 +91,7 @@ class OutOfCoreRestreamTest : public ::testing::Test {
  protected:
   void SetUp() override {
     base_ = ::testing::TempDir() + "restream_ooc_" +
+            std::to_string(static_cast<long>(::getpid())) + "_" +
             std::to_string(reinterpret_cast<std::uintptr_t>(this));
     text_path_ = base_ + ".txt";
     adw_path_ = base_ + ".adw";

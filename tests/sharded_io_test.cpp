@@ -1,0 +1,320 @@
+// Tests for the sharded .adw layout (src/io/adw_shards.h): manifest golden
+// bytes, conversion round trips against the single-file sequence, and the
+// corruption cases (truncated shard, tampered manifest, failed conversion
+// cleanup).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/graph/file_stream.h"
+#include "src/graph/generators.h"
+#include "src/io/adw_shards.h"
+#include "src/io/binary_stream.h"
+
+namespace adwise {
+namespace {
+
+std::vector<Edge> drain(EdgeStream& stream) {
+  std::vector<Edge> out;
+  Edge e;
+  while (stream.next(e)) out.push_back(e);
+  return out;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+}
+
+// Concatenated replay of every shard in manifest order — must equal the
+// single-file edge sequence.
+std::vector<Edge> drain_shards(const std::string& manifest_path,
+                               const AdwManifest& manifest) {
+  std::vector<Edge> out;
+  for (std::uint32_t i = 0; i < manifest.num_shards(); ++i) {
+    BinaryEdgeStream stream(adw_shard_path(manifest_path, i));
+    for (const Edge& e : drain(stream)) out.push_back(e);
+  }
+  return out;
+}
+
+class AdwShardsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Pid-qualified: ctest runs test cases as separate processes whose
+    // heap layouts (and thus `this` addresses) can coincide, and two cases
+    // sharing shard files clobber each other.
+    base_ = ::testing::TempDir() + "adw_shards_test_" +
+            std::to_string(static_cast<long>(::getpid())) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    manifest_path_ = base_ + ".adws";
+    text_path_ = base_ + ".txt";
+    adw_path_ = base_ + ".adw";
+  }
+
+  void TearDown() override {
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      std::remove(adw_shard_path(manifest_path_, i).c_str());
+    }
+    std::remove(manifest_path_.c_str());
+    std::remove(text_path_.c_str());
+    std::remove(adw_path_.c_str());
+  }
+
+  void write_text(const std::string& contents) {
+    std::ofstream out(text_path_);
+    out << contents;
+  }
+
+  std::string base_, manifest_path_, text_path_, adw_path_;
+};
+
+TEST_F(AdwShardsTest, ShardPathNaming) {
+  EXPECT_EQ(adw_shard_path("graph.adws", 0), "graph.shard0.adw");
+  EXPECT_EQ(adw_shard_path("graph.adws", 12), "graph.shard12.adw");
+  // Without the conventional extension the full path is the base.
+  EXPECT_EQ(adw_shard_path("dir/graph", 3), "dir/graph.shard3.adw");
+}
+
+TEST_F(AdwShardsTest, ManifestGoldenBytes) {
+  // Endianness pin for the manifest, like the .adw golden-bytes test: three
+  // known edges split 2 + 1 across two shards. If this breaks, manifests
+  // written on one machine no longer read on another.
+  const std::vector<Edge> edges{{1, 2}, {0x01020304, 5}, {3, 4}};
+  write_sharded_adw(manifest_path_, edges, 2);
+  const std::string bytes = read_bytes(manifest_path_);
+  const unsigned char expected[] = {
+      'A', 'D', 'W', 'S',              // magic
+      1,   0,   0,   0,                // version 1, LE
+      2,   0,   0,   0,   0, 0, 0, 0,  // num_shards = 2
+      3,   0,   0,   0,   0, 0, 0, 0,  // num_edges = 3
+      4,   3,   2,   1,   0, 0, 0, 0,  // max_vertex_id = 0x01020304
+      2,   0,   0,   0,   0, 0, 0, 0,  // shard 0: 2 edges
+      4,   3,   2,   1,   0, 0, 0, 0,  //          max id 0x01020304
+      1,   0,   0,   0,   0, 0, 0, 0,  // shard 1: 1 edge
+      4,   0,   0,   0,   0, 0, 0, 0,  //          max id 4
+  };
+  ASSERT_EQ(bytes.size(), sizeof(expected));
+  for (std::size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(bytes[i]), expected[i])
+        << "byte " << i;
+  }
+}
+
+TEST_F(AdwShardsTest, RoundTripMatchesSingleFileSequence) {
+  const Graph g = make_rmat({.scale = 10, .num_edges = 20'000, .seed = 7});
+  const AdwManifest written = write_sharded_adw(manifest_path_, g.edges(), 4);
+  const AdwManifest manifest = read_and_validate_adw_manifest(manifest_path_);
+  EXPECT_EQ(manifest, written);
+  EXPECT_EQ(manifest.num_shards(), 4u);
+  EXPECT_EQ(manifest.num_edges(), g.num_edges());
+
+  // Every shard header is itself validated .adw and matches its entry.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const AdwHeader header =
+        read_adw_header(adw_shard_path(manifest_path_, i));
+    EXPECT_EQ(header.num_edges, manifest.shards[i].num_edges);
+    EXPECT_EQ(header.max_vertex_id, manifest.shards[i].max_vertex_id);
+  }
+
+  // Chunk boundaries are chunk_sizes(|E|, z), and concatenating the shards
+  // replays the single-file sequence bit-for-bit.
+  const auto sizes = chunk_sizes(g.num_edges(), 4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(manifest.shards[i].num_edges, sizes[i]) << "shard " << i;
+  }
+  const auto replayed = drain_shards(manifest_path_, manifest);
+  ASSERT_EQ(replayed.size(), g.num_edges());
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    ASSERT_EQ(replayed[i], g.edge(i)) << "edge " << i;
+  }
+}
+
+TEST_F(AdwShardsTest, TextConversionMatchesSingleFileConversion) {
+  // Comments, CRLF, malformed lines, self-loops, no trailing newline — the
+  // sharded converter must replay exactly what the single-file converter
+  // (and the text parser) delivers, just split across shards.
+  write_text("# header\n0 1\r\n5 5\nnot an edge\n\n2 3\n7 4\n1 6\n0 2");
+  const AdwHeader single = edge_list_to_adw(text_path_, adw_path_);
+  const AdwManifest manifest =
+      edge_list_to_sharded_adw(text_path_, manifest_path_, 3);
+  EXPECT_EQ(manifest.num_edges(), single.num_edges);
+  EXPECT_EQ(manifest.max_vertex_id(), single.max_vertex_id);
+
+  BinaryEdgeStream single_stream(adw_path_);
+  EXPECT_EQ(drain_shards(manifest_path_, manifest), drain(single_stream));
+}
+
+TEST_F(AdwShardsTest, ReshardingAdwMatchesOriginal) {
+  const Graph g = make_erdos_renyi(300, 5'000, 11);
+  write_adw_file(adw_path_, g.edges());
+  const AdwManifest manifest = adw_to_sharded_adw(adw_path_, manifest_path_, 5);
+  EXPECT_EQ(manifest.num_edges(), g.num_edges());
+  BinaryEdgeStream original(adw_path_);
+  EXPECT_EQ(drain_shards(manifest_path_, manifest), drain(original));
+}
+
+TEST_F(AdwShardsTest, SelfLoopsDroppedBeforeChunking) {
+  // Boundaries must be over the streamable (self-loop-free) sequence, so
+  // shards stay balanced and every shard header is truthful.
+  const std::vector<Edge> edges{{0, 1}, {7, 7}, {2, 3}, {4, 4}, {5, 6}, {1, 2}};
+  const AdwManifest manifest = write_sharded_adw(manifest_path_, edges, 2);
+  EXPECT_EQ(manifest.num_edges(), 4u);
+  EXPECT_EQ(manifest.shards[0].num_edges, 2u);
+  EXPECT_EQ(manifest.shards[1].num_edges, 2u);
+  EXPECT_EQ(drain_shards(manifest_path_, manifest),
+            (std::vector<Edge>{{0, 1}, {2, 3}, {5, 6}, {1, 2}}));
+}
+
+TEST_F(AdwShardsTest, MoreShardsThanEdges) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}};
+  const AdwManifest manifest = write_sharded_adw(manifest_path_, edges, 8);
+  EXPECT_EQ(manifest.num_shards(), 8u);
+  EXPECT_EQ(manifest.num_edges(), 3u);
+  // Trailing shards are valid empty .adw files.
+  EXPECT_EQ(manifest.shards[7].num_edges, 0u);
+  EXPECT_EQ(read_adw_header(adw_shard_path(manifest_path_, 7)).num_edges, 0u);
+  EXPECT_EQ(drain_shards(manifest_path_, manifest), edges);
+}
+
+TEST_F(AdwShardsTest, EmptyGraph) {
+  const AdwManifest manifest = write_sharded_adw(manifest_path_, {}, 2);
+  EXPECT_EQ(manifest.num_edges(), 0u);
+  EXPECT_EQ(manifest.max_vertex_id(), 0u);
+  EXPECT_EQ(read_and_validate_adw_manifest(manifest_path_), manifest);
+}
+
+TEST_F(AdwShardsTest, ZeroShardCountRejected) {
+  EXPECT_THROW((void)write_sharded_adw(manifest_path_,
+                                       std::vector<Edge>{{0, 1}}, 0),
+               std::runtime_error);
+}
+
+TEST_F(AdwShardsTest, SniffDetectsManifestVsAdwVsText) {
+  write_sharded_adw(manifest_path_, std::vector<Edge>{{0, 1}}, 1);
+  write_adw_file(adw_path_, std::vector<Edge>{{0, 1}});
+  write_text("0 1\n");
+  EXPECT_TRUE(is_adw_manifest(manifest_path_));
+  EXPECT_FALSE(is_adw_manifest(adw_path_));
+  EXPECT_FALSE(is_adw_manifest(text_path_));
+  EXPECT_FALSE(is_adw_manifest(base_ + ".does_not_exist"));
+  EXPECT_FALSE(is_adw_file(manifest_path_));
+}
+
+TEST_F(AdwShardsTest, TruncatedShardFailsValidation) {
+  const Graph g = make_erdos_renyi(100, 2'000, 3);
+  write_sharded_adw(manifest_path_, g.edges(), 4);
+  // Chop bytes off one shard: the manifest alone still reads, but the
+  // cross-check against the shard's exact-size .adw header must fail — a
+  // short shard must never silently skew an instance's load.
+  const std::string shard = adw_shard_path(manifest_path_, 2);
+  std::string bytes = read_bytes(shard);
+  bytes.resize(bytes.size() - 8);
+  write_bytes(shard, bytes);
+  EXPECT_NO_THROW((void)read_adw_manifest(manifest_path_));
+  EXPECT_THROW((void)read_and_validate_adw_manifest(manifest_path_),
+               std::runtime_error);
+}
+
+TEST_F(AdwShardsTest, MissingShardFailsValidation) {
+  write_sharded_adw(manifest_path_, std::vector<Edge>{{0, 1}, {1, 2}}, 2);
+  std::remove(adw_shard_path(manifest_path_, 1).c_str());
+  EXPECT_THROW((void)read_and_validate_adw_manifest(manifest_path_),
+               std::runtime_error);
+}
+
+TEST_F(AdwShardsTest, TamperedManifestEntryFailsValidation) {
+  write_sharded_adw(manifest_path_,
+                    std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}}, 2);
+  // Shift an edge between the entries: totals stay consistent, so only the
+  // per-shard cross-check can catch it.
+  AdwManifest tampered = read_adw_manifest(manifest_path_);
+  tampered.shards[0].num_edges -= 1;
+  tampered.shards[1].num_edges += 1;
+  write_adw_manifest(manifest_path_, tampered);
+  EXPECT_NO_THROW((void)read_adw_manifest(manifest_path_));
+  EXPECT_THROW((void)read_and_validate_adw_manifest(manifest_path_),
+               std::runtime_error);
+}
+
+TEST_F(AdwShardsTest, CorruptManifestHeaderThrows) {
+  write_sharded_adw(manifest_path_, std::vector<Edge>{{0, 1}}, 1);
+  std::string bytes = read_bytes(manifest_path_);
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  write_bytes(manifest_path_, bad_magic);
+  EXPECT_THROW((void)read_adw_manifest(manifest_path_), std::runtime_error);
+
+  std::string bad_version = bytes;
+  bad_version[4] = 9;
+  write_bytes(manifest_path_, bad_version);
+  EXPECT_THROW((void)read_adw_manifest(manifest_path_), std::runtime_error);
+
+  // Truncated entry table (size check).
+  std::string truncated = bytes;
+  truncated.resize(truncated.size() - 1);
+  write_bytes(manifest_path_, truncated);
+  EXPECT_THROW((void)read_adw_manifest(manifest_path_), std::runtime_error);
+
+  // Stored totals disagreeing with the entries.
+  std::string bad_total = bytes;
+  bad_total[16] = 9;  // num_edges total
+  write_bytes(manifest_path_, bad_total);
+  EXPECT_THROW((void)read_adw_manifest(manifest_path_), std::runtime_error);
+}
+
+TEST_F(AdwShardsTest, FailedConversionLeavesNoOutputs) {
+  // An oversized vertex id fails the conversion mid-stream; no manifest and
+  // no shard file may survive — a pipeline must not pick up half a graph.
+  write_text("0 1\n2 3\n0 99999999999\n4 5\n");
+  EXPECT_THROW(
+      (void)edge_list_to_sharded_adw(text_path_, manifest_path_, 2),
+      std::runtime_error);
+  EXPECT_FALSE(std::ifstream(manifest_path_).good());
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    EXPECT_FALSE(std::ifstream(adw_shard_path(manifest_path_, i)).good())
+        << "shard " << i << " left behind";
+  }
+}
+
+TEST_F(AdwShardsTest, BinaryInputsRejectedByTextConverters) {
+  // A binary file fed to the text parser would have every line skipped as
+  // malformed and be "converted" into a valid empty graph — both text
+  // converters must refuse .adw and .adws inputs instead of silently
+  // discarding the edges.
+  write_adw_file(adw_path_, std::vector<Edge>{{0, 1}});
+  EXPECT_THROW((void)edge_list_to_adw(adw_path_, base_ + ".out.adw"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)edge_list_to_sharded_adw(adw_path_, manifest_path_, 2),
+      std::runtime_error);
+
+  const std::string nested = base_ + ".in.adws";
+  write_sharded_adw(nested, std::vector<Edge>{{0, 1}}, 1);
+  EXPECT_THROW((void)edge_list_to_sharded_adw(nested, manifest_path_, 2),
+               std::runtime_error);
+  std::remove(adw_shard_path(nested, 0).c_str());
+  std::remove(nested.c_str());
+  std::remove((base_ + ".out.adw").c_str());
+}
+
+TEST_F(AdwShardsTest, MissingInputDoesNotClobberExistingOutputs) {
+  write_sharded_adw(manifest_path_, std::vector<Edge>{{0, 1}}, 1);
+  EXPECT_THROW((void)edge_list_to_sharded_adw(base_ + ".does_not_exist.txt",
+                                              manifest_path_, 1),
+               std::runtime_error);
+  // Input-open failure happens before any output is touched.
+  EXPECT_EQ(read_and_validate_adw_manifest(manifest_path_).num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace adwise

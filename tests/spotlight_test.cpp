@@ -1,12 +1,21 @@
 // Tests for spotlight partitioning (§III-D): partition groups, merge
-// correctness, and the replication-vs-spread property of Fig. 8.
+// correctness, the replication-vs-spread property of Fig. 8, and the
+// sharded parallel-loading path (per-instance .adw shard streams on real
+// threads, bit-identical to the sequential single-file run).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "src/core/adwise_partitioner.h"
 #include "src/graph/generators.h"
 #include "src/io/adw_format.h"
+#include "src/io/adw_shards.h"
 #include "src/io/binary_stream.h"
 #include "src/partition/registry.h"
 #include "src/partition/spotlight.h"
@@ -188,6 +197,212 @@ TEST(SpotlightStreamTest, AdwBinaryStreamMatchesInMemory) {
   }
   EXPECT_DOUBLE_EQ(out_of_core.merged.replication_degree(),
                    in_memory.merged.replication_degree());
+}
+
+// --- Sharded parallel loading (per-instance shard streams, real threads) -----
+
+void expect_identical_runs(const SpotlightResult& a, const SpotlightResult& b,
+                           const char* what) {
+  ASSERT_EQ(a.assignments.size(), b.assignments.size()) << what;
+  for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+    ASSERT_EQ(a.assignments[i], b.assignments[i])
+        << what << " diverged at assignment " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.merged.replication_degree(),
+                   b.merged.replication_degree())
+      << what;
+}
+
+class SpotlightShardedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Pid-qualified: ctest runs test cases as separate processes whose
+    // heap layouts (and thus `this` addresses) can coincide, and two cases
+    // sharing shard files clobber each other.
+    base_ = ::testing::TempDir() + "spotlight_sharded_" +
+            std::to_string(static_cast<long>(::getpid())) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    manifest_path_ = base_ + ".adws";
+    adw_path_ = base_ + ".adw";
+  }
+
+  void TearDown() override {
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      std::remove(adw_shard_path(manifest_path_, i).c_str());
+    }
+    std::remove(manifest_path_.c_str());
+    std::remove(adw_path_.c_str());
+  }
+
+  std::string base_, manifest_path_, adw_path_;
+};
+
+TEST_F(SpotlightShardedTest, MatchesInMemoryAndSingleFileBitForBit) {
+  // The acceptance pin: z = 4 shard files on 4 instance threads produce the
+  // same merged partitions as the sequential single-file read head and the
+  // in-memory run.
+  const Graph g = make_community_graph({.num_communities = 35, .seed = 23});
+  write_adw_file(adw_path_, g.edges());
+  write_sharded_adw(manifest_path_, g.edges(), 4);
+  SpotlightOptions opts{.k = 16, .num_partitioners = 4, .spread = 4};
+
+  const auto in_memory =
+      run_spotlight(g.edges(), g.num_vertices(), factory_for("hdrf"), opts);
+  BinaryEdgeStream single(adw_path_);
+  const auto single_file =
+      run_spotlight(single, g.num_vertices(), factory_for("hdrf"), opts);
+  const auto sharded_serial = run_spotlight_sharded(
+      manifest_path_, g.num_vertices(), factory_for("hdrf"), opts);
+  SpotlightOptions threaded = opts;
+  threaded.run_threads = true;
+  const auto sharded_threads = run_spotlight_sharded(
+      manifest_path_, g.num_vertices(), factory_for("hdrf"), threaded);
+
+  expect_identical_runs(in_memory, single_file, "single-file");
+  expect_identical_runs(in_memory, sharded_serial, "sharded serial");
+  expect_identical_runs(in_memory, sharded_threads, "sharded threads");
+  EXPECT_EQ(sharded_threads.instance_seconds.size(), 4u);
+}
+
+TEST_F(SpotlightShardedTest, AdwiseInstancesOnThreadsMatchSerial) {
+  // The full ADWISE partitioner (window + heaps + batched refill) per
+  // instance, on threads, against its own shard stream — the bit-identity
+  // must survive the whole stack, and the per-instance reports merge into
+  // fleet totals via on_instance_done in instance order.
+  const Graph g = make_community_graph({.num_communities = 25, .seed = 31});
+  write_sharded_adw(manifest_path_, g.edges(), 4);
+  AdwiseOptions adwise_opts;
+  adwise_opts.adaptive_window = false;  // FakeClock-free determinism
+  adwise_opts.initial_window = 32;
+  const PartitionerFactory factory = [&adwise_opts](std::uint32_t,
+                                                    std::uint32_t) {
+    return std::make_unique<AdwisePartitioner>(adwise_opts);
+  };
+
+  auto run = [&](bool threads, AdwisePartitioner::Report* merged,
+                 std::vector<std::uint32_t>* order) {
+    SpotlightOptions opts{.k = 16, .num_partitioners = 4, .spread = 4,
+                          .run_threads = threads};
+    opts.on_instance_done = [&](std::uint32_t instance,
+                                EdgePartitioner& partitioner) {
+      if (order != nullptr) order->push_back(instance);
+      if (merged != nullptr) {
+        merged->merge_from(
+            dynamic_cast<AdwisePartitioner&>(partitioner).last_report());
+      }
+    };
+    return run_spotlight_sharded(manifest_path_, g.num_vertices(), factory,
+                                 opts);
+  };
+
+  AdwisePartitioner::Report serial_report, threaded_report;
+  std::vector<std::uint32_t> serial_order, threaded_order;
+  const auto serial = run(false, &serial_report, &serial_order);
+  const auto threads = run(true, &threaded_report, &threaded_order);
+
+  expect_identical_runs(serial, threads, "adwise sharded threads");
+  // The telemetry hook fires in instance order regardless of scheduling.
+  EXPECT_EQ(serial_order, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(threaded_order, serial_order);
+  // Merged fleet totals are scheduling-independent too.
+  EXPECT_EQ(serial_report.assignments, g.num_edges());
+  EXPECT_EQ(threaded_report.assignments, serial_report.assignments);
+  EXPECT_EQ(threaded_report.score_computations,
+            serial_report.score_computations);
+  EXPECT_EQ(threaded_report.batch_items, serial_report.batch_items);
+}
+
+TEST_F(SpotlightShardedTest, InstanceStreamOverloadThreadedMatchesSerial) {
+  const Graph g = make_erdos_renyi(300, 4'000, 9);
+  const auto chunks = chunk_edges(g.edges(), 4);
+  const InstanceStreamFactory streams =
+      [&chunks](std::uint32_t i) -> std::unique_ptr<EdgeStream> {
+    return std::make_unique<VectorEdgeStream>(chunks[i]);
+  };
+  SpotlightOptions serial{.k = 8, .num_partitioners = 4, .spread = 2};
+  SpotlightOptions threaded = serial;
+  threaded.run_threads = true;
+  threaded.num_threads = 2;  // fewer threads than instances: queueing path
+  const auto a =
+      run_spotlight(streams, g.num_vertices(), factory_for("hdrf"), serial);
+  const auto b =
+      run_spotlight(streams, g.num_vertices(), factory_for("hdrf"), threaded);
+  expect_identical_runs(a, b, "instance-stream threads");
+}
+
+TEST_F(SpotlightShardedTest, ShardCountMismatchThrows) {
+  const Graph g = make_erdos_renyi(100, 1'000, 2);
+  write_sharded_adw(manifest_path_, g.edges(), 2);
+  SpotlightOptions opts{.k = 16, .num_partitioners = 4, .spread = 4};
+  EXPECT_THROW((void)run_spotlight_sharded(manifest_path_, g.num_vertices(),
+                                           factory_for("hdrf"), opts),
+               std::runtime_error);
+}
+
+TEST_F(SpotlightShardedTest, TruncatedShardFailsBeforeStreaming) {
+  const Graph g = make_erdos_renyi(100, 1'000, 4);
+  write_sharded_adw(manifest_path_, g.edges(), 4);
+  // Chop a record off shard 1: validation must reject the whole run before
+  // any instance streams, instead of silently under-loading instance 1.
+  const std::string shard = adw_shard_path(manifest_path_, 1);
+  std::ifstream in(shard, std::ios::binary);
+  std::string bytes{std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>()};
+  in.close();
+  bytes.resize(bytes.size() - kAdwRecordBytes);
+  std::ofstream(shard, std::ios::binary | std::ios::trunc) << bytes;
+  SpotlightOptions opts{.k = 16, .num_partitioners = 4, .spread = 4,
+                        .run_threads = true};
+  EXPECT_THROW((void)run_spotlight_sharded(manifest_path_, g.num_vertices(),
+                                           factory_for("hdrf"), opts),
+               std::runtime_error);
+}
+
+TEST_F(SpotlightShardedTest, VertexIdBeyondNumVerticesThrows) {
+  write_sharded_adw(manifest_path_, std::vector<Edge>{{0, 9}}, 1);
+  SpotlightOptions opts{.k = 4, .num_partitioners = 1, .spread = 4};
+  EXPECT_THROW((void)run_spotlight_sharded(manifest_path_, /*num_vertices=*/5,
+                                           factory_for("hdrf"), opts),
+               std::runtime_error);
+}
+
+// RewindableEdgeStream whose size_hint() lies by a fixed offset — models a
+// short or over-long shard behind an exact-hint interface.
+class LyingStream final : public RewindableEdgeStream {
+ public:
+  LyingStream(std::span<const Edge> edges, std::ptrdiff_t hint_bias)
+      : inner_(edges), bias_(hint_bias) {}
+
+  bool next(Edge& out) override { return inner_.next(out); }
+  [[nodiscard]] std::size_t size_hint() const override {
+    const auto real = static_cast<std::ptrdiff_t>(inner_.size_hint());
+    return static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, real + bias_));
+  }
+  void rewind() override { inner_.rewind(); }
+
+ private:
+  VectorEdgeStream inner_;
+  std::ptrdiff_t bias_;
+};
+
+TEST_F(SpotlightShardedTest, StreamShorterThanHintFailsLoudly) {
+  // Chunk bounds derive from size_hint() once; a stream that delivers fewer
+  // edges than promised must throw, not silently starve trailing instances.
+  const Graph g = make_erdos_renyi(100, 1'000, 6);
+  LyingStream stream(g.edges(), /*hint_bias=*/+50);
+  SpotlightOptions opts{.k = 8, .num_partitioners = 4, .spread = 2};
+  EXPECT_THROW((void)run_spotlight(stream, g.num_vertices(),
+                                   factory_for("hdrf"), opts),
+               std::runtime_error);
+}
+
+TEST_F(SpotlightShardedTest, StreamLongerThanHintFailsLoudly) {
+  const Graph g = make_erdos_renyi(100, 1'000, 6);
+  LyingStream stream(g.edges(), /*hint_bias=*/-50);
+  SpotlightOptions opts{.k = 8, .num_partitioners = 4, .spread = 2};
+  EXPECT_THROW((void)run_spotlight(stream, g.num_vertices(),
+                                   factory_for("hdrf"), opts),
+               std::runtime_error);
 }
 
 // The Fig. 8 property: for a clustered graph, smaller spread means lower

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Doc hygiene checks over README.md and docs/*.md.
+
+Two failure classes:
+  * broken internal links: every relative markdown link target
+    ([text](path) where path is not http(s)/mailto/#anchor) must resolve
+    to an existing file or directory relative to the doc that names it;
+  * unparseable command snippets: every fenced ``` sh / ``` bash block is
+    extracted and run through `bash -n`, so a command block with a typo'd
+    quote or continuation can't rot silently in the docs.
+
+Usage: check_docs.py [repo_root]      (defaults to the script's repo)
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+# [text](target) — target up to the first closing paren or whitespace.
+# Images (![alt](...)) match too, which is what we want.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SNIPPET_LANGS = {"sh", "bash"}
+
+
+def doc_files(root):
+    docs = []
+    readme = os.path.join(root, "README.md")
+    if os.path.isfile(readme):
+        docs.append(readme)
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                docs.append(os.path.join(docs_dir, name))
+    return docs
+
+
+def check_links(path, text, problems):
+    base = os.path.dirname(path)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = os.path.normpath(os.path.join(base, target.split("#")[0]))
+        if not os.path.exists(resolved):
+            problems.append(f"{path}: broken link -> {target}")
+
+
+def check_snippets(path, text, problems):
+    # Any line whose stripped form starts with ``` toggles fence state —
+    # indented fences and multi-word info strings ("```sh -x") included, so
+    # the state machine can't desync and silently skip snippets.
+    lines = text.splitlines()
+    in_block, lang, block, start = False, "", [], 0
+    for lineno, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            if not in_block:
+                info = stripped[3:].strip()
+                lang = info.split()[0].lower() if info else ""
+                in_block, block, start = True, [], lineno
+            else:
+                in_block = False
+                if lang in SNIPPET_LANGS and block:
+                    lint_snippet(path, start, "\n".join(block), problems)
+        elif in_block:
+            block.append(line)
+    if in_block:
+        problems.append(f"{path}: unterminated code fence at line {start}")
+
+
+def lint_snippet(path, lineno, snippet, problems):
+    with tempfile.NamedTemporaryFile("w", suffix=".sh", delete=False) as tmp:
+        tmp.write(snippet + "\n")
+        tmp_path = tmp.name
+    try:
+        result = subprocess.run(["bash", "-n", tmp_path],
+                                capture_output=True, text=True)
+        if result.returncode != 0:
+            detail = result.stderr.strip().replace(tmp_path, "<snippet>")
+            problems.append(
+                f"{path}: snippet at line {lineno} fails bash -n: {detail}")
+    finally:
+        os.unlink(tmp_path)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    docs = doc_files(root)
+    if not docs:
+        print(f"no markdown docs found under {root}", file=sys.stderr)
+        return 2
+    problems = []
+    snippet_count = 0
+    for path in docs:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        check_links(path, text, problems)
+        check_snippets(path, text, problems)
+        snippet_count += text.count("```sh") + text.count("```bash")
+    if problems:
+        for p in problems:
+            print(f"DOCS FAILURE: {p}", file=sys.stderr)
+        return 1
+    print(f"docs OK: {len(docs)} files, links resolve, "
+          f"{snippet_count} sh/bash snippets parse")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

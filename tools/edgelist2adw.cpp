@@ -2,34 +2,99 @@
 // format (src/io/adw_format.h documents the layout).
 //
 //   $ ./edgelist2adw <graph.txt> <graph.adw>
+//   $ ./edgelist2adw --shards 8 <graph.txt> <graph.adws>
 //
-// Single streaming pass, O(1) memory: comments, blank/malformed lines and
-// self-loops are skipped exactly like the text streaming parser, so the
-// .adw file always replays the same edge sequence FileEdgeStream would
-// deliver — just ~an order of magnitude faster to read back.
+// Single-file mode streams in one pass, O(1) memory: comments, blank and
+// malformed lines and self-loops are skipped exactly like the text
+// streaming parser, so the .adw file always replays the same edge sequence
+// FileEdgeStream would deliver — just ~an order of magnitude faster to
+// read back.
+//
+// --shards z writes z chunk files plus a manifest (src/io/adw_shards.h):
+// a counting pass fixes the chunk boundaries, then the stream is replayed
+// into one writer per shard. Each spotlight instance can then read its own
+// shard concurrently (§III-D parallel loading). The input may also be an
+// existing .adw file (detected by magic), in which case it is resharded in
+// a single pass.
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <string>
 
 #include "src/io/adw_format.h"
+#include "src/io/adw_shards.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--shards z] <graph.txt|graph.adw> <out.adw[s]>\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace adwise;
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <graph.txt> <graph.adw>\n", argv[0]);
-    return 2;
+  unsigned long shards = 0;
+  int arg = 1;
+  if (arg < argc && std::string(argv[arg]) == "--shards") {
+    if (arg + 1 >= argc) return usage(argv[0]);
+    char* end = nullptr;
+    shards = std::strtoul(argv[arg + 1], &end, 10);
+    // Reject trailing garbage ("8x") and counts a uint32 cast would
+    // silently truncate — 2^20 shards is already far past any real z.
+    if (end == argv[arg + 1] || *end != '\0' || shards < 1 ||
+        shards > (1ul << 20)) {
+      std::fprintf(stderr,
+                   "error: --shards needs a count in [1, %lu], got '%s'\n",
+                   1ul << 20, argv[arg + 1]);
+      return 2;
+    }
+    arg += 2;
   }
-  const std::string in_path = argv[1];
-  const std::string out_path = argv[2];
+  if (argc - arg != 2) return usage(argv[0]);
+  const std::string in_path = argv[arg];
+  const std::string out_path = argv[arg + 1];
+
   try {
-    const AdwHeader header = edge_list_to_adw(in_path, out_path);
-    std::fprintf(stderr,
-                 "wrote %s: %llu edges, max vertex id %llu (%llu bytes)\n",
-                 out_path.c_str(),
-                 static_cast<unsigned long long>(header.num_edges),
-                 static_cast<unsigned long long>(header.max_vertex_id),
-                 static_cast<unsigned long long>(
-                     kAdwHeaderBytes + header.num_edges * kAdwRecordBytes));
+    if (is_adw_manifest(in_path)) {
+      // The text parser would skip every binary "line" and silently write
+      // a valid empty graph over the output.
+      std::fprintf(stderr,
+                   "error: %s is an .adws manifest — reshard from the "
+                   "original .adw or text file\n",
+                   in_path.c_str());
+      return 1;
+    }
+    if (shards == 0) {
+      const AdwHeader header = edge_list_to_adw(in_path, out_path);
+      std::fprintf(stderr,
+                   "wrote %s: %llu edges, max vertex id %llu (%llu bytes)\n",
+                   out_path.c_str(),
+                   static_cast<unsigned long long>(header.num_edges),
+                   static_cast<unsigned long long>(header.max_vertex_id),
+                   static_cast<unsigned long long>(
+                       kAdwHeaderBytes + header.num_edges * kAdwRecordBytes));
+      return 0;
+    }
+    const auto z = static_cast<std::uint32_t>(shards);
+    const AdwManifest manifest =
+        is_adw_file(in_path) ? adw_to_sharded_adw(in_path, out_path, z)
+                             : edge_list_to_sharded_adw(in_path, out_path, z);
+    std::fprintf(stderr, "wrote %s: %u shards, %llu edges, max vertex id %llu\n",
+                 out_path.c_str(), manifest.num_shards(),
+                 static_cast<unsigned long long>(manifest.num_edges()),
+                 static_cast<unsigned long long>(manifest.max_vertex_id()));
+    for (std::uint32_t i = 0; i < manifest.num_shards(); ++i) {
+      std::fprintf(stderr, "  %s: %llu edges, max vertex id %llu\n",
+                   adw_shard_path(out_path, i).c_str(),
+                   static_cast<unsigned long long>(
+                       manifest.shards[i].num_edges),
+                   static_cast<unsigned long long>(
+                       manifest.shards[i].max_vertex_id));
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

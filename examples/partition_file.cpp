@@ -1,11 +1,15 @@
 // partition_file: command-line streaming partitioner for edge-list files.
 //
-//   $ ./partition_file <graph.txt|graph.adw> [algorithm] [k] [latency_ms]
-//                      [--passes N] [--densify] [--out-of-core]
+//   $ ./partition_file <graph.txt|graph.adw|graph.adws> [algorithm] [k]
+//                      [latency_ms] [--passes N] [--densify] [--out-of-core]
+//                      [--output FILE] [--checkpoint FILE]
+//                      [--checkpoint-every N] [--resume CKPT]
+//                      [--sharded] [--spread N]
 //
-//   graph        SNAP-style text edge list ("u v" per line, # comments) or
-//                a binary .adw file (auto-detected by magic; see
-//                src/io/adw_format.h and tools/edgelist2adw)
+//   graph        SNAP-style text edge list ("u v" per line, # comments), a
+//                binary .adw file, or a sharded .adws manifest — all
+//                auto-detected by magic (see src/io/adw_format.h,
+//                src/io/adw_shards.h and tools/edgelist2adw)
 //   algorithm    hash | grid | dbh | greedy | hdrf | ne | adwise (default adwise)
 //   k            number of partitions                            (default 32)
 //   latency_ms   ADWISE latency preference in ms, -1 = unbounded (default -1)
@@ -15,14 +19,42 @@
 //                memory first (the pre-out-of-core behavior; needed when
 //                file ids are wildly sparse)
 //   --out-of-core  explicit alias for the default streaming mode
+//   --output FILE  write "u v partition" lines to FILE instead of stdout.
+//                The file is written as FILE.partial and atomically renamed
+//                into place on success, so a crashed run never leaves a
+//                torn result under the final name.
+//   --checkpoint FILE      write a durable checkpoint (.adwk) to FILE after
+//                every --checkpoint-every assignments (default 65536).
+//                Requires --output (the checkpoint records the durable
+//                output byte count so a resume can truncate back to it),
+//                a single pass, no --densify and no sharded input.
+//   --resume CKPT          continue a crashed run from CKPT: restores the
+//                partition + algorithm state, truncates FILE.partial to the
+//                checkpointed byte count and skips the already-consumed
+//                stream prefix. The resumed run is bit-identical
+//                (placements and counter traces) to an uninterrupted one.
+//                Implies --checkpoint CKPT unless --checkpoint is given.
+//   --sharded    treat the input as an .adws manifest even without the
+//                magic sniff (mostly for diagnostics; sniffing suffices)
+//   --spread N   spotlight spread for sharded input: partitions each
+//                instance may fill (default k/z when z divides k, else k)
+//
+// Sharded input runs the spotlight parallel loader: one partitioner
+// instance per shard, each streaming its own .adw shard file concurrently,
+// merged deterministically in instance order — so the printed assignment
+// order is reproducible run to run.
 //
 // The default path never materializes the edge list: edges stream straight
 // from disk (prefetched chunks for .adw, line parsing for text) and peak
 // resident edge data is bounded by the stream's chunk buffers.
 //
-// Prints one "u v partition" line per edge to stdout and a quality summary
-// to stderr — the shape a downstream graph system would actually consume.
+// Prints one "u v partition" line per edge (stdout or --output) and a
+// quality summary to stderr — the shape a downstream graph system would
+// actually consume. For ADWISE a deterministic counter-trace line is also
+// printed to stderr; the crash/resume tests compare it across runs.
 #include <algorithm>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,20 +64,45 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "src/core/adwise_partitioner.h"
 #include "src/graph/file_stream.h"
 #include "src/graph/io.h"
+#include "src/io/adw_shards.h"
 #include "src/io/binary_stream.h"
+#include "src/io/checkpoint.h"
+#include "src/partition/checkpoint_run.h"
 #include "src/partition/registry.h"
 #include "src/partition/restream.h"
+#include "src/partition/spotlight.h"
 
 namespace {
 
 void print_usage(const char* prog) {
-  std::fprintf(stderr,
-               "usage: %s <graph.txt|graph.adw> [algorithm] [k] [latency_ms]"
-               " [--passes N] [--densify] [--out-of-core]\n",
-               prog);
+  std::fprintf(
+      stderr,
+      "usage: %s <graph.txt|graph.adw|graph.adws> [algorithm] [k]"
+      " [latency_ms]\n"
+      "          [--passes N] [--densify] [--out-of-core] [--output FILE]\n"
+      "          [--checkpoint FILE] [--checkpoint-every N] [--resume CKPT]\n"
+      "          [--sharded] [--spread N]\n",
+      prog);
+}
+
+// Flushes and fsyncs f, then returns the durable byte count.
+std::uint64_t make_durable(std::FILE* f) {
+  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) {
+    throw std::runtime_error(std::string("failed to flush partition output: ") +
+                             std::strerror(errno));
+  }
+  const long pos = std::ftell(f);
+  if (pos < 0) {
+    throw std::runtime_error(std::string("ftell on partition output failed: ") +
+                             std::strerror(errno));
+  }
+  return static_cast<std::uint64_t>(pos);
 }
 
 }  // namespace
@@ -57,26 +114,57 @@ int main(int argc, char** argv) {
   std::uint32_t passes = 1;
   bool densify = false;
   bool out_of_core = false;
+  bool sharded = false;
+  std::string output_path;
+  std::string checkpoint_path;
+  std::string resume_path;
+  std::uint64_t checkpoint_every = std::uint64_t{1} << 16;
+  std::uint32_t spread = 0;  // 0 = derive from k and shard count
+
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      print_usage(argv[0]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  const auto parse_count = [&](const char* flag, const char* value,
+                               long long lo, long long hi) -> long long {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || parsed < lo || parsed > hi) {
+      std::fprintf(stderr, "%s expects an integer in [%lld, %lld], got '%s'\n",
+                   flag, lo, hi, value);
+      std::exit(2);
+    }
+    return parsed;
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--densify") {
       densify = true;
     } else if (arg == "--out-of-core") {
       out_of_core = true;  // the default; accepted for explicitness
+    } else if (arg == "--sharded") {
+      sharded = true;
     } else if (arg == "--passes") {
-      if (i + 1 >= argc) {
-        print_usage(argv[0]);
-        return 2;
-      }
-      const char* value = argv[++i];
-      char* end = nullptr;
-      const long long parsed = std::strtoll(value, &end, 10);
-      if (end == value || *end != '\0' || parsed < 1 || parsed > 1000) {
-        std::fprintf(stderr, "--passes expects an integer in [1, 1000], got '%s'\n",
-                     value);
-        return 2;
-      }
-      passes = static_cast<std::uint32_t>(parsed);
+      passes = static_cast<std::uint32_t>(
+          parse_count("--passes", need_value(i), 1, 1000));
+    } else if (arg == "--output") {
+      output_path = need_value(i);
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = need_value(i);
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = static_cast<std::uint64_t>(parse_count(
+          "--checkpoint-every", need_value(i), 1,
+          std::numeric_limits<long long>::max()));
+    } else if (arg == "--resume") {
+      resume_path = need_value(i);
+    } else if (arg == "--spread") {
+      spread = static_cast<std::uint32_t>(
+          parse_count("--spread", need_value(i), 1,
+                      std::numeric_limits<std::uint32_t>::max()));
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       print_usage(argv[0]);
@@ -93,6 +181,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--densify and --out-of-core are mutually exclusive\n");
     return 2;
   }
+  if (!resume_path.empty() && checkpoint_path.empty()) {
+    checkpoint_path = resume_path;  // keep checkpointing into the same file
+  }
+  const bool checkpointing = !checkpoint_path.empty();
+
   const std::string path = positional[0];
   const std::string algorithm = positional.size() > 1 ? positional[1] : "adwise";
   const auto k = static_cast<std::uint32_t>(
@@ -100,32 +193,103 @@ int main(int argc, char** argv) {
   const std::int64_t latency_ms =
       positional.size() > 3 ? std::atoll(positional[3].c_str()) : -1;
 
-  RestreamFactory factory;
-  if (algorithm == "adwise") {
-    AdwiseOptions options;
-    options.latency_preference_ms = latency_ms;
-    factory = [options] { return std::make_unique<AdwisePartitioner>(options); };
-  } else {
+  AdwiseOptions adwise_options;
+  adwise_options.latency_preference_ms = latency_ms;
+  const bool is_adwise = algorithm == "adwise";
+  if (!is_adwise) {
     const auto names = baseline_partitioner_names();
     if (std::find(names.begin(), names.end(), algorithm) == names.end()) {
       std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
       return 2;
     }
-    factory = [algorithm, k] { return make_baseline_partitioner(algorithm, k); };
   }
 
   try {
-    std::unique_ptr<RewindableEdgeStream> stream;
+    const bool sharded_input = sharded || is_adw_manifest(path);
+    if (sharded && !is_adw_manifest(path)) {
+      throw std::runtime_error("--sharded given but " + path +
+                               " is not an .adws manifest");
+    }
+    if (sharded_input && (densify || passes > 1 || checkpointing)) {
+      throw std::runtime_error(
+          "sharded input is incompatible with --densify, --passes > 1 and "
+          "checkpointing");
+    }
+    if (checkpointing && (densify || passes > 1)) {
+      throw std::runtime_error(
+          "checkpointing requires a single out-of-core pass (no --densify, "
+          "no --passes > 1)");
+    }
+    if (checkpointing && output_path.empty()) {
+      throw std::runtime_error(
+          "--checkpoint/--resume require --output: the checkpoint records "
+          "the durable output byte count, which stdout cannot provide");
+    }
+
+    // Assignment lines go to stdout or, with --output, to FILE.partial —
+    // atomically renamed to FILE only after a fully successful run.
+    std::FILE* sink_file = stdout;
+    std::string partial_path;
+    const auto open_output = [&](bool append) {
+      partial_path = output_path + ".partial";
+      sink_file = std::fopen(partial_path.c_str(), append ? "ab" : "wb");
+      if (sink_file == nullptr) {
+        throw std::runtime_error("cannot open " + partial_path + ": " +
+                                 std::strerror(errno));
+      }
+    };
+    const auto finalize_output = [&]() {
+      if (sink_file == stdout) return;
+      make_durable(sink_file);
+      std::fclose(sink_file);
+      sink_file = stdout;
+      if (std::rename(partial_path.c_str(), output_path.c_str()) != 0) {
+        throw std::runtime_error("cannot rename " + partial_path + " to " +
+                                 output_path + ": " + std::strerror(errno));
+      }
+    };
+
     LoadResult loaded;  // only populated with --densify
     std::vector<std::uint64_t> densify_ids;
-    VertexId num_vertices = 0;
-    std::size_t num_edges = 0;
+    const auto emit_line = [&](const Edge& e, PartitionId p) {
+      const std::uint64_t u = densify ? densify_ids[e.u] : e.u;
+      const std::uint64_t v = densify ? densify_ids[e.v] : e.v;
+      std::fprintf(sink_file, "%llu %llu %u\n",
+                   static_cast<unsigned long long>(u),
+                   static_cast<unsigned long long>(v), p);
+    };
+    const auto print_summary = [&](const PartitionState& state) {
+      std::fprintf(stderr,
+                   "%s, k=%u, passes=%u: replication degree %.4f, "
+                   "imbalance %.4f\n",
+                   algorithm.c_str(), k, passes, state.replication_degree(),
+                   state.imbalance());
+    };
+    // Deterministic counter trace: identical for an uninterrupted run and a
+    // crash-resumed one — the crash tests compare this line verbatim.
+    const auto print_adwise_counters = [&](const AdwisePartitioner& p) {
+      const auto& r = p.last_report();
+      std::fprintf(stderr,
+                   "adwise counters: assignments=%llu score_computations=%llu "
+                   "heap_pops=%llu forced_secondary=%llu "
+                   "secondary_rescans=%llu demotion_sweeps=%llu "
+                   "event_reassessments=%llu adaptations=%llu "
+                   "max_window=%llu\n",
+                   static_cast<unsigned long long>(r.assignments),
+                   static_cast<unsigned long long>(r.score_computations),
+                   static_cast<unsigned long long>(r.heap_pops),
+                   static_cast<unsigned long long>(r.forced_secondary),
+                   static_cast<unsigned long long>(r.secondary_rescans),
+                   static_cast<unsigned long long>(r.demotion_sweeps),
+                   static_cast<unsigned long long>(r.event_reassessments),
+                   static_cast<unsigned long long>(r.adaptations),
+                   static_cast<unsigned long long>(r.max_window));
+    };
 
-    // The streaming paths index dense per-vertex state by raw file id:
-    // num_vertices = max_id + 1 must not wrap the 32-bit VertexId.
     const auto checked_num_vertices = [](std::uint64_t max_vertex_id) {
-      if (max_vertex_id >=
-          std::numeric_limits<VertexId>::max()) {
+      // The streaming paths index dense per-vertex state by raw file id:
+      // num_vertices = max_id + 1 must not wrap the 32-bit VertexId.
+      if (max_vertex_id >= std::numeric_limits<VertexId>::max()) {
         throw std::runtime_error(
             "max vertex id " + std::to_string(max_vertex_id) +
             " leaves no room for num_vertices = max + 1; "
@@ -133,6 +297,59 @@ int main(int argc, char** argv) {
       }
       return static_cast<VertexId>(max_vertex_id + 1);
     };
+
+    // --- Sharded spotlight path ---------------------------------------------
+    if (sharded_input) {
+      const AdwManifest manifest = read_and_validate_adw_manifest(path);
+      const std::uint32_t z = manifest.num_shards();
+      if (z == 0) throw std::runtime_error(path + " has no shards");
+      const VertexId num_vertices =
+          checked_num_vertices(manifest.max_vertex_id());
+      SpotlightOptions sopts;
+      sopts.k = k;
+      sopts.num_partitioners = z;
+      sopts.spread = spread != 0 ? spread : (k % z == 0 ? k / z : k);
+      if (sopts.spread > k) {
+        throw std::runtime_error("--spread " + std::to_string(sopts.spread) +
+                                 " exceeds k=" + std::to_string(k));
+      }
+      sopts.run_threads = true;
+      std::fprintf(stderr,
+                   "streaming %s (.adws): %u shards, %llu edges, max id %u, "
+                   "spread %u\n",
+                   path.c_str(), z,
+                   static_cast<unsigned long long>(manifest.num_edges()),
+                   num_vertices - 1, sopts.spread);
+
+      PartitionerFactory pfactory;
+      if (is_adwise) {
+        pfactory = [adwise_options](std::uint32_t, std::uint32_t) {
+          return std::make_unique<AdwisePartitioner>(adwise_options);
+        };
+      } else {
+        pfactory = [algorithm](std::uint32_t, std::uint32_t local_k) {
+          return make_baseline_partitioner(algorithm, local_k);
+        };
+      }
+      if (!output_path.empty()) open_output(/*append=*/false);
+      const SpotlightResult result =
+          run_spotlight_sharded(path, num_vertices, pfactory, sopts);
+      // Deterministic instance-order merge: the printed sequence is the
+      // shard-concatenated edge order, reproducible run to run.
+      for (const Assignment& a : result.assignments) {
+        emit_line(a.edge, a.partition);
+      }
+      finalize_output();
+      std::fprintf(stderr, "spotlight wall latency: %.3fs (max over %u instances)\n",
+                   result.wall_seconds, z);
+      print_summary(result.merged);
+      return 0;
+    }
+
+    // --- Single-stream paths ------------------------------------------------
+    std::unique_ptr<RewindableEdgeStream> stream;
+    VertexId num_vertices = 0;
+    std::size_t num_edges = 0;
 
     if (densify) {
       loaded = read_edge_list_file(path);
@@ -158,28 +375,101 @@ int main(int argc, char** argv) {
                    path.c_str(), num_edges, num_vertices - 1);
     }
 
+    RestreamFactory factory;
+    if (is_adwise) {
+      factory = [adwise_options] {
+        return std::make_unique<AdwisePartitioner>(adwise_options);
+      };
+    } else {
+      factory = [algorithm, k] { return make_baseline_partitioner(algorithm, k); };
+    }
+
+    // --- Checkpointed single-pass path --------------------------------------
+    if (checkpointing) {
+      auto partitioner = factory();
+      PartitionState state(k, num_vertices);
+
+      Checkpoint resume_ckpt;
+      const Checkpoint* resume_ptr = nullptr;
+      if (!resume_path.empty()) {
+        resume_ckpt = read_checkpoint_file(resume_path);
+        validate_checkpoint(resume_ckpt.meta, partitioner->name(), k,
+                            num_vertices);
+        resume_ptr = &resume_ckpt;
+        // Roll the partial output back to exactly the bytes the checkpoint
+        // accounts for; everything after was written post-checkpoint and
+        // will be reproduced bit-identically.
+        const std::string partial = output_path + ".partial";
+        if (::truncate(partial.c_str(),
+                       static_cast<off_t>(resume_ckpt.meta.sink_bytes)) != 0) {
+          if (!(errno == ENOENT && resume_ckpt.meta.sink_bytes == 0)) {
+            throw std::runtime_error(
+                "cannot truncate " + partial + " to " +
+                std::to_string(resume_ckpt.meta.sink_bytes) +
+                " checkpointed bytes: " + std::strerror(errno));
+          }
+        }
+        std::fprintf(stderr,
+                     "resuming from %s: %llu assignments, %llu edges "
+                     "consumed, %llu durable output bytes\n",
+                     resume_path.c_str(),
+                     static_cast<unsigned long long>(
+                         resume_ckpt.meta.assignments),
+                     static_cast<unsigned long long>(
+                         resume_ckpt.meta.edges_consumed),
+                     static_cast<unsigned long long>(
+                         resume_ckpt.meta.sink_bytes));
+      }
+      open_output(/*append=*/resume_ptr != nullptr);
+
+      CheckpointRunOptions copts;
+      copts.checkpoint_path = checkpoint_path;
+      copts.every = checkpoint_every;
+      // Overlap checkpoint fsync/rename with partitioning; a crash loses at
+      // most the newest in-flight checkpoint, never the previous one.
+      copts.async_io = true;
+      copts.durable_sink_bytes = [&]() { return make_durable(sink_file); };
+      // Crash-test kill switch: SIGKILL this process right after the N-th
+      // checkpoint written by THIS run — no cleanup, no flushes, exactly
+      // the failure the checkpoint format must survive.
+      if (const char* kill_after =
+              std::getenv("ADWISE_TEST_KILL_AFTER_CHECKPOINT")) {
+        const long long n = std::atoll(kill_after);
+        copts.on_checkpoint = [n](std::uint64_t ordinal) {
+          if (n > 0 && ordinal >= static_cast<std::uint64_t>(n)) {
+            ::kill(::getpid(), SIGKILL);
+          }
+        };
+      }
+
+      const std::uint64_t written = run_with_checkpoints(
+          *partitioner, *stream, state, emit_line, copts, resume_ptr);
+      finalize_output();
+      std::fprintf(stderr, "checkpoints written this run: %llu (to %s)\n",
+                   static_cast<unsigned long long>(written),
+                   checkpoint_path.c_str());
+      if (const auto* adw =
+              dynamic_cast<const AdwisePartitioner*>(partitioner.get())) {
+        print_adwise_counters(*adw);
+      }
+      print_summary(state);
+      return 0;
+    }
+
+    // --- Default (restreaming) path -----------------------------------------
+    if (!output_path.empty()) open_output(/*append=*/false);
     // Assignments print straight from the final pass's sink — nothing
     // |E|-sized is ever buffered, so graphs larger than RAM work.
-    const auto result = restream_partition(
-        *stream, num_vertices, k, factory, passes,
-        [&](const Edge& e, PartitionId p) {
-          const std::uint64_t u = densify ? densify_ids[e.u] : e.u;
-          const std::uint64_t v = densify ? densify_ids[e.v] : e.v;
-          std::printf("%llu %llu %u\n", static_cast<unsigned long long>(u),
-                      static_cast<unsigned long long>(v), p);
-        });
+    const auto result = restream_partition(*stream, num_vertices, k, factory,
+                                           passes, emit_line);
+    finalize_output();
 
     for (std::size_t pass = 0; pass + 1 < result.pass_replication.size();
          ++pass) {
       std::fprintf(stderr, "pass %zu: replication degree %.4f\n", pass + 1,
                    result.pass_replication[pass]);
     }
-    std::fprintf(stderr,
-                 "%s, k=%u, passes=%u: replication degree %.4f, "
-                 "imbalance %.4f\n",
-                 algorithm.c_str(), k, passes,
-                 result.final_state.replication_degree(),
-                 result.final_state.imbalance());
+    print_summary(result.final_state);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

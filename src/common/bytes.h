@@ -1,0 +1,191 @@
+// Bounds-checked little-endian byte codec used by every serialized state
+// blob (PartitionState, ADWISE algorithm state, checkpoint metadata).
+//
+// All integers are encoded little-endian regardless of host and doubles as
+// their IEEE-754 bit pattern, so blobs written on one machine decode on any
+// other — the same portability contract as the .adw format. The reader
+// throws on any out-of-bounds access instead of reading garbage: a
+// truncated or corrupt blob must fail loudly, never resume from half a
+// state.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace adwise {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t x) { buf_.push_back(static_cast<std::byte>(x)); }
+
+  void u32(std::uint32_t x) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::byte>((x >> (8 * i)) & 0xffu));
+    }
+  }
+
+  void u64(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::byte>((x >> (8 * i)) & 0xffu));
+    }
+  }
+
+  void f64(double x) { u64(std::bit_cast<std::uint64_t>(x)); }
+
+  void boolean(bool x) { u8(x ? 1 : 0); }
+
+  // Length-prefixed string.
+  void str(std::string_view s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+
+  // Unprefixed raw bytes (the caller encodes the length itself).
+  void raw(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  // Grows the buffer's capacity ahead of a known-size burst of appends.
+  void reserve(std::size_t additional) {
+    buf_.reserve(buf_.size() + additional);
+  }
+
+  // Bulk array writes — byte layout identical to calling u32()/u64() per
+  // element, but a single memcpy on little-endian hosts. These keep the
+  // per-checkpoint serialization of |V|-sized tables off the profile.
+  // Empty spans are skipped up front: data() of an empty vector may be
+  // null, and null is UB for memcpy/insert even with a zero length.
+  void u32_span(const std::uint32_t* data, std::size_t count) {
+    if (count == 0) return;
+    if constexpr (std::endian::native == std::endian::little) {
+      raw(data, count * sizeof(std::uint32_t));
+    } else {
+      for (std::size_t i = 0; i < count; ++i) u32(data[i]);
+    }
+  }
+
+  void u64_span(const std::uint64_t* data, std::size_t count) {
+    if (count == 0) return;
+    if constexpr (std::endian::native == std::endian::little) {
+      raw(data, count * sizeof(std::uint64_t));
+    } else {
+      for (std::size_t i = 0; i < count; ++i) u64(data[i]);
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> in) : in_(in) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return std::to_integer<std::uint8_t>(in_[pos_++]);
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t x = 0;
+    for (int i = 0; i < 4; ++i) {
+      x |= std::to_integer<std::uint32_t>(in_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return x;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) {
+      x |= std::to_integer<std::uint64_t>(in_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return x;
+  }
+
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+
+  [[nodiscard]] bool boolean() { return u8() != 0; }
+
+  [[nodiscard]] std::string str() {
+    const std::uint64_t len = u64();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(in_.data()) + pos_,
+                  static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+  }
+
+  [[nodiscard]] std::span<const std::byte> raw(std::size_t len) {
+    need(len);
+    const auto out = in_.subspan(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  // Bulk array reads mirroring ByteWriter::u32_span/u64_span. Empty spans
+  // are skipped: `out` may be null for an empty destination vector, and
+  // null is UB for memcpy even with a zero length.
+  void u32_span(std::uint32_t* out, std::size_t count) {
+    if (count == 0) return;
+    if constexpr (std::endian::native == std::endian::little) {
+      const auto bytes = raw(count * sizeof(std::uint32_t));
+      std::memcpy(out, bytes.data(), bytes.size());
+    } else {
+      for (std::size_t i = 0; i < count; ++i) out[i] = u32();
+    }
+  }
+
+  void u64_span(std::uint64_t* out, std::size_t count) {
+    if (count == 0) return;
+    if constexpr (std::endian::native == std::endian::little) {
+      const auto bytes = raw(count * sizeof(std::uint64_t));
+      std::memcpy(out, bytes.data(), bytes.size());
+    } else {
+      for (std::size_t i = 0; i < count; ++i) out[i] = u64();
+    }
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+
+  // Decoding must consume the blob exactly: trailing bytes mean the blob
+  // and the decoder disagree about the layout — reject, don't guess.
+  void expect_end() const {
+    if (pos_ != in_.size()) {
+      throw std::runtime_error("state blob has " +
+                               std::to_string(in_.size() - pos_) +
+                               " trailing bytes after decoding");
+    }
+  }
+
+ private:
+  void need(std::uint64_t len) const {
+    if (len > in_.size() - pos_) {
+      throw std::runtime_error(
+          "state blob truncated: need " + std::to_string(len) +
+          " bytes at offset " + std::to_string(pos_) + ", have " +
+          std::to_string(in_.size() - pos_));
+    }
+  }
+
+  std::span<const std::byte> in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace adwise

@@ -1,0 +1,92 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// protecting every on-disk artifact that must detect corruption: .adw CRC
+// trailers, .adws manifests and .adwk checkpoint sections.
+//
+// Self-contained slicing-by-8 implementation (no external dependency):
+// eight consteval-generated 256-entry tables let the hot loop fold eight
+// input bytes per iteration (~4-5x the classic one-table byte loop), which
+// keeps the per-checkpoint CRC of megabyte state blobs and the per-block
+// .adw trailer verification off the profile. The incremental feed API lets
+// writers checksum fixed-size blocks while streaming without buffering a
+// whole block.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace adwise {
+
+namespace detail {
+
+consteval std::array<std::array<std::uint32_t, 256>, 8> make_crc32_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  // tables[k][i] — the CRC contribution of byte i seen k positions before
+  // the end of an 8-byte group (standard slicing-by-N construction).
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables[k - 1][i];
+      tables[k][i] = (prev >> 8) ^ tables[0][prev & 0xffu];
+    }
+  }
+  return tables;
+}
+
+inline constexpr std::array<std::array<std::uint32_t, 256>, 8> kCrc32Tables =
+    make_crc32_tables();
+
+}  // namespace detail
+
+// Incremental form: state = crc32_init(); state = crc32_feed(state, ...)*;
+// crc = crc32_finish(state). Feeding in any split of the same byte sequence
+// yields the same final value.
+[[nodiscard]] constexpr std::uint32_t crc32_init() { return 0xffffffffu; }
+
+[[nodiscard]] inline std::uint32_t crc32_feed(std::uint32_t state,
+                                              const void* data,
+                                              std::size_t len) {
+  const auto& t = detail::kCrc32Tables;
+  const auto* p = static_cast<const unsigned char*>(data);
+  // Explicit little-endian byte loads, so the fold is host-endian
+  // independent and the result matches the byte-at-a-time loop exactly.
+  while (len >= 8) {
+    const std::uint32_t lo =
+        state ^ (static_cast<std::uint32_t>(p[0]) |
+                 (static_cast<std::uint32_t>(p[1]) << 8) |
+                 (static_cast<std::uint32_t>(p[2]) << 16) |
+                 (static_cast<std::uint32_t>(p[3]) << 24));
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             (static_cast<std::uint32_t>(p[5]) << 8) |
+                             (static_cast<std::uint32_t>(p[6]) << 16) |
+                             (static_cast<std::uint32_t>(p[7]) << 24);
+    state = t[7][lo & 0xffu] ^ t[6][(lo >> 8) & 0xffu] ^
+            t[5][(lo >> 16) & 0xffu] ^ t[4][lo >> 24] ^ t[3][hi & 0xffu] ^
+            t[2][(hi >> 8) & 0xffu] ^ t[1][(hi >> 16) & 0xffu] ^
+            t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- != 0) {
+    state = t[0][(state ^ *p++) & 0xffu] ^ (state >> 8);
+  }
+  return state;
+}
+
+[[nodiscard]] constexpr std::uint32_t crc32_finish(std::uint32_t state) {
+  return state ^ 0xffffffffu;
+}
+
+// One-shot convenience. crc32("123456789") == 0xCBF43926 (the standard
+// check value, pinned in tests).
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t len) {
+  return crc32_finish(crc32_feed(crc32_init(), data, len));
+}
+
+}  // namespace adwise

@@ -21,6 +21,13 @@ class RunningMean {
     mean_ = 0.0;
   }
 
+  // Reinstates a previously observed (count, mean) pair — checkpoint
+  // restore; subsequent add() calls continue the same running mean.
+  void restore(std::uint64_t n, double mean) {
+    n_ = n;
+    mean_ = mean;
+  }
+
   [[nodiscard]] double mean() const { return mean_; }
   [[nodiscard]] std::uint64_t count() const { return n_; }
 
@@ -41,6 +48,13 @@ class Ewma {
     } else {
       value_ = alpha_ * x + (1.0 - alpha_) * value_;
     }
+  }
+
+  // Reinstates a previously observed average — checkpoint restore; alpha
+  // comes from construction as usual.
+  void restore(double value, bool initialized) {
+    value_ = value;
+    initialized_ = initialized;
   }
 
   [[nodiscard]] bool initialized() const { return initialized_; }

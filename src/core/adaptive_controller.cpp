@@ -102,6 +102,34 @@ void DrainController::end_period() {
   limited_ = 0;
 }
 
+void DrainController::save(ByteWriter& out) const {
+  out.u64(budget_);
+  out.u64(interval_);
+  out.u64(drains_);
+  out.u64(forced_);
+  out.u64(limited_);
+  out.boolean(trial_);
+  out.u64(trial_budget_);
+  out.u64(trial_interval_);
+  out.f64(trial_baseline_);
+  out.u64(cooldown_);
+  out.u64(adaptations_);
+}
+
+void DrainController::load(ByteReader& in) {
+  budget_ = in.u64();
+  interval_ = in.u64();
+  drains_ = in.u64();
+  forced_ = in.u64();
+  limited_ = in.u64();
+  trial_ = in.boolean();
+  trial_budget_ = in.u64();
+  trial_interval_ = in.u64();
+  trial_baseline_ = in.f64();
+  cooldown_ = in.u64();
+  adaptations_ = in.u64();
+}
+
 AdaptiveController::AdaptiveController(const AdwiseOptions& opts,
                                        const Clock& clock,
                                        std::size_t total_edges)
@@ -112,6 +140,43 @@ AdaptiveController::AdaptiveController(const AdwiseOptions& opts,
       batch_start_(start_),
       window_(std::max<std::uint64_t>(1, opts.initial_window)),
       max_seen_(window_) {}
+
+void AdaptiveController::save(ByteWriter& out) const {
+  out.u64(total_edges_);
+  out.u64(batch_score_.count());
+  out.f64(batch_score_.mean());
+  out.f64(prev_batch_score_);
+  out.boolean(has_prev_batch_);
+  out.u64(window_);
+  out.u64(batch_count_);
+  out.u64(adaptations_);
+  out.u64(max_seen_);
+  out.u64(trace_.size());
+  for (const TracePoint& t : trace_) {
+    out.u64(t.assigned);
+    out.u64(t.window);
+  }
+}
+
+void AdaptiveController::load(ByteReader& in) {
+  total_edges_ = static_cast<std::size_t>(in.u64());
+  const std::uint64_t score_count = in.u64();
+  const double score_mean = in.f64();
+  batch_score_.restore(score_count, score_mean);
+  prev_batch_score_ = in.f64();
+  has_prev_batch_ = in.boolean();
+  window_ = in.u64();
+  batch_count_ = in.u64();
+  adaptations_ = in.u64();
+  max_seen_ = in.u64();
+  trace_.resize(static_cast<std::size_t>(in.u64()));
+  for (TracePoint& t : trace_) {
+    t.assigned = in.u64();
+    t.window = in.u64();
+  }
+  // Re-based, not restored: exact only for clock-free runs (header note).
+  start_ = batch_start_ = clock_->now();
+}
 
 void AdaptiveController::on_assignment(double score, std::uint64_t assigned) {
   batch_score_.add(score);

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/common/clock.h"
 #include "src/common/stats.h"
 #include "src/core/options.h"
@@ -97,6 +98,11 @@ class DrainController {
 
   [[nodiscard]] std::uint64_t adaptations() const { return adaptations_; }
 
+  // Checkpoint support: every counter the purely counter-driven adaptation
+  // reads (floors/caps are reconstructed from options at construction).
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
+
  private:
   // Drains per decision: large enough that a 25% forced-rate drop clears
   // the period's sampling noise (sigma ~ sqrt(p(1-p)/64) ~ 0.06) — with
@@ -162,6 +168,14 @@ class AdaptiveController {
     std::uint64_t window;
   };
   [[nodiscard]] const std::vector<TracePoint>& trace() const { return trace_; }
+
+  // Checkpoint support. The clock anchors (start_, batch_start_) are NOT
+  // serialized: load() re-bases both to clock->now(). That is only exact
+  // for clock-free runs (latency_preference_ms < 0, where C2 never consults
+  // them) — which is precisely the precondition under which the partitioner
+  // offers checkpointing at all.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
 
  private:
   void adapt(std::uint64_t assigned);

@@ -6,6 +6,8 @@
 #include <deque>
 #include <limits>
 #include <memory>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "src/common/thread_pool.h"
@@ -27,6 +29,15 @@ class ThresholdTracker {
   [[nodiscard]] double theta() const {
     if (!avg_.initialized()) return -std::numeric_limits<double>::infinity();
     return avg_.value() + epsilon_;
+  }
+
+  void save(ByteWriter& out) const {
+    out.f64(avg_.value());
+    out.boolean(avg_.initialized());
+  }
+  void load(ByteReader& in) {
+    const double value = in.f64();
+    avg_.restore(value, in.boolean());
   }
 
  private:
@@ -96,6 +107,28 @@ class LazySlotHeap {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  // Entries are serialized verbatim in array order: the vector already
+  // satisfies the heap property, so load() needs no make_heap, and future
+  // push/pop sequences replay exactly.
+  void save(ByteWriter& out) const {
+    out.u64(entries_.size());
+    for (const Entry& e : entries_) {
+      out.f64(e.score);
+      out.u64(e.sequence);
+      out.u32(e.slot);
+      out.u64(e.version);
+    }
+  }
+  void load(ByteReader& in) {
+    entries_.resize(static_cast<std::size_t>(in.u64()));
+    for (Entry& e : entries_) {
+      e.score = in.f64();
+      e.sequence = in.u64();
+      e.slot = in.u32();
+      e.version = in.u64();
+    }
+  }
+
  private:
   static bool less(const Entry& a, const Entry& b) {
     if (a.score != b.score) return a.score < b.score;
@@ -107,7 +140,28 @@ class LazySlotHeap {
   std::vector<Entry> entries_;
 };
 
+// Layout tag of the opaque ADWISE state blob a CheckpointHook carries.
+constexpr std::uint32_t kAdwiseStateVersion = 1;
+
 }  // namespace
+
+bool AdwisePartitioner::enable_checkpoints(CheckpointHook hook) {
+  if (opts_.latency_preference_ms >= 0) return false;
+  if (opts_.num_score_threads > 1) return false;
+  ckpt_ = std::move(hook);
+  return true;
+}
+
+bool AdwisePartitioner::restore_algorithm_state(
+    std::span<const std::byte> state) {
+  if (state.size() < 4) return false;  // ADWISE always emits a tagged blob
+  // Sniff the layout tag up front so an alien blob is rejected at restore
+  // time, not deep inside the next partition() call.
+  ByteReader in(state);
+  if (in.u32() != kAdwiseStateVersion) return false;
+  resume_state_.assign(state.begin(), state.end());
+  return true;
+}
 
 void AdwisePartitioner::Report::merge_from(const Report& other) {
   assignments += other.assignments;
@@ -679,6 +733,105 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
     });
   };
 
+  // --- Checkpoint support ---------------------------------------------------
+  // The safe boundary is the bottom of the assignment loop: refill_ids is
+  // empty (classify_batch always drains it), every scratch vector is
+  // cleared before use, and the kExact touch marks are all stale (refill
+  // bumps touch_round past them before returning) — so the complete
+  // algorithm state is the named structures below plus the loop counters.
+  // Wall time accumulated before the last crash, so a resumed run's report
+  // shows total time across attempts.
+  double base_seconds = 0.0;
+
+  auto save_report_counters = [&](ByteWriter& out) {
+    out.u64(report_.score_computations);
+    out.u64(report_.secondary_rescans);
+    out.u64(report_.forced_secondary);
+    out.u64(report_.event_reassessments);
+    out.u64(report_.heap_pops);
+    out.u64(report_.demotion_sweeps);
+    out.u64(report_.score_batches);
+    out.u64(report_.batch_items);
+    out.u64(report_.pool_batches);
+    out.u64(report_.pool_batch_items);
+    out.u64(report_.refill_batches);
+    out.u64(report_.refill_batch_items);
+    for (const std::uint64_t b : report_.batch_size_hist) out.u64(b);
+  };
+  auto load_report_counters = [&](ByteReader& in) {
+    report_.score_computations = in.u64();
+    report_.secondary_rescans = in.u64();
+    report_.forced_secondary = in.u64();
+    report_.event_reassessments = in.u64();
+    report_.heap_pops = in.u64();
+    report_.demotion_sweeps = in.u64();
+    report_.score_batches = in.u64();
+    report_.batch_items = in.u64();
+    report_.pool_batches = in.u64();
+    report_.pool_batch_items = in.u64();
+    report_.refill_batches = in.u64();
+    report_.refill_batch_items = in.u64();
+    for (std::uint64_t& b : report_.batch_size_hist) b = in.u64();
+  };
+
+  auto save_state = [&](ByteWriter& out) {
+    out.u32(kAdwiseStateVersion);
+    out.u64(round);
+    out.u64(score_version);
+    out.u64(version_at_last_assign);
+    out.u64(last_sweep);
+    out.f64(base_seconds + watch.elapsed_seconds());
+    save_report_counters(out);
+    threshold.save(out);
+    scorer.save(out);
+    controller.save(out);
+    drain_ctl.save(out);
+    window.save(out);
+    heap.save(out);
+    secondary.save(out);
+    out.u64(aging.size());
+    for (const AgingEntry& a : aging) {
+      out.u32(a.slot);
+      out.u64(a.version);
+      out.u64(a.scored_at);
+    }
+    out.u64(dirty_slots.size());
+    for (const std::uint32_t id : dirty_slots) out.u32(id);
+  };
+
+  if (!resume_state_.empty()) {
+    ByteReader in(resume_state_);
+    if (in.u32() != kAdwiseStateVersion) {
+      throw std::runtime_error("adwise resume state has an unknown version");
+    }
+    round = in.u64();
+    score_version = in.u64();
+    version_at_last_assign = in.u64();
+    last_sweep = in.u64();
+    base_seconds = in.f64();
+    load_report_counters(in);
+    threshold.load(in);
+    scorer.load(in);
+    controller.load(in);
+    drain_ctl.load(in);
+    window.load(in);
+    heap.load(in);
+    secondary.load(in);
+    aging.clear();
+    const std::uint64_t num_aging = in.u64();
+    for (std::uint64_t i = 0; i < num_aging; ++i) {
+      AgingEntry a;
+      a.slot = in.u32();
+      a.version = in.u64();
+      a.scored_at = in.u64();
+      aging.push_back(a);
+    }
+    dirty_slots.resize(static_cast<std::size_t>(in.u64()));
+    for (std::uint32_t& id : dirty_slots) id = in.u32();
+    in.expect_end();
+    resume_state_.clear();
+  }
+
   Edge incoming;
   while (true) {
     refill(incoming);
@@ -706,6 +859,16 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
     }
 
     controller.on_assignment(chosen_score, state.assigned_edges());
+
+    // round counts assignments absolutely (restored across resumes), and
+    // round + window.size() is exactly the number of stream edges consumed:
+    // each is either assigned or still held in the window.
+    if (ckpt_.every != 0 && ckpt_.emit && round % ckpt_.every == 0) {
+      ByteWriter blob;
+      save_state(blob);
+      ckpt_.emit(round, round + window.size(),
+                 std::span<const std::byte>(blob.data()));
+    }
   }
 
   report_.assignments = round;
@@ -720,7 +883,7 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   report_.final_drain_budget = drain_ctl.rescore_budget();
   report_.final_sweep_interval = drain_ctl.sweep_interval();
   report_.drain_adaptations = drain_ctl.adaptations();
-  report_.seconds = watch.elapsed_seconds();
+  report_.seconds = base_seconds + watch.elapsed_seconds();
   report_.window_trace = controller.trace();
 }
 

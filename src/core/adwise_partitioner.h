@@ -8,6 +8,9 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
 
 #include "src/core/adaptive_controller.h"
 #include "src/core/options.h"
@@ -94,9 +97,28 @@ class AdwisePartitioner final : public EdgePartitioner {
 
   [[nodiscard]] const AdwiseOptions& options() const { return opts_; }
 
+  // Checkpointing is supported only for configurations whose decisions are
+  // a pure function of the consumed edge prefix:
+  //   - latency_preference_ms < 0, so the window controller's C2 never
+  //     reads the wall clock (the serialized controller re-bases its clock
+  //     anchors on restore);
+  //   - num_score_threads <= 1, so the batch-cutoff controller (driven by
+  //     measured timings, deliberately not serialized) never routes work.
+  // Any other configuration returns false — the caller must surface "no
+  // durability" instead of silently pretending coverage.
+  bool enable_checkpoints(CheckpointHook hook) override;
+
+  // Accepts a blob emitted by this class's CheckpointHook; takes effect on
+  // the next partition() call, which continues bit-identically (placements
+  // and counter traces) from the checkpoint boundary provided the stream
+  // was advanced past the first `edges_consumed` edges.
+  bool restore_algorithm_state(std::span<const std::byte> state) override;
+
  private:
   AdwiseOptions opts_;
   Report report_;
+  CheckpointHook ckpt_;
+  std::vector<std::byte> resume_state_;
 };
 
 }  // namespace adwise

@@ -59,6 +59,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/core/options.h"
 #include "src/core/window.h"
 #include "src/partition/partition_state.h"
@@ -158,6 +159,26 @@ class AdwiseScorer {
   }
   [[nodiscard]] std::uint64_t sparse_placements() const {
     return scratch_.sparse_placements;
+  }
+
+  // Checkpoint support: λ, the α baseline and the statistics counters —
+  // everything scoring decisions or the final report depend on that is not
+  // reconstructed from options at construction.
+  void save(ByteWriter& out) const {
+    out.u64(total_edges_);
+    out.f64(lambda_);
+    out.u64(assigned_baseline_);
+    out.u64(scratch_.partitions_considered);
+    out.u64(scratch_.dense_placements);
+    out.u64(scratch_.sparse_placements);
+  }
+  void load(ByteReader& in) {
+    total_edges_ = static_cast<std::size_t>(in.u64());
+    lambda_ = in.f64();
+    assigned_baseline_ = in.u64();
+    scratch_.partitions_considered = in.u64();
+    scratch_.dense_placements = in.u64();
+    scratch_.sparse_placements = in.u64();
   }
 
  private:

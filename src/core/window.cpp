@@ -75,6 +75,72 @@ void EdgeWindow::collect_neighbors(const Edge& e, std::uint32_t exclude_slot,
   out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
+void EdgeWindow::save(ByteWriter& out) const {
+  out.u64(slots_.size());
+  for (const Slot& s : slots_) {
+    out.u32(s.edge.u);
+    out.u32(s.edge.v);
+    out.f64(s.best_score);
+    out.f64(s.structural_score);
+    out.u32(s.best_partition);
+    out.boolean(s.occupied);
+    out.boolean(s.dirty);
+    out.u64(s.scored_at);
+    out.u64(s.score_version);
+    out.u64(s.sequence);
+    out.u32(s.next[0]);
+    out.u32(s.next[1]);
+    out.u32(s.prev[0]);
+    out.u32(s.prev[1]);
+    out.u32(s.candidate_pos);
+  }
+  out.u64(free_.size());
+  for (const std::uint32_t id : free_) out.u32(id);
+  out.u64(candidates_.size());
+  for (const std::uint32_t id : candidates_) out.u32(id);
+  out.u64(size_);
+  out.u64(next_sequence_);
+}
+
+void EdgeWindow::load(ByteReader& in) {
+  const std::uint64_t num_slots = in.u64();
+  slots_.assign(static_cast<std::size_t>(num_slots), Slot{});
+  for (Slot& s : slots_) {
+    s.edge.u = in.u32();
+    s.edge.v = in.u32();
+    s.best_score = in.f64();
+    s.structural_score = in.f64();
+    s.best_partition = in.u32();
+    s.occupied = in.boolean();
+    s.dirty = in.boolean();
+    s.scored_at = in.u64();
+    s.score_version = in.u64();
+    s.sequence = in.u64();
+    s.next[0] = in.u32();
+    s.next[1] = in.u32();
+    s.prev[0] = in.u32();
+    s.prev[1] = in.u32();
+    s.candidate_pos = in.u32();
+  }
+  const std::uint64_t num_free = in.u64();
+  free_.resize(static_cast<std::size_t>(num_free));
+  for (std::uint32_t& id : free_) id = in.u32();
+  const std::uint64_t num_candidates = in.u64();
+  candidates_.resize(static_cast<std::size_t>(num_candidates));
+  for (std::uint32_t& id : candidates_) id = in.u32();
+  size_ = static_cast<std::size_t>(in.u64());
+  next_sequence_ = in.u64();
+  // Rebuild the incidence heads from the slot links: a slot whose prev on
+  // one side is npos heads that endpoint's list.
+  std::fill(heads_.begin(), heads_.end(), npos);
+  for (std::uint32_t id = 0; id < slots_.size(); ++id) {
+    const Slot& s = slots_[id];
+    if (!s.occupied) continue;
+    if (s.prev[0] == npos) heads_[s.edge.u] = id;
+    if (s.edge.v != s.edge.u && s.prev[1] == npos) heads_[s.edge.v] = id;
+  }
+}
+
 void EdgeWindow::link(std::uint32_t id, int side, VertexId v) {
   Slot& s = slots_[id];
   s.prev[side] = npos;

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/graph/graph.h"
 #include "src/partition/types.h"
 
@@ -104,6 +105,17 @@ class EdgeWindow {
   // entries. Results are appended to out (cleared first).
   void collect_neighbors(const Edge& e, std::uint32_t exclude_slot,
                          std::uint32_t cap, std::vector<VertexId>& out) const;
+
+  // Checkpoint support. Slots are serialized verbatim — including
+  // unoccupied ones, whose recycled content is behaviorally irrelevant but
+  // whose ids sit in the free list, so the free-list order and
+  // next_sequence_ must round-trip exactly for future insertions to pick
+  // the same slots and sequence numbers. The per-vertex incidence heads
+  // are not stored: load() rebuilds them from the slot links (an occupied
+  // slot with prev[side] == npos is the head of that endpoint's list).
+  void save(ByteWriter& out) const;
+  // The window must have been constructed with the same num_vertices.
+  void load(ByteReader& in);
 
  private:
   void link(std::uint32_t id, int side, VertexId v);

@@ -1,12 +1,14 @@
 #include "src/io/adw_format.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <stdexcept>
 
+#include "src/common/crc32.h"
 #include "src/graph/file_stream.h"
+#include "src/io/io_error.h"
 
 namespace adwise {
 
@@ -15,13 +17,44 @@ namespace {
 // Flush granularity for the streaming writer: 64K records (512 KiB).
 constexpr std::size_t kWriterBufferRecords = std::size_t{1} << 16;
 
+// Largest edge count whose expected-size product cannot overflow uint64.
+constexpr std::uint64_t kMaxEdges =
+    (std::numeric_limits<std::uint64_t>::max() - kAdwHeaderBytes) /
+    kAdwRecordBytes;
+
+void encode_footer(const AdwHeader& header, std::uint32_t table_crc,
+                   std::byte* out) {
+  adw_store_le32(header.crc_block_bytes, out);
+  adw_store_le32(static_cast<std::uint32_t>(adw_num_crc_blocks(
+                     header.num_edges * kAdwRecordBytes,
+                     header.crc_block_bytes)),
+                 out + 4);
+  adw_store_le32(table_crc, out + 8);
+  for (std::size_t i = 0; i < kAdwFooterMagic.size(); ++i) {
+    out[12 + i] = static_cast<std::byte>(kAdwFooterMagic[i]);
+  }
+}
+
+void read_exact_at(std::ifstream& in, const std::string& path,
+                   std::uint64_t offset, std::byte* out, std::size_t len,
+                   const char* what) {
+  in.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
+  in.read(reinterpret_cast<char*>(out), static_cast<std::streamsize>(len));
+  if (in.gcount() != static_cast<std::streamsize>(len)) {
+    throw CorruptDataError("truncated .adw " + std::string(what) + " in " +
+                           path + ": wanted " + std::to_string(len) +
+                           " bytes at byte offset " + std::to_string(offset) +
+                           ", got " + std::to_string(in.gcount()));
+  }
+}
+
 }  // namespace
 
 void adw_encode_header(const AdwHeader& header, std::byte* out) {
   for (std::size_t i = 0; i < kAdwMagic.size(); ++i) {
     out[i] = static_cast<std::byte>(kAdwMagic[i]);
   }
-  adw_store_le32(kAdwVersion, out + 4);
+  adw_store_le32(header.version, out + 4);
   adw_store_le64(header.num_edges, out + 8);
   adw_store_le64(header.max_vertex_id, out + 16);
 }
@@ -29,15 +62,18 @@ void adw_encode_header(const AdwHeader& header, std::byte* out) {
 AdwHeader adw_decode_header(const std::byte* in) {
   for (std::size_t i = 0; i < kAdwMagic.size(); ++i) {
     if (std::to_integer<char>(in[i]) != kAdwMagic[i]) {
-      throw std::runtime_error("not an .adw file (bad magic)");
+      throw CorruptDataError(
+          "not an .adw file (bad magic at byte offset 0: expected 'ADWF')");
     }
   }
   const std::uint32_t version = adw_load_le32(in + 4);
-  if (version != kAdwVersion) {
-    throw std::runtime_error("unsupported .adw version " +
-                             std::to_string(version));
+  if (version != kAdwVersion && version != kAdwVersionCrc) {
+    throw CorruptDataError("unsupported .adw version " +
+                           std::to_string(version) + " at byte offset 4 " +
+                           "(supported: 1, 2)");
   }
   AdwHeader header;
+  header.version = version;
   header.num_edges = adw_load_le64(in + 8);
   header.max_vertex_id = adw_load_le64(in + 16);
   return header;
@@ -49,28 +85,126 @@ AdwHeader read_adw_header(const std::string& path) {
   std::byte raw[kAdwHeaderBytes];
   in.read(reinterpret_cast<char*>(raw), kAdwHeaderBytes);
   if (in.gcount() != static_cast<std::streamsize>(kAdwHeaderBytes)) {
-    throw std::runtime_error("truncated .adw header: " + path);
+    throw CorruptDataError(
+        "truncated .adw header in " + path + ": wanted " +
+        std::to_string(kAdwHeaderBytes) + " bytes, got " +
+        std::to_string(in.gcount()));
   }
-  const AdwHeader header = adw_decode_header(raw);
+  AdwHeader header;
+  try {
+    header = adw_decode_header(raw);
+  } catch (const CorruptDataError& e) {
+    throw CorruptDataError(std::string(e.what()) + ": " + path);
+  }
   in.seekg(0, std::ios::end);
   const auto file_bytes = static_cast<std::uint64_t>(in.tellg());
-  constexpr std::uint64_t kMaxEdges =
-      (std::numeric_limits<std::uint64_t>::max() - kAdwHeaderBytes) /
-      kAdwRecordBytes;
   if (header.num_edges > kMaxEdges) {
     // A crafted count this large would overflow the expected-size product
     // below and slip past the exact-size check.
-    throw std::runtime_error("corrupt .adw file (absurd edge count " +
-                             std::to_string(header.num_edges) + "): " + path);
+    throw CorruptDataError("corrupt .adw file (absurd edge count " +
+                           std::to_string(header.num_edges) + "): " + path);
   }
-  const std::uint64_t expected =
-      kAdwHeaderBytes + header.num_edges * kAdwRecordBytes;
+  const std::uint64_t record_bytes = header.num_edges * kAdwRecordBytes;
+  if (header.version == kAdwVersion) {
+    const std::uint64_t expected = kAdwHeaderBytes + record_bytes;
+    if (file_bytes != expected) {
+      throw CorruptDataError(
+          "corrupt .adw file (size " + std::to_string(file_bytes) +
+          ", header implies " + std::to_string(expected) + "): " + path);
+    }
+    return header;
+  }
+
+  // Version 2: validate the footer before trusting any of its fields.
+  if (file_bytes < kAdwHeaderBytes + record_bytes + kAdwFooterBytes) {
+    throw CorruptDataError(
+        "corrupt .adw v2 file (size " + std::to_string(file_bytes) +
+        " smaller than records + footer, header implies at least " +
+        std::to_string(kAdwHeaderBytes + record_bytes + kAdwFooterBytes) +
+        "): " + path);
+  }
+  std::byte footer[kAdwFooterBytes];
+  read_exact_at(in, path, file_bytes - kAdwFooterBytes, footer,
+                kAdwFooterBytes, "footer");
+  for (std::size_t i = 0; i < kAdwFooterMagic.size(); ++i) {
+    if (std::to_integer<char>(footer[12 + i]) != kAdwFooterMagic[i]) {
+      throw CorruptDataError(
+          "corrupt .adw v2 file (bad footer magic at byte offset " +
+          std::to_string(file_bytes - kAdwFooterBytes + 12) +
+          ": expected 'ADWC'): " + path);
+    }
+  }
+  header.crc_block_bytes = adw_load_le32(footer);
+  const std::uint32_t footer_blocks = adw_load_le32(footer + 4);
+  if (header.crc_block_bytes == 0 ||
+      header.crc_block_bytes % kAdwRecordBytes != 0 ||
+      header.crc_block_bytes > (1u << 30)) {
+    throw CorruptDataError(
+        "corrupt .adw v2 file (invalid crc_block_bytes " +
+        std::to_string(header.crc_block_bytes) +
+        ", expected a multiple of 8 in [8, 2^30]): " + path);
+  }
+  const std::uint64_t expected_blocks =
+      adw_num_crc_blocks(record_bytes, header.crc_block_bytes);
+  if (footer_blocks != expected_blocks) {
+    throw CorruptDataError(
+        "corrupt .adw v2 file (footer says " + std::to_string(footer_blocks) +
+        " CRC blocks, record region implies " +
+        std::to_string(expected_blocks) + "): " + path);
+  }
+  const std::uint64_t expected = kAdwHeaderBytes + record_bytes +
+                                 expected_blocks * 4 + kAdwFooterBytes;
   if (file_bytes != expected) {
-    throw std::runtime_error(
-        "corrupt .adw file (size " + std::to_string(file_bytes) +
-        ", header implies " + std::to_string(expected) + "): " + path);
+    throw CorruptDataError(
+        "corrupt .adw v2 file (size " + std::to_string(file_bytes) +
+        ", header + footer imply " + std::to_string(expected) + "): " + path);
+  }
+  // Verify the table's own checksum now so every consumer of the header can
+  // trust the per-block CRCs it will read later.
+  const std::uint64_t table_offset = kAdwHeaderBytes + record_bytes;
+  std::vector<std::byte> table(expected_blocks * 4);
+  read_exact_at(in, path, table_offset, table.data(), table.size(),
+                "CRC table");
+  const std::uint32_t actual_crc = crc32(table.data(), table.size());
+  const std::uint32_t table_crc = adw_load_le32(footer + 8);
+  if (actual_crc != table_crc) {
+    throw CorruptDataError(
+        "corrupt .adw v2 file (CRC table checksum mismatch at byte offset " +
+        std::to_string(table_offset) + ": footer says " +
+        std::to_string(table_crc) + ", table hashes to " +
+        std::to_string(actual_crc) + "): " + path);
   }
   return header;
+}
+
+std::vector<std::uint32_t> read_adw_crc_table(const std::string& path,
+                                              const AdwHeader& header) {
+  if (header.version < kAdwVersionCrc) return {};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open .adw file: " + path);
+  const std::uint64_t record_bytes = header.num_edges * kAdwRecordBytes;
+  const std::uint64_t num_blocks =
+      adw_num_crc_blocks(record_bytes, header.crc_block_bytes);
+  std::vector<std::byte> raw(num_blocks * 4);
+  read_exact_at(in, path, kAdwHeaderBytes + record_bytes, raw.data(),
+                raw.size(), "CRC table");
+  std::byte footer[kAdwFooterBytes];
+  read_exact_at(in, path,
+                kAdwHeaderBytes + record_bytes + raw.size(), footer,
+                kAdwFooterBytes, "footer");
+  const std::uint32_t table_crc = adw_load_le32(footer + 8);
+  const std::uint32_t actual_crc = crc32(raw.data(), raw.size());
+  if (actual_crc != table_crc) {
+    throw CorruptDataError(
+        "corrupt .adw v2 file (CRC table checksum mismatch: footer says " +
+        std::to_string(table_crc) + ", table hashes to " +
+        std::to_string(actual_crc) + "): " + path);
+  }
+  std::vector<std::uint32_t> table(num_blocks);
+  for (std::uint64_t i = 0; i < num_blocks; ++i) {
+    table[i] = adw_load_le32(raw.data() + i * 4);
+  }
+  return table;
 }
 
 bool is_adw_file(const std::string& path) {
@@ -82,22 +216,29 @@ bool is_adw_file(const std::string& path) {
          std::equal(kAdwMagic.begin(), kAdwMagic.end(), magic);
 }
 
-AdwWriter::AdwWriter(const std::string& path)
-    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
-  if (!out_) throw std::runtime_error("cannot create .adw file: " + path);
+AdwWriter::AdwWriter(const std::string& path, const Options& options)
+    : out_(path), options_(options), block_state_(crc32_init()) {
+  if (options_.with_crc && (options_.crc_block_bytes == 0 ||
+                            options_.crc_block_bytes % kAdwRecordBytes != 0 ||
+                            options_.crc_block_bytes > (1u << 30))) {
+    throw std::runtime_error(
+        "AdwWriter: crc_block_bytes must be a multiple of 8 in [8, 2^30], "
+        "got " +
+        std::to_string(options_.crc_block_bytes));
+  }
+  header_.version = options_.with_crc ? kAdwVersionCrc : kAdwVersion;
+  header_.crc_block_bytes = options_.with_crc ? options_.crc_block_bytes : 0;
   buffer_.reserve(kWriterBufferRecords * kAdwRecordBytes);
-  // Deliberately INVALID placeholder (zeroed, so the magic check fails):
-  // only close() writes the real header, so a file abandoned mid-write can
-  // never pass for a valid graph — not even as an empty one.
+  // Zeroed placeholder: the real header is patched in close() once the
+  // totals are known. The placeholder only ever exists in the temp file.
   const std::byte raw[kAdwHeaderBytes] = {};
-  out_.write(reinterpret_cast<const char*>(raw), kAdwHeaderBytes);
+  out_.append(raw, kAdwHeaderBytes);
 }
 
 AdwWriter::~AdwWriter() {
   // Deliberately no close(): an abandoned writer (scope exited without
-  // close(), e.g. because conversion threw) leaves the zeroed placeholder
-  // header, which every reader rejects. Callers that abandon mid-write
-  // (edge_list_to_adw) additionally remove the file.
+  // close(), e.g. because conversion threw) drops its temp file and leaves
+  // nothing under the destination name.
 }
 
 void AdwWriter::add(Edge e) {
@@ -113,34 +254,65 @@ void AdwWriter::add(Edge e) {
   }
 }
 
+void AdwWriter::feed_crc(const std::byte* data, std::size_t len) {
+  // Accumulate per-block CRCs across arbitrary flush boundaries.
+  while (len > 0) {
+    const std::size_t room = options_.crc_block_bytes - block_fill_;
+    const std::size_t take = std::min(len, room);
+    block_state_ = crc32_feed(block_state_, data, take);
+    block_fill_ += static_cast<std::uint32_t>(take);
+    data += take;
+    len -= take;
+    if (block_fill_ == options_.crc_block_bytes) {
+      block_crcs_.push_back(crc32_finish(block_state_));
+      block_state_ = crc32_init();
+      block_fill_ = 0;
+    }
+  }
+}
+
 void AdwWriter::flush_records() {
   if (buffer_.empty()) return;
-  out_.write(reinterpret_cast<const char*>(buffer_.data()),
-             static_cast<std::streamsize>(buffer_.size()));
+  if (options_.with_crc) feed_crc(buffer_.data(), buffer_.size());
+  out_.append(buffer_.data(), buffer_.size());
   buffer_.clear();
 }
 
 void AdwWriter::close() {
   if (closed_) return;
   flush_records();
-  out_.seekp(0, std::ios::beg);
+  if (options_.with_crc) {
+    if (block_fill_ > 0) {
+      block_crcs_.push_back(crc32_finish(block_state_));
+      block_state_ = crc32_init();
+      block_fill_ = 0;
+    }
+    std::vector<std::byte> table(block_crcs_.size() * 4);
+    for (std::size_t i = 0; i < block_crcs_.size(); ++i) {
+      adw_store_le32(block_crcs_[i], table.data() + i * 4);
+    }
+    out_.append(table.data(), table.size());
+    std::byte footer[kAdwFooterBytes];
+    encode_footer(header_, crc32(table.data(), table.size()), footer);
+    out_.append(footer, kAdwFooterBytes);
+  }
   std::byte raw[kAdwHeaderBytes];
   adw_encode_header(header_, raw);
-  out_.write(reinterpret_cast<const char*>(raw), kAdwHeaderBytes);
-  out_.flush();
-  if (!out_) throw std::runtime_error("failed writing .adw file: " + path_);
-  out_.close();
+  out_.write_at(0, raw, kAdwHeaderBytes);
+  out_.commit();
   closed_ = true;
 }
 
-void write_adw_file(const std::string& path, std::span<const Edge> edges) {
-  AdwWriter writer(path);
+void write_adw_file(const std::string& path, std::span<const Edge> edges,
+                    const AdwWriter::Options& options) {
+  AdwWriter writer(path, options);
   for (const Edge& e : edges) writer.add(e);
   writer.close();
 }
 
 AdwHeader edge_list_to_adw(const std::string& text_path,
-                           const std::string& adw_path) {
+                           const std::string& adw_path,
+                           const AdwWriter::Options& options) {
   // A binary .adw fed to the text parser would have every line skipped as
   // malformed and be "converted" into a valid empty graph — refuse instead
   // of silently discarding the input's edges.
@@ -152,20 +324,15 @@ AdwHeader edge_list_to_adw(const std::string& text_path,
   // counting pre-pass is needed. The cap only bounds size_hint(), which is
   // irrelevant here — next() stops at EOF regardless.
   // Open the input before touching the output: a bad input path must not
-  // clobber a pre-existing converted file.
+  // clobber a pre-existing converted file. On any mid-conversion failure
+  // the atomic writer drops its temp file and a pre-existing output
+  // survives untouched.
   FileEdgeStream in(text_path, std::numeric_limits<std::size_t>::max());
-  try {
-    AdwWriter out(adw_path);
-    Edge e;
-    while (in.next(e)) out.add(e);
-    out.close();
-    return out.header();
-  } catch (...) {
-    // Never leave a partial output behind: a scripted pipeline must not be
-    // able to pick up a half-converted graph.
-    std::remove(adw_path.c_str());
-    throw;
-  }
+  AdwWriter out(adw_path, options);
+  Edge e;
+  while (in.next(e)) out.add(e);
+  out.close();
+  return out.header();
 }
 
 }  // namespace adwise

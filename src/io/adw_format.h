@@ -9,41 +9,77 @@
 //
 //   offset  size  field
 //        0     4  magic 'A' 'D' 'W' 'F'
-//        4     4  format version (uint32, currently 1)
+//        4     4  format version (uint32: 1 plain, 2 with CRC trailer)
 //        8     8  num_edges      (uint64)
 //       16     8  max_vertex_id  (uint64; 0 when num_edges == 0)
 //       24     -  edge records: uint32 u, uint32 v — 8 bytes each
 //
-// A valid file is exactly 24 + 8 * num_edges bytes; readers treat any other
-// size as truncation. Records never contain self-loops — the writer drops
-// them, mirroring the text parser in src/graph/file_stream.cpp, so the
-// header's num_edges is always the streamable edge count (the |E| the
-// adaptive controller needs up front).
+// A version-1 file is exactly 24 + 8 * num_edges bytes; readers treat any
+// other size as truncation.
+//
+// Version 2 appends an integrity trailer AFTER the records, so the record
+// region is byte-identical to version 1 and chunked readers keep the same
+// offset arithmetic:
+//
+//   24 + 8E          CRC table: one uint32 CRC-32 per crc_block_bytes-sized
+//                    block of the record region (last block may be short)
+//   end-16           footer:
+//                      +0   uint32 crc_block_bytes (multiple of 8)
+//                      +4   uint32 num_blocks (= ceil(8E / crc_block_bytes))
+//                      +8   uint32 table_crc (CRC-32 of the table bytes)
+//                      +12  magic 'A' 'D' 'W' 'C'
+//
+// The leading magic is shared, so is_adw_file() sniffs both versions and
+// version-1 readers reject version-2 files loudly rather than misparsing
+// the trailer as records (the version field differs).
+//
+// Records never contain self-loops — the writer drops them, mirroring the
+// text parser in src/graph/file_stream.cpp, so the header's num_edges is
+// always the streamable edge count (the |E| the adaptive controller needs
+// up front).
+//
+// Writers go through AtomicFileWriter (tmp + fsync + rename): an abandoned
+// or crashed write leaves no file under the destination name at all, and a
+// completed one appears atomically.
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <fstream>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/io/atomic_file.h"
 
 namespace adwise {
 
 inline constexpr std::array<char, 4> kAdwMagic = {'A', 'D', 'W', 'F'};
+inline constexpr std::array<char, 4> kAdwFooterMagic = {'A', 'D', 'W', 'C'};
 inline constexpr std::uint32_t kAdwVersion = 1;
+inline constexpr std::uint32_t kAdwVersionCrc = 2;
 inline constexpr std::size_t kAdwHeaderBytes = 24;
 inline constexpr std::size_t kAdwRecordBytes = 8;
+inline constexpr std::size_t kAdwFooterBytes = 16;
+inline constexpr std::uint32_t kAdwDefaultCrcBlockBytes = 1u << 16;
 
 struct AdwHeader {
   std::uint64_t num_edges = 0;
   std::uint64_t max_vertex_id = 0;  // 0 if the file has no edges
+  std::uint32_t version = kAdwVersion;
+  std::uint32_t crc_block_bytes = 0;  // nonzero iff version >= 2
 
   friend bool operator==(const AdwHeader&, const AdwHeader&) = default;
 };
+
+// Number of CRC blocks covering `record_bytes` of records.
+[[nodiscard]] constexpr std::uint64_t adw_num_crc_blocks(
+    std::uint64_t record_bytes, std::uint32_t crc_block_bytes) {
+  if (crc_block_bytes == 0) return 0;
+  return (record_bytes + crc_block_bytes - 1) / crc_block_bytes;
+}
 
 // --- Little-endian primitives (inline: the record decode is a hot path) -----
 
@@ -82,31 +118,47 @@ inline void adw_encode_edge(Edge e, std::byte* out) {
 
 void adw_encode_header(const AdwHeader& header, std::byte* out);
 
-// Throws std::runtime_error on bad magic or unsupported version.
+// Throws CorruptDataError on bad magic or unsupported version. Only the
+// version field distinguishes v1 from v2 here; crc_block_bytes lives in the
+// footer and is filled in by read_adw_header.
 [[nodiscard]] AdwHeader adw_decode_header(const std::byte* in);
 
 // --- File-level helpers ------------------------------------------------------
 
-// Reads and validates the header of an .adw file: magic, version, and that
-// the file size is exactly kAdwHeaderBytes + num_edges * kAdwRecordBytes.
-// Throws std::runtime_error on open failure, truncation, or trailing bytes.
+// Reads and validates the header of an .adw file: magic, version, exact
+// file size for the version's layout, and — for version 2 — the footer and
+// the CRC table's own checksum. Throws std::runtime_error (CorruptDataError
+// for malformed content) with path, offsets and expected-vs-actual values.
 [[nodiscard]] AdwHeader read_adw_header(const std::string& path);
 
+// The per-block CRC table of a version-2 file (validated against the
+// footer's table_crc); empty for version 1. `header` must come from
+// read_adw_header(path).
+[[nodiscard]] std::vector<std::uint32_t> read_adw_crc_table(
+    const std::string& path, const AdwHeader& header);
+
 // True iff the file exists and begins with the .adw magic — content sniff,
-// not an extension check, so callers can auto-detect the format.
+// not an extension check, so callers can auto-detect the format. Accepts
+// both versions.
 [[nodiscard]] bool is_adw_file(const std::string& path);
 
 // Streaming .adw writer with O(1) memory: records are buffered in small
-// batches and the header is patched on close() once the edge count and max
+// batches and the header is patched on commit once the edge count and max
 // vertex id are known. Self-loops are dropped (see the format note above).
 class AdwWriter {
  public:
-  // Creates/truncates path with a deliberately invalid (zeroed) header;
-  // throws std::runtime_error on failure.
-  explicit AdwWriter(const std::string& path);
-  // Destroying a writer without close() abandons the output with its
-  // invalid placeholder header still in place, so a half-written file can
-  // never pass for a valid graph — not even an empty one.
+  struct Options {
+    bool with_crc = false;  // write a version-2 CRC trailer
+    std::uint32_t crc_block_bytes = kAdwDefaultCrcBlockBytes;
+  };
+
+  // Starts writing to `<path>.tmp`; throws std::runtime_error on failure.
+  explicit AdwWriter(const std::string& path) : AdwWriter(path, Options{}) {}
+  AdwWriter(const std::string& path, const Options& options);
+  // Destroying a writer without close() abandons the write: the temp file
+  // is unlinked and nothing ever appears under the destination name, so a
+  // half-written file can never pass for a valid graph — not even an empty
+  // one.
   ~AdwWriter();
 
   AdwWriter(const AdwWriter&) = delete;
@@ -114,8 +166,9 @@ class AdwWriter {
 
   void add(Edge e);
 
-  // Flushes buffered records and writes the final header; throws
-  // std::runtime_error on I/O failure. Idempotent.
+  // Flushes buffered records, writes the trailer (v2) and final header,
+  // fsyncs and atomically renames into place; throws std::runtime_error on
+  // I/O failure. Idempotent.
   void close();
 
   // Running (after close(): final) header.
@@ -123,22 +176,29 @@ class AdwWriter {
 
  private:
   void flush_records();
+  void feed_crc(const std::byte* data, std::size_t len);
 
-  std::ofstream out_;
-  std::string path_;
+  AtomicFileWriter out_;
+  Options options_;
   AdwHeader header_;
   std::vector<std::byte> buffer_;
+  std::vector<std::uint32_t> block_crcs_;
+  std::uint32_t block_state_;
+  std::uint32_t block_fill_ = 0;
   bool closed_ = false;
 };
 
 // Writes edges (minus self-loops) to path in one call.
-void write_adw_file(const std::string& path, std::span<const Edge> edges);
+void write_adw_file(const std::string& path, std::span<const Edge> edges,
+                    const AdwWriter::Options& options = {});
 
 // Converts a SNAP-style text edge list to .adw in a single streaming pass
 // (O(1) memory): comments/blank/malformed lines and self-loops are skipped
 // and oversized vertex ids rejected, exactly like FileEdgeStream. Returns
-// the final header. Throws std::runtime_error on parse or I/O failure.
+// the final header. Throws std::runtime_error on parse or I/O failure; a
+// pre-existing output file survives any failure untouched.
 AdwHeader edge_list_to_adw(const std::string& text_path,
-                           const std::string& adw_path);
+                           const std::string& adw_path,
+                           const AdwWriter::Options& options = {});
 
 }  // namespace adwise

@@ -6,9 +6,12 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/common/crc32.h"
 #include "src/graph/edge_stream.h"
 #include "src/graph/file_stream.h"
+#include "src/io/atomic_file.h"
 #include "src/io/binary_stream.h"
+#include "src/io/io_error.h"
 
 namespace adwise {
 
@@ -117,10 +120,9 @@ std::string adw_shard_path(const std::string& manifest_path,
 }
 
 void write_adw_manifest(const std::string& path, const AdwManifest& manifest) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot create manifest: " + path);
   std::vector<std::byte> raw(kAdwManifestHeaderBytes +
-                             manifest.shards.size() * kAdwManifestEntryBytes);
+                             manifest.shards.size() * kAdwManifestEntryBytes +
+                             kAdwManifestCrcBytes);
   encode_manifest_header(manifest, raw.data());
   std::byte* cursor = raw.data() + kAdwManifestHeaderBytes;
   for (const AdwShardInfo& s : manifest.shards) {
@@ -128,10 +130,13 @@ void write_adw_manifest(const std::string& path, const AdwManifest& manifest) {
     adw_store_le64(s.max_vertex_id, cursor + 8);
     cursor += kAdwManifestEntryBytes;
   }
-  out.write(reinterpret_cast<const char*>(raw.data()),
-            static_cast<std::streamsize>(raw.size()));
-  out.flush();
-  if (!out) throw std::runtime_error("failed writing manifest: " + path);
+  // Trailing CRC over everything before it, then an atomic tmp + fsync +
+  // rename: readers can never see a torn manifest.
+  adw_store_le32(crc32(raw.data(), raw.size() - kAdwManifestCrcBytes),
+                 cursor);
+  AtomicFileWriter out(path);
+  out.append(raw.data(), raw.size());
+  out.commit();
 }
 
 AdwManifest read_adw_manifest(const std::string& path) {
@@ -140,33 +145,64 @@ AdwManifest read_adw_manifest(const std::string& path) {
   std::byte raw[kAdwManifestHeaderBytes];
   in.read(reinterpret_cast<char*>(raw), kAdwManifestHeaderBytes);
   if (in.gcount() != static_cast<std::streamsize>(kAdwManifestHeaderBytes)) {
-    throw std::runtime_error("truncated .adws manifest header: " + path);
+    throw CorruptDataError("truncated .adws manifest header in " + path +
+                           ": wanted " +
+                           std::to_string(kAdwManifestHeaderBytes) +
+                           " bytes, got " + std::to_string(in.gcount()));
   }
   for (std::size_t i = 0; i < kAdwManifestMagic.size(); ++i) {
     if (std::to_integer<char>(raw[i]) != kAdwManifestMagic[i]) {
-      throw std::runtime_error("not an .adws manifest (bad magic): " + path);
+      throw CorruptDataError(
+          "not an .adws manifest (bad magic at byte offset 0, expected "
+          "'ADWS'): " +
+          path);
     }
   }
   const std::uint32_t version = adw_load_le32(raw + 4);
-  if (version != kAdwManifestVersion) {
-    throw std::runtime_error("unsupported .adws manifest version " +
-                             std::to_string(version) + ": " + path);
+  if (version != kAdwManifestVersionLegacy &&
+      version != kAdwManifestVersion) {
+    throw CorruptDataError("unsupported .adws manifest version " +
+                           std::to_string(version) +
+                           " (supported: 1, 2): " + path);
   }
   const std::uint64_t num_shards = adw_load_le64(raw + 8);
   const std::uint64_t stored_edges = adw_load_le64(raw + 16);
   const std::uint64_t stored_max_id = adw_load_le64(raw + 24);
   if (num_shards == 0 || num_shards > kMaxShards) {
-    throw std::runtime_error("corrupt .adws manifest (shard count " +
-                             std::to_string(num_shards) + "): " + path);
+    throw CorruptDataError("corrupt .adws manifest (shard count " +
+                           std::to_string(num_shards) + " outside [1, " +
+                           std::to_string(kMaxShards) + "]): " + path);
   }
   in.seekg(0, std::ios::end);
   const auto file_bytes = static_cast<std::uint64_t>(in.tellg());
   const std::uint64_t expected =
-      kAdwManifestHeaderBytes + num_shards * kAdwManifestEntryBytes;
+      kAdwManifestHeaderBytes + num_shards * kAdwManifestEntryBytes +
+      (version >= kAdwManifestVersion ? kAdwManifestCrcBytes : 0);
   if (file_bytes != expected) {
-    throw std::runtime_error(
+    throw CorruptDataError(
         "corrupt .adws manifest (size " + std::to_string(file_bytes) +
         ", header implies " + std::to_string(expected) + "): " + path);
+  }
+  if (version >= kAdwManifestVersion) {
+    // Whole-file CRC before trusting a single entry.
+    std::vector<std::byte> all(static_cast<std::size_t>(file_bytes));
+    in.seekg(0, std::ios::beg);
+    in.read(reinterpret_cast<char*>(all.data()),
+            static_cast<std::streamsize>(all.size()));
+    if (in.gcount() != static_cast<std::streamsize>(all.size())) {
+      throw CorruptDataError("truncated .adws manifest in " + path);
+    }
+    const std::uint32_t stored_crc =
+        adw_load_le32(all.data() + all.size() - kAdwManifestCrcBytes);
+    const std::uint32_t actual_crc =
+        crc32(all.data(), all.size() - kAdwManifestCrcBytes);
+    if (stored_crc != actual_crc) {
+      throw CorruptDataError(
+          "corrupt .adws manifest (CRC mismatch at byte offset " +
+          std::to_string(file_bytes - kAdwManifestCrcBytes) + ": stored " +
+          std::to_string(stored_crc) + ", contents hash to " +
+          std::to_string(actual_crc) + "): " + path);
+    }
   }
   in.seekg(kAdwManifestHeaderBytes, std::ios::beg);
   AdwManifest manifest;
@@ -175,15 +211,19 @@ AdwManifest read_adw_manifest(const std::string& path) {
     std::byte entry[kAdwManifestEntryBytes];
     in.read(reinterpret_cast<char*>(entry), kAdwManifestEntryBytes);
     if (in.gcount() != static_cast<std::streamsize>(kAdwManifestEntryBytes)) {
-      throw std::runtime_error("truncated .adws manifest entries: " + path);
+      throw CorruptDataError("truncated .adws manifest entries: " + path);
     }
     s.num_edges = adw_load_le64(entry);
     s.max_vertex_id = adw_load_le64(entry + 8);
   }
   if (manifest.num_edges() != stored_edges ||
       manifest.max_vertex_id() != stored_max_id) {
-    throw std::runtime_error(
-        "corrupt .adws manifest (totals disagree with entries): " + path);
+    throw CorruptDataError(
+        "corrupt .adws manifest (header totals " +
+        std::to_string(stored_edges) + " edges / max id " +
+        std::to_string(stored_max_id) + " disagree with entry sums " +
+        std::to_string(manifest.num_edges()) + " / " +
+        std::to_string(manifest.max_vertex_id()) + "): " + path);
   }
   return manifest;
 }

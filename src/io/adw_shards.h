@@ -13,14 +13,17 @@
 //
 //   offset  size  field
 //        0     4  magic 'A' 'D' 'W' 'S'
-//        4     4  format version (uint32, currently 1)
+//        4     4  format version (uint32: 2; version-1 files still read)
 //        8     8  num_shards     (uint64)
 //       16     8  num_edges      (uint64; sum over shards)
 //       24     8  max_vertex_id  (uint64; max over shards, 0 when empty)
 //       32     -  per-shard entries, 16 bytes each:
 //                   num_edges (uint64), max_vertex_id (uint64)
+//      end-4    4  CRC-32 of every preceding byte (version >= 2 only)
 //
-// A valid manifest is exactly 32 + 16 * num_shards bytes. Shard files are
+// A valid version-2 manifest is exactly 32 + 16 * num_shards + 4 bytes
+// (version 1: without the trailing checksum); the writer always produces
+// version 2, atomically (tmp + fsync + rename). Shard files are
 // named from the manifest path (adw_shard_path): "graph.adws" owns
 // "graph.shard0.adw" ... "graph.shard<z-1>.adw" — each a fully valid
 // standalone .adw file, so every single-file tool and reader works on a
@@ -42,9 +45,11 @@
 namespace adwise {
 
 inline constexpr std::array<char, 4> kAdwManifestMagic = {'A', 'D', 'W', 'S'};
-inline constexpr std::uint32_t kAdwManifestVersion = 1;
+inline constexpr std::uint32_t kAdwManifestVersionLegacy = 1;
+inline constexpr std::uint32_t kAdwManifestVersion = 2;
 inline constexpr std::size_t kAdwManifestHeaderBytes = 32;
 inline constexpr std::size_t kAdwManifestEntryBytes = 16;
+inline constexpr std::size_t kAdwManifestCrcBytes = 4;
 
 struct AdwShardInfo {
   std::uint64_t num_edges = 0;
@@ -73,12 +78,15 @@ struct AdwManifest {
 [[nodiscard]] std::string adw_shard_path(const std::string& manifest_path,
                                          std::uint32_t shard);
 
-// Writes the manifest file. Throws std::runtime_error on I/O failure.
+// Writes the manifest file (version 2, CRC-protected) atomically. Throws
+// std::runtime_error on I/O failure.
 void write_adw_manifest(const std::string& path, const AdwManifest& manifest);
 
 // Reads and validates the manifest file alone: magic, version, exact size,
-// and that the stored totals equal the per-shard sums. Does not touch the
-// shard files. Throws std::runtime_error on any failure.
+// the trailing CRC (version 2), and that the stored totals equal the
+// per-shard sums. Does not touch the shard files. Throws
+// std::runtime_error (CorruptDataError for malformed content) on any
+// failure.
 [[nodiscard]] AdwManifest read_adw_manifest(const std::string& path);
 
 // read_adw_manifest plus a cross-check of every shard file: the shard's

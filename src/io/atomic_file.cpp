@@ -1,0 +1,95 @@
+#include "src/io/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace adwise {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+// fsync the directory containing `path` so the rename itself is durable.
+// Some filesystems reject fsync on directory fds; that weakens durability
+// but does not threaten atomicity, so those errors are ignored.
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) fail("cannot create temp file", tmp_path_);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) abandon();
+}
+
+void AtomicFileWriter::append(const void* data, std::size_t len) {
+  const auto* p = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t r = ::write(fd_, p + done, len - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      fail("write failed on temp file", tmp_path_);
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  appended_ += len;
+}
+
+void AtomicFileWriter::write_at(std::uint64_t offset, const void* data,
+                                std::size_t len) {
+  const auto* p = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t r = ::pwrite(fd_, p + done, len - done,
+                               static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      fail("pwrite failed on temp file", tmp_path_);
+    }
+    done += static_cast<std::size_t>(r);
+  }
+}
+
+void AtomicFileWriter::commit() {
+  if (committed_) return;
+  if (::fsync(fd_) != 0) fail("fsync failed on temp file", tmp_path_);
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    fail("close failed on temp file", tmp_path_);
+  }
+  fd_ = -1;
+  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    fail("rename failed for", path_);
+  }
+  committed_ = true;
+  fsync_parent_dir(path_);
+}
+
+void AtomicFileWriter::abandon() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!committed_) ::unlink(tmp_path_.c_str());
+}
+
+}  // namespace adwise

@@ -1,0 +1,59 @@
+// Atomic, durable file writes: data goes to `<path>.tmp`, and commit()
+// fsyncs the data, renames over the destination and fsyncs the parent
+// directory. A reader can therefore never observe a torn file — it sees
+// either the previous contents (or no file) or the complete new one. Every
+// on-disk artifact a crash could corrupt mid-write (.adw chunks, .adws
+// manifests, .adwk checkpoints, partition output) goes through this class.
+//
+// If the writer is destroyed without commit() — an exception unwound
+// through it, or the caller abandoned the write — the temp file is
+// unlinked and the destination is left untouched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace adwise {
+
+class AtomicFileWriter {
+ public:
+  // Opens `<path>.tmp` for writing (truncating any stale temp file left by
+  // a previous crash). Throws std::runtime_error with path and errno detail
+  // on failure.
+  explicit AtomicFileWriter(std::string path);
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  // Abandons (unlinks the temp file) unless commit() already ran.
+  ~AtomicFileWriter();
+
+  // Appends at the current end of the temp file.
+  void append(const void* data, std::size_t len);
+
+  // Overwrites `len` bytes at an absolute offset — used to patch headers
+  // whose totals are only known once the stream has been drained.
+  void write_at(std::uint64_t offset, const void* data, std::size_t len);
+
+  // Total bytes appended so far (write_at does not move this).
+  [[nodiscard]] std::uint64_t bytes_appended() const { return appended_; }
+
+  // fsync + close + rename(tmp, path) + fsync(parent dir). After this the
+  // file is durably in place under its final name.
+  void commit();
+
+  // Close and unlink the temp file, leaving the destination untouched.
+  void abandon() noexcept;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  std::uint64_t appended_ = 0;
+  bool committed_ = false;
+};
+
+}  // namespace adwise

@@ -10,23 +10,40 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/common/crc32.h"
 #include "src/common/thread_pool.h"
+#include "src/io/io_error.h"
 
 namespace adwise {
+
+namespace {
+
+// Conditions worth retrying: the bytes on disk are (presumably) fine, the
+// syscall just failed this instant.
+bool is_transient_errno(int err) {
+  return err == EINTR || err == EAGAIN || err == EIO || err == EMFILE ||
+         err == ENFILE;
+}
+
+}  // namespace
 
 BinaryEdgeStream::BinaryEdgeStream(const std::string& path)
     : BinaryEdgeStream(path, Options{}) {}
 
 BinaryEdgeStream::BinaryEdgeStream(const std::string& path, Options options)
-    : header_(read_adw_header(path)), options_(options) {
+    : header_(read_adw_header(path)), options_(options), path_(path) {
   options_.chunk_edges = std::max<std::size_t>(1, options_.chunk_edges);
-  fd_ = ::open(path.c_str(), O_RDONLY);
-  if (fd_ < 0) {
-    throw std::runtime_error("cannot open .adw file: " + path);
-  }
+  open_with_retry(path);
   try {
     file_bytes_ = kAdwHeaderBytes + header_.num_edges * kAdwRecordBytes;
-    const std::size_t chunk_bytes = options_.chunk_edges * kAdwRecordBytes;
+    std::size_t chunk_bytes = options_.chunk_edges * kAdwRecordBytes;
+    if (header_.crc_block_bytes != 0 && options_.verify_crc) {
+      crc_table_ = read_adw_crc_table(path, header_);
+      // Round each chunk up to whole CRC blocks so every fill covers
+      // complete blocks (the last block of the file may still be short).
+      const std::size_t bs = header_.crc_block_bytes;
+      chunk_bytes = (chunk_bytes + bs - 1) / bs * bs;
+    }
     for (Buffer& b : buffers_) b.bytes.resize(chunk_bytes);
     if (options_.prefetch) pool_ = std::make_unique<ThreadPool>(1);
     prime();
@@ -50,24 +67,115 @@ BinaryEdgeStream::~BinaryEdgeStream() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void BinaryEdgeStream::backoff(int attempt) const {
+  io_retries_.fetch_add(1, std::memory_order_relaxed);
+  const unsigned delay = options_.retry.delay_for_attempt(attempt);
+  if (options_.retry.sleeper) {
+    options_.retry.sleeper(delay);
+  } else {
+    ::usleep(delay);
+  }
+}
+
+void BinaryEdgeStream::open_with_retry(const std::string& path) {
+  int attempts = 0;
+  while (true) {
+    int err;
+    if (options_.fault_injector != nullptr &&
+        options_.fault_injector->fail_open()) {
+      fd_ = -1;
+      err = EIO;
+    } else {
+      fd_ = ::open(path.c_str(), O_RDONLY);
+      err = errno;
+    }
+    if (fd_ >= 0) return;
+    if (!is_transient_errno(err)) {
+      throw std::runtime_error("cannot open .adw file " + path + ": " +
+                               std::strerror(err));
+    }
+    if (++attempts >= options_.retry.max_attempts) {
+      throw TransientIoError(
+          "cannot open .adw file " + path + " after " +
+          std::to_string(attempts) + " attempts: " + std::strerror(err));
+    }
+    backoff(attempts);
+  }
+}
+
 void BinaryEdgeStream::fill(Buffer& buf, std::uint64_t offset) const {
   const auto want = static_cast<std::size_t>(
       std::min<std::uint64_t>(buf.bytes.size(), file_bytes_ - offset));
   std::size_t got = 0;
+  int attempts = 0;
   while (got < want) {
-    const ssize_t r = ::pread(fd_, buf.bytes.data() + got, want - got,
-                              static_cast<off_t>(offset + got));
+    std::size_t ask = want - got;
+    int injected_errno = 0;
+    if (options_.fault_injector != nullptr) {
+      switch (options_.fault_injector->pread_fault(offset + got)) {
+        case FaultInjector::PreadFault::kNone:
+          break;
+        case FaultInjector::PreadFault::kShortRead:
+          ask = std::max<std::size_t>(kAdwRecordBytes, ask / 2);
+          break;
+        case FaultInjector::PreadFault::kEintr:
+          injected_errno = EINTR;
+          break;
+        case FaultInjector::PreadFault::kEagain:
+          injected_errno = EAGAIN;
+          break;
+      }
+    }
+    ssize_t r;
+    if (injected_errno != 0) {
+      r = -1;
+      errno = injected_errno;
+    } else {
+      r = ::pread(fd_, buf.bytes.data() + got, ask,
+                  static_cast<off_t>(offset + got));
+    }
     if (r < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error(std::string("pread failed on .adw file: ") +
-                               std::strerror(errno));
+      const int err = errno;
+      if (err == EINTR) {
+        // Interrupted before any bytes moved: retry immediately, no budget
+        // spent — this is normal signal behavior, not a failure.
+        io_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (!is_transient_errno(err)) {
+        throw std::runtime_error(
+            "pread failed on .adw file " + path_ + " at byte offset " +
+            std::to_string(offset + got) + ": " + std::strerror(err));
+      }
+      if (++attempts >= options_.retry.max_attempts) {
+        throw TransientIoError(
+            "pread failed on .adw file " + path_ + " at byte offset " +
+            std::to_string(offset + got) + " after " +
+            std::to_string(attempts) + " attempts: " + std::strerror(err));
+      }
+      backoff(attempts);
+      continue;
     }
     if (r == 0) {
       // The header promised more records than the file now holds.
-      throw std::runtime_error(".adw file truncated while streaming");
+      throw CorruptDataError(
+          ".adw file truncated while streaming: " + path_ +
+          " (pread at byte offset " + std::to_string(offset + got) +
+          " hit end of file, wanted " + std::to_string(want - got) +
+          " more bytes)");
+    }
+    if (options_.fault_injector != nullptr) {
+      options_.fault_injector->corrupt(buf.bytes.data() + got,
+                                       static_cast<std::size_t>(r),
+                                       offset + got);
     }
     got += static_cast<std::size_t>(r);
+    attempts = 0;  // progress resets the budget
   }
+  // CRC blocks are the authoritative integrity check: verify them before
+  // the id bound check so corruption is reported as corruption, not as a
+  // coincidental out-of-range id.
+  if (!crc_table_.empty()) verify_chunk_crcs(buf, offset, want);
   // Bound-check every id in the chunk (each 4-byte word of a record is a
   // vertex id). This runs on the prefetch worker, overlapped with the
   // consumer, and the simple word loop vectorizes — the hot next() path
@@ -92,13 +200,37 @@ void BinaryEdgeStream::fill(Buffer& buf, std::uint64_t offset) const {
     }
     const std::uint64_t worst = std::max(max_u, max_v);
     if (worst > header_.max_vertex_id) {
-      throw std::runtime_error(
+      throw CorruptDataError(
           ".adw record vertex id " + std::to_string(worst) +
           " exceeds header max_vertex_id " +
-          std::to_string(header_.max_vertex_id));
+          std::to_string(header_.max_vertex_id) + " in " + path_ +
+          " (chunk at byte offset " + std::to_string(offset) + ")");
     }
   }
   buf.size = want;
+}
+
+void BinaryEdgeStream::verify_chunk_crcs(const Buffer& buf,
+                                         std::uint64_t offset,
+                                         std::size_t want) const {
+  // Chunks are block-aligned by construction (see the constructor), so the
+  // chunk start always coincides with a block start; only the file's final
+  // block may be short.
+  const std::uint32_t bs = header_.crc_block_bytes;
+  const std::uint64_t rec_off = offset - kAdwHeaderBytes;
+  for (std::size_t i = 0; i < want; i += bs) {
+    const std::uint64_t block = (rec_off + i) / bs;
+    const std::size_t len = std::min<std::size_t>(bs, want - i);
+    const std::uint32_t actual = crc32(buf.bytes.data() + i, len);
+    if (actual != crc_table_[block]) {
+      throw CorruptDataError(
+          "CRC mismatch in .adw file " + path_ + ": block " +
+          std::to_string(block) + " at byte offset " +
+          std::to_string(offset + i) + " expected " +
+          std::to_string(crc_table_[block]) + ", read data hashes to " +
+          std::to_string(actual));
+    }
+  }
 }
 
 void BinaryEdgeStream::schedule_fetch() {
@@ -112,8 +244,38 @@ void BinaryEdgeStream::schedule_fetch() {
   // offset can advance before the worker runs.
   next_offset_ +=
       std::min<std::uint64_t>(target.bytes.size(), file_bytes_ - offset);
+  pending_offset_ = offset;
   fetch_pending_ = true;
-  pool_->submit([this, &target, offset] { fill(target, offset); });
+  pool_->submit([this, &target, offset] {
+    if (options_.fault_injector != nullptr &&
+        options_.fault_injector->kill_prefetch_worker(offset)) {
+      throw PrefetchWorkerDeath(
+          "prefetch worker killed by fault injector before fetching byte "
+          "offset " +
+          std::to_string(offset));
+    }
+    fill(target, offset);
+  });
+}
+
+void BinaryEdgeStream::finish_pending_fetch() {
+  try {
+    pool_->wait_idle();  // rethrows any worker error
+  } catch (const PrefetchWorkerDeath&) {
+    // The worker died before reading its chunk. Degrade: drop the pool,
+    // refill the in-flight chunk on this thread, and run the rest of the
+    // stream synchronously — slower, but the run survives.
+    pool_.reset();
+    options_.prefetch = false;
+    degraded_ = true;
+    Buffer& target = buffers_[1 - active_];
+    if (pending_offset_ < file_bytes_) {
+      fill(target, pending_offset_);
+    } else {
+      target.size = 0;
+    }
+  }
+  fetch_pending_ = false;
 }
 
 bool BinaryEdgeStream::advance() {
@@ -124,8 +286,7 @@ bool BinaryEdgeStream::advance() {
   buffers_[active_].size = 0;
   Buffer& other = buffers_[1 - active_];
   if (fetch_pending_) {
-    pool_->wait_idle();  // rethrows any worker I/O error
-    fetch_pending_ = false;
+    finish_pending_fetch();
   } else if (!options_.prefetch) {
     if (next_offset_ < file_bytes_) {
       fill(other, next_offset_);
@@ -208,8 +369,10 @@ void BinaryEdgeStream::prime() {
 
 void BinaryEdgeStream::rewind() {
   if (fetch_pending_) {
-    pool_->wait_idle();
-    fetch_pending_ = false;
+    // A dead worker degrades here exactly like in advance(); the refilled
+    // chunk is then discarded by prime(), which is fine — rewind is not a
+    // hot path.
+    finish_pending_fetch();
   }
   prime();
 }

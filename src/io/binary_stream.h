@@ -12,6 +12,18 @@
 // disk) and size_hint() is exact from the header's edge count, which is
 // what the adaptive controller's condition C2 (|E'|) consumes.
 //
+// Failure model (docs/ARCHITECTURE.md "Failure model"):
+//  - transient pread/open errors (EINTR, EAGAIN, momentary fd exhaustion)
+//    are retried with bounded exponential backoff (Options::retry); when
+//    the budget is exhausted a TransientIoError surfaces — the caller can
+//    resume from a checkpoint;
+//  - a dead prefetch worker (PrefetchWorkerDeath) degrades the stream to
+//    synchronous reads instead of aborting the run;
+//  - corruption — truncation, out-of-range ids, CRC mismatches on
+//    version-2 files — throws CorruptDataError and is never retried.
+// The Options::fault_injector failpoint hook drives all of this
+// deterministically in tests (src/io/fault_injection.h).
+//
 // Concurrency contract: at most one prefetch task is in flight; the
 // consumer synchronizes with it through ThreadPool::wait_idle() before
 // touching the prefetched buffer, so buffers are never accessed by two
@@ -19,6 +31,7 @@
 // next()/rewind() call.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -27,6 +40,7 @@
 
 #include "src/graph/edge_stream.h"
 #include "src/io/adw_format.h"
+#include "src/io/fault_injection.h"
 
 namespace adwise {
 
@@ -36,16 +50,26 @@ class BinaryEdgeStream final : public RewindableEdgeStream {
  public:
   struct Options {
     // Records per buffer; 1 << 16 edges = 512 KiB per buffer (two buffers
-    // resident). Clamped to >= 1.
+    // resident). Clamped to >= 1, and rounded up so each chunk covers
+    // whole CRC blocks on version-2 files.
     std::size_t chunk_edges = std::size_t{1} << 16;
     // When false, chunks are read synchronously on the consuming thread —
     // the ablation baseline (and a fallback for single-core boxes where a
     // prefetch thread only adds contention).
     bool prefetch = true;
+    // Verify per-block CRC trailers on version-2 files (the check runs on
+    // the prefetch worker, overlapped with the consumer).
+    bool verify_crc = true;
+    // Failpoint hook for tests; must outlive the stream. Null = no faults.
+    FaultInjector* fault_injector = nullptr;
+    // Retry budget for transient open/pread failures.
+    RetryPolicy retry;
   };
 
-  // Opens and validates path (magic/version/size — see read_adw_header).
-  // Throws std::runtime_error on any failure.
+  // Opens and validates path (magic/version/size/CRC table — see
+  // read_adw_header). Throws std::runtime_error on any failure
+  // (TransientIoError when retries on a transient condition ran out,
+  // CorruptDataError for malformed content).
   explicit BinaryEdgeStream(const std::string& path);
   BinaryEdgeStream(const std::string& path, Options options);
   ~BinaryEdgeStream() override;
@@ -66,6 +90,15 @@ class BinaryEdgeStream final : public RewindableEdgeStream {
   // The validated file header (total edge count, max vertex id).
   [[nodiscard]] const AdwHeader& header() const { return header_; }
 
+  // True once a prefetch-worker death forced the fallback to synchronous
+  // reads for the rest of this stream's lifetime.
+  [[nodiscard]] bool prefetch_degraded() const { return degraded_; }
+
+  // Transient-failure retries performed so far (open + pread).
+  [[nodiscard]] std::uint64_t io_retries() const {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Buffer {
     std::vector<std::byte> bytes;
@@ -77,11 +110,14 @@ class BinaryEdgeStream final : public RewindableEdgeStream {
   // register-saving prologue (inlining advance() into next() costs ~2x in
   // drain throughput).
   [[gnu::noinline]] bool next_refill(Edge& out);
-  // Preads [offset, offset + capacity) into buf (short at EOF) and
-  // validates every record id against the header's max_vertex_id, so a
-  // corrupt or hand-crafted file cannot push out-of-range ids into
-  // consumers' dense per-vertex arrays (sized max_vertex_id + 1).
+  // Preads [offset, offset + capacity) into buf (short at EOF), verifies
+  // the covered CRC blocks (v2), and validates every record id against the
+  // header's max_vertex_id, so a corrupt or hand-crafted file cannot push
+  // out-of-range ids into consumers' dense per-vertex arrays (sized
+  // max_vertex_id + 1).
   void fill(Buffer& buf, std::uint64_t offset) const;
+  void verify_chunk_crcs(const Buffer& buf, std::uint64_t offset,
+                         std::size_t want) const;
   // Resets to the first record: fills buffers_[0] synchronously and hands
   // the next chunk to the worker. Shared by the constructor and rewind()
   // so first-pass and rewound-pass behavior cannot diverge.
@@ -91,11 +127,19 @@ class BinaryEdgeStream final : public RewindableEdgeStream {
   void schedule_fetch();
   // Swaps the prefetched buffer in; returns false at end of stream.
   bool advance();
+  // Waits for the in-flight fetch; on PrefetchWorkerDeath degrades to
+  // synchronous reads and refills the in-flight chunk inline. Other worker
+  // errors propagate.
+  void finish_pending_fetch();
+  void open_with_retry(const std::string& path);
+  void backoff(int attempt) const;
 
   int fd_ = -1;
   AdwHeader header_;
   Options options_;
+  std::string path_;
   std::uint64_t file_bytes_ = 0;
+  std::vector<std::uint32_t> crc_table_;  // empty for v1 / verify_crc off
   Buffer buffers_[2];
   int active_ = 0;
   // Decode cursor into the active buffer — raw pointers so the per-edge
@@ -107,7 +151,12 @@ class BinaryEdgeStream final : public RewindableEdgeStream {
   // stream so size_hint() reads zero).
   std::size_t consumed_before_active_ = 0;
   std::uint64_t next_offset_ = 0;  // file offset of the next unfetched chunk
+  std::uint64_t pending_offset_ = 0;  // offset of the in-flight fetch
   bool fetch_pending_ = false;
+  bool degraded_ = false;
+  // Written by whichever thread runs fill() (worker or consumer), read by
+  // the consumer — hence atomic.
+  mutable std::atomic<std::uint64_t> io_retries_{0};
   std::unique_ptr<ThreadPool> pool_;  // one worker; null when !prefetch
 };
 

@@ -1,0 +1,226 @@
+#include "src/io/checkpoint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+#include "src/common/bytes.h"
+#include "src/common/crc32.h"
+#include "src/io/adw_format.h"  // little-endian store/load primitives
+#include "src/io/atomic_file.h"
+#include "src/io/io_error.h"
+
+namespace adwise {
+
+namespace {
+
+std::vector<std::byte> encode_meta(const CheckpointMeta& meta) {
+  ByteWriter w;
+  w.str(meta.algorithm);
+  w.u32(meta.k);
+  w.u64(meta.num_vertices);
+  w.u64(meta.total_edges);
+  w.u64(meta.edges_consumed);
+  w.u64(meta.assignments);
+  w.u64(meta.sink_bytes);
+  return w.take();
+}
+
+CheckpointMeta decode_meta(std::span<const std::byte> raw,
+                           const std::string& path) {
+  try {
+    ByteReader r(raw);
+    CheckpointMeta meta;
+    meta.algorithm = r.str();
+    meta.k = r.u32();
+    meta.num_vertices = r.u64();
+    meta.total_edges = r.u64();
+    meta.edges_consumed = r.u64();
+    meta.assignments = r.u64();
+    meta.sink_bytes = r.u64();
+    r.expect_end();
+    return meta;
+  } catch (const std::exception& e) {
+    throw CorruptDataError("corrupt checkpoint meta section in " + path +
+                           ": " + e.what());
+  }
+}
+
+void append_section(AtomicFileWriter& out, std::uint32_t id,
+                    std::span<const std::byte> payload) {
+  std::byte header[kCheckpointSectionHeaderBytes];
+  adw_store_le32(id, header);
+  adw_store_le64(payload.size(), header + 4);
+  adw_store_le32(payload.empty() ? crc32(nullptr, 0)
+                                 : crc32(payload.data(), payload.size()),
+                 header + 12);
+  out.append(header, kCheckpointSectionHeaderBytes);
+  if (!payload.empty()) out.append(payload.data(), payload.size());
+}
+
+}  // namespace
+
+void write_checkpoint_file(const std::string& path, const Checkpoint& ckpt) {
+  AtomicFileWriter out(path);
+  std::byte header[kCheckpointHeaderBytes];
+  for (std::size_t i = 0; i < kCheckpointMagic.size(); ++i) {
+    header[i] = static_cast<std::byte>(kCheckpointMagic[i]);
+  }
+  adw_store_le32(kCheckpointVersion, header + 4);
+  adw_store_le32(3, header + 8);  // section count
+  adw_store_le32(crc32(header, 12), header + 12);
+  out.append(header, kCheckpointHeaderBytes);
+  const std::vector<std::byte> meta = encode_meta(ckpt.meta);
+  append_section(out, kSectionMeta, meta);
+  append_section(out, kSectionPartitionState, ckpt.partition_state);
+  append_section(out, kSectionAlgorithmState, ckpt.algorithm_state);
+  out.commit();
+}
+
+Checkpoint read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open checkpoint: " + path);
+  in.seekg(0, std::ios::end);
+  const auto file_bytes = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  if (file_bytes < kCheckpointHeaderBytes) {
+    throw CorruptDataError("truncated checkpoint " + path + ": " +
+                           std::to_string(file_bytes) +
+                           " bytes, header alone needs " +
+                           std::to_string(kCheckpointHeaderBytes));
+  }
+  std::byte header[kCheckpointHeaderBytes];
+  in.read(reinterpret_cast<char*>(header), kCheckpointHeaderBytes);
+  if (in.gcount() != static_cast<std::streamsize>(kCheckpointHeaderBytes)) {
+    throw CorruptDataError("truncated checkpoint header: " + path);
+  }
+  for (std::size_t i = 0; i < kCheckpointMagic.size(); ++i) {
+    if (std::to_integer<char>(header[i]) != kCheckpointMagic[i]) {
+      throw CorruptDataError(
+          "not a checkpoint file (bad magic at byte offset 0, expected "
+          "'ADWK'): " +
+          path);
+    }
+  }
+  const std::uint32_t version = adw_load_le32(header + 4);
+  if (version != kCheckpointVersion) {
+    throw CorruptDataError("unsupported checkpoint version " +
+                           std::to_string(version) + " (supported: " +
+                           std::to_string(kCheckpointVersion) +
+                           "): " + path);
+  }
+  const std::uint32_t header_crc = adw_load_le32(header + 12);
+  const std::uint32_t actual_header_crc = crc32(header, 12);
+  if (header_crc != actual_header_crc) {
+    throw CorruptDataError(
+        "corrupt checkpoint header (CRC at byte offset 12: stored " +
+        std::to_string(header_crc) + ", header hashes to " +
+        std::to_string(actual_header_crc) + "): " + path);
+  }
+  const std::uint32_t section_count = adw_load_le32(header + 8);
+  if (section_count != 3) {
+    throw CorruptDataError("corrupt checkpoint (section count " +
+                           std::to_string(section_count) +
+                           ", expected 3): " + path);
+  }
+
+  Checkpoint ckpt;
+  bool seen[4] = {false, false, false, false};
+  std::uint64_t offset = kCheckpointHeaderBytes;
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    if (file_bytes - offset < kCheckpointSectionHeaderBytes) {
+      throw CorruptDataError(
+          "truncated checkpoint " + path + ": section header at byte "
+          "offset " +
+          std::to_string(offset) + " needs " +
+          std::to_string(kCheckpointSectionHeaderBytes) + " bytes, file has " +
+          std::to_string(file_bytes - offset));
+    }
+    std::byte shdr[kCheckpointSectionHeaderBytes];
+    in.read(reinterpret_cast<char*>(shdr), kCheckpointSectionHeaderBytes);
+    if (in.gcount() !=
+        static_cast<std::streamsize>(kCheckpointSectionHeaderBytes)) {
+      throw CorruptDataError("truncated checkpoint section header: " + path);
+    }
+    const std::uint32_t id = adw_load_le32(shdr);
+    const std::uint64_t len = adw_load_le64(shdr + 4);
+    const std::uint32_t stored_crc = adw_load_le32(shdr + 12);
+    offset += kCheckpointSectionHeaderBytes;
+    if (id < kSectionMeta || id > kSectionAlgorithmState) {
+      throw CorruptDataError("corrupt checkpoint (unknown section id " +
+                             std::to_string(id) + " at byte offset " +
+                             std::to_string(offset -
+                                            kCheckpointSectionHeaderBytes) +
+                             "): " + path);
+    }
+    if (seen[id]) {
+      throw CorruptDataError("corrupt checkpoint (duplicate section id " +
+                             std::to_string(id) + "): " + path);
+    }
+    seen[id] = true;
+    if (len > file_bytes - offset) {
+      throw CorruptDataError(
+          "truncated checkpoint " + path + ": section " + std::to_string(id) +
+          " claims " + std::to_string(len) + " payload bytes at byte offset " +
+          std::to_string(offset) + ", file has " +
+          std::to_string(file_bytes - offset));
+    }
+    std::vector<std::byte> payload(static_cast<std::size_t>(len));
+    if (len > 0) {
+      in.read(reinterpret_cast<char*>(payload.data()),
+              static_cast<std::streamsize>(len));
+      if (in.gcount() != static_cast<std::streamsize>(len)) {
+        throw CorruptDataError("truncated checkpoint section payload: " +
+                               path);
+      }
+    }
+    const std::uint32_t actual_crc =
+        payload.empty() ? crc32(nullptr, 0)
+                        : crc32(payload.data(), payload.size());
+    if (actual_crc != stored_crc) {
+      throw CorruptDataError(
+          "corrupt checkpoint section " + std::to_string(id) +
+          " (CRC mismatch over " + std::to_string(len) +
+          " bytes at byte offset " + std::to_string(offset) + ": stored " +
+          std::to_string(stored_crc) + ", payload hashes to " +
+          std::to_string(actual_crc) + "): " + path);
+    }
+    offset += len;
+    switch (id) {
+      case kSectionMeta:
+        ckpt.meta = decode_meta(payload, path);
+        break;
+      case kSectionPartitionState:
+        ckpt.partition_state = std::move(payload);
+        break;
+      case kSectionAlgorithmState:
+        ckpt.algorithm_state = std::move(payload);
+        break;
+      default:
+        break;
+    }
+  }
+  if (offset != file_bytes) {
+    throw CorruptDataError("corrupt checkpoint (" +
+                           std::to_string(file_bytes - offset) +
+                           " trailing bytes after the last section): " +
+                           path);
+  }
+  if (!seen[kSectionMeta] || !seen[kSectionPartitionState] ||
+      !seen[kSectionAlgorithmState]) {
+    throw CorruptDataError(
+        "corrupt checkpoint (missing a required section): " + path);
+  }
+  return ckpt;
+}
+
+bool is_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4];
+  in.read(magic, 4);
+  return in.gcount() == 4 &&
+         std::equal(kCheckpointMagic.begin(), kCheckpointMagic.end(), magic);
+}
+
+}  // namespace adwise

@@ -1,0 +1,83 @@
+// Durable partitioning checkpoints (.adwk) — the crash-tolerance anchor.
+//
+// A checkpoint captures everything needed to continue a partitioning run
+// bit-identically after a crash: run metadata (algorithm, k, |V|, |E|, the
+// exact stream edge offset, durable output bytes), the serialized
+// PartitionState, and the algorithm's opaque state blob (for ADWISE: the
+// window, lazy heaps, EWMA threshold, controller state and all report
+// counters — see AdwisePartitioner::restore_algorithm_state).
+//
+// Layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     4  magic 'A' 'D' 'W' 'K'
+//        4     4  format version (uint32, currently 1)
+//        8     4  section_count  (uint32)
+//       12     4  header_crc     (CRC-32 of bytes [0, 12))
+//   then section_count sections, each:
+//       +0     4  section id     (uint32; see kSection*)
+//       +4     8  payload length (uint64)
+//      +12     4  payload_crc    (CRC-32 of the payload bytes)
+//      +16     -  payload
+//
+// Every section is independently CRC-protected and the file must contain
+// exactly the three known sections with no trailing bytes — a truncated,
+// bit-flipped or concatenated file is rejected, never partially resumed.
+// Files are written through AtomicFileWriter (tmp + fsync + rename), so a
+// crash mid-checkpoint leaves the previous checkpoint intact.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace adwise {
+
+inline constexpr std::array<char, 4> kCheckpointMagic = {'A', 'D', 'W', 'K'};
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::size_t kCheckpointHeaderBytes = 16;
+inline constexpr std::size_t kCheckpointSectionHeaderBytes = 16;
+
+inline constexpr std::uint32_t kSectionMeta = 1;
+inline constexpr std::uint32_t kSectionPartitionState = 2;
+inline constexpr std::uint32_t kSectionAlgorithmState = 3;
+
+struct CheckpointMeta {
+  std::string algorithm;        // EdgePartitioner::name() of the run
+  std::uint32_t k = 0;          // number of partitions
+  std::uint64_t num_vertices = 0;
+  std::uint64_t total_edges = 0;     // stream size_hint at run start
+  std::uint64_t edges_consumed = 0;  // stream edges to skip on resume
+  std::uint64_t assignments = 0;     // sink calls already made
+  std::uint64_t sink_bytes = 0;      // durable output bytes at checkpoint
+
+  friend bool operator==(const CheckpointMeta&, const CheckpointMeta&) =
+      default;
+};
+
+struct Checkpoint {
+  CheckpointMeta meta;
+  std::vector<std::byte> partition_state;
+  std::vector<std::byte> algorithm_state;  // empty for stateless algorithms
+
+  friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
+};
+
+// Atomically writes the checkpoint to path. Throws std::runtime_error on
+// I/O failure.
+void write_checkpoint_file(const std::string& path, const Checkpoint& ckpt);
+
+// Reads and fully validates a checkpoint: magic, version, header CRC,
+// exact section structure, per-section CRCs, no trailing bytes. Throws
+// std::runtime_error on open failure and CorruptDataError (with path,
+// offsets and expected-vs-actual values) on malformed content.
+[[nodiscard]] Checkpoint read_checkpoint_file(const std::string& path);
+
+// True iff the file exists and begins with the checkpoint magic.
+[[nodiscard]] bool is_checkpoint_file(const std::string& path);
+
+}  // namespace adwise

@@ -1,0 +1,124 @@
+#include "src/io/fault_injection.h"
+
+#include <string>
+
+namespace adwise {
+
+namespace {
+
+// splitmix64: the standard 64-bit finalizer — full avalanche, so adjacent
+// offsets decorrelate completely.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool hash_below(std::uint64_t seed, std::uint64_t salt, std::uint64_t key,
+                double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  const std::uint64_t h = mix64(seed ^ mix64(salt) ^ mix64(key));
+  // Top 53 bits → uniform double in [0, 1).
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return unit < probability;
+}
+
+constexpr std::uint64_t kSaltShortRead = 0x5348u;  // arbitrary distinct salts
+constexpr std::uint64_t kSaltEintr = 0x4549u;
+constexpr std::uint64_t kSaltEagain = 0x4541u;
+constexpr std::uint64_t kSaltBitflip = 0x4246u;
+
+}  // namespace
+
+bool SeededFaultInjector::decide(std::uint64_t salt, std::uint64_t offset,
+                                 double probability) {
+  if (!hash_below(options_.seed, salt, offset, probability)) return false;
+  // One shot per (operation, offset): the retry after an injected fault
+  // must succeed, otherwise no retry policy could ever make progress.
+  bool& fired = fired_[mix64(salt) ^ offset];
+  if (fired) return false;
+  fired = true;
+  return true;
+}
+
+bool SeededFaultInjector::fail_open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.failed_opens <
+      static_cast<std::uint64_t>(options_.fail_opens < 0 ? 0
+                                                         : options_.fail_opens)) {
+    ++counters_.failed_opens;
+    return true;
+  }
+  return false;
+}
+
+FaultInjector::PreadFault SeededFaultInjector::pread_fault(
+    std::uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (decide(kSaltEintr, offset, options_.eintr_probability)) {
+    ++counters_.eintrs;
+    return PreadFault::kEintr;
+  }
+  if (decide(kSaltEagain, offset, options_.eagain_probability)) {
+    ++counters_.eagains;
+    return PreadFault::kEagain;
+  }
+  if (decide(kSaltShortRead, offset, options_.short_read_probability)) {
+    ++counters_.short_reads;
+    return PreadFault::kShortRead;
+  }
+  return PreadFault::kNone;
+}
+
+void SeededFaultInjector::corrupt(std::byte* data, std::size_t len,
+                                  std::uint64_t offset) {
+  if (len == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!decide(kSaltBitflip, offset, options_.bitflip_probability)) return;
+  const std::uint64_t bit =
+      mix64(options_.seed ^ mix64(kSaltBitflip + 1) ^ mix64(offset)) %
+      (static_cast<std::uint64_t>(len) * 8);
+  data[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  ++counters_.bitflips;
+}
+
+bool SeededFaultInjector::kill_prefetch_worker(std::uint64_t offset) {
+  (void)offset;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker_killed_ || options_.kill_worker_after < 0) {
+    ++fetches_;
+    return false;
+  }
+  if (fetches_++ ==
+      static_cast<std::uint64_t>(options_.kill_worker_after)) {
+    worker_killed_ = true;
+    ++counters_.worker_kills;
+    return true;
+  }
+  return false;
+}
+
+SeededFaultInjector::Counters SeededFaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+bool FaultInjectingEdgeStream::next(Edge& out) {
+  if (hash_below(options_.seed, 0x4553u, pos_, options_.fault_probability)) {
+    int& thrown = fired_[pos_];
+    if (thrown < options_.faults_per_position) {
+      ++thrown;
+      ++faults_;
+      throw TransientIoError(
+          "injected transient stream fault before edge position " +
+          std::to_string(pos_));
+    }
+  }
+  if (!inner_->next(out)) return false;
+  ++pos_;
+  return true;
+}
+
+}  // namespace adwise

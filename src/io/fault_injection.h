@@ -1,0 +1,178 @@
+// Deterministic fault injection for the out-of-core I/O path.
+//
+// Two layers:
+//
+//  - FaultInjector: failpoint hooks consulted by BinaryEdgeStream around
+//    open()/pread() — short reads, spurious EINTR/EAGAIN, transient open
+//    failures, bit-flips in read buffers, and prefetch-worker death. The
+//    production stream owns the recovery policy (bounded retry with
+//    exponential backoff, CRC rejection, degradation to synchronous
+//    reads); the injector only decides *when* something goes wrong.
+//
+//  - FaultInjectingEdgeStream: wraps any RewindableEdgeStream and throws
+//    TransientIoError at seed-chosen edge positions, independent of the
+//    underlying format — the harness for checkpoint/resume tests ("the
+//    stream died mid-run at edge N, resume from the last checkpoint").
+//
+// Everything is driven by a fixed seed and position hashing, never by wall
+// clock or call timing, so a failing configuration replays byte-for-byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/graph/edge_stream.h"
+#include "src/io/io_error.h"
+
+namespace adwise {
+
+// Thrown inside the prefetch worker when a failpoint kills it;
+// BinaryEdgeStream catches exactly this type and degrades to synchronous
+// reads instead of aborting the run.
+class PrefetchWorkerDeath : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Retry policy for transient I/O errors (real or injected): up to
+// max_attempts tries with exponential backoff. The sleeper is injectable
+// so tests can count backoffs instead of actually sleeping.
+struct RetryPolicy {
+  int max_attempts = 4;
+  unsigned base_delay_us = 100;     // doubles per attempt, capped below
+  unsigned max_delay_us = 100'000;
+  std::function<void(unsigned delay_us)> sleeper;  // null = usleep
+
+  [[nodiscard]] unsigned delay_for_attempt(int attempt) const {
+    unsigned d = base_delay_us;
+    for (int i = 1; i < attempt && d < max_delay_us; ++i) d *= 2;
+    return d < max_delay_us ? d : max_delay_us;
+  }
+};
+
+// Failpoint hooks. The default implementation injects nothing, so the
+// production path can consult an injector unconditionally.
+class FaultInjector {
+ public:
+  enum class PreadFault {
+    kNone,
+    kShortRead,  // deliver fewer bytes than asked
+    kEintr,      // fail with errno == EINTR (retried immediately)
+    kEagain,     // fail with errno == EAGAIN (retried with backoff)
+  };
+
+  virtual ~FaultInjector() = default;
+
+  // Consulted once per ::open attempt; true = simulate open failure.
+  virtual bool fail_open() { return false; }
+
+  // Consulted before each pread at the given absolute file offset.
+  virtual PreadFault pread_fault(std::uint64_t offset) {
+    (void)offset;
+    return PreadFault::kNone;
+  }
+
+  // May corrupt bytes just read at the given absolute file offset.
+  virtual void corrupt(std::byte* data, std::size_t len,
+                       std::uint64_t offset) {
+    (void)data;
+    (void)len;
+    (void)offset;
+  }
+
+  // Consulted at the start of each prefetched chunk fetch; true = the
+  // worker dies (throws PrefetchWorkerDeath) before reading.
+  virtual bool kill_prefetch_worker(std::uint64_t offset) {
+    (void)offset;
+    return false;
+  }
+};
+
+// Seed-driven injector: each (operation, offset) pair faults at most once,
+// decided by hashing seed and offset — so the schedule is a deterministic
+// function of the seed and the access pattern, retries always make
+// progress, and two runs with the same seed observe identical faults.
+class SeededFaultInjector final : public FaultInjector {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    double short_read_probability = 0.0;
+    double eintr_probability = 0.0;
+    double eagain_probability = 0.0;
+    double bitflip_probability = 0.0;
+    int fail_opens = 0;            // fail the first N open attempts
+    std::int64_t kill_worker_after = -1;  // kill the (N+1)-th fetch; -1 = never
+  };
+
+  explicit SeededFaultInjector(const Options& options) : options_(options) {}
+
+  bool fail_open() override;
+  PreadFault pread_fault(std::uint64_t offset) override;
+  void corrupt(std::byte* data, std::size_t len,
+               std::uint64_t offset) override;
+  bool kill_prefetch_worker(std::uint64_t offset) override;
+
+  struct Counters {
+    std::uint64_t short_reads = 0;
+    std::uint64_t eintrs = 0;
+    std::uint64_t eagains = 0;
+    std::uint64_t bitflips = 0;
+    std::uint64_t failed_opens = 0;
+    std::uint64_t worker_kills = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  [[nodiscard]] bool decide(std::uint64_t salt, std::uint64_t offset,
+                            double probability);
+
+  Options options_;
+  // The stream's consumer and prefetch worker never call in concurrently,
+  // but a mutex keeps the injector unconditionally safe (and TSan-clean)
+  // either way — this is test machinery, not a hot path.
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, bool> fired_;
+  std::uint64_t fetches_ = 0;
+  bool worker_killed_ = false;
+  Counters counters_;
+};
+
+// Wraps a rewindable stream and throws TransientIoError before delivering
+// seed-chosen edge positions. Each position faults at most
+// faults_per_position times across the wrapper's lifetime — deliberately
+// NOT reset by rewind() — so any retry/resume loop terminates: a resumed
+// run that re-skips past a previously faulted position sails through.
+class FaultInjectingEdgeStream final : public RewindableEdgeStream {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    double fault_probability = 0.0;  // per edge position
+    int faults_per_position = 1;
+  };
+
+  FaultInjectingEdgeStream(RewindableEdgeStream& inner, const Options& options)
+      : inner_(&inner), options_(options) {}
+
+  bool next(Edge& out) override;
+  [[nodiscard]] std::size_t size_hint() const override {
+    return inner_->size_hint();
+  }
+  void rewind() override {
+    inner_->rewind();
+    pos_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t faults_injected() const { return faults_; }
+
+ private:
+  RewindableEdgeStream* inner_;
+  Options options_;
+  std::uint64_t pos_ = 0;
+  std::uint64_t faults_ = 0;
+  std::unordered_map<std::uint64_t, int> fired_;
+};
+
+}  // namespace adwise

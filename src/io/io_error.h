@@ -1,0 +1,25 @@
+// I/O failure taxonomy for the out-of-core subsystem.
+//
+// Transient errors (interrupted syscalls, momentary resource exhaustion,
+// injected test faults) are worth retrying, and a checkpointed run can
+// resume through them. Corrupt data (bad magic, size mismatches, CRC
+// failures, truncation) must never be retried or silently accepted — the
+// bytes are wrong, not the timing. Both derive from std::runtime_error so
+// existing catch sites keep working; new callers can distinguish.
+#pragma once
+
+#include <stdexcept>
+
+namespace adwise {
+
+class TransientIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class CorruptDataError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace adwise

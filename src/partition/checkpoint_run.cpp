@@ -1,0 +1,199 @@
+#include "src/partition/checkpoint_run.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/bytes.h"
+
+namespace adwise {
+
+DurableCheckpointWriter::DurableCheckpointWriter(
+    std::string path, std::function<void(std::uint64_t)> on_commit)
+    : path_(std::move(path)),
+      on_commit_(std::move(on_commit)),
+      thread_([this] { worker_loop(); }) {}
+
+DurableCheckpointWriter::~DurableCheckpointWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void DurableCheckpointWriter::write(Checkpoint ckpt) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return (!has_job_ && !writing_) || error_; });
+  if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+  job_ = std::move(ckpt);
+  has_job_ = true;
+  lock.unlock();
+  cv_.notify_all();
+}
+
+void DurableCheckpointWriter::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return (!has_job_ && !writing_) || error_; });
+  if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+}
+
+std::uint64_t DurableCheckpointWriter::committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_;
+}
+
+void DurableCheckpointWriter::worker_loop() {
+  for (;;) {
+    Checkpoint ckpt;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return has_job_ || stop_; });
+      if (!has_job_) return;  // stop requested, nothing queued
+      ckpt = std::move(job_);
+      has_job_ = false;
+      writing_ = true;
+    }
+    cv_.notify_all();  // the handoff slot is free again
+    std::uint64_t ordinal = 0;
+    std::exception_ptr error;
+    try {
+      write_checkpoint_file(path_, ckpt);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      writing_ = false;
+      if (error) {
+        error_ = error;
+      } else {
+        ordinal = ++committed_;
+      }
+    }
+    cv_.notify_all();
+    if (!error && on_commit_) on_commit_(ordinal);
+  }
+}
+
+void validate_checkpoint(const CheckpointMeta& meta,
+                         std::string_view algorithm, std::uint32_t k,
+                         std::uint64_t num_vertices) {
+  std::string problems;
+  if (meta.algorithm != algorithm) {
+    problems += " algorithm=" + meta.algorithm + " (this run: " +
+                std::string(algorithm) + ")";
+  }
+  if (meta.k != k) {
+    problems += " k=" + std::to_string(meta.k) +
+                " (this run: " + std::to_string(k) + ")";
+  }
+  if (meta.num_vertices != num_vertices) {
+    problems += " |V|=" + std::to_string(meta.num_vertices) +
+                " (this run: " + std::to_string(num_vertices) + ")";
+  }
+  if (!problems.empty()) {
+    throw std::runtime_error("checkpoint does not match this run:" + problems);
+  }
+}
+
+void skip_edges(EdgeStream& stream, std::uint64_t n) {
+  Edge e;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!stream.next(e)) {
+      throw std::runtime_error(
+          "stream ended after " + std::to_string(i) + " of " +
+          std::to_string(n) +
+          " edges to skip — the checkpoint does not belong to this input");
+    }
+  }
+}
+
+std::uint64_t run_with_checkpoints(EdgePartitioner& partitioner,
+                                   EdgeStream& stream, PartitionState& state,
+                                   const AssignmentSink& sink,
+                                   const CheckpointRunOptions& opts,
+                                   const Checkpoint* resume) {
+  if (opts.every == 0) {
+    throw std::runtime_error("checkpoint interval must be > 0");
+  }
+
+  std::uint64_t total_edges = stream.size_hint();
+  if (resume != nullptr) {
+    total_edges = resume->meta.total_edges;
+    ByteReader in(resume->partition_state);
+    state.load(in);
+    in.expect_end();
+    if (!partitioner.restore_algorithm_state(resume->algorithm_state)) {
+      throw std::runtime_error(
+          "checkpointed algorithm state was rejected by " +
+          std::string(partitioner.name()) +
+          " — wrong algorithm, configuration or blob layout");
+    }
+    skip_edges(stream, resume->meta.edges_consumed);
+  }
+
+  std::uint64_t written = 0;
+  // With async I/O the writer thread owns CRC/write/fsync/rename; the
+  // partitioning thread only snapshots state and hands the blob off. The
+  // writer lives in this frame, which outlives the partition() call.
+  std::unique_ptr<DurableCheckpointWriter> writer;
+  if (opts.async_io) {
+    writer = std::make_unique<DurableCheckpointWriter>(opts.checkpoint_path,
+                                                       opts.on_checkpoint);
+  }
+  CheckpointHook hook;
+  hook.every = opts.every;
+  // Small parts captured by value so the hook owns them; state, the writer
+  // and the written counter stay references into this frame, which outlives
+  // the partition() call below (the hook is disarmed before returning).
+  hook.emit = [&state, &written, total_edges, async = writer.get(),
+               algorithm = std::string(partitioner.name()),
+               path = opts.checkpoint_path, durable = opts.durable_sink_bytes,
+               notify = opts.on_checkpoint](
+                  std::uint64_t assignments, std::uint64_t edges_consumed,
+                  std::span<const std::byte> algo_state) {
+    Checkpoint ckpt;
+    ckpt.meta.algorithm = algorithm;
+    ckpt.meta.k = state.k();
+    ckpt.meta.num_vertices = state.num_vertices();
+    ckpt.meta.total_edges = total_edges;
+    ckpt.meta.edges_consumed = edges_consumed;
+    ckpt.meta.assignments = assignments;
+    // The sink output must be durable BEFORE the checkpoint that accounts
+    // for it exists — otherwise a crash between the two could leave a
+    // checkpoint claiming bytes the filesystem never persisted. (This
+    // holds in async mode too: the rename happens strictly after this
+    // call returns.)
+    ckpt.meta.sink_bytes = durable ? durable() : 0;
+    ByteWriter w;
+    state.save(w);
+    ckpt.partition_state = w.take();
+    ckpt.algorithm_state.assign(algo_state.begin(), algo_state.end());
+    if (async != nullptr) {
+      async->write(std::move(ckpt));
+    } else {
+      write_checkpoint_file(path, ckpt);
+      ++written;
+      if (notify) notify(written);
+    }
+  };
+
+  if (!partitioner.enable_checkpoints(std::move(hook))) {
+    throw std::runtime_error(
+        std::string(partitioner.name()) +
+        " does not support checkpointing under this configuration");
+  }
+
+  partitioner.partition(stream, state, sink);
+  if (writer) {
+    writer->flush();  // surface writer-side errors before reporting success
+    written = writer->committed();
+  }
+  // Disarm: the emit closure references this frame.
+  partitioner.enable_checkpoints(CheckpointHook{});
+  return written;
+}
+
+}  // namespace adwise

@@ -1,0 +1,127 @@
+// Checkpointed partitioning driver — glue between an EdgePartitioner's
+// CheckpointHook and the durable .adwk checkpoint files.
+//
+// run_with_checkpoints() wraps a single partition() call so that every
+// `every` assignments a complete checkpoint (run metadata, PartitionState,
+// algorithm state blob) is written atomically to disk, and a run restored
+// from such a checkpoint continues bit-identically — same placements, same
+// counter traces — as if it had never been interrupted. The caller supplies
+// the durability boundary for its own output (durable_sink_bytes): it is
+// invoked immediately before each checkpoint is written and must make all
+// sink output produced so far durable (flush + fsync), returning the number
+// of durable bytes, so a resumer can truncate a partially written output
+// file back to exactly the data the checkpoint accounts for.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "src/graph/edge_stream.h"
+#include "src/io/checkpoint.h"
+#include "src/partition/partition_state.h"
+#include "src/partition/partitioner.h"
+
+namespace adwise {
+
+struct CheckpointRunOptions {
+  // Destination of the (single, atomically replaced) checkpoint file.
+  std::string checkpoint_path;
+  // Checkpoint after every `every` assignments. Must be > 0.
+  std::uint64_t every = std::uint64_t{1} << 16;
+  // Overlap checkpoint I/O with partitioning: the partitioning thread only
+  // snapshots the state; CRC, write, fsync and rename happen on a
+  // DurableCheckpointWriter thread. A crash can then lose at most the
+  // newest in-flight checkpoint (the previous one stays valid — same
+  // recovery contract, older recovery point). When true, on_checkpoint
+  // fires on the writer thread and MUST NOT throw.
+  bool async_io = false;
+  // Makes the caller's sink output durable and returns the durable byte
+  // count, recorded as CheckpointMeta::sink_bytes. Optional: when absent,
+  // sink_bytes is 0 and resumers must treat the output as rebuildable.
+  // Always invoked on the partitioning thread at the checkpoint boundary,
+  // BEFORE the checkpoint that accounts for those bytes can hit the disk.
+  std::function<std::uint64_t()> durable_sink_bytes;
+  // Called after the n-th checkpoint of THIS process has been durably
+  // written (1-based). Test hook: the SIGKILL crash tests raise their
+  // signal here. With async_io it runs on the writer thread.
+  std::function<void(std::uint64_t ordinal)> on_checkpoint;
+};
+
+// Background checkpoint committer: a single worker thread that turns
+// Checkpoint snapshots into durable .adwk files (CRC + write + fsync +
+// atomic rename) while the caller keeps partitioning. Handoff is a
+// blocking single slot — at most one snapshot is queued behind the one
+// being written, so memory stays bounded and checkpoints land in order.
+// Writer-side failures (disk full, permission) are captured and rethrown
+// on the caller's thread from the next write() or flush().
+class DurableCheckpointWriter {
+ public:
+  // `on_commit`, when non-null, runs on the writer thread after each
+  // durable commit with the 1-based ordinal; it must not throw.
+  DurableCheckpointWriter(std::string path,
+                          std::function<void(std::uint64_t)> on_commit = {});
+  // Drains any handed-off snapshot, then joins. Errors discovered during
+  // the drain are swallowed (call flush() first to observe them).
+  ~DurableCheckpointWriter();
+
+  DurableCheckpointWriter(const DurableCheckpointWriter&) = delete;
+  DurableCheckpointWriter& operator=(const DurableCheckpointWriter&) = delete;
+
+  // Hands a snapshot to the writer thread, blocking until the previous
+  // snapshot (if any) is durable. Rethrows earlier writer-side errors.
+  void write(Checkpoint ckpt);
+  // Blocks until every handed-off snapshot is durable; rethrows errors.
+  void flush();
+  // Number of checkpoints durably committed so far.
+  [[nodiscard]] std::uint64_t committed() const;
+
+ private:
+  void worker_loop();
+
+  std::string path_;
+  std::function<void(std::uint64_t)> on_commit_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool has_job_ = false;
+  bool writing_ = false;
+  bool stop_ = false;
+  Checkpoint job_;
+  std::uint64_t committed_ = 0;
+  std::exception_ptr error_;
+  std::thread thread_;
+};
+
+// Throws std::runtime_error (mentioning every mismatching field) unless the
+// checkpoint was taken by a run with this algorithm name, partition count
+// and vertex count — a checkpoint must never be silently applied to the
+// wrong run.
+void validate_checkpoint(const CheckpointMeta& meta,
+                         std::string_view algorithm, std::uint32_t k,
+                         std::uint64_t num_vertices);
+
+// Advances the stream past its first n edges; throws std::runtime_error if
+// the stream ends earlier (the checkpoint does not belong to this input).
+void skip_edges(EdgeStream& stream, std::uint64_t n);
+
+// Runs partitioner over stream with durable checkpoints (written inline at
+// each boundary, or overlapped via a DurableCheckpointWriter when
+// opts.async_io is set). When resume is
+// non-null it must already be validated against this run's shape; the
+// PartitionState and algorithm state are restored and the stream is
+// advanced past meta.edges_consumed edges before partitioning continues.
+// Throws std::runtime_error when the partitioner rejects checkpointing
+// under its current configuration (see AdwisePartitioner's preconditions).
+// Returns the number of checkpoints written by this call.
+std::uint64_t run_with_checkpoints(EdgePartitioner& partitioner,
+                                   EdgeStream& stream, PartitionState& state,
+                                   const AssignmentSink& sink,
+                                   const CheckpointRunOptions& opts,
+                                   const Checkpoint* resume = nullptr);
+
+}  // namespace adwise

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/common/replica_set.h"
 #include "src/partition/types.h"
 
@@ -97,6 +98,14 @@ class PartitionState {
   // captures the scalar aggregates and aliases the per-vertex/per-partition
   // arrays, which are immutable between assign() calls.
   [[nodiscard]] PartitionSnapshot snapshot() const;
+
+  // Checkpoint support: serializes the complete state — replica sets,
+  // degrees, oracle, per-partition loads and every balance aggregate.
+  // load() restores into a state constructed with the same (k,
+  // num_vertices) and throws std::runtime_error on any shape mismatch, so
+  // a checkpoint can never be silently applied to the wrong run.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
 
  private:
   std::uint32_t k_;

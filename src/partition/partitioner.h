@@ -6,8 +6,12 @@
 // order and only need to implement place().
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <string_view>
+#include <utility>
 
 #include "src/graph/edge_stream.h"
 #include "src/partition/partition_state.h"
@@ -19,6 +23,23 @@ namespace adwise {
 // assignments and by the engine builders).
 using AssignmentSink = std::function<void(const Edge&, PartitionId)>;
 
+// Crash-tolerance hook: a partitioner that supports checkpointing calls
+// emit at a safe boundary after every `every` assignments. At that point
+// exactly `assignments` sink calls have been made, the first
+// `edges_consumed` stream edges are fully accounted for (assigned, or held
+// inside the serialized algorithm state), and `state` is the algorithm's
+// opaque state blob (empty for stateless algorithms). Resuming means:
+// restore PartitionState, feed `state` back through
+// restore_algorithm_state(), skip `edges_consumed` stream edges, and call
+// partition() again — the continuation is bit-identical to the
+// uninterrupted run.
+struct CheckpointHook {
+  std::uint64_t every = 0;  // 0 disables
+  std::function<void(std::uint64_t assignments, std::uint64_t edges_consumed,
+                     std::span<const std::byte> state)>
+      emit;
+};
+
 class EdgePartitioner {
  public:
   virtual ~EdgePartitioner() = default;
@@ -28,6 +49,22 @@ class EdgePartitioner {
   // Drains the stream, assigning every edge exactly once.
   virtual void partition(EdgeStream& stream, PartitionState& state,
                          const AssignmentSink& sink = {}) = 0;
+
+  // Opt-in crash tolerance. Returns false (and installs nothing) when the
+  // algorithm cannot checkpoint — callers must treat that as "run without
+  // durability", not silently assume coverage.
+  virtual bool enable_checkpoints(CheckpointHook hook) {
+    (void)hook;
+    return false;
+  }
+
+  // Restores the opaque blob a CheckpointHook emitted, to take effect on
+  // the next partition() call. Returns false if the algorithm cannot
+  // restore this state (unsupported, or the blob shape is alien).
+  virtual bool restore_algorithm_state(std::span<const std::byte> state) {
+    (void)state;
+    return false;
+  }
 };
 
 // Base for the classic one-edge-at-a-time streaming algorithms (§II-B).
@@ -45,8 +82,30 @@ class SingleEdgePartitioner : public EdgePartitioner {
       const PartitionId p = place(e, state);
       state.assign(e, p);
       if (sink) sink(e, p);
+      // Single-edge algorithms carry no state beyond PartitionState, so
+      // the boundary after any assignment is safe and edges consumed ==
+      // assignments (state.assigned_edges() is absolute, surviving resume
+      // because the restored state carries the pre-crash count).
+      if (ckpt_.every != 0 && ckpt_.emit &&
+          state.assigned_edges() % ckpt_.every == 0) {
+        ckpt_.emit(state.assigned_edges(), state.assigned_edges(), {});
+      }
     }
   }
+
+  // place() is a pure function of (edge, state), so any stateless
+  // single-edge algorithm checkpoints for free.
+  bool enable_checkpoints(CheckpointHook hook) final {
+    ckpt_ = std::move(hook);
+    return true;
+  }
+
+  bool restore_algorithm_state(std::span<const std::byte> state) final {
+    return state.empty();
+  }
+
+ private:
+  CheckpointHook ckpt_;
 };
 
 }  // namespace adwise

@@ -1,0 +1,721 @@
+// Crash-tolerance tests: the .adwk checkpoint format, the checkpointed run
+// driver, and — the anchor of the whole feature — kill-at-every-boundary
+// property tests proving that a run resumed from any checkpoint finishes
+// bit-identically (same placements, same counter traces) to a run that was
+// never interrupted.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/crc32.h"
+#include "src/core/adwise_partitioner.h"
+#include "src/graph/edge_stream.h"
+#include "src/graph/file_stream.h"
+#include "src/graph/generators.h"
+#include "src/io/adw_format.h"
+#include "src/io/binary_stream.h"
+#include "src/io/checkpoint.h"
+#include "src/io/fault_injection.h"
+#include "src/partition/checkpoint_run.h"
+#include "src/partition/hdrf_partitioner.h"
+#include "src/partition/partition_state.h"
+
+namespace adwise {
+namespace {
+
+// --- Byte codec + CRC-32 primitives -----------------------------------------
+
+TEST(Crc32Test, StandardCheckValue) {
+  // The IEEE 802.3 check value every CRC-32 implementation must produce.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInput) { EXPECT_EQ(crc32("", 0), 0u); }
+
+TEST(Crc32Test, IncrementalFeedMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t oneshot = crc32(data.data(), data.size());
+  // Every split point of the same byte sequence must yield the same CRC —
+  // the property the streaming .adw writer relies on.
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t state = crc32_init();
+    state = crc32_feed(state, data.data(), split);
+    state = crc32_feed(state, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc32_finish(state), oneshot) << "split at " << split;
+  }
+}
+
+TEST(BytesTest, RoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+  w.str("checkpoint");
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.str(), "checkpoint");
+  EXPECT_EQ(r.remaining(), 0u);
+  r.expect_end();
+}
+
+TEST(BytesTest, TruncatedBlobThrows) {
+  ByteWriter w;
+  w.u64(42);
+  for (std::size_t len = 0; len < 8; ++len) {
+    ByteReader r(std::span<const std::byte>(w.data().data(), len));
+    EXPECT_THROW((void)r.u64(), std::runtime_error) << "len " << len;
+  }
+}
+
+TEST(BytesTest, TrailingBytesFailExpectEnd) {
+  ByteWriter w;
+  w.u32(1);
+  w.u8(0);
+  ByteReader r(w.data());
+  (void)r.u32();
+  EXPECT_THROW(r.expect_end(), std::runtime_error);
+}
+
+// --- .adwk checkpoint files --------------------------------------------------
+
+class CheckpointFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "ckpt_test_" +
+            std::to_string(static_cast<long>(::getpid())) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".adwk";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static Checkpoint sample() {
+    Checkpoint c;
+    c.meta.algorithm = "adwise";
+    c.meta.k = 8;
+    c.meta.num_vertices = 1000;
+    c.meta.total_edges = 5000;
+    c.meta.edges_consumed = 1234;
+    c.meta.assignments = 1200;
+    c.meta.sink_bytes = 4321;
+    c.partition_state = {std::byte{1}, std::byte{2}, std::byte{3}};
+    c.algorithm_state = {std::byte{9}, std::byte{8}};
+    return c;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CheckpointFileTest, RoundTrip) {
+  const Checkpoint ckpt = sample();
+  write_checkpoint_file(path_, ckpt);
+  EXPECT_TRUE(is_checkpoint_file(path_));
+  EXPECT_EQ(read_checkpoint_file(path_), ckpt);
+}
+
+TEST_F(CheckpointFileTest, EmptyAlgorithmStateRoundTrips) {
+  Checkpoint ckpt = sample();
+  ckpt.meta.algorithm = "hdrf";
+  ckpt.algorithm_state.clear();
+  write_checkpoint_file(path_, ckpt);
+  EXPECT_EQ(read_checkpoint_file(path_), ckpt);
+}
+
+TEST_F(CheckpointFileTest, StructureGolden) {
+  // Pin the container layout: header with CRC, then exactly the three known
+  // sections, each CRC-protected. If this breaks, old checkpoints no longer
+  // resume.
+  write_checkpoint_file(path_, sample());
+  std::ifstream in(path_, std::ios::binary);
+  const std::string bytes{std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>()};
+  ASSERT_GE(bytes.size(), kCheckpointHeaderBytes);
+  EXPECT_EQ(bytes.substr(0, 4), "ADWK");
+  const auto* b = reinterpret_cast<const std::byte*>(bytes.data());
+  EXPECT_EQ(adw_load_le32(b + 4), kCheckpointVersion);
+  EXPECT_EQ(adw_load_le32(b + 8), 3u);  // section_count
+  EXPECT_EQ(adw_load_le32(b + 12), crc32(bytes.data(), 12));
+
+  std::size_t off = kCheckpointHeaderBytes;
+  const std::uint32_t want_ids[] = {kSectionMeta, kSectionPartitionState,
+                                    kSectionAlgorithmState};
+  for (std::uint32_t want_id : want_ids) {
+    ASSERT_GE(bytes.size(), off + kCheckpointSectionHeaderBytes);
+    EXPECT_EQ(adw_load_le32(b + off), want_id);
+    const std::uint64_t len = adw_load_le64(b + off + 4);
+    const std::uint32_t payload_crc = adw_load_le32(b + off + 12);
+    off += kCheckpointSectionHeaderBytes;
+    ASSERT_GE(bytes.size(), off + len);
+    EXPECT_EQ(payload_crc, crc32(bytes.data() + off, len))
+        << "section " << want_id;
+    off += len;
+  }
+  EXPECT_EQ(off, bytes.size());  // no trailing bytes
+}
+
+// --- validate_checkpoint / skip_edges ---------------------------------------
+
+TEST(ValidateCheckpointTest, MatchingShapePasses) {
+  CheckpointMeta meta;
+  meta.algorithm = "hdrf";
+  meta.k = 4;
+  meta.num_vertices = 100;
+  EXPECT_NO_THROW(validate_checkpoint(meta, "hdrf", 4, 100));
+}
+
+TEST(ValidateCheckpointTest, EveryMismatchReported) {
+  CheckpointMeta meta;
+  meta.algorithm = "hdrf";
+  meta.k = 4;
+  meta.num_vertices = 100;
+  try {
+    validate_checkpoint(meta, "adwise", 8, 999);
+    FAIL() << "expected a shape mismatch";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    // One error naming every mismatching field, not just the first.
+    EXPECT_NE(msg.find("hdrf"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("adwise"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("8"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("100"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("999"), std::string::npos) << msg;
+  }
+}
+
+TEST(SkipEdgesTest, SkipsExactlyN) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  VectorEdgeStream stream(edges);
+  skip_edges(stream, 2);
+  Edge e;
+  ASSERT_TRUE(stream.next(e));
+  EXPECT_EQ(e, (Edge{2, 3}));
+}
+
+TEST(SkipEdgesTest, ShortStreamThrows) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}};
+  VectorEdgeStream stream(edges);
+  EXPECT_THROW(skip_edges(stream, 3), std::runtime_error);
+}
+
+// --- PartitionState save/load continuation ----------------------------------
+
+TEST(PartitionStateCheckpointTest, ContinuationIsEquivalent) {
+  const Graph g = make_erdos_renyi(200, 1500, 5);
+  PartitionState full(4, 200);
+  PartitionState prefix(4, 200);
+  const std::size_t cut = 700;
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    full.assign(g.edge(i), static_cast<PartitionId>(i % 4));
+    if (i < cut) prefix.assign(g.edge(i), static_cast<PartitionId>(i % 4));
+  }
+
+  ByteWriter blob;
+  prefix.save(blob);
+  PartitionState restored(4, 200);
+  ByteReader reader(blob.data());
+  restored.load(reader);
+  reader.expect_end();
+
+  // Continue the restored state over the suffix: every observable must
+  // match the uninterrupted run.
+  for (std::size_t i = cut; i < g.num_edges(); ++i) {
+    restored.assign(g.edge(i), static_cast<PartitionId>(i % 4));
+  }
+  EXPECT_EQ(restored.assigned_edges(), full.assigned_edges());
+  EXPECT_EQ(restored.max_partition_size(), full.max_partition_size());
+  EXPECT_EQ(restored.min_partition_size(), full.min_partition_size());
+  EXPECT_EQ(restored.least_loaded(), full.least_loaded());
+  EXPECT_EQ(restored.max_degree(), full.max_degree());
+  EXPECT_DOUBLE_EQ(restored.replication_degree(), full.replication_degree());
+  EXPECT_DOUBLE_EQ(restored.imbalance(), full.imbalance());
+  for (PartitionId p = 0; p < 4; ++p) {
+    EXPECT_EQ(restored.edges_on(p), full.edges_on(p)) << "partition " << p;
+  }
+  for (VertexId v = 0; v < 200; ++v) {
+    EXPECT_EQ(restored.observed_degree(v), full.observed_degree(v));
+    EXPECT_EQ(restored.replicas(v), full.replicas(v)) << "vertex " << v;
+  }
+}
+
+TEST(PartitionStateCheckpointTest, ShapeMismatchRejected) {
+  PartitionState small(4, 100);
+  small.assign({0, 1}, 0);
+  ByteWriter blob;
+  small.save(blob);
+  {
+    PartitionState wrong_k(8, 100);
+    ByteReader reader(blob.data());
+    EXPECT_THROW(wrong_k.load(reader), std::runtime_error);
+  }
+  {
+    PartitionState wrong_n(4, 200);
+    ByteReader reader(blob.data());
+    EXPECT_THROW(wrong_n.load(reader), std::runtime_error);
+  }
+}
+
+// --- Kill-at-every-boundary property tests ----------------------------------
+
+using Placement = std::pair<Edge, PartitionId>;
+
+// Thrown by the crash hook; models SIGKILL right after a checkpoint became
+// durable (everything in memory is discarded, only the checkpoint file and
+// the durable placement prefix survive).
+struct CrashSignal {};
+
+struct CrashLoopResult {
+  std::vector<Placement> placements;
+  AdwisePartitioner::Report report;  // zero for single-edge algorithms
+  int crashes = 0;
+};
+
+// Runs partitioning to completion while crashing at every single checkpoint
+// boundary: each attempt dies at its first checkpoint, so attempt i resumes
+// from boundary i-1 and crashes at boundary i — every boundary is exercised
+// both as a crash point and as a resume point.
+CrashLoopResult crash_at_every_boundary(
+    const std::function<std::unique_ptr<EdgePartitioner>()>& make_partitioner,
+    const std::function<EdgeStream&()>& make_stream, std::uint32_t k,
+    VertexId n, const std::string& ckpt_path, std::uint64_t every) {
+  CrashLoopResult result;
+  std::remove(ckpt_path.c_str());
+  for (int iter = 0;; ++iter) {
+    if (iter > 500) throw std::runtime_error("crash loop did not terminate");
+    auto partitioner = make_partitioner();
+    PartitionState state(k, n);
+    EdgeStream& stream = make_stream();
+    Checkpoint resume;
+    const Checkpoint* r = nullptr;
+    if (is_checkpoint_file(ckpt_path)) {
+      resume = read_checkpoint_file(ckpt_path);
+      validate_checkpoint(resume.meta, partitioner->name(), k, n);
+      // Roll the output back to the durable prefix, exactly like the CLI
+      // truncates its .partial file to CheckpointMeta::sink_bytes.
+      result.placements.resize(resume.meta.sink_bytes);
+      r = &resume;
+    } else {
+      result.placements.clear();
+    }
+    CheckpointRunOptions copts;
+    copts.checkpoint_path = ckpt_path;
+    copts.every = every;
+    copts.durable_sink_bytes = [&] { return result.placements.size(); };
+    copts.on_checkpoint = [](std::uint64_t ordinal) {
+      if (ordinal >= 1) throw CrashSignal{};
+    };
+    try {
+      run_with_checkpoints(
+          *partitioner, stream, state,
+          [&](const Edge& e, PartitionId p) {
+            result.placements.emplace_back(e, p);
+          },
+          copts, r);
+    } catch (const CrashSignal&) {
+      ++result.crashes;
+      continue;
+    }
+    if (auto* a = dynamic_cast<AdwisePartitioner*>(partitioner.get())) {
+      result.report = a->last_report();
+    }
+    return result;
+  }
+}
+
+void expect_reports_identical(const AdwisePartitioner::Report& got,
+                              const AdwisePartitioner::Report& want) {
+  // Every decision-derived counter must survive resume bit-for-bit;
+  // wall-clock seconds is the one legitimately nondeterministic field.
+  EXPECT_EQ(got.assignments, want.assignments);
+  EXPECT_EQ(got.score_computations, want.score_computations);
+  EXPECT_EQ(got.heap_pops, want.heap_pops);
+  EXPECT_EQ(got.forced_secondary, want.forced_secondary);
+  EXPECT_EQ(got.secondary_rescans, want.secondary_rescans);
+  EXPECT_EQ(got.demotion_sweeps, want.demotion_sweeps);
+  EXPECT_EQ(got.event_reassessments, want.event_reassessments);
+  EXPECT_EQ(got.adaptations, want.adaptations);
+  EXPECT_EQ(got.max_window, want.max_window);
+  EXPECT_EQ(got.score_batches, want.score_batches);
+  EXPECT_EQ(got.batch_items, want.batch_items);
+  EXPECT_EQ(got.refill_batches, want.refill_batches);
+  EXPECT_EQ(got.refill_batch_items, want.refill_batch_items);
+  EXPECT_EQ(got.batch_size_hist, want.batch_size_hist);
+  ASSERT_EQ(got.window_trace.size(), want.window_trace.size());
+  for (std::size_t i = 0; i < got.window_trace.size(); ++i) {
+    EXPECT_EQ(got.window_trace[i].assigned, want.window_trace[i].assigned);
+    EXPECT_EQ(got.window_trace[i].window, want.window_trace[i].window);
+  }
+}
+
+class CrashResumeTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kParts = 8;
+  static constexpr VertexId kVertices = 400;
+  // Prime, so boundaries never align with window sizes or chunk sizes.
+  static constexpr std::uint64_t kEvery = 97;
+
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "crash_resume_" +
+            std::to_string(static_cast<long>(::getpid())) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    ckpt_path_ = base_ + ".adwk";
+    adw_path_ = base_ + ".adw";
+    text_path_ = base_ + ".txt";
+    graph_ = make_erdos_renyi(kVertices, 3000, 7);
+  }
+
+  void TearDown() override {
+    std::remove(ckpt_path_.c_str());
+    std::remove(adw_path_.c_str());
+    std::remove(text_path_.c_str());
+  }
+
+  static AdwiseOptions lazy_options() {
+    AdwiseOptions opts;
+    opts.max_window = 256;
+    return opts;
+  }
+
+  static AdwiseOptions eager_options() {
+    AdwiseOptions opts;
+    opts.lazy_traversal = false;
+    opts.max_window = 64;
+    return opts;
+  }
+
+  // Uninterrupted golden run through a plain partition() call.
+  std::vector<Placement> clean_run(EdgePartitioner& partitioner,
+                                   EdgeStream& stream) {
+    PartitionState state(kParts, kVertices);
+    std::vector<Placement> placements;
+    partitioner.partition(stream, state,
+                          [&](const Edge& e, PartitionId p) {
+                            placements.emplace_back(e, p);
+                          });
+    return placements;
+  }
+
+  void check_adwise(const AdwiseOptions& opts,
+                    const std::function<EdgeStream&()>& make_stream) {
+    AdwisePartitioner golden(opts);
+    const std::vector<Placement> want = clean_run(golden, make_stream());
+
+    const CrashLoopResult got = crash_at_every_boundary(
+        [&] { return std::make_unique<AdwisePartitioner>(opts); },
+        make_stream, kParts, kVertices, ckpt_path_, kEvery);
+
+    // One crash per boundary: the loop really did die everywhere.
+    EXPECT_EQ(got.crashes,
+              static_cast<int>(graph_.num_edges() / kEvery));
+    EXPECT_EQ(got.placements, want);
+    expect_reports_identical(got.report, golden.last_report());
+  }
+
+  Graph graph_;
+  std::string base_, ckpt_path_, adw_path_, text_path_;
+};
+
+TEST_F(CrashResumeTest, AdwiseLazyVectorStream) {
+  VectorEdgeStream stream(graph_.edges());
+  check_adwise(lazy_options(), [&]() -> EdgeStream& {
+    stream.rewind();
+    return stream;
+  });
+}
+
+TEST_F(CrashResumeTest, AdwiseEagerVectorStream) {
+  VectorEdgeStream stream(graph_.edges());
+  check_adwise(eager_options(), [&]() -> EdgeStream& {
+    stream.rewind();
+    return stream;
+  });
+}
+
+TEST_F(CrashResumeTest, AdwiseLazyBinaryStream) {
+  {
+    AdwWriter::Options wopts;
+    wopts.with_crc = true;
+    write_adw_file(adw_path_, graph_.edges(), wopts);
+  }
+  // Fresh stream per attempt, like a real post-crash process; small chunks
+  // so resume skipping crosses many chunk boundaries.
+  std::unique_ptr<BinaryEdgeStream> owned;
+  check_adwise(lazy_options(), [&]() -> EdgeStream& {
+    BinaryEdgeStream::Options sopts;
+    sopts.chunk_edges = 256;
+    owned = std::make_unique<BinaryEdgeStream>(adw_path_, sopts);
+    return *owned;
+  });
+}
+
+TEST_F(CrashResumeTest, AdwiseLazyTextStream) {
+  {
+    std::ofstream out(text_path_);
+    for (const Edge& e : graph_.edges()) out << e.u << ' ' << e.v << '\n';
+  }
+  const FileEdgeStream::Stats stats = FileEdgeStream::scan(text_path_);
+  ASSERT_EQ(stats.num_edges, graph_.num_edges());
+  std::unique_ptr<FileEdgeStream> owned;
+  check_adwise(lazy_options(), [&]() -> EdgeStream& {
+    owned = std::make_unique<FileEdgeStream>(text_path_, stats.num_edges);
+    return *owned;
+  });
+}
+
+TEST_F(CrashResumeTest, HdrfVectorStream) {
+  VectorEdgeStream stream(graph_.edges());
+  auto make_stream = [&]() -> EdgeStream& {
+    stream.rewind();
+    return stream;
+  };
+  HdrfPartitioner golden;
+  const std::vector<Placement> want = clean_run(golden, make_stream());
+  const CrashLoopResult got = crash_at_every_boundary(
+      [] { return std::make_unique<HdrfPartitioner>(); }, make_stream,
+      kParts, kVertices, ckpt_path_, kEvery);
+  EXPECT_GT(got.crashes, 0);
+  EXPECT_EQ(got.placements, want);
+}
+
+TEST_F(CrashResumeTest, HdrfBinaryStream) {
+  {
+    AdwWriter::Options wopts;
+    wopts.with_crc = true;
+    write_adw_file(adw_path_, graph_.edges(), wopts);
+  }
+  std::unique_ptr<BinaryEdgeStream> owned;
+  auto make_stream = [&]() -> EdgeStream& {
+    BinaryEdgeStream::Options sopts;
+    sopts.chunk_edges = 256;
+    owned = std::make_unique<BinaryEdgeStream>(adw_path_, sopts);
+    return *owned;
+  };
+  HdrfPartitioner golden;
+  const std::vector<Placement> want = clean_run(golden, make_stream());
+  const CrashLoopResult got = crash_at_every_boundary(
+      [] { return std::make_unique<HdrfPartitioner>(); }, make_stream,
+      kParts, kVertices, ckpt_path_, kEvery);
+  EXPECT_GT(got.crashes, 0);
+  EXPECT_EQ(got.placements, want);
+}
+
+// Crashes that do NOT land on a checkpoint boundary: a fault-injecting
+// stream kills the run at seed-chosen edge positions mid-window, so resume
+// must truncate the sink back to the durable prefix and re-emit the tail.
+TEST_F(CrashResumeTest, MidRunStreamFaultsResumeToIdenticalResult) {
+  const AdwiseOptions opts = lazy_options();
+  VectorEdgeStream clean_stream(graph_.edges());
+  AdwisePartitioner golden(opts);
+  const std::vector<Placement> want = clean_run(golden, clean_stream);
+
+  VectorEdgeStream inner(graph_.edges());
+  FaultInjectingEdgeStream::Options fopts;
+  fopts.seed = 3;
+  fopts.fault_probability = 0.002;  // a handful of mid-run crashes
+  FaultInjectingEdgeStream faulty(inner, fopts);
+
+  std::remove(ckpt_path_.c_str());
+  std::vector<Placement> placements;
+  int crashes = 0;
+  for (int iter = 0;; ++iter) {
+    ASSERT_LE(iter, 100) << "fault-resume loop did not terminate";
+    AdwisePartitioner partitioner(opts);
+    PartitionState state(kParts, kVertices);
+    faulty.rewind();  // fault schedule is NOT reset — the loop terminates
+    Checkpoint resume;
+    const Checkpoint* r = nullptr;
+    if (is_checkpoint_file(ckpt_path_)) {
+      resume = read_checkpoint_file(ckpt_path_);
+      validate_checkpoint(resume.meta, partitioner.name(), kParts, kVertices);
+      placements.resize(resume.meta.sink_bytes);
+      r = &resume;
+    } else {
+      placements.clear();
+    }
+    CheckpointRunOptions copts;
+    copts.checkpoint_path = ckpt_path_;
+    copts.every = kEvery;
+    copts.durable_sink_bytes = [&] { return placements.size(); };
+    try {
+      run_with_checkpoints(partitioner, faulty, state,
+                           [&](const Edge& e, PartitionId p) {
+                             placements.emplace_back(e, p);
+                           },
+                           copts, r);
+    } catch (const TransientIoError&) {
+      ++crashes;
+      continue;
+    }
+    expect_reports_identical(partitioner.last_report(),
+                             golden.last_report());
+    break;
+  }
+  EXPECT_GT(crashes, 0) << "seed injected no faults — test is vacuous";
+  EXPECT_EQ(placements, want);
+}
+
+// --- Configurations that cannot checkpoint must refuse loudly ---------------
+
+TEST(CheckpointPreconditionTest, WallClockCoupledConfigRefuses) {
+  AdwiseOptions opts;
+  opts.latency_preference_ms = 100;  // C2 reads the wall clock
+  AdwisePartitioner partitioner(opts);
+  EXPECT_FALSE(partitioner.enable_checkpoints(
+      {1, [](std::uint64_t, std::uint64_t, std::span<const std::byte>) {}}));
+}
+
+TEST(CheckpointPreconditionTest, MultiThreadedScoringRefuses) {
+  AdwiseOptions opts;
+  opts.num_score_threads = 2;  // batch-cutoff controller is timing-driven
+  AdwisePartitioner partitioner(opts);
+  EXPECT_FALSE(partitioner.enable_checkpoints(
+      {1, [](std::uint64_t, std::uint64_t, std::span<const std::byte>) {}}));
+}
+
+TEST(CheckpointPreconditionTest, RunWithCheckpointsSurfacesRefusal) {
+  AdwiseOptions opts;
+  opts.latency_preference_ms = 100;
+  AdwisePartitioner partitioner(opts);
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}};
+  VectorEdgeStream stream(edges);
+  PartitionState state(2, 3);
+  CheckpointRunOptions copts;
+  copts.checkpoint_path = ::testing::TempDir() + "refused.adwk";
+  EXPECT_THROW(run_with_checkpoints(partitioner, stream, state, {}, copts),
+               std::runtime_error);
+}
+
+TEST(CheckpointPreconditionTest, ZeroIntervalRejected) {
+  HdrfPartitioner partitioner;
+  const std::vector<Edge> edges = {{0, 1}};
+  VectorEdgeStream stream(edges);
+  PartitionState state(2, 2);
+  CheckpointRunOptions copts;
+  copts.checkpoint_path = ::testing::TempDir() + "zero.adwk";
+  copts.every = 0;
+  EXPECT_THROW(run_with_checkpoints(partitioner, stream, state, {}, copts),
+               std::runtime_error);
+}
+
+TEST(CheckpointPreconditionTest, AlienAlgorithmStateRejected) {
+  AdwisePartitioner partitioner;
+  const std::vector<std::byte> alien = {std::byte{0xFF}, std::byte{0xEE},
+                                        std::byte{0xDD}, std::byte{0xCC}};
+  EXPECT_FALSE(partitioner.restore_algorithm_state(alien));
+  const std::vector<std::byte> tiny = {std::byte{1}};
+  EXPECT_FALSE(partitioner.restore_algorithm_state(tiny));
+}
+
+// --- Async checkpoint I/O (the CLI / bench configuration) -------------------
+
+namespace {
+
+std::vector<std::byte> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  const auto* p = reinterpret_cast<const std::byte*>(raw.data());
+  return {p, p + raw.size()};
+}
+
+}  // namespace
+
+// The async writer must not change anything observable: same placements,
+// same number of durable checkpoints, and a byte-identical final
+// checkpoint file (checkpoint content is deterministic; only WHO fsyncs
+// it differs).
+TEST(AsyncCheckpointTest, AsyncRunMatchesSyncRun) {
+  const Graph g = make_erdos_renyi(300, 4000, 21);
+  const std::string base = ::testing::TempDir() + "async_ckpt_" +
+                           std::to_string(static_cast<long>(::getpid()));
+  const std::string sync_path = base + "_sync.adwk";
+  const std::string async_path = base + "_async.adwk";
+
+  auto run = [&](const std::string& path, bool async_io,
+                 std::vector<Placement>& placements, std::uint64_t& notified) {
+    HdrfPartitioner partitioner;
+    PartitionState state(8, g.num_vertices());
+    VectorEdgeStream stream(g.edges());
+    CheckpointRunOptions copts;
+    copts.checkpoint_path = path;
+    copts.every = 512;
+    copts.async_io = async_io;
+    copts.durable_sink_bytes = [&] { return placements.size(); };
+    // With async_io this callback runs on the writer thread; ordinals must
+    // still arrive in order, exactly once each.
+    copts.on_checkpoint = [&notified](std::uint64_t ordinal) {
+      EXPECT_EQ(ordinal, notified + 1);
+      notified = ordinal;
+    };
+    return run_with_checkpoints(
+        partitioner, stream, state,
+        [&](const Edge& e, PartitionId p) { placements.emplace_back(e, p); },
+        copts);
+  };
+
+  std::vector<Placement> sync_placements, async_placements;
+  std::uint64_t sync_notified = 0, async_notified = 0;
+  const std::uint64_t sync_written =
+      run(sync_path, false, sync_placements, sync_notified);
+  const std::uint64_t async_written =
+      run(async_path, true, async_placements, async_notified);
+
+  EXPECT_EQ(async_written, sync_written);
+  EXPECT_EQ(async_notified, async_written);
+  EXPECT_EQ(sync_notified, sync_written);
+  EXPECT_GT(sync_written, 1u) << "interval too large — test is vacuous";
+  EXPECT_EQ(async_placements, sync_placements);
+  EXPECT_EQ(slurp(async_path), slurp(sync_path));
+  std::remove(sync_path.c_str());
+  std::remove(async_path.c_str());
+}
+
+// Disk-full / permission failures happen on the writer thread; they must
+// resurface on the partitioning thread instead of being lost.
+TEST(AsyncCheckpointTest, WriterErrorsSurfaceOnTheCallersThread) {
+  DurableCheckpointWriter writer(::testing::TempDir() +
+                                 "no_such_dir_adwk/ckpt.adwk");
+  Checkpoint ckpt;
+  ckpt.meta.algorithm = "hdrf";
+  ckpt.meta.k = 2;
+  ckpt.meta.num_vertices = 2;
+  writer.write(std::move(ckpt));  // handoff succeeds; the write itself fails
+  EXPECT_THROW(writer.flush(), std::runtime_error);
+  EXPECT_EQ(writer.committed(), 0u);
+}
+
+// run_with_checkpoints must report async writer failures as its own
+// failure — a run whose checkpoints silently vanished is not checkpointed.
+TEST(AsyncCheckpointTest, RunSurfacesAsyncWriterFailure) {
+  const Graph g = make_erdos_renyi(100, 1500, 5);
+  HdrfPartitioner partitioner;
+  PartitionState state(4, g.num_vertices());
+  VectorEdgeStream stream(g.edges());
+  CheckpointRunOptions copts;
+  copts.checkpoint_path =
+      ::testing::TempDir() + "no_such_dir_adwk/run.adwk";
+  copts.every = 256;
+  copts.async_io = true;
+  EXPECT_THROW(run_with_checkpoints(partitioner, stream, state, {}, copts),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adwise

@@ -1,0 +1,153 @@
+// End-to-end crash test against the real partition_file binary: the child
+// process SIGKILLs itself right after writing each checkpoint (via the
+// ADWISE_TEST_KILL_AFTER_CHECKPOINT hook), and the resume loop must finish
+// with output byte-identical to an uninterrupted run — including the
+// deterministic "adwise counters:" stderr trace.
+//
+// The binary path is injected at compile time (ADWISE_PARTITION_FILE_BIN);
+// when the examples are not built the whole suite skips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/io/adw_format.h"
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
+namespace adwise {
+namespace {
+
+#ifndef ADWISE_PARTITION_FILE_BIN
+
+TEST(CrashResumeSigkillTest, RequiresPartitionFileBinary) {
+  GTEST_SKIP() << "partition_file binary not built into this configuration";
+}
+
+#else
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// The stderr line with the decision counters — must match between a clean
+// and a crash-resumed run (bit-identical continuation, not just the same
+// final assignment file).
+std::string counters_line(const std::string& stderr_text) {
+  const std::size_t pos = stderr_text.find("adwise counters:");
+  if (pos == std::string::npos) return {};
+  const std::size_t end = stderr_text.find('\n', pos);
+  return stderr_text.substr(pos, end - pos);
+}
+
+struct RunStatus {
+  bool exited_ok = false;
+  bool sigkilled = false;
+};
+
+RunStatus run(const std::string& command) {
+  const int status = std::system(command.c_str());
+  RunStatus result;
+  if (WIFEXITED(status)) {
+    // A shell reports a SIGKILLed child as exit code 128 + 9.
+    result.exited_ok = WEXITSTATUS(status) == 0;
+    result.sigkilled = WEXITSTATUS(status) == 137;
+  } else if (WIFSIGNALED(status)) {
+    result.sigkilled = WTERMSIG(status) == SIGKILL;
+  }
+  return result;
+}
+
+class CrashResumeSigkillTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "sigkill_" +
+            std::to_string(static_cast<long>(::getpid())) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    adw_path_ = base_ + ".adw";
+    const Graph g = make_erdos_renyi(500, 6000, 11);
+    AdwWriter::Options wopts;
+    wopts.with_crc = true;
+    write_adw_file(adw_path_, g.edges(), wopts);
+  }
+
+  void TearDown() override {
+    const char* suffixes[] = {".adw",       "_clean.out", "_clean.ckpt",
+                              "_clean.err", "_crash.out", "_crash.out.partial",
+                              "_crash.ckpt", "_crash.err"};
+    for (const char* s : suffixes) std::remove((base_ + s).c_str());
+  }
+
+  std::string args(const std::string& tag, const std::string& algorithm,
+                   bool resume) const {
+    std::string cmd = std::string(ADWISE_PARTITION_FILE_BIN) + " " +
+                      adw_path_ + " " + algorithm + " 8 -1 --output " + base_ +
+                      "_" + tag + ".out --checkpoint " + base_ + "_" + tag +
+                      ".ckpt --checkpoint-every 500";
+    if (resume) cmd += " --resume " + base_ + "_" + tag + ".ckpt";
+    cmd += " 2> " + base_ + "_" + tag + ".err";
+    return cmd;
+  }
+
+  // Clean run, then a crash loop that SIGKILLs at every checkpoint; returns
+  // the number of resumes it took to finish.
+  int crash_until_done(const std::string& algorithm) {
+    EXPECT_TRUE(run(args("clean", algorithm, false)).exited_ok)
+        << read_file(base_ + "_clean.err");
+
+    const std::string kill_env = "ADWISE_TEST_KILL_AFTER_CHECKPOINT=1 ";
+    RunStatus status = run(kill_env + args("crash", algorithm, false));
+    EXPECT_TRUE(status.sigkilled) << read_file(base_ + "_crash.err");
+    int resumes = 0;
+    while (!status.exited_ok) {
+      if (++resumes > 64) {
+        ADD_FAILURE() << "crash/resume loop did not converge: "
+                      << read_file(base_ + "_crash.err");
+        return resumes;
+      }
+      status = run(kill_env + args("crash", algorithm, true));
+      EXPECT_TRUE(status.exited_ok || status.sigkilled)
+          << read_file(base_ + "_crash.err");
+    }
+    return resumes;
+  }
+
+  std::string base_, adw_path_;
+};
+
+TEST_F(CrashResumeSigkillTest, AdwiseResumesBitIdentical) {
+  const int resumes = crash_until_done("adwise");
+  EXPECT_GT(resumes, 1) << "run finished without ever being killed";
+
+  const std::string clean_out = read_file(base_ + "_clean.out");
+  const std::string crash_out = read_file(base_ + "_crash.out");
+  ASSERT_FALSE(clean_out.empty());
+  EXPECT_EQ(crash_out, clean_out) << "resumed output differs from clean run";
+
+  const std::string clean_counters = counters_line(read_file(base_ + "_clean.err"));
+  const std::string crash_counters = counters_line(read_file(base_ + "_crash.err"));
+  ASSERT_FALSE(clean_counters.empty());
+  EXPECT_EQ(crash_counters, clean_counters);
+}
+
+TEST_F(CrashResumeSigkillTest, HdrfResumesBitIdentical) {
+  const int resumes = crash_until_done("hdrf");
+  EXPECT_GT(resumes, 1) << "run finished without ever being killed";
+
+  const std::string clean_out = read_file(base_ + "_clean.out");
+  const std::string crash_out = read_file(base_ + "_crash.out");
+  ASSERT_FALSE(clean_out.empty());
+  EXPECT_EQ(crash_out, clean_out) << "resumed output differs from clean run";
+}
+
+#endif  // ADWISE_PARTITION_FILE_BIN
+
+}  // namespace
+}  // namespace adwise

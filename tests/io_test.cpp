@@ -72,6 +72,35 @@ TEST_F(AdwFormatTest, GoldenBytes) {
   }
 }
 
+TEST_F(AdwFormatTest, GoldenBytesV2) {
+  // Version-2 pin: same record region as version 1, then the CRC trailer.
+  // With crc_block_bytes = 8 each record is its own CRC block, so every
+  // trailer field appears with a known value. Quoted in docs/FORMATS.md.
+  AdwWriter::Options opts;
+  opts.with_crc = true;
+  opts.crc_block_bytes = 8;
+  write_adw_file(adw_path_, std::vector<Edge>{{1, 2}, {0x01020304, 5}}, opts);
+  const std::string bytes = read_bytes(adw_path_);
+  const unsigned char expected[] = {
+      'A', 'D', 'W', 'F',                  // magic
+      2,   0,   0,   0,                    // version 2, LE
+      2,   0,   0,   0,   0,   0, 0, 0,    // num_edges = 2
+      4,   3,   2,   1,   0,   0, 0, 0,    // max_vertex_id = 0x01020304
+      1,   0,   0,   0,   2,   0, 0, 0,    // edge (1, 2)
+      4,   3,   2,   1,   5,   0, 0, 0,    // edge (0x01020304, 5)
+      124, 23,  129, 3,                    // crc32(record 0) = 0x0381177C
+      135, 179, 246, 151,                  // crc32(record 1) = 0x97F6B387
+      8,   0,   0,   0,                    // footer: crc_block_bytes = 8
+      2,   0,   0,   0,                    //         num_blocks = 2
+      76,  202, 243, 53,                   //         table_crc = 0x35F3CA4C
+      'A', 'D', 'W', 'C',                  //         footer magic
+  };
+  ASSERT_EQ(bytes.size(), sizeof(expected));
+  for (std::size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(bytes[i]), expected[i]) << "byte " << i;
+  }
+}
+
 TEST_F(AdwFormatTest, RoundTripEmpty) {
   write_adw_file(adw_path_, {});
   const AdwHeader header = read_adw_header(adw_path_);
@@ -132,7 +161,17 @@ TEST_F(AdwFormatTest, BadMagicThrows) {
 TEST_F(AdwFormatTest, UnsupportedVersionThrows) {
   write_adw_file(adw_path_, std::vector<Edge>{{0, 1}});
   std::string bytes = read_bytes(adw_path_);
-  bytes[4] = 2;  // version field
+  bytes[4] = 99;  // version field
+  std::ofstream(adw_path_, std::ios::binary | std::ios::trunc) << bytes;
+  EXPECT_THROW((void)read_adw_header(adw_path_), std::runtime_error);
+}
+
+TEST_F(AdwFormatTest, VersionTwoWithoutTrailerRejected) {
+  // A v1-sized file claiming version 2 has no room for the CRC trailer —
+  // it must be rejected as truncated, not read as a plain file.
+  write_adw_file(adw_path_, std::vector<Edge>{{0, 1}});
+  std::string bytes = read_bytes(adw_path_);
+  bytes[4] = 2;  // version field, but no footer follows the records
   std::ofstream(adw_path_, std::ios::binary | std::ios::trunc) << bytes;
   EXPECT_THROW((void)read_adw_header(adw_path_), std::runtime_error);
 }

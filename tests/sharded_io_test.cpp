@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/crc32.h"
 #include "src/graph/file_stream.h"
 #include "src/graph/generators.h"
 #include "src/io/adw_shards.h"
@@ -93,7 +94,7 @@ TEST_F(AdwShardsTest, ManifestGoldenBytes) {
   const std::string bytes = read_bytes(manifest_path_);
   const unsigned char expected[] = {
       'A', 'D', 'W', 'S',              // magic
-      1,   0,   0,   0,                // version 1, LE
+      2,   0,   0,   0,                // version 2, LE
       2,   0,   0,   0,   0, 0, 0, 0,  // num_shards = 2
       3,   0,   0,   0,   0, 0, 0, 0,  // num_edges = 3
       4,   3,   2,   1,   0, 0, 0, 0,  // max_vertex_id = 0x01020304
@@ -102,10 +103,17 @@ TEST_F(AdwShardsTest, ManifestGoldenBytes) {
       1,   0,   0,   0,   0, 0, 0, 0,  // shard 1: 1 edge
       4,   0,   0,   0,   0, 0, 0, 0,  //          max id 4
   };
-  ASSERT_EQ(bytes.size(), sizeof(expected));
+  // Version 2 appends a CRC-32 (LE) of every preceding byte.
+  ASSERT_EQ(bytes.size(), sizeof(expected) + 4);
   for (std::size_t i = 0; i < sizeof(expected); ++i) {
     EXPECT_EQ(static_cast<unsigned char>(bytes[i]), expected[i])
         << "byte " << i;
+  }
+  const std::uint32_t crc = crc32(expected, sizeof(expected));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(bytes[sizeof(expected) + i]),
+              static_cast<unsigned char>((crc >> (8 * i)) & 0xffu))
+        << "crc byte " << i;
   }
 }
 

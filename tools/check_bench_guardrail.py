@@ -19,6 +19,11 @@ Enforced (build fails):
     most ~20% of the in-memory edge rate (measures ~0.82-0.91x even on a
     single core, where the prefetch worker cannot overlap; the pread copy
     overlaps decode fully on multi-core runners).
+  * checkpoint tax (same io JSON):
+    BM_HdrfPartitionCheckpointed/binary_prefetch must hold >= 0.9x the
+    edges/second of BM_HdrfPartition/binary_prefetch — durable checkpoints
+    at the default interval (one state serialization + atomic fsync/rename
+    per 2^16 assignments) may cost at most ~10% of end-to-end throughput.
   * lazy batching (only when the lazy JSON is given):
       - the structural parallel fraction of the pinned-cutoff capture
         (BM_LazyBatch/w256_exact_mt4_pin8) must be >= 0.30: the share of
@@ -48,6 +53,7 @@ SPARSE_MIN_SPEEDUP = 1.5
 MT_MIN_SPEEDUP = 1.8
 MT_MIN_CPUS = 4
 IO_MIN_RATIO = 0.8
+CHECKPOINT_MIN_RATIO = 0.9
 LAZY_MT_MIN_SPEEDUP = 1.3
 LAZY_MIN_PARALLEL_FRACTION = 0.30
 LAZY_SERIAL_MIN_RATIO = 0.85
@@ -171,6 +177,19 @@ def check_io(path, failures):
             failures.append(
                 f"binary stream throughput regressed: {ooc:.2f}x < "
                 f"{IO_MIN_RATIO}x of in-memory")
+
+    ckpt = speedup("BM_HdrfPartitionCheckpointed/binary_prefetch",
+                   "BM_HdrfPartition/binary_prefetch")
+    if ckpt is None:
+        failures.append(
+            "missing BM_HdrfPartitionCheckpointed / BM_HdrfPartition")
+    else:
+        print(f"checkpoint tax (checkpointed vs plain hdrf drain): "
+              f"{ckpt:.2f}x (required >= {CHECKPOINT_MIN_RATIO}x)")
+        if ckpt < CHECKPOINT_MIN_RATIO:
+            failures.append(
+                f"checkpointing too expensive: {ckpt:.2f}x < "
+                f"{CHECKPOINT_MIN_RATIO}x of the uncheckpointed drain")
 
     for fast, slow, label in [
         ("BM_StreamDrain/binary", "BM_StreamDrain/in_memory",

@@ -2,7 +2,13 @@
 // format (src/io/adw_format.h documents the layout).
 //
 //   $ ./edgelist2adw <graph.txt> <graph.adw>
+//   $ ./edgelist2adw --crc <graph.txt> <graph.adw>
 //   $ ./edgelist2adw --shards 8 <graph.txt> <graph.adws>
+//
+// --crc writes a version-2 file with a per-block CRC-32 trailer, so readers
+// detect bit rot in the record region (BinaryEdgeStream verifies each chunk
+// against the table as it streams). The record bytes are identical to
+// version 1.
 //
 // Single-file mode streams in one pass, O(1) memory: comments, blank and
 // malformed lines and self-loops are skipped exactly like the text
@@ -27,9 +33,10 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--shards z] <graph.txt|graph.adw> <out.adw[s]>\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--crc] [--shards z] <graph.txt|graph.adw> <out.adw[s]>\n",
+      argv0);
   return 2;
 }
 
@@ -38,21 +45,35 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace adwise;
   unsigned long shards = 0;
+  bool with_crc = false;
   int arg = 1;
-  if (arg < argc && std::string(argv[arg]) == "--shards") {
-    if (arg + 1 >= argc) return usage(argv[0]);
-    char* end = nullptr;
-    shards = std::strtoul(argv[arg + 1], &end, 10);
-    // Reject trailing garbage ("8x") and counts a uint32 cast would
-    // silently truncate — 2^20 shards is already far past any real z.
-    if (end == argv[arg + 1] || *end != '\0' || shards < 1 ||
-        shards > (1ul << 20)) {
-      std::fprintf(stderr,
-                   "error: --shards needs a count in [1, %lu], got '%s'\n",
-                   1ul << 20, argv[arg + 1]);
-      return 2;
+  while (arg < argc && std::string(argv[arg]).rfind("--", 0) == 0) {
+    const std::string flag = argv[arg];
+    if (flag == "--crc") {
+      with_crc = true;
+      ++arg;
+    } else if (flag == "--shards") {
+      if (arg + 1 >= argc) return usage(argv[0]);
+      char* end = nullptr;
+      shards = std::strtoul(argv[arg + 1], &end, 10);
+      // Reject trailing garbage ("8x") and counts a uint32 cast would
+      // silently truncate — 2^20 shards is already far past any real z.
+      if (end == argv[arg + 1] || *end != '\0' || shards < 1 ||
+          shards > (1ul << 20)) {
+        std::fprintf(stderr,
+                     "error: --shards needs a count in [1, %lu], got '%s'\n",
+                     1ul << 20, argv[arg + 1]);
+        return 2;
+      }
+      arg += 2;
+    } else {
+      return usage(argv[0]);
     }
-    arg += 2;
+  }
+  if (with_crc && shards != 0) {
+    std::fprintf(stderr,
+                 "error: --crc is only supported for single-file output\n");
+    return 2;
   }
   if (argc - arg != 2) return usage(argv[0]);
   const std::string in_path = argv[arg];
@@ -69,14 +90,22 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (shards == 0) {
-      const AdwHeader header = edge_list_to_adw(in_path, out_path);
+      AdwWriter::Options options;
+      options.with_crc = with_crc;
+      const AdwHeader header = edge_list_to_adw(in_path, out_path, options);
+      const std::uint64_t record_bytes = header.num_edges * kAdwRecordBytes;
+      std::uint64_t total_bytes = kAdwHeaderBytes + record_bytes;
+      if (header.version >= kAdwVersionCrc) {
+        total_bytes += 4 * adw_num_crc_blocks(record_bytes,
+                                              header.crc_block_bytes) +
+                       kAdwFooterBytes;
+      }
       std::fprintf(stderr,
-                   "wrote %s: %llu edges, max vertex id %llu (%llu bytes)\n",
-                   out_path.c_str(),
+                   "wrote %s (v%u): %llu edges, max vertex id %llu (%llu bytes)\n",
+                   out_path.c_str(), header.version,
                    static_cast<unsigned long long>(header.num_edges),
                    static_cast<unsigned long long>(header.max_vertex_id),
-                   static_cast<unsigned long long>(
-                       kAdwHeaderBytes + header.num_edges * kAdwRecordBytes));
+                   static_cast<unsigned long long>(total_bytes));
       return 0;
     }
     const auto z = static_cast<std::uint32_t>(shards);

@@ -1,0 +1,105 @@
+// Fixed-width bit-row replica table for k <= 256 — the cache-compact mirror
+// of the per-vertex ReplicaSet array.
+//
+// ReplicaSet optimizes for sparse membership (an inline word plus a heap
+// spill vector), which makes the scoring inner loop pointer-chase per
+// vertex. For small k the whole membership row fits in (k+63)/64 words —
+// one cache line at k = 256 — so this class keeps every vertex's row in one
+// contiguous array: row v occupies words [v*words_per_row, (v+1)*
+// words_per_row), and a batch rescore walks linear memory. HEP and the
+// buffered streaming partitioners use the same dense_bitset layout for
+// exactly this reason.
+//
+// This is a MIRROR, not a replacement: PartitionState keeps the ReplicaSet
+// array authoritative (checkpoints, quality metrics and the other
+// partitioners read it unchanged) and forwards every successful insert here
+// when the mirror is enabled. Logical content is identical bit-for-bit —
+// bit p of row v is set iff ReplicaSet::contains(p) — which the DenseRows
+// unit tests and the scoring identity matrix pin.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/replica_set.h"
+
+namespace adwise {
+
+class DenseReplicaRows {
+ public:
+  // One cache line per row: 4 * 64 = 256 partitions.
+  static constexpr std::uint32_t kMaxK = 256;
+
+  DenseReplicaRows() = default;
+  DenseReplicaRows(std::uint32_t k, std::size_t num_vertices)
+      : words_per_row_((k + 63) / 64),
+        rows_(num_vertices * words_per_row_, 0),
+        counts_(num_vertices, 0) {
+    assert(k >= 1 && k <= kMaxK);
+  }
+
+  // Returns true when p was not yet present (same contract as
+  // ReplicaSet::insert).
+  bool insert(std::size_t v, std::uint32_t p) {
+    std::uint64_t& word = rows_[v * words_per_row_ + (p >> 6)];
+    const std::uint64_t bit = std::uint64_t{1} << (p & 63);
+    if (word & bit) return false;
+    word |= bit;
+    ++counts_[v];
+    return true;
+  }
+
+  bool erase(std::size_t v, std::uint32_t p) {
+    std::uint64_t& word = rows_[v * words_per_row_ + (p >> 6)];
+    const std::uint64_t bit = std::uint64_t{1} << (p & 63);
+    if (!(word & bit)) return false;
+    word &= ~bit;
+    --counts_[v];
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::size_t v, std::uint32_t p) const {
+    return (rows_[v * words_per_row_ + (p >> 6)] >> (p & 63)) & 1;
+  }
+
+  [[nodiscard]] std::uint16_t count(std::size_t v) const { return counts_[v]; }
+
+  [[nodiscard]] const std::uint64_t* row(std::size_t v) const {
+    return rows_.data() + v * words_per_row_;
+  }
+  [[nodiscard]] std::uint32_t words_per_row() const { return words_per_row_; }
+  [[nodiscard]] const std::uint64_t* data() const { return rows_.data(); }
+  [[nodiscard]] const std::uint16_t* counts_data() const {
+    return counts_.data();
+  }
+  [[nodiscard]] std::size_t num_rows() const { return counts_.size(); }
+
+  // Rebuilds every row from the authoritative ReplicaSet array (enable after
+  // streaming started, or checkpoint load).
+  void rebuild_from(const std::vector<ReplicaSet>& replicas) {
+    assert(replicas.size() == counts_.size());
+    std::fill(rows_.begin(), rows_.end(), 0);
+    for (std::size_t v = 0; v < replicas.size(); ++v) {
+      counts_[v] = 0;
+      replicas[v].for_each([&](std::uint32_t p) { insert(v, p); });
+    }
+  }
+
+  // Set-equality of row v against a ReplicaSet — the mirror invariant the
+  // unit tests assert after interleaved insert/erase sequences.
+  [[nodiscard]] bool row_equals(std::size_t v, const ReplicaSet& r) const {
+    if (r.size() != counts_[v]) return false;
+    bool all = true;
+    r.for_each([&](std::uint32_t p) { all = all && contains(v, p); });
+    return all;
+  }
+
+ private:
+  std::uint32_t words_per_row_ = 0;
+  std::vector<std::uint64_t> rows_;
+  std::vector<std::uint16_t> counts_;
+};
+
+}  // namespace adwise

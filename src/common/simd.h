@@ -1,0 +1,198 @@
+// Portable 4-lane double-precision SIMD wrapper for the scoring core.
+//
+// The backend is chosen at compile time:
+//   - AVX2 (__AVX2__): one 256-bit vector per F64x4
+//   - NEON (__aarch64__ + __ARM_NEON): two 128-bit vectors per F64x4
+//   - scalar fallback: a struct of four doubles with per-lane loops
+// Defining ADWISE_SIMD_FORCE_SCALAR (what -DADWISE_SIMD=OFF sets) forces
+// the scalar backend regardless of the target ISA, so CI can keep the
+// portable path compiling and bit-identical.
+//
+// Bit-identity contract. Every operation here maps one-to-one onto the
+// scalar IEEE-754 operation per lane: plain add/sub/mul/div, no FMA
+// contraction (the build adds -ffp-contract=off globally and never enables
+// -mfma), no reassociation, no approximate reciprocals. blend() selects
+// whole lanes, so a conditional add expressed as
+// blend(g, add(g, w), mask) produces exactly the value of the scalar
+// "if (member) g += w" branch — including signed zeros and NaN payloads.
+// The scoring property matrix (tests/scoring_identity_test.cpp) pins
+// SIMD == scalar placements and counter traces bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#if defined(ADWISE_SIMD_FORCE_SCALAR)
+// scalar fallback selected explicitly
+#elif defined(__AVX2__)
+#define ADWISE_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define ADWISE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace adwise::simd {
+
+inline constexpr std::uint32_t kLanes = 4;
+
+namespace detail {
+
+// 16-entry nibble -> 4-lane select mask table: lane i of entry n is all-ones
+// iff bit i of n is set. Shared by every backend (AVX2 blendv keys on the
+// sign bit, which all-ones sets; NEON bsl and the scalar loop use the full
+// word).
+struct LaneMaskTable {
+  alignas(32) std::uint64_t mask[16][4];
+};
+
+consteval LaneMaskTable make_lane_masks() {
+  LaneMaskTable t{};
+  for (int n = 0; n < 16; ++n) {
+    for (int lane = 0; lane < 4; ++lane) {
+      t.mask[n][lane] = ((n >> lane) & 1) ? ~std::uint64_t{0} : 0;
+    }
+  }
+  return t;
+}
+
+inline constexpr LaneMaskTable kLaneMasks = make_lane_masks();
+
+}  // namespace detail
+
+#if defined(ADWISE_SIMD_AVX2)
+
+inline constexpr const char* kBackend = "avx2";
+
+struct F64x4 {
+  __m256d v;
+};
+
+[[nodiscard]] inline F64x4 broadcast(double x) {
+  return {_mm256_set1_pd(x)};
+}
+[[nodiscard]] inline F64x4 load(const double* p) {
+  return {_mm256_loadu_pd(p)};
+}
+[[nodiscard]] inline F64x4 gather(const double* base, std::uint32_t i0,
+                                  std::uint32_t i1, std::uint32_t i2,
+                                  std::uint32_t i3) {
+  // Lane inserts beat vgatherdpd for 4 lanes on every AVX2 core we target.
+  return {_mm256_set_pd(base[i3], base[i2], base[i1], base[i0])};
+}
+inline void store(double* p, F64x4 a) { _mm256_storeu_pd(p, a.v); }
+[[nodiscard]] inline F64x4 add(F64x4 a, F64x4 b) {
+  return {_mm256_add_pd(a.v, b.v)};
+}
+[[nodiscard]] inline F64x4 sub(F64x4 a, F64x4 b) {
+  return {_mm256_sub_pd(a.v, b.v)};
+}
+[[nodiscard]] inline F64x4 mul(F64x4 a, F64x4 b) {
+  return {_mm256_mul_pd(a.v, b.v)};
+}
+[[nodiscard]] inline F64x4 div(F64x4 a, F64x4 b) {
+  return {_mm256_div_pd(a.v, b.v)};
+}
+// Lane i of the result is b_i where bit i of nibble is set, a_i otherwise.
+[[nodiscard]] inline F64x4 blend(F64x4 a, F64x4 b, unsigned nibble) {
+  const __m256d mask = _mm256_castsi256_pd(_mm256_load_si256(
+      reinterpret_cast<const __m256i*>(detail::kLaneMasks.mask[nibble])));
+  return {_mm256_blendv_pd(a.v, b.v, mask)};
+}
+
+#elif defined(ADWISE_SIMD_NEON)
+
+inline constexpr const char* kBackend = "neon";
+
+struct F64x4 {
+  float64x2_t lo;
+  float64x2_t hi;
+};
+
+[[nodiscard]] inline F64x4 broadcast(double x) {
+  return {vdupq_n_f64(x), vdupq_n_f64(x)};
+}
+[[nodiscard]] inline F64x4 load(const double* p) {
+  return {vld1q_f64(p), vld1q_f64(p + 2)};
+}
+[[nodiscard]] inline F64x4 gather(const double* base, std::uint32_t i0,
+                                  std::uint32_t i1, std::uint32_t i2,
+                                  std::uint32_t i3) {
+  float64x2_t lo = vdupq_n_f64(base[i0]);
+  lo = vsetq_lane_f64(base[i1], lo, 1);
+  float64x2_t hi = vdupq_n_f64(base[i2]);
+  hi = vsetq_lane_f64(base[i3], hi, 1);
+  return {lo, hi};
+}
+inline void store(double* p, F64x4 a) {
+  vst1q_f64(p, a.lo);
+  vst1q_f64(p + 2, a.hi);
+}
+[[nodiscard]] inline F64x4 add(F64x4 a, F64x4 b) {
+  return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+}
+[[nodiscard]] inline F64x4 sub(F64x4 a, F64x4 b) {
+  return {vsubq_f64(a.lo, b.lo), vsubq_f64(a.hi, b.hi)};
+}
+[[nodiscard]] inline F64x4 mul(F64x4 a, F64x4 b) {
+  return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+}
+[[nodiscard]] inline F64x4 div(F64x4 a, F64x4 b) {
+  return {vdivq_f64(a.lo, b.lo), vdivq_f64(a.hi, b.hi)};
+}
+[[nodiscard]] inline F64x4 blend(F64x4 a, F64x4 b, unsigned nibble) {
+  const uint64x2_t mlo = vld1q_u64(detail::kLaneMasks.mask[nibble]);
+  const uint64x2_t mhi = vld1q_u64(detail::kLaneMasks.mask[nibble] + 2);
+  return {vbslq_f64(mlo, b.lo, a.lo), vbslq_f64(mhi, b.hi, a.hi)};
+}
+
+#else  // scalar fallback
+
+inline constexpr const char* kBackend = "scalar";
+
+struct F64x4 {
+  double lane[4];
+};
+
+[[nodiscard]] inline F64x4 broadcast(double x) { return {{x, x, x, x}}; }
+[[nodiscard]] inline F64x4 load(const double* p) {
+  return {{p[0], p[1], p[2], p[3]}};
+}
+[[nodiscard]] inline F64x4 gather(const double* base, std::uint32_t i0,
+                                  std::uint32_t i1, std::uint32_t i2,
+                                  std::uint32_t i3) {
+  return {{base[i0], base[i1], base[i2], base[i3]}};
+}
+inline void store(double* p, F64x4 a) {
+  for (std::uint32_t i = 0; i < kLanes; ++i) p[i] = a.lane[i];
+}
+[[nodiscard]] inline F64x4 add(F64x4 a, F64x4 b) {
+  F64x4 r;
+  for (std::uint32_t i = 0; i < kLanes; ++i) r.lane[i] = a.lane[i] + b.lane[i];
+  return r;
+}
+[[nodiscard]] inline F64x4 sub(F64x4 a, F64x4 b) {
+  F64x4 r;
+  for (std::uint32_t i = 0; i < kLanes; ++i) r.lane[i] = a.lane[i] - b.lane[i];
+  return r;
+}
+[[nodiscard]] inline F64x4 mul(F64x4 a, F64x4 b) {
+  F64x4 r;
+  for (std::uint32_t i = 0; i < kLanes; ++i) r.lane[i] = a.lane[i] * b.lane[i];
+  return r;
+}
+[[nodiscard]] inline F64x4 div(F64x4 a, F64x4 b) {
+  F64x4 r;
+  for (std::uint32_t i = 0; i < kLanes; ++i) r.lane[i] = a.lane[i] / b.lane[i];
+  return r;
+}
+[[nodiscard]] inline F64x4 blend(F64x4 a, F64x4 b, unsigned nibble) {
+  F64x4 r;
+  for (std::uint32_t i = 0; i < kLanes; ++i) {
+    r.lane[i] = ((nibble >> i) & 1) ? b.lane[i] : a.lane[i];
+  }
+  return r;
+}
+
+#endif
+
+}  // namespace adwise::simd

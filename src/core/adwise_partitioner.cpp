@@ -196,6 +196,16 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   const Clock& clock = opts_.clock ? *opts_.clock : SteadyClock::instance();
   const std::size_t total_edges = stream.size_hint();
 
+  // Replica layout: build (or drop) the dense bit-row mirror before any
+  // snapshot is taken. enable_dense_rows() refuses k > 256 on its own, so
+  // kAuto and kDense can share the call. Decisions are unaffected either
+  // way — the mirror holds the same bits the ReplicaSet array does.
+  if (opts_.replica_layout == ReplicaLayout::kSparse) {
+    state.disable_dense_rows();
+  } else {
+    state.enable_dense_rows();
+  }
+
   AdwiseScorer scorer(state, opts_, total_edges);
   AdaptiveController controller(opts_, clock, total_edges);
   EdgeWindow window(state.num_vertices());

@@ -47,6 +47,24 @@ enum class BatchedRefill : std::uint8_t {
   kFull,
 };
 
+// Replica-membership representation the scoring core reads. The sparse
+// per-vertex ReplicaSet array always stays authoritative (checkpoints and
+// quality metrics read it unchanged); kAuto/kDense additionally maintain the
+// DenseReplicaRows mirror — one fixed-width bit row per cached vertex, a
+// single cache line at k = 256 — so the dense k-loop and candidate scoring
+// walk contiguous memory instead of pointer-chasing spill vectors. Logical
+// content is identical bit-for-bit, so decisions never depend on the layout
+// (pinned by tests/scoring_identity_test.cpp).
+enum class ReplicaLayout : std::uint8_t {
+  // Dense rows whenever k <= DenseReplicaRows::kMaxK (256), sparse-only
+  // otherwise.
+  kAuto,
+  // Never build the mirror — the reference layout for identity tests.
+  kSparse,
+  // Request the mirror; silently sparse-only when k > 256.
+  kDense,
+};
+
 struct AdwiseOptions {
   // --- Latency preference (paper: L, §III-A) -------------------------------
   // Wall-clock budget for the whole partitioning pass, in milliseconds.
@@ -77,6 +95,19 @@ struct AdwiseOptions {
   // implementation (decision-identical either way — see the invariant note
   // in scoring.h; the property tests compare all of them bit-for-bit).
   ScoringPath scoring_path = ScoringPath::kAuto;
+
+  // Replica-membership layout (see ReplicaLayout above). Decision-identical
+  // for every value; kAuto only moves throughput.
+  ReplicaLayout replica_layout = ReplicaLayout::kAuto;
+
+  // Vectorized scoring kernels (AVX2/NEON via src/common/simd.h, compiled
+  // scalar under -DADWISE_SIMD=OFF): the dense k-loop and the sparse
+  // candidate list are scored four partitions per step. Arithmetic maps
+  // one-to-one onto the scalar ops per lane (no FMA, no reassociation), so
+  // placements and counters are bit-identical either way — false selects
+  // the scalar kernels, the baseline of the bench_ablation_scoring
+  // guardrail and the reference of the identity matrix.
+  bool simd_scoring = true;
 
   // Heap-based candidate selection: select() pops the argmax from a lazy,
   // stale-entry-tolerant max-heap (O(log |C|) per assignment) instead of

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/simd.h"
+
 namespace adwise {
 
 namespace {
@@ -24,6 +26,41 @@ struct RunningBest {
     }
   }
 };
+
+// Membership bit of partition p: the dense bit row when the mirror is in
+// the snapshot, ReplicaSet::contains otherwise. Same bits by the mirror
+// invariant.
+inline unsigned membership_bit(const std::uint64_t* row, const ReplicaSet* set,
+                               std::uint32_t p) {
+  if (row != nullptr) return (row[p >> 6] >> (p & 63)) & 1u;
+  return set->contains(p) ? 1u : 0u;
+}
+
+// 4-bit membership mask for the aligned partition block [p, p+4). p is a
+// multiple of 4 and 4 divides 64, so the nibble never straddles a row word.
+inline unsigned membership_nibble(const std::uint64_t* row,
+                                  const ReplicaSet* set, std::uint32_t p) {
+  if (row != nullptr) {
+    return static_cast<unsigned>((row[p >> 6] >> (p & 63)) & 0xF);
+  }
+  return static_cast<unsigned>(set->contains(p)) |
+         (static_cast<unsigned>(set->contains(p + 1)) << 1) |
+         (static_cast<unsigned>(set->contains(p + 2)) << 2) |
+         (static_cast<unsigned>(set->contains(p + 3)) << 3);
+}
+
+// Broadcast per-edge scoring constants, hoisted out of both SIMD loops.
+struct EdgeVectors {
+  simd::F64x4 maxsize, denom, lambda, wu, wv, cs_norm;
+};
+
+inline EdgeVectors broadcast_context(double maxsize, double bal_denom,
+                                     double lambda, double wu, double wv,
+                                     double cs_norm) {
+  return {simd::broadcast(maxsize), simd::broadcast(bal_denom),
+          simd::broadcast(lambda),  simd::broadcast(wu),
+          simd::broadcast(wv),      simd::broadcast(cs_norm)};
+}
 
 }  // namespace
 
@@ -89,6 +126,8 @@ AdwiseScorer::EdgeContext AdwiseScorer::make_context(
   ctx.lambda = lambda_;
   ctx.ru = &snap.replicas(e.u);
   ctx.rv = &snap.replicas(e.v);
+  ctx.row_u = snap.replica_row(e.u);
+  ctx.row_v = snap.replica_row(e.v);
   ctx.cs_counts = scratch.cs_counts.data();
   ctx.self_loop = e.v == e.u;
   const std::size_t num_neighbors =
@@ -131,9 +170,12 @@ ScoredPlacement AdwiseScorer::best_placement(const Edge& e,
                               scratch.cs_touched.size();
     path = bound >= snap.k() ? ScoringPath::kDense : ScoringPath::kSparse;
   }
-  ScoredPlacement best = path == ScoringPath::kSparse
-                             ? best_placement_sparse(ctx, snap, scratch)
-                             : best_placement_dense(ctx, snap, scratch);
+  ScoredPlacement best =
+      path == ScoringPath::kSparse
+          ? (opts_.simd_scoring ? best_placement_sparse_simd(ctx, snap, scratch)
+                                : best_placement_sparse(ctx, snap, scratch))
+          : (opts_.simd_scoring ? best_placement_dense_simd(ctx, snap, scratch)
+                                : best_placement_dense(ctx, snap, scratch));
   if (best.partition != kInvalidPartition) {
     const double balance =
         (ctx.maxsize - static_cast<double>(snap.edges_on(best.partition))) /
@@ -173,6 +215,103 @@ ScoredPlacement AdwiseScorer::best_placement_sparse(
   if (!ctx.self_loop) ctx.rv->for_each(consider);
   for (const PartitionId p : scratch.cs_touched) consider(p);
   consider(snap.least_loaded());
+  ++scratch.sparse_placements;
+  return best.placement;
+}
+
+ScoredPlacement AdwiseScorer::best_placement_dense_simd(
+    const EdgeContext& ctx, const PartitionSnapshot& snap,
+    ScoreScratch& scratch) const {
+  // Four partitions per step over the contiguous SoA size array; the op
+  // order per lane is exactly score_partition's (sub, div, mul, two
+  // blended adds, mul, add), so every staged score is the bit-identical
+  // scalar value. The argmax then replays the canonical ascending-id scan.
+  const std::uint32_t k = snap.k();
+  const double* sizes = snap.partition_sizes_f64();
+  double* scores = scratch.scores.data();
+  const EdgeVectors ev =
+      broadcast_context(ctx.maxsize, ctx.bal_denom, ctx.lambda, ctx.wu,
+                        ctx.wv, ctx.cs_norm);
+  std::uint32_t p = 0;
+  for (; p + simd::kLanes <= k; p += simd::kLanes) {
+    simd::F64x4 g = simd::mul(
+        ev.lambda,
+        simd::div(simd::sub(ev.maxsize, simd::load(sizes + p)), ev.denom));
+    g = simd::blend(g, simd::add(g, ev.wu),
+                    membership_nibble(ctx.row_u, ctx.ru, p));
+    if (!ctx.self_loop) {
+      g = simd::blend(g, simd::add(g, ev.wv),
+                      membership_nibble(ctx.row_v, ctx.rv, p));
+    }
+    g = simd::add(g, simd::mul(simd::load(ctx.cs_counts + p), ev.cs_norm));
+    simd::store(scores + p, g);
+  }
+  for (; p < k; ++p) scores[p] = score_partition(ctx, p, snap);
+  RunningBest best;
+  for (std::uint32_t q = 0; q < k; ++q) {
+    best.consider(q, scores[q], snap.edges_on(q));
+  }
+  scratch.partitions_considered += k;
+  ++scratch.dense_placements;
+  return best.placement;
+}
+
+ScoredPlacement AdwiseScorer::best_placement_sparse_simd(
+    const EdgeContext& ctx, const PartitionSnapshot& snap,
+    ScoreScratch& scratch) const {
+  // Identical candidate set, visit order, dedup and counters as the scalar
+  // sparse walk — only the score arithmetic is packed four candidates per
+  // vector (lane gathers from the SoA arrays; the vector divide is the
+  // win at |C| >= 4, i.e. k >= 32 workloads where replica sets are wide).
+  ++scratch.mark_epoch;
+  auto& cand = scratch.candidates;
+  cand.clear();
+  auto collect = [&](PartitionId p) {
+    if (scratch.mark[p] == scratch.mark_epoch) return;
+    scratch.mark[p] = scratch.mark_epoch;
+    cand.push_back(p);
+  };
+  ctx.ru->for_each(collect);
+  if (!ctx.self_loop) ctx.rv->for_each(collect);
+  for (const PartitionId p : scratch.cs_touched) collect(p);
+  collect(snap.least_loaded());
+  scratch.partitions_considered += cand.size();
+
+  const double* sizes = snap.partition_sizes_f64();
+  double* scores = scratch.scores.data();
+  const std::size_t n = cand.size();
+  const EdgeVectors ev =
+      broadcast_context(ctx.maxsize, ctx.bal_denom, ctx.lambda, ctx.wu,
+                        ctx.wv, ctx.cs_norm);
+  std::size_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    const PartitionId c0 = cand[i], c1 = cand[i + 1], c2 = cand[i + 2],
+                      c3 = cand[i + 3];
+    simd::F64x4 g = simd::mul(
+        ev.lambda,
+        simd::div(simd::sub(ev.maxsize, simd::gather(sizes, c0, c1, c2, c3)),
+                  ev.denom));
+    const unsigned nu = membership_bit(ctx.row_u, ctx.ru, c0) |
+                        (membership_bit(ctx.row_u, ctx.ru, c1) << 1) |
+                        (membership_bit(ctx.row_u, ctx.ru, c2) << 2) |
+                        (membership_bit(ctx.row_u, ctx.ru, c3) << 3);
+    g = simd::blend(g, simd::add(g, ev.wu), nu);
+    if (!ctx.self_loop) {
+      const unsigned nv = membership_bit(ctx.row_v, ctx.rv, c0) |
+                          (membership_bit(ctx.row_v, ctx.rv, c1) << 1) |
+                          (membership_bit(ctx.row_v, ctx.rv, c2) << 2) |
+                          (membership_bit(ctx.row_v, ctx.rv, c3) << 3);
+      g = simd::blend(g, simd::add(g, ev.wv), nv);
+    }
+    g = simd::add(
+        g, simd::mul(simd::gather(ctx.cs_counts, c0, c1, c2, c3), ev.cs_norm));
+    simd::store(scores + i, g);
+  }
+  for (; i < n; ++i) scores[i] = score_partition(ctx, cand[i], snap);
+  RunningBest best;
+  for (std::size_t j = 0; j < n; ++j) {
+    best.consider(cand[j], scores[j], snap.edges_on(cand[j]));
+  }
   ++scratch.sparse_placements;
   return best.placement;
 }

@@ -90,6 +90,8 @@ struct ScoreScratch {
     neighbors.clear();
     mark.assign(k, 0);
     mark_epoch = 0;
+    scores.assign(k, 0.0);
+    candidates.clear();
     partitions_considered = 0;
     dense_placements = 0;
     sparse_placements = 0;
@@ -98,6 +100,12 @@ struct ScoreScratch {
   std::vector<double> cs_counts;
   std::vector<PartitionId> cs_touched;
   std::vector<VertexId> neighbors;
+  // SIMD kernel staging: all scores of a placement are materialized here
+  // (dense: indexed by partition; sparse: by candidate position) before the
+  // scalar argmax replays them in the canonical order. Candidate ids are
+  // distinct partitions, so k entries always suffice.
+  std::vector<double> scores;
+  std::vector<PartitionId> candidates;
   // Per-placement dedup of candidate partitions (epoch-stamped, no clears).
   std::vector<std::uint64_t> mark;
   std::uint64_t mark_epoch = 0;
@@ -195,6 +203,11 @@ class AdwiseScorer {
     double lambda = 0.0;
     const ReplicaSet* ru = nullptr;
     const ReplicaSet* rv = nullptr;
+    // Dense replica bit rows of the endpoints when the snapshot carries the
+    // DenseReplicaRows mirror, nullptr otherwise (the kernels then fall
+    // back to ReplicaSet::contains — same bits either way).
+    const std::uint64_t* row_u = nullptr;
+    const std::uint64_t* row_v = nullptr;
     const double* cs_counts = nullptr;
     bool self_loop = false;
   };
@@ -214,6 +227,16 @@ class AdwiseScorer {
       const EdgeContext& ctx, const PartitionSnapshot& snap,
       ScoreScratch& scratch) const;
   [[nodiscard]] ScoredPlacement best_placement_sparse(
+      const EdgeContext& ctx, const PartitionSnapshot& snap,
+      ScoreScratch& scratch) const;
+  // Vectorized twins (simd_scoring == true): four partitions per step via
+  // src/common/simd.h, scores staged in scratch.scores, argmax replayed by
+  // the scalar RunningBest in the canonical order — placements and every
+  // counter bit-identical to the scalar kernels above.
+  [[nodiscard]] ScoredPlacement best_placement_dense_simd(
+      const EdgeContext& ctx, const PartitionSnapshot& snap,
+      ScoreScratch& scratch) const;
+  [[nodiscard]] ScoredPlacement best_placement_sparse_simd(
       const EdgeContext& ctx, const PartitionSnapshot& snap,
       ScoreScratch& scratch) const;
 

@@ -104,6 +104,17 @@ AdwHeader read_adw_header(const std::string& path) {
     throw CorruptDataError("corrupt .adw file (absurd edge count " +
                            std::to_string(header.num_edges) + "): " + path);
   }
+  if (header.num_edges == 0 && header.max_vertex_id != 0) {
+    // The format pins max_vertex_id to 0 for empty files (AdwWriter only
+    // raises it per added record). An empty file has no records to scan,
+    // so this header check is what keeps bytes 16–23 tamper-evident in the
+    // zero-edge case; non-empty files are covered by the stream's
+    // observed-maximum cross-check at end of stream.
+    throw CorruptDataError(
+        "corrupt .adw file (num_edges == 0 but max_vertex_id " +
+        std::to_string(header.max_vertex_id) +
+        "; an empty graph must record max_vertex_id 0): " + path);
+  }
   const std::uint64_t record_bytes = header.num_edges * kAdwRecordBytes;
   if (header.version == kAdwVersion) {
     const std::uint64_t expected = kAdwHeaderBytes + record_bytes;

@@ -176,12 +176,15 @@ void BinaryEdgeStream::fill(Buffer& buf, std::uint64_t offset) const {
   // the id bound check so corruption is reported as corruption, not as a
   // coincidental out-of-range id.
   if (!crc_table_.empty()) verify_chunk_crcs(buf, offset, want);
-  // Bound-check every id in the chunk (each 4-byte word of a record is a
-  // vertex id). This runs on the prefetch worker, overlapped with the
-  // consumer, and the simple word loop vectorizes — the hot next() path
-  // stays check-free because no out-of-bound id can reach it.
-  if (header_.max_vertex_id <
-      std::numeric_limits<std::uint32_t>::max()) {
+  // Scan every id in the chunk (each 4-byte word of a record is a vertex
+  // id). This runs on the prefetch worker, overlapped with the consumer,
+  // and the simple word loop vectorizes — the hot next() path stays
+  // check-free because no out-of-bound id can reach it. The running
+  // observed maximum doubles as the header cross-check: at end of stream
+  // it must equal header max_vertex_id exactly (see next_refill), which is
+  // what makes bytes 16–23 of the header — the one field no CRC covers —
+  // tamper-evident in both directions.
+  {
     // One whole-record load per iteration with independent per-endpoint
     // accumulators: ~2.5 ops per id, and no loop-carried dependency between
     // the two max chains.
@@ -205,6 +208,14 @@ void BinaryEdgeStream::fill(Buffer& buf, std::uint64_t offset) const {
           " exceeds header max_vertex_id " +
           std::to_string(header_.max_vertex_id) + " in " + path_ +
           " (chunk at byte offset " + std::to_string(offset) + ")");
+    }
+    // At most one fill() runs at a time (the prefetch worker and the sync
+    // path never overlap), so a relaxed read-modify-write cannot race;
+    // atomic only because the consumer reads it from another thread.
+    const std::uint64_t prev =
+        observed_max_id_.load(std::memory_order_relaxed);
+    if (worst > prev) {
+      observed_max_id_.store(worst, std::memory_order_relaxed);
     }
   }
   buf.size = want;
@@ -332,6 +343,25 @@ bool BinaryEdgeStream::next(Edge& out) {
 bool BinaryEdgeStream::next_refill(Edge& out) {
   while (cur_ == end_) {
     if (!advance()) {
+      // End of stream: every record has passed through fill()'s id scan, so
+      // the observed maximum must now equal the header's claim exactly. A
+      // raised max_vertex_id (bytes 16–23, outside every CRC) passes the
+      // per-chunk upper-bound check but is caught here; a lowered one was
+      // already caught by the bound check on the chunk holding the true
+      // maximum. Writers record the exact maximum (AdwWriter tracks it per
+      // add()), so valid files of either version never trip this.
+      if (header_.num_edges > 0) {
+        const std::uint64_t seen =
+            observed_max_id_.load(std::memory_order_relaxed);
+        if (seen != header_.max_vertex_id) {
+          throw CorruptDataError(
+              ".adw header max_vertex_id " +
+              std::to_string(header_.max_vertex_id) +
+              " does not match the maximum vertex id " +
+              std::to_string(seen) + " observed in the records of " + path_ +
+              " (header bytes 16-23 corrupt?)");
+        }
+      }
       // Pin the bookkeeping so size_hint() reads exactly zero from here on.
       consumed_before_active_ = static_cast<std::size_t>(header_.num_edges);
       base_ = cur_ = end_;
@@ -346,6 +376,7 @@ bool BinaryEdgeStream::next_refill(Edge& out) {
 void BinaryEdgeStream::prime() {
   next_offset_ = kAdwHeaderBytes;
   consumed_before_active_ = 0;
+  observed_max_id_.store(0, std::memory_order_relaxed);
   if (options_.prefetch) {
     // Start on an empty active buffer and hand the first chunk straight to
     // the worker: the consuming thread never preads or validates at all,

@@ -157,6 +157,11 @@ class BinaryEdgeStream final : public RewindableEdgeStream {
   // Written by whichever thread runs fill() (worker or consumer), read by
   // the consumer — hence atomic.
   mutable std::atomic<std::uint64_t> io_retries_{0};
+  // Largest vertex id seen by fill()'s chunk scan since the last prime().
+  // Cross-checked against header max_vertex_id at end of stream — the
+  // check that makes the un-CRC'd header bytes 16–23 tamper-evident. Same
+  // single-writer discipline (and reason for atomic) as io_retries_.
+  mutable std::atomic<std::uint64_t> observed_max_id_{0};
   std::unique_ptr<ThreadPool> pool_;  // one worker; null when !prefetch
 };
 

@@ -11,8 +11,25 @@ PartitionState::PartitionState(std::uint32_t k, VertexId num_vertices)
       replicas_(num_vertices),
       degree_(num_vertices, 0),
       part_edges_(k, 0),
+      part_edges_f64_(k, 0.0),
       num_at_min_(k) {
   assert(k > 0);
+}
+
+bool PartitionState::enable_dense_rows() {
+  if (k_ > DenseReplicaRows::kMaxK) {
+    disable_dense_rows();
+    return false;
+  }
+  dense_rows_ = DenseReplicaRows(k_, replicas_.size());
+  dense_rows_.rebuild_from(replicas_);
+  dense_rows_enabled_ = true;
+  return true;
+}
+
+void PartitionState::disable_dense_rows() {
+  dense_rows_ = DenseReplicaRows();
+  dense_rows_enabled_ = false;
 }
 
 void PartitionState::set_degree_oracle(std::vector<std::uint32_t> degrees) {
@@ -33,6 +50,7 @@ PartitionState::AssignEffect PartitionState::assign(const Edge& e,
   if (effect.new_replica_u) {
     ++total_replicas_;
     if (replicas_[e.u].size() == 1) ++replicated_vertices_;
+    if (dense_rows_enabled_) dense_rows_.insert(e.u, p);
   }
   // Self-loops touch a single vertex; guard the double insert.
   if (e.v != e.u) {
@@ -40,6 +58,7 @@ PartitionState::AssignEffect PartitionState::assign(const Edge& e,
     if (effect.new_replica_v) {
       ++total_replicas_;
       if (replicas_[e.v].size() == 1) ++replicated_vertices_;
+      if (dense_rows_enabled_) dense_rows_.insert(e.v, p);
     }
   }
 
@@ -48,6 +67,7 @@ PartitionState::AssignEffect PartitionState::assign(const Edge& e,
   max_degree_ = std::max({max_degree_, degree_[e.u], degree_[e.v]});
 
   const std::uint64_t old = part_edges_[p]++;
+  part_edges_f64_[p] = static_cast<double>(part_edges_[p]);
   max_size_ = std::max(max_size_, part_edges_[p]);
   if (old == min_size_) {
     if (--num_at_min_ == 0) {
@@ -154,6 +174,10 @@ void PartitionState::load(ByteReader& in) {
   degree_oracle_.resize(static_cast<std::size_t>(oracle_size));
   in.u32_span(degree_oracle_.data(), degree_oracle_.size());
   in.u64_span(part_edges_.data(), part_edges_.size());
+  for (std::size_t p = 0; p < part_edges_.size(); ++p) {
+    part_edges_f64_[p] = static_cast<double>(part_edges_[p]);
+  }
+  if (dense_rows_enabled_) dense_rows_.rebuild_from(replicas_);
   max_size_ = in.u64();
   min_size_ = in.u64();
   num_at_min_ = in.u32();

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/dense_replica_rows.h"
 #include "src/common/replica_set.h"
 #include "src/partition/types.h"
 
@@ -99,20 +100,52 @@ class PartitionState {
   // arrays, which are immutable between assign() calls.
   [[nodiscard]] PartitionSnapshot snapshot() const;
 
+  // Dense-rows mirror (src/common/dense_replica_rows.h): a contiguous
+  // fixed-width bit row per vertex that assign() keeps in lockstep with the
+  // authoritative ReplicaSet array. Returns false (and stays disabled) when
+  // k exceeds DenseReplicaRows::kMaxK. Enabling rebuilds the mirror from
+  // the replica sets, so it is safe mid-stream and after load(). The mirror
+  // never changes any observable state — only the scoring core reads it.
+  bool enable_dense_rows();
+  void disable_dense_rows();
+  [[nodiscard]] const DenseReplicaRows* dense_rows() const {
+    return dense_rows_enabled_ ? &dense_rows_ : nullptr;
+  }
+
+  // Structure-of-arrays accessors for PartitionSnapshot: per-partition
+  // sizes (u64 and the pre-cast f64 twin assign() maintains), and the
+  // effective degree array (oracle when installed, observed otherwise).
+  [[nodiscard]] const std::uint64_t* part_edges_data() const {
+    return part_edges_.data();
+  }
+  [[nodiscard]] const double* part_edges_f64_data() const {
+    return part_edges_f64_.data();
+  }
+  [[nodiscard]] const std::uint32_t* effective_degrees_data() const {
+    return degree_oracle_.empty() ? degree_.data() : degree_oracle_.data();
+  }
+
   // Checkpoint support: serializes the complete state — replica sets,
   // degrees, oracle, per-partition loads and every balance aggregate.
   // load() restores into a state constructed with the same (k,
   // num_vertices) and throws std::runtime_error on any shape mismatch, so
-  // a checkpoint can never be silently applied to the wrong run.
+  // a checkpoint can never be silently applied to the wrong run. The dense
+  // mirror and the f64 size twin are derived data and are rebuilt by
+  // load(), never serialized — the checkpoint byte layout is unchanged.
   void save(ByteWriter& out) const;
   void load(ByteReader& in);
 
  private:
   std::uint32_t k_;
   std::vector<ReplicaSet> replicas_;
+  DenseReplicaRows dense_rows_;
+  bool dense_rows_enabled_ = false;
   std::vector<std::uint32_t> degree_;
   std::vector<std::uint32_t> degree_oracle_;
   std::vector<std::uint64_t> part_edges_;
+  // static_cast<double>(part_edges_[p]) maintained per assign(): the SIMD
+  // balance kernel loads doubles directly instead of converting per score.
+  std::vector<double> part_edges_f64_;
   std::uint64_t max_size_ = 0;
   std::uint64_t min_size_ = 0;
   std::uint32_t num_at_min_;
@@ -127,39 +160,69 @@ class PartitionState {
 //
 // PartitionState only mutates inside assign(); between two assignments every
 // array and aggregate is constant. A snapshot captures the scalar aggregates
-// (max/min size, least-loaded, max degree) by value and reads the replica
-// sets, degrees and partition loads through the state pointer — cheap to
-// take per scoring batch (four scalar copies) and safe to read from many
-// threads concurrently as long as no assign() runs while the snapshot is
-// live. The parallel batch scorer hands one snapshot to all workers so every
-// score in a batch sees the exact same partition state, which is what keeps
-// parallel placement decisions bit-identical to the serial path.
+// (max/min size, least-loaded, max degree) by value and the hot per-partition
+// and per-vertex arrays as raw structure-of-arrays pointers: the u64 and f64
+// partition sizes, the effective degree array (oracle resolved once instead
+// of per call), and — when the dense mirror is enabled — the replica bit
+// rows. A batch rescore therefore walks contiguous memory with no
+// indirection through the state. Cheap to take per scoring batch and safe to
+// read from many threads concurrently as long as no assign() runs while the
+// snapshot is live. The parallel batch scorer hands one snapshot to all
+// workers so every score in a batch sees the exact same partition state,
+// which is what keeps parallel placement decisions bit-identical to the
+// serial path.
 class PartitionSnapshot {
  public:
   explicit PartitionSnapshot(const PartitionState& state)
       : state_(&state),
+        k_(state.k()),
+        part_edges_(state.part_edges_data()),
+        part_edges_f64_(state.part_edges_f64_data()),
+        degrees_(state.effective_degrees_data()),
+        row_data_(state.dense_rows() ? state.dense_rows()->data() : nullptr),
+        row_words_(state.dense_rows() ? state.dense_rows()->words_per_row()
+                                      : 0),
         max_size_(state.max_partition_size()),
         min_size_(state.min_partition_size()),
         least_loaded_(state.least_loaded()),
         max_degree_(state.max_degree()) {}
 
-  [[nodiscard]] std::uint32_t k() const { return state_->k(); }
+  [[nodiscard]] std::uint32_t k() const { return k_; }
   [[nodiscard]] const ReplicaSet& replicas(VertexId v) const {
     return state_->replicas(v);
   }
-  [[nodiscard]] std::uint32_t degree(VertexId v) const {
-    return state_->degree(v);
-  }
+  [[nodiscard]] std::uint32_t degree(VertexId v) const { return degrees_[v]; }
   [[nodiscard]] std::uint32_t max_degree() const { return max_degree_; }
   [[nodiscard]] std::uint64_t edges_on(PartitionId p) const {
-    return state_->edges_on(p);
+    return part_edges_[p];
   }
   [[nodiscard]] std::uint64_t max_partition_size() const { return max_size_; }
   [[nodiscard]] std::uint64_t min_partition_size() const { return min_size_; }
   [[nodiscard]] PartitionId least_loaded() const { return least_loaded_; }
 
+  // SoA views for the vectorized kernels.
+  [[nodiscard]] const std::uint64_t* partition_sizes() const {
+    return part_edges_;
+  }
+  [[nodiscard]] const double* partition_sizes_f64() const {
+    return part_edges_f64_;
+  }
+  // Dense replica bit row of v, or nullptr when the mirror is disabled.
+  [[nodiscard]] const std::uint64_t* replica_row(VertexId v) const {
+    return row_data_ == nullptr
+               ? nullptr
+               : row_data_ + static_cast<std::size_t>(v) * row_words_;
+  }
+  [[nodiscard]] std::uint32_t row_words() const { return row_words_; }
+
  private:
   const PartitionState* state_;
+  std::uint32_t k_;
+  const std::uint64_t* part_edges_;
+  const double* part_edges_f64_;
+  const std::uint32_t* degrees_;
+  const std::uint64_t* row_data_;
+  std::uint32_t row_words_;
   std::uint64_t max_size_;
   std::uint64_t min_size_;
   PartitionId least_loaded_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/dense_replica_rows.h"
 #include "src/common/hashing.h"
 #include "src/common/replica_set.h"
 #include "src/common/rng.h"
@@ -228,6 +229,168 @@ TEST(ReplicaSetTest, ClearResets) {
   EXPECT_TRUE(set.empty());
   EXPECT_FALSE(set.contains(1));
   EXPECT_FALSE(set.contains(99));
+}
+
+// Spill-boundary hardening: ids 63/64/127/128 sit on the inline-word /
+// spill-word and spill-word / spill-word edges, where an off-by-one in the
+// word arithmetic flips membership of the neighboring id. DenseReplicaRows
+// must match this behavior bit-for-bit, so each boundary op is pinned.
+TEST(ReplicaSetTest, SpillBoundaryInsertEraseContains) {
+  const std::uint32_t boundaries[] = {63u, 64u, 127u, 128u};
+  for (const std::uint32_t id : boundaries) {
+    ReplicaSet set;
+    EXPECT_TRUE(set.insert(id)) << id;
+    EXPECT_FALSE(set.insert(id)) << id;
+    EXPECT_TRUE(set.contains(id)) << id;
+    EXPECT_FALSE(set.contains(id - 1)) << id;
+    EXPECT_FALSE(set.contains(id + 1)) << id;
+    EXPECT_EQ(set.size(), 1u) << id;
+    EXPECT_EQ(set.first(), id) << id;
+    EXPECT_TRUE(set.erase(id)) << id;
+    EXPECT_FALSE(set.erase(id)) << id;
+    EXPECT_FALSE(set.contains(id)) << id;
+    EXPECT_TRUE(set.empty()) << id;
+  }
+}
+
+TEST(ReplicaSetTest, SpillBoundaryForEachAndIntersection) {
+  ReplicaSet set;
+  for (const std::uint32_t id : {63u, 64u, 127u, 128u}) set.insert(id);
+  std::vector<std::uint32_t> visited;
+  set.for_each([&](std::uint32_t id) { visited.push_back(id); });
+  EXPECT_EQ(visited, (std::vector<std::uint32_t>{63, 64, 127, 128}));
+  EXPECT_EQ(set.first(), 63u);
+
+  ReplicaSet other;
+  other.insert(64);
+  other.insert(128);
+  EXPECT_EQ(set.intersection_size(other), 2u);
+  EXPECT_TRUE(set.intersects(other));
+  EXPECT_TRUE(other.intersects(set));
+
+  ReplicaSet off_by_one;
+  off_by_one.insert(62);
+  off_by_one.insert(65);
+  off_by_one.insert(126);
+  off_by_one.insert(129);
+  EXPECT_EQ(set.intersection_size(off_by_one), 0u);
+  EXPECT_FALSE(set.intersects(off_by_one));
+}
+
+// erase() leaves trailing all-zero spill words behind — the invariant is
+// that every observer treats a missing spill word and a zero spill word
+// identically. DenseReplicaRows rows are fixed-width, so its trailing words
+// are literally zero; the two representations agree by this invariant.
+TEST(ReplicaSetTest, TrailingZeroSpillWordsAreEquivalentToAbsent) {
+  ReplicaSet shrunk;  // grows spill to 3 words, then erases them all
+  shrunk.insert(200);
+  shrunk.insert(130);
+  shrunk.insert(5);
+  shrunk.erase(200);
+  shrunk.erase(130);
+  ReplicaSet fresh;  // never spilled
+  fresh.insert(5);
+  EXPECT_TRUE(shrunk == fresh);
+  EXPECT_TRUE(fresh == shrunk);
+
+  // intersects/intersection_size iterate min(spill sizes): trailing zeros
+  // on one side must not manufacture or hide an intersection.
+  ReplicaSet wide;
+  wide.insert(300);
+  wide.erase(300);
+  wide.insert(5);
+  EXPECT_TRUE(wide.intersects(fresh));
+  EXPECT_EQ(wide.intersection_size(fresh), 1u);
+  wide.erase(5);
+  wide.insert(6);
+  EXPECT_FALSE(wide.intersects(fresh));
+  EXPECT_EQ(wide.intersection_size(fresh), 0u);
+
+  // for_each and first skip the trailing zeros rather than reporting them.
+  std::vector<std::uint32_t> visited;
+  shrunk.for_each([&](std::uint32_t id) { visited.push_back(id); });
+  EXPECT_EQ(visited, (std::vector<std::uint32_t>{5}));
+  EXPECT_EQ(shrunk.first(), 5u);
+  EXPECT_EQ(shrunk.size(), 1u);
+}
+
+// --- DenseReplicaRows --------------------------------------------------------
+
+TEST(DenseReplicaRowsTest, InsertEraseContainsMirrorsReplicaSet) {
+  DenseReplicaRows rows(256, 4);
+  ReplicaSet ref;
+  for (const std::uint32_t p : {0u, 63u, 64u, 127u, 128u, 255u}) {
+    EXPECT_TRUE(rows.insert(1, p));
+    EXPECT_FALSE(rows.insert(1, p));
+    ref.insert(p);
+  }
+  EXPECT_EQ(rows.count(1), 6u);
+  EXPECT_TRUE(rows.row_equals(1, ref));
+  EXPECT_TRUE(rows.row_equals(0, ReplicaSet{}));  // untouched rows stay empty
+
+  EXPECT_TRUE(rows.erase(1, 64));
+  EXPECT_FALSE(rows.erase(1, 64));
+  ref.erase(64);
+  EXPECT_FALSE(rows.contains(1, 64));
+  EXPECT_TRUE(rows.contains(1, 63));
+  EXPECT_TRUE(rows.contains(1, 127));
+  EXPECT_TRUE(rows.row_equals(1, ref));
+}
+
+TEST(DenseReplicaRowsTest, RowWordsMatchReplicaSetBits) {
+  // Bit-for-bit: word w of a dense row must equal the ReplicaSet's logical
+  // word w (inline word for w = 0, spill words — absent means zero — after
+  // erase left trailing zeros behind).
+  DenseReplicaRows rows(256, 2);
+  ReplicaSet ref;
+  for (const std::uint32_t p : {3u, 63u, 64u, 200u}) {
+    rows.insert(0, p);
+    ref.insert(p);
+  }
+  rows.erase(0, 200);
+  ref.erase(200);  // ReplicaSet keeps a zero spill word; the row is zero too
+  const std::uint64_t* row = rows.row(0);
+  ASSERT_EQ(rows.words_per_row(), 4u);
+  for (std::uint32_t w = 0; w < rows.words_per_row(); ++w) {
+    std::uint64_t expected = 0;
+    ref.for_each([&](std::uint32_t p) {
+      if (p / 64 == w) expected |= std::uint64_t{1} << (p % 64);
+    });
+    EXPECT_EQ(row[w], expected) << "word " << w;
+  }
+  EXPECT_TRUE(rows.row_equals(0, ref));
+}
+
+TEST(DenseReplicaRowsTest, RebuildFromReplicaSets) {
+  std::vector<ReplicaSet> replicas(3);
+  replicas[0].insert(0);
+  replicas[0].insert(255);
+  replicas[2].insert(128);
+  replicas[2].insert(129);
+  DenseReplicaRows rows(256, 3);
+  rows.insert(1, 7);  // stale content the rebuild must wipe
+  rows.rebuild_from(replicas);
+  for (std::size_t v = 0; v < replicas.size(); ++v) {
+    EXPECT_TRUE(rows.row_equals(v, replicas[v])) << "vertex " << v;
+  }
+  EXPECT_FALSE(rows.contains(1, 7));
+  EXPECT_EQ(rows.count(0), 2u);
+  EXPECT_EQ(rows.count(1), 0u);
+  EXPECT_EQ(rows.count(2), 2u);
+}
+
+TEST(DenseReplicaRowsTest, RowsAreContiguousPerVertex) {
+  DenseReplicaRows rows(100, 3);  // 100 partitions -> 2 words per row
+  EXPECT_EQ(rows.words_per_row(), 2u);
+  rows.insert(0, 99);
+  rows.insert(1, 0);
+  rows.insert(2, 65);
+  const std::uint64_t* base = rows.data();
+  EXPECT_EQ(base[1], std::uint64_t{1} << 35);   // vertex 0, word 1: bit 99
+  EXPECT_EQ(base[2], std::uint64_t{1});         // vertex 1, word 0: bit 0
+  EXPECT_EQ(base[5], std::uint64_t{1} << 1);    // vertex 2, word 1: bit 65
+  EXPECT_EQ(rows.row(2), base + 4);
+  EXPECT_EQ(rows.counts_data()[2], 1u);
 }
 
 // --- Stats -------------------------------------------------------------------

@@ -82,7 +82,7 @@ TEST_F(CrashMatrixTest, AdwV2TruncatedAtEveryLength) {
   }
 }
 
-TEST_F(CrashMatrixTest, AdwV2BitFlippedAtEveryDetectableByte) {
+TEST_F(CrashMatrixTest, AdwV2BitFlippedAtEveryByte) {
   const std::string good = track(base_ + "_v2f.adw");
   const std::string bad = track(base_ + "_v2f_flip.adw");
   AdwWriter::Options wopts;
@@ -90,11 +90,13 @@ TEST_F(CrashMatrixTest, AdwV2BitFlippedAtEveryDetectableByte) {
   wopts.crc_block_bytes = 8;
   write_adw_file(good, kEdges, wopts);
   const std::string bytes = read_bytes(good);
+  // No exempted ranges: header bytes 0..15 fail structural validation,
+  // records and footer fail their CRCs, and max_vertex_id (bytes 16..23,
+  // the one field outside every checksum) fails the observed-maximum
+  // cross-check at end of stream — a raised bound no longer matches the
+  // maximum the chunk scan saw, a lowered one trips the per-chunk upper
+  // bound.
   for (std::size_t off = 0; off < bytes.size(); ++off) {
-    // The header's max_vertex_id (bytes 16..23) is the one field no
-    // checksum covers: the records have their own CRCs and the id-range
-    // check only catches flips that LOWER the bound. Documented hole.
-    if (off >= 16 && off < kAdwHeaderBytes) continue;
     std::string flipped = bytes;
     flipped[off] = static_cast<char>(flipped[off] ^ 0x40);
     write_bytes(bad, flipped);
@@ -108,6 +110,24 @@ TEST_F(CrashMatrixTest, AdwV2BitFlippedAtEveryDetectableByte) {
         std::runtime_error)
         << "accepted a v2 file with byte " << off << " flipped";
   }
+}
+
+TEST_F(CrashMatrixTest, AdwZeroEdgeFileWithNonzeroMaxVertexIdRejected) {
+  // Empty files have no records to scan, so the end-of-stream cross-check
+  // never sees a maximum; the header check itself must pin max_vertex_id
+  // to 0 (the only value AdwWriter ever produces for an empty graph).
+  const std::string bad = track(base_ + "_empty_badmax.adw");
+  std::byte raw[kAdwHeaderBytes];
+  adw_encode_header({.num_edges = 0, .max_vertex_id = 7}, raw);
+  std::string bytes(reinterpret_cast<const char*>(raw), kAdwHeaderBytes);
+  write_bytes(bad, bytes);
+  EXPECT_THROW((void)read_adw_header(bad), std::runtime_error);
+
+  const std::string good = track(base_ + "_empty_ok.adw");
+  adw_encode_header({.num_edges = 0, .max_vertex_id = 0}, raw);
+  write_bytes(good,
+              std::string(reinterpret_cast<const char*>(raw), kAdwHeaderBytes));
+  EXPECT_EQ(read_adw_header(good).max_vertex_id, 0u);
 }
 
 TEST_F(CrashMatrixTest, AdwsManifestTruncatedAtEveryLength) {

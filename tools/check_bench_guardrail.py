@@ -24,6 +24,15 @@ Enforced (build fails):
     edges/second of BM_HdrfPartition/binary_prefetch — durable checkpoints
     at the default interval (one state serialization + atomic fsync/rename
     per 2^16 assignments) may cost at most ~10% of end-to-end throughput.
+  * scoring core (only when the scoring JSON is given):
+      - the vectorized dense kernel must hold >= 2x the edges/second of the
+        scalar sparse-layout reference at k = 256
+        (BM_ScoreKernel/dense_k256_simd vs BM_ScoreKernel/dense_k256_scalar)
+        — the DenseReplicaRows + SoA + SIMD tentpole claim, measured on the
+        pinned dense path whose decisions the identity matrix proves
+        bit-equal to the reference.
+      - the sparse simd kernels must not regress: sparse_k32_simd and
+        sparse_k100_simd each >= 0.9x their scalar twin.
   * lazy batching (only when the lazy JSON is given):
       - the structural parallel fraction of the pinned-cutoff capture
         (BM_LazyBatch/w256_exact_mt4_pin8) must be >= 0.30: the share of
@@ -43,6 +52,7 @@ and non-prefetching binary stream ratios, and the end-to-end HDRF /
 
 Usage: check_bench_guardrail.py <bench.json> [<io_bench.json>]
                                 [--lazy <lazy_bench.json>]
+                                [--scoring <scoring_bench.json>]
 """
 
 import json
@@ -57,16 +67,19 @@ CHECKPOINT_MIN_RATIO = 0.9
 LAZY_MT_MIN_SPEEDUP = 1.3
 LAZY_MIN_PARALLEL_FRACTION = 0.30
 LAZY_SERIAL_MIN_RATIO = 0.85
+SCORING_DENSE_MIN_SPEEDUP = 2.0
+SCORING_SPARSE_MIN_RATIO = 0.9
 
 
 def field(benchmarks, name, key):
     """Best value of a per-benchmark field, honoring aggregates.
 
-    Multithreaded captures carry a "/real_time" suffix (UseRealTime), and
-    with --benchmark_report_aggregates_only the entries are name_mean /
+    Multithreaded captures carry a "/real_time" suffix (UseRealTime),
+    pinned-iteration captures an "/iterations:N" suffix, and with
+    --benchmark_report_aggregates_only the entries are name_mean /
     name_median / ...; prefer the median, fall back to a plain run.
     """
-    for variant in (name, name + "/real_time"):
+    for variant in (name, name + "/real_time", name + "/iterations:1"):
         for suffix in ("_median", "_mean", ""):
             for b in benchmarks:
                 if b.get("name") == variant + suffix and key in b:
@@ -155,6 +168,63 @@ def check_lazy(path, failures):
                 f"{LAZY_MT_MIN_SPEEDUP}x on {cpus} cpus")
 
 
+def check_scoring(path, failures):
+    """Scoring-core guardrails over bench_ablation_scoring JSON output."""
+    with open(path) as f:
+        benchmarks = json.load(f)["benchmarks"]
+
+    def speedup(fast, slow):
+        a = items_per_second(benchmarks, fast)
+        b = items_per_second(benchmarks, slow)
+        if a is None or b is None or b == 0:
+            return None
+        return a / b
+
+    dense = speedup("BM_ScoreKernel/dense_k256_simd",
+                    "BM_ScoreKernel/dense_k256_scalar")
+    if dense is None:
+        failures.append(
+            "missing BM_ScoreKernel dense_k256_simd / dense_k256_scalar")
+    else:
+        print(f"dense scoring kernel (k256 simd vs scalar reference): "
+              f"{dense:.2f}x (required >= {SCORING_DENSE_MIN_SPEEDUP}x)")
+        if dense < SCORING_DENSE_MIN_SPEEDUP:
+            failures.append(
+                f"dense simd kernel speedup too low: {dense:.2f}x < "
+                f"{SCORING_DENSE_MIN_SPEEDUP}x at k=256")
+
+    for name in ("sparse_k32", "sparse_k100"):
+        s = speedup(f"BM_ScoreKernel/{name}_simd",
+                    f"BM_ScoreKernel/{name}_scalar")
+        if s is None:
+            failures.append(f"missing BM_ScoreKernel {name} simd/scalar pair")
+            continue
+        print(f"sparse scoring kernel ({name} simd vs scalar): {s:.2f}x "
+              f"(required >= {SCORING_SPARSE_MIN_RATIO}x)")
+        if s < SCORING_SPARSE_MIN_RATIO:
+            failures.append(
+                f"sparse simd kernel regressed: {name} {s:.2f}x < "
+                f"{SCORING_SPARSE_MIN_RATIO}x of scalar")
+
+    for fast, slow, label in [
+        ("BM_ScoreKernel/dense_k32_simd", "BM_ScoreKernel/dense_k32_scalar",
+         "dense kernel k32"),
+        ("BM_AdwisePartition/e2e_simd", "BM_AdwisePartition/e2e_scalar",
+         "end-to-end simd"),
+    ]:
+        s = speedup(fast, slow)
+        if s is not None:
+            print(f"{label}: {s:.2f}x")
+
+    for name in ("full", "no_adaptive_bal", "no_degree_aware",
+                 "no_clustering", "bare"):
+        rep = field(benchmarks, f"BM_AdwiseAblation/{name}", "replication")
+        imb = field(benchmarks, f"BM_AdwiseAblation/{name}", "imbalance")
+        if rep is not None and imb is not None:
+            print(f"ablation {name}: replication={rep:.3f} "
+                  f"imbalance={imb:.3f}")
+
+
 def check_io(path, failures):
     """Out-of-core stream guardrails over bench_ablation_io JSON output."""
     with open(path) as f:
@@ -217,6 +287,14 @@ def main():
             return 2
         lazy_path = args[i + 1]
         del args[i:i + 2]
+    scoring_path = None
+    if "--scoring" in args:
+        i = args.index("--scoring")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        scoring_path = args[i + 1]
+        del args[i:i + 2]
     if len(args) not in (1, 2):
         print(__doc__, file=sys.stderr)
         return 2
@@ -276,6 +354,8 @@ def main():
         check_io(args[1], failures)
     if lazy_path is not None:
         check_lazy(lazy_path, failures)
+    if scoring_path is not None:
+        check_scoring(scoring_path, failures)
 
     if failures:
         for f in failures:

@@ -16,9 +16,11 @@
 #include <string>
 
 #include "bench/bench_common.h"
+#include "src/common/clock.h"
 #include "src/graph/file_stream.h"
 #include "src/io/adw_format.h"
 #include "src/io/binary_stream.h"
+#include "src/obs/obs_sink.h"
 #include "src/partition/checkpoint_run.h"
 #include "src/partition/restream.h"
 
@@ -59,7 +61,26 @@ const IoFixture& fixture() {
   return f;
 }
 
-enum class StreamKind { kInMemory, kText, kBinary, kBinaryPrefetch };
+enum class StreamKind {
+  kInMemory,
+  kText,
+  kBinary,
+  kBinaryPrefetch,
+  kBinaryPrefetchObs,  // prefetch stream with a metrics sink attached
+};
+
+// Registry/sink for the obs-attached capture. Static so they outlive every
+// stream wired to them; the registry aggregates across iterations, which is
+// what the per-run counters exported below want.
+obs::ObsSink& obs_drain_sink() {
+  static obs::MetricsRegistry registry;
+  static obs::ObsSink sink = [] {
+    obs::ObsSink s;
+    s.metrics = &registry;
+    return s;
+  }();
+  return sink;
+}
 
 std::unique_ptr<RewindableEdgeStream> make_stream(StreamKind kind) {
   const IoFixture& f = fixture();
@@ -75,13 +96,24 @@ std::unique_ptr<RewindableEdgeStream> make_stream(StreamKind kind) {
     case StreamKind::kBinaryPrefetch:
       return std::make_unique<BinaryEdgeStream>(
           f.adw_path, BinaryEdgeStream::Options{.prefetch = true});
+    case StreamKind::kBinaryPrefetchObs: {
+      BinaryEdgeStream::Options options{.prefetch = true};
+      options.obs = &obs_drain_sink();
+      return std::make_unique<BinaryEdgeStream>(f.adw_path, options);
+    }
   }
   return nullptr;
 }
 
 // Raw stream drain: the pure decode/IO cost with no partitioner attached.
+// The plain binary_prefetch capture doubles as the "obs enabled but idle"
+// baseline (instrumentation compiled in, no sink attached — every site
+// costs one predictable branch); binary_prefetch_obs attaches a live
+// metrics sink, and the CI guardrail requires it to stay within 2% of the
+// idle rate (tools/check_bench_guardrail.py, OBS_MIN_RATIO).
 void BM_StreamDrain(benchmark::State& state, StreamKind kind) {
   const std::size_t n = fixture().graph.num_edges();
+  const std::int64_t drain_start_ns = monotonic_now_ns();
   for (auto _ : state) {
     auto stream = make_stream(kind);
     Edge e;
@@ -93,6 +125,22 @@ void BM_StreamDrain(benchmark::State& state, StreamKind kind) {
     if (seen != n) state.SkipWithError("stream delivered wrong edge count");
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+  if (kind == StreamKind::kBinaryPrefetchObs && obs_drain_sink().metrics) {
+    // Publish the registry internals into the guardrail JSON, plus the
+    // share of wall time the consumer spent waiting on the prefetcher.
+    const double drain_ns =
+        static_cast<double>(monotonic_now_ns() - drain_start_ns);
+    for (const auto& [name, value] :
+         bench::metric_counters(*obs_drain_sink().metrics)) {
+      state.counters[name] = benchmark::Counter(value);
+    }
+    const double wait_ns =
+        state.counters.count("stream.prefetch_wait_ns") != 0
+            ? static_cast<double>(state.counters["stream.prefetch_wait_ns"])
+            : 0.0;
+    state.counters["prefetch_wait_share"] =
+        benchmark::Counter(drain_ns > 0.0 ? wait_ns / drain_ns : 0.0);
+  }
 }
 
 // End-to-end single-pass partitioning (HDRF: cheap enough that stream cost
@@ -154,6 +202,8 @@ BENCHMARK_CAPTURE(BM_StreamDrain, in_memory, StreamKind::kInMemory);
 BENCHMARK_CAPTURE(BM_StreamDrain, text, StreamKind::kText);
 BENCHMARK_CAPTURE(BM_StreamDrain, binary, StreamKind::kBinary);
 BENCHMARK_CAPTURE(BM_StreamDrain, binary_prefetch, StreamKind::kBinaryPrefetch);
+BENCHMARK_CAPTURE(BM_StreamDrain, binary_prefetch_obs,
+                  StreamKind::kBinaryPrefetchObs);
 
 BENCHMARK_CAPTURE(BM_HdrfPartition, in_memory, StreamKind::kInMemory);
 BENCHMARK_CAPTURE(BM_HdrfPartition, text, StreamKind::kText);

@@ -91,6 +91,21 @@ PartitionRun run_partition_single(const Graph& graph,
   return run_partition(graph, strategy, config);
 }
 
+std::vector<std::pair<std::string, double>> metric_counters(
+    const obs::MetricsRegistry& registry) {
+  std::vector<std::pair<std::string, double>> out;
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  for (const obs::MetricEntry& e : snap.entries) {
+    if (e.kind == obs::MetricEntry::Kind::kHistogram) {
+      out.emplace_back(e.name + ".sum", e.value);
+      out.emplace_back(e.name + ".count", static_cast<double>(e.count));
+    } else {
+      out.emplace_back(e.name, e.value);
+    }
+  }
+  return out;
+}
+
 ClusterModel paper_cluster() {
   // Calibrated so the partitioning : processing latency ratio matches the
   // paper's testbed regime (see cluster_model.h and EXPERIMENTS.md).

@@ -10,12 +10,14 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/adwise_partitioner.h"
 #include "src/engine/cluster_model.h"
 #include "src/graph/edge_stream.h"
 #include "src/graph/generators.h"
+#include "src/obs/metrics.h"
 #include "src/partition/registry.h"
 #include "src/partition/spotlight.h"
 
@@ -79,6 +81,15 @@ struct PartitionRun {
 
 // The paper's cluster (8 machines, 1 GbE) — used by all engine benches.
 [[nodiscard]] ClusterModel paper_cluster();
+
+// Flattens a metrics-registry snapshot into (name, value) pairs ready for
+// google-benchmark's state.counters — so a bench capture can publish run
+// internals (prefetch-wait ns, commit latency, ...) into the guardrail
+// JSON. Histograms contribute "<name>.sum" and "<name>.count". Kept free
+// of any google-benchmark dependency so the figure benches can link
+// bench_common untouched. Empty under -DADWISE_OBS=OFF.
+[[nodiscard]] std::vector<std::pair<std::string, double>> metric_counters(
+    const obs::MetricsRegistry& registry);
 
 // --- Output helpers -----------------------------------------------------------
 

@@ -4,7 +4,8 @@
 //                      [latency_ms] [--passes N] [--densify] [--out-of-core]
 //                      [--output FILE] [--checkpoint FILE]
 //                      [--checkpoint-every N] [--resume CKPT]
-//                      [--sharded] [--spread N]
+//                      [--sharded] [--spread N] [--trace FILE]
+//                      [--metrics FILE] [--progress-every N]
 //
 //   graph        SNAP-style text edge list ("u v" per line, # comments), a
 //                binary .adw file, or a sharded .adws manifest — all
@@ -38,6 +39,16 @@
 //                magic sniff (mostly for diagnostics; sniffing suffices)
 //   --spread N   spotlight spread for sharded input: partitions each
 //                instance may fill (default k/z when z divides k, else k)
+//   --trace FILE    write a Chrome trace-event JSON (chrome://tracing,
+//                Perfetto) of the run: window refills, batch rescores,
+//                drain walks, prefetch fills, checkpoint writes, spotlight
+//                instances and restream passes on per-thread tracks
+//   --metrics FILE  write the end-of-run metrics registry as flat JSON
+//                (see docs/OBSERVABILITY.md for the metric catalog)
+//   --progress-every N  print a progress line to stderr every N
+//                assignments (edges/s, replication, window fill, heap
+//                sizes for adwise). stderr only — piped stdout/--output
+//                stays byte-identical with or without this flag
 //
 // Sharded input runs the spotlight parallel loader: one partitioner
 // instance per shard, each streaming its own .adw shard file concurrently,
@@ -73,6 +84,9 @@
 #include "src/io/adw_shards.h"
 #include "src/io/binary_stream.h"
 #include "src/io/checkpoint.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs_sink.h"
+#include "src/obs/trace.h"
 #include "src/partition/checkpoint_run.h"
 #include "src/partition/registry.h"
 #include "src/partition/restream.h"
@@ -87,7 +101,8 @@ void print_usage(const char* prog) {
       " [latency_ms]\n"
       "          [--passes N] [--densify] [--out-of-core] [--output FILE]\n"
       "          [--checkpoint FILE] [--checkpoint-every N] [--resume CKPT]\n"
-      "          [--sharded] [--spread N]\n",
+      "          [--sharded] [--spread N] [--trace FILE] [--metrics FILE]\n"
+      "          [--progress-every N]\n",
       prog);
 }
 
@@ -120,6 +135,9 @@ int main(int argc, char** argv) {
   std::string resume_path;
   std::uint64_t checkpoint_every = std::uint64_t{1} << 16;
   std::uint32_t spread = 0;  // 0 = derive from k and shard count
+  std::string trace_path;
+  std::string metrics_path;
+  std::uint64_t progress_every = 0;
 
   const auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -165,6 +183,14 @@ int main(int argc, char** argv) {
       spread = static_cast<std::uint32_t>(
           parse_count("--spread", need_value(i), 1,
                       std::numeric_limits<std::uint32_t>::max()));
+    } else if (arg == "--trace") {
+      trace_path = need_value(i);
+    } else if (arg == "--metrics") {
+      metrics_path = need_value(i);
+    } else if (arg == "--progress-every") {
+      progress_every = static_cast<std::uint64_t>(
+          parse_count("--progress-every", need_value(i), 1,
+                      std::numeric_limits<long long>::max()));
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       print_usage(argv[0]);
@@ -193,8 +219,48 @@ int main(int argc, char** argv) {
   const std::int64_t latency_ms =
       positional.size() > 3 ? std::atoll(positional[3].c_str()) : -1;
 
+  // Observability: one registry + trace session for the whole run,
+  // declared out here so they outlive every component wired to them
+  // (streams, pools, the async checkpoint writer). A null sink pointer —
+  // the default when none of the three flags is given — keeps every
+  // instrumentation site on its zero-cost branch.
+  obs::MetricsRegistry obs_registry;
+  obs::TraceSession obs_trace;
+  obs::ObsSink obs_sink;
+  obs::ObsSink* obs_ptr = nullptr;
+  if (!metrics_path.empty() || !trace_path.empty() || progress_every != 0) {
+    if (!metrics_path.empty()) obs_sink.metrics = &obs_registry;
+    if (!trace_path.empty()) obs_sink.trace = &obs_trace;
+    obs_sink.progress_every = progress_every;
+    if (progress_every != 0) {
+      obs_sink.on_progress = [](const obs::ProgressSample& s) {
+        std::fprintf(stderr,
+                     "progress: %llu edges, %.0f edges/s, replication %.4f, "
+                     "window %zu/%zu, heaps C=%zu Q=%zu\n",
+                     static_cast<unsigned long long>(s.edges_assigned),
+                     s.edges_per_sec, s.replication, s.window_size,
+                     s.window_target, s.candidate_heap, s.secondary_heap);
+      };
+    }
+    obs_ptr = &obs_sink;
+  }
+  // Written on every successful exit path (before the summary lines, so a
+  // consumer tailing stderr sees the files exist by the time the summary
+  // appears). Failures are diagnostics-only — they never fail the run.
+  const auto write_obs_outputs = [&]() {
+    if (!metrics_path.empty() && !obs_registry.write_json_file(metrics_path)) {
+      std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                   metrics_path.c_str());
+    }
+    if (!trace_path.empty() && !obs_trace.write_json_file(trace_path)) {
+      std::fprintf(stderr, "warning: could not write trace to %s\n",
+                   trace_path.c_str());
+    }
+  };
+
   AdwiseOptions adwise_options;
   adwise_options.latency_preference_ms = latency_ms;
+  adwise_options.obs = obs_ptr;
   const bool is_adwise = algorithm == "adwise";
   if (!is_adwise) {
     const auto names = baseline_partitioner_names();
@@ -258,6 +324,18 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(u),
                    static_cast<unsigned long long>(v), p);
     };
+    // Generic progress for the baselines (adwise reports richer samples
+    // itself via on_progress). stderr only — the assignment stream is
+    // untouched.
+    std::uint64_t progress_count = 0;
+    const auto emit_with_progress = [&](const Edge& e, PartitionId p) {
+      emit_line(e, p);
+      if (progress_every != 0 && !is_adwise &&
+          ++progress_count % progress_every == 0) {
+        std::fprintf(stderr, "progress: %llu edges assigned\n",
+                     static_cast<unsigned long long>(progress_count));
+      }
+    };
     const auto print_summary = [&](const PartitionState& state) {
       std::fprintf(stderr,
                    "%s, k=%u, passes=%u: replication degree %.4f, "
@@ -314,6 +392,7 @@ int main(int argc, char** argv) {
                                  " exceeds k=" + std::to_string(k));
       }
       sopts.run_threads = true;
+      sopts.obs = obs_ptr;
       std::fprintf(stderr,
                    "streaming %s (.adws): %u shards, %llu edges, max id %u, "
                    "spread %u\n",
@@ -340,6 +419,7 @@ int main(int argc, char** argv) {
         emit_line(a.edge, a.partition);
       }
       finalize_output();
+      write_obs_outputs();
       std::fprintf(stderr, "spotlight wall latency: %.3fs (max over %u instances)\n",
                    result.wall_seconds, z);
       print_summary(result.merged);
@@ -360,7 +440,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "loaded %s (densified): %u vertices, %zu edges\n",
                    path.c_str(), num_vertices, num_edges);
     } else if (is_adw_file(path)) {
-      auto binary = std::make_unique<BinaryEdgeStream>(path);
+      BinaryEdgeStream::Options bopts;
+      bopts.obs = obs_ptr;
+      auto binary = std::make_unique<BinaryEdgeStream>(path, bopts);
       num_vertices = checked_num_vertices(binary->header().max_vertex_id);
       num_edges = static_cast<std::size_t>(binary->header().num_edges);
       stream = std::move(binary);
@@ -428,6 +510,7 @@ int main(int argc, char** argv) {
       // Overlap checkpoint fsync/rename with partitioning; a crash loses at
       // most the newest in-flight checkpoint, never the previous one.
       copts.async_io = true;
+      copts.obs = obs_ptr;
       copts.durable_sink_bytes = [&]() { return make_durable(sink_file); };
       // Crash-test kill switch: SIGKILL this process right after the N-th
       // checkpoint written by THIS run — no cleanup, no flushes, exactly
@@ -443,8 +526,9 @@ int main(int argc, char** argv) {
       }
 
       const std::uint64_t written = run_with_checkpoints(
-          *partitioner, *stream, state, emit_line, copts, resume_ptr);
+          *partitioner, *stream, state, emit_with_progress, copts, resume_ptr);
       finalize_output();
+      write_obs_outputs();
       std::fprintf(stderr, "checkpoints written this run: %llu (to %s)\n",
                    static_cast<unsigned long long>(written),
                    checkpoint_path.c_str());
@@ -461,8 +545,9 @@ int main(int argc, char** argv) {
     // Assignments print straight from the final pass's sink — nothing
     // |E|-sized is ever buffered, so graphs larger than RAM work.
     const auto result = restream_partition(*stream, num_vertices, k, factory,
-                                           passes, emit_line);
+                                           passes, emit_with_progress, obs_ptr);
     finalize_output();
+    write_obs_outputs();
 
     for (std::size_t pass = 0; pass + 1 < result.pass_replication.size();
          ++pass) {

@@ -40,6 +40,13 @@ class FakeClock final : public Clock {
   std::chrono::nanoseconds now_{0};
 };
 
+// Nanoseconds on the process-wide monotonic timeline. The single timing
+// helper the observability layer (metrics histograms, trace timestamps)
+// routes through — no ad-hoc std::chrono reads at instrumentation sites.
+[[nodiscard]] inline std::int64_t monotonic_now_ns() {
+  return SteadyClock::instance().now().count();
+}
+
 // Measures elapsed wall time against a Clock.
 class Stopwatch {
  public:

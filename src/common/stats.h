@@ -2,11 +2,24 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace adwise {
+
+// Log2 bucket index for a value, clamped to [0, buckets). Bucket b holds
+// values in [2^b, 2^(b+1)) with 0 landing in bucket 0. This is the single
+// bucketing rule shared by the Report batch-size histogram and the
+// observability layer's latency histograms, so their shapes stay comparable.
+[[nodiscard]] constexpr std::size_t log2_bucket(std::uint64_t value,
+                                                std::size_t buckets) {
+  const std::size_t b =
+      value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
+  return std::min(b, buckets - 1);
+}
 
 // Streaming mean without storing samples.
 class RunningMean {

@@ -27,6 +27,7 @@
 #include <cassert>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -44,8 +45,10 @@ class ThreadPool {
   // inline and parallel_for() runs everything on the calling thread.
   explicit ThreadPool(unsigned num_workers) {
     queues_.reserve(num_workers);
+    stats_.reserve(num_workers);
     for (unsigned i = 0; i < num_workers; ++i) {
       queues_.push_back(std::make_unique<WorkQueue>());
+      stats_.push_back(std::make_unique<WorkerStats>());
     }
     workers_.reserve(num_workers);
     for (unsigned i = 0; i < num_workers; ++i) {
@@ -74,6 +77,26 @@ class ThreadPool {
   // Concurrency slots available to parallel_for: the workers plus the
   // calling thread.
   [[nodiscard]] unsigned num_slots() const { return num_workers() + 1; }
+
+  // Per-worker activity counters, maintained unconditionally (one relaxed
+  // increment per task / steal / sleep — noise next to the queue mutex).
+  // The observability layer publishes these as registry gauges; they are
+  // also a scheduling-health debugging aid on their own. Totals are exact
+  // after wait_idle(); sampled mid-run they may trail by in-flight tasks.
+  struct WorkerStatsSnapshot {
+    std::uint64_t executed = 0;  // tasks this worker ran
+    std::uint64_t stolen = 0;    // of those, taken from another deque
+    std::uint64_t sleeps = 0;    // times the worker parked on the cv
+  };
+  [[nodiscard]] std::vector<WorkerStatsSnapshot> worker_stats() const {
+    std::vector<WorkerStatsSnapshot> out(stats_.size());
+    for (std::size_t i = 0; i < stats_.size(); ++i) {
+      out[i].executed = stats_[i]->executed.load(std::memory_order_relaxed);
+      out[i].stolen = stats_[i]->stolen.load(std::memory_order_relaxed);
+      out[i].sleeps = stats_[i]->sleeps.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
 
   // Enqueues task. Safe to call from any thread, including from inside a
   // running task (the submission goes to the submitting worker's own deque).
@@ -184,6 +207,12 @@ class ThreadPool {
     std::deque<std::function<void()>> tasks;
   };
 
+  struct WorkerStats {
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> sleeps{0};
+  };
+
   struct Tls {
     const ThreadPool* pool = nullptr;
     unsigned index = 0;
@@ -198,9 +227,11 @@ class ThreadPool {
     while (true) {
       std::function<void()> task;
       if (try_take(self, task)) {
+        stats_[self]->executed.fetch_add(1, std::memory_order_relaxed);
         run_task(std::move(task));
         continue;
       }
+      stats_[self]->sleeps.fetch_add(1, std::memory_order_relaxed);
       std::unique_lock<std::mutex> lk(sleep_mutex_);
       sleep_cv_.wait(lk, [&] {
         return stop_.load(std::memory_order_acquire) ||
@@ -231,6 +262,7 @@ class ThreadPool {
         out = std::move(victim.tasks.front());  // FIFO: steal oldest
         victim.tasks.pop_front();
         queued_.fetch_sub(1, std::memory_order_acq_rel);
+        stats_[self]->stolen.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
     }
@@ -262,6 +294,7 @@ class ThreadPool {
   }
 
   std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::unique_ptr<WorkerStats>> stats_;
   std::vector<std::thread> workers_;
   std::atomic<std::size_t> next_queue_{0};
   std::atomic<std::size_t> queued_{0};   // tasks sitting in deques

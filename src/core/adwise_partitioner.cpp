@@ -10,7 +10,10 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/stats.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/obs_sink.h"
 
 namespace adwise {
 
@@ -190,6 +193,43 @@ void AdwisePartitioner::Report::merge_from(const Report& other) {
   drain_adaptations += other.drain_adaptations;
 }
 
+void AdwisePartitioner::Report::publish(obs::MetricsRegistry& reg) const {
+  namespace names = obs::names;
+  reg.counter(names::kAdwiseAssignments).add(assignments);
+  reg.counter(names::kAdwiseScoreComputations).add(score_computations);
+  reg.counter(names::kAdwiseCandidatePartitions).add(candidate_partitions);
+  reg.counter(names::kAdwiseDensePlacements).add(dense_placements);
+  reg.counter(names::kAdwiseSparsePlacements).add(sparse_placements);
+  reg.counter(names::kAdwiseSecondaryRescans).add(secondary_rescans);
+  reg.counter(names::kAdwiseForcedSecondary).add(forced_secondary);
+  reg.counter(names::kAdwiseEventReassessments).add(event_reassessments);
+  reg.counter(names::kAdwiseHeapPops).add(heap_pops);
+  reg.counter(names::kAdwiseDemotionSweeps).add(demotion_sweeps);
+  reg.counter(names::kAdwiseAdaptations).add(adaptations);
+  reg.counter(names::kAdwiseScoreBatches).add(score_batches);
+  reg.counter(names::kAdwiseBatchItems).add(batch_items);
+  reg.counter(names::kAdwisePoolBatches).add(pool_batches);
+  reg.counter(names::kAdwisePoolBatchItems).add(pool_batch_items);
+  reg.counter(names::kAdwiseRefillBatches).add(refill_batches);
+  reg.counter(names::kAdwiseRefillBatchItems).add(refill_batch_items);
+  reg.counter(names::kAdwiseBatchCutoffAdaptations)
+      .add(batch_cutoff_adaptations);
+  reg.counter(names::kAdwiseDrainAdaptations).add(drain_adaptations);
+  reg.gauge(names::kAdwiseMaxWindow).set(static_cast<double>(max_window));
+  reg.gauge(names::kAdwiseFinalLambda).set(final_lambda);
+  reg.gauge(names::kAdwiseFinalBatchCutoff)
+      .set(static_cast<double>(final_batch_cutoff));
+  reg.gauge(names::kAdwiseFinalDrainBudget)
+      .set(static_cast<double>(final_drain_budget));
+  reg.gauge(names::kAdwiseFinalSweepInterval)
+      .set(static_cast<double>(final_sweep_interval));
+  reg.gauge(names::kAdwiseSeconds).set(seconds);
+  obs::Histogram& hist = reg.histogram(names::kAdwiseBatchSizeHist);
+  for (std::size_t i = 0; i < kBatchHistBuckets; ++i) {
+    if (batch_size_hist[i] != 0) hist.add_bucket(i, batch_size_hist[i]);
+  }
+}
+
 void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
                                   const AssignmentSink& sink) {
   report_ = Report{};
@@ -211,6 +251,12 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   EdgeWindow window(state.num_vertices());
   ThresholdTracker threshold(opts_.candidate_epsilon);
   Stopwatch watch(clock);
+
+  // Observability is strictly read-only w.r.t. decisions: spans and
+  // counters observe the run; nothing below may branch on them.
+  obs::ObsSink* const obs_sink = opts_.obs;
+  obs::TraceSession* const trace = obs::trace_of(obs_sink);
+  if (trace != nullptr) trace->name_current_thread("partition");
 
   std::uint64_t round = 0;
   std::uint64_t score_version = 0;
@@ -250,10 +296,14 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   auto score_batch = [&](const std::vector<std::uint32_t>& ids) {
     batch_results.resize(ids.size());
     if (ids.empty()) return;
+    // Span real batches only: the steady-state single-edge rescore fires
+    // every round and would be a per-edge span.
+    obs::TraceSpan rescore_span(ids.size() > 1 ? trace : nullptr,
+                                obs::names::kSpanBatchRescore);
     ++report_.score_batches;
     report_.batch_items += ids.size();
-    ++report_.batch_size_hist[std::min<std::size_t>(
-        std::bit_width(ids.size()) - 1, Report::kBatchHistBuckets - 1)];
+    ++report_.batch_size_hist[log2_bucket(ids.size(),
+                                          Report::kBatchHistBuckets)];
     const bool pooled =
         pool && (ids.size() >= cutoff_ctl.cutoff() ||
                  cutoff_ctl.probe(ids.size()));
@@ -265,6 +315,9 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
       const PartitionSnapshot snap = state.snapshot();
       pool->parallel_for(
           ids.size(), [&](std::size_t begin, std::size_t end, unsigned slot) {
+            // First-label-wins: pool workers get named here, the calling
+            // thread keeps its "partition" label.
+            if (trace != nullptr) trace->name_current_thread("score-worker");
             ScoreScratch& scratch = shard_scratch[slot];
             for (std::size_t i = begin; i < end; ++i) {
               const std::uint32_t id = ids[i];
@@ -396,15 +449,23 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   }
 
   // Refills the window up to the current size w (Algorithm 1 lines 5, 14).
+  // Trace spans cover bulk refills only (initial fill, post-drain deficits,
+  // block refills) — the steady-state one-edge top-up of the kOff/kExact
+  // modes would be a per-edge span, swamping the trace with micro-events.
   auto refill = [&](Edge& incoming) {
     const std::uint64_t w = controller.window_size();
     switch (opts_.batched_refill) {
-      case BatchedRefill::kOff:
+      case BatchedRefill::kOff: {
+        obs::TraceSpan refill_span(window.size() + 1 < w ? trace : nullptr,
+                                   obs::names::kSpanWindowRefill);
         while (window.size() < w && stream.next(incoming)) {
           classify(window.insert(incoming));
         }
         return;
-      case BatchedRefill::kExact:
+      }
+      case BatchedRefill::kExact: {
+        obs::TraceSpan refill_span(window.size() + 1 < w ? trace : nullptr,
+                                   obs::names::kSpanWindowRefill);
         while (window.size() < w && stream.next(incoming)) {
           if (!refill_ids.empty() &&
               (touch_epoch[incoming.u] == touch_round ||
@@ -419,6 +480,7 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
         classify_batch();
         ++touch_round;
         return;
+      }
       case BatchedRefill::kFull: {
         // Hysteresis: only pull the next refill once a whole block has
         // drained, so steady-state refills arrive as real batches instead
@@ -436,6 +498,8 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
         if (window.size() + block > w && !(starved && window.size() < w)) {
           return;
         }
+        // Past the hysteresis check a real block refill happens — span it.
+        obs::TraceSpan refill_span(trace, obs::names::kSpanWindowRefill);
         while (window.size() < w && stream.next(incoming)) {
           refill_ids.push_back(window.insert(incoming));
         }
@@ -627,6 +691,7 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
     // exactly; (2) batch-score the stale slots against the frozen state;
     // (3) replay the walk in pop order, applying scores, threshold updates
     // and promotion decisions in the serial order.
+    obs::TraceSpan drain_span(trace, obs::names::kSpanDrainWalk);
     ++report_.secondary_rescans;
     std::uint32_t best_fresh = EdgeWindow::npos;
     double best_fresh_score = -std::numeric_limits<double>::infinity();
@@ -874,10 +939,27 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
     // round + window.size() is exactly the number of stream edges consumed:
     // each is either assigned or still held in the window.
     if (ckpt_.every != 0 && ckpt_.emit && round % ckpt_.every == 0) {
+      obs::TraceSpan ckpt_span(trace, obs::names::kSpanCheckpointSnapshot);
       ByteWriter blob;
       save_state(blob);
       ckpt_.emit(round, round + window.size(),
                  std::span<const std::byte>(blob.data()));
+    }
+
+    if (obs_sink != nullptr && obs_sink->progress_every != 0 &&
+        obs_sink->on_progress &&
+        round % obs_sink->progress_every == 0) {
+      obs::ProgressSample p;
+      p.edges_assigned = round;
+      p.seconds = base_seconds + watch.elapsed_seconds();
+      p.edges_per_sec =
+          p.seconds > 0.0 ? static_cast<double>(round) / p.seconds : 0.0;
+      p.replication = state.replication_degree();
+      p.window_size = window.size();
+      p.window_target = static_cast<std::size_t>(controller.window_size());
+      p.candidate_heap = heap.size();
+      p.secondary_heap = secondary.size();
+      obs_sink->on_progress(p);
     }
   }
 
@@ -895,6 +977,23 @@ void AdwisePartitioner::partition(EdgeStream& stream, PartitionState& state,
   report_.drain_adaptations = drain_ctl.adaptations();
   report_.seconds = base_seconds + watch.elapsed_seconds();
   report_.window_trace = controller.trace();
+
+  if (obs::MetricsRegistry* reg = obs::metrics_of(obs_sink)) {
+    report_.publish(*reg);
+    if (pool) {
+      const auto stats = pool->worker_stats();
+      for (std::size_t i = 0; i < stats.size(); ++i) {
+        const unsigned w = static_cast<unsigned>(i);
+        namespace names = obs::names;
+        reg->gauge(names::pool_metric("score", w, names::kPoolExecuted))
+            .set(static_cast<double>(stats[i].executed));
+        reg->gauge(names::pool_metric("score", w, names::kPoolStolen))
+            .set(static_cast<double>(stats[i].stolen));
+        reg->gauge(names::pool_metric("score", w, names::kPoolSleeps))
+            .set(static_cast<double>(stats[i].sleeps));
+      }
+    }
+  }
 }
 
 }  // namespace adwise

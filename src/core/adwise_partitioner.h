@@ -20,6 +20,10 @@
 
 namespace adwise {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 class AdwisePartitioner final : public EdgePartitioner {
  public:
   explicit AdwisePartitioner(AdwiseOptions opts = {}) : opts_(opts) {}
@@ -92,6 +96,13 @@ class AdwisePartitioner final : public EdgePartitioner {
     // are left untouched: they describe one controller's end state and
     // have no meaningful sum.
     void merge_from(const Report& other);
+
+    // Adds every counter (and the batch-size histogram) into the registry
+    // under the src/obs/metric_names.h constants and sets the terminal
+    // gauges (final_lambda, final_* thresholds, seconds, max_window).
+    // Publishing is additive, so repeated runs — or per-instance spotlight
+    // reports — aggregate exactly like merge_from does.
+    void publish(obs::MetricsRegistry& registry) const;
   };
   [[nodiscard]] const Report& last_report() const { return report_; }
 

@@ -7,6 +7,10 @@
 
 namespace adwise {
 
+namespace obs {
+struct ObsSink;
+}  // namespace obs
+
 // Placement-search implementation of AdwiseScorer::best_placement. All
 // three produce bit-identical decisions (the sparse confinement is exact —
 // see the invariant note in scoring.h); they differ only in cost.
@@ -196,6 +200,12 @@ struct AdwiseOptions {
   // --- Infrastructure --------------------------------------------------------
   // Time source; null => process steady clock. Tests inject FakeClock.
   const Clock* clock = nullptr;
+
+  // Optional observability sink (metrics registry, trace session, progress
+  // callback); must outlive partition(). Strictly read-only with respect to
+  // decisions: placements, counter traces and checkpoint bytes are
+  // bit-identical with or without a sink attached.
+  obs::ObsSink* obs = nullptr;
 };
 
 }  // namespace adwise

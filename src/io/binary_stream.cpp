@@ -10,9 +10,12 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/common/clock.h"
 #include "src/common/crc32.h"
 #include "src/common/thread_pool.h"
 #include "src/io/io_error.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/obs_sink.h"
 
 namespace adwise {
 
@@ -45,6 +48,21 @@ BinaryEdgeStream::BinaryEdgeStream(const std::string& path, Options options)
       chunk_bytes = (chunk_bytes + bs - 1) / bs * bs;
     }
     for (Buffer& b : buffers_) b.bytes.resize(chunk_bytes);
+    // Resolve metric handles before prime() — the first fill() may run
+    // immediately (sync path) or on the worker.
+    if (obs::MetricsRegistry* reg = obs::metrics_of(options_.obs)) {
+      m_bytes_read_ = &reg->counter(obs::names::kStreamBytesRead);
+      m_preads_ = &reg->counter(obs::names::kStreamPreads);
+      m_pread_ns_ = &reg->histogram(obs::names::kStreamPreadNs);
+      m_prefetch_waits_ = &reg->counter(obs::names::kStreamPrefetchWaits);
+      m_prefetch_wait_ns_ = &reg->counter(obs::names::kStreamPrefetchWaitNs);
+      m_chunk_consume_ns_ =
+          &reg->histogram(obs::names::kStreamChunkConsumeNs);
+      m_io_retries_ = &reg->counter(obs::names::kStreamIoRetries);
+      m_prefetch_degraded_ =
+          &reg->counter(obs::names::kStreamPrefetchDegraded);
+    }
+    trace_ = obs::trace_of(options_.obs);
     if (options_.prefetch) pool_ = std::make_unique<ThreadPool>(1);
     prime();
   } catch (...) {
@@ -69,6 +87,7 @@ BinaryEdgeStream::~BinaryEdgeStream() {
 
 void BinaryEdgeStream::backoff(int attempt) const {
   io_retries_.fetch_add(1, std::memory_order_relaxed);
+  if (m_io_retries_ != nullptr) m_io_retries_->add();
   const unsigned delay = options_.retry.delay_for_attempt(attempt);
   if (options_.retry.sleeper) {
     options_.retry.sleeper(delay);
@@ -104,6 +123,11 @@ void BinaryEdgeStream::open_with_retry(const std::string& path) {
 }
 
 void BinaryEdgeStream::fill(Buffer& buf, std::uint64_t offset) const {
+  // Spans both the prefetch worker (normal) and the consumer (sync /
+  // degraded path) — whichever thread runs the fill owns the span.
+  obs::TraceSpan span(trace_, obs::names::kSpanPrefetchFill);
+  const std::int64_t fill_start_ns =
+      m_pread_ns_ != nullptr ? monotonic_now_ns() : 0;
   const auto want = static_cast<std::size_t>(
       std::min<std::uint64_t>(buf.bytes.size(), file_bytes_ - offset));
   std::size_t got = 0;
@@ -140,6 +164,7 @@ void BinaryEdgeStream::fill(Buffer& buf, std::uint64_t offset) const {
         // Interrupted before any bytes moved: retry immediately, no budget
         // spent — this is normal signal behavior, not a failure.
         io_retries_.fetch_add(1, std::memory_order_relaxed);
+        if (m_io_retries_ != nullptr) m_io_retries_->add();
         continue;
       }
       if (!is_transient_errno(err)) {
@@ -171,6 +196,12 @@ void BinaryEdgeStream::fill(Buffer& buf, std::uint64_t offset) const {
     }
     got += static_cast<std::size_t>(r);
     attempts = 0;  // progress resets the budget
+    if (m_preads_ != nullptr) m_preads_->add();
+  }
+  if (m_pread_ns_ != nullptr) {
+    m_pread_ns_->record(
+        static_cast<std::uint64_t>(monotonic_now_ns() - fill_start_ns));
+    m_bytes_read_->add(want);
   }
   // CRC blocks are the authoritative integrity check: verify them before
   // the id bound check so corruption is reported as corruption, not as a
@@ -258,6 +289,7 @@ void BinaryEdgeStream::schedule_fetch() {
   pending_offset_ = offset;
   fetch_pending_ = true;
   pool_->submit([this, &target, offset] {
+    if (trace_ != nullptr) trace_->name_current_thread("io-prefetch");
     if (options_.fault_injector != nullptr &&
         options_.fault_injector->kill_prefetch_worker(offset)) {
       throw PrefetchWorkerDeath(
@@ -270,9 +302,17 @@ void BinaryEdgeStream::schedule_fetch() {
 }
 
 void BinaryEdgeStream::finish_pending_fetch() {
+  const std::int64_t wait_start_ns =
+      m_prefetch_wait_ns_ != nullptr ? monotonic_now_ns() : 0;
   try {
     pool_->wait_idle();  // rethrows any worker error
+    if (m_prefetch_wait_ns_ != nullptr) {
+      m_prefetch_wait_ns_->add(
+          static_cast<std::uint64_t>(monotonic_now_ns() - wait_start_ns));
+      m_prefetch_waits_->add();
+    }
   } catch (const PrefetchWorkerDeath&) {
+    if (m_prefetch_degraded_ != nullptr) m_prefetch_degraded_->add();
     // The worker died before reading its chunk. Degrade: drop the pool,
     // refill the in-flight chunk on this thread, and run the rest of the
     // stream synchronously — slower, but the run survives.
@@ -311,6 +351,16 @@ bool BinaryEdgeStream::advance() {
   active_ = 1 - active_;
   base_ = cur_ = buffers_[active_].bytes.data();
   end_ = cur_ + buffers_[active_].size;
+  if (m_chunk_consume_ns_ != nullptr) {
+    // Time between chunk handoffs = decode + downstream consumer work; the
+    // counterpart of prefetch_wait_ns in the drain-time split.
+    const std::int64_t now_ns = monotonic_now_ns();
+    if (last_handoff_ns_ != 0) {
+      m_chunk_consume_ns_->record(
+          static_cast<std::uint64_t>(now_ns - last_handoff_ns_));
+    }
+    last_handoff_ns_ = now_ns;
+  }
   if (buffers_[active_].size == 0) return false;
   if (options_.prefetch) schedule_fetch();
   return true;
@@ -376,6 +426,7 @@ bool BinaryEdgeStream::next_refill(Edge& out) {
 void BinaryEdgeStream::prime() {
   next_offset_ = kAdwHeaderBytes;
   consumed_before_active_ = 0;
+  last_handoff_ns_ = 0;
   observed_max_id_.store(0, std::memory_order_relaxed);
   if (options_.prefetch) {
     // Start on an empty active buffer and hand the first chunk straight to

@@ -44,6 +44,13 @@
 
 namespace adwise {
 
+namespace obs {
+struct ObsSink;
+class Counter;
+class Histogram;
+class TraceSession;
+}  // namespace obs
+
 class ThreadPool;
 
 class BinaryEdgeStream final : public RewindableEdgeStream {
@@ -64,6 +71,11 @@ class BinaryEdgeStream final : public RewindableEdgeStream {
     FaultInjector* fault_injector = nullptr;
     // Retry budget for transient open/pread failures.
     RetryPolicy retry;
+    // Optional observability sink (src/obs/obs_sink.h); must outlive the
+    // stream. Metric handles are resolved once at construction; per-chunk
+    // updates are relaxed atomic adds (never per-edge — the next() fast
+    // path is untouched). Null = zero instrumentation.
+    obs::ObsSink* obs = nullptr;
   };
 
   // Opens and validates path (magic/version/size/CRC table — see
@@ -163,6 +175,22 @@ class BinaryEdgeStream final : public RewindableEdgeStream {
   // single-writer discipline (and reason for atomic) as io_retries_.
   mutable std::atomic<std::uint64_t> observed_max_id_{0};
   std::unique_ptr<ThreadPool> pool_;  // one worker; null when !prefetch
+
+  // Observability handles, resolved once in the constructor (all null when
+  // Options::obs carries no registry/trace). The registry owns the
+  // counters; updates are relaxed atomics, safe from whichever thread runs
+  // fill().
+  obs::Counter* m_bytes_read_ = nullptr;
+  obs::Counter* m_preads_ = nullptr;
+  obs::Histogram* m_pread_ns_ = nullptr;     // per-chunk pread-loop ns
+  obs::Counter* m_prefetch_waits_ = nullptr;
+  obs::Counter* m_prefetch_wait_ns_ = nullptr;
+  obs::Histogram* m_chunk_consume_ns_ = nullptr;  // between chunk handoffs
+  obs::Counter* m_io_retries_ = nullptr;
+  obs::Counter* m_prefetch_degraded_ = nullptr;
+  obs::TraceSession* trace_ = nullptr;
+  // Consumer-thread only: timestamp of the previous chunk handoff.
+  std::int64_t last_handoff_ns_ = 0;
 };
 
 }  // namespace adwise

@@ -1,0 +1,127 @@
+// Canonical metric and span name constants for the observability layer.
+//
+// Every producer (partitioner report publishing, BinaryEdgeStream, the
+// checkpoint writer, thread-pool stats) and every consumer (bench guardrail
+// snapshots, tools/check_obs_output.py via docs/OBSERVABILITY.md, tests)
+// spells names through these constants, so a renamed metric breaks the
+// build instead of silently un-gating a guardrail.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace adwise::obs::names {
+
+// --- BinaryEdgeStream (counters unless noted) -------------------------------
+inline constexpr std::string_view kStreamBytesRead = "stream.bytes_read";
+inline constexpr std::string_view kStreamPreads = "stream.preads";
+// Histogram: nanoseconds per pread() batch of one chunk fill.
+inline constexpr std::string_view kStreamPreadNs = "stream.pread_ns";
+// Time the consumer spent blocked waiting for the prefetch worker, vs the
+// chunk-consume histogram (decode + downstream work per chunk) — together
+// they split drain time into "waiting on io" and "doing work".
+inline constexpr std::string_view kStreamPrefetchWaitNs =
+    "stream.prefetch_wait_ns";
+inline constexpr std::string_view kStreamPrefetchWaits =
+    "stream.prefetch_waits";
+// Histogram: nanoseconds between chunk handoffs (decode + consumer work).
+inline constexpr std::string_view kStreamChunkConsumeNs =
+    "stream.chunk_consume_ns";
+inline constexpr std::string_view kStreamIoRetries = "stream.io_retries";
+inline constexpr std::string_view kStreamPrefetchDegraded =
+    "stream.prefetch_degraded";
+
+// --- AdwisePartitioner (Report counters published at end of run) ------------
+inline constexpr std::string_view kAdwiseAssignments = "adwise.assignments";
+inline constexpr std::string_view kAdwiseScoreComputations =
+    "adwise.score_computations";
+inline constexpr std::string_view kAdwiseCandidatePartitions =
+    "adwise.candidate_partitions";
+inline constexpr std::string_view kAdwiseDensePlacements =
+    "adwise.dense_placements";
+inline constexpr std::string_view kAdwiseSparsePlacements =
+    "adwise.sparse_placements";
+inline constexpr std::string_view kAdwiseSecondaryRescans =
+    "adwise.secondary_rescans";
+// Candidate starvation: assignments that had to come from the secondary
+// heap because the candidate set drained dry.
+inline constexpr std::string_view kAdwiseForcedSecondary =
+    "adwise.forced_secondary";
+inline constexpr std::string_view kAdwiseEventReassessments =
+    "adwise.event_reassessments";
+inline constexpr std::string_view kAdwiseHeapPops = "adwise.heap_pops";
+inline constexpr std::string_view kAdwiseDemotionSweeps =
+    "adwise.demotion_sweeps";
+inline constexpr std::string_view kAdwiseMaxWindow = "adwise.max_window";
+inline constexpr std::string_view kAdwiseAdaptations = "adwise.adaptations";
+inline constexpr std::string_view kAdwiseScoreBatches =
+    "adwise.score_batches";
+inline constexpr std::string_view kAdwiseBatchItems = "adwise.batch_items";
+inline constexpr std::string_view kAdwisePoolBatches = "adwise.pool_batches";
+inline constexpr std::string_view kAdwisePoolBatchItems =
+    "adwise.pool_batch_items";
+inline constexpr std::string_view kAdwiseRefillBatches =
+    "adwise.refill_batches";
+inline constexpr std::string_view kAdwiseRefillBatchItems =
+    "adwise.refill_batch_items";
+inline constexpr std::string_view kAdwiseBatchCutoffAdaptations =
+    "adwise.batch_cutoff_adaptations";
+inline constexpr std::string_view kAdwiseDrainAdaptations =
+    "adwise.drain_adaptations";
+// Gauges: terminal controller state of the most recent run.
+inline constexpr std::string_view kAdwiseFinalLambda = "adwise.final_lambda";
+inline constexpr std::string_view kAdwiseFinalBatchCutoff =
+    "adwise.final_batch_cutoff";
+inline constexpr std::string_view kAdwiseFinalDrainBudget =
+    "adwise.final_drain_budget";
+inline constexpr std::string_view kAdwiseFinalSweepInterval =
+    "adwise.final_sweep_interval";
+inline constexpr std::string_view kAdwiseSeconds = "adwise.seconds";
+// Histogram: rescore batch sizes (same log2 shape as Report::batch_size_hist).
+inline constexpr std::string_view kAdwiseBatchSizeHist =
+    "adwise.batch_size_hist";
+
+// --- Checkpointing ----------------------------------------------------------
+inline constexpr std::string_view kCkptSnapshots = "checkpoint.snapshots";
+// Histogram: nanoseconds to serialize state on the partitioning thread.
+inline constexpr std::string_view kCkptSnapshotNs = "checkpoint.snapshot_ns";
+inline constexpr std::string_view kCkptCommits = "checkpoint.commits";
+// Histogram: nanoseconds per durable write+fsync+rename on the writer thread.
+inline constexpr std::string_view kCkptCommitNs = "checkpoint.commit_ns";
+// The partitioning thread blocked handing off to the busy writer.
+inline constexpr std::string_view kCkptQueueStalls = "checkpoint.queue_stalls";
+inline constexpr std::string_view kCkptQueueStallNs =
+    "checkpoint.queue_stall_ns";
+
+// --- ThreadPool (per-worker gauges; see pool_metric()) ----------------------
+inline constexpr std::string_view kPoolExecuted = "executed";
+inline constexpr std::string_view kPoolStolen = "stolen";
+inline constexpr std::string_view kPoolSleeps = "sleeps";
+
+// Builds "pool.<pool>.worker<i>.<what>", e.g. pool_metric("score", 0,
+// kPoolExecuted) -> "pool.score.worker0.executed".
+[[nodiscard]] inline std::string pool_metric(std::string_view pool,
+                                             unsigned worker,
+                                             std::string_view what) {
+  std::string s = "pool.";
+  s.append(pool);
+  s.append(".worker");
+  s.append(std::to_string(worker));
+  s.push_back('.');
+  s.append(what);
+  return s;
+}
+
+// --- Trace span names (Chrome trace-event "name" fields) --------------------
+inline constexpr std::string_view kSpanWindowRefill = "window_refill";
+inline constexpr std::string_view kSpanBatchRescore = "batch_rescore";
+inline constexpr std::string_view kSpanDrainWalk = "drain_walk";
+inline constexpr std::string_view kSpanCheckpointSnapshot =
+    "checkpoint_snapshot";
+inline constexpr std::string_view kSpanCheckpointWrite = "checkpoint_write";
+inline constexpr std::string_view kSpanPrefetchFill = "prefetch_fill";
+inline constexpr std::string_view kSpanSpotlightInstance =
+    "spotlight_instance";
+inline constexpr std::string_view kSpanRestreamPass = "restream_pass";
+
+}  // namespace adwise::obs::names

@@ -1,0 +1,158 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace adwise::obs {
+
+const MetricEntry* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricEntry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value(std::string_view name, double fallback) const {
+  const MetricEntry* e = find(name);
+  return e != nullptr ? e->value : fallback;
+}
+
+namespace {
+
+// Doubles that are integral (the common case: counter totals) print as
+// integers so the JSON is stable and diff-friendly.
+void write_number(std::ostream& out, double v) {
+  const auto as_int = static_cast<long long>(v);
+  if (static_cast<double>(as_int) == v) {
+    out << as_int;
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << buf;
+  }
+}
+
+void write_entries(std::ostream& out, const MetricsSnapshot& snap) {
+  out << "{";
+  bool first = true;
+  auto emit = [&](std::string_view name, double v) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  \"" << name << "\": ";
+    write_number(out, v);
+  };
+  for (const MetricEntry& e : snap.entries) {
+    emit(e.name, e.value);
+    if (e.kind == MetricEntry::Kind::kHistogram) {
+      emit(e.name + ".count", static_cast<double>(e.count));
+      for (std::size_t i = 0; i < e.buckets.size(); ++i) {
+        if (e.buckets[i] == 0) continue;
+        emit(e.name + ".bucket" + std::to_string(i),
+             static_cast<double>(e.buckets[i]));
+      }
+    }
+  }
+  out << "\n}\n";
+}
+
+bool write_stream_to_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << body;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+#if ADWISE_OBS_ENABLED
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (auto& [n, c] : counters_) {
+    if (n == name) return c;
+  }
+  counters_.emplace_back(std::piecewise_construct,
+                         std::forward_as_tuple(name), std::forward_as_tuple());
+  return counters_.back().second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (auto& [n, g] : gauges_) {
+    if (n == name) return g;
+  }
+  gauges_.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                       std::forward_as_tuple());
+  return gauges_.back().second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return h;
+  }
+  histograms_.emplace_back(std::piecewise_construct,
+                           std::forward_as_tuple(name),
+                           std::forward_as_tuple());
+  return histograms_.back().second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  MetricsSnapshot snap;
+  snap.entries.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricEntry e;
+    e.name = name;
+    e.kind = MetricEntry::Kind::kCounter;
+    e.value = static_cast<double>(c.value());
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricEntry e;
+    e.name = name;
+    e.kind = MetricEntry::Kind::kGauge;
+    e.value = g.value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricEntry e;
+    e.name = name;
+    e.kind = MetricEntry::Kind::kHistogram;
+    e.value = static_cast<double>(h.sum());
+    e.count = h.count();
+    e.buckets.resize(kHistBuckets);
+    for (std::size_t i = 0; i < kHistBuckets; ++i) e.buckets[i] = h.bucket(i);
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  write_entries(out, snapshot());
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ostringstream body;
+  write_json(body);
+  return write_stream_to_file(path, body.str());
+}
+
+#else  // !ADWISE_OBS_ENABLED
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  write_entries(out, MetricsSnapshot{});
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ostringstream body;
+  write_json(body);
+  return write_stream_to_file(path, body.str());
+}
+
+#endif  // ADWISE_OBS_ENABLED
+
+}  // namespace adwise::obs

@@ -1,0 +1,191 @@
+// Lock-free runtime metrics: counters, gauges and log2 histograms behind a
+// named registry.
+//
+// Hot-path contract: instrumented code resolves its Counter&/Histogram&
+// references ONCE (registration takes a mutex and a linear name scan) and
+// then updates them with single relaxed atomic RMWs — no locks, no
+// allocation, no branches beyond a null check on the optional ObsSink.
+// Snapshot/write_json are called off the hot path (end of run, per bench
+// capture) and read the same atomics relaxed; totals are exact once the
+// producing threads have been joined or quiesced.
+//
+// Compile-out: configuring with -DADWISE_OBS=OFF defines ADWISE_OBS_OFF and
+// swaps every type below for an empty-inline shell with the same API, so
+// instrumentation sites compile away entirely (the ISSUE's "compile-out
+// path"); call sites need no #ifdefs.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/stats.h"
+
+#if defined(ADWISE_OBS_OFF)
+#define ADWISE_OBS_ENABLED 0
+#else
+#define ADWISE_OBS_ENABLED 1
+#endif
+
+namespace adwise::obs {
+
+// Enough log2 buckets to cover nanosecond latencies up to ~days; the Report
+// batch-size histogram's 16 buckets embed as a prefix of the same rule
+// (log2_bucket in stats.h).
+inline constexpr std::size_t kHistBuckets = 48;
+
+// One entry of a point-in-time registry snapshot.
+struct MetricEntry {
+  std::string name;
+  enum class Kind { kCounter, kGauge, kHistogram } kind = Kind::kCounter;
+  double value = 0.0;  // counter total / gauge value / histogram sum
+  // Histogram-only: total samples and per-bucket counts (log2 buckets).
+  std::uint64_t count = 0;
+  std::vector<std::uint64_t> buckets;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricEntry> entries;
+
+  [[nodiscard]] const MetricEntry* find(std::string_view name) const;
+  // Counter total / gauge value / histogram sum, or `fallback` when absent.
+  [[nodiscard]] double value(std::string_view name,
+                             double fallback = 0.0) const;
+};
+
+#if ADWISE_OBS_ENABLED
+
+// Monotonic event count. add() is a single relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Last-write-wins instantaneous value (window fill, final lambda, ...).
+class Gauge {
+ public:
+  void set(double x) { v_.store(x, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Log2 histogram, same shape as Report::batch_size_hist: bucket i counts
+// samples in [2^i, 2^(i+1)), last bucket open-ended. record() is two relaxed
+// fetch_adds.
+class Histogram {
+ public:
+  void record(std::uint64_t value) {
+    buckets_[log2_bucket(value, kHistBuckets)].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Folds n pre-bucketed samples into bucket i — publishing an existing
+  // log2 histogram (e.g. Report::batch_size_hist) without replaying every
+  // sample. The value sum is unknown for such samples and stays unchanged.
+  void add_bucket(std::size_t i, std::uint64_t n) {
+    buckets_[std::min(i, kHistBuckets - 1)].fetch_add(
+        n, std::memory_order_relaxed);
+    count_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+// Named metric registry. counter()/gauge()/histogram() return a stable
+// reference (deque storage never reallocates) that stays valid for the
+// registry's lifetime; calling twice with the same name returns the same
+// object, so independent components (e.g. two streams) naturally aggregate.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  // Flat JSON object: {"name": value, ...; "name.count": N and
+  // "name.bucket<i>": c for histograms (zero buckets omitted)}.
+  void write_json(std::ostream& out) const;
+  // Returns false (and writes nothing durable) on I/O failure.
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, Histogram>> histograms_;
+};
+
+#else  // !ADWISE_OBS_ENABLED — empty shells, everything inlines to nothing.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) {}
+  [[nodiscard]] std::uint64_t value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  [[nodiscard]] double value() const { return 0.0; }
+};
+
+class Histogram {
+ public:
+  void record(std::uint64_t) {}
+  void add_bucket(std::size_t, std::uint64_t) {}
+  [[nodiscard]] std::uint64_t count() const { return 0; }
+  [[nodiscard]] std::uint64_t sum() const { return 0; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t) const { return 0; }
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view) { return counter_; }
+  Gauge& gauge(std::string_view) { return gauge_; }
+  Histogram& histogram(std::string_view) { return histogram_; }
+  [[nodiscard]] MetricsSnapshot snapshot() const { return {}; }
+  void write_json(std::ostream& out) const;
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // ADWISE_OBS_ENABLED
+
+}  // namespace adwise::obs

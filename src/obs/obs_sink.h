@@ -1,0 +1,59 @@
+// ObsSink: the single optional handle instrumented components accept.
+//
+// A null ObsSink* (the default everywhere) means "no observability" and
+// costs one branch per instrumentation site. A non-null sink can carry any
+// subset: metrics only (bench guardrails), trace only (chrome://tracing
+// deep dives), or both plus a progress callback (partition_file
+// --progress-every). The sink does not own the registry/session — the
+// caller does, because their lifetime must span every component wired to
+// them (streams, pools, the checkpoint writer thread).
+//
+// Invariant: observability is strictly read-only with respect to
+// partitioning decisions. Instrumented code may read clocks and bump
+// counters but must never let the sink influence placements, counter traces
+// or checkpoint bytes — the bit-identity guarantees (serial vs parallel,
+// resumed vs uninterrupted) hold with any sink attached.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace adwise::obs {
+
+// Periodic in-flight snapshot from AdwisePartitioner's main loop.
+struct ProgressSample {
+  std::uint64_t edges_assigned = 0;
+  double seconds = 0.0;            // since partition() started
+  double edges_per_sec = 0.0;      // cumulative average
+  double replication = 0.0;        // replication degree so far
+  std::size_t window_size = 0;     // edges currently buffered
+  std::size_t window_target = 0;   // controller's current w
+  std::size_t candidate_heap = 0;  // lazy candidate-set heap |C|
+  std::size_t secondary_heap = 0;  // lazy secondary heap |Q|
+};
+
+struct ObsSink {
+  MetricsRegistry* metrics = nullptr;
+  TraceSession* trace = nullptr;
+
+  // When non-zero (and on_progress set), the partitioner invokes
+  // on_progress every `progress_every` assignments. The callback runs on
+  // the partitioning thread — keep it cheap (partition_file prints a line
+  // to stderr).
+  std::uint64_t progress_every = 0;
+  std::function<void(const ProgressSample&)> on_progress;
+};
+
+// Null-tolerant accessors so call sites read as one expression.
+[[nodiscard]] inline MetricsRegistry* metrics_of(ObsSink* obs) {
+  return obs != nullptr ? obs->metrics : nullptr;
+}
+[[nodiscard]] inline TraceSession* trace_of(ObsSink* obs) {
+  return obs != nullptr ? obs->trace : nullptr;
+}
+
+}  // namespace adwise::obs

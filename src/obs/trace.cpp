@@ -1,0 +1,168 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace adwise::obs {
+
+namespace {
+
+bool write_stream_to_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << body;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+#if ADWISE_OBS_ENABLED
+
+namespace {
+std::uint64_t next_session_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+TraceSession::TraceSession(std::size_t max_events_per_track)
+    : max_events_per_track_(max_events_per_track),
+      start_ns_(monotonic_now_ns()),
+      session_id_(next_session_id()) {}
+
+TraceSession::Track& TraceSession::track_for_current_thread() {
+  // Keyed by session id, not pointer: a new session allocated at a dead
+  // session's address must not reuse the stale cached track.
+  struct Cache {
+    std::uint64_t session_id = 0;
+    Track* track = nullptr;
+  };
+  static thread_local Cache cache;
+  if (cache.session_id == session_id_ && cache.track != nullptr) {
+    return *cache.track;
+  }
+  std::lock_guard<std::mutex> lk(mutex_);
+  tracks_.emplace_back();
+  Track& t = tracks_.back();
+  t.tid = static_cast<int>(tracks_.size());
+  t.events.reserve(std::min<std::size_t>(max_events_per_track_, 4096));
+  cache = {session_id_, &t};
+  return t;
+}
+
+void TraceSession::begin(std::string_view name) {
+  Track& t = track_for_current_thread();
+  if (t.events.size() >= max_events_per_track_) {
+    ++t.suppressed_depth;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  t.events.push_back({name, 'B', monotonic_now_ns() - start_ns_});
+}
+
+void TraceSession::end(std::string_view name) {
+  Track& t = track_for_current_thread();
+  if (t.suppressed_depth > 0) {
+    --t.suppressed_depth;
+    return;
+  }
+  // The matching B was recorded, so record the E even if the cap was hit in
+  // between — pairs stay balanced, overshoot is at most the open depth.
+  t.events.push_back({name, 'E', monotonic_now_ns() - start_ns_});
+}
+
+void TraceSession::name_current_thread(std::string_view label) {
+  Track& t = track_for_current_thread();
+  if (!t.label.empty()) return;  // cheap idempotence for per-chunk callers
+  std::lock_guard<std::mutex> lk(mutex_);
+  t.label.assign(label);
+}
+
+std::uint64_t TraceSession::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+void TraceSession::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+  for (const Track& t : tracks_) {
+    sep();
+    out << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << t.tid
+        << R"(,"args":{"name":)";
+    write_json_string(out,
+                      t.label.empty() ? "thread-" + std::to_string(t.tid)
+                                      : t.label);
+    out << "}}";
+  }
+  for (const Track& t : tracks_) {
+    for (const Event& e : t.events) {
+      sep();
+      out << "{\"name\":";
+      write_json_string(out, e.name);
+      out << ",\"ph\":\"" << e.ph << "\",\"pid\":0,\"tid\":" << t.tid
+          << ",\"ts\":";
+      // Chrome trace ts is in microseconds; keep ns resolution as a decimal.
+      const std::int64_t us = e.ts_ns / 1000;
+      const std::int64_t frac = e.ts_ns % 1000;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                    static_cast<long long>(us), static_cast<long long>(frac));
+      out << buf << "}";
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+      << dropped() << "}}\n";
+}
+
+bool TraceSession::write_json_file(const std::string& path) const {
+  std::ostringstream body;
+  write_json(body);
+  return write_stream_to_file(path, body.str());
+}
+
+#else  // !ADWISE_OBS_ENABLED
+
+void TraceSession::write_json(std::ostream& out) const {
+  out << "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\",\"otherData\":"
+         "{\"dropped_events\":0}}\n";
+}
+
+bool TraceSession::write_json_file(const std::string& path) const {
+  std::ostringstream body;
+  write_json(body);
+  return write_stream_to_file(path, body.str());
+}
+
+#endif  // ADWISE_OBS_ENABLED
+
+}  // namespace adwise::obs

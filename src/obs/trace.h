@@ -1,0 +1,134 @@
+// Phase-scoped tracing to Chrome trace-event JSON.
+//
+// A TraceSession buffers begin/end ("B"/"E") events into per-thread tracks:
+// the first event a thread records registers a track (one mutex hit per
+// thread for the session's lifetime), after which recording is a
+// thread-local append — one monotonic clock read plus a vector push_back,
+// no locks. write_json() emits the classic `{"traceEvents": [...]}` array
+// that chrome://tracing and Perfetto load directly; each track becomes a
+// distinct tid, so pool workers, the prefetch worker and the checkpoint
+// writer show up as separate timelines.
+//
+// Span names must have static storage duration (the session stores
+// string_views; the constants in metric_names.h qualify). Every track is
+// capped (default 256k events): once full, new spans are suppressed as
+// whole B/E pairs — never a B without its E — so the "balanced pairs"
+// invariant survives truncation; dropped() reports how many were lost.
+//
+// With -DADWISE_OBS=OFF the whole session compiles to an empty shell (see
+// metrics.h for the switch).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/obs/metrics.h"  // ADWISE_OBS_ENABLED
+
+namespace adwise::obs {
+
+#if ADWISE_OBS_ENABLED
+
+class TraceSession {
+ public:
+  static constexpr std::size_t kDefaultMaxEventsPerTrack = 256 * 1024;
+
+  explicit TraceSession(
+      std::size_t max_events_per_track = kDefaultMaxEventsPerTrack);
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  // Opens/closes a span on the calling thread's track. Prefer TraceSpan.
+  void begin(std::string_view name);
+  void end(std::string_view name);
+
+  // Labels the calling thread's track in the trace viewer ("io-prefetch",
+  // "score-worker-0", ...). First label wins; later calls are no-ops, so
+  // per-chunk call sites stay cheap and idempotent.
+  void name_current_thread(std::string_view label);
+
+  // Spans suppressed because a track hit its cap.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  // One event object per line inside "traceEvents" — loadable by Perfetto
+  // and trivially parseable line-wise by tests. Call after the traced
+  // threads have quiesced (concurrent recording may be partially missed).
+  void write_json(std::ostream& out) const;
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string_view name;
+    char ph;             // 'B' or 'E'
+    std::int64_t ts_ns;  // relative to session start
+  };
+  struct Track {
+    std::vector<Event> events;
+    std::string label;
+    int tid = 0;
+    // Open spans whose B was suppressed by the cap: their E must be
+    // suppressed too. Owned exclusively by the track's thread.
+    std::size_t suppressed_depth = 0;
+  };
+
+  Track& track_for_current_thread();
+
+  const std::size_t max_events_per_track_;
+  const std::int64_t start_ns_;
+  const std::uint64_t session_id_;  // keys the thread-local track cache
+
+  mutable std::mutex mutex_;
+  std::deque<Track> tracks_;  // stable addresses for cached pointers
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+// RAII span: records B at construction and E at destruction; a null session
+// makes both no-ops, so hot paths pay one predictable branch when tracing
+// is off.
+class TraceSpan {
+ public:
+  TraceSpan(TraceSession* session, std::string_view name)
+      : session_(session), name_(name) {
+    if (session_ != nullptr) session_->begin(name_);
+  }
+  ~TraceSpan() {
+    if (session_ != nullptr) session_->end(name_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceSession* session_;
+  std::string_view name_;
+};
+
+#else  // !ADWISE_OBS_ENABLED
+
+class TraceSession {
+ public:
+  static constexpr std::size_t kDefaultMaxEventsPerTrack = 0;
+  explicit TraceSession(std::size_t = 0) {}
+  void begin(std::string_view) {}
+  void end(std::string_view) {}
+  void name_current_thread(std::string_view) {}
+  [[nodiscard]] std::uint64_t dropped() const { return 0; }
+  void write_json(std::ostream& out) const;
+  bool write_json_file(const std::string& path) const;
+};
+
+class TraceSpan {
+ public:
+  TraceSpan(TraceSession*, std::string_view) {}
+};
+
+#endif  // ADWISE_OBS_ENABLED
+
+}  // namespace adwise::obs

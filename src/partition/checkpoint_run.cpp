@@ -5,14 +5,26 @@
 #include <utility>
 
 #include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/obs_sink.h"
 
 namespace adwise {
 
 DurableCheckpointWriter::DurableCheckpointWriter(
-    std::string path, std::function<void(std::uint64_t)> on_commit)
-    : path_(std::move(path)),
-      on_commit_(std::move(on_commit)),
-      thread_([this] { worker_loop(); }) {}
+    std::string path, std::function<void(std::uint64_t)> on_commit,
+    obs::ObsSink* obs)
+    : path_(std::move(path)), on_commit_(std::move(on_commit)) {
+  if (obs::MetricsRegistry* reg = obs::metrics_of(obs)) {
+    m_commits_ = &reg->counter(obs::names::kCkptCommits);
+    m_commit_ns_ = &reg->histogram(obs::names::kCkptCommitNs);
+    m_queue_stalls_ = &reg->counter(obs::names::kCkptQueueStalls);
+    m_queue_stall_ns_ = &reg->counter(obs::names::kCkptQueueStallNs);
+  }
+  trace_ = obs::trace_of(obs);
+  // Start the worker only after the handles exist — worker_loop reads them.
+  thread_ = std::thread([this] { worker_loop(); });
+}
 
 DurableCheckpointWriter::~DurableCheckpointWriter() {
   {
@@ -25,7 +37,18 @@ DurableCheckpointWriter::~DurableCheckpointWriter() {
 
 void DurableCheckpointWriter::write(Checkpoint ckpt) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return (!has_job_ && !writing_) || error_; });
+  const bool free_now = (!has_job_ && !writing_) || error_;
+  if (!free_now && m_queue_stall_ns_ != nullptr) {
+    // The partitioning thread is about to block behind a busy writer — the
+    // "checkpoint interval shorter than commit latency" signal.
+    const std::int64_t stall_start_ns = monotonic_now_ns();
+    cv_.wait(lock, [this] { return (!has_job_ && !writing_) || error_; });
+    m_queue_stall_ns_->add(
+        static_cast<std::uint64_t>(monotonic_now_ns() - stall_start_ns));
+    m_queue_stalls_->add();
+  } else {
+    cv_.wait(lock, [this] { return (!has_job_ && !writing_) || error_; });
+  }
   if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
   job_ = std::move(ckpt);
   has_job_ = true;
@@ -59,7 +82,16 @@ void DurableCheckpointWriter::worker_loop() {
     std::uint64_t ordinal = 0;
     std::exception_ptr error;
     try {
+      if (trace_ != nullptr) trace_->name_current_thread("ckpt-writer");
+      obs::TraceSpan span(trace_, obs::names::kSpanCheckpointWrite);
+      const std::int64_t commit_start_ns =
+          m_commit_ns_ != nullptr ? monotonic_now_ns() : 0;
       write_checkpoint_file(path_, ckpt);
+      if (m_commit_ns_ != nullptr) {
+        m_commit_ns_->record(
+            static_cast<std::uint64_t>(monotonic_now_ns() - commit_start_ns));
+        m_commits_->add();
+      }
     } catch (...) {
       error = std::current_exception();
     }
@@ -140,9 +172,24 @@ std::uint64_t run_with_checkpoints(EdgePartitioner& partitioner,
   // writer lives in this frame, which outlives the partition() call.
   std::unique_ptr<DurableCheckpointWriter> writer;
   if (opts.async_io) {
-    writer = std::make_unique<DurableCheckpointWriter>(opts.checkpoint_path,
-                                                       opts.on_checkpoint);
+    writer = std::make_unique<DurableCheckpointWriter>(
+        opts.checkpoint_path, opts.on_checkpoint, opts.obs);
   }
+  // Snapshot-side handles (partitioning thread); the writer resolves its
+  // commit-side handles itself. Sync-path commits are recorded here too.
+  obs::Counter* m_snapshots = nullptr;
+  obs::Histogram* m_snapshot_ns = nullptr;
+  obs::Counter* m_commits = nullptr;
+  obs::Histogram* m_commit_ns = nullptr;
+  if (obs::MetricsRegistry* reg = obs::metrics_of(opts.obs)) {
+    m_snapshots = &reg->counter(obs::names::kCkptSnapshots);
+    m_snapshot_ns = &reg->histogram(obs::names::kCkptSnapshotNs);
+    if (!opts.async_io) {
+      m_commits = &reg->counter(obs::names::kCkptCommits);
+      m_commit_ns = &reg->histogram(obs::names::kCkptCommitNs);
+    }
+  }
+  obs::TraceSession* const trace = obs::trace_of(opts.obs);
   CheckpointHook hook;
   hook.every = opts.every;
   // Small parts captured by value so the hook owns them; state, the writer
@@ -151,7 +198,8 @@ std::uint64_t run_with_checkpoints(EdgePartitioner& partitioner,
   hook.emit = [&state, &written, total_edges, async = writer.get(),
                algorithm = std::string(partitioner.name()),
                path = opts.checkpoint_path, durable = opts.durable_sink_bytes,
-               notify = opts.on_checkpoint](
+               notify = opts.on_checkpoint, m_snapshots, m_snapshot_ns,
+               m_commits, m_commit_ns, trace](
                   std::uint64_t assignments, std::uint64_t edges_consumed,
                   std::span<const std::byte> algo_state) {
     Checkpoint ckpt;
@@ -167,14 +215,29 @@ std::uint64_t run_with_checkpoints(EdgePartitioner& partitioner,
     // holds in async mode too: the rename happens strictly after this
     // call returns.)
     ckpt.meta.sink_bytes = durable ? durable() : 0;
+    const std::int64_t snap_start_ns =
+        m_snapshot_ns != nullptr ? monotonic_now_ns() : 0;
     ByteWriter w;
     state.save(w);
     ckpt.partition_state = w.take();
     ckpt.algorithm_state.assign(algo_state.begin(), algo_state.end());
+    if (m_snapshot_ns != nullptr) {
+      m_snapshot_ns->record(
+          static_cast<std::uint64_t>(monotonic_now_ns() - snap_start_ns));
+      m_snapshots->add();
+    }
     if (async != nullptr) {
       async->write(std::move(ckpt));
     } else {
+      obs::TraceSpan span(trace, obs::names::kSpanCheckpointWrite);
+      const std::int64_t commit_start_ns =
+          m_commit_ns != nullptr ? monotonic_now_ns() : 0;
       write_checkpoint_file(path, ckpt);
+      if (m_commit_ns != nullptr) {
+        m_commit_ns->record(
+            static_cast<std::uint64_t>(monotonic_now_ns() - commit_start_ns));
+        m_commits->add();
+      }
       ++written;
       if (notify) notify(written);
     }

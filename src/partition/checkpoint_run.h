@@ -29,6 +29,13 @@
 
 namespace adwise {
 
+namespace obs {
+struct ObsSink;
+class Counter;
+class Histogram;
+class TraceSession;
+}  // namespace obs
+
 struct CheckpointRunOptions {
   // Destination of the (single, atomically replaced) checkpoint file.
   std::string checkpoint_path;
@@ -51,6 +58,11 @@ struct CheckpointRunOptions {
   // written (1-based). Test hook: the SIGKILL crash tests raise their
   // signal here. With async_io it runs on the writer thread.
   std::function<void(std::uint64_t ordinal)> on_checkpoint;
+  // Optional observability sink; must outlive the run. Records snapshot
+  // time (partitioning thread), durable-commit time and queue stalls
+  // (writer handoff), plus checkpoint_write trace spans on whichever
+  // thread performs the durable write. Null = zero instrumentation.
+  obs::ObsSink* obs = nullptr;
 };
 
 // Background checkpoint committer: a single worker thread that turns
@@ -63,9 +75,12 @@ struct CheckpointRunOptions {
 class DurableCheckpointWriter {
  public:
   // `on_commit`, when non-null, runs on the writer thread after each
-  // durable commit with the 1-based ordinal; it must not throw.
+  // durable commit with the 1-based ordinal; it must not throw. `obs`,
+  // when non-null, must outlive the writer and receives commit latency,
+  // queue-stall counters and checkpoint_write trace spans.
   DurableCheckpointWriter(std::string path,
-                          std::function<void(std::uint64_t)> on_commit = {});
+                          std::function<void(std::uint64_t)> on_commit = {},
+                          obs::ObsSink* obs = nullptr);
   // Drains any handed-off snapshot, then joins. Errors discovered during
   // the drain are swallowed (call flush() first to observe them).
   ~DurableCheckpointWriter();
@@ -94,6 +109,12 @@ class DurableCheckpointWriter {
   Checkpoint job_;
   std::uint64_t committed_ = 0;
   std::exception_ptr error_;
+  // Observability handles resolved at construction (null without a sink).
+  obs::Counter* m_commits_ = nullptr;
+  obs::Histogram* m_commit_ns_ = nullptr;
+  obs::Counter* m_queue_stalls_ = nullptr;
+  obs::Counter* m_queue_stall_ns_ = nullptr;
+  obs::TraceSession* trace_ = nullptr;
   std::thread thread_;
 };
 

@@ -3,13 +3,17 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/metric_names.h"
+#include "src/obs/obs_sink.h"
+
 namespace adwise {
 
 RestreamResult restream_partition(RewindableEdgeStream& stream,
                                   VertexId num_vertices, std::uint32_t k,
                                   const RestreamFactory& factory,
                                   std::uint32_t passes,
-                                  const AssignmentSink& final_sink) {
+                                  const AssignmentSink& final_sink,
+                                  obs::ObsSink* obs) {
   assert(passes >= 1);
   RestreamResult result(k, num_vertices);
 
@@ -19,6 +23,8 @@ RestreamResult restream_partition(RewindableEdgeStream& stream,
   PartitionState carry(k, num_vertices);
   for (std::uint32_t pass = 0; pass < passes; ++pass) {
     if (pass > 0) stream.rewind();
+    obs::TraceSpan pass_span(obs::trace_of(obs),
+                             obs::names::kSpanRestreamPass);
     const bool last = pass + 1 == passes;
     // Clean replay built inline in the sink: this pass's metrics reflect
     // only this pass's assignments, not the accumulated hint state, and no

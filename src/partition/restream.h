@@ -29,6 +29,10 @@
 
 namespace adwise {
 
+namespace obs {
+struct ObsSink;
+}  // namespace obs
+
 // Fresh partitioner per pass (partitioners may carry per-run state).
 using RestreamFactory = std::function<std::unique_ptr<EdgePartitioner>()>;
 
@@ -47,11 +51,13 @@ struct RestreamResult {
 // Runs `passes` passes over the stream (rewinding between passes). The
 // final pass's assignments go to final_sink when provided — letting callers
 // write them straight to disk/stdout — and are collected into
-// RestreamResult::assignments otherwise.
+// RestreamResult::assignments otherwise. A non-null obs sink records one
+// restream_pass trace span per pass (per-pass partitioner/stream metrics
+// come from wiring the same sink into their options).
 [[nodiscard]] RestreamResult restream_partition(
     RewindableEdgeStream& stream, VertexId num_vertices, std::uint32_t k,
     const RestreamFactory& factory, std::uint32_t passes,
-    const AssignmentSink& final_sink = {});
+    const AssignmentSink& final_sink = {}, obs::ObsSink* obs = nullptr);
 
 // In-memory convenience wrapper over a borrowed edge span.
 [[nodiscard]] RestreamResult restream_partition(std::span<const Edge> edges,

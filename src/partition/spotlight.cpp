@@ -9,6 +9,8 @@
 #include "src/graph/edge_stream.h"
 #include "src/io/adw_shards.h"
 #include "src/io/binary_stream.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/obs_sink.h"
 
 namespace adwise {
 
@@ -88,7 +90,10 @@ SpotlightResult run_spotlight(const InstanceStreamFactory& streams,
   const std::uint32_t z = opts.num_partitioners;
   std::vector<InstanceOutput> outputs(z);
 
+  obs::TraceSession* const trace = obs::trace_of(opts.obs);
   auto run_instance = [&](std::uint32_t i) {
+    if (trace != nullptr) trace->name_current_thread("spotlight-instance");
+    obs::TraceSpan span(trace, obs::names::kSpanSpotlightInstance);
     const auto group = spotlight_group(opts, i);
     auto partitioner = factory(i, opts.spread);
     PartitionState local(opts.spread, num_vertices);
@@ -142,11 +147,15 @@ SpotlightResult run_spotlight_sharded(const std::string& manifest_path,
         std::to_string(num_vertices));
   }
   return run_spotlight(
-      [&manifest_path](std::uint32_t instance) -> std::unique_ptr<EdgeStream> {
+      [&manifest_path, &opts](std::uint32_t instance)
+          -> std::unique_ptr<EdgeStream> {
         // Each instance opens (and validates) its own shard on its own
-        // thread: pread, bound-checking and decode run per instance.
+        // thread: pread, bound-checking and decode run per instance. The
+        // registry is thread-safe, so per-shard stream metrics aggregate.
+        BinaryEdgeStream::Options sopts;
+        sopts.obs = opts.obs;
         return std::make_unique<BinaryEdgeStream>(
-            adw_shard_path(manifest_path, instance));
+            adw_shard_path(manifest_path, instance), sopts);
       },
       num_vertices, factory, opts);
 }
@@ -163,7 +172,9 @@ SpotlightResult run_spotlight(RewindableEdgeStream& stream,
   const std::size_t expected = stream.size_hint();
   const auto sizes = chunk_sizes(expected, opts.num_partitioners);
 
+  obs::TraceSession* const trace = obs::trace_of(opts.obs);
   for (std::uint32_t i = 0; i < opts.num_partitioners; ++i) {
+    obs::TraceSpan span(trace, obs::names::kSpanSpotlightInstance);
     const auto group = spotlight_group(opts, i);
     auto partitioner = factory(i, opts.spread);
     PartitionState local(opts.spread, num_vertices);

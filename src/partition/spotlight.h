@@ -41,6 +41,10 @@
 
 namespace adwise {
 
+namespace obs {
+struct ObsSink;
+}  // namespace obs
+
 struct SpotlightOptions {
   std::uint32_t k = 32;                // global partition count
   std::uint32_t num_partitioners = 8;  // z
@@ -55,6 +59,12 @@ struct SpotlightOptions {
   // downcast and aggregate the per-instance Reports (Report::merge_from).
   std::function<void(std::uint32_t instance, EdgePartitioner& partitioner)>
       on_instance_done;
+  // Optional observability sink; must outlive the run. Each instance's
+  // drain is wrapped in a spotlight_instance trace span — with run_threads
+  // the instances land on distinct thread tracks. Per-instance partitioner
+  // metrics come from wiring the same sink into the factory's options (the
+  // registry is thread-safe; counters aggregate across instances).
+  obs::ObsSink* obs = nullptr;
 };
 
 // Builds the partitioner for one instance. local_k == spread: instances see

@@ -1,0 +1,394 @@
+// Observability layer: metrics registry semantics, concurrent counter
+// updates from pool workers (run under TSan in CI), trace-JSON golden
+// structure from a real instrumented run, Report-vs-registry name
+// consistency, decision identity with a sink attached, and the
+// progress-to-stderr purity of partition_file --progress-every.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/adwise_partitioner.h"
+#include "src/graph/generators.h"
+#include "src/io/adw_format.h"
+#include "src/io/binary_stream.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs_sink.h"
+#include "src/obs/trace.h"
+#include "src/partition/checkpoint_run.h"
+
+namespace adwise {
+namespace {
+
+TEST(ObsMetricsTest, RegistryBasics) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("test.counter");
+  c.add();
+  c.add(41);
+  // Same name resolves to the same object: independent components sharing a
+  // metric aggregate naturally.
+  reg.counter("test.counter").add();
+  reg.gauge("test.gauge").set(2.5);
+  obs::Histogram& h = reg.histogram("test.hist");
+  h.record(1);    // bucket 0
+  h.record(9);    // bucket 3
+  h.record(1000); // bucket 9
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+#if ADWISE_OBS_ENABLED
+  EXPECT_DOUBLE_EQ(snap.value("test.counter"), 43.0);
+  EXPECT_DOUBLE_EQ(snap.value("test.gauge"), 2.5);
+  const obs::MetricEntry* hist = snap.find("test.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 3u);
+  EXPECT_DOUBLE_EQ(hist->value, 1010.0);  // sum
+  EXPECT_EQ(hist->buckets[0], 1u);
+  EXPECT_EQ(hist->buckets[3], 1u);
+  EXPECT_EQ(hist->buckets[9], 1u);
+  EXPECT_DOUBLE_EQ(snap.value("missing", -1.0), -1.0);
+#else
+  EXPECT_TRUE(snap.entries.empty());
+#endif
+}
+
+TEST(ObsMetricsTest, HistogramAddBucketFoldsPrebucketed) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("h");
+  h.add_bucket(2, 7);
+  h.add_bucket(obs::kHistBuckets + 100, 1);  // clamps into the last bucket
+#if ADWISE_OBS_ENABLED
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.sum(), 0u);  // pre-bucketed samples have no value sum
+  EXPECT_EQ(h.bucket(2), 7u);
+  EXPECT_EQ(h.bucket(obs::kHistBuckets - 1), 1u);
+#endif
+}
+
+TEST(ObsMetricsTest, WriteJsonIsFlatObject) {
+  obs::MetricsRegistry reg;
+  reg.counter("a").add(3);
+  reg.gauge("b").set(1.5);
+  reg.histogram("h").record(4);
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+#if ADWISE_OBS_ENABLED
+  EXPECT_NE(json.find("\"a\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"b\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"h.count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"h.bucket2\": 1"), std::string::npos);
+#endif
+}
+
+// Run under TSan in CI: pool workers hammer one counter and one histogram
+// concurrently; totals are exact once the pool has quiesced.
+TEST(ObsConcurrencyTest, ConcurrentCounterUpdatesFromPoolWorkers) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("concurrent.counter");
+  obs::Histogram& h = reg.histogram("concurrent.hist");
+  constexpr int kTasks = 64;
+  constexpr int kAddsPerTask = 1000;
+  ThreadPool pool(4);
+  for (int t = 0; t < kTasks; ++t) {
+    pool.submit([&c, &h] {
+      for (int i = 0; i < kAddsPerTask; ++i) {
+        c.add();
+        h.record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  pool.wait_idle();
+#if ADWISE_OBS_ENABLED
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kTasks) * kAddsPerTask);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kTasks) * kAddsPerTask);
+#endif
+}
+
+// Concurrent span recording on distinct tracks must be race-free (TSan) and
+// keep every track's B/E pairs balanced.
+TEST(ObsConcurrencyTest, ConcurrentSpansFromPoolWorkers) {
+  obs::TraceSession session;
+  ThreadPool pool(4);
+  for (int t = 0; t < 32; ++t) {
+    pool.submit([&session] {
+      session.name_current_thread("worker");
+      for (int i = 0; i < 50; ++i) {
+        obs::TraceSpan span(&session, "task");
+      }
+    });
+  }
+  pool.wait_idle();
+  std::ostringstream out;
+  session.write_json(out);
+  EXPECT_NE(out.str().find("traceEvents"), std::string::npos);
+}
+
+struct ParsedEvent {
+  std::string name;
+  char ph = '?';
+  int tid = -1;
+  double ts = 0.0;
+};
+
+// Line-wise parse of the one-event-per-line trace JSON (the format contract
+// the writer maintains precisely so tests and greps stay this simple).
+std::vector<ParsedEvent> parse_trace(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  std::istringstream in(json);
+  std::string line;
+  const auto field = [](const std::string& s, const std::string& key) {
+    const std::size_t pos = s.find(key);
+    EXPECT_NE(pos, std::string::npos) << key << " missing in: " << s;
+    return pos == std::string::npos ? std::string{}
+                                    : s.substr(pos + key.size());
+  };
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"name\":\"", 0) != 0) continue;
+    ParsedEvent e;
+    const std::string name_rest = field(line, "{\"name\":\"");
+    e.name = name_rest.substr(0, name_rest.find('"'));
+    const std::string ph_rest = field(line, "\"ph\":\"");
+    e.ph = ph_rest.empty() ? '?' : ph_rest[0];
+    if (e.ph == 'M') continue;  // thread_name metadata
+    e.tid = std::atoi(field(line, "\"tid\":").c_str());
+    e.ts = std::atof(field(line, "\"ts\":").c_str());
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+// Golden structure from a real instrumented run: a checkpointed adwise pass
+// over a prefetching BinaryEdgeStream, everything wired to one sink. The
+// trace must parse, stay monotone per track, balance every B/E pair, and
+// contain the spans the acceptance criteria name.
+TEST(ObsTraceTest, GoldenStructureFromInstrumentedRun) {
+  const Graph graph = make_rmat({.scale = 10, .num_edges = 20'000, .seed = 5});
+  const std::string adw_path = "obs_trace_test.adw";
+  const std::string ckpt_path = "obs_trace_test.adwk";
+  write_adw_file(adw_path, graph.edges());
+
+  obs::MetricsRegistry registry;
+  obs::TraceSession session;
+  obs::ObsSink sink;
+  sink.metrics = &registry;
+  sink.trace = &session;
+
+  std::uint64_t progress_calls = 0;
+  sink.progress_every = 4096;
+  sink.on_progress = [&](const obs::ProgressSample& sample) {
+    ++progress_calls;
+    EXPECT_GT(sample.edges_assigned, 0u);
+    EXPECT_GE(sample.window_target, sample.window_size);
+  };
+
+  AdwiseOptions options;
+  options.obs = &sink;
+  AdwisePartitioner partitioner(options);
+  PartitionState state(8, graph.num_vertices());
+  BinaryEdgeStream::Options sopts;
+  sopts.obs = &sink;
+  BinaryEdgeStream stream(adw_path, sopts);
+
+  CheckpointRunOptions copts;
+  copts.checkpoint_path = ckpt_path;
+  copts.every = 4096;
+  copts.async_io = true;
+  copts.obs = &sink;
+  run_with_checkpoints(partitioner, stream, state, {}, copts);
+
+  std::ostringstream out;
+  session.write_json(out);
+  const std::string json = out.str();
+  std::remove(adw_path.c_str());
+  std::remove(ckpt_path.c_str());
+
+#if !ADWISE_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (ADWISE_OBS=OFF)";
+#else
+  EXPECT_GT(progress_calls, 0u);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+
+  const std::vector<ParsedEvent> events = parse_trace(json);
+  ASSERT_FALSE(events.empty());
+
+  std::map<int, std::vector<std::string>> stacks;
+  std::map<int, double> last_ts;
+  std::map<std::string, int> completed;
+  for (const ParsedEvent& e : events) {
+    auto it = last_ts.find(e.tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(e.ts, it->second) << "non-monotone ts on tid " << e.tid;
+    }
+    last_ts[e.tid] = e.ts;
+    auto& stack = stacks[e.tid];
+    if (e.ph == 'B') {
+      stack.push_back(e.name);
+    } else {
+      ASSERT_EQ(e.ph, 'E');
+      ASSERT_FALSE(stack.empty()) << "E without B on tid " << e.tid;
+      EXPECT_EQ(stack.back(), e.name);
+      stack.pop_back();
+      ++completed[e.name];
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+  EXPECT_GT(completed[std::string(obs::names::kSpanPrefetchFill)], 0);
+  EXPECT_GT(completed[std::string(obs::names::kSpanCheckpointSnapshot)], 0);
+  EXPECT_GT(completed[std::string(obs::names::kSpanCheckpointWrite)], 0);
+  // Consumer, prefetch worker and checkpoint writer are distinct tracks.
+  EXPECT_GE(last_ts.size(), 3u);
+
+  // The registry saw the same run: stream and checkpoint counters landed.
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_GT(snap.value(obs::names::kStreamBytesRead), 0.0);
+  EXPECT_GT(snap.value(obs::names::kCkptCommits), 0.0);
+  EXPECT_DOUBLE_EQ(snap.value(obs::names::kAdwiseAssignments),
+                   static_cast<double>(graph.num_edges()));
+#endif
+}
+
+// The track cap must suppress whole spans — balanced pairs survive
+// truncation and dropped() reports the loss.
+TEST(ObsTraceTest, CapSuppressesWholeSpans) {
+  obs::TraceSession session(/*max_events_per_track=*/4);
+  for (int i = 0; i < 10; ++i) {
+    obs::TraceSpan span(&session, "s");
+  }
+  std::ostringstream out;
+  session.write_json(out);
+#if ADWISE_OBS_ENABLED
+  EXPECT_GT(session.dropped(), 0u);
+  const std::vector<ParsedEvent> events = parse_trace(out.str());
+  int depth = 0;
+  for (const ParsedEvent& e : events) {
+    depth += e.ph == 'B' ? 1 : -1;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+#endif
+}
+
+// Report::publish and the registry must agree on names: whatever merge_from
+// accumulates is exactly what lands in the snapshot under metric_names.h.
+TEST(ObsReportTest, PublishMatchesReportCounters) {
+  AdwisePartitioner::Report report;
+  report.assignments = 7;
+  report.score_computations = 11;
+  report.heap_pops = 13;
+  report.max_window = 64;
+  report.seconds = 1.5;
+  report.batch_size_hist[0] = 3;
+  report.batch_size_hist[5] = 2;
+
+  obs::MetricsRegistry reg;
+  report.publish(reg);
+#if ADWISE_OBS_ENABLED
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value(obs::names::kAdwiseAssignments), 7.0);
+  EXPECT_DOUBLE_EQ(snap.value(obs::names::kAdwiseScoreComputations), 11.0);
+  EXPECT_DOUBLE_EQ(snap.value(obs::names::kAdwiseHeapPops), 13.0);
+  EXPECT_DOUBLE_EQ(snap.value(obs::names::kAdwiseMaxWindow), 64.0);
+  EXPECT_DOUBLE_EQ(snap.value(obs::names::kAdwiseSeconds), 1.5);
+  const obs::MetricEntry* hist = snap.find(obs::names::kAdwiseBatchSizeHist);
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 5u);
+  EXPECT_EQ(hist->buckets[0], 3u);
+  EXPECT_EQ(hist->buckets[5], 2u);
+  // Publishing twice aggregates, mirroring Report::merge_from over
+  // spotlight instances.
+  report.publish(reg);
+  EXPECT_DOUBLE_EQ(reg.snapshot().value(obs::names::kAdwiseAssignments), 14.0);
+#endif
+}
+
+// The sink must be strictly read-only with respect to decisions: identical
+// placements with and without full instrumentation attached.
+TEST(ObsIdentityTest, SinkDoesNotChangeDecisions) {
+  const Graph graph = make_rmat({.scale = 9, .num_edges = 8'000, .seed = 11});
+
+  const auto run = [&](obs::ObsSink* sink) {
+    AdwiseOptions options;
+    options.obs = sink;
+    AdwisePartitioner partitioner(options);
+    PartitionState state(8, graph.num_vertices());
+    VectorEdgeStream stream(graph.edges());
+    std::vector<PartitionId> placements;
+    partitioner.partition(stream, state,
+                          [&](const Edge&, PartitionId p) {
+                            placements.push_back(p);
+                          });
+    return placements;
+  };
+
+  obs::MetricsRegistry registry;
+  obs::TraceSession session;
+  obs::ObsSink sink;
+  sink.metrics = &registry;
+  sink.trace = &session;
+  EXPECT_EQ(run(nullptr), run(&sink));
+}
+
+#ifdef ADWISE_PARTITION_FILE_BIN
+
+std::string read_file_or_empty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// --progress-every must never leak into the assignment stream: stdout is
+// byte-identical with and without the flag; the progress lines go to
+// stderr only.
+TEST(ObsProgressTest, ProgressKeepsStdoutByteIdentical) {
+  const Graph graph = make_rmat({.scale = 9, .num_edges = 6'000, .seed = 3});
+  const std::string graph_path = "obs_progress_test.txt";
+  {
+    std::ofstream out(graph_path);
+    for (const Edge& e : graph.edges()) out << e.u << ' ' << e.v << '\n';
+  }
+  const std::string bin = ADWISE_PARTITION_FILE_BIN;
+  const auto run = [&](const std::string& extra, const std::string& tag) {
+    const std::string out_path = "obs_progress_out_" + tag + ".txt";
+    const std::string err_path = "obs_progress_err_" + tag + ".txt";
+    const std::string cmd = bin + " " + graph_path + " adwise 8 -1 " + extra +
+                            " > " + out_path + " 2> " + err_path;
+    EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+    return std::make_pair(read_file_or_empty(out_path),
+                          read_file_or_empty(err_path));
+  };
+
+  const auto [plain_out, plain_err] = run("", "plain");
+  const auto [prog_out, prog_err] = run("--progress-every 500", "progress");
+  std::remove(graph_path.c_str());
+  for (const char* tag : {"plain", "progress"}) {
+    std::remove(("obs_progress_out_" + std::string(tag) + ".txt").c_str());
+    std::remove(("obs_progress_err_" + std::string(tag) + ".txt").c_str());
+  }
+
+  ASSERT_FALSE(plain_out.empty());
+  EXPECT_EQ(plain_out, prog_out);
+  EXPECT_EQ(plain_out.find("progress:"), std::string::npos);
+  EXPECT_NE(prog_err.find("progress:"), std::string::npos);
+  EXPECT_EQ(plain_err.find("progress:"), std::string::npos);
+}
+
+#else
+
+TEST(ObsProgressTest, RequiresPartitionFileBinary) {
+  GTEST_SKIP() << "partition_file binary not built into this configuration";
+}
+
+#endif  // ADWISE_PARTITION_FILE_BIN
+
+}  // namespace
+}  // namespace adwise

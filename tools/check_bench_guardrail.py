@@ -24,6 +24,12 @@ Enforced (build fails):
     edges/second of BM_HdrfPartition/binary_prefetch — durable checkpoints
     at the default interval (one state serialization + atomic fsync/rename
     per 2^16 assignments) may cost at most ~10% of end-to-end throughput.
+  * observability overhead (same io JSON):
+    BM_StreamDrain/binary_prefetch_obs (live metrics sink attached) must
+    hold >= 0.98x the edges/second of BM_StreamDrain/binary_prefetch (obs
+    compiled in, no sink — the enabled-but-idle baseline): attaching the
+    registry may cost at most ~2% of drain throughput. The capture's
+    registry internals (prefetch-wait share, pread counts) are printed.
   * scoring core (only when the scoring JSON is given):
       - the vectorized dense kernel must hold >= 2x the edges/second of the
         scalar sparse-layout reference at k = 256
@@ -64,6 +70,7 @@ MT_MIN_SPEEDUP = 1.8
 MT_MIN_CPUS = 4
 IO_MIN_RATIO = 0.8
 CHECKPOINT_MIN_RATIO = 0.9
+OBS_MIN_RATIO = 0.98
 LAZY_MT_MIN_SPEEDUP = 1.3
 LAZY_MIN_PARALLEL_FRACTION = 0.30
 LAZY_SERIAL_MIN_RATIO = 0.85
@@ -260,6 +267,23 @@ def check_io(path, failures):
             failures.append(
                 f"checkpointing too expensive: {ckpt:.2f}x < "
                 f"{CHECKPOINT_MIN_RATIO}x of the uncheckpointed drain")
+
+    obs = speedup("BM_StreamDrain/binary_prefetch_obs",
+                  "BM_StreamDrain/binary_prefetch")
+    if obs is None:
+        failures.append(
+            "missing BM_StreamDrain binary_prefetch_obs / binary_prefetch")
+    else:
+        print(f"observability overhead (metrics sink attached vs idle): "
+              f"{obs:.3f}x (required >= {OBS_MIN_RATIO}x)")
+        if obs < OBS_MIN_RATIO:
+            failures.append(
+                f"observability drain overhead too high: {obs:.3f}x < "
+                f"{OBS_MIN_RATIO}x of the idle (no-sink) drain")
+    share = field(benchmarks, "BM_StreamDrain/binary_prefetch_obs",
+                  "prefetch_wait_share")
+    if share is not None:
+        print(f"prefetch-wait share of obs drain wall time: {share:.3f}")
 
     for fast, slow, label in [
         ("BM_StreamDrain/binary", "BM_StreamDrain/in_memory",

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validates partition_file --metrics / --trace output.
+
+Used by the CI obs-smoke job (and handy locally) to prove a run's
+observability artifacts are well-formed:
+
+  * --metrics FILE: parses as a flat JSON object of numbers; every name
+    given via --require-metric must be present.
+  * --trace FILE: parses as Chrome trace-event JSON ({"traceEvents": [...]},
+    one event per line); per tid, timestamps must be monotonically
+    non-decreasing and duration events must nest as balanced B/E pairs with
+    matching names; every name given via --require-span must appear at
+    least once as a complete pair; --min-tids asserts the span events cover
+    at least that many distinct thread tracks.
+
+Usage: check_obs_output.py [--metrics FILE] [--trace FILE]
+                           [--require-metric NAME]... [--require-span NAME]...
+                           [--min-tids N]
+
+Exits 0 when every given file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def check_metrics(path, required, problems):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problems.append(f"{path}: not parseable JSON: {e}")
+        return
+    if not isinstance(data, dict):
+        problems.append(f"{path}: expected a flat JSON object")
+        return
+    bad = [k for k, v in data.items() if not isinstance(v, (int, float))]
+    if bad:
+        problems.append(f"{path}: non-numeric metric values: {bad[:5]}")
+    for name in required:
+        if name not in data:
+            problems.append(f"{path}: required metric '{name}' missing")
+    print(f"{path}: {len(data)} metrics")
+
+
+def check_trace(path, required_spans, min_tids, problems):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problems.append(f"{path}: not parseable JSON: {e}")
+        return
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        problems.append(f"{path}: no traceEvents array")
+        return
+
+    complete = set()  # span names seen as a full B..E pair
+    tids = set()
+    last_ts = {}
+    stacks = {}
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        if ph not in ("B", "E"):
+            problems.append(f"{path}: event {i} has unexpected ph '{ph}'")
+            continue
+        tid = e.get("tid")
+        ts = e.get("ts")
+        name = e.get("name")
+        if not isinstance(ts, (int, float)) or tid is None or not name:
+            problems.append(f"{path}: event {i} missing ts/tid/name")
+            continue
+        tids.add(tid)
+        if tid in last_ts and ts < last_ts[tid]:
+            problems.append(
+                f"{path}: tid {tid} timestamps not monotone at event {i} "
+                f"({ts} < {last_ts[tid]})")
+        last_ts[tid] = ts
+        stack = stacks.setdefault(tid, [])
+        if ph == "B":
+            stack.append(name)
+        else:
+            if not stack or stack[-1] != name:
+                problems.append(
+                    f"{path}: tid {tid} unbalanced E '{name}' at event {i} "
+                    f"(open: {stack[-3:]})")
+                continue
+            stack.pop()
+            complete.add(name)
+    for tid, stack in stacks.items():
+        if stack:
+            problems.append(
+                f"{path}: tid {tid} ends with unclosed spans {stack[:5]}")
+    for name in required_spans:
+        if name not in complete:
+            problems.append(
+                f"{path}: required span '{name}' never completed a B/E pair "
+                f"(seen: {sorted(complete)})")
+    if min_tids is not None and len(tids) < min_tids:
+        problems.append(
+            f"{path}: span events cover {len(tids)} thread tracks, "
+            f"required >= {min_tids}")
+    dropped = data.get("otherData", {}).get("dropped_events", 0)
+    print(f"{path}: {len(events)} events on {len(tids)} tracks, "
+          f"{len(complete)} distinct spans, {dropped} dropped")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--metrics")
+    parser.add_argument("--trace")
+    parser.add_argument("--require-metric", action="append", default=[])
+    parser.add_argument("--require-span", action="append", default=[])
+    parser.add_argument("--min-tids", type=int)
+    args = parser.parse_args()
+    if args.metrics is None and args.trace is None:
+        parser.error("give at least one of --metrics / --trace")
+
+    problems = []
+    if args.metrics is not None:
+        check_metrics(args.metrics, args.require_metric, problems)
+    if args.trace is not None:
+        check_trace(args.trace, args.require_span, args.min_tids, problems)
+
+    if problems:
+        for p in problems:
+            print(f"OBS OUTPUT FAILURE: {p}", file=sys.stderr)
+        return 1
+    print("obs outputs OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

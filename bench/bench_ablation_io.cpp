@@ -17,6 +17,7 @@
 
 #include "bench/bench_common.h"
 #include "src/common/clock.h"
+#include "src/common/watchdog.h"
 #include "src/graph/file_stream.h"
 #include "src/io/adw_format.h"
 #include "src/io/binary_stream.h"
@@ -161,11 +162,18 @@ void BM_HdrfPartition(benchmark::State& state, StreamKind kind) {
 // End-to-end partitioning with durable checkpoints at the CLI's default
 // interval and async I/O (the CLI configuration): the partitioning thread
 // pays only the state snapshot, the writer thread the CRC/write/fsync/
-// rename. The CI guardrail requires >= 0.9x the rate of the uncheckpointed
-// BM_HdrfPartition on the same stream.
+// rename. A live watchdog is armed over the writer exactly as
+// `partition_file --watchdog-ms 2000` would, so the guardrail also prices
+// the heartbeat stores on the hot path. The CI guardrail requires >= 0.9x
+// the rate of the uncheckpointed BM_HdrfPartition on the same stream.
 void BM_HdrfPartitionCheckpointed(benchmark::State& state, StreamKind kind) {
   const IoFixture& f = fixture();
   const std::string ckpt_path = "bench_ablation_io_rmat.adwk";
+  Watchdog::Options wopts;
+  wopts.stall_timeout = std::chrono::milliseconds(2000);
+  wopts.poll_interval = std::chrono::milliseconds(500);
+  Watchdog watchdog(wopts);
+  watchdog.start();
   for (auto _ : state) {
     auto partitioner = make_baseline_partitioner("hdrf", 32);
     PartitionState pstate(32, f.graph.num_vertices());
@@ -174,6 +182,7 @@ void BM_HdrfPartitionCheckpointed(benchmark::State& state, StreamKind kind) {
     copts.checkpoint_path = ckpt_path;
     copts.every = std::uint64_t{1} << 16;
     copts.async_io = true;
+    copts.watchdog = &watchdog;
     run_with_checkpoints(*partitioner, *stream, pstate, {}, copts);
     benchmark::DoNotOptimize(pstate.replication_degree());
   }

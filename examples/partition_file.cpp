@@ -4,6 +4,7 @@
 //                      [latency_ms] [--passes N] [--densify] [--out-of-core]
 //                      [--output FILE] [--checkpoint FILE]
 //                      [--checkpoint-every N] [--resume CKPT]
+//                      [--strict-checkpoints] [--watchdog-ms N]
 //                      [--sharded] [--spread N] [--trace FILE]
 //                      [--metrics FILE] [--progress-every N]
 //
@@ -35,6 +36,17 @@
 //                stream prefix. The resumed run is bit-identical
 //                (placements and counter traces) to an uninterrupted one.
 //                Implies --checkpoint CKPT unless --checkpoint is given.
+//   --strict-checkpoints   abort the run on any checkpoint write failure.
+//                Without it (the default, degraded mode) a failed durable
+//                checkpoint logs a warning, bumps checkpoint.write_failures
+//                and the run continues — it just keeps the older recovery
+//                point until the next boundary succeeds. Sink durability
+//                failures abort in both modes.
+//   --watchdog-ms N        arm a stall watchdog with an N ms deadline over
+//                the prefetch worker and the async checkpoint writer: a
+//                thread wedged past the deadline triggers the degradation
+//                paths (sticky synchronous reads / in-band synchronous
+//                checkpointing) instead of hanging the run forever.
 //   --sharded    treat the input as an .adws manifest even without the
 //                magic sniff (mostly for diagnostics; sniffing suffices)
 //   --spread N   spotlight spread for sharded input: partitions each
@@ -63,6 +75,19 @@
 // quality summary to stderr — the shape a downstream graph system would
 // actually consume. For ADWISE a deterministic counter-trace line is also
 // printed to stderr; the crash/resume tests compare it across runs.
+//
+// Exit codes (stable contract for supervisors and the chaos harness):
+//   0  success
+//   1  any other failure
+//   2  usage / flag errors
+//   3  corrupt input (bad magic, CRC mismatch, truncation — never retry)
+//   4  transient I/O retry budget exhausted (resume from the checkpoint)
+//   5  disk full (free space, then resume from the checkpoint)
+//
+// ADWISE_FAULT_* environment variables install a process-wide seeded
+// fault injector (see src/io/fault_injection.h) covering the read paths
+// and every AtomicFileWriter-backed artifact — the hook tools/run_chaos.py
+// uses to drive unmodified binaries through fault schedules.
 #include <algorithm>
 #include <cerrno>
 #include <csignal>
@@ -78,12 +103,15 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "src/common/watchdog.h"
 #include "src/core/adwise_partitioner.h"
 #include "src/graph/file_stream.h"
 #include "src/graph/io.h"
 #include "src/io/adw_shards.h"
 #include "src/io/binary_stream.h"
 #include "src/io/checkpoint.h"
+#include "src/io/fault_injection.h"
+#include "src/io/io_error.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs_sink.h"
 #include "src/obs/trace.h"
@@ -101,21 +129,58 @@ void print_usage(const char* prog) {
       " [latency_ms]\n"
       "          [--passes N] [--densify] [--out-of-core] [--output FILE]\n"
       "          [--checkpoint FILE] [--checkpoint-every N] [--resume CKPT]\n"
+      "          [--strict-checkpoints] [--watchdog-ms N]\n"
       "          [--sharded] [--spread N] [--trace FILE] [--metrics FILE]\n"
       "          [--progress-every N]\n",
       prog);
 }
 
-// Flushes and fsyncs f, then returns the durable byte count.
-std::uint64_t make_durable(std::FILE* f) {
-  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) {
-    throw std::runtime_error(std::string("failed to flush partition output: ") +
-                             std::strerror(errno));
+// Flushes and fsyncs f, then returns the durable byte count. `path` names
+// the file in error messages. Consults the process fault injector's fsync
+// failpoint so the chaos harness can fail sink durability too; ENOSPC maps
+// to DiskFullError, everything else aborts the run — output bytes whose
+// durability is unknown can never be recorded in a checkpoint.
+std::uint64_t make_durable(std::FILE* f, const std::string& path) {
+  static std::uint64_t fsync_seq = 0;
+  int err = 0;
+  if (auto* inj = adwise::process_fault_injector()) {
+    switch (inj->write_fault(adwise::FaultInjector::WriteOp::kFsync,
+                             fsync_seq++)) {
+      case adwise::FaultInjector::WriteFault::kEio:
+        err = EIO;
+        break;
+      case adwise::FaultInjector::WriteFault::kEnospc:
+        err = ENOSPC;
+        break;
+      default:
+        break;
+    }
+  }
+  if (err == 0 && (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0)) {
+    err = errno;
+  }
+  if (err != 0) {
+    const long at = std::ftell(f);
+    if (err == ENOSPC || err == EDQUOT) {
+      throw adwise::DiskFullError(
+          path, at < 0 ? 0 : static_cast<std::uint64_t>(at),
+          std::strerror(err));
+    }
+    if (err == EAGAIN || err == EIO || err == ENOBUFS) {
+      // Not retried in place (a failed fsync may have dropped dirty
+      // pages), but typed transient: resume truncates the partial output
+      // back to the last checkpointed byte count, so rerunning from the
+      // checkpoint rewrites exactly the bytes whose durability is unknown.
+      throw adwise::TransientIoError("failed to flush partition output " +
+                                     path + ": " + std::strerror(err));
+    }
+    throw std::runtime_error("failed to flush partition output " + path +
+                             ": " + std::strerror(err));
   }
   const long pos = std::ftell(f);
   if (pos < 0) {
-    throw std::runtime_error(std::string("ftell on partition output failed: ") +
-                             std::strerror(errno));
+    throw std::runtime_error("ftell on partition output " + path +
+                             " failed: " + std::strerror(errno));
   }
   return static_cast<std::uint64_t>(pos);
 }
@@ -125,11 +190,19 @@ std::uint64_t make_durable(std::FILE* f) {
 int main(int argc, char** argv) {
   using namespace adwise;
 
+  // ADWISE_FAULT_* environment variables install a process-wide seeded
+  // fault injector (null when none is set). AtomicFileWriter-backed
+  // artifacts pick it up implicitly; the read streams get it passed in
+  // explicitly below.
+  FaultInjector* env_injector = install_fault_injector_from_env();
+
   std::vector<std::string> positional;
   std::uint32_t passes = 1;
   bool densify = false;
   bool out_of_core = false;
   bool sharded = false;
+  bool strict_checkpoints = false;
+  long long watchdog_ms = 0;
   std::string output_path;
   std::string checkpoint_path;
   std::string resume_path;
@@ -179,6 +252,11 @@ int main(int argc, char** argv) {
           std::numeric_limits<long long>::max()));
     } else if (arg == "--resume") {
       resume_path = need_value(i);
+    } else if (arg == "--strict-checkpoints") {
+      strict_checkpoints = true;
+    } else if (arg == "--watchdog-ms") {
+      watchdog_ms = parse_count("--watchdog-ms", need_value(i), 1,
+                                std::numeric_limits<int>::max());
     } else if (arg == "--spread") {
       spread = static_cast<std::uint32_t>(
           parse_count("--spread", need_value(i), 1,
@@ -224,6 +302,19 @@ int main(int argc, char** argv) {
   // (streams, pools, the async checkpoint writer). A null sink pointer —
   // the default when none of the three flags is given — keeps every
   // instrumentation site on its zero-cost branch.
+  // Stall watchdog over the background threads (prefetch worker, async
+  // checkpoint writer). Declared out here so it outlives the streams and
+  // the checkpoint writer, whose destructors detach their handles.
+  std::unique_ptr<Watchdog> watchdog;
+  if (watchdog_ms > 0) {
+    Watchdog::Options wopts;
+    wopts.stall_timeout = std::chrono::milliseconds(watchdog_ms);
+    wopts.poll_interval =
+        std::chrono::milliseconds(std::max<long long>(1, watchdog_ms / 4));
+    watchdog = std::make_unique<Watchdog>(wopts);
+    watchdog->start();
+  }
+
   obs::MetricsRegistry obs_registry;
   obs::TraceSession obs_trace;
   obs::ObsSink obs_sink;
@@ -306,7 +397,7 @@ int main(int argc, char** argv) {
     };
     const auto finalize_output = [&]() {
       if (sink_file == stdout) return;
-      make_durable(sink_file);
+      make_durable(sink_file, partial_path);
       std::fclose(sink_file);
       sink_file = stdout;
       if (std::rename(partial_path.c_str(), output_path.c_str()) != 0) {
@@ -442,6 +533,8 @@ int main(int argc, char** argv) {
     } else if (is_adw_file(path)) {
       BinaryEdgeStream::Options bopts;
       bopts.obs = obs_ptr;
+      bopts.fault_injector = env_injector;
+      bopts.watchdog = watchdog.get();
       auto binary = std::make_unique<BinaryEdgeStream>(path, bopts);
       num_vertices = checked_num_vertices(binary->header().max_vertex_id);
       num_edges = static_cast<std::size_t>(binary->header().num_edges);
@@ -452,7 +545,9 @@ int main(int argc, char** argv) {
       const auto stats = FileEdgeStream::scan(path);
       num_vertices = checked_num_vertices(stats.max_vertex_id);
       num_edges = stats.num_edges;
-      stream = std::make_unique<FileEdgeStream>(path, stats.num_edges);
+      FileEdgeStream::Options fopts;
+      fopts.fault_injector = env_injector;
+      stream = std::make_unique<FileEdgeStream>(path, stats.num_edges, fopts);
       std::fprintf(stderr, "streaming %s (text): %zu edges, max id %u\n",
                    path.c_str(), num_edges, num_vertices - 1);
     }
@@ -511,7 +606,14 @@ int main(int argc, char** argv) {
       // most the newest in-flight checkpoint, never the previous one.
       copts.async_io = true;
       copts.obs = obs_ptr;
-      copts.durable_sink_bytes = [&]() { return make_durable(sink_file); };
+      // Degraded by default: a failed durable checkpoint logs + counts and
+      // the run keeps its older recovery point. --strict-checkpoints makes
+      // it abort instead.
+      copts.strict = strict_checkpoints;
+      copts.watchdog = watchdog.get();
+      copts.durable_sink_bytes = [&]() {
+        return make_durable(sink_file, partial_path);
+      };
       // Crash-test kill switch: SIGKILL this process right after the N-th
       // checkpoint written by THIS run — no cleanup, no flushes, exactly
       // the failure the checkpoint format must survive.
@@ -555,6 +657,18 @@ int main(int argc, char** argv) {
                    result.pass_replication[pass]);
     }
     print_summary(result.final_state);
+  } catch (const DiskFullError& e) {
+    // Exit 5: out of space. Free space, then resume from the checkpoint.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 5;
+  } catch (const TransientIoError& e) {
+    // Exit 4: every retry budget exhausted on a transient condition.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 4;
+  } catch (const CorruptDataError& e) {
+    // Exit 3: the input itself is damaged — retrying cannot help.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,192 @@
+// Stall watchdog for long-lived worker threads.
+//
+// A partition-as-a-service process has two background threads whose death
+// is already survivable (the prefetch worker degrades to synchronous
+// reads, the checkpoint writer can be bypassed with in-band commits) but
+// whose *hang* — a write stuck on a broken NFS mount, an fsync wedged
+// behind a dying disk — previously blocked the partitioning thread
+// forever. The watchdog turns a hang into the same degradation path a
+// death takes: each watched thread owns a heartbeat Handle and beats it
+// whenever it makes progress; when an armed handle goes quiet past the
+// deadline, the watchdog fires that handle's on_stall callback exactly
+// once per stall episode (a later beat re-arms it).
+//
+// Design constraints, in order:
+//  - The beat is wait-free: one relaxed atomic store. Watched threads
+//    never block on watchdog state, so arming the watchdog costs nothing
+//    on the happy path (the checkpoint-tax bench guardrail runs armed).
+//  - Deterministic in tests: an injectable clock plus poll() lets a test
+//    advance a FakeClock and step detection manually; production passes
+//    Options{.poll_interval=...} and start() spawns a polling thread.
+//  - on_stall runs on the polling thread (or inside poll()) while the
+//    watchdog mutex is held, so detach() can guarantee the callback is
+//    not mid-flight afterwards. Callbacks must therefore be small, must
+//    not throw and must not call back into the watchdog.
+//
+// A stalled thread is NOT killed — there is no safe way to destroy a
+// thread stuck in a syscall. The callback's job is to flip the sticky
+// flags the degradation paths already understand ("stop waiting for the
+// writer", "stop scheduling prefetches") and bump watchdog.stalls.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "src/common/clock.h"
+
+namespace adwise {
+
+class Watchdog {
+ public:
+  struct Options {
+    // An armed handle with no beat for longer than this is stalled.
+    std::chrono::nanoseconds stall_timeout = std::chrono::seconds(10);
+    // Cadence of the background polling thread started by start().
+    std::chrono::nanoseconds poll_interval = std::chrono::seconds(1);
+    // Time source; null = the process steady clock. Tests pass FakeClock
+    // and call poll() themselves instead of start().
+    const Clock* clock = nullptr;
+  };
+
+  // Heartbeat handle owned by the Watchdog; watched threads keep a
+  // pointer. beat()/arm()/disarm() are safe from any thread.
+  class Handle {
+   public:
+    // Records liveness and ends any current stall episode.
+    void beat() noexcept {
+      last_beat_ns_.store(owner_->now_ns(), std::memory_order_relaxed);
+      stalled_.store(false, std::memory_order_relaxed);
+    }
+    // Only armed handles can stall: arm around in-flight work, disarm
+    // when idle so a quiet-but-healthy thread is never flagged.
+    void arm() noexcept {
+      beat();
+      armed_.store(true, std::memory_order_release);
+    }
+    void disarm() noexcept { armed_.store(false, std::memory_order_release); }
+    // Sticky per-episode flag, cleared by the next beat()/arm().
+    [[nodiscard]] bool stalled() const noexcept {
+      return stalled_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    // Clears the on_stall callback and blocks until any in-flight
+    // invocation finished — after this the callback's captures may die.
+    // Call from the watched object's destructor.
+    void detach() {
+      std::lock_guard<std::mutex> lock(owner_->mu_);
+      on_stall_ = nullptr;
+      armed_.store(false, std::memory_order_release);
+    }
+
+   private:
+    friend class Watchdog;
+    Handle(Watchdog* owner, std::string name,
+           std::function<void()> on_stall)
+        : owner_(owner), name_(std::move(name)),
+          on_stall_(std::move(on_stall)) {
+      last_beat_ns_.store(owner_->now_ns(), std::memory_order_relaxed);
+    }
+
+    Watchdog* owner_;
+    std::string name_;
+    std::function<void()> on_stall_;  // guarded by owner_->mu_
+    std::atomic<std::int64_t> last_beat_ns_{0};
+    std::atomic<bool> armed_{false};
+    std::atomic<bool> stalled_{false};
+  };
+
+  Watchdog() : Watchdog(Options()) {}
+  explicit Watchdog(Options options) : options_(options) {}
+
+  ~Watchdog() { stop(); }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Registers a heartbeat handle. The handle lives as long as the
+  // watchdog; on_stall fires at most once per stall episode. The watched
+  // object must detach() before its callback captures become invalid.
+  Handle& watch(std::string name, std::function<void()> on_stall) {
+    std::lock_guard<std::mutex> lock(mu_);
+    handles_.emplace_back(
+        new Handle(this, std::move(name), std::move(on_stall)));
+    return *handles_.back();
+  }
+
+  // One detection sweep: flags every armed handle whose last beat is
+  // older than the stall timeout and fires its callback. Tests drive this
+  // directly against a FakeClock; start() drives it periodically.
+  void poll() {
+    const std::int64_t now = now_ns();
+    const std::int64_t timeout = options_.stall_timeout.count();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& h : handles_) {
+      if (!h->armed_.load(std::memory_order_acquire)) continue;
+      if (h->stalled_.load(std::memory_order_relaxed)) continue;
+      if (now - h->last_beat_ns_.load(std::memory_order_relaxed) < timeout) {
+        continue;
+      }
+      h->stalled_.store(true, std::memory_order_relaxed);
+      if (h->on_stall_) h->on_stall_();
+    }
+  }
+
+  // Spawns the background polling thread (idempotent).
+  void start() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (thread_.joinable()) return;
+    stop_ = false;
+    thread_ = std::thread([this] { run(); });
+  }
+
+  // Stops and joins the polling thread (idempotent; called by ~Watchdog).
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!thread_.joinable()) return;
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  [[nodiscard]] std::int64_t now_ns() const {
+    return options_.clock != nullptr ? options_.clock->now().count()
+                                     : monotonic_now_ns();
+  }
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      // Real-time wait on purpose: a FakeClock user drives poll() by
+      // hand, so the polling thread only ever pairs with the real clock.
+      cv_.wait_for(lock, options_.poll_interval, [this] { return stop_; });
+      if (stop_) return;
+      lock.unlock();
+      poll();
+      lock.lock();
+    }
+  }
+
+  Options options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // deque of pointers: handles never move, so watched threads can hold
+  // Handle* across watch() calls by other threads.
+  std::deque<std::unique_ptr<Handle>> handles_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace adwise

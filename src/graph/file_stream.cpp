@@ -1,9 +1,17 @@
 #include "src/graph/file_stream.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <charconv>
+#include <cstring>
+#include <fstream>
 #include <limits>
 #include <stdexcept>
+
+#include "src/io/io_error.h"
 
 namespace adwise {
 
@@ -34,6 +42,22 @@ void check_vertex_range(std::uint64_t u, std::uint64_t v,
   }
 }
 
+// Same transient set as BinaryEdgeStream: the bytes on disk are
+// (presumably) fine, the syscall just failed this instant.
+bool is_transient_errno(int err) {
+  return err == EINTR || err == EAGAIN || err == EIO || err == EMFILE ||
+         err == ENFILE;
+}
+
+void backoff(const RetryPolicy& retry, int attempt) {
+  const unsigned delay = retry.delay_for_attempt(attempt);
+  if (retry.sleeper) {
+    retry.sleeper(delay);
+  } else {
+    ::usleep(delay);
+  }
+}
+
 }  // namespace
 
 FileEdgeStream::Stats FileEdgeStream::scan(const std::string& path) {
@@ -53,16 +77,137 @@ FileEdgeStream::Stats FileEdgeStream::scan(const std::string& path) {
   return stats;
 }
 
-FileEdgeStream::FileEdgeStream(const std::string& path, std::size_t num_edges)
-    : in_(path), num_edges_(num_edges), remaining_(num_edges) {
-  if (!in_) throw std::runtime_error("cannot open graph file: " + path);
+FileEdgeStream::FileEdgeStream(const std::string& path, std::size_t num_edges,
+                               Options options)
+    : path_(path),
+      options_(std::move(options)),
+      num_edges_(num_edges),
+      remaining_(num_edges) {
+  options_.buffer_bytes = std::max<std::size_t>(1, options_.buffer_bytes);
+  open_with_retry(path);
+  buf_.resize(options_.buffer_bytes);
+}
+
+FileEdgeStream::~FileEdgeStream() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileEdgeStream::open_with_retry(const std::string& path) {
+  int attempts = 0;
+  while (true) {
+    int err;
+    if (options_.fault_injector != nullptr &&
+        options_.fault_injector->fail_open()) {
+      fd_ = -1;
+      err = EIO;
+    } else {
+      fd_ = ::open(path.c_str(), O_RDONLY);
+      err = errno;
+    }
+    if (fd_ >= 0) return;
+    if (!is_transient_errno(err)) {
+      throw std::runtime_error("cannot open graph file: " + path + ": " +
+                               std::strerror(err));
+    }
+    if (++attempts >= options_.retry.max_attempts) {
+      throw TransientIoError("cannot open graph file " + path + " after " +
+                             std::to_string(attempts) +
+                             " attempts: " + std::strerror(err));
+    }
+    ++io_retries_;
+    backoff(options_.retry, attempts);
+  }
+}
+
+bool FileEdgeStream::refill() {
+  if (eof_) return false;
+  int attempts = 0;
+  for (;;) {
+    std::size_t ask = buf_.size();
+    int injected_errno = 0;
+    if (options_.fault_injector != nullptr) {
+      switch (options_.fault_injector->pread_fault(file_offset_)) {
+        case FaultInjector::PreadFault::kNone:
+          break;
+        case FaultInjector::PreadFault::kShortRead:
+          ask = std::max<std::size_t>(1, ask / 2);
+          break;
+        case FaultInjector::PreadFault::kEintr:
+          injected_errno = EINTR;
+          break;
+        case FaultInjector::PreadFault::kEagain:
+          injected_errno = EAGAIN;
+          break;
+      }
+    }
+    ssize_t r;
+    if (injected_errno != 0) {
+      r = -1;
+      errno = injected_errno;
+    } else {
+      r = ::pread(fd_, buf_.data(), ask, static_cast<off_t>(file_offset_));
+    }
+    if (r < 0) {
+      const int err = errno;
+      if (err == EINTR) {
+        // Interrupted before any bytes moved: retry immediately, no
+        // budget spent — normal signal behavior, not a failure.
+        ++io_retries_;
+        continue;
+      }
+      if (!is_transient_errno(err)) {
+        throw std::runtime_error(
+            "read failed on graph file " + path_ + " at byte offset " +
+            std::to_string(file_offset_) + ": " + std::strerror(err));
+      }
+      if (++attempts >= options_.retry.max_attempts) {
+        throw TransientIoError(
+            "read failed on graph file " + path_ + " at byte offset " +
+            std::to_string(file_offset_) + " after " +
+            std::to_string(attempts) + " attempts: " + std::strerror(err));
+      }
+      ++io_retries_;
+      backoff(options_.retry, attempts);
+      continue;
+    }
+    if (r == 0) {
+      eof_ = true;
+      return false;
+    }
+    file_offset_ += static_cast<std::uint64_t>(r);
+    buf_len_ = static_cast<std::size_t>(r);
+    buf_pos_ = 0;
+    return true;
+  }
+}
+
+bool FileEdgeStream::read_line() {
+  line_.clear();
+  for (;;) {
+    if (buf_pos_ == buf_len_) {
+      if (!refill()) {
+        // End of file: deliver a final unterminated line, if any.
+        return !line_.empty();
+      }
+    }
+    const char* start = buf_.data() + buf_pos_;
+    const auto* nl = static_cast<const char*>(
+        std::memchr(start, '\n', buf_len_ - buf_pos_));
+    if (nl != nullptr) {
+      line_.append(start, static_cast<std::size_t>(nl - start));
+      buf_pos_ = static_cast<std::size_t>(nl - buf_.data()) + 1;
+      return true;
+    }
+    line_.append(start, buf_len_ - buf_pos_);
+    buf_pos_ = buf_len_;
+  }
 }
 
 bool FileEdgeStream::next(Edge& out) {
   if (remaining_ == 0) return false;
   std::uint64_t u = 0;
   std::uint64_t v = 0;
-  while (std::getline(in_, line_)) {
+  while (read_line()) {
     if (!parse_edge_line(line_, &u, &v)) continue;
     if (u == v) continue;
     check_vertex_range(u, v, line_);
@@ -75,9 +220,11 @@ bool FileEdgeStream::next(Edge& out) {
 }
 
 void FileEdgeStream::rewind() {
-  in_.clear();
-  in_.seekg(0, std::ios::beg);
-  if (!in_) throw std::runtime_error("cannot rewind graph file");
+  // pread-based: no seek state to restore, just restart the cursor.
+  file_offset_ = 0;
+  buf_pos_ = 0;
+  buf_len_ = 0;
+  eof_ = false;
   remaining_ = num_edges_;
 }
 

@@ -8,21 +8,41 @@
 // pre-pass and also reports the maximum vertex id so callers can size the
 // vertex cache.
 //
+// The streaming reader is fd + pread based with an internal chunk buffer
+// and line assembly across chunk boundaries, and shares the binary
+// stream's transient-failure policy: injected or real EINTR is retried
+// for free, EAGAIN/EIO with bounded exponential backoff (Options::retry),
+// short reads simply deliver fewer bytes; budget exhaustion throws
+// TransientIoError. Faults are driven deterministically through the
+// Options::fault_injector hook (src/io/fault_injection.h), giving the
+// text path the same fault-injection parity as BinaryEdgeStream.
+//
 // Vertex ids are used as-is (no densification): the dense arrays inside
 // PartitionState assume ids are not wildly sparse. For sparse-id files load
 // through read_edge_list_file() instead, which densifies.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <fstream>
 #include <string>
+#include <vector>
 
 #include "src/graph/edge_stream.h"
+#include "src/io/fault_injection.h"
 
 namespace adwise {
 
 class FileEdgeStream final : public RewindableEdgeStream {
  public:
+  struct Options {
+    // Bytes per pread chunk; lines are assembled across chunk boundaries.
+    std::size_t buffer_bytes = std::size_t{64} * 1024;
+    // Failpoint hook for tests; must outlive the stream. Null = no faults.
+    FaultInjector* fault_injector = nullptr;
+    // Retry budget for transient open/pread failures.
+    RetryPolicy retry;
+  };
+
   struct Stats {
     std::size_t num_edges = 0;        // parseable, non-self-loop edges
     std::uint64_t max_vertex_id = 0;  // 0 if the file has no edges
@@ -36,20 +56,48 @@ class FileEdgeStream final : public RewindableEdgeStream {
 
   // Opens the file for streaming. num_edges must come from scan() (it is
   // returned by size_hint() and decremented as edges are consumed). Throws
-  // std::runtime_error if the file cannot be opened.
-  FileEdgeStream(const std::string& path, std::size_t num_edges);
+  // std::runtime_error if the file cannot be opened (TransientIoError once
+  // the retry budget for a transient open failure runs out).
+  FileEdgeStream(const std::string& path, std::size_t num_edges)
+      : FileEdgeStream(path, num_edges, Options()) {}
+  FileEdgeStream(const std::string& path, std::size_t num_edges,
+                 Options options);
+  ~FileEdgeStream() override;
+
+  FileEdgeStream(const FileEdgeStream&) = delete;
+  FileEdgeStream& operator=(const FileEdgeStream&) = delete;
 
   bool next(Edge& out) override;
   [[nodiscard]] std::size_t size_hint() const override { return remaining_; }
 
-  // Reopens at the top of the file; the stream replays the same num_edges.
+  // Restarts at the top of the file; the stream replays the same num_edges.
   void rewind() override;
 
+  // Transient-failure retries performed so far (open + pread).
+  [[nodiscard]] std::uint64_t io_retries() const { return io_retries_; }
+
  private:
-  std::ifstream in_;
+  void open_with_retry(const std::string& path);
+  // Loads the next chunk at file_offset_; false at end of file.
+  bool refill();
+  // Assembles the next '\n'-terminated line (newline stripped, carriage
+  // returns kept — the parser tolerates them) into line_; false once the
+  // file is exhausted. A final line without a trailing newline is
+  // delivered, matching std::getline.
+  bool read_line();
+
+  std::string path_;
+  Options options_;
+  int fd_ = -1;
+  std::vector<char> buf_;
+  std::size_t buf_pos_ = 0;
+  std::size_t buf_len_ = 0;
+  std::uint64_t file_offset_ = 0;  // next unread byte of the file
+  bool eof_ = false;
   std::string line_;
   std::size_t num_edges_;
   std::size_t remaining_;
+  std::uint64_t io_retries_ = 0;
 };
 
 }  // namespace adwise

@@ -228,7 +228,7 @@ bool is_adw_file(const std::string& path) {
 }
 
 AdwWriter::AdwWriter(const std::string& path, const Options& options)
-    : out_(path), options_(options), block_state_(crc32_init()) {
+    : out_(path, options.io), options_(options), block_state_(crc32_init()) {
   if (options_.with_crc && (options_.crc_block_bytes == 0 ||
                             options_.crc_block_bytes % kAdwRecordBytes != 0 ||
                             options_.crc_block_bytes > (1u << 30))) {

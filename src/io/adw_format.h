@@ -150,6 +150,9 @@ class AdwWriter {
   struct Options {
     bool with_crc = false;  // write a version-2 CRC trailer
     std::uint32_t crc_block_bytes = kAdwDefaultCrcBlockBytes;
+    // Failpoints + retry policy for the underlying AtomicFileWriter (the
+    // default consults the process-global injector).
+    AtomicFileWriter::Options io;
   };
 
   // Starts writing to `<path>.tmp`; throws std::runtime_error on failure.

@@ -7,12 +7,34 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/io/io_error.h"
+
 namespace adwise {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+[[noreturn]] void fail(const std::string& what, const std::string& path,
+                       int err) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(err));
+}
+
+bool is_disk_full(int err) {
+  return err == ENOSPC || err == EDQUOT;
+}
+
+// Transient write errno values worth a bounded backoff retry. EINTR is
+// handled separately (free immediate retry); ENOSPC is terminal.
+bool is_transient_write_errno(int err) {
+  return err == EAGAIN || err == EIO || err == ENOBUFS;
+}
+
+void backoff(const RetryPolicy& retry, int attempt) {
+  const unsigned d = retry.delay_for_attempt(attempt);
+  if (retry.sleeper) {
+    retry.sleeper(d);
+  } else {
+    ::usleep(d);
+  }
 }
 
 // fsync the directory containing `path` so the rename itself is durable.
@@ -30,55 +52,218 @@ void fsync_parent_dir(const std::string& path) {
 
 }  // namespace
 
-AtomicFileWriter::AtomicFileWriter(std::string path)
-    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+AtomicFileWriter::AtomicFileWriter(std::string path, Options options)
+    : path_(std::move(path)),
+      tmp_path_(path_ + options.tmp_suffix),
+      options_(std::move(options)) {
   fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd_ < 0) fail("cannot create temp file", tmp_path_);
+  if (fd_ < 0) fail("cannot create temp file", tmp_path_, errno);
 }
 
 AtomicFileWriter::~AtomicFileWriter() {
   if (!committed_) abandon();
 }
 
-void AtomicFileWriter::append(const void* data, std::size_t len) {
+void AtomicFileWriter::write_loop(const void* data, std::size_t len,
+                                  std::uint64_t offset, bool use_pwrite) {
   const auto* p = static_cast<const char*>(data);
+  FaultInjector* const inj = injector();
+  const auto op = use_pwrite ? FaultInjector::WriteOp::kPwrite
+                             : FaultInjector::WriteOp::kWrite;
   std::size_t done = 0;
+  int attempt = 1;
   while (done < len) {
-    const ssize_t r = ::write(fd_, p + done, len - done);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      fail("write failed on temp file", tmp_path_);
+    std::size_t ask = len - done;
+    int injected = 0;
+    if (inj != nullptr) {
+      switch (inj->write_fault(op, offset + done)) {
+        case FaultInjector::WriteFault::kNone:
+          break;
+        case FaultInjector::WriteFault::kShortWrite:
+          // A short write is a real write of a prefix: the kernel accepts
+          // fewer bytes and the loop must come back for the rest.
+          if (ask > 1) ask /= 2;
+          break;
+        case FaultInjector::WriteFault::kEintr:
+          injected = EINTR;
+          break;
+        case FaultInjector::WriteFault::kEio:
+          injected = EIO;
+          break;
+        case FaultInjector::WriteFault::kEnospc:
+          injected = ENOSPC;
+          break;
+      }
     }
+    ssize_t r;
+    if (injected != 0) {
+      r = -1;
+      errno = injected;
+    } else if (use_pwrite) {
+      r = ::pwrite(fd_, p + done, ask, static_cast<off_t>(offset + done));
+    } else {
+      r = ::write(fd_, p + done, ask);
+    }
+    if (r < 0) {
+      const int err = errno;
+      if (err == EINTR) {
+        ++io_retries_;
+        continue;
+      }
+      if (is_disk_full(err)) {
+        throw DiskFullError(path_, appended_ + (use_pwrite ? 0 : done),
+                            std::string(std::strerror(err)) + " (temp file " +
+                                tmp_path_ + ")");
+      }
+      if (is_transient_write_errno(err)) {
+        if (attempt < options_.retry.max_attempts) {
+          backoff(options_.retry, attempt);
+          ++attempt;
+          ++io_retries_;
+          continue;
+        }
+        throw TransientIoError(
+            "write failed on temp file " + tmp_path_ + " after " +
+            std::to_string(attempt) + " attempts (" +
+            std::to_string(appended_ + (use_pwrite ? 0 : done)) +
+            " bytes written): " + std::strerror(err));
+      }
+      fail("write failed on temp file", tmp_path_, err);
+    }
+    if (r > 0) attempt = 1;  // progress resets the retry budget
     done += static_cast<std::size_t>(r);
   }
+}
+
+void AtomicFileWriter::append(const void* data, std::size_t len) {
+  write_loop(data, len, appended_, /*use_pwrite=*/false);
   appended_ += len;
 }
 
 void AtomicFileWriter::write_at(std::uint64_t offset, const void* data,
                                 std::size_t len) {
-  const auto* p = static_cast<const char*>(data);
-  std::size_t done = 0;
-  while (done < len) {
-    const ssize_t r = ::pwrite(fd_, p + done, len - done,
-                               static_cast<off_t>(offset + done));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      fail("pwrite failed on temp file", tmp_path_);
-    }
-    done += static_cast<std::size_t>(r);
-  }
+  write_loop(data, len, offset, /*use_pwrite=*/true);
 }
 
 void AtomicFileWriter::commit() {
   if (committed_) return;
-  if (::fsync(fd_) != 0) fail("fsync failed on temp file", tmp_path_);
-  if (::close(fd_) != 0) {
-    fd_ = -1;
-    fail("close failed on temp file", tmp_path_);
+  try {
+    commit_impl();
+  } catch (...) {
+    // The commit guarantee: on any failure the temp file is gone and the
+    // pre-existing destination (if any) is exactly as it was.
+    abandon();
+    throw;
+  }
+}
+
+void AtomicFileWriter::commit_impl() {
+  FaultInjector* const inj = injector();
+  // Durability syscalls have no file offset; bytes appended keys their
+  // failpoint so different artifacts get decorrelated schedules.
+  const std::uint64_t key = appended_;
+  const auto consult = [&](FaultInjector::WriteOp op) -> int {
+    if (inj == nullptr) return 0;
+    switch (inj->write_fault(op, key)) {
+      case FaultInjector::WriteFault::kEintr:
+        return EINTR;
+      case FaultInjector::WriteFault::kEio:
+        return EIO;
+      case FaultInjector::WriteFault::kEnospc:
+        return ENOSPC;
+      default:
+        return 0;
+    }
+  };
+
+  // fsync: EINTR is retried; EIO is NOT retried in place — a failed fsync
+  // may already have discarded dirty pages, so "retry until it works"
+  // would report durability that never happened. It IS typed transient:
+  // the commit contract (tmp unlinked, destination untouched) makes a
+  // phase-level retry with a fresh writer safe.
+  for (;;) {
+    const int injected = consult(FaultInjector::WriteOp::kFsync);
+    const int r = injected != 0 ? -1 : ::fsync(fd_);
+    const int err = injected != 0 ? injected : errno;
+    if (r == 0) break;
+    if (err == EINTR) {
+      ++io_retries_;
+      continue;
+    }
+    if (is_disk_full(err)) {
+      throw DiskFullError(path_, appended_,
+                          std::string("fsync: ") + std::strerror(err));
+    }
+    if (is_transient_write_errno(err)) {
+      throw TransientIoError("fsync failed on temp file " + tmp_path_ +
+                             ": " + std::strerror(err));
+    }
+    fail("fsync failed on temp file", tmp_path_, err);
+  }
+
+  for (;;) {
+    const int injected = consult(FaultInjector::WriteOp::kClose);
+    int r;
+    int err;
+    if (injected != 0) {
+      r = -1;
+      err = injected;
+    } else {
+      r = ::close(fd_);
+      err = errno;
+      // After a real close() the fd is gone even on error (Linux); only
+      // an injected EINTR may loop back to the real close.
+      fd_ = -1;
+    }
+    if (r == 0) break;
+    if (injected == EINTR) {
+      ++io_retries_;
+      continue;
+    }
+    if (is_disk_full(err)) {
+      throw DiskFullError(path_, appended_,
+                          std::string("close: ") + std::strerror(err));
+    }
+    if (is_transient_write_errno(err)) {
+      // The fd is gone even on a failed close (Linux), so there is nothing
+      // to retry in place — but as with fsync, re-running the whole write
+      // is safe, so the failure is typed transient.
+      throw TransientIoError("close failed on temp file " + tmp_path_ +
+                             ": " + std::strerror(err));
+    }
+    fail("close failed on temp file", tmp_path_, err);
   }
   fd_ = -1;
-  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
-    fail("rename failed for", path_);
+
+  // rename: unlike fsync, nothing about a failed rename invalidates the
+  // (already durable) temp file, so transient errors get the same bounded
+  // backoff retry as writes before surfacing as TransientIoError.
+  for (int attempt = 1;;) {
+    const int injected = consult(FaultInjector::WriteOp::kRename);
+    const int r =
+        injected != 0 ? -1 : ::rename(tmp_path_.c_str(), path_.c_str());
+    const int err = injected != 0 ? injected : errno;
+    if (r == 0) break;
+    if (err == EINTR) {
+      ++io_retries_;
+      continue;
+    }
+    if (is_disk_full(err)) {
+      throw DiskFullError(path_, appended_,
+                          std::string("rename: ") + std::strerror(err));
+    }
+    if (is_transient_write_errno(err)) {
+      if (attempt < options_.retry.max_attempts) {
+        backoff(options_.retry, attempt);
+        ++attempt;
+        ++io_retries_;
+        continue;
+      }
+      throw TransientIoError("rename failed for " + path_ + " after " +
+                             std::to_string(attempt) +
+                             " attempts: " + std::strerror(err));
+    }
+    fail("rename failed for", path_, err);
   }
   committed_ = true;
   fsync_parent_dir(path_);

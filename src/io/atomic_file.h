@@ -1,27 +1,60 @@
-// Atomic, durable file writes: data goes to `<path>.tmp`, and commit()
-// fsyncs the data, renames over the destination and fsyncs the parent
-// directory. A reader can therefore never observe a torn file — it sees
-// either the previous contents (or no file) or the complete new one. Every
-// on-disk artifact a crash could corrupt mid-write (.adw chunks, .adws
-// manifests, .adwk checkpoints, partition output) goes through this class.
+// Atomic, durable file writes: data goes to `<path><tmp_suffix>`, and
+// commit() fsyncs the data, renames over the destination and fsyncs the
+// parent directory. A reader can therefore never observe a torn file — it
+// sees either the previous contents (or no file) or the complete new one.
+// Every on-disk artifact a crash could corrupt mid-write (.adw chunks,
+// .adws manifests, .adwk checkpoints, partition output) goes through this
+// class.
+//
+// Failure semantics (the write-path mirror of BinaryEdgeStream's read
+// policy):
+//  - EINTR is retried immediately and does not consume retry budget.
+//  - Transient write errors (EAGAIN, EIO) are retried with the shared
+//    RetryPolicy's bounded exponential backoff; progress resets the
+//    budget; exhaustion throws TransientIoError.
+//  - ENOSPC/EDQUOT throw DiskFullError (path + bytes written) at once —
+//    backoff cannot create free space.
+//  - Any commit() failure (fsync/close/rename) unlinks the temp file
+//    before rethrowing, so the destination is never torn and no orphan
+//    temp survives; fsync/rename errors are not retried (a failed fsync
+//    may already have dropped dirty pages — the fsyncgate lesson).
 //
 // If the writer is destroyed without commit() — an exception unwound
 // through it, or the caller abandoned the write — the temp file is
 // unlinked and the destination is left untouched.
+//
+// Faults are injected via an explicit per-writer FaultInjector or, when
+// none is given, the process-global injector (see fault_injection.h),
+// which is how chaos subprocess runs reach every writer in the binary.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
 
+#include "src/io/fault_injection.h"
+
 namespace adwise {
 
 class AtomicFileWriter {
  public:
-  // Opens `<path>.tmp` for writing (truncating any stale temp file left by
-  // a previous crash). Throws std::runtime_error with path and errno detail
-  // on failure.
-  explicit AtomicFileWriter(std::string path);
+  struct Options {
+    // Temp-file suffix. Distinct suffixes let two writers target the same
+    // destination without clobbering each other's temp file — used by
+    // in-band degraded checkpoint commits racing a stalled writer thread.
+    std::string tmp_suffix = ".tmp";
+    // Failpoints; null falls back to process_fault_injector().
+    FaultInjector* fault_injector = nullptr;
+    // Backoff schedule for transient (EAGAIN/EIO) write errors.
+    RetryPolicy retry;
+  };
+
+  // Opens `<path><tmp_suffix>` for writing (truncating any stale temp file
+  // left by a previous crash). Throws std::runtime_error with path and
+  // errno detail on failure.
+  explicit AtomicFileWriter(std::string path) : AtomicFileWriter(
+      std::move(path), Options{}) {}
+  AtomicFileWriter(std::string path, Options options);
 
   AtomicFileWriter(const AtomicFileWriter&) = delete;
   AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
@@ -39,8 +72,13 @@ class AtomicFileWriter {
   // Total bytes appended so far (write_at does not move this).
   [[nodiscard]] std::uint64_t bytes_appended() const { return appended_; }
 
+  // Transient write errors absorbed by retry so far (EINTR + backoff).
+  [[nodiscard]] std::uint64_t io_retries() const { return io_retries_; }
+
   // fsync + close + rename(tmp, path) + fsync(parent dir). After this the
-  // file is durably in place under its final name.
+  // file is durably in place under its final name. On failure the temp
+  // file is unlinked before the error propagates: the pre-existing
+  // destination (if any) is untouched and nothing torn is left behind.
   void commit();
 
   // Close and unlink the temp file, leaving the destination untouched.
@@ -49,10 +87,20 @@ class AtomicFileWriter {
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
+  [[nodiscard]] FaultInjector* injector() const noexcept {
+    return options_.fault_injector != nullptr ? options_.fault_injector
+                                              : process_fault_injector();
+  }
+  void write_loop(const void* data, std::size_t len, std::uint64_t offset,
+                  bool use_pwrite);
+  void commit_impl();
+
   std::string path_;
   std::string tmp_path_;
+  Options options_;
   int fd_ = -1;
   std::uint64_t appended_ = 0;
+  std::uint64_t io_retries_ = 0;
   bool committed_ = false;
 };
 

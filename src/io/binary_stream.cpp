@@ -61,9 +61,19 @@ BinaryEdgeStream::BinaryEdgeStream(const std::string& path, Options options)
       m_io_retries_ = &reg->counter(obs::names::kStreamIoRetries);
       m_prefetch_degraded_ =
           &reg->counter(obs::names::kStreamPrefetchDegraded);
+      m_watchdog_stalls_ = &reg->counter(obs::names::kWatchdogStalls);
     }
     trace_ = obs::trace_of(options_.obs);
     if (options_.prefetch) pool_ = std::make_unique<ThreadPool>(1);
+    if (options_.prefetch && options_.watchdog != nullptr) {
+      wd_ = &options_.watchdog->watch("io-prefetch", [this] {
+        // Watchdog thread: remember the verdict; the consumer acts on it
+        // at the next buffer handoff (there is no safe way to interrupt a
+        // thread wedged inside a syscall).
+        wd_stall_flagged_.store(true, std::memory_order_release);
+        if (m_watchdog_stalls_ != nullptr) m_watchdog_stalls_->add();
+      });
+    }
     prime();
   } catch (...) {
     pool_.reset();
@@ -73,6 +83,7 @@ BinaryEdgeStream::BinaryEdgeStream(const std::string& path, Options options)
 }
 
 BinaryEdgeStream::~BinaryEdgeStream() {
+  if (wd_ != nullptr) wd_->detach();
   if (pool_ != nullptr && fetch_pending_) {
     try {
       pool_->wait_idle();
@@ -196,6 +207,7 @@ void BinaryEdgeStream::fill(Buffer& buf, std::uint64_t offset) const {
     }
     got += static_cast<std::size_t>(r);
     attempts = 0;  // progress resets the budget
+    if (wd_ != nullptr) wd_->beat();  // per-pread progress heartbeat
     if (m_preads_ != nullptr) m_preads_->add();
   }
   if (m_pread_ns_ != nullptr) {
@@ -288,6 +300,7 @@ void BinaryEdgeStream::schedule_fetch() {
       std::min<std::uint64_t>(target.bytes.size(), file_bytes_ - offset);
   pending_offset_ = offset;
   fetch_pending_ = true;
+  if (wd_ != nullptr) wd_->arm();  // stall detection covers this fetch
   pool_->submit([this, &target, offset] {
     if (trace_ != nullptr) trace_->name_current_thread("io-prefetch");
     if (options_.fault_injector != nullptr &&
@@ -311,7 +324,20 @@ void BinaryEdgeStream::finish_pending_fetch() {
           static_cast<std::uint64_t>(monotonic_now_ns() - wait_start_ns));
       m_prefetch_waits_->add();
     }
+    if (wd_ != nullptr) wd_->disarm();
+    if (wd_stall_flagged_.load(std::memory_order_acquire) && pool_ != nullptr) {
+      // The fetch completed, but only after the watchdog flagged it as
+      // stalled. The chunk it produced is valid — take it — but degrade
+      // to synchronous reads from here on: a worker that wedged once may
+      // wedge forever next time, and a hang on the consumer thread is at
+      // least visible to callers.
+      if (m_prefetch_degraded_ != nullptr) m_prefetch_degraded_->add();
+      pool_.reset();
+      options_.prefetch = false;
+      degraded_ = true;
+    }
   } catch (const PrefetchWorkerDeath&) {
+    if (wd_ != nullptr) wd_->disarm();
     if (m_prefetch_degraded_ != nullptr) m_prefetch_degraded_->add();
     // The worker died before reading its chunk. Degrade: drop the pool,
     // refill the in-flight chunk on this thread, and run the rest of the

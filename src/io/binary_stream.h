@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/watchdog.h"
 #include "src/graph/edge_stream.h"
 #include "src/io/adw_format.h"
 #include "src/io/fault_injection.h"
@@ -76,6 +77,14 @@ class BinaryEdgeStream final : public RewindableEdgeStream {
     // updates are relaxed atomic adds (never per-edge — the next() fast
     // path is untouched). Null = zero instrumentation.
     obs::ObsSink* obs = nullptr;
+    // Optional stall watchdog; must outlive the stream. With prefetch on,
+    // the stream registers an "io-prefetch" heartbeat armed around each
+    // in-flight fetch and beaten per pread. A fetch stalled past the
+    // deadline bumps watchdog.stalls; once it eventually completes, the
+    // stream degrades to synchronous reads for the rest of its lifetime
+    // (same sticky path a worker death takes) — a thread that wedged once
+    // is never trusted with the next chunk.
+    Watchdog* watchdog = nullptr;
   };
 
   // Opens and validates path (magic/version/size/CRC table — see
@@ -175,6 +184,10 @@ class BinaryEdgeStream final : public RewindableEdgeStream {
   // single-writer discipline (and reason for atomic) as io_retries_.
   mutable std::atomic<std::uint64_t> observed_max_id_{0};
   std::unique_ptr<ThreadPool> pool_;  // one worker; null when !prefetch
+  // Watchdog heartbeat for the prefetch worker (null when unwatched) and
+  // the sticky stall verdict its on_stall callback sets.
+  Watchdog::Handle* wd_ = nullptr;
+  std::atomic<bool> wd_stall_flagged_{false};
 
   // Observability handles, resolved once in the constructor (all null when
   // Options::obs carries no registry/trace). The registry owns the
@@ -188,6 +201,7 @@ class BinaryEdgeStream final : public RewindableEdgeStream {
   obs::Histogram* m_chunk_consume_ns_ = nullptr;  // between chunk handoffs
   obs::Counter* m_io_retries_ = nullptr;
   obs::Counter* m_prefetch_degraded_ = nullptr;
+  obs::Counter* m_watchdog_stalls_ = nullptr;
   obs::TraceSession* trace_ = nullptr;
   // Consumer-thread only: timestamp of the previous chunk handoff.
   std::int64_t last_handoff_ns_ = 0;

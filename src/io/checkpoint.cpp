@@ -60,8 +60,9 @@ void append_section(AtomicFileWriter& out, std::uint32_t id,
 
 }  // namespace
 
-void write_checkpoint_file(const std::string& path, const Checkpoint& ckpt) {
-  AtomicFileWriter out(path);
+void write_checkpoint_file(const std::string& path, const Checkpoint& ckpt,
+                           const AtomicFileWriter::Options& io) {
+  AtomicFileWriter out(path, io);
   std::byte header[kCheckpointHeaderBytes];
   for (std::size_t i = 0; i < kCheckpointMagic.size(); ++i) {
     header[i] = static_cast<std::byte>(kCheckpointMagic[i]);

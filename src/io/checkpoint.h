@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/io/atomic_file.h"
 
 namespace adwise {
 
@@ -68,8 +69,12 @@ struct Checkpoint {
 };
 
 // Atomically writes the checkpoint to path. Throws std::runtime_error on
-// I/O failure.
-void write_checkpoint_file(const std::string& path, const Checkpoint& ckpt);
+// I/O failure (DiskFullError / TransientIoError for the typed classes).
+// `io` carries failpoints, retry policy and the temp-file suffix — the
+// in-band degraded commit path uses a distinct suffix so it can never
+// collide with a stalled writer thread's temp file.
+void write_checkpoint_file(const std::string& path, const Checkpoint& ckpt,
+                           const AtomicFileWriter::Options& io = {});
 
 // Reads and fully validates a checkpoint: magic, version, header CRC,
 // exact section structure, per-section CRCs, no trailing bytes. Throws

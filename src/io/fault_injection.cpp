@@ -1,5 +1,8 @@
 #include "src/io/fault_injection.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <memory>
 #include <string>
 
 namespace adwise {
@@ -29,8 +32,68 @@ constexpr std::uint64_t kSaltShortRead = 0x5348u;  // arbitrary distinct salts
 constexpr std::uint64_t kSaltEintr = 0x4549u;
 constexpr std::uint64_t kSaltEagain = 0x4541u;
 constexpr std::uint64_t kSaltBitflip = 0x4246u;
+constexpr std::uint64_t kSaltShortWrite = 0x5357u;
+constexpr std::uint64_t kSaltWriteEintr = 0x5745u;
+constexpr std::uint64_t kSaltWriteEio = 0x5749u;
+constexpr std::uint64_t kSaltEnospc = 0x454eu;
+
+// Each WriteOp gets its own fired_ keyspace so e.g. the first fsync and a
+// pwrite at offset 0 cannot shadow each other's once-only slots.
+std::uint64_t write_op_salt(FaultInjector::WriteOp op) {
+  return 0x574f0000u + static_cast<std::uint64_t>(op);
+}
+
+std::atomic<FaultInjector*> g_process_injector{nullptr};
+
+double env_probability(const char* name, bool* any) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0.0;
+  *any = true;
+  return std::strtod(v, nullptr);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback, bool* any) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  *any = true;
+  return std::strtoll(v, nullptr, 10);
+}
 
 }  // namespace
+
+FaultInjector* process_fault_injector() noexcept {
+  return g_process_injector.load(std::memory_order_acquire);
+}
+
+void install_process_fault_injector(FaultInjector* injector) noexcept {
+  g_process_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* install_fault_injector_from_env() {
+  bool any = false;
+  SeededFaultInjector::Options o;
+  o.seed = static_cast<std::uint64_t>(env_int("ADWISE_FAULT_SEED", 1, &any));
+  o.short_read_probability = env_probability("ADWISE_FAULT_READ_SHORT_P", &any);
+  o.eintr_probability = env_probability("ADWISE_FAULT_READ_EINTR_P", &any);
+  o.eagain_probability = env_probability("ADWISE_FAULT_READ_EAGAIN_P", &any);
+  o.bitflip_probability = env_probability("ADWISE_FAULT_BITFLIP_P", &any);
+  o.fail_opens =
+      static_cast<int>(env_int("ADWISE_FAULT_FAIL_OPENS", 0, &any));
+  o.kill_worker_after = env_int("ADWISE_FAULT_KILL_WORKER_AFTER", -1, &any);
+  o.short_write_probability =
+      env_probability("ADWISE_FAULT_WRITE_SHORT_P", &any);
+  o.write_eintr_probability =
+      env_probability("ADWISE_FAULT_WRITE_EINTR_P", &any);
+  o.write_eio_probability = env_probability("ADWISE_FAULT_WRITE_EIO_P", &any);
+  o.enospc_probability = env_probability("ADWISE_FAULT_ENOSPC_P", &any);
+  if (!any) return nullptr;
+  // Leaked on purpose: the injector must outlive every stream and writer
+  // in the process, including those torn down during static destruction.
+  static std::unique_ptr<SeededFaultInjector> owner;
+  owner = std::make_unique<SeededFaultInjector>(o);
+  install_process_fault_injector(owner.get());
+  return owner.get();
+}
 
 bool SeededFaultInjector::decide(std::uint64_t salt, std::uint64_t offset,
                                  double probability) {
@@ -98,6 +161,33 @@ bool SeededFaultInjector::kill_prefetch_worker(std::uint64_t offset) {
     return true;
   }
   return false;
+}
+
+FaultInjector::WriteFault SeededFaultInjector::write_fault(
+    WriteOp op, std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The key is hashed together with a per-op salt so each (op, key) pair
+  // has its own once-only slot and its own schedule.
+  const std::uint64_t opkey = mix64(write_op_salt(op)) ^ key;
+  if (op == WriteOp::kWrite || op == WriteOp::kPwrite) {
+    if (decide(kSaltWriteEintr, opkey, options_.write_eintr_probability)) {
+      ++counters_.write_eintrs;
+      return WriteFault::kEintr;
+    }
+    if (decide(kSaltShortWrite, opkey, options_.short_write_probability)) {
+      ++counters_.short_writes;
+      return WriteFault::kShortWrite;
+    }
+  }
+  if (decide(kSaltWriteEio, opkey, options_.write_eio_probability)) {
+    ++counters_.write_eios;
+    return WriteFault::kEio;
+  }
+  if (decide(kSaltEnospc, opkey, options_.enospc_probability)) {
+    ++counters_.enospcs;
+    return WriteFault::kEnospc;
+  }
+  return WriteFault::kNone;
 }
 
 SeededFaultInjector::Counters SeededFaultInjector::counters() const {

@@ -2,12 +2,15 @@
 //
 // Two layers:
 //
-//  - FaultInjector: failpoint hooks consulted by BinaryEdgeStream around
-//    open()/pread() — short reads, spurious EINTR/EAGAIN, transient open
-//    failures, bit-flips in read buffers, and prefetch-worker death. The
-//    production stream owns the recovery policy (bounded retry with
-//    exponential backoff, CRC rejection, degradation to synchronous
-//    reads); the injector only decides *when* something goes wrong.
+//  - FaultInjector: failpoint hooks consulted by BinaryEdgeStream and
+//    FileEdgeStream around open()/pread() — short reads, spurious
+//    EINTR/EAGAIN, transient open failures, bit-flips in read buffers,
+//    and prefetch-worker death — and by AtomicFileWriter around
+//    write()/pwrite()/fsync()/rename()/close() — ENOSPC, EIO, EINTR and
+//    short writes. The production code owns the recovery policy (bounded
+//    retry with exponential backoff, CRC rejection, degradation to
+//    synchronous reads, typed DiskFullError); the injector only decides
+//    *when* something goes wrong.
 //
 //  - FaultInjectingEdgeStream: wraps any RewindableEdgeStream and throws
 //    TransientIoError at seed-chosen edge positions, independent of the
@@ -64,6 +67,26 @@ class FaultInjector {
     kEagain,     // fail with errno == EAGAIN (retried with backoff)
   };
 
+  // Write-side syscalls AtomicFileWriter consults a failpoint for. The
+  // durability syscalls (fsync/rename/close) have no meaningful offset;
+  // callers pass a per-writer sequence number instead so once-only
+  // semantics still hold per call site.
+  enum class WriteOp {
+    kWrite,
+    kPwrite,
+    kFsync,
+    kRename,
+    kClose,
+  };
+
+  enum class WriteFault {
+    kNone,
+    kShortWrite,  // accept fewer bytes than offered (write/pwrite only)
+    kEintr,       // fail with errno == EINTR (retried immediately)
+    kEio,         // fail with errno == EIO (bounded backoff retry)
+    kEnospc,      // fail with errno == ENOSPC (typed DiskFullError, no retry)
+  };
+
   virtual ~FaultInjector() = default;
 
   // Consulted once per ::open attempt; true = simulate open failure.
@@ -89,6 +112,57 @@ class FaultInjector {
     (void)offset;
     return false;
   }
+
+  // Consulted before each write-side syscall. For kWrite/kPwrite the key
+  // is the absolute file offset about to be written; for
+  // kFsync/kRename/kClose it is a caller-maintained sequence number.
+  virtual WriteFault write_fault(WriteOp op, std::uint64_t key) {
+    (void)op;
+    (void)key;
+    return WriteFault::kNone;
+  }
+};
+
+// Process-global injector consulted by write paths (AtomicFileWriter and
+// the partition_file output sink) when no per-instance injector was given.
+// Null by default — production binaries pay one load + branch. Installing
+// is not thread-safe against concurrent I/O; do it at startup (or around a
+// quiescent point in tests). The injector is borrowed, never owned.
+FaultInjector* process_fault_injector() noexcept;
+void install_process_fault_injector(FaultInjector* injector) noexcept;
+
+// Builds a SeededFaultInjector from ADWISE_FAULT_* environment variables
+// and installs it as the process-global injector, returning it (owned by a
+// process-lifetime singleton). Returns nullptr and installs nothing when
+// no ADWISE_FAULT_ variable is set. Recognized variables:
+//   ADWISE_FAULT_SEED            uint64 schedule seed (default 1)
+//   ADWISE_FAULT_READ_SHORT_P    ADWISE_FAULT_READ_EINTR_P
+//   ADWISE_FAULT_READ_EAGAIN_P   ADWISE_FAULT_BITFLIP_P
+//   ADWISE_FAULT_FAIL_OPENS      ADWISE_FAULT_KILL_WORKER_AFTER
+//   ADWISE_FAULT_WRITE_SHORT_P   ADWISE_FAULT_WRITE_EINTR_P
+//   ADWISE_FAULT_WRITE_EIO_P     ADWISE_FAULT_ENOSPC_P
+// This is how subprocess tests and tools/run_chaos.py inject faults into
+// unmodified CLI binaries.
+FaultInjector* install_fault_injector_from_env();
+
+// RAII guard for tests: installs an injector for the enclosing scope and
+// restores the previous one on exit, so a test binary running many cases
+// in one process cannot leak faults into its neighbours.
+class ScopedProcessFaultInjector {
+ public:
+  explicit ScopedProcessFaultInjector(FaultInjector* injector)
+      : previous_(process_fault_injector()) {
+    install_process_fault_injector(injector);
+  }
+  ~ScopedProcessFaultInjector() {
+    install_process_fault_injector(previous_);
+  }
+  ScopedProcessFaultInjector(const ScopedProcessFaultInjector&) = delete;
+  ScopedProcessFaultInjector& operator=(const ScopedProcessFaultInjector&) =
+      delete;
+
+ private:
+  FaultInjector* previous_;
 };
 
 // Seed-driven injector: each (operation, offset) pair faults at most once,
@@ -105,6 +179,13 @@ class SeededFaultInjector final : public FaultInjector {
     double bitflip_probability = 0.0;
     int fail_opens = 0;            // fail the first N open attempts
     std::int64_t kill_worker_after = -1;  // kill the (N+1)-th fetch; -1 = never
+    // Write-side schedule. Short writes and EINTR apply to write/pwrite
+    // only; EIO and ENOSPC apply to every WriteOp (a rename can hit
+    // ENOSPC on a full metadata block just like a write can).
+    double short_write_probability = 0.0;
+    double write_eintr_probability = 0.0;
+    double write_eio_probability = 0.0;
+    double enospc_probability = 0.0;
   };
 
   explicit SeededFaultInjector(const Options& options) : options_(options) {}
@@ -114,6 +195,7 @@ class SeededFaultInjector final : public FaultInjector {
   void corrupt(std::byte* data, std::size_t len,
                std::uint64_t offset) override;
   bool kill_prefetch_worker(std::uint64_t offset) override;
+  WriteFault write_fault(WriteOp op, std::uint64_t key) override;
 
   struct Counters {
     std::uint64_t short_reads = 0;
@@ -122,6 +204,10 @@ class SeededFaultInjector final : public FaultInjector {
     std::uint64_t bitflips = 0;
     std::uint64_t failed_opens = 0;
     std::uint64_t worker_kills = 0;
+    std::uint64_t short_writes = 0;
+    std::uint64_t write_eintrs = 0;
+    std::uint64_t write_eios = 0;
+    std::uint64_t enospcs = 0;
   };
   [[nodiscard]] Counters counters() const;
 

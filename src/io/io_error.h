@@ -4,11 +4,17 @@
 // injected test faults) are worth retrying, and a checkpointed run can
 // resume through them. Corrupt data (bad magic, size mismatches, CRC
 // failures, truncation) must never be retried or silently accepted — the
-// bytes are wrong, not the timing. Both derive from std::runtime_error so
-// existing catch sites keep working; new callers can distinguish.
+// bytes are wrong, not the timing. Disk full is its own class: retrying in
+// microseconds is pointless, but the caller (an operator, a supervisor
+// daemon) can free space and restart from the last checkpoint, so the
+// error carries the destination path and how far the write got. All derive
+// from std::runtime_error so existing catch sites keep working; new
+// callers can distinguish.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
+#include <string>
 
 namespace adwise {
 
@@ -20,6 +26,30 @@ class TransientIoError : public std::runtime_error {
 class CorruptDataError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+// The filesystem ran out of space (ENOSPC/EDQUOT) while writing `path`
+// after `bytes_written` bytes had been accepted. Not retried — bounded
+// backoff cannot create free space — but the write path guarantees no torn
+// destination file exists when this propagates.
+class DiskFullError : public std::runtime_error {
+ public:
+  DiskFullError(std::string path, std::uint64_t bytes_written,
+                const std::string& detail)
+      : std::runtime_error("disk full writing " + path + " after " +
+                           std::to_string(bytes_written) + " bytes: " +
+                           detail),
+        path_(std::move(path)),
+        bytes_written_(bytes_written) {}
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+
+ private:
+  std::string path_;
+  std::uint64_t bytes_written_;
 };
 
 }  // namespace adwise

@@ -92,6 +92,21 @@ inline constexpr std::string_view kCkptCommitNs = "checkpoint.commit_ns";
 inline constexpr std::string_view kCkptQueueStalls = "checkpoint.queue_stalls";
 inline constexpr std::string_view kCkptQueueStallNs =
     "checkpoint.queue_stall_ns";
+// Durable checkpoint write attempts that failed (degraded mode keeps
+// partitioning and retries at the next boundary).
+inline constexpr std::string_view kCkptWriteFailures =
+    "checkpoint.write_failures";
+// Checkpoint boundaries that ended without a durable checkpoint.
+inline constexpr std::string_view kCkptSkipped = "checkpoint.skipped";
+// Checkpoints committed synchronously on the partitioning thread because
+// the async writer was stalled past the watchdog deadline.
+inline constexpr std::string_view kCkptInbandCommits =
+    "checkpoint.inband_commits";
+
+// --- Watchdog ---------------------------------------------------------------
+// Armed heartbeat handles that went quiet past the stall deadline (one per
+// stall episode; a recovering beat re-arms detection).
+inline constexpr std::string_view kWatchdogStalls = "watchdog.stalls";
 
 // --- ThreadPool (per-worker gauges; see pool_metric()) ----------------------
 inline constexpr std::string_view kPoolExecuted = "executed";

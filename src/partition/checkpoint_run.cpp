@@ -1,5 +1,6 @@
 #include "src/partition/checkpoint_run.h"
 
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -11,22 +12,46 @@
 
 namespace adwise {
 
+namespace {
+
+// Temp suffix for in-band commits on the partitioning thread. Distinct
+// from AtomicFileWriter's default ".tmp" so a stalled-then-waking writer
+// thread and an in-band commit can never write the same temp file; the
+// worst interleaving is a well-formed older checkpoint renamed over a
+// newer one — a stale but valid recovery point, never a torn file.
+constexpr char kInbandTmpSuffix[] = ".inband.tmp";
+
+}  // namespace
+
 DurableCheckpointWriter::DurableCheckpointWriter(
     std::string path, std::function<void(std::uint64_t)> on_commit,
-    obs::ObsSink* obs)
-    : path_(std::move(path)), on_commit_(std::move(on_commit)) {
+    obs::ObsSink* obs, Watchdog* watchdog, AtomicFileWriter::Options io)
+    : path_(std::move(path)),
+      on_commit_(std::move(on_commit)),
+      io_(std::move(io)) {
   if (obs::MetricsRegistry* reg = obs::metrics_of(obs)) {
     m_commits_ = &reg->counter(obs::names::kCkptCommits);
     m_commit_ns_ = &reg->histogram(obs::names::kCkptCommitNs);
     m_queue_stalls_ = &reg->counter(obs::names::kCkptQueueStalls);
     m_queue_stall_ns_ = &reg->counter(obs::names::kCkptQueueStallNs);
+    m_watchdog_stalls_ = &reg->counter(obs::names::kWatchdogStalls);
   }
   trace_ = obs::trace_of(obs);
+  if (watchdog != nullptr) {
+    wd_ = &watchdog->watch("ckpt-writer", [this] {
+      // Runs on the watchdog thread: mark the writer unusable and wake
+      // any producer blocked behind the wedged commit.
+      stalled_.store(true, std::memory_order_release);
+      if (m_watchdog_stalls_ != nullptr) m_watchdog_stalls_->add();
+      cv_.notify_all();
+    });
+  }
   // Start the worker only after the handles exist — worker_loop reads them.
   thread_ = std::thread([this] { worker_loop(); });
 }
 
 DurableCheckpointWriter::~DurableCheckpointWriter() {
+  if (wd_ != nullptr) wd_->detach();
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
@@ -35,31 +60,47 @@ DurableCheckpointWriter::~DurableCheckpointWriter() {
   thread_.join();
 }
 
-void DurableCheckpointWriter::write(Checkpoint ckpt) {
+bool DurableCheckpointWriter::write(Checkpoint ckpt) {
   std::unique_lock<std::mutex> lock(mu_);
-  const bool free_now = (!has_job_ && !writing_) || error_;
-  if (!free_now && m_queue_stall_ns_ != nullptr) {
+  const auto free_slot = [this] {
+    return (!has_job_ && !writing_) || error_ ||
+           stalled_.load(std::memory_order_acquire);
+  };
+  if (!free_slot() && m_queue_stall_ns_ != nullptr) {
     // The partitioning thread is about to block behind a busy writer — the
     // "checkpoint interval shorter than commit latency" signal.
     const std::int64_t stall_start_ns = monotonic_now_ns();
-    cv_.wait(lock, [this] { return (!has_job_ && !writing_) || error_; });
+    cv_.wait(lock, free_slot);
     m_queue_stall_ns_->add(
         static_cast<std::uint64_t>(monotonic_now_ns() - stall_start_ns));
     m_queue_stalls_->add();
   } else {
-    cv_.wait(lock, [this] { return (!has_job_ && !writing_) || error_; });
+    cv_.wait(lock, free_slot);
   }
   if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+  if (stalled_.load(std::memory_order_acquire)) return false;
   job_ = std::move(ckpt);
   has_job_ = true;
+  if (wd_ != nullptr) wd_->arm();
   lock.unlock();
   cv_.notify_all();
+  return true;
 }
 
 void DurableCheckpointWriter::flush() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return (!has_job_ && !writing_) || error_; });
+  cv_.wait(lock, [this] {
+    return (!has_job_ && !writing_) || error_ ||
+           stalled_.load(std::memory_order_acquire);
+  });
   if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+  if (stalled_.load(std::memory_order_acquire) && (has_job_ || writing_)) {
+    // The last handoff is wedged inside the writer thread: its durability
+    // is unknown and must not be reported as success.
+    throw std::runtime_error(
+        "checkpoint writer stalled with a snapshot still in flight — the "
+        "final checkpoint for " + path_ + " may not be durable");
+  }
 }
 
 std::uint64_t DurableCheckpointWriter::committed() const {
@@ -78,6 +119,7 @@ void DurableCheckpointWriter::worker_loop() {
       has_job_ = false;
       writing_ = true;
     }
+    if (wd_ != nullptr) wd_->beat();
     cv_.notify_all();  // the handoff slot is free again
     std::uint64_t ordinal = 0;
     std::exception_ptr error;
@@ -86,7 +128,7 @@ void DurableCheckpointWriter::worker_loop() {
       obs::TraceSpan span(trace_, obs::names::kSpanCheckpointWrite);
       const std::int64_t commit_start_ns =
           m_commit_ns_ != nullptr ? monotonic_now_ns() : 0;
-      write_checkpoint_file(path_, ckpt);
+      write_checkpoint_file(path_, ckpt, io_);
       if (m_commit_ns_ != nullptr) {
         m_commit_ns_->record(
             static_cast<std::uint64_t>(monotonic_now_ns() - commit_start_ns));
@@ -102,6 +144,13 @@ void DurableCheckpointWriter::worker_loop() {
         error_ = error;
       } else {
         ordinal = ++committed_;
+      }
+      if (wd_ != nullptr) {
+        if (has_job_) {
+          wd_->beat();  // another snapshot is already queued: stay armed
+        } else {
+          wd_->disarm();
+        }
       }
     }
     cv_.notify_all();
@@ -166,30 +215,59 @@ std::uint64_t run_with_checkpoints(EdgePartitioner& partitioner,
     skip_edges(stream, resume->meta.edges_consumed);
   }
 
+  // Checkpoints committed synchronously (sync mode) or in-band after a
+  // writer stall (async mode); the async writer counts its own commits.
   std::uint64_t written = 0;
   // With async I/O the writer thread owns CRC/write/fsync/rename; the
   // partitioning thread only snapshots state and hands the blob off. The
   // writer lives in this frame, which outlives the partition() call.
   std::unique_ptr<DurableCheckpointWriter> writer;
   if (opts.async_io) {
+    AtomicFileWriter::Options io = opts.ckpt_io;
+    io.tmp_suffix = ".tmp";
     writer = std::make_unique<DurableCheckpointWriter>(
-        opts.checkpoint_path, opts.on_checkpoint, opts.obs);
+        opts.checkpoint_path, opts.on_checkpoint, opts.obs, opts.watchdog,
+        std::move(io));
   }
   // Snapshot-side handles (partitioning thread); the writer resolves its
-  // commit-side handles itself. Sync-path commits are recorded here too.
+  // commit-side handles itself. Sync-path and in-band commits are
+  // recorded here too.
   obs::Counter* m_snapshots = nullptr;
   obs::Histogram* m_snapshot_ns = nullptr;
   obs::Counter* m_commits = nullptr;
   obs::Histogram* m_commit_ns = nullptr;
+  obs::Counter* m_write_failures = nullptr;
+  obs::Counter* m_skipped = nullptr;
+  obs::Counter* m_inband = nullptr;
   if (obs::MetricsRegistry* reg = obs::metrics_of(opts.obs)) {
     m_snapshots = &reg->counter(obs::names::kCkptSnapshots);
     m_snapshot_ns = &reg->histogram(obs::names::kCkptSnapshotNs);
+    m_write_failures = &reg->counter(obs::names::kCkptWriteFailures);
+    m_skipped = &reg->counter(obs::names::kCkptSkipped);
     if (!opts.async_io) {
       m_commits = &reg->counter(obs::names::kCkptCommits);
       m_commit_ns = &reg->histogram(obs::names::kCkptCommitNs);
+    } else {
+      m_inband = &reg->counter(obs::names::kCkptInbandCommits);
     }
   }
   obs::TraceSession* const trace = obs::trace_of(opts.obs);
+
+  // A checkpoint write failure at one boundary, handled per opts.strict.
+  // Degraded mode deliberately keeps the run alive: the recovery point
+  // ages but hours of streaming work survive transient disk pressure.
+  const auto on_ckpt_failure = [strict = opts.strict, m_write_failures,
+                                m_skipped](std::exception_ptr err,
+                                           const char* what) {
+    if (m_write_failures != nullptr) m_write_failures->add();
+    if (m_skipped != nullptr) m_skipped->add();
+    if (strict) std::rethrow_exception(err);
+    std::fprintf(stderr,
+                 "warning: durable checkpoint failed (%s) — continuing "
+                 "without a fresh recovery point\n",
+                 what);
+  };
+
   CheckpointHook hook;
   hook.every = opts.every;
   // Small parts captured by value so the hook owns them; state, the writer
@@ -198,8 +276,9 @@ std::uint64_t run_with_checkpoints(EdgePartitioner& partitioner,
   hook.emit = [&state, &written, total_edges, async = writer.get(),
                algorithm = std::string(partitioner.name()),
                path = opts.checkpoint_path, durable = opts.durable_sink_bytes,
-               notify = opts.on_checkpoint, m_snapshots, m_snapshot_ns,
-               m_commits, m_commit_ns, trace](
+               notify = opts.on_checkpoint, ckpt_io = opts.ckpt_io,
+               on_ckpt_failure, m_snapshots, m_snapshot_ns, m_commits,
+               m_commit_ns, m_inband, trace](
                   std::uint64_t assignments, std::uint64_t edges_consumed,
                   std::span<const std::byte> algo_state) {
     Checkpoint ckpt;
@@ -213,7 +292,8 @@ std::uint64_t run_with_checkpoints(EdgePartitioner& partitioner,
     // for it exists — otherwise a crash between the two could leave a
     // checkpoint claiming bytes the filesystem never persisted. (This
     // holds in async mode too: the rename happens strictly after this
-    // call returns.)
+    // call returns.) Sink durability failures propagate unconditionally:
+    // an unaccountable sink voids every future recovery point.
     ckpt.meta.sink_bytes = durable ? durable() : 0;
     const std::int64_t snap_start_ns =
         m_snapshot_ns != nullptr ? monotonic_now_ns() : 0;
@@ -226,20 +306,53 @@ std::uint64_t run_with_checkpoints(EdgePartitioner& partitioner,
           static_cast<std::uint64_t>(monotonic_now_ns() - snap_start_ns));
       m_snapshots->add();
     }
-    if (async != nullptr) {
-      async->write(std::move(ckpt));
-    } else {
-      obs::TraceSpan span(trace, obs::names::kSpanCheckpointWrite);
-      const std::int64_t commit_start_ns =
-          m_commit_ns != nullptr ? monotonic_now_ns() : 0;
-      write_checkpoint_file(path, ckpt);
-      if (m_commit_ns != nullptr) {
-        m_commit_ns->record(
-            static_cast<std::uint64_t>(monotonic_now_ns() - commit_start_ns));
-        m_commits->add();
+    if (async != nullptr && !async->stalled()) {
+      bool queued = false;
+      bool failed = false;
+      try {
+        queued = async->write(std::move(ckpt));
+      } catch (const std::runtime_error& e) {
+        failed = true;
+        on_ckpt_failure(std::current_exception(), e.what());
       }
-      ++written;
-      if (notify) notify(written);
+      if (!queued && !failed) {
+        // The writer stalled while we were blocked on the handoff; the
+        // snapshot is gone but the next boundary will commit in-band.
+        on_ckpt_failure(std::make_exception_ptr(std::runtime_error(
+                            "async checkpoint writer stalled mid-handoff")),
+                        "async writer stalled mid-handoff");
+      }
+    } else if (async != nullptr) {
+      // Sticky writer stall: commit synchronously on this thread with a
+      // distinct temp suffix (see kInbandTmpSuffix above).
+      try {
+        obs::TraceSpan span(trace, obs::names::kSpanCheckpointWrite);
+        AtomicFileWriter::Options io = ckpt_io;
+        io.tmp_suffix = kInbandTmpSuffix;
+        write_checkpoint_file(path, ckpt, io);
+        if (m_inband != nullptr) m_inband->add();
+        ++written;
+        if (notify) notify(async->committed() + written);
+      } catch (const std::runtime_error& e) {
+        on_ckpt_failure(std::current_exception(), e.what());
+      }
+    } else {
+      try {
+        obs::TraceSpan span(trace, obs::names::kSpanCheckpointWrite);
+        const std::int64_t commit_start_ns =
+            m_commit_ns != nullptr ? monotonic_now_ns() : 0;
+        write_checkpoint_file(path, ckpt, ckpt_io);
+        if (m_commit_ns != nullptr) {
+          m_commit_ns->record(
+              static_cast<std::uint64_t>(monotonic_now_ns() -
+                                         commit_start_ns));
+          m_commits->add();
+        }
+        ++written;
+        if (notify) notify(written);
+      } catch (const std::runtime_error& e) {
+        on_ckpt_failure(std::current_exception(), e.what());
+      }
     }
   };
 
@@ -249,13 +362,25 @@ std::uint64_t run_with_checkpoints(EdgePartitioner& partitioner,
         " does not support checkpointing under this configuration");
   }
 
+  // The emit closure references this frame: disarm on every exit path,
+  // including exceptions, or the partitioner would keep a dangling hook.
+  struct DisarmGuard {
+    EdgePartitioner* p;
+    ~DisarmGuard() { p->enable_checkpoints(CheckpointHook{}); }
+  } disarm{&partitioner};
+
   partitioner.partition(stream, state, sink);
   if (writer) {
-    writer->flush();  // surface writer-side errors before reporting success
-    written = writer->committed();
+    // Surface writer-side errors before reporting success. The error of
+    // the FINAL handoff can only appear here — degraded mode still logs
+    // and counts it, strict mode aborts loudly.
+    try {
+      writer->flush();
+    } catch (const std::runtime_error& e) {
+      on_ckpt_failure(std::current_exception(), e.what());
+    }
+    written += writer->committed();
   }
-  // Disarm: the emit closure references this frame.
-  partitioner.enable_checkpoints(CheckpointHook{});
   return written;
 }
 

@@ -13,6 +13,7 @@
 // file back to exactly the data the checkpoint accounts for.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -22,6 +23,7 @@
 #include <string_view>
 #include <thread>
 
+#include "src/common/watchdog.h"
 #include "src/graph/edge_stream.h"
 #include "src/io/checkpoint.h"
 #include "src/partition/partition_state.h"
@@ -63,6 +65,27 @@ struct CheckpointRunOptions {
   // (writer handoff), plus checkpoint_write trace spans on whichever
   // thread performs the durable write. Null = zero instrumentation.
   obs::ObsSink* obs = nullptr;
+  // Checkpoint write failure policy. Degraded (the default): a failed
+  // durable checkpoint write logs, bumps checkpoint.write_failures /
+  // checkpoint.skipped and the run keeps partitioning — the next boundary
+  // tries again; the recovery point just ages. Strict: any checkpoint
+  // write failure aborts the run (the pre-existing behavior). Failures of
+  // durable_sink_bytes always abort in both modes: the checkpoint
+  // accounts for sink output, so a sink that cannot be made durable
+  // invalidates every future recovery point.
+  bool strict = false;
+  // Optional stall watchdog; must outlive the run. When set with
+  // async_io, the DurableCheckpointWriter registers a heartbeat handle:
+  // if a durable commit stalls past the watchdog deadline, the
+  // partitioning thread stops handing off to the writer (permanently —
+  // the wedged thread may never come back) and commits checkpoints
+  // in-band on its own thread instead, with a distinct temp-file suffix
+  // so a later-waking writer can never interleave with an in-band commit.
+  Watchdog* watchdog = nullptr;
+  // Failpoints + retry policy for checkpoint file writes only (the
+  // tmp_suffix field is ignored — the run chooses suffixes). This is how
+  // tests target the checkpoint path without faulting the caller's sink.
+  AtomicFileWriter::Options ckpt_io;
 };
 
 // Background checkpoint committer: a single worker thread that turns
@@ -77,12 +100,21 @@ class DurableCheckpointWriter {
   // `on_commit`, when non-null, runs on the writer thread after each
   // durable commit with the 1-based ordinal; it must not throw. `obs`,
   // when non-null, must outlive the writer and receives commit latency,
-  // queue-stall counters and checkpoint_write trace spans.
+  // queue-stall counters and checkpoint_write trace spans. `watchdog`,
+  // when non-null, must outlive the writer and watches each in-flight
+  // durable commit: past the stall deadline the writer is marked
+  // stalled() — write() callers blocked on the wedged thread wake up and
+  // are told the snapshot was not accepted. `io` carries failpoints and
+  // retry policy for the checkpoint file writes.
   DurableCheckpointWriter(std::string path,
                           std::function<void(std::uint64_t)> on_commit = {},
-                          obs::ObsSink* obs = nullptr);
+                          obs::ObsSink* obs = nullptr,
+                          Watchdog* watchdog = nullptr,
+                          AtomicFileWriter::Options io = {});
   // Drains any handed-off snapshot, then joins. Errors discovered during
-  // the drain are swallowed (call flush() first to observe them).
+  // the drain are swallowed (call flush() first to observe them). NOTE: a
+  // writer thread wedged in a syscall cannot be joined — the chaos tests
+  // only simulate stalls with gates that eventually open.
   ~DurableCheckpointWriter();
 
   DurableCheckpointWriter(const DurableCheckpointWriter&) = delete;
@@ -90,17 +122,30 @@ class DurableCheckpointWriter {
 
   // Hands a snapshot to the writer thread, blocking until the previous
   // snapshot (if any) is durable. Rethrows earlier writer-side errors.
-  void write(Checkpoint ckpt);
+  // Returns false — with the snapshot NOT queued — when the writer is
+  // stalled past the watchdog deadline; the caller owns degradation
+  // (skip, or commit in-band via write_checkpoint_file).
+  bool write(Checkpoint ckpt);
   // Blocks until every handed-off snapshot is durable; rethrows errors.
+  // Throws std::runtime_error if the writer stalled with a snapshot still
+  // in flight — the final handoff may never have become durable, and that
+  // must surface at shutdown rather than be silently dropped.
   void flush();
   // Number of checkpoints durably committed so far.
   [[nodiscard]] std::uint64_t committed() const;
+  // Sticky: the watchdog flagged a durable commit as stalled. Once set,
+  // callers should stop handing off snapshots (the thread may be wedged
+  // in a syscall forever).
+  [[nodiscard]] bool stalled() const noexcept {
+    return stalled_.load(std::memory_order_acquire);
+  }
 
  private:
   void worker_loop();
 
   std::string path_;
   std::function<void(std::uint64_t)> on_commit_;
+  AtomicFileWriter::Options io_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool has_job_ = false;
@@ -109,11 +154,14 @@ class DurableCheckpointWriter {
   Checkpoint job_;
   std::uint64_t committed_ = 0;
   std::exception_ptr error_;
+  std::atomic<bool> stalled_{false};
+  Watchdog::Handle* wd_ = nullptr;
   // Observability handles resolved at construction (null without a sink).
   obs::Counter* m_commits_ = nullptr;
   obs::Histogram* m_commit_ns_ = nullptr;
   obs::Counter* m_queue_stalls_ = nullptr;
   obs::Counter* m_queue_stall_ns_ = nullptr;
+  obs::Counter* m_watchdog_stalls_ = nullptr;
   obs::TraceSession* trace_ = nullptr;
   std::thread thread_;
 };
@@ -132,7 +180,9 @@ void skip_edges(EdgeStream& stream, std::uint64_t n);
 
 // Runs partitioner over stream with durable checkpoints (written inline at
 // each boundary, or overlapped via a DurableCheckpointWriter when
-// opts.async_io is set). When resume is
+// opts.async_io is set). Checkpoint write failures follow opts.strict:
+// degraded (default) logs + counts and retries at the next boundary,
+// strict aborts; sink durability failures always abort. When resume is
 // non-null it must already be validated against this run's shape; the
 // PartitionState and algorithm state are restored and the stream is
 // advanced past meta.edges_consumed edges before partitioning continues.

@@ -4,6 +4,9 @@
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <vector>
+
+#include "src/io/atomic_file.h"
 
 namespace adwise {
 
@@ -45,9 +48,36 @@ void write_assignments(std::ostream& out,
 void write_assignments_file(const std::string& path,
                             std::span<const Assignment> assignments,
                             std::uint32_t k) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
-  write_assignments(out, assignments, k);
+  // Through AtomicFileWriter: a crash or write failure mid-file can never
+  // leave a torn assignment file under the destination name, and ENOSPC /
+  // transient errors surface as the typed io_error.h hierarchy with the
+  // write-side failpoints applied (same policy as every other artifact).
+  AtomicFileWriter out(path);
+  out.append(kMagic.data(), kMagic.size());
+  out.append(&kVersion, sizeof(kVersion));
+  out.append(&k, sizeof(k));
+  const auto count = static_cast<std::uint64_t>(assignments.size());
+  out.append(&count, sizeof(count));
+  // Serialize in bounded batches so huge runs keep O(1) extra memory.
+  std::vector<char> batch;
+  constexpr std::size_t kRecordBytes =
+      sizeof(VertexId) * 2 + sizeof(PartitionId);
+  constexpr std::size_t kBatchRecords = 8192;
+  batch.reserve(kBatchRecords * kRecordBytes);
+  for (const Assignment& a : assignments) {
+    const char* u = reinterpret_cast<const char*>(&a.edge.u);
+    const char* v = reinterpret_cast<const char*>(&a.edge.v);
+    const char* p = reinterpret_cast<const char*>(&a.partition);
+    batch.insert(batch.end(), u, u + sizeof(a.edge.u));
+    batch.insert(batch.end(), v, v + sizeof(a.edge.v));
+    batch.insert(batch.end(), p, p + sizeof(a.partition));
+    if (batch.size() >= kBatchRecords * kRecordBytes) {
+      out.append(batch.data(), batch.size());
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) out.append(batch.data(), batch.size());
+  out.commit();
 }
 
 AssignmentFile read_assignments(std::istream& in) {

@@ -1,0 +1,233 @@
+// Seeded end-to-end chaos harness, in-process edition: the full pipeline
+// (convert → shard → checkpointed partition → crash → resume → verify)
+// runs under a per-seed randomized fault schedule injected through the
+// process-global injector — the same chokepoint tools/run_chaos.py drives
+// against the real binaries. The contract under ANY schedule:
+//  - every phase either completes or fails with a typed error
+//    (DiskFullError / TransientIoError), never an untyped one;
+//  - a failed phase leaves no torn destination and no orphan temp file,
+//    so simply retrying the phase recovers;
+//  - degraded-mode checkpoint write failures never abort partitioning;
+//  - a crashed-and-resumed run finishes bit-identical to an undisturbed
+//    one.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/edge_stream.h"
+#include "src/graph/generators.h"
+#include "src/io/adw_format.h"
+#include "src/io/adw_shards.h"
+#include "src/io/binary_stream.h"
+#include "src/io/checkpoint.h"
+#include "src/io/fault_injection.h"
+#include "src/io/io_error.h"
+#include "src/partition/checkpoint_run.h"
+#include "src/partition/hdrf_partitioner.h"
+#include "src/partition/partition_state.h"
+
+namespace adwise {
+namespace {
+
+using Placement = std::pair<Edge, PartitionId>;
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+// Models the process dying mid-partition (everything in memory is lost;
+// only durable files survive). Deliberately NOT a std::exception: nothing
+// in the pipeline may accidentally catch and absorb a crash.
+struct CrashSignal {};
+
+class ChaosPipelineTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kParts = 8;
+  static constexpr std::uint32_t kShards = 4;
+  static constexpr std::uint64_t kEvery = 97;
+
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "chaos_" +
+            std::to_string(static_cast<long>(::getpid())) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+  }
+
+  void TearDown() override {
+    for (const std::string& p : cleanup_) std::remove(p.c_str());
+  }
+
+  std::string track(const std::string& path) {
+    cleanup_.push_back(path);
+    cleanup_.push_back(path + ".tmp");
+    cleanup_.push_back(path + ".inband.tmp");
+    return path;
+  }
+
+  // No phase may leave a temp file behind, success or failure.
+  void expect_no_temp_litter(const std::string& when) {
+    for (const std::string& p : cleanup_) {
+      if (p.size() > 4 && p.compare(p.size() - 4, 4, ".tmp") == 0) {
+        EXPECT_FALSE(file_exists(p)) << "orphan temp file " << p << " " << when;
+      }
+    }
+  }
+
+  // Retries `phase` until it succeeds. Failures must be typed; the seeded
+  // injector fires each (op, key) failpoint at most once, so every retry
+  // makes progress and the loop provably terminates.
+  void run_phase_to_completion(const std::string& name,
+                               const std::function<void()>& phase) {
+    for (int attempt = 1;; ++attempt) {
+      ASSERT_LE(attempt, 100) << name << " did not converge";
+      try {
+        phase();
+        return;
+      } catch (const DiskFullError& e) {
+        EXPECT_NE(std::string(e.what()).find("disk full"), std::string::npos);
+      } catch (const TransientIoError&) {
+      }
+      // Either typed failure: nothing torn may be left behind.
+      expect_no_temp_litter("after failed " + name + " attempt " +
+                            std::to_string(attempt));
+    }
+  }
+
+  std::string base_;
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(ChaosPipelineTest, PipelineSurvivesSeededFaultSchedules) {
+  for (std::uint32_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const std::string tag = base_ + "_s" + std::to_string(seed);
+    const std::string adw_path = track(tag + ".adw");
+    const std::string manifest_path = track(tag + ".adws");
+    for (std::uint32_t s = 0; s < kShards; ++s) {
+      track(adw_shard_path(manifest_path, s));
+    }
+    const std::string ckpt_path = track(tag + ".adwk");
+
+    const Graph g = make_erdos_renyi(300, 3500, seed);
+    const VertexId n = g.num_vertices();
+
+    // Fault-free reference run.
+    std::vector<Placement> reference;
+    {
+      HdrfPartitioner partitioner;
+      PartitionState state(kParts, n);
+      VectorEdgeStream stream(g.edges());
+      partitioner.partition(stream, state, [&](const Edge& e, PartitionId p) {
+        reference.emplace_back(e, p);
+      });
+    }
+
+    // Per-seed randomized schedule over both directions of the I/O path.
+    SeededFaultInjector::Options fopts;
+    fopts.seed = seed * 7919;
+    fopts.eintr_probability = 0.05;
+    fopts.eagain_probability = 0.05;
+    fopts.write_eintr_probability = 0.08;
+    fopts.write_eio_probability = 0.05;
+    if (seed % 2 == 0) {
+      fopts.short_read_probability = 0.05;
+      fopts.short_write_probability = 0.08;
+    }
+    if (seed % 3 == 0) fopts.enospc_probability = 0.05;
+    SeededFaultInjector injector(fopts);
+    // The process-global hook: every AtomicFileWriter in the pipeline sees
+    // the schedule without any injector threading — exactly what the
+    // subprocess chaos runs rely on.
+    ScopedProcessFaultInjector scope(&injector);
+
+    // Phase 1: convert the edge list to a CRC-protected .adw.
+    AdwWriter::Options wopts;
+    wopts.with_crc = true;
+    run_phase_to_completion(
+        "convert", [&] { write_adw_file(adw_path, g.edges(), wopts); });
+
+    // Phase 2: reshard the .adw into a manifest + shard chunk files.
+    run_phase_to_completion("shard", [&] {
+      (void)adw_to_sharded_adw(adw_path, manifest_path, kShards);
+    });
+    {
+      const AdwManifest manifest =
+          read_and_validate_adw_manifest(manifest_path);
+      EXPECT_EQ(manifest.num_edges(), g.num_edges());
+      EXPECT_EQ(manifest.num_shards(), kShards);
+    }
+
+    // Phase 3: checkpointed partitioning of the .adw under read faults,
+    // write faults on every checkpoint, and repeated mid-run crashes.
+    // Crash points are seed-derived and NOT aligned to checkpoint
+    // boundaries; each attempt survives a little longer, so the loop
+    // terminates even if every single checkpoint write fails.
+    std::vector<Placement> placements;
+    int crashes = 0;
+    for (int attempt = 1;; ++attempt) {
+      ASSERT_LE(attempt, 200) << "crash/resume loop did not converge";
+      HdrfPartitioner partitioner;
+      PartitionState state(kParts, n);
+      BinaryEdgeStream::Options bopts;
+      bopts.chunk_edges = 256;
+      bopts.fault_injector = &injector;
+      bopts.retry.sleeper = [](unsigned) {};
+      BinaryEdgeStream stream(adw_path, bopts);
+
+      Checkpoint resume;
+      const Checkpoint* resume_ptr = nullptr;
+      if (is_checkpoint_file(ckpt_path)) {
+        resume = read_checkpoint_file(ckpt_path);
+        validate_checkpoint(resume.meta, partitioner.name(), kParts, n);
+        placements.resize(resume.meta.sink_bytes);
+        resume_ptr = &resume;
+      } else {
+        placements.clear();
+      }
+
+      CheckpointRunOptions copts;
+      copts.checkpoint_path = ckpt_path;
+      copts.every = kEvery;
+      copts.async_io = true;  // degraded mode is the default
+      copts.durable_sink_bytes = [&] { return placements.size(); };
+      const std::size_t crash_after =
+          (137 + 211 * static_cast<std::size_t>(attempt)) * (seed % 3 + 1);
+      try {
+        run_with_checkpoints(
+            partitioner, stream, state,
+            [&](const Edge& e, PartitionId p) {
+              placements.emplace_back(e, p);
+              if (placements.size() >= crash_after) throw CrashSignal{};
+            },
+            copts, resume_ptr);
+      } catch (const CrashSignal&) {
+        ++crashes;
+        continue;
+      }
+      break;
+    }
+
+    EXPECT_GT(crashes, 0) << "no attempt ever crashed — chaos is vacuous";
+    // Bit-identity: the faulted, crashed, resumed run must match the
+    // undisturbed reference placement for placement.
+    EXPECT_EQ(placements, reference);
+    expect_no_temp_litter("after the pipeline for seed " +
+                          std::to_string(seed));
+
+    const auto c = injector.counters();
+    EXPECT_GT(c.eintrs + c.eagains + c.short_reads + c.write_eintrs +
+                  c.write_eios + c.short_writes + c.enospcs,
+              0u)
+        << "schedule injected nothing — chaos is vacuous";
+  }
+}
+
+}  // namespace
+}  // namespace adwise

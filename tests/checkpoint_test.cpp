@@ -26,6 +26,9 @@
 #include "src/io/binary_stream.h"
 #include "src/io/checkpoint.h"
 #include "src/io/fault_injection.h"
+#include "src/io/io_error.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs_sink.h"
 #include "src/partition/checkpoint_run.h"
 #include "src/partition/hdrf_partitioner.h"
 #include "src/partition/partition_state.h"
@@ -701,9 +704,10 @@ TEST(AsyncCheckpointTest, WriterErrorsSurfaceOnTheCallersThread) {
   EXPECT_EQ(writer.committed(), 0u);
 }
 
-// run_with_checkpoints must report async writer failures as its own
-// failure — a run whose checkpoints silently vanished is not checkpointed.
-TEST(AsyncCheckpointTest, RunSurfacesAsyncWriterFailure) {
+// In strict mode run_with_checkpoints must report async writer failures as
+// its own failure — a run whose checkpoints silently vanished is not
+// checkpointed.
+TEST(AsyncCheckpointTest, StrictRunSurfacesAsyncWriterFailure) {
   const Graph g = make_erdos_renyi(100, 1500, 5);
   HdrfPartitioner partitioner;
   PartitionState state(4, g.num_vertices());
@@ -713,8 +717,114 @@ TEST(AsyncCheckpointTest, RunSurfacesAsyncWriterFailure) {
       ::testing::TempDir() + "no_such_dir_adwk/run.adwk";
   copts.every = 256;
   copts.async_io = true;
+  copts.strict = true;
   EXPECT_THROW(run_with_checkpoints(partitioner, stream, state, {}, copts),
                std::runtime_error);
+}
+
+// Degraded mode (the default): the same unwritable checkpoint path merely
+// costs the run its recovery points — partitioning itself completes with
+// identical placements, and every failed boundary is counted.
+TEST(AsyncCheckpointTest, DegradedRunSurvivesCheckpointWriteFailures) {
+  const Graph g = make_erdos_renyi(100, 1500, 5);
+
+  auto run = [&](const CheckpointRunOptions& copts,
+                 std::vector<Placement>& placements) {
+    HdrfPartitioner partitioner;
+    PartitionState state(4, g.num_vertices());
+    VectorEdgeStream stream(g.edges());
+    return run_with_checkpoints(
+        partitioner, stream, state,
+        [&](const Edge& e, PartitionId p) { placements.emplace_back(e, p); },
+        copts);
+  };
+
+  std::vector<Placement> clean;
+  {
+    CheckpointRunOptions copts;
+    copts.checkpoint_path = ::testing::TempDir() + "degraded_ok_" +
+                            std::to_string(static_cast<long>(::getpid())) +
+                            ".adwk";
+    copts.every = 256;
+    copts.async_io = true;
+    run(copts, clean);
+    std::remove(copts.checkpoint_path.c_str());
+  }
+
+  for (const bool async_io : {false, true}) {
+    obs::MetricsRegistry reg;
+    obs::ObsSink sink;
+    sink.metrics = &reg;
+    CheckpointRunOptions copts;
+    copts.checkpoint_path = ::testing::TempDir() + "no_such_dir_adwk/run.adwk";
+    copts.every = 256;
+    copts.async_io = async_io;
+    copts.obs = &sink;
+    std::vector<Placement> degraded;
+    std::uint64_t written = 0;
+    EXPECT_NO_THROW(written = run(copts, degraded)) << "async=" << async_io;
+    EXPECT_EQ(written, 0u);
+    EXPECT_EQ(degraded, clean) << "degraded mode changed placements";
+    EXPECT_GT(reg.snapshot().value("checkpoint.write_failures", 0.0), 0.0);
+    EXPECT_EQ(reg.snapshot().value("checkpoint.write_failures", 0.0),
+              reg.snapshot().value("checkpoint.skipped", 0.0));
+  }
+}
+
+// A fault on the FINAL durable commit can only surface at shutdown — the
+// partitioning loop is already done when the writer thread discovers it.
+// Strict mode must abort loudly (with the typed error), degraded mode must
+// count it; neither may silently report the run as fully checkpointed.
+TEST(AsyncCheckpointTest, FaultOnFinalDurableCommitSurfacesAtShutdown) {
+  // Fails the n-th rename (the commit point of AtomicFileWriter) with
+  // ENOSPC; every other operation is untouched.
+  class FailNthRename final : public FaultInjector {
+   public:
+    explicit FailNthRename(std::uint64_t n) : n_(n) {}
+    WriteFault write_fault(WriteOp op, std::uint64_t) override {
+      if (op != WriteOp::kRename) return WriteFault::kNone;
+      return ++seen_ == n_ ? WriteFault::kEnospc : WriteFault::kNone;
+    }
+
+   private:
+    std::uint64_t seen_ = 0;
+    std::uint64_t n_;
+  };
+
+  const Graph g = make_erdos_renyi(200, 3000, 11);
+  const std::string path = ::testing::TempDir() + "final_commit_fault_" +
+                           std::to_string(static_cast<long>(::getpid())) +
+                           ".adwk";
+  auto run = [&](bool strict, FaultInjector* injector) {
+    HdrfPartitioner partitioner;
+    PartitionState state(4, g.num_vertices());
+    VectorEdgeStream stream(g.edges());
+    CheckpointRunOptions copts;
+    copts.checkpoint_path = path;
+    copts.every = 512;
+    copts.async_io = true;
+    copts.strict = strict;
+    copts.ckpt_io.fault_injector = injector;
+    return run_with_checkpoints(partitioner, stream, state, {}, copts);
+  };
+
+  // Fault-free baseline: how many checkpoints does this shape produce?
+  const std::uint64_t baseline = run(/*strict=*/true, nullptr);
+  ASSERT_GT(baseline, 1u) << "interval too large — test is vacuous";
+
+  // Strict: failing exactly the last commit must abort the run with the
+  // typed error even though every assignment was already emitted.
+  {
+    FailNthRename inj(baseline);
+    EXPECT_THROW(run(/*strict=*/true, &inj), DiskFullError);
+  }
+  // Degraded: the run completes but reports one commit fewer — the failure
+  // is counted, not swallowed into a false "fully checkpointed" claim.
+  {
+    FailNthRename inj(baseline);
+    EXPECT_EQ(run(/*strict=*/false, &inj), baseline - 1);
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,161 @@
+// Exit-code contract of the partition_file CLI: one subprocess test per
+// documented class, each driven through the ADWISE_FAULT_* environment
+// hooks the chaos harness uses — a supervisor must be able to tell "free
+// disk space and resume" (5) apart from "retry later" (4), "the input is
+// garbage" (3) and "you called it wrong" (2) without parsing stderr.
+//
+// The binary path is injected at compile time (ADWISE_PARTITION_FILE_BIN);
+// when the examples are not built the whole suite skips.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "src/graph/generators.h"
+#include "src/io/adw_format.h"
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace adwise {
+namespace {
+
+#ifndef ADWISE_PARTITION_FILE_BIN
+
+TEST(CliExitCodeTest, RequiresPartitionFileBinary) {
+  GTEST_SKIP() << "partition_file binary not built into this configuration";
+}
+
+#else
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// Runs the command under a shell; returns the process exit code (-1 for
+// abnormal termination).
+int exit_code(const std::string& command) {
+  const int status = std::system(command.c_str());
+  if (!WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+class CliExitCodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "cli_exit_" +
+            std::to_string(static_cast<long>(::getpid())) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    adw_path_ = base_ + ".adw";
+    const Graph g = make_erdos_renyi(200, 2500, 3);
+    AdwWriter::Options wopts;
+    wopts.with_crc = true;
+    write_adw_file(adw_path_, g.edges(), wopts);
+  }
+
+  void TearDown() override {
+    const char* suffixes[] = {".adw",         ".out",  ".out.partial",
+                              ".ckpt",        ".ckpt.tmp", ".ckpt.inband.tmp",
+                              ".err",         ".bad.adw"};
+    for (const char* s : suffixes) std::remove((base_ + s).c_str());
+  }
+
+  // `env` is a space-separated KEY=VALUE prefix ("" for none).
+  std::string cmd(const std::string& env, const std::string& args) const {
+    return env + (env.empty() ? "" : " ") +
+           std::string(ADWISE_PARTITION_FILE_BIN) + " " + args + " 2> " +
+           base_ + ".err";
+  }
+
+  [[nodiscard]] std::string stderr_text() const {
+    return read_file(base_ + ".err");
+  }
+
+  std::string base_, adw_path_;
+};
+
+TEST_F(CliExitCodeTest, CleanRunExitsZero) {
+  EXPECT_EQ(exit_code(cmd("", adw_path_ + " hdrf 8 -1 --output " + base_ +
+                                  ".out")),
+            0)
+      << stderr_text();
+}
+
+TEST_F(CliExitCodeTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(exit_code(cmd("", "")), 2);
+  EXPECT_EQ(exit_code(cmd("", adw_path_ + " hdrf 8 -1 --no-such-flag")), 2);
+  EXPECT_EQ(exit_code(cmd("", adw_path_ + " hdrf 8 -1 --checkpoint-every")),
+            2);
+}
+
+TEST_F(CliExitCodeTest, CorruptInputExitsThree) {
+  // Injected bitflips on the read path surface as CRC mismatches — the
+  // "never retry, the bytes are wrong" class.
+  EXPECT_EQ(
+      exit_code(cmd("ADWISE_FAULT_SEED=9 ADWISE_FAULT_BITFLIP_P=0.5",
+                    adw_path_ + " hdrf 8 -1 --output " + base_ + ".out")),
+      3)
+      << stderr_text();
+  EXPECT_NE(stderr_text().find("CRC"), std::string::npos) << stderr_text();
+}
+
+TEST_F(CliExitCodeTest, TransientBudgetExhaustionExitsFour) {
+  // More injected open failures than the retry budget (4 attempts) can
+  // absorb — the "back off and rerun" class.
+  EXPECT_EQ(
+      exit_code(cmd("ADWISE_FAULT_FAIL_OPENS=16",
+                    adw_path_ + " hdrf 8 -1 --output " + base_ + ".out")),
+      4)
+      << stderr_text();
+  EXPECT_NE(stderr_text().find("attempts"), std::string::npos)
+      << stderr_text();
+}
+
+TEST_F(CliExitCodeTest, DiskFullExitsFive) {
+  // ENOSPC injected at the sink-durability fsync of the first checkpoint
+  // boundary. Sink durability failures abort in BOTH checkpoint modes —
+  // the checkpoint accounts for those bytes, so nothing can be recovered
+  // past an unaccountable sink.
+  EXPECT_EQ(exit_code(cmd("ADWISE_FAULT_ENOSPC_P=1.0",
+                          adw_path_ + " hdrf 8 -1 --output " + base_ +
+                              ".out --checkpoint " + base_ +
+                              ".ckpt --checkpoint-every 200")),
+            5)
+      << stderr_text();
+  EXPECT_NE(stderr_text().find("disk full"), std::string::npos)
+      << stderr_text();
+}
+
+TEST_F(CliExitCodeTest, StrictCheckpointFailuresAbortDegradedContinues) {
+  // A checkpoint path in a directory that does not exist makes EVERY
+  // durable checkpoint write fail (while the output sink keeps working).
+  // Degraded mode — the default — must finish with exit 0 and a warning;
+  // --strict-checkpoints must turn the same run into a loud non-zero exit.
+  const std::string run_args = adw_path_ + " hdrf 8 -1 --output " + base_ +
+                               ".out --checkpoint " + base_ +
+                               ".no_such_dir/run.ckpt --checkpoint-every 150";
+  EXPECT_EQ(exit_code(cmd("", run_args)), 0) << stderr_text();
+  EXPECT_NE(stderr_text().find("checkpoint"), std::string::npos)
+      << "degraded run did not warn about the failed checkpoints: "
+      << stderr_text();
+
+  std::remove((base_ + ".out").c_str());
+  const int strict = exit_code(cmd("", run_args + " --strict-checkpoints"));
+  EXPECT_NE(strict, 0) << "strict mode swallowed a checkpoint write failure";
+}
+
+TEST_F(CliExitCodeTest, OtherFailuresExitOne) {
+  EXPECT_EQ(exit_code(cmd("", base_ + ".does_not_exist.txt hdrf 8 -1")), 1)
+      << stderr_text();
+}
+
+#endif  // ADWISE_PARTITION_FILE_BIN
+
+}  // namespace
+}  // namespace adwise

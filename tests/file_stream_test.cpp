@@ -5,10 +5,13 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "src/graph/file_stream.h"
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
+#include "src/io/fault_injection.h"
+#include "src/io/io_error.h"
 #include "src/partition/hdrf_partitioner.h"
 
 namespace adwise {
@@ -222,6 +225,134 @@ TEST_F(FileStreamTest, PartitioningFromFileMatchesInMemory) {
   EXPECT_DOUBLE_EQ(file_state.replication_degree(),
                    mem_state.replication_degree());
   EXPECT_EQ(file_state.max_partition_size(), mem_state.max_partition_size());
+}
+
+// --- Fault-injection parity with BinaryEdgeStream ---------------------------
+// The text reader shares the binary stream's transient-failure policy;
+// these tests pin that an injected EINTR/EAGAIN/short-read schedule is
+// invisible to the consumer, including across chunk-boundary line
+// assembly, and that the retry budget surfaces TransientIoError.
+
+namespace {
+
+std::vector<Edge> drain(FileEdgeStream& stream) {
+  std::vector<Edge> out;
+  Edge e;
+  while (stream.next(e)) out.push_back(e);
+  return out;
+}
+
+std::string many_edges(int n) {
+  std::string text = "# generated\n";
+  for (int i = 0; i < n; ++i) {
+    text += std::to_string(i) + " " + std::to_string(i + 1) + "\n";
+  }
+  return text;
+}
+
+}  // namespace
+
+TEST_F(FileStreamTest, TransientPreadFaultsAreInvisibleToTheConsumer) {
+  write(many_edges(500));
+  const auto stats = FileEdgeStream::scan(path_);
+  std::vector<Edge> clean;
+  {
+    FileEdgeStream stream(path_, stats.num_edges);
+    clean = drain(stream);
+  }
+
+  SeededFaultInjector::Options fopts;
+  fopts.seed = 42;
+  fopts.short_read_probability = 0.25;
+  fopts.eintr_probability = 0.25;
+  fopts.eagain_probability = 0.25;
+  SeededFaultInjector injector(fopts);
+  FileEdgeStream::Options opts;
+  // Tiny chunks: faults land mid-line and lines span many refills.
+  opts.buffer_bytes = 13;
+  opts.fault_injector = &injector;
+  opts.retry.sleeper = [](unsigned) {};  // never actually sleep in tests
+  FileEdgeStream stream(path_, stats.num_edges, opts);
+  EXPECT_EQ(drain(stream), clean);
+
+  const auto c = injector.counters();
+  EXPECT_GT(c.short_reads + c.eintrs + c.eagains, 0u)
+      << "seed injected nothing — test is vacuous";
+  EXPECT_GT(stream.io_retries(), 0u);
+
+  // And the schedule survives a rewind without changing the sequence.
+  stream.rewind();
+  EXPECT_EQ(drain(stream), clean);
+}
+
+TEST_F(FileStreamTest, TransientOpenFailuresAreRetried) {
+  write("0 1\n2 3\n");
+  SeededFaultInjector::Options fopts;
+  fopts.fail_opens = 2;
+  SeededFaultInjector injector(fopts);
+  FileEdgeStream::Options opts;
+  opts.fault_injector = &injector;
+  unsigned backoffs = 0;
+  opts.retry.sleeper = [&](unsigned delay_us) {
+    ++backoffs;
+    EXPECT_GT(delay_us, 0u);
+  };
+  FileEdgeStream stream(path_, 2, opts);  // must not throw
+  EXPECT_EQ(drain(stream).size(), 2u);
+  EXPECT_EQ(injector.counters().failed_opens, 2u);
+  EXPECT_GE(backoffs, 2u);
+}
+
+TEST_F(FileStreamTest, RetryBudgetExhaustionSurfacesTransientError) {
+  write(many_edges(50));
+  class AlwaysEagain final : public FaultInjector {
+   public:
+    PreadFault pread_fault(std::uint64_t) override {
+      return PreadFault::kEagain;
+    }
+  };
+  AlwaysEagain injector;
+  FileEdgeStream::Options opts;
+  opts.fault_injector = &injector;
+  opts.retry.max_attempts = 3;
+  unsigned backoffs = 0;
+  unsigned last_delay = 0;
+  opts.retry.sleeper = [&](unsigned delay_us) {
+    ++backoffs;
+    EXPECT_GE(delay_us, last_delay) << "backoff must not shrink";
+    last_delay = delay_us;
+  };
+  FileEdgeStream stream(path_, 50, opts);
+  Edge e;
+  try {
+    (void)stream.next(e);
+    FAIL() << "expected TransientIoError";
+  } catch (const TransientIoError& ex) {
+    const std::string msg = ex.what();
+    EXPECT_NE(msg.find(path_), std::string::npos) << msg;
+  }
+  EXPECT_EQ(backoffs, 2u);  // max_attempts - 1 backoffs between 3 attempts
+}
+
+TEST_F(FileStreamTest, FaultedStreamStillDeliversUnterminatedFinalLine) {
+  // The no-trailing-newline and comment edge cases must hold under an
+  // aggressive short-read schedule too — short reads change where chunk
+  // boundaries fall, which is exactly what the line assembler must absorb.
+  write("# header\n0 1\n\n2 3\r\n4 5");
+  SeededFaultInjector::Options fopts;
+  fopts.seed = 7;
+  fopts.short_read_probability = 0.9;
+  SeededFaultInjector injector(fopts);
+  FileEdgeStream::Options opts;
+  opts.buffer_bytes = 5;
+  opts.fault_injector = &injector;
+  opts.retry.sleeper = [](unsigned) {};
+  FileEdgeStream stream(path_, 3, opts);
+  const auto out = drain(stream);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (Edge{0, 1}));
+  EXPECT_EQ(out[1], (Edge{2, 3}));
+  EXPECT_EQ(out[2], (Edge{4, 5}));
 }
 
 }  // namespace

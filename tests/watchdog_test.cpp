@@ -1,0 +1,338 @@
+// Stall-watchdog tests: deterministic detection semantics against a
+// FakeClock, then the two production integrations — a wedged prefetch
+// worker degrades the binary stream to synchronous reads, and a wedged
+// checkpoint writer degrades the run to in-band synchronous commits. A
+// stall must never corrupt data or hang the consumer forever.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/watchdog.h"
+#include "src/graph/edge_stream.h"
+#include "src/graph/generators.h"
+#include "src/io/adw_format.h"
+#include "src/io/binary_stream.h"
+#include "src/io/checkpoint.h"
+#include "src/io/fault_injection.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs_sink.h"
+#include "src/partition/checkpoint_run.h"
+#include "src/partition/hdrf_partitioner.h"
+#include "src/partition/partition_state.h"
+
+namespace adwise {
+namespace {
+
+using std::chrono::milliseconds;
+
+Watchdog::Options fake_clock_options(const FakeClock& clock) {
+  Watchdog::Options opts;
+  opts.stall_timeout = milliseconds(100);
+  opts.clock = &clock;
+  return opts;
+}
+
+TEST(WatchdogTest, UnarmedHandleNeverStalls) {
+  FakeClock clock;
+  Watchdog wd(fake_clock_options(clock));
+  int fired = 0;
+  Watchdog::Handle& h = wd.watch("idle", [&] { ++fired; });
+  clock.advance(milliseconds(1000));
+  wd.poll();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(h.stalled());
+}
+
+TEST(WatchdogTest, BeatsKeepAnArmedHandleAlive) {
+  FakeClock clock;
+  Watchdog wd(fake_clock_options(clock));
+  int fired = 0;
+  Watchdog::Handle& h = wd.watch("busy", [&] { ++fired; });
+  h.arm();
+  for (int i = 0; i < 20; ++i) {
+    clock.advance(milliseconds(90));  // always inside the 100ms deadline
+    h.beat();
+    wd.poll();
+  }
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(h.stalled());
+}
+
+TEST(WatchdogTest, StallFiresExactlyOncePerEpisode) {
+  FakeClock clock;
+  Watchdog wd(fake_clock_options(clock));
+  int fired = 0;
+  Watchdog::Handle& h = wd.watch("wedged", [&] { ++fired; });
+  h.arm();
+  clock.advance(milliseconds(101));
+  wd.poll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(h.stalled());
+  // A quiet-but-already-flagged handle is not re-reported every poll.
+  clock.advance(milliseconds(1000));
+  wd.poll();
+  wd.poll();
+  EXPECT_EQ(fired, 1);
+  // A beat ends the episode; a fresh stall is a fresh report.
+  h.beat();
+  EXPECT_FALSE(h.stalled());
+  clock.advance(milliseconds(101));
+  wd.poll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(WatchdogTest, DisarmedHandleIsNeverFlagged) {
+  FakeClock clock;
+  Watchdog wd(fake_clock_options(clock));
+  int fired = 0;
+  Watchdog::Handle& h = wd.watch("idle-again", [&] { ++fired; });
+  h.arm();
+  h.disarm();  // work finished before any stall
+  clock.advance(milliseconds(1000));
+  wd.poll();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(WatchdogTest, DetachStopsCallbacks) {
+  FakeClock clock;
+  Watchdog wd(fake_clock_options(clock));
+  int fired = 0;
+  Watchdog::Handle& h = wd.watch("detached", [&] { ++fired; });
+  h.arm();
+  h.detach();
+  clock.advance(milliseconds(1000));
+  wd.poll();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(WatchdogTest, WatchesMultipleHandlesIndependently) {
+  FakeClock clock;
+  Watchdog wd(fake_clock_options(clock));
+  int a_fired = 0;
+  int b_fired = 0;
+  Watchdog::Handle& a = wd.watch("a", [&] { ++a_fired; });
+  Watchdog::Handle& b = wd.watch("b", [&] { ++b_fired; });
+  EXPECT_EQ(a.name(), "a");
+  EXPECT_EQ(b.name(), "b");
+  a.arm();
+  b.arm();
+  clock.advance(milliseconds(90));
+  b.beat();  // only b makes progress
+  clock.advance(milliseconds(90));
+  wd.poll();
+  EXPECT_EQ(a_fired, 1);
+  EXPECT_EQ(b_fired, 0);
+}
+
+// --- DurableCheckpointWriter stall degradation ------------------------------
+
+// Blocks the first checkpoint write on a gate the test opens later —
+// a deterministic stand-in for an fsync wedged behind a dying disk.
+class GateFirstWrite final : public FaultInjector {
+ public:
+  WriteFault write_fault(WriteOp op, std::uint64_t) override {
+    if (op == WriteOp::kWrite && !released_.load()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      blocked_.store(true);
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return released_.load(); });
+    }
+    return WriteFault::kNone;
+  }
+  void wait_until_blocked() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return blocked_.load(); });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_.store(true);
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> blocked_{false};
+  std::atomic<bool> released_{false};
+};
+
+Checkpoint small_checkpoint(std::uint64_t assignments) {
+  Checkpoint ckpt;
+  ckpt.meta.algorithm = "hdrf";
+  ckpt.meta.k = 2;
+  ckpt.meta.num_vertices = 4;
+  ckpt.meta.assignments = assignments;
+  return ckpt;
+}
+
+TEST(WatchdogCheckpointTest, StalledWriterRejectsHandoffsAndRecovers) {
+  const std::string path = ::testing::TempDir() + "wd_writer_" +
+                           std::to_string(static_cast<long>(::getpid())) +
+                           ".adwk";
+  FakeClock clock;
+  Watchdog wd(fake_clock_options(clock));
+  GateFirstWrite gate;
+  AtomicFileWriter::Options io;
+  io.fault_injector = &gate;
+  {
+    DurableCheckpointWriter writer(path, {}, nullptr, &wd, io);
+    ASSERT_TRUE(writer.write(small_checkpoint(1)));
+    gate.wait_until_blocked();  // the commit is now wedged mid-write
+
+    clock.advance(milliseconds(101));
+    wd.poll();
+    EXPECT_TRUE(writer.stalled());
+    // Producers are refused instead of blocking forever behind the wedge;
+    // the snapshot is NOT queued.
+    EXPECT_FALSE(writer.write(small_checkpoint(2)));
+    // flush() with the commit still in flight must refuse to claim
+    // durability for it.
+    EXPECT_THROW(writer.flush(), std::runtime_error);
+
+    // The wedge eventually clears: the in-flight commit completes and the
+    // final flush succeeds — but stalled() stays sticky.
+    gate.release();
+    while (writer.committed() == 0) {
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+    EXPECT_NO_THROW(writer.flush());
+    EXPECT_TRUE(writer.stalled());
+    EXPECT_EQ(writer.committed(), 1u);
+  }
+  EXPECT_EQ(read_checkpoint_file(path).meta.assignments, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(WatchdogCheckpointTest, RunDegradesToInbandCommitsAfterWriterStall) {
+  const Graph g = make_erdos_renyi(200, 3000, 9);
+  const std::string path = ::testing::TempDir() + "wd_inband_" +
+                           std::to_string(static_cast<long>(::getpid())) +
+                           ".adwk";
+  // Real clock + background polling: the partitioning thread is busy
+  // inside run_with_checkpoints, so nobody could call poll() by hand.
+  Watchdog::Options wopts;
+  wopts.stall_timeout = milliseconds(50);
+  wopts.poll_interval = milliseconds(5);
+  Watchdog wd(wopts);
+  wd.start();
+
+  GateFirstWrite gate;
+  std::thread opener([&] {
+    gate.wait_until_blocked();
+    // Hold the gate well past the stall deadline before releasing it.
+    std::this_thread::sleep_for(milliseconds(120));
+    gate.release();
+  });
+
+  obs::MetricsRegistry reg;
+  obs::ObsSink sink;
+  sink.metrics = &reg;
+  HdrfPartitioner partitioner;
+  PartitionState state(4, g.num_vertices());
+  VectorEdgeStream stream(g.edges());
+  CheckpointRunOptions copts;
+  copts.checkpoint_path = path;
+  copts.every = 256;
+  copts.async_io = true;
+  copts.watchdog = &wd;
+  copts.obs = &sink;
+  copts.ckpt_io.fault_injector = &gate;
+  std::uint64_t written = 0;
+  EXPECT_NO_THROW(
+      written = run_with_checkpoints(partitioner, stream, state, {}, copts));
+  opener.join();
+
+  EXPECT_GE(reg.snapshot().value("watchdog.stalls", 0.0), 1.0);
+  EXPECT_GE(reg.snapshot().value("checkpoint.inband_commits", 0.0), 1.0);
+  EXPECT_GT(written, 0u);
+  // Whatever interleaving of writer-thread and in-band commits happened,
+  // the surviving checkpoint must be well-formed and belong to this run.
+  const Checkpoint final_ckpt = read_checkpoint_file(path);
+  EXPECT_EQ(final_ckpt.meta.algorithm, "hdrf");
+  EXPECT_EQ(final_ckpt.meta.k, 4u);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  std::remove((path + ".inband.tmp").c_str());
+}
+
+// --- BinaryEdgeStream prefetch stall degradation ----------------------------
+
+// Sleeps inside one background pread long enough to trip the watchdog —
+// after the stalled fetch finally completes, the stream must go sticky
+// synchronous and still deliver every edge. min_offset keeps the sleep off
+// the synchronous first-chunk read during construction (the watchdog only
+// arms around background fetches).
+class SleepOnceInjector final : public FaultInjector {
+ public:
+  SleepOnceInjector(std::uint64_t min_offset, milliseconds delay)
+      : min_offset_(min_offset), delay_(delay) {}
+  PreadFault pread_fault(std::uint64_t offset) override {
+    if (offset >= min_offset_ && !slept_.exchange(true)) {
+      std::this_thread::sleep_for(delay_);
+    }
+    return PreadFault::kNone;
+  }
+
+ private:
+  std::uint64_t min_offset_;
+  std::atomic<bool> slept_{false};
+  milliseconds delay_;
+};
+
+TEST(WatchdogStreamTest, PrefetchStallDegradesToSyncReads) {
+  const Graph g = make_erdos_renyi(300, 5000, 13);
+  const std::string path = ::testing::TempDir() + "wd_stream_" +
+                           std::to_string(static_cast<long>(::getpid())) +
+                           ".adw";
+  write_adw_file(path, g.edges());
+  std::vector<Edge> clean;
+  {
+    BinaryEdgeStream stream(path);
+    Edge e;
+    while (stream.next(e)) clean.push_back(e);
+  }
+
+  Watchdog::Options wopts;
+  wopts.stall_timeout = milliseconds(40);
+  wopts.poll_interval = milliseconds(5);
+  Watchdog wd(wopts);
+  wd.start();
+
+  // 128-edge chunks are 1 KiB each; byte offset 4096+ is several chunks
+  // in — by then fetches run on the prefetch worker.
+  SleepOnceInjector injector(/*min_offset=*/4096, milliseconds(150));
+  obs::MetricsRegistry reg;
+  obs::ObsSink sink;
+  sink.metrics = &reg;
+  BinaryEdgeStream::Options opts;
+  opts.chunk_edges = 128;  // many chunks: the sleep hits a background fetch
+  opts.fault_injector = &injector;
+  opts.watchdog = &wd;
+  opts.obs = &sink;
+  BinaryEdgeStream stream(path, opts);
+  std::vector<Edge> out;
+  Edge e;
+  while (stream.next(e)) out.push_back(e);
+
+  EXPECT_EQ(out, clean) << "stall degradation changed the edge sequence";
+  EXPECT_TRUE(stream.prefetch_degraded());
+  EXPECT_GE(reg.snapshot().value("watchdog.stalls", 0.0), 1.0);
+  // Sticky: a rewound pass stays synchronous and still delivers everything.
+  stream.rewind();
+  out.clear();
+  while (stream.next(e)) out.push_back(e);
+  EXPECT_EQ(out, clean);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace adwise

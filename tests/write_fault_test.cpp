@@ -1,0 +1,337 @@
+// Write-path fault-injection tests: every AtomicFileWriter-backed artifact
+// must absorb transient write faults invisibly, surface disk-full as the
+// typed DiskFullError with path + byte context, and never leave a torn
+// destination or an orphaned temp file behind a failed commit.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/io/adw_format.h"
+#include "src/io/atomic_file.h"
+#include "src/io/binary_stream.h"
+#include "src/io/checkpoint.h"
+#include "src/io/fault_injection.h"
+#include "src/io/io_error.h"
+
+namespace adwise {
+namespace {
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spill(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  ASSERT_TRUE(out.good());
+}
+
+// Injects one specific fault on the n-th occurrence of one WriteOp; all
+// other operations pass through clean.
+class FailNthOp final : public FaultInjector {
+ public:
+  FailNthOp(WriteOp op, std::uint64_t n, WriteFault fault)
+      : op_(op), n_(n), fault_(fault) {}
+  WriteFault write_fault(WriteOp op, std::uint64_t) override {
+    if (op != op_) return WriteFault::kNone;
+    return ++seen_ == n_ ? fault_ : WriteFault::kNone;
+  }
+
+ private:
+  WriteOp op_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t n_;
+  WriteFault fault_;
+};
+
+class WriteFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "write_fault_" +
+            std::to_string(static_cast<long>(::getpid())) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+  }
+  void TearDown() override {
+    std::remove(dest().c_str());
+    std::remove((dest() + ".tmp").c_str());
+  }
+
+  [[nodiscard]] std::string dest() const { return base_ + ".bin"; }
+
+  static AtomicFileWriter::Options with(FaultInjector* injector) {
+    AtomicFileWriter::Options opts;
+    opts.fault_injector = injector;
+    opts.retry.sleeper = [](unsigned) {};  // never actually sleep in tests
+    return opts;
+  }
+
+  std::string base_;
+};
+
+TEST_F(WriteFaultTest, TransientWriteFaultsAreInvisible) {
+  // Short writes and EINTR are invisible on EVERY write-side op (EINTR on
+  // fsync is retried too). EIO is deliberately excluded: an EIO'd commit
+  // fsync is terminal by design (dirty pages may already be gone), so it
+  // belongs in the retry-budget and failed-commit tests, not here.
+  SeededFaultInjector::Options fopts;
+  fopts.seed = 42;
+  fopts.short_write_probability = 0.3;
+  fopts.write_eintr_probability = 0.3;
+  SeededFaultInjector injector(fopts);
+
+  std::string payload;
+  for (int i = 0; i < 200; ++i) payload += "chunk-" + std::to_string(i) + "\n";
+
+  AtomicFileWriter out(dest(), with(&injector));
+  // Many small appends = many write syscalls = many fault sites.
+  for (std::size_t i = 0; i < payload.size(); i += 37) {
+    out.append(payload.data() + i, std::min<std::size_t>(37, payload.size() - i));
+  }
+  out.commit();
+
+  EXPECT_EQ(slurp(dest()), payload) << "faults changed the committed bytes";
+  const auto c = injector.counters();
+  EXPECT_GT(c.short_writes, 0u) << "seed injected no short writes";
+  EXPECT_GT(c.write_eintrs, 0u) << "seed injected no EINTRs";
+  EXPECT_GT(out.io_retries(), 0u);
+  EXPECT_FALSE(file_exists(dest() + ".tmp"));
+}
+
+TEST_F(WriteFaultTest, EnospcThrowsDiskFullErrorWithPathAndBytes) {
+  FailNthOp injector(FaultInjector::WriteOp::kWrite, 2,
+                     FaultInjector::WriteFault::kEnospc);
+  AtomicFileWriter out(dest(), with(&injector));
+  const std::string first(64, 'a');
+  out.append(first.data(), first.size());
+  try {
+    const std::string second(64, 'b');
+    out.append(second.data(), second.size());
+    FAIL() << "expected DiskFullError";
+  } catch (const DiskFullError& e) {
+    EXPECT_EQ(e.path(), dest());
+    EXPECT_EQ(e.bytes_written(), first.size());
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(dest()), std::string::npos) << msg;
+    EXPECT_NE(msg.find("64 bytes"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(WriteFaultTest, DiskFullIsNotRetried) {
+  // Backoff cannot create free space: ENOSPC must throw on the first hit,
+  // not burn the retry budget first.
+  FailNthOp injector(FaultInjector::WriteOp::kWrite, 1,
+                     FaultInjector::WriteFault::kEnospc);
+  auto opts = with(&injector);
+  unsigned backoffs = 0;
+  opts.retry.sleeper = [&](unsigned) { ++backoffs; };
+  AtomicFileWriter out(dest(), opts);
+  EXPECT_THROW(out.append("x", 1), DiskFullError);
+  EXPECT_EQ(backoffs, 0u);
+}
+
+TEST_F(WriteFaultTest, RetryBudgetExhaustionSurfacesTransientError) {
+  class AlwaysEio final : public FaultInjector {
+   public:
+    WriteFault write_fault(WriteOp op, std::uint64_t) override {
+      return op == WriteOp::kWrite ? WriteFault::kEio : WriteFault::kNone;
+    }
+  };
+  AlwaysEio injector;
+  auto opts = with(&injector);
+  opts.retry.max_attempts = 3;
+  unsigned backoffs = 0;
+  unsigned last_delay = 0;
+  opts.retry.sleeper = [&](unsigned delay_us) {
+    ++backoffs;
+    EXPECT_GE(delay_us, last_delay) << "backoff must not shrink";
+    last_delay = delay_us;
+  };
+  AtomicFileWriter out(dest(), opts);
+  try {
+    out.append("payload", 7);
+    FAIL() << "expected TransientIoError";
+  } catch (const TransientIoError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(dest()), std::string::npos) << msg;
+  }
+  EXPECT_EQ(backoffs, 2u);  // max_attempts - 1 backoffs between 3 attempts
+}
+
+// The satellite pin: on ANY commit failure the temp file is unlinked and a
+// pre-existing destination is untouched — a reader can never observe a
+// torn or half-renamed artifact.
+TEST_F(WriteFaultTest, FailedCommitUnlinksTmpAndPreservesDestination) {
+  // fsync EIO is terminal-by-design (dirty pages may already be gone) and
+  // close EIO has no fd left to retry — both must abort the commit as a
+  // typed transient error, unlink the temp file, and leave the previous
+  // destination byte-identical.
+  const std::string previous = "previous generation, must survive";
+  for (const auto op :
+       {FaultInjector::WriteOp::kFsync, FaultInjector::WriteOp::kClose}) {
+    spill(dest(), previous);
+    FailNthOp injector(op, 1, FaultInjector::WriteFault::kEio);
+    {
+      AtomicFileWriter out(dest(), with(&injector));
+      out.append("new generation", 14);
+      EXPECT_THROW(out.commit(), TransientIoError);
+    }
+    EXPECT_FALSE(file_exists(dest() + ".tmp"))
+        << "orphan temp file after failed commit (op " << static_cast<int>(op)
+        << ")";
+    EXPECT_EQ(slurp(dest()), previous)
+        << "failed commit damaged the destination (op " << static_cast<int>(op)
+        << ")";
+  }
+}
+
+TEST_F(WriteFaultTest, TransientRenameFaultsAreRetriedAtCommit) {
+  // Unlike fsync, a failed rename invalidates nothing — the temp file is
+  // already durable — so one injected EIO must be absorbed by the retry
+  // loop and the commit still lands.
+  FailNthOp injector(FaultInjector::WriteOp::kRename, 1,
+                     FaultInjector::WriteFault::kEio);
+  AtomicFileWriter out(dest(), with(&injector));
+  out.append("persistent", 10);
+  out.commit();
+  EXPECT_EQ(slurp(dest()), "persistent");
+  EXPECT_GT(out.io_retries(), 0u);
+  EXPECT_FALSE(file_exists(dest() + ".tmp"));
+}
+
+TEST_F(WriteFaultTest, EnospcOnRenameIsDiskFull) {
+  FailNthOp injector(FaultInjector::WriteOp::kRename, 1,
+                     FaultInjector::WriteFault::kEnospc);
+  AtomicFileWriter out(dest(), with(&injector));
+  out.append("doomed", 6);
+  EXPECT_THROW(out.commit(), DiskFullError);
+  EXPECT_FALSE(file_exists(dest()));
+  EXPECT_FALSE(file_exists(dest() + ".tmp"));
+}
+
+TEST_F(WriteFaultTest, SameSeedSameWriteSchedule) {
+  SeededFaultInjector::Options fopts;
+  fopts.seed = 1234;
+  fopts.short_write_probability = 0.2;
+  fopts.write_eintr_probability = 0.2;
+  fopts.write_eio_probability = 0.1;
+
+  auto run = [&] {
+    SeededFaultInjector injector(fopts);
+    AtomicFileWriter out(dest(), with(&injector));
+    for (int i = 0; i < 100; ++i) out.append("0123456789abcdef", 16);
+    out.commit();
+    return injector.counters();
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.short_writes, second.short_writes);
+  EXPECT_EQ(first.write_eintrs, second.write_eintrs);
+  EXPECT_EQ(first.write_eios, second.write_eios);
+  EXPECT_GT(first.short_writes + first.write_eintrs + first.write_eios, 0u);
+}
+
+// The process-global injector reaches writers constructed deep inside
+// library code with no injector threaded through — the chokepoint the
+// chaos subprocess runs rely on.
+TEST_F(WriteFaultTest, ProcessGlobalInjectorReachesImplicitWriters) {
+  FailNthOp injector(FaultInjector::WriteOp::kWrite, 1,
+                     FaultInjector::WriteFault::kEnospc);
+  ScopedProcessFaultInjector scope(&injector);
+  AtomicFileWriter out(dest());  // no per-instance injector
+  EXPECT_THROW(out.append("x", 1), DiskFullError);
+}
+
+TEST_F(WriteFaultTest, ProcessGlobalInjectorScopeRestores) {
+  {
+    FailNthOp injector(FaultInjector::WriteOp::kWrite, 1,
+                       FaultInjector::WriteFault::kEnospc);
+    ScopedProcessFaultInjector scope(&injector);
+    EXPECT_EQ(process_fault_injector(), &injector);
+  }
+  EXPECT_EQ(process_fault_injector(), nullptr);
+  AtomicFileWriter out(dest());
+  out.append("clean", 5);  // must not throw once the scope is gone
+  out.commit();
+  EXPECT_EQ(slurp(dest()), "clean");
+}
+
+// End-to-end through a real artifact: an .adw file written under a seeded
+// transient-fault schedule must read back identical to a clean one.
+TEST_F(WriteFaultTest, AdwFileSurvivesTransientWriteFaults) {
+  const Graph g = make_erdos_renyi(200, 3000, 7);
+  const std::string clean_path = base_ + "_clean.adw";
+  const std::string faulty_path = base_ + "_faulty.adw";
+
+  AdwWriter::Options clean_opts;
+  clean_opts.with_crc = true;
+  write_adw_file(clean_path, g.edges(), clean_opts);
+
+  SeededFaultInjector::Options fopts;
+  fopts.seed = 77;
+  fopts.short_write_probability = 0.2;
+  fopts.write_eintr_probability = 0.2;
+  fopts.write_eio_probability = 0.1;
+  SeededFaultInjector injector(fopts);
+  AdwWriter::Options faulty_opts;
+  faulty_opts.with_crc = true;
+  faulty_opts.io.fault_injector = &injector;
+  faulty_opts.io.retry.sleeper = [](unsigned) {};
+  write_adw_file(faulty_path, g.edges(), faulty_opts);
+
+  EXPECT_EQ(slurp(faulty_path), slurp(clean_path));
+  const auto c = injector.counters();
+  EXPECT_GT(c.short_writes + c.write_eintrs + c.write_eios, 0u)
+      << "seed injected nothing — test is vacuous";
+
+  // And the faulty-written file passes a full CRC-verified drain.
+  BinaryEdgeStream stream(faulty_path);
+  Edge e;
+  std::size_t n = 0;
+  while (stream.next(e)) ++n;
+  EXPECT_EQ(n, g.num_edges());
+
+  std::remove(clean_path.c_str());
+  std::remove(faulty_path.c_str());
+}
+
+// Same end-to-end guarantee for the checkpoint artifact: a failed durable
+// write leaves the previous checkpoint intact, byte for byte.
+TEST_F(WriteFaultTest, FailedCheckpointWritePreservesPreviousCheckpoint) {
+  const std::string path = base_ + ".adwk";
+  Checkpoint ckpt;
+  ckpt.meta.algorithm = "hdrf";
+  ckpt.meta.k = 4;
+  ckpt.meta.num_vertices = 10;
+  ckpt.meta.assignments = 123;
+  write_checkpoint_file(path, ckpt);
+  const std::string previous = slurp(path);
+  ASSERT_FALSE(previous.empty());
+
+  ckpt.meta.assignments = 456;
+  FailNthOp injector(FaultInjector::WriteOp::kFsync, 1,
+                     FaultInjector::WriteFault::kEnospc);
+  AtomicFileWriter::Options io;
+  io.fault_injector = &injector;
+  EXPECT_THROW(write_checkpoint_file(path, ckpt, io), DiskFullError);
+  EXPECT_EQ(slurp(path), previous);
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  EXPECT_EQ(read_checkpoint_file(path).meta.assignments, 123u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace adwise

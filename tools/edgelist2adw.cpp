@@ -22,6 +22,12 @@
 // shard concurrently (§III-D parallel loading). The input may also be an
 // existing .adw file (detected by magic), in which case it is resharded in
 // a single pass.
+//
+// Exit codes follow the partition_file contract (0 success, 1 other,
+// 2 usage, 3 corrupt input, 4 transient I/O budget exhausted, 5 disk
+// full), and ADWISE_FAULT_* environment variables install the same
+// process-wide fault injector — so tools/run_chaos.py can drive the
+// convert and shard phases through fault schedules too.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -29,6 +35,8 @@
 
 #include "src/io/adw_format.h"
 #include "src/io/adw_shards.h"
+#include "src/io/fault_injection.h"
+#include "src/io/io_error.h"
 
 namespace {
 
@@ -44,6 +52,7 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   using namespace adwise;
+  install_fault_injector_from_env();
   unsigned long shards = 0;
   bool with_crc = false;
   int arg = 1;
@@ -124,6 +133,15 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(
                        manifest.shards[i].max_vertex_id));
     }
+  } catch (const DiskFullError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 5;
+  } catch (const TransientIoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 4;
+  } catch (const CorruptDataError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

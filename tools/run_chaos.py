@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""End-to-end chaos harness over the real binaries.
+
+Drives the full pipeline — convert (edgelist2adw), shard (edgelist2adw
+--shards), checkpointed partition (partition_file) with SIGKILL crashes and
+checkpoint resume — under seeded ADWISE_FAULT_* schedules, and checks the
+contract the repo's write-path fault tolerance promises:
+
+  * every faulted process exits with a *typed* code: 0 (done), 4 (transient
+    budget exhausted — retry), 5 (disk full — retry), or dies to our own
+    SIGKILL; anything else (1, 2, 3, crashes we did not request) fails the
+    harness;
+  * a failed or killed phase leaves no torn destination and no orphan
+    *.tmp file, so simply re-running the phase recovers;
+  * after every schedule, the final artifacts are byte-identical to a
+    fault-free reference run (the .adw bytes and the partition output).
+
+Fault schedules are derived per (seed, attempt): the injector's once-only
+map resets across processes, so each retry must draw a fresh schedule or it
+would replay the exact fault that killed it. A bounded number of faulty
+attempts is followed by fault-free ones, so the harness provably
+terminates.
+
+Usage:
+  tools/run_chaos.py --build-dir build [--seeds 1-5] [--edges 4000]
+"""
+
+import argparse
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+
+MAX_FAULTY_ATTEMPTS = 20  # per phase, then the fault env is dropped
+MAX_ATTEMPTS = 25
+RETRYABLE = (4, 5)  # transient budget exhausted / disk full
+KILLED = -signal.SIGKILL
+
+
+def log(msg):
+    print(f"[chaos] {msg}", flush=True)
+
+
+def fault_env(seed, attempt, enospc):
+    """Write-heavy schedule for one attempt; {} past the faulty budget."""
+    if attempt > MAX_FAULTY_ATTEMPTS:
+        return {}
+    env = {
+        "ADWISE_FAULT_SEED": str(seed * 1000003 + attempt),
+        "ADWISE_FAULT_WRITE_EINTR_P": "0.10",
+        "ADWISE_FAULT_WRITE_SHORT_P": "0.10",
+        "ADWISE_FAULT_WRITE_EIO_P": "0.05",
+        "ADWISE_FAULT_READ_EINTR_P": "0.05",
+        "ADWISE_FAULT_READ_EAGAIN_P": "0.05",
+    }
+    if enospc:
+        env["ADWISE_FAULT_ENOSPC_P"] = "0.03"
+    return env
+
+
+def run(cmd, extra_env):
+    env = dict(os.environ)
+    env.update(extra_env)
+    proc = subprocess.run(
+        cmd, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE
+    )
+    return proc.returncode, proc.stderr.decode(errors="replace")
+
+
+def check_no_litter(workdir, when):
+    litter = [f for f in os.listdir(workdir) if f.endswith(".tmp")]
+    if litter:
+        sys.exit(f"FAIL: orphan temp files {litter} {when}")
+
+
+def run_phase(name, cmd, workdir, seed, enospc, accept_kill=False):
+    """Retries cmd under per-attempt fault schedules until it exits 0."""
+    faults_seen = 0
+    for attempt in range(1, MAX_ATTEMPTS + 1):
+        code, stderr = run(cmd, fault_env(seed, attempt, enospc))
+        if code == 0:
+            check_no_litter(workdir, f"after {name} converged")
+            log(f"  {name}: converged after {attempt} attempt(s), "
+                f"{faults_seen} typed failure(s)")
+            return faults_seen
+        if code in RETRYABLE or (accept_kill and code == KILLED):
+            faults_seen += 1
+            check_no_litter(workdir, f"after {name} attempt {attempt} "
+                                     f"(exit {code})")
+            continue
+        sys.exit(f"FAIL: {name} attempt {attempt} exited {code} "
+                 f"(only 0/4/5 allowed)\nstderr:\n{stderr}")
+    sys.exit(f"FAIL: {name} did not converge in {MAX_ATTEMPTS} attempts")
+
+
+def files_identical(a, b):
+    with open(a, "rb") as fa, open(b, "rb") as fb:
+        return fa.read() == fb.read()
+
+
+def chaos_partition(bins, workdir, adw, out, ref_out, seed, enospc):
+    """Checkpointed partitioning under faults + SIGKILL crashes + resume."""
+    ckpt = os.path.join(workdir, "chaos.ckpt")
+    kills = crashes = typed = 0
+    for attempt in range(1, MAX_ATTEMPTS + 1):
+        cmd = [bins["partition_file"], adw, "hdrf", "8", "-1",
+               "--output", out, "--checkpoint", ckpt,
+               "--checkpoint-every", "500", "--watchdog-ms", "2000"]
+        if os.path.exists(ckpt):
+            cmd += ["--resume", ckpt]
+        env = fault_env(seed, attempt, enospc)
+        # First few attempts also die by SIGKILL right after a checkpoint
+        # commit — the hardest crash the format must survive.
+        if attempt <= 3:
+            env["ADWISE_TEST_KILL_AFTER_CHECKPOINT"] = str(attempt)
+        code, stderr = run(cmd, env)
+        if code == 0:
+            log(f"  partition: converged after {attempt} attempt(s), "
+                f"{kills} kill(s), {typed} typed failure(s)")
+            break
+        if code == KILLED:
+            kills += 1
+            crashes += 1
+            continue  # a SIGKILL may legitimately leave a *.tmp behind
+        if code in RETRYABLE:
+            typed += 1
+            crashes += 1
+            check_no_litter(workdir,
+                            f"after partition attempt {attempt} (exit {code})")
+            continue
+        sys.exit(f"FAIL: partition attempt {attempt} exited {code}"
+                 f"\nstderr:\n{stderr}")
+    else:
+        sys.exit(f"FAIL: partition did not converge in {MAX_ATTEMPTS} attempts")
+    if crashes == 0:
+        sys.exit("FAIL: no partition attempt ever crashed — chaos is vacuous")
+    # A SIGKILL may leave a *.tmp behind, but the converged run must have
+    # cleaned up after its predecessors: no temp files, no .partial.
+    check_no_litter(workdir, "after partition converged")
+    if os.path.exists(out + ".partial"):
+        sys.exit("FAIL: converged partition left chaos.out.partial behind")
+    if not files_identical(out, ref_out):
+        sys.exit("FAIL: crashed-and-resumed output differs from the "
+                 "fault-free reference — resume is not bit-identical")
+
+
+def run_seed(bins, seed, num_edges, keep):
+    workdir = tempfile.mkdtemp(prefix=f"adwise_chaos_s{seed}_")
+    log(f"seed {seed}: workdir {workdir}")
+    try:
+        # Seeded random multigraph edge list; self-loops are skipped by the
+        # converter just like the streaming text parser.
+        rng = random.Random(seed)
+        num_vertices = max(50, num_edges // 10)
+        txt = os.path.join(workdir, "graph.txt")
+        with open(txt, "w") as f:
+            f.write("# chaos harness graph\n")
+            for _ in range(num_edges):
+                f.write(f"{rng.randrange(num_vertices)} "
+                        f"{rng.randrange(num_vertices)}\n")
+
+        # Fault-free reference artifacts.
+        ref_adw = os.path.join(workdir, "ref.adw")
+        ref_out = os.path.join(workdir, "ref.out")
+        for cmd in ([bins["edgelist2adw"], "--crc", txt, ref_adw],
+                    [bins["partition_file"], ref_adw, "hdrf", "8", "-1",
+                     "--output", ref_out]):
+            code, stderr = run(cmd, {})
+            if code != 0:
+                sys.exit(f"FAIL: fault-free reference exited {code}"
+                         f"\nstderr:\n{stderr}")
+
+        enospc = seed % 3 == 0
+        adw = os.path.join(workdir, "chaos.adw")
+        manifest = os.path.join(workdir, "chaos.adws")
+        out = os.path.join(workdir, "chaos.out")
+
+        run_phase("convert", [bins["edgelist2adw"], "--crc", txt, adw],
+                  workdir, seed, enospc)
+        if not files_identical(adw, ref_adw):
+            sys.exit("FAIL: faulted convert produced different .adw bytes")
+
+        run_phase("shard", [bins["edgelist2adw"], "--shards", "4", adw,
+                            manifest], workdir, seed * 31 + 7, enospc)
+
+        chaos_partition(bins, workdir, adw, out, ref_out, seed, enospc)
+        log(f"seed {seed}: OK")
+    finally:
+        if keep:
+            log(f"seed {seed}: keeping {workdir}")
+        else:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+def parse_seeds(spec):
+    if "-" in spec:
+        lo, hi = spec.split("-", 1)
+        return list(range(int(lo), int(hi) + 1))
+    return [int(s) for s in spec.split(",")]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--seeds", default="1-4",
+                    help="range 'LO-HI' or comma list (default 1-4)")
+    ap.add_argument("--edges", type=int, default=4000)
+    ap.add_argument("--keep", action="store_true",
+                    help="keep per-seed workdirs for debugging")
+    args = ap.parse_args()
+
+    bins = {
+        "edgelist2adw": os.path.join(args.build_dir, "tools", "edgelist2adw"),
+        "partition_file": os.path.join(args.build_dir, "examples",
+                                       "partition_file"),
+    }
+    for name, path in bins.items():
+        if not os.access(path, os.X_OK):
+            sys.exit(f"FAIL: {name} not built at {path}")
+
+    seeds = parse_seeds(args.seeds)
+    for seed in seeds:
+        run_seed(bins, seed, args.edges, args.keep)
+    log(f"all {len(seeds)} seed(s) green")
+
+
+if __name__ == "__main__":
+    main()

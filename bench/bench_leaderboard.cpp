@@ -1,0 +1,305 @@
+// Quality leaderboard: every registry algorithm plus ADWISE over a synthetic
+// dataset zoo, one JSON document with one row per (algorithm, dataset, k).
+//
+// Standalone on purpose — no google-benchmark dependency — so the binary
+// builds under every CI configuration (sanitizers build with
+// ADWISE_BUILD_BENCH=ON but no benchmark lib is needed) and the schema test
+// can run it directly. tools/leaderboard.py renders the ranked tables;
+// tools/check_bench_guardrail.py --leaderboard pins the quality gates.
+//
+// Row fields:
+//   algorithm, rival_class, dataset, power_law, k, n, m,
+//   replication, imbalance, load_balance, vertex_balance,
+//   seconds, edges_per_second
+//
+// rival_class partitions the fleet for the guardrail's comparisons:
+//   reference — adwise (the system under test)
+//   streaming — true single-edge streamers (hash, 1d, grid, dbh, greedy,
+//               hdrf, ebv): O(1) state per decision beyond the vertex cache
+//   offline   — algorithms that buffer the full edge set before deciding
+//               (ne, fennel, ldg, 2ps); quality context, not a fair
+//               streaming comparison
+//
+// Usage:
+//   bench_leaderboard [--scale F] [--out FILE] [--ks CSV]
+//                     [--datasets CSV] [--algorithms CSV]
+//
+// Defaults: scale 1.0 (~100k-edge graphs), stdout, ks 8,32, all five
+// datasets (rmat, ba, ws, grid, rmat_adw), all twelve algorithms. The zoo
+// covers both stream regimes the paper cares about: power-law graphs (rmat,
+// ba and the .adw round-trip of rmat) and flat-degree graphs (ws, grid).
+// rmat_adw exercises the binary .adw path end to end: the rmat edges are
+// written to a CRC'd .adw file, streamed back through BinaryEdgeStream and
+// partitioned from the decoded sequence.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/io/adw_format.h"
+#include "src/io/binary_stream.h"
+#include "src/partition/quality.h"
+
+namespace {
+
+using namespace adwise;
+using namespace adwise::bench;
+
+struct Dataset {
+  std::string name;
+  bool power_law = false;
+  Graph graph;
+};
+
+struct Row {
+  std::string algorithm;
+  std::string rival_class;
+  std::string dataset;
+  bool power_law = false;
+  std::uint32_t k = 0;
+  VertexId n = 0;
+  std::size_t m = 0;
+  double replication = 0.0;
+  double imbalance = 0.0;
+  double load_balance = 0.0;
+  double vertex_balance = 0.0;
+  double seconds = 0.0;
+  double edges_per_second = 0.0;
+};
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+const char* rival_class_of(const std::string& algorithm) {
+  if (algorithm == "adwise") return "reference";
+  if (algorithm == "ne" || algorithm == "fennel" || algorithm == "ldg" ||
+      algorithm == "2ps") {
+    return "offline";
+  }
+  return "streaming";
+}
+
+Graph adw_round_trip(const Graph& graph) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "adwise_leaderboard_roundtrip.adw";
+  AdwWriter::Options options;
+  options.with_crc = true;
+  write_adw_file(path.string(), graph.edges(), options);
+  std::vector<Edge> edges;
+  {
+    BinaryEdgeStream stream(path.string());
+    edges.reserve(stream.size_hint());
+    Edge e;
+    while (stream.next(e)) edges.push_back(e);
+  }
+  fs::remove(path);
+  return Graph(graph.num_vertices(), std::move(edges));
+}
+
+std::vector<Dataset> make_zoo(double scale,
+                              const std::vector<std::string>& wanted) {
+  const auto selected = [&](const char* name) {
+    return std::find(wanted.begin(), wanted.end(), name) != wanted.end();
+  };
+  const auto scaled = [scale](double base) {
+    return static_cast<std::size_t>(std::max(1.0, base * scale));
+  };
+
+  std::vector<Dataset> zoo;
+  if (selected("rmat") || selected("rmat_adw")) {
+    RmatParams params;
+    params.scale = 14;
+    params.num_edges = scaled(100'000);
+    params.seed = 7;
+    Graph rmat = make_rmat(params);
+    if (selected("rmat")) zoo.push_back({"rmat", true, rmat});
+    if (selected("rmat_adw")) {
+      zoo.push_back({"rmat_adw", true, adw_round_trip(rmat)});
+    }
+  }
+  if (selected("ba")) {
+    zoo.push_back(
+        {"ba", true,
+         make_barabasi_albert(static_cast<VertexId>(scaled(20'000)), 5, 7)});
+  }
+  if (selected("ws")) {
+    zoo.push_back(
+        {"ws", false,
+         make_watts_strogatz(static_cast<VertexId>(scaled(20'000)), 8, 0.05,
+                             7)});
+  }
+  if (selected("grid")) {
+    const auto side = static_cast<VertexId>(
+        std::max(2.0, std::sqrt(50'000.0 * scale)));
+    zoo.push_back({"grid", false, make_grid(side, side)});
+  }
+  // Keep declared order stable regardless of selection order above.
+  std::vector<Dataset> ordered;
+  for (const char* name : {"rmat", "ba", "ws", "grid", "rmat_adw"}) {
+    for (auto& d : zoo) {
+      if (d.name == name) ordered.push_back(std::move(d));
+    }
+  }
+  return ordered;
+}
+
+void write_json(std::FILE* out, double scale, const std::vector<Row>& rows) {
+  std::fprintf(out, "{\n  \"schema_version\": 1,\n  \"scale\": %.4f,\n",
+               scale);
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"algorithm\": \"%s\", \"rival_class\": \"%s\", "
+        "\"dataset\": \"%s\", \"power_law\": %s, \"k\": %u, "
+        "\"n\": %llu, \"m\": %zu, \"replication\": %.6f, "
+        "\"imbalance\": %.6f, \"load_balance\": %.6f, "
+        "\"vertex_balance\": %.6f, \"seconds\": %.6f, "
+        "\"edges_per_second\": %.1f}%s\n",
+        r.algorithm.c_str(), r.rival_class.c_str(), r.dataset.c_str(),
+        r.power_law ? "true" : "false", r.k,
+        static_cast<unsigned long long>(r.n), r.m, r.replication, r.imbalance,
+        r.load_balance, r.vertex_balance, r.seconds, r.edges_per_second,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = env_scale(1.0);
+  std::string out_path;
+  std::vector<std::string> ks = {"8", "32"};
+  std::vector<std::string> datasets = {"rmat", "ba", "ws", "grid",
+                                       "rmat_adw"};
+  std::vector<std::string> algorithms;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      scale = std::atof(value());
+      if (scale <= 0.0) {
+        std::fprintf(stderr, "--scale must be > 0\n");
+        return 2;
+      }
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--ks") {
+      ks = split_csv(value());
+    } else if (arg == "--datasets") {
+      datasets = split_csv(value());
+    } else if (arg == "--algorithms") {
+      algorithms = split_csv(value());
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale F] [--out FILE] [--ks CSV]\n"
+                   "          [--datasets CSV] [--algorithms CSV]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (algorithms.empty()) {
+    algorithms.emplace_back("adwise");
+    for (const std::string_view name : baseline_partitioner_names()) {
+      algorithms.emplace_back(name);
+    }
+  }
+  // Validate up front: an unknown name must be a usage error here, not an
+  // abort() out of a strategy factory mid-run.
+  for (const std::string& algorithm : algorithms) {
+    if (algorithm == "adwise") continue;
+    if (make_baseline_partitioner(algorithm, 2) == nullptr) {
+      std::fprintf(stderr, "unknown algorithm '%s' (known: adwise, %s)\n",
+                   algorithm.c_str(), baseline_partitioner_names_csv().c_str());
+      return 2;
+    }
+  }
+
+  const std::vector<Dataset> zoo = make_zoo(scale, datasets);
+  if (zoo.empty()) {
+    std::fprintf(stderr, "no datasets selected\n");
+    return 2;
+  }
+
+  std::vector<Row> rows;
+  for (const Dataset& dataset : zoo) {
+    for (const std::string& k_str : ks) {
+      const auto k = static_cast<std::uint32_t>(std::atoi(k_str.c_str()));
+      if (k == 0) {
+        std::fprintf(stderr, "bad k '%s'\n", k_str.c_str());
+        return 2;
+      }
+      for (const std::string& algorithm : algorithms) {
+        const Strategy strategy =
+            algorithm == "adwise" ? adwise_strategy("adwise", AdwiseOptions{})
+                                  : baseline_strategy(algorithm);
+        const PartitionRun run = run_partition_single(
+            dataset.graph, strategy, k, StreamOrder::kShuffled);
+        const QualityReport quality = analyze_quality(
+            run.assignments, k, dataset.graph.num_vertices());
+
+        Row row;
+        row.algorithm = algorithm;
+        row.rival_class = rival_class_of(algorithm);
+        row.dataset = dataset.name;
+        row.power_law = dataset.power_law;
+        row.k = k;
+        row.n = dataset.graph.num_vertices();
+        row.m = dataset.graph.num_edges();
+        row.replication = quality.replication_degree;
+        row.imbalance = quality.imbalance;
+        row.load_balance = quality.load_balance;
+        row.vertex_balance = quality.vertex_balance;
+        row.seconds = run.seconds;
+        row.edges_per_second =
+            run.seconds > 0.0
+                ? static_cast<double>(dataset.graph.num_edges()) / run.seconds
+                : 0.0;
+        rows.push_back(std::move(row));
+        std::fprintf(stderr, "%-8s %-9s k=%-3u rep=%.4f bal=%.4f %.3fs\n",
+                     dataset.name.c_str(), algorithm.c_str(), k,
+                     quality.replication_degree, quality.load_balance,
+                     run.seconds);
+      }
+    }
+  }
+
+  std::FILE* out = stdout;
+  if (!out_path.empty() && out_path != "-") {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  write_json(out, scale, rows);
+  if (out != stdout) std::fclose(out);
+  return 0;
+}

@@ -12,7 +12,8 @@
 //                binary .adw file, or a sharded .adws manifest — all
 //                auto-detected by magic (see src/io/adw_format.h,
 //                src/io/adw_shards.h and tools/edgelist2adw)
-//   algorithm    hash | grid | dbh | greedy | hdrf | ne | adwise (default adwise)
+//   algorithm    hash | 1d | grid | dbh | greedy | hdrf | ne | ebv | fennel |
+//                ldg | 2ps | adwise (default adwise)
 //   k            number of partitions                            (default 32)
 //   latency_ms   ADWISE latency preference in ms, -1 = unbounded (default -1)
 //   --passes N   restreaming passes (default 1); passes > 1 rewind the
@@ -356,7 +357,9 @@ int main(int argc, char** argv) {
   if (!is_adwise) {
     const auto names = baseline_partitioner_names();
     if (std::find(names.begin(), names.end(), algorithm) == names.end()) {
-      std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
+      std::fprintf(stderr, "unknown algorithm '%s' (known: adwise, %s)\n",
+                   algorithm.c_str(),
+                   baseline_partitioner_names_csv().c_str());
       return 2;
     }
   }

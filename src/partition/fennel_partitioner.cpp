@@ -1,0 +1,74 @@
+#include "src/partition/fennel_partitioner.h"
+
+#include <cmath>
+
+namespace adwise {
+
+PartitionId FennelVertexAssigner::place_vertex(VertexId /*v*/,
+                                               std::span<const VertexId>
+                                                   neighbors,
+                                               const VertexAssignView& view) {
+  const auto participants = std::max<VertexId>(view.total_vertices, 1);
+  const double alpha =
+      alpha_override_ > 0.0
+          ? alpha_override_
+          : std::sqrt(static_cast<double>(view.k)) *
+                static_cast<double>(view.num_edges) /
+                std::pow(static_cast<double>(participants), 1.5);
+
+  // Count already-assigned neighbors per partition (scratch reused across
+  // calls; touched entries reset on the way out).
+  if (neighbor_count_.size() != view.k) neighbor_count_.assign(view.k, 0);
+  touched_.clear();
+  for (const VertexId n : neighbors) {
+    const PartitionId p = view.vertex_part[n];
+    if (p == kInvalidPartition) continue;
+    if (neighbor_count_[p]++ == 0) touched_.push_back(p);
+  }
+
+  // Hard capacity ν·n/k (ν = 1.1, n = participating vertices): the paper's
+  // balance constraint. Without it the interpolated objective happily piles
+  // a sparse graph onto a few partitions (the penalty term vanishes when
+  // m ≪ n^1.5). Cannot exclude every partition: total assigned vertices
+  // stay below ν·n.
+  const double capacity = 1.1 * static_cast<double>(participants) /
+                          static_cast<double>(view.k);
+
+  PartitionId best = 0;
+  double best_score = 0.0;
+  std::uint64_t best_vcount = 0;
+  bool have_best = false;
+  for (PartitionId p = 0; p < view.k; ++p) {
+    const auto vcount = static_cast<double>(view.vertex_counts[p]);
+    if (vcount + 1.0 > capacity) continue;
+    const double score =
+        static_cast<double>(neighbor_count_[p]) -
+        alpha * gamma_ * std::pow(vcount, gamma_ - 1.0);
+    if (!have_best || score > best_score ||
+        (score == best_score &&
+         (view.vertex_counts[p] < best_vcount ||
+          (view.vertex_counts[p] == best_vcount && p < best)))) {
+      best = p;
+      best_score = score;
+      best_vcount = view.vertex_counts[p];
+      have_best = true;
+    }
+  }
+  for (const PartitionId p : touched_) neighbor_count_[p] = 0;
+  if (have_best) return best;
+  // All candidates at capacity (only possible transiently from rounding):
+  // fewest vertices, smallest id.
+  PartitionId least = 0;
+  for (PartitionId p = 1; p < view.k; ++p) {
+    if (view.vertex_counts[p] < view.vertex_counts[least]) least = p;
+  }
+  return least;
+}
+
+std::unique_ptr<EdgePartitioner> make_fennel_partitioner(double gamma,
+                                                         double alpha) {
+  return std::make_unique<Vertex2EdgePartitioner>(
+      std::make_unique<FennelVertexAssigner>(gamma, alpha));
+}
+
+}  // namespace adwise

@@ -1,0 +1,57 @@
+#include "src/partition/ldg_partitioner.h"
+
+#include <algorithm>
+
+namespace adwise {
+
+PartitionId LdgVertexAssigner::place_vertex(VertexId /*v*/,
+                                            std::span<const VertexId>
+                                                neighbors,
+                                            const VertexAssignView& view) {
+  const double capacity = static_cast<double>(
+      (static_cast<std::uint64_t>(std::max<VertexId>(view.total_vertices, 1)) +
+       view.k - 1) /
+      view.k);
+
+  if (neighbor_count_.size() != view.k) neighbor_count_.assign(view.k, 0);
+  touched_.clear();
+  for (const VertexId n : neighbors) {
+    const PartitionId p = view.vertex_part[n];
+    if (p == kInvalidPartition) continue;
+    if (neighbor_count_[p]++ == 0) touched_.push_back(p);
+  }
+
+  PartitionId best = kInvalidPartition;
+  double best_score = 0.0;
+  std::uint64_t best_vcount = 0;
+  for (PartitionId p = 0; p < view.k; ++p) {
+    const auto vcount = static_cast<double>(view.vertex_counts[p]);
+    const double score = static_cast<double>(neighbor_count_[p]) *
+                         (1.0 - vcount / capacity);
+    if (score <= 0.0) continue;
+    if (best == kInvalidPartition || score > best_score ||
+        (score == best_score &&
+         (view.vertex_counts[p] < best_vcount ||
+          (view.vertex_counts[p] == best_vcount && p < best)))) {
+      best = p;
+      best_score = score;
+      best_vcount = view.vertex_counts[p];
+    }
+  }
+  for (const PartitionId p : touched_) neighbor_count_[p] = 0;
+  if (best != kInvalidPartition) return best;
+
+  // Balance fallback: fewest vertices, smallest id.
+  PartitionId least = 0;
+  for (PartitionId p = 1; p < view.k; ++p) {
+    if (view.vertex_counts[p] < view.vertex_counts[least]) least = p;
+  }
+  return least;
+}
+
+std::unique_ptr<EdgePartitioner> make_ldg_partitioner() {
+  return std::make_unique<Vertex2EdgePartitioner>(
+      std::make_unique<LdgVertexAssigner>());
+}
+
+}  // namespace adwise

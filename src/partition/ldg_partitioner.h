@@ -1,0 +1,41 @@
+// LDG — Linear Deterministic Greedy streaming vertex partitioning
+// (Stanton & Kliot, KDD 2012), lifted to an edge partitioning via
+// Vertex2EdgePartitioner.
+//
+// Each vertex v, arriving in first-appearance order with its neighbor
+// list, goes to the partition maximizing
+//
+//   score(p) = |N(v) ∩ P_p| * (1 - |P_p| / C),    C = ceil(|V| / k)
+//
+// the classic weighted-greedy rule: neighbor affinity discounted linearly
+// by how full the partition already is relative to its capacity C. When
+// every score is zero (no assigned neighbors, or all candidate partitions
+// full) the vertex falls back to the partition with the fewest vertices —
+// the rule's standard balance fallback. Ties break toward fewer vertices,
+// then the smaller id, so placement is fully deterministic. Only
+// already-assigned neighbors count (one-pass streaming).
+#pragma once
+
+#include <memory>
+
+#include "src/partition/vertex2edgepart.h"
+
+namespace adwise {
+
+class LdgVertexAssigner final : public VertexAssigner {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "ldg"; }
+
+  [[nodiscard]] PartitionId place_vertex(
+      VertexId v, std::span<const VertexId> neighbors,
+      const VertexAssignView& view) override;
+
+ private:
+  std::vector<std::uint32_t> neighbor_count_;
+  std::vector<PartitionId> touched_;
+};
+
+// The registry entry: LDG behind the vertex -> edge lifting rule.
+[[nodiscard]] std::unique_ptr<EdgePartitioner> make_ldg_partitioner();
+
+}  // namespace adwise

@@ -12,8 +12,10 @@ QualityReport analyze_quality(const PartitionState& state) {
   for (PartitionId p = 0; p < state.k(); ++p) {
     report.partition_sizes.push_back(state.edges_on(p));
   }
+  report.vertices_per_partition.assign(state.k(), 0);
   for (VertexId v = 0; v < state.num_vertices(); ++v) {
-    const std::uint32_t replicas = state.replicas(v).size();
+    const ReplicaSet& r = state.replicas(v);
+    const std::uint32_t replicas = r.size();
     if (replicas >= report.replica_histogram.size()) {
       report.replica_histogram.resize(replicas + 1, 0);
     }
@@ -22,8 +24,31 @@ QualityReport analyze_quality(const PartitionState& state) {
     if (replicas >= 1) {
       ++report.vertices_with_replicas;
       report.communication_volume += replicas - 1;
+      r.for_each([&](std::uint32_t p) {
+        ++report.vertices_per_partition[p];
+      });
     }
     if (replicas > 1) ++report.cut_vertices;
+  }
+
+  // Normalized max loads; guard every zero denominator (empty state, k-only
+  // construction) so the report never divides by zero.
+  if (state.assigned_edges() > 0) {
+    const double even_edges = static_cast<double>(state.assigned_edges()) /
+                              static_cast<double>(state.k());
+    report.load_balance =
+        static_cast<double>(state.max_partition_size()) / even_edges;
+  }
+  std::uint64_t replica_mass = 0;
+  std::uint64_t max_vertices = 0;
+  for (const std::uint64_t count : report.vertices_per_partition) {
+    replica_mass += count;
+    max_vertices = std::max(max_vertices, count);
+  }
+  if (replica_mass > 0) {
+    const double even_vertices = static_cast<double>(replica_mass) /
+                                 static_cast<double>(state.k());
+    report.vertex_balance = static_cast<double>(max_vertices) / even_vertices;
   }
   return report;
 }

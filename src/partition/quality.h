@@ -29,6 +29,16 @@ struct QualityReport {
   // per superstep, the engine's dominant traffic term.
   std::uint64_t communication_volume = 0;
   std::vector<std::uint64_t> partition_sizes;
+  // Normalized maximum loads, the leaderboard's balance columns: the largest
+  // partition relative to a perfectly even split (λ ≥ 1, 1 = perfect).
+  // load_balance divides max_p |P_p| by |E|/k; vertex_balance divides
+  // max_p |V(P_p)| by Σ_p |V(P_p)| / k (replica mass, not distinct
+  // vertices). Both report 1.0 when nothing is assigned — an empty
+  // partitioning is trivially balanced, not infinitely skewed.
+  double load_balance = 1.0;
+  double vertex_balance = 1.0;
+  // |V(P_p)|: vertices with a replica on p (the per-partition vertex sets).
+  std::vector<std::uint64_t> vertices_per_partition;
 };
 
 [[nodiscard]] QualityReport analyze_quality(const PartitionState& state);

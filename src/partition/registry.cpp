@@ -1,12 +1,18 @@
 #include "src/partition/registry.h"
 
+#include <sstream>
+
 #include "src/partition/dbh_partitioner.h"
+#include "src/partition/ebv_partitioner.h"
+#include "src/partition/fennel_partitioner.h"
 #include "src/partition/greedy_partitioner.h"
 #include "src/partition/grid_partitioner.h"
 #include "src/partition/hash_partitioner.h"
 #include "src/partition/hdrf_partitioner.h"
+#include "src/partition/ldg_partitioner.h"
 #include "src/partition/ne_partitioner.h"
 #include "src/partition/onedim_partitioner.h"
+#include "src/partition/twops_partitioner.h"
 
 namespace adwise {
 
@@ -19,11 +25,27 @@ std::unique_ptr<EdgePartitioner> make_baseline_partitioner(
   if (name == "greedy") return std::make_unique<GreedyPartitioner>();
   if (name == "hdrf") return std::make_unique<HdrfPartitioner>();
   if (name == "ne") return std::make_unique<NePartitioner>(seed);
+  if (name == "fennel") return make_fennel_partitioner();
+  if (name == "ldg") return make_ldg_partitioner();
+  if (name == "ebv") return std::make_unique<EbvPartitioner>();
+  if (name == "2ps") return std::make_unique<TwoPsPartitioner>();
   return nullptr;
 }
 
 std::vector<std::string_view> baseline_partitioner_names() {
-  return {"hash", "1d", "grid", "dbh", "greedy", "hdrf", "ne"};
+  return {"hash", "1d",  "grid",   "dbh", "greedy", "hdrf",
+          "ne",   "ebv", "fennel", "ldg", "2ps"};
+}
+
+std::string baseline_partitioner_names_csv() {
+  std::ostringstream out;
+  bool first = true;
+  for (const std::string_view name : baseline_partitioner_names()) {
+    if (!first) out << ", ";
+    out << name;
+    first = false;
+  }
+  return out.str();
 }
 
 }  // namespace adwise

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -12,11 +13,14 @@
 
 namespace adwise {
 
-// Supported names: "hash", "1d", "grid", "dbh", "greedy", "hdrf", "ne".
-// Returns nullptr for unknown names.
+// Supported names: "hash", "1d", "grid", "dbh", "greedy", "hdrf", "ne",
+// "ebv", "fennel", "ldg", "2ps". Returns nullptr for unknown names.
 [[nodiscard]] std::unique_ptr<EdgePartitioner> make_baseline_partitioner(
     std::string_view name, std::uint32_t k, std::uint64_t seed = 0);
 
 [[nodiscard]] std::vector<std::string_view> baseline_partitioner_names();
+
+// Comma-separated names for error messages ("unknown algorithm" paths).
+[[nodiscard]] std::string baseline_partitioner_names_csv();
 
 }  // namespace adwise

@@ -1,0 +1,156 @@
+#include "src/partition/twops_partitioner.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "src/partition/restream.h"
+#include "src/partition/vertex2edgepart.h"
+
+namespace adwise {
+namespace {
+
+// Union-find with path halving. Roots are stable cluster ids; union is by
+// volume with ties to the smaller root so the clustering is deterministic.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+
+  VertexId find(VertexId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  // Returns the surviving root.
+  VertexId merge_into(VertexId winner, VertexId loser) {
+    parent_[loser] = winner;
+    return winner;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+// Phase-2 placer: every vertex already carries its cluster's partition;
+// edges land via the shared lifting rule, under a hard balance guard — the
+// 2PS family's second phase is explicitly balance-constrained, and without
+// the guard a partition holding several hub clusters absorbs every edge
+// between them. A cluster placement that would push the target past
+// ν × the even share (ν = 1.1) falls back to the least-loaded partition.
+class ClusterPlacer final : public SingleEdgePartitioner {
+ public:
+  // cap_edges = ν·|E|/k (ν = 1.1): the FINAL even share — known because the
+  // edge sequence is buffered — not the running one, which would reject
+  // perfectly good cluster placements all through the early stream.
+  ClusterPlacer(const std::vector<PartitionId>* vertex_part,
+                std::uint64_t cap_edges)
+      : vertex_part_(vertex_part), cap_edges_(cap_edges) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "2ps-placer";
+  }
+
+  [[nodiscard]] PartitionId place(const Edge& e,
+                                  const PartitionState& state) override {
+    const PartitionId p = lift_edge_to_partition(
+        (*vertex_part_)[e.u], (*vertex_part_)[e.v], state);
+    if (state.edges_on(p) >= cap_edges_) return state.least_loaded();
+    return p;
+  }
+
+ private:
+  const std::vector<PartitionId>* vertex_part_;
+  std::uint64_t cap_edges_;
+};
+
+}  // namespace
+
+void TwoPsPartitioner::partition(EdgeStream& stream, PartitionState& state,
+                                 const AssignmentSink& sink) {
+  const VertexId n = state.num_vertices();
+  const std::uint32_t k = state.k();
+
+  std::vector<Edge> edges;
+  edges.reserve(stream.size_hint());
+  Edge e;
+  while (stream.next(e)) edges.push_back(e);
+
+  // Phase 1: volume-capped union-find clustering. Volumes use EXACT
+  // degrees (known because the sequence is buffered), so a cluster's
+  // volume is fixed at init and only changes by merging — every cluster
+  // stays under cap forever (except degree-> cap hub singletons), which is
+  // what keeps the phase-1.5 mapping balanceable. An incremental
+  // partial-degree variant lets early clusters keep absorbing volume long
+  // after they stop merging, and one runaway cluster wrecks the layout.
+  const std::uint64_t cap = std::max<std::uint64_t>(
+      1, 2 * static_cast<std::uint64_t>(edges.size()) / k);
+  UnionFind uf(n);
+  std::vector<std::uint64_t> volume(n, 0);  // indexed by current root
+  for (const Edge& edge : edges) {
+    ++volume[edge.u];
+    ++volume[edge.v];
+  }
+  for (const Edge& edge : edges) {
+    VertexId ru = uf.find(edge.u);
+    VertexId rv = uf.find(edge.v);
+    if (ru == rv) continue;
+    if (volume[ru] + volume[rv] > cap) continue;
+    // Union by volume, ties to the smaller root id.
+    if (volume[rv] > volume[ru] || (volume[rv] == volume[ru] && rv < ru)) {
+      std::swap(ru, rv);
+    }
+    volume[ru] += volume[rv];
+    uf.merge_into(ru, rv);
+  }
+
+  // Cluster -> partition: largest volume first onto the least-volume
+  // partition (smallest id on ties). Zero-volume singletons (isolated or
+  // absent vertices) follow the same rule, so every root gets a partition.
+  std::vector<VertexId> roots;
+  roots.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (uf.find(v) == v) roots.push_back(v);
+  }
+  std::sort(roots.begin(), roots.end(), [&](VertexId a, VertexId b) {
+    if (volume[a] != volume[b]) return volume[a] > volume[b];
+    return a < b;
+  });
+  std::vector<std::uint64_t> part_volume(k, 0);
+  std::vector<PartitionId> root_part(n, 0);
+  for (const VertexId r : roots) {
+    PartitionId least = 0;
+    for (PartitionId p = 1; p < k; ++p) {
+      if (part_volume[p] < part_volume[least]) least = p;
+    }
+    root_part[r] = least;
+    part_volume[least] += volume[r];
+  }
+  std::vector<PartitionId> vertex_part(n);
+  for (VertexId v = 0; v < n; ++v) vertex_part[v] = root_part[uf.find(v)];
+
+  // Phase 2: one placement pass through restream_partition; the final sink
+  // routes every assignment into the caller's state.
+  const auto cap_edges = static_cast<std::uint64_t>(
+      1.1 * static_cast<double>(edges.size()) / static_cast<double>(k)) + 1;
+  VectorEdgeStream replay(edges);
+  const RestreamResult result = restream_partition(
+      replay, n, k,
+      [&vertex_part, cap_edges]() -> std::unique_ptr<EdgePartitioner> {
+        return std::make_unique<ClusterPlacer>(&vertex_part, cap_edges);
+      },
+      /*passes=*/1,
+      [&state, &sink](const Edge& edge, PartitionId p) {
+        state.assign(edge, p);
+        if (sink) sink(edge, p);
+      });
+  (void)result;
+}
+
+}  // namespace adwise

@@ -1,0 +1,45 @@
+// 2PS-style two-phase streaming edge partitioning (after Mayer et al.'s
+// Two-Phase Streaming family: cluster first, place second), windowless.
+//
+// Phase 1 — streaming clustering: a union-find over the buffered edge
+// sequence merges the endpoint clusters of each edge when their combined
+// volume (sum of member degrees) stays within cap = max(1, 2|E|/k), i.e.
+// a perfectly even share of the total volume 2|E|. Merges are
+// union-by-volume with ties to the smaller root id, so the clustering is a
+// pure function of the edge sequence. Clusters are then mapped onto the k
+// partitions greedily — largest volume first onto the least-volume
+// partition — which seeds phase 2 with a balanced community layout.
+//
+// Phase 2 — placement: a single restream_partition() pass over the same
+// edge sequence places each edge with lift_edge_to_partition() on the
+// endpoints' cluster partitions: intra-cluster edges land on their
+// cluster's partition, cross-cluster edges go to the lower-loaded side,
+// and a hard balance guard (load past 1.1 × the even share falls back to
+// the least-loaded partition) keeps hub-cluster pileups bounded — the 2PS
+// family's second phase is balance-constrained by construction. All
+// assignments reach the caller's PartitionState through the final_sink, so
+// the result is indistinguishable from any other EdgePartitioner run.
+//
+// The edge sequence is buffered once (NE memory class — same trade as the
+// lifted vertex-streaming baselines) so both phases see the identical
+// sequence regardless of the stream backend; that is what keeps the
+// Vector/File/Binary stream-equivalence property trivially true.
+//
+// Two-phase algorithms have no single-edge safe boundary, so this
+// partitioner does not opt into checkpointing (enable_checkpoints stays
+// false and run_with_checkpoints refuses it loudly).
+#pragma once
+
+#include "src/partition/partitioner.h"
+
+namespace adwise {
+
+class TwoPsPartitioner final : public EdgePartitioner {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "2ps"; }
+
+  void partition(EdgeStream& stream, PartitionState& state,
+                 const AssignmentSink& sink = {}) override;
+};
+
+}  // namespace adwise

@@ -1,0 +1,104 @@
+#include "src/partition/vertex2edgepart.h"
+
+#include <algorithm>
+
+namespace adwise {
+
+PartitionId lift_edge_to_partition(PartitionId pu, PartitionId pv,
+                                   const PartitionState& state) {
+  if (pu == pv) return pu;
+  const std::uint64_t lu = state.edges_on(pu);
+  const std::uint64_t lv = state.edges_on(pv);
+  if (lu != lv) return lu < lv ? pu : pv;
+  return std::min(pu, pv);
+}
+
+void Vertex2EdgePartitioner::partition(EdgeStream& stream,
+                                       PartitionState& state,
+                                       const AssignmentSink& sink) {
+  // Buffer the edge sequence: the induced vertex stream needs complete
+  // neighbor lists, and the lifting pass replays the edges in stream order.
+  std::vector<Edge> edges;
+  edges.reserve(stream.size_hint());
+  Edge e;
+  while (stream.next(e)) edges.push_back(e);
+
+  const VertexId n = state.num_vertices();
+  const std::uint32_t k = state.k();
+
+  // CSR adjacency over the buffered sequence (both directions; self-loops
+  // contribute no neighbor entry but still get lifted below).
+  std::vector<std::uint32_t> adj_offset(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& edge : edges) {
+    if (edge.u == edge.v) continue;
+    ++adj_offset[edge.u + 1];
+    ++adj_offset[edge.v + 1];
+  }
+  for (std::size_t i = 1; i < adj_offset.size(); ++i) {
+    adj_offset[i] += adj_offset[i - 1];
+  }
+  std::vector<VertexId> adj(adj_offset.back());
+  {
+    std::vector<std::uint32_t> cursor(adj_offset.begin(),
+                                      adj_offset.end() - 1);
+    for (const Edge& edge : edges) {
+      if (edge.u == edge.v) continue;
+      adj[cursor[edge.u]++] = edge.v;
+      adj[cursor[edge.v]++] = edge.u;
+    }
+  }
+
+  // Distinct endpoints (self-loop-only vertices included: they appear in
+  // the stream and get assigned).
+  VertexId total_vertices = 0;
+  {
+    std::vector<bool> seen(n, false);
+    for (const Edge& edge : edges) {
+      if (!seen[edge.u]) {
+        seen[edge.u] = true;
+        ++total_vertices;
+      }
+      if (!seen[edge.v]) {
+        seen[edge.v] = true;
+        ++total_vertices;
+      }
+    }
+  }
+
+  // Vertex pass: first-appearance order over the edge sequence, complete
+  // neighbor lists from the CSR.
+  vertex_part_.assign(n, kInvalidPartition);
+  std::vector<std::uint64_t> vertex_counts(k, 0);
+  VertexAssignView view;
+  view.k = k;
+  view.num_vertices = n;
+  view.total_vertices = total_vertices;
+  view.num_edges = edges.size();
+  view.vertex_counts = vertex_counts.data();
+  view.vertex_part = vertex_part_.data();
+  const auto assign_vertex = [&](VertexId v) {
+    if (vertex_part_[v] != kInvalidPartition) return;
+    const std::span<const VertexId> neighbors(adj.data() + adj_offset[v],
+                                              adj_offset[v + 1] -
+                                                  adj_offset[v]);
+    const PartitionId p = assigner_->place_vertex(v, neighbors, view);
+    vertex_part_[v] = p;
+    ++vertex_counts[p];
+    ++view.assigned_vertices;
+  };
+  for (const Edge& edge : edges) {
+    assign_vertex(edge.u);
+    assign_vertex(edge.v);
+  }
+
+  // Lifting pass: edges in stream order, each to the lower-load endpoint
+  // partition.
+  for (const Edge& edge : edges) {
+    const PartitionId p = lift_edge_to_partition(vertex_part_[edge.u],
+                                                 vertex_part_[edge.v], state);
+    state.assign(edge, p);
+    if (sink) sink(edge, p);
+  }
+}
+
+}  // namespace adwise

@@ -92,8 +92,8 @@ TEST_P(PartitionerPropertyTest, Invariants) {
 
 std::vector<PropertyCase> property_cases() {
   std::vector<PropertyCase> cases;
-  for (const char* algo :
-       {"hash", "1d", "grid", "dbh", "greedy", "hdrf", "ne"}) {
+  for (const char* algo : {"hash", "1d", "grid", "dbh", "greedy", "hdrf",
+                           "ne", "ebv", "fennel", "ldg", "2ps"}) {
     for (const char* graph : {"er", "community", "rmat", "grid", "path"}) {
       for (const std::uint32_t k : {2u, 4u, 8u, 32u}) {
         cases.push_back({algo, graph, k});
@@ -107,7 +107,10 @@ INSTANTIATE_TEST_SUITE_P(
     AllBaselines, PartitionerPropertyTest,
     ::testing::ValuesIn(property_cases()),
     [](const ::testing::TestParamInfo<PropertyCase>& info) {
-      return info.param.algorithm + "_" + info.param.graph_name + "_k" +
+      // Test names must be identifiers: "2ps" cannot lead with a digit.
+      const std::string algo =
+          info.param.algorithm == "2ps" ? "twops" : info.param.algorithm;
+      return algo + "_" + info.param.graph_name + "_k" +
              std::to_string(info.param.k);
     });
 

@@ -94,6 +94,18 @@ TEST_F(CliExitCodeTest, UsageErrorsExitTwo) {
             2);
 }
 
+TEST_F(CliExitCodeTest, UnknownAlgorithmExitsTwoAndListsNames) {
+  // A typo'd algorithm is a usage error, and the message must enumerate
+  // the registry so the caller can self-correct without reading code.
+  EXPECT_EQ(exit_code(cmd("", adw_path_ + " nope 8 -1")), 2);
+  const std::string err = stderr_text();
+  EXPECT_NE(err.find("unknown algorithm 'nope'"), std::string::npos) << err;
+  for (const char* name : {"adwise", "hdrf", "fennel", "ldg", "ebv", "2ps"}) {
+    EXPECT_NE(err.find(name), std::string::npos)
+        << "missing '" << name << "' in: " << err;
+  }
+}
+
 TEST_F(CliExitCodeTest, CorruptInputExitsThree) {
   // Injected bitflips on the read path surface as CRC mismatches — the
   // "never retry, the bytes are wrong" class.

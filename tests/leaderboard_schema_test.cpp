@@ -1,0 +1,204 @@
+// Golden-structure tests for the quality-leaderboard pipeline:
+//
+//  - bench_leaderboard (run at a tiny scale on a small cell) must emit the
+//    schema check_bench_guardrail.py --leaderboard consumes: one JSON
+//    document, schema_version 1, one row per (algorithm x dataset x k)
+//    with every metric field present;
+//  - the guardrail's --leaderboard mode must pass a crafted JSON where
+//    ADWISE wins within the pinned ratio, and fail (exit 1) when ADWISE's
+//    replication exceeds 1.05x the best balanced streaming rival, when its
+//    load balance degrades, and when coverage floors are not met.
+//
+// Binary and script paths are injected at compile time; each prerequisite
+// that is missing skips rather than fails (examples-off builds, containers
+// without python3).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace adwise {
+namespace {
+
+#if !defined(ADWISE_BENCH_LEADERBOARD_BIN) || !defined(ADWISE_GUARDRAIL_SCRIPT)
+
+TEST(LeaderboardSchemaTest, RequiresLeaderboardBinary) {
+  GTEST_SKIP() << "bench_leaderboard / guardrail script not configured";
+}
+
+#else
+
+int exit_code(const std::string& command) {
+  const int status = std::system(command.c_str());
+  if (!WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+bool python3_available() {
+  return exit_code("python3 -c 'pass' 2> /dev/null") == 0;
+}
+
+class LeaderboardSchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "leaderboard_" +
+            std::to_string(static_cast<long>(::getpid())) + "_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name());
+  }
+
+  void TearDown() override {
+    std::remove((base_ + ".json").c_str());
+    std::remove((base_ + ".err").c_str());
+  }
+
+  std::string base_;
+};
+
+TEST_F(LeaderboardSchemaTest, TinyRunEmitsOneRowPerCell) {
+  const std::string out = base_ + ".json";
+  const std::string cmd = std::string(ADWISE_BENCH_LEADERBOARD_BIN) +
+                          " --scale 0.05 --ks 2,4 --datasets grid"
+                          " --algorithms adwise,hash,hdrf --out " +
+                          out + " 2> " + base_ + ".err";
+  ASSERT_EQ(exit_code(cmd), 0) << read_file(base_ + ".err");
+
+  const std::string json = read_file(out);
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\""), std::string::npos);
+
+  // 3 algorithms x 1 dataset x 2 ks = 6 rows, one "algorithm" key each.
+  EXPECT_EQ(count_occurrences(json, "\"algorithm\""), 6u);
+  for (const char* field :
+       {"\"rival_class\"", "\"dataset\"", "\"power_law\"", "\"k\"", "\"n\"",
+        "\"m\"", "\"replication\"", "\"imbalance\"", "\"load_balance\"",
+        "\"vertex_balance\"", "\"seconds\"", "\"edges_per_second\""}) {
+    EXPECT_EQ(count_occurrences(json, field), 6u) << field;
+  }
+  EXPECT_EQ(count_occurrences(json, "\"adwise\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"reference\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"streaming\""), 4u);
+}
+
+TEST_F(LeaderboardSchemaTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(exit_code(std::string(ADWISE_BENCH_LEADERBOARD_BIN) +
+                      " --no-such-flag 2> /dev/null"),
+            2);
+  EXPECT_EQ(exit_code(std::string(ADWISE_BENCH_LEADERBOARD_BIN) +
+                      " --datasets no_such_dataset 2> /dev/null"),
+            2);
+  EXPECT_EQ(exit_code(std::string(ADWISE_BENCH_LEADERBOARD_BIN) +
+                      " --algorithms no_such_algo 2> /dev/null"),
+            2);
+}
+
+// --- Guardrail --leaderboard pass/fail ---------------------------------------------
+
+// Crafted leaderboard meeting the coverage floors (8 algorithms x 4
+// datasets x 2 ks) with configurable ADWISE metrics on the power-law
+// dataset, so each gate can be flipped independently.
+std::string crafted_leaderboard(double adwise_replication,
+                                double adwise_load_balance,
+                                int num_algorithms = 8) {
+  const char* algorithms[] = {"adwise", "hdrf",   "hash", "dbh",
+                              "greedy", "grid",   "ebv",  "1d"};
+  const char* classes[] = {"reference", "streaming", "streaming", "streaming",
+                           "streaming", "streaming", "streaming", "streaming"};
+  const char* datasets[] = {"rmat", "ba", "ws", "grid"};
+  const bool power_law[] = {true, false, false, false};
+  const int ks[] = {8, 32};
+
+  std::ostringstream out;
+  out << "{\n  \"schema_version\": 1,\n  \"scale\": 1.0,\n  \"rows\": [";
+  bool first = true;
+  for (int a = 0; a < num_algorithms; ++a) {
+    for (int d = 0; d < 4; ++d) {
+      for (const int k : ks) {
+        const bool is_adwise = a == 0;
+        const double rep = is_adwise ? adwise_replication : 2.0;
+        const double lb = is_adwise ? adwise_load_balance : 1.05;
+        if (!first) out << ",";
+        first = false;
+        out << "\n    {\"algorithm\": \"" << algorithms[a]
+            << "\", \"rival_class\": \"" << classes[a] << "\", \"dataset\": \""
+            << datasets[d] << "\", \"power_law\": "
+            << (power_law[d] ? "true" : "false") << ", \"k\": " << k
+            << ", \"n\": 1000, \"m\": 10000, \"replication\": " << rep
+            << ", \"imbalance\": 0.01, \"load_balance\": " << lb
+            << ", \"vertex_balance\": 1.1, \"seconds\": 0.5,"
+               " \"edges_per_second\": 20000.0}";
+      }
+    }
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+class GuardrailLeaderboardTest : public LeaderboardSchemaTest {
+ protected:
+  int run_guardrail(const std::string& json) {
+    const std::string path = base_ + ".json";
+    std::ofstream(path) << json;
+    return exit_code("python3 " + std::string(ADWISE_GUARDRAIL_SCRIPT) +
+                     " --leaderboard " + path + " > " + base_ + ".err 2>&1");
+  }
+
+  [[nodiscard]] std::string output() const { return read_file(base_ + ".err"); }
+};
+
+TEST_F(GuardrailLeaderboardTest, WinningLeaderboardPasses) {
+  if (!python3_available()) GTEST_SKIP() << "python3 not available";
+  // ADWISE replication 1.5 vs rivals' 2.0: ratio 0.75 <= 1.05.
+  EXPECT_EQ(run_guardrail(crafted_leaderboard(1.5, 1.0)), 0) << output();
+}
+
+TEST_F(GuardrailLeaderboardTest, QualityRegressionFails) {
+  if (!python3_available()) GTEST_SKIP() << "python3 not available";
+  // 3.0 vs 2.0: ratio 1.5 > 1.05 on the power-law dataset at k = 32.
+  EXPECT_EQ(run_guardrail(crafted_leaderboard(3.0, 1.0)), 1) << output();
+  EXPECT_NE(output().find("rmat"), std::string::npos) << output();
+}
+
+TEST_F(GuardrailLeaderboardTest, AdwiseImbalanceFails) {
+  if (!python3_available()) GTEST_SKIP() << "python3 not available";
+  // Quality fine, but ADWISE load balance 1.4 > the 1.1 pin.
+  EXPECT_EQ(run_guardrail(crafted_leaderboard(1.5, 1.4)), 1) << output();
+  EXPECT_NE(output().find("load"), std::string::npos) << output();
+}
+
+TEST_F(GuardrailLeaderboardTest, CoverageFloorFails) {
+  if (!python3_available()) GTEST_SKIP() << "python3 not available";
+  // Only 5 algorithms < the 8-algorithm coverage floor.
+  EXPECT_EQ(run_guardrail(crafted_leaderboard(1.5, 1.0, 5)), 1) << output();
+}
+
+#endif  // ADWISE_BENCH_LEADERBOARD_BIN && ADWISE_GUARDRAIL_SCRIPT
+
+}  // namespace
+}  // namespace adwise

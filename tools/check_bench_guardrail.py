@@ -56,9 +56,27 @@ thresholds of every capture, the lazy mt ratios on small hosts, the text
 and non-prefetching binary stream ratios, and the end-to-end HDRF /
 2-pass-restream out-of-core ratios.
 
+  * quality leaderboard (only when --leaderboard is given; usable standalone,
+    without a micro-bench JSON):
+      - coverage floor: the bench_leaderboard JSON must span >= 8 algorithms,
+        >= 4 datasets and >= 2 k values (one row per cell) — shrinking the
+        zoo or dropping a fleet member fails the build, not just the table.
+      - ADWISE quality: on every power-law dataset at k = 32, ADWISE's
+        replication factor must be <= 1.05x the best BALANCED rival of
+        class "streaming" (load_balance <= 1.3 — an imbalanced partitioning
+        lowers replication for free, so skewed rivals don't set the bar;
+        in practice the bar is HDRF). Measures ~0.81-0.83x, i.e. ADWISE
+        wins outright — the margin is the regression budget.
+      - balance: every ADWISE row must hold load_balance <= 1.1 (measures
+        ~1.001). Rival rows are recorded only: greedy and 1d legitimately
+        skew on shuffled power-law streams, and offline vertex partitioners
+        balance vertices, not edge loads — their skew is a property, not a
+        regression.
+
 Usage: check_bench_guardrail.py <bench.json> [<io_bench.json>]
                                 [--lazy <lazy_bench.json>]
                                 [--scoring <scoring_bench.json>]
+                                [--leaderboard <leaderboard.json>]
 """
 
 import json
@@ -76,6 +94,12 @@ LAZY_MIN_PARALLEL_FRACTION = 0.30
 LAZY_SERIAL_MIN_RATIO = 0.85
 SCORING_DENSE_MIN_SPEEDUP = 2.0
 SCORING_SPARSE_MIN_RATIO = 0.9
+LEADERBOARD_MIN_ALGORITHMS = 8
+LEADERBOARD_MIN_DATASETS = 4
+LEADERBOARD_MIN_KS = 2
+LEADERBOARD_ADWISE_MAX_RATIO = 1.05  # vs best streaming rival, power-law k=32
+LEADERBOARD_RIVAL_MAX_LOAD_BALANCE = 1.3  # rival must be balanced to set the bar
+LEADERBOARD_ADWISE_MAX_LOAD_BALANCE = 1.1
 
 
 def field(benchmarks, name, key):
@@ -301,6 +325,71 @@ def check_io(path, failures):
             print(f"{label}: {s:.2f}x")
 
 
+def check_leaderboard(path, failures):
+    """Quality-leaderboard guardrails over bench_leaderboard JSON output."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("rows", [])
+    if not rows:
+        failures.append(f"leaderboard {path} has no rows")
+        return
+
+    algorithms = sorted({r["algorithm"] for r in rows})
+    datasets = sorted({r["dataset"] for r in rows})
+    ks = sorted({r["k"] for r in rows})
+    print(f"leaderboard coverage: {len(algorithms)} algorithms x "
+          f"{len(datasets)} datasets x {len(ks)} k values "
+          f"({len(rows)} rows)")
+    if len(algorithms) < LEADERBOARD_MIN_ALGORITHMS:
+        failures.append(
+            f"leaderboard covers {len(algorithms)} algorithms < "
+            f"{LEADERBOARD_MIN_ALGORITHMS}: {algorithms}")
+    if len(datasets) < LEADERBOARD_MIN_DATASETS:
+        failures.append(
+            f"leaderboard covers {len(datasets)} datasets < "
+            f"{LEADERBOARD_MIN_DATASETS}: {datasets}")
+    if len(ks) < LEADERBOARD_MIN_KS:
+        failures.append(
+            f"leaderboard covers {len(ks)} k values < "
+            f"{LEADERBOARD_MIN_KS}: {ks}")
+
+    power_law_k32 = sorted({r["dataset"] for r in rows
+                            if r.get("power_law") and r["k"] == 32})
+    if not power_law_k32:
+        failures.append("leaderboard has no power-law rows at k=32 "
+                        "(the ADWISE quality gate needs them)")
+    for dataset in power_law_k32:
+        cell = [r for r in rows if r["dataset"] == dataset and r["k"] == 32]
+        adwise = [r for r in cell if r["algorithm"] == "adwise"]
+        rivals = [r for r in cell
+                  if r.get("rival_class") == "streaming"
+                  and r["load_balance"] <= LEADERBOARD_RIVAL_MAX_LOAD_BALANCE]
+        if not adwise or not rivals:
+            failures.append(
+                f"leaderboard {dataset} k=32 misses adwise or a balanced "
+                f"streaming rival")
+            continue
+        best = min(rivals, key=lambda r: r["replication"])
+        ratio = adwise[0]["replication"] / best["replication"]
+        print(f"leaderboard {dataset} k=32: adwise "
+              f"rep={adwise[0]['replication']:.4f} vs best streaming "
+              f"({best['algorithm']}) {best['replication']:.4f} -> "
+              f"{ratio:.3f}x (required <= {LEADERBOARD_ADWISE_MAX_RATIO}x)")
+        if ratio > LEADERBOARD_ADWISE_MAX_RATIO:
+            failures.append(
+                f"adwise replication on {dataset} k=32 is {ratio:.3f}x the "
+                f"best streaming rival ({best['algorithm']}), over the "
+                f"{LEADERBOARD_ADWISE_MAX_RATIO}x gate")
+
+    for r in rows:
+        if (r["algorithm"] == "adwise"
+                and r["load_balance"] > LEADERBOARD_ADWISE_MAX_LOAD_BALANCE):
+            failures.append(
+                f"adwise load_balance {r['load_balance']:.3f} > "
+                f"{LEADERBOARD_ADWISE_MAX_LOAD_BALANCE} on {r['dataset']} "
+                f"k={r['k']}")
+
+
 def main():
     args = sys.argv[1:]
     lazy_path = None
@@ -319,6 +408,27 @@ def main():
             return 2
         scoring_path = args[i + 1]
         del args[i:i + 2]
+    leaderboard_path = None
+    if "--leaderboard" in args:
+        i = args.index("--leaderboard")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        leaderboard_path = args[i + 1]
+        del args[i:i + 2]
+
+    # --leaderboard is usable standalone (the leaderboard CI job has no
+    # micro-bench JSON); every other mode still requires the positional
+    # bench.json.
+    if len(args) == 0 and leaderboard_path is not None:
+        failures = []
+        check_leaderboard(leaderboard_path, failures)
+        if failures:
+            for f in failures:
+                print(f"GUARDRAIL FAILURE: {f}", file=sys.stderr)
+            return 1
+        print("bench guardrails OK")
+        return 0
     if len(args) not in (1, 2):
         print(__doc__, file=sys.stderr)
         return 2
@@ -380,6 +490,8 @@ def main():
         check_lazy(lazy_path, failures)
     if scoring_path is not None:
         check_scoring(scoring_path, failures)
+    if leaderboard_path is not None:
+        check_leaderboard(leaderboard_path, failures)
 
     if failures:
         for f in failures:

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Quality leaderboard runner: drives bench_leaderboard and renders ranked
+tables per (dataset, k) cell, best replication factor first.
+
+Typical use:
+
+    tools/leaderboard.py --bin build/bench/bench_leaderboard \
+        --scale 0.5 --out leaderboard.json
+
+or render an existing JSON without re-running anything:
+
+    tools/leaderboard.py --json leaderboard.json
+
+Columns: replication factor (Eq. 1, lower is better — the ranking key),
+load balance and vertex balance (normalized max loads, 1.0 = perfect),
+imbalance ((max-min)/max) and throughput. rival_class marks how fair the
+comparison is: "streaming" rows decide per edge with O(1) algorithm state,
+"offline" rows buffer the full edge set first, "reference" is ADWISE.
+tools/check_bench_guardrail.py --leaderboard consumes the same JSON and
+pins the quality gates in CI.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def run_binary(args):
+    cmd = [args.bin, "--out", args.out]
+    if args.scale is not None:
+        cmd += ["--scale", str(args.scale)]
+    if args.ks:
+        cmd += ["--ks", args.ks]
+    if args.datasets:
+        cmd += ["--datasets", args.datasets]
+    if args.algorithms:
+        cmd += ["--algorithms", args.algorithms]
+    print("+ " + " ".join(cmd), file=sys.stderr)
+    subprocess.run(cmd, check=True)
+    return args.out
+
+
+def render(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc["rows"]
+    datasets = []
+    for r in rows:  # first-appearance order, not alphabetical
+        if r["dataset"] not in datasets:
+            datasets.append(r["dataset"])
+    ks = sorted({r["k"] for r in rows})
+
+    for dataset in datasets:
+        for k in ks:
+            cell = [r for r in rows
+                    if r["dataset"] == dataset and r["k"] == k]
+            if not cell:
+                continue
+            info = cell[0]
+            flavor = "power-law" if info["power_law"] else "flat-degree"
+            print(f"\n=== {dataset} ({flavor}, |V|={info['n']}, "
+                  f"|E|={info['m']}), k={k} ===")
+            print(f"{'algorithm':<10} {'class':<10} {'rep':>8} "
+                  f"{'load_bal':>9} {'vtx_bal':>8} {'imbal':>7} "
+                  f"{'edges/s':>12}")
+            for r in sorted(cell, key=lambda r: r["replication"]):
+                print(f"{r['algorithm']:<10} {r['rival_class']:<10} "
+                      f"{r['replication']:>8.4f} {r['load_balance']:>9.3f} "
+                      f"{r['vertex_balance']:>8.3f} {r['imbalance']:>7.3f} "
+                      f"{r['edges_per_second']:>12.0f}")
+    print(f"\n{len(rows)} rows "
+          f"({len({r['algorithm'] for r in rows})} algorithms x "
+          f"{len(datasets)} datasets x {len(ks)} k values)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--bin", default="build/bench/bench_leaderboard",
+                        help="bench_leaderboard binary to run")
+    parser.add_argument("--json", default=None,
+                        help="render this existing JSON instead of running")
+    parser.add_argument("--out", default="leaderboard.json",
+                        help="where the run writes its JSON")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale factor (binary default: 1.0)")
+    parser.add_argument("--ks", default=None, help="CSV of k values")
+    parser.add_argument("--datasets", default=None, help="CSV of datasets")
+    parser.add_argument("--algorithms", default=None,
+                        help="CSV of algorithms")
+    args = parser.parse_args()
+
+    path = args.json if args.json is not None else run_binary(args)
+    render(path)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
